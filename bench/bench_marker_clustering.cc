@@ -1,0 +1,61 @@
+/// Experiment E13 — map-view marker clustering (paper §3.1: markers in
+/// the zoomed-in view, marker cluster groups zoomed out).
+///
+/// Measures cluster-group construction latency versus zoom level and
+/// result-set size.  Expected shape: linear in the number of markers,
+/// independent of zoom (grid hashing), with cluster counts growing with
+/// zoom.
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+#include "earthqube/result_panel.h"
+
+namespace agoraeo::bench {
+namespace {
+
+constexpr size_t kArchive = 50000;
+
+std::vector<earthqube::ResultEntry> MakeEntries(size_t n) {
+  const ArchiveFixture& fixture = GetArchive(kArchive);
+  std::vector<earthqube::ResultEntry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n && i < fixture.archive.patches.size(); ++i) {
+    const auto& p = fixture.archive.patches[i];
+    earthqube::ResultEntry e;
+    e.name = p.name;
+    e.labels = p.labels;
+    e.country = p.country;
+    e.acquisition_date = p.acquisition_date.ToString();
+    e.map_location = p.bounds.Center();
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+void BM_ClusterMarkers(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int zoom = static_cast<int>(state.range(1));
+  const auto entries = MakeEntries(n);
+  size_t clusters = 0, iters = 0;
+  for (auto _ : state) {
+    auto result = earthqube::ClusterMarkers(entries, zoom);
+    benchmark::DoNotOptimize(result);
+    clusters += result.size();
+    ++iters;
+  }
+  state.counters["markers"] = static_cast<double>(entries.size());
+  state.counters["zoom"] = zoom;
+  state.counters["clusters"] =
+      iters ? static_cast<double>(clusters) / iters : 0;
+}
+
+BENCHMARK(BM_ClusterMarkers)
+    ->Args({1000, 3})->Args({1000, 8})->Args({1000, 14})
+    ->Args({10000, 3})->Args({10000, 8})->Args({10000, 14})
+    ->Args({50000, 3})->Args({50000, 8})->Args({50000, 14})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace agoraeo::bench
+
+BENCHMARK_MAIN();

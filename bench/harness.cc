@@ -1,0 +1,140 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace agoraeo::bench {
+
+const ArchiveFixture& GetArchive(size_t num_patches, uint64_t seed) {
+  // Benchmarks report through google-benchmark counters; INFO logging
+  // (archive generation, ingest progress) would only pollute the tables.
+  static const bool quiet = [] {
+    SetLogLevel(LogLevel::kWarning);
+    return true;
+  }();
+  (void)quiet;
+  static auto* cache = new std::map<std::pair<size_t, uint64_t>,
+                                    std::unique_ptr<ArchiveFixture>>();
+  const auto key = std::make_pair(num_patches, seed);
+  auto it = cache->find(key);
+  if (it != cache->end()) return *it->second;
+
+  auto fixture = std::make_unique<ArchiveFixture>();
+  fixture->config.num_patches = num_patches;
+  fixture->config.seed = seed;
+  fixture->config.patches_per_scene = 40;
+  fixture->generator =
+      std::make_unique<bigearthnet::ArchiveGenerator>(fixture->config);
+  auto archive = fixture->generator->Generate();
+  if (!archive.ok()) {
+    std::fprintf(stderr, "archive generation failed: %s\n",
+                 archive.status().ToString().c_str());
+    std::abort();
+  }
+  fixture->archive = std::move(archive).value();
+  fixture->features =
+      fixture->extractor.ExtractArchive(fixture->archive, *fixture->generator,
+                                        /*num_threads=*/8);
+  fixture->names.reserve(fixture->archive.patches.size());
+  fixture->labels.reserve(fixture->archive.patches.size());
+  for (const auto& p : fixture->archive.patches) {
+    fixture->names.push_back(p.name);
+    fixture->labels.push_back(p.labels);
+  }
+  auto [inserted, _] = cache->emplace(key, std::move(fixture));
+  return *inserted->second;
+}
+
+std::vector<BinaryCode> ClusteredCodes(const ArchiveFixture& fixture,
+                                       size_t bits, double flip_rate,
+                                       uint64_t seed) {
+  Rng rng(seed, /*stream=*/51);
+  // One random center code per scene.
+  std::vector<BinaryCode> centers;
+  centers.reserve(fixture.archive.scene_centers.size());
+  for (size_t s = 0; s < fixture.archive.scene_centers.size(); ++s) {
+    BinaryCode center(bits);
+    for (size_t b = 0; b < bits; ++b) center.SetBit(b, rng.Bernoulli(0.5));
+    centers.push_back(std::move(center));
+  }
+  std::vector<BinaryCode> codes;
+  codes.reserve(fixture.archive.patches.size());
+  for (const auto& patch : fixture.archive.patches) {
+    BinaryCode code = centers[static_cast<size_t>(patch.scene_id)];
+    for (size_t b = 0; b < bits; ++b) {
+      if (rng.Bernoulli(flip_rate)) code.FlipBit(b);
+    }
+    codes.push_back(std::move(code));
+  }
+  return codes;
+}
+
+milan::MilanModel* GetTrainedMilan(const ArchiveFixture& fixture,
+                                   size_t bits) {
+  static auto* cache =
+      new std::map<std::pair<size_t, size_t>,
+                   std::unique_ptr<milan::MilanModel>>();
+  const auto key =
+      std::make_pair(fixture.archive.patches.size(), bits);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second.get();
+
+  milan::MilanConfig mconfig;
+  mconfig.feature_dim = bigearthnet::kFeatureDim;
+  mconfig.hidden1 = 256;
+  mconfig.hidden2 = 128;
+  mconfig.hash_bits = bits;
+  mconfig.dropout = 0.0f;
+  auto model = std::make_unique<milan::MilanModel>(mconfig);
+
+  milan::TripletSampler sampler(fixture.labels);
+  milan::TrainConfig tconfig;
+  tconfig.epochs = 16;
+  tconfig.batches_per_epoch = 40;
+  tconfig.batch_size = 32;
+  tconfig.learning_rate = 1e-3f;
+  milan::Trainer trainer(model.get(), &fixture.features, &sampler, tconfig);
+  auto result = trainer.Train();
+  if (!result.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  auto [inserted, _] = cache->emplace(key, std::move(model));
+  return inserted->second.get();
+}
+
+earthqube::EarthQube* GetEarthQube(const ArchiveFixture& fixture,
+                                   bool build_indexes,
+                                   earthqube::LabelEncoding encoding) {
+  static auto* cache =
+      new std::map<std::tuple<size_t, bool, int>,
+                   std::unique_ptr<earthqube::EarthQube>>();
+  const auto key = std::make_tuple(fixture.archive.patches.size(),
+                                   build_indexes, static_cast<int>(encoding));
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second.get();
+
+  earthqube::EarthQubeConfig config;
+  config.build_indexes = build_indexes;
+  config.label_encoding = encoding;
+  auto system = std::make_unique<earthqube::EarthQube>(config);
+  auto status = system->IngestArchive(fixture.archive);
+  if (!status.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+  auto [inserted, _] = cache->emplace(key, std::move(system));
+  return inserted->second.get();
+}
+
+void PrintHeader(const std::string& experiment, const std::string& claim) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("============================================================\n");
+}
+
+}  // namespace agoraeo::bench

@@ -1,0 +1,63 @@
+#ifndef AGORAEO_BENCH_HARNESS_H_
+#define AGORAEO_BENCH_HARNESS_H_
+
+/// Shared setup for the benchmark suite.  Each bench binary regenerates
+/// one experiment row of DESIGN.md's experiment index; the helpers here
+/// build archives, features, codes and EarthQube instances once per
+/// process and cache them across benchmark repetitions.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bigearthnet/archive_generator.h"
+#include "bigearthnet/feature_extractor.h"
+#include "common/binary_code.h"
+#include "common/random.h"
+#include "earthqube/earthqube.h"
+#include "milan/baselines.h"
+#include "milan/trainer.h"
+#include "tensor/tensor.h"
+
+namespace agoraeo::bench {
+
+/// A synthetic archive with features, cached by (size, seed).
+struct ArchiveFixture {
+  bigearthnet::ArchiveConfig config;
+  std::unique_ptr<bigearthnet::ArchiveGenerator> generator;
+  bigearthnet::Archive archive;
+  bigearthnet::FeatureExtractor extractor;
+  Tensor features;  ///< [n, kFeatureDim]
+  std::vector<std::string> names;
+  std::vector<bigearthnet::LabelSet> labels;
+};
+
+/// Builds (or returns the cached) fixture for `num_patches`.
+const ArchiveFixture& GetArchive(size_t num_patches, uint64_t seed = 42);
+
+/// Fast clustered binary codes approximating a trained hashing model's
+/// output distribution: one center per scene, per-item bit flips.  Used
+/// by pure data-structure benches (E1, E3) where code provenance does
+/// not affect the measured quantity; quality benches (E2, E4) train the
+/// real MiLaN model instead.
+std::vector<BinaryCode> ClusteredCodes(const ArchiveFixture& fixture,
+                                       size_t bits, double flip_rate = 0.08,
+                                       uint64_t seed = 7);
+
+/// Trains a (small) MiLaN model on the fixture and returns it; cached by
+/// (fixture size, bits).
+milan::MilanModel* GetTrainedMilan(const ArchiveFixture& fixture, size_t bits);
+
+/// Builds an EarthQube instance with the fixture ingested; cached by
+/// (size, indexes on/off, encoding).
+earthqube::EarthQube* GetEarthQube(const ArchiveFixture& fixture,
+                                   bool build_indexes,
+                                   earthqube::LabelEncoding encoding);
+
+/// Prints a section header for plain-table benches.
+void PrintHeader(const std::string& experiment, const std::string& claim);
+
+}  // namespace agoraeo::bench
+
+#endif  // AGORAEO_BENCH_HARNESS_H_

@@ -1,0 +1,127 @@
+/// The AgoraEO ecosystem loop (paper §1: "offer, discover, combine, and
+/// efficiently execute EO-related assets").  This example:
+///
+///   1. offers the demo's assets (BigEarthNet dataset, MiLaN algorithm,
+///      EarthQube tool) in the Agora asset catalog,
+///   2. discovers them back with tag and text queries,
+///   3. combines EarthQube capabilities into an executable pipeline
+///      (search -> CBIR -> label statistics), and
+///   4. executes it, printing the per-step trace.
+///
+/// Build & run:  ./build/examples/agora_ecosystem
+#include <cstdio>
+#include <memory>
+
+#include "agora/catalog.h"
+#include "agora/earthqube_ops.h"
+#include "agora/pipeline.h"
+#include "bigearthnet/archive_generator.h"
+#include "bigearthnet/feature_extractor.h"
+#include "common/logging.h"
+#include "earthqube/earthqube.h"
+#include "milan/trainer.h"
+
+using namespace agoraeo;
+
+int main() {
+  SetLogLevel(LogLevel::kInfo);
+
+  // --- back end (condensed quickstart) -------------------------------------
+  std::printf("== preparing EarthQube (archive + MiLaN + indexes)\n");
+  bigearthnet::ArchiveConfig aconfig;
+  aconfig.num_patches = 4000;
+  aconfig.seed = 7;
+  bigearthnet::ArchiveGenerator generator(aconfig);
+  auto archive = generator.Generate();
+  if (!archive.ok()) return 1;
+  earthqube::EarthQube system;
+  if (!system.IngestArchive(*archive).ok()) return 1;
+
+  bigearthnet::FeatureExtractor extractor;
+  Tensor features = extractor.ExtractArchive(*archive, generator, 4);
+  milan::MilanConfig mconfig;
+  mconfig.feature_dim = bigearthnet::kFeatureDim;
+  mconfig.hidden1 = 128;
+  mconfig.hidden2 = 64;
+  mconfig.hash_bits = 64;
+  mconfig.dropout = 0.0f;
+  auto model = std::make_unique<milan::MilanModel>(mconfig);
+  std::vector<bigearthnet::LabelSet> labels;
+  for (const auto& p : archive->patches) labels.push_back(p.labels);
+  milan::TripletSampler sampler(labels);
+  milan::TrainConfig tconfig;
+  tconfig.epochs = 6;
+  tconfig.batches_per_epoch = 25;
+  milan::Trainer trainer(model.get(), &features, &sampler, tconfig);
+  if (!trainer.Train().ok()) return 1;
+  auto cbir = std::make_unique<earthqube::CbirService>(
+      std::move(model), new bigearthnet::FeatureExtractor());
+  std::vector<std::string> names;
+  for (const auto& p : archive->patches) names.push_back(p.name);
+  if (!cbir->AddImages(names, features).ok()) return 1;
+  system.AttachCbir(std::move(cbir));
+
+  // --- 1. offer ---------------------------------------------------------------
+  std::printf("\n== 1. offering assets in the Agora catalog\n");
+  agora::AssetCatalog catalog;
+  if (!agora::OfferStandardAssets(&catalog, archive->patches.size(), 64)
+           .ok()) {
+    return 1;
+  }
+  std::printf("   catalog holds %zu assets\n", catalog.size());
+
+  // --- 2. discover -------------------------------------------------------------
+  std::printf("\n== 2. discovering assets\n");
+  agora::DiscoveryQuery by_tag;
+  by_tag.any_tags = {"cbir", "deep-hashing"};
+  for (const auto& asset : catalog.Discover(by_tag)) {
+    std::printf("   by tag   : %-22s v%d  (%s)\n", asset.name.c_str(),
+                asset.version, agora::AssetKindToString(asset.kind));
+  }
+  agora::DiscoveryQuery by_text;
+  by_text.text = "sentinel";
+  for (const auto& asset : catalog.Discover(by_text)) {
+    std::printf("   by text  : %-22s v%d  (%s)\n", asset.name.c_str(),
+                asset.version, agora::AssetKindToString(asset.kind));
+  }
+
+  // --- 3. combine ----------------------------------------------------------------
+  std::printf("\n== 3. combining a pipeline: search -> cbir -> statistics\n");
+  agora::OperatorRegistry registry;
+  if (!agora::RegisterEarthQubeOperators(&system, &registry).ok()) return 1;
+  for (const std::string& op : registry.OperatorNames()) {
+    auto sig = registry.Signature(op);
+    std::printf("   operator %-22s %s\n", op.c_str(),
+                sig.ok() ? sig->c_str() : "?");
+  }
+
+  docstore::Document search_params;
+  search_params.Set("labels",
+                    docstore::MakeStringArray({"Coniferous forest"}));
+  search_params.Set("label_operator", docstore::Value("some"));
+  search_params.Set("limit", docstore::Value(30));
+  docstore::Document cbir_params;
+  cbir_params.Set("rank", docstore::Value(0));
+  cbir_params.Set("k", docstore::Value(15));
+
+  agora::Pipeline pipeline;
+  pipeline.Add("earthqube.search", search_params)
+      .Add("earthqube.cbir", cbir_params)
+      .Add("earthqube.statistics");
+  if (!pipeline.Validate(registry).ok()) return 1;
+
+  // --- 4. execute -----------------------------------------------------------------
+  std::printf("\n== 4. executing\n");
+  auto result = pipeline.Execute(registry, std::any{});
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& step : result->trace) {
+    std::printf("   step %-24s %8.2f ms\n", step.op.c_str(), step.millis);
+  }
+  std::printf("\nlabel statistics of the CBIR result set:\n%s\n",
+              std::any_cast<std::string>(result->output).c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "agora/asset.h"
+
+#include "common/string_util.h"
+
+namespace agoraeo::agora {
+
+using docstore::Document;
+using docstore::Value;
+
+const char* AssetKindToString(AssetKind kind) {
+  switch (kind) {
+    case AssetKind::kDataset:
+      return "dataset";
+    case AssetKind::kAlgorithm:
+      return "algorithm";
+    case AssetKind::kModel:
+      return "model";
+    case AssetKind::kTool:
+      return "tool";
+  }
+  return "?";
+}
+
+StatusOr<AssetKind> AssetKindFromString(const std::string& name) {
+  const std::string lower = StrToLower(name);
+  if (lower == "dataset") return AssetKind::kDataset;
+  if (lower == "algorithm") return AssetKind::kAlgorithm;
+  if (lower == "model") return AssetKind::kModel;
+  if (lower == "tool") return AssetKind::kTool;
+  return Status::InvalidArgument("unknown asset kind: " + name);
+}
+
+Document AssetToDocument(const Asset& asset) {
+  Document doc;
+  doc.Set("id", Value(asset.id));
+  doc.Set("kind", Value(std::string(AssetKindToString(asset.kind))));
+  doc.Set("name", Value(asset.name));
+  doc.Set("version", Value(static_cast<int64_t>(asset.version)));
+  doc.Set("owner", Value(asset.owner));
+  doc.Set("description", Value(asset.description));
+  doc.Set("tags", docstore::MakeStringArray(asset.tags));
+  doc.Set("registered_on", Value(asset.registered_on.ToString()));
+  doc.Set("metadata", Value(asset.metadata));
+  // Composite key for uniqueness: name@version.
+  doc.Set("name_version",
+          Value(asset.name + "@" + std::to_string(asset.version)));
+  return doc;
+}
+
+StatusOr<Asset> DocumentToAsset(const Document& doc) {
+  Asset asset;
+  const Value* id = doc.Get("id");
+  const Value* kind = doc.Get("kind");
+  const Value* name = doc.Get("name");
+  const Value* version = doc.Get("version");
+  if (id == nullptr || kind == nullptr || name == nullptr ||
+      version == nullptr) {
+    return Status::Corruption("asset document missing required fields");
+  }
+  asset.id = id->as_string();
+  AGORAEO_ASSIGN_OR_RETURN(asset.kind, AssetKindFromString(kind->as_string()));
+  asset.name = name->as_string();
+  asset.version = static_cast<int>(version->as_int64());
+  if (const Value* owner = doc.Get("owner"); owner != nullptr) {
+    asset.owner = owner->as_string();
+  }
+  if (const Value* desc = doc.Get("description"); desc != nullptr) {
+    asset.description = desc->as_string();
+  }
+  if (const Value* tags = doc.Get("tags"); tags != nullptr && tags->is_array()) {
+    for (const Value& tag : tags->as_array()) {
+      asset.tags.push_back(tag.as_string());
+    }
+  }
+  if (const Value* date = doc.Get("registered_on"); date != nullptr) {
+    AGORAEO_ASSIGN_OR_RETURN(asset.registered_on,
+                             CivilDate::Parse(date->as_string()));
+  }
+  if (const Value* meta = doc.Get("metadata");
+      meta != nullptr && meta->is_document()) {
+    asset.metadata = meta->as_document();
+  }
+  return asset;
+}
+
+}  // namespace agoraeo::agora

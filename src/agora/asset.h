@@ -1,0 +1,50 @@
+#ifndef AGORAEO_AGORA_ASSET_H_
+#define AGORAEO_AGORA_ASSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_util.h"
+#include "docstore/value.h"
+
+namespace agoraeo::agora {
+
+/// Kinds of assets the AgoraEO ecosystem exchanges (paper §1: "one can
+/// offer, discover, combine, and efficiently execute EO-related assets,
+/// such as datasets, algorithms, and tools").
+enum class AssetKind {
+  kDataset = 0,    ///< e.g. the BigEarthNet archive
+  kAlgorithm = 1,  ///< e.g. the MiLaN hashing network
+  kModel = 2,      ///< e.g. a trained MiLaN checkpoint
+  kTool = 3,       ///< e.g. the EarthQube browser
+};
+
+const char* AssetKindToString(AssetKind kind);
+StatusOr<AssetKind> AssetKindFromString(const std::string& name);
+
+/// A catalogued asset.  Assets are immutable once registered; updates
+/// register a new version under the same name.
+struct Asset {
+  /// Catalog-assigned identifier ("ast_<n>"), unique per catalog.
+  std::string id;
+  AssetKind kind = AssetKind::kDataset;
+  std::string name;         ///< e.g. "bigearthnet", unique per (name, version)
+  int version = 1;          ///< monotonically increasing per name
+  std::string owner;        ///< offering party, e.g. "tu-berlin"
+  std::string description;
+  std::vector<std::string> tags;  ///< free-form discovery tags
+  CivilDate registered_on;
+  /// Kind-specific metadata (e.g. for datasets: patch count, bands; for
+  /// models: code length, training config).
+  docstore::Document metadata;
+};
+
+/// Serialisation to/from the catalog's document store.
+docstore::Document AssetToDocument(const Asset& asset);
+StatusOr<Asset> DocumentToAsset(const docstore::Document& doc);
+
+}  // namespace agoraeo::agora
+
+#endif  // AGORAEO_AGORA_ASSET_H_

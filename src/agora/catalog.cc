@@ -1,0 +1,136 @@
+#include "agora/catalog.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace agoraeo::agora {
+
+using docstore::Filter;
+using docstore::Value;
+
+AssetCatalog::AssetCatalog() : collection_("agora_assets") {
+  // Unique composite key (name@version); multikey tag index for
+  // discovery; kind hash index.
+  (void)collection_.CreateHashIndex("name_version", /*unique=*/true);
+  (void)collection_.CreateMultikeyIndex("tags");
+  (void)collection_.CreateHashIndex("name");
+}
+
+StatusOr<Asset> AssetCatalog::Offer(AssetKind kind, const std::string& name,
+                                    const std::string& owner,
+                                    const std::string& description,
+                                    std::vector<std::string> tags,
+                                    docstore::Document metadata,
+                                    CivilDate registered_on) {
+  if (name.empty()) {
+    return Status::InvalidArgument("asset name must not be empty");
+  }
+  const std::vector<Asset> existing = Versions(name);
+  Asset asset;
+  asset.id = "ast_" + std::to_string(next_id_++);
+  asset.kind = kind;
+  asset.name = name;
+  asset.version = existing.empty() ? 1 : existing.back().version + 1;
+  asset.owner = owner;
+  asset.description = description;
+  asset.tags = std::move(tags);
+  asset.registered_on = registered_on;
+  asset.metadata = std::move(metadata);
+  auto inserted = collection_.Insert(AssetToDocument(asset));
+  if (!inserted.ok()) return inserted.status();
+  return asset;
+}
+
+std::vector<Asset> AssetCatalog::Versions(const std::string& name) const {
+  std::vector<Asset> out;
+  for (const auto* doc :
+       collection_.Find(Filter::Eq("name", Value(name)))) {
+    auto asset = DocumentToAsset(*doc);
+    if (asset.ok()) out.push_back(std::move(asset).value());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Asset& a, const Asset& b) { return a.version < b.version; });
+  return out;
+}
+
+StatusOr<Asset> AssetCatalog::Lookup(const std::string& name) const {
+  const std::vector<Asset> versions = Versions(name);
+  if (versions.empty()) {
+    return Status::NotFound("no asset named " + name);
+  }
+  return versions.back();
+}
+
+StatusOr<Asset> AssetCatalog::Lookup(const std::string& name,
+                                     int version) const {
+  auto id = collection_.FindOneId(Filter::Eq(
+      "name_version", Value(name + "@" + std::to_string(version))));
+  if (!id.ok()) {
+    return Status::NotFound(StrFormat("no asset %s@%d", name.c_str(), version));
+  }
+  return DocumentToAsset(*collection_.Get(*id));
+}
+
+std::vector<Asset> AssetCatalog::Discover(const DiscoveryQuery& query) const {
+  std::vector<Filter> conjuncts;
+  if (!query.kinds.empty()) {
+    std::vector<Value> kinds;
+    for (AssetKind k : query.kinds) {
+      kinds.emplace_back(std::string(AssetKindToString(k)));
+    }
+    conjuncts.push_back(Filter::In("kind", std::move(kinds)));
+  }
+  if (!query.any_tags.empty()) {
+    std::vector<Value> tags;
+    for (const auto& t : query.any_tags) tags.emplace_back(t);
+    conjuncts.push_back(Filter::In("tags", std::move(tags)));
+  }
+  if (!query.all_tags.empty()) {
+    std::vector<Value> tags;
+    for (const auto& t : query.all_tags) tags.emplace_back(t);
+    conjuncts.push_back(Filter::All("tags", std::move(tags)));
+  }
+  if (!query.owner.empty()) {
+    conjuncts.push_back(Filter::Eq("owner", Value(query.owner)));
+  }
+  const Filter filter = conjuncts.empty()
+                            ? Filter::True()
+                            : (conjuncts.size() == 1
+                                   ? std::move(conjuncts[0])
+                                   : Filter::And(std::move(conjuncts)));
+
+  std::vector<Asset> matches;
+  const std::string needle = StrToLower(query.text);
+  for (const auto* doc : collection_.Find(filter)) {
+    auto asset = DocumentToAsset(*doc);
+    if (!asset.ok()) continue;
+    if (!needle.empty()) {
+      const std::string haystack =
+          StrToLower(asset->name + " " + asset->description);
+      if (!StrContains(haystack, needle)) continue;
+    }
+    matches.push_back(std::move(asset).value());
+  }
+  std::sort(matches.begin(), matches.end(), [](const Asset& a, const Asset& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.version < b.version;
+  });
+  if (query.latest_only) {
+    // Keep only the last version per name (matches are name-then-version
+    // sorted, so the last of each run wins).
+    std::vector<Asset> latest;
+    for (auto& asset : matches) {
+      if (!latest.empty() && latest.back().name == asset.name) {
+        latest.back() = std::move(asset);
+      } else {
+        latest.push_back(std::move(asset));
+      }
+    }
+    return latest;
+  }
+  return matches;
+}
+
+}  // namespace agoraeo::agora

@@ -1,0 +1,66 @@
+#ifndef AGORAEO_AGORA_CATALOG_H_
+#define AGORAEO_AGORA_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "agora/asset.h"
+#include "docstore/collection.h"
+
+namespace agoraeo::agora {
+
+/// Discovery query over the catalog; empty fields are unconstrained.
+struct DiscoveryQuery {
+  std::vector<AssetKind> kinds;
+  std::vector<std::string> any_tags;  ///< at least one tag must match
+  std::vector<std::string> all_tags;  ///< every tag must match
+  std::string owner;
+  std::string text;  ///< case-insensitive substring over name+description
+  bool latest_only = true;  ///< collapse to the newest version per name
+};
+
+/// The AgoraEO asset catalog: the "offer and discover" half of the
+/// ecosystem vision (§1).  Assets are stored in an embedded docstore
+/// collection with a unique (name, version) key and a multikey tag
+/// index, so discovery by tag is index-accelerated exactly like
+/// EarthQube's label filters.
+class AssetCatalog {
+ public:
+  AssetCatalog();
+
+  /// Offers a new asset.  The version is assigned automatically (one
+  /// greater than the newest existing version of `name`); the returned
+  /// asset carries the assigned id and version.
+  StatusOr<Asset> Offer(AssetKind kind, const std::string& name,
+                        const std::string& owner,
+                        const std::string& description,
+                        std::vector<std::string> tags,
+                        docstore::Document metadata = {},
+                        CivilDate registered_on = CivilDate(2022, 9, 5));
+
+  /// Latest version of a named asset.
+  StatusOr<Asset> Lookup(const std::string& name) const;
+
+  /// A specific version.
+  StatusOr<Asset> Lookup(const std::string& name, int version) const;
+
+  /// All versions of a named asset, oldest first.
+  std::vector<Asset> Versions(const std::string& name) const;
+
+  /// Discovery: all assets matching the query, ordered by (name,
+  /// version).
+  std::vector<Asset> Discover(const DiscoveryQuery& query) const;
+
+  size_t size() const { return collection_.size(); }
+
+  /// Persistence passthroughs.
+  const docstore::Collection& collection() const { return collection_; }
+
+ private:
+  docstore::Collection collection_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace agoraeo::agora
+
+#endif  // AGORAEO_AGORA_CATALOG_H_

@@ -1,0 +1,81 @@
+#include "agora/pipeline.h"
+
+#include <chrono>
+
+namespace agoraeo::agora {
+
+Status OperatorRegistry::Register(const std::string& name, OperatorFn fn,
+                                  const std::string& signature) {
+  if (operators_.count(name) != 0) {
+    return Status::AlreadyExists("operator already registered: " + name);
+  }
+  operators_.emplace(name, Entry{std::move(fn), signature});
+  return Status::OK();
+}
+
+StatusOr<const OperatorFn*> OperatorRegistry::Lookup(
+    const std::string& name) const {
+  auto it = operators_.find(name);
+  if (it == operators_.end()) {
+    return Status::NotFound("no operator named " + name);
+  }
+  return &it->second.fn;
+}
+
+StatusOr<std::string> OperatorRegistry::Signature(
+    const std::string& name) const {
+  auto it = operators_.find(name);
+  if (it == operators_.end()) {
+    return Status::NotFound("no operator named " + name);
+  }
+  return it->second.signature;
+}
+
+std::vector<std::string> OperatorRegistry::OperatorNames() const {
+  std::vector<std::string> names;
+  names.reserve(operators_.size());
+  for (const auto& [name, _] : operators_) names.push_back(name);
+  return names;
+}
+
+Pipeline& Pipeline::Add(std::string op, docstore::Document params) {
+  steps_.push_back({std::move(op), std::move(params)});
+  return *this;
+}
+
+Status Pipeline::Validate(const OperatorRegistry& registry) const {
+  if (steps_.empty()) {
+    return Status::FailedPrecondition("pipeline has no steps");
+  }
+  for (const Step& step : steps_) {
+    auto op = registry.Lookup(step.op);
+    if (!op.ok()) return op.status();
+  }
+  return Status::OK();
+}
+
+StatusOr<Pipeline::ExecutionResult> Pipeline::Execute(
+    const OperatorRegistry& registry, std::any input) const {
+  AGORAEO_RETURN_IF_ERROR(Validate(registry));
+  ExecutionResult result;
+  std::any value = std::move(input);
+  for (const Step& step : steps_) {
+    AGORAEO_ASSIGN_OR_RETURN(const OperatorFn* fn, registry.Lookup(step.op));
+    const auto start = std::chrono::steady_clock::now();
+    auto next = (*fn)(value, step.params);
+    if (!next.ok()) {
+      return Status(next.status().code(),
+                    "step '" + step.op + "': " + next.status().message());
+    }
+    const double millis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    result.trace.push_back({step.op, millis});
+    value = std::move(next).value();
+  }
+  result.output = std::move(value);
+  return result;
+}
+
+}  // namespace agoraeo::agora

@@ -1,0 +1,88 @@
+#ifndef AGORAEO_AGORA_PIPELINE_H_
+#define AGORAEO_AGORA_PIPELINE_H_
+
+#include <any>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "docstore/value.h"
+
+namespace agoraeo::agora {
+
+/// An executable EO operator: consumes the value flowing through the
+/// pipeline plus per-step parameters, produces the next value.  Values
+/// are type-erased (std::any); each operator documents its input/output
+/// types and validates them at run time.
+using OperatorFn = std::function<StatusOr<std::any>(
+    const std::any& input, const docstore::Document& params)>;
+
+/// Registry binding algorithm-asset names to executable operators — the
+/// "efficiently execute EO-related assets" half of the Agora vision.
+/// Typically an asset catalog entry of kind kAlgorithm has a same-named
+/// operator registered here.
+class OperatorRegistry {
+ public:
+  /// Registers an operator; AlreadyExists when the name is taken.
+  Status Register(const std::string& name, OperatorFn fn,
+                  const std::string& signature = "");
+
+  /// Looks an operator up (NotFound when missing).
+  StatusOr<const OperatorFn*> Lookup(const std::string& name) const;
+
+  /// Human-readable "input -> output" signature for documentation.
+  StatusOr<std::string> Signature(const std::string& name) const;
+
+  std::vector<std::string> OperatorNames() const;
+  size_t size() const { return operators_.size(); }
+
+ private:
+  struct Entry {
+    OperatorFn fn;
+    std::string signature;
+  };
+  std::map<std::string, Entry> operators_;
+};
+
+/// A linear composition of operators ("combine").  Each step names a
+/// registered operator and carries a parameter document; the output of
+/// step i is the input of step i+1.
+class Pipeline {
+ public:
+  struct Step {
+    std::string op;
+    docstore::Document params;
+  };
+
+  Pipeline& Add(std::string op, docstore::Document params = {});
+
+  /// Per-step execution trace.
+  struct StepTrace {
+    std::string op;
+    double millis = 0.0;
+  };
+  struct ExecutionResult {
+    std::any output;
+    std::vector<StepTrace> trace;
+  };
+
+  /// Runs the pipeline.  Fails fast on the first erroring step, with the
+  /// step name prefixed to the error message.
+  StatusOr<ExecutionResult> Execute(const OperatorRegistry& registry,
+                                    std::any input) const;
+
+  /// Verifies every step's operator exists before running anything.
+  Status Validate(const OperatorRegistry& registry) const;
+
+  const std::vector<Step>& steps() const { return steps_; }
+  size_t size() const { return steps_.size(); }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace agoraeo::agora
+
+#endif  // AGORAEO_AGORA_PIPELINE_H_

@@ -1,0 +1,319 @@
+#include "bigearthnet/archive_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace agoraeo::bigearthnet {
+
+namespace {
+
+constexpr double kCoreLabelProb = 0.92;
+constexpr double kSatelliteLabelProb = 0.30;
+/// A BigEarthNet patch covers 1.2 km x 1.2 km; in degrees of latitude.
+constexpr double kPatchDegLat = 1.2 / 111.0;
+/// Scene radius: patches of a scene scatter within ~6 km of its center.
+constexpr double kSceneRadiusDeg = 6.0 / 111.0;
+
+const std::vector<Country>& CountriesTable() {
+  static const std::vector<Country>* kCountries = new std::vector<Country>{
+      {"Austria", {{46.4, 9.5}, {49.0, 17.2}}, false},
+      {"Belgium", {{49.5, 2.5}, {51.5, 6.4}}, true},
+      {"Finland", {{59.8, 20.6}, {70.1, 31.6}}, true},
+      {"Ireland", {{51.4, -10.5}, {55.4, -6.0}}, true},
+      {"Kosovo", {{41.8, 20.0}, {43.3, 21.8}}, false},
+      {"Lithuania", {{53.9, 21.0}, {56.4, 26.8}}, true},
+      {"Luxembourg", {{49.4, 5.7}, {50.2, 6.5}}, false},
+      {"Portugal", {{37.0, -9.5}, {42.2, -6.2}}, true},
+      {"Serbia", {{42.2, 18.8}, {46.2, 23.0}}, false},
+      {"Switzerland", {{45.8, 6.0}, {47.8, 10.5}}, false},
+  };
+  return *kCountries;
+}
+
+// LabelIds (see clc_labels.cc): 0 cont-urban, 1 disc-urban, 2 industrial,
+// 3 road/rail, 4 port, 5 airport, 6 mineral, 7 dump, 8 construction,
+// 9 green-urban, 10 sport, 11 non-irr-arable, 12 irrigated, 13 rice,
+// 14 vineyards, 15 fruit, 16 olive, 17 pastures, 18 annual+perm,
+// 19 complex-cult, 20 agri+natural, 21 agro-forestry, 22 broadleaf,
+// 23 conifer, 24 mixed-forest, 25 natural-grass, 26 moors, 27 sclero,
+// 28 transitional, 29 beaches, 30 bare-rock, 31 sparse, 32 burnt,
+// 33 inland-marsh, 34 peatbog, 35 salt-marsh, 36 salines, 37 intertidal,
+// 38 water-course, 39 water-body, 40 coastal-lagoon, 41 estuary, 42 sea.
+const std::vector<SceneTheme>& ThemesTable() {
+  static const std::vector<SceneTheme>* kThemes = new std::vector<SceneTheme>{
+      {"dense_urban", {0, 1}, {2, 3, 9, 10, 5}, 0.07, false},
+      {"suburban", {1}, {9, 10, 3, 19, 17}, 0.08, false},
+      {"industrial_waterfront", {2, 39}, {3, 7, 8, 1, 38}, 0.05, false},
+      {"airport_zone", {5}, {1, 3, 17, 11}, 0.02, false},
+      {"arable_plain", {11}, {17, 19, 18, 1, 38}, 0.13, false},
+      {"irrigated_valley", {12, 38}, {13, 19, 11, 33}, 0.04, false},
+      {"vineyard_hills", {14}, {15, 16, 18, 19, 1}, 0.05, false},
+      {"pasture_land", {17}, {11, 20, 25, 1}, 0.09, false},
+      {"mixed_agriculture", {19, 20}, {11, 17, 21, 28, 18}, 0.08, false},
+      {"broadleaf_forest", {22}, {24, 28, 20, 25}, 0.08, false},
+      {"conifer_forest", {23}, {24, 28, 34, 25}, 0.09, false},
+      {"mixed_forest", {24}, {22, 23, 28, 25}, 0.05, false},
+      {"mountain", {30, 31}, {25, 23, 26, 28}, 0.04, false},
+      {"moorland", {26}, {34, 25, 28, 17}, 0.03, false},
+      {"lake_district", {39}, {23, 22, 17, 33, 38, 2}, 0.06, false},
+      {"river_valley", {38}, {20, 17, 33, 1, 19}, 0.04, false},
+      {"inland_wetland", {33, 39}, {34, 26, 17, 38}, 0.03, false},
+      {"burnt_forest", {32}, {23, 28, 31, 25}, 0.02, false},
+      // Coastal themes (coastal countries only).
+      {"coastal_beach", {29, 42}, {23, 28, 40, 35, 30}, 0.04, true},
+      {"estuary_zone", {41, 42}, {37, 35, 38, 4}, 0.02, true},
+      {"port_city", {4, 42}, {2, 0, 1, 3}, 0.02, true},
+      {"salt_works", {36, 42}, {35, 37, 29}, 0.01, true},
+      {"coastal_lagoon", {40, 42}, {29, 35, 33}, 0.02, true},
+  };
+  return *kThemes;
+}
+
+}  // namespace
+
+const std::vector<Country>& BigEarthNetCountries() { return CountriesTable(); }
+
+StatusOr<const Country*> CountryByName(const std::string& name) {
+  for (const Country& c : CountriesTable()) {
+    if (c.name == name) return &c;
+  }
+  return Status::NotFound("unknown BigEarthNet country: " + name);
+}
+
+const std::vector<SceneTheme>& SceneThemes() { return ThemesTable(); }
+
+uint64_t PatchNameHash(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+ArchiveGenerator::ArchiveGenerator(ArchiveConfig config)
+    : config_(std::move(config)) {}
+
+StatusOr<Archive> ArchiveGenerator::Generate() {
+  if (config_.num_patches == 0) {
+    return Status::InvalidArgument("num_patches must be positive");
+  }
+  if (config_.patches_per_scene == 0) {
+    return Status::InvalidArgument("patches_per_scene must be positive");
+  }
+
+  // Resolve the country subset.
+  std::vector<const Country*> countries;
+  if (config_.countries.empty()) {
+    for (const Country& c : CountriesTable()) countries.push_back(&c);
+  } else {
+    for (const std::string& name : config_.countries) {
+      AGORAEO_ASSIGN_OR_RETURN(const Country* c, CountryByName(name));
+      countries.push_back(c);
+    }
+  }
+
+  Archive archive;
+  archive.config = config_;
+  archive.patches.reserve(config_.num_patches);
+
+  Rng rng(config_.seed, /*stream=*/7);
+  const auto& themes = ThemesTable();
+
+  // Theme sampling weights, precomputed per country class (coastal or not).
+  std::vector<double> coastal_weights, inland_weights;
+  for (const SceneTheme& t : themes) {
+    coastal_weights.push_back(t.frequency);
+    inland_weights.push_back(t.coastal_only ? 0.0 : t.frequency);
+  }
+
+  const size_t num_scenes =
+      (config_.num_patches + config_.patches_per_scene - 1) /
+      config_.patches_per_scene;
+
+  const int64_t date_begin = config_.dates.begin.ToOrdinal();
+  const int64_t date_end = config_.dates.end.ToOrdinal();
+
+  size_t made = 0;
+  for (size_t scene = 0; scene < num_scenes && made < config_.num_patches;
+       ++scene) {
+    const Country& country = *countries[rng.UniformInt(
+        static_cast<uint32_t>(countries.size()))];
+    const int theme_idx = static_cast<int>(rng.WeightedIndex(
+        country.has_coast ? coastal_weights : inland_weights));
+    const SceneTheme& theme = themes[static_cast<size_t>(theme_idx)];
+
+    // Scene center uniformly within the country's extent (kept away from
+    // the border by the scene radius so patches stay inside).
+    geo::GeoPoint center{
+        rng.Uniform(country.extent.min.lat + kSceneRadiusDeg,
+                    country.extent.max.lat - kSceneRadiusDeg),
+        rng.Uniform(country.extent.min.lon + kSceneRadiusDeg,
+                    country.extent.max.lon - kSceneRadiusDeg)};
+    archive.scene_centers.push_back(center);
+    archive.scene_themes.push_back(theme_idx);
+
+    // All patches of a scene share one acquisition date (one Sentinel
+    // overpass covers the whole scene).
+    const CivilDate date =
+        CivilDate::FromOrdinal(rng.UniformInt(date_begin, date_end));
+
+    const size_t in_scene = std::min(config_.patches_per_scene,
+                                     config_.num_patches - made);
+    for (size_t p = 0; p < in_scene; ++p, ++made) {
+      PatchMetadata meta;
+      meta.scene_id = static_cast<int>(scene);
+      meta.country = country.name;
+      meta.acquisition_date = date;
+      meta.season = date.GetSeason();
+
+      // Multi-label sampling from the scene theme.
+      std::vector<LabelId> ids;
+      for (LabelId id : theme.core_labels) {
+        if (rng.Bernoulli(kCoreLabelProb)) ids.push_back(id);
+      }
+      for (LabelId id : theme.satellite_labels) {
+        if (rng.Bernoulli(kSatelliteLabelProb)) ids.push_back(id);
+      }
+      if (ids.empty()) ids.push_back(theme.core_labels.front());
+      meta.labels = LabelSet(std::move(ids));
+
+      // Patch position: jittered around the scene center.
+      const double lat = center.lat + rng.Normal(0.0, kSceneRadiusDeg / 2.0);
+      const double lon = center.lon + rng.Normal(0.0, kSceneRadiusDeg / 2.0);
+      const double coslat = std::max(0.2, std::cos(lat * M_PI / 180.0));
+      meta.bounds.min = {lat, lon};
+      meta.bounds.max = {lat + kPatchDegLat, lon + kPatchDegLat / coslat};
+
+      meta.name = StrFormat(
+          "S2%c_MSIL2A_%04d%02d%02dT%02d%02d%02d_%zu_%zu",
+          (PatchNameHash(country.name) + scene) % 2 == 0 ? 'A' : 'B',
+          date.year(), date.month(), date.day(),
+          static_cast<int>(rng.UniformInt(24)),
+          static_cast<int>(rng.UniformInt(60)),
+          static_cast<int>(rng.UniformInt(60)), scene, p);
+      archive.patches.push_back(std::move(meta));
+    }
+  }
+
+  AGORAEO_LOG(kInfo) << "generated archive: " << archive.patches.size()
+                     << " patches, " << archive.scene_centers.size()
+                     << " scenes";
+  return archive;
+}
+
+std::vector<float> ArchiveGenerator::LabelWeightsFor(
+    const PatchMetadata& meta) const {
+  // Deterministic Dirichlet-like weights from the patch name: the first
+  // label of the set tends to dominate (it is the scene's core class).
+  Rng rng(PatchNameHash(meta.name), /*stream=*/11);
+  std::vector<float> weights(meta.labels.size());
+  float total = 0.0f;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    // Exponential spacing: earlier labels get larger expected area.
+    const float base = 1.0f / static_cast<float>(1 + i);
+    weights[i] = base * static_cast<float>(0.25 + rng.UniformDouble());
+    total += weights[i];
+  }
+  for (float& w : weights) w /= total;
+  return weights;
+}
+
+Patch ArchiveGenerator::SynthesizePatch(const PatchMetadata& meta) const {
+  Patch patch;
+  patch.meta = meta;
+
+  const uint64_t seed = PatchNameHash(meta.name) ^ config_.seed;
+  Rng rng(seed, /*stream=*/13);
+
+  const std::vector<float> weights = LabelWeightsFor(meta);
+  const auto& ids = meta.labels.ids();
+
+  // Spatial layout: K label regions as a Voronoi partition of the 120x120
+  // grid (seeds drawn once); every band samples the same layout at its own
+  // resolution, so bands are spatially consistent.
+  struct Site {
+    float row, col;
+    size_t label_index;
+  };
+  std::vector<Site> sites;
+  // More area weight => more Voronoi sites.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int n_sites = std::max(1, static_cast<int>(weights[i] * 8.0f + 0.5f));
+    for (int s = 0; s < n_sites; ++s) {
+      sites.push_back({static_cast<float>(rng.Uniform(0, 120)),
+                       static_cast<float>(rng.Uniform(0, 120)), i});
+    }
+  }
+
+  auto label_at = [&sites](float row, float col) -> size_t {
+    float best = 1e30f;
+    size_t best_label = 0;
+    for (const Site& s : sites) {
+      const float dr = s.row - row, dc = s.col - col;
+      const float d = dr * dr + dc * dc;
+      if (d < best) {
+        best = d;
+        best_label = s.label_index;
+      }
+    }
+    return best_label;
+  };
+
+  // Per-patch radiometric jitter: one multiplicative factor per patch
+  // (atmospheric/illumination variation between acquisitions).
+  const float patch_gain = static_cast<float>(rng.Uniform(0.92, 1.08));
+  // Seasonal modulation: vegetation is darker in winter.
+  const float season_gain =
+      meta.season == Season::kWinter ? 0.85f
+      : meta.season == Season::kSummer ? 1.05f : 1.0f;
+
+  auto synth_band = [&](const char* name, int resolution, int px,
+                        auto&& expected_dn) {
+    BandRaster band;
+    band.name = name;
+    band.resolution_m = resolution;
+    band.width = px;
+    band.height = px;
+    band.pixels.resize(static_cast<size_t>(px) * px);
+    const float scale = 120.0f / static_cast<float>(px);
+    for (int r = 0; r < px; ++r) {
+      for (int c = 0; c < px; ++c) {
+        const size_t li = label_at((r + 0.5f) * scale, (c + 0.5f) * scale);
+        const SpectralSignature& sig =
+            spectral_model_.signature(ids[li]);
+        float dn = expected_dn(sig);
+        dn *= patch_gain * season_gain;
+        dn += static_cast<float>(rng.Normal(0.0, sig.texture_sigma));
+        dn = std::clamp(dn, 0.0f, 10000.0f);
+        band.at(r, c) = static_cast<uint16_t>(dn);
+      }
+    }
+    return band;
+  };
+
+  patch.s2_bands.reserve(kNumS2Bands);
+  for (int b = 0; b < kNumS2Bands; ++b) {
+    const S2Band band = static_cast<S2Band>(b);
+    patch.s2_bands.push_back(synth_band(
+        S2BandName(band), S2BandResolution(band), S2BandPixels(band),
+        [b](const SpectralSignature& sig) {
+          return sig.s2_dn[static_cast<size_t>(b)];
+        }));
+  }
+  patch.s1_channels.reserve(kNumS1Channels);
+  for (int ch = 0; ch < kNumS1Channels; ++ch) {
+    patch.s1_channels.push_back(synth_band(
+        S1ChannelName(static_cast<S1Channel>(ch)), 10, 120,
+        [ch](const SpectralSignature& sig) {
+          return sig.s1_dn[static_cast<size_t>(ch)];
+        }));
+  }
+  return patch;
+}
+
+}  // namespace agoraeo::bigearthnet

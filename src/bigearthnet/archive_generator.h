@@ -1,0 +1,116 @@
+#ifndef AGORAEO_BIGEARTHNET_ARCHIVE_GENERATOR_H_
+#define AGORAEO_BIGEARTHNET_ARCHIVE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "bigearthnet/clc_labels.h"
+#include "bigearthnet/patch.h"
+#include "bigearthnet/spectral_model.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/time_util.h"
+#include "geo/geo.h"
+
+namespace agoraeo::bigearthnet {
+
+/// One of the 10 countries BigEarthNet covers, with an approximate
+/// geographic extent used to place synthetic patches.
+struct Country {
+  const char* name;
+  geo::BoundingBox extent;
+  bool has_coast;  ///< whether coastal/marine themes may occur
+};
+
+/// The 10 BigEarthNet countries (Austria, Belgium, Finland, Ireland,
+/// Kosovo, Lithuania, Luxembourg, Portugal, Serbia, Switzerland).
+const std::vector<Country>& BigEarthNetCountries();
+
+StatusOr<const Country*> CountryByName(const std::string& name);
+
+/// A thematic template for a generator scene: which labels co-occur in
+/// patches of that scene and how often.  Themes encode the land-cover
+/// co-occurrence structure the paper's demo scenarios rely on (e.g.
+/// industrial units adjacent to inland water, beaches near coniferous
+/// forest on the coast).
+struct SceneTheme {
+  const char* name;
+  /// Labels almost always present (probability kCoreLabelProb each).
+  std::vector<LabelId> core_labels;
+  /// Labels sometimes present (probability kSatelliteLabelProb each).
+  std::vector<LabelId> satellite_labels;
+  /// Relative frequency of this theme among scenes.
+  double frequency;
+  /// Whether this theme requires a coastal country.
+  bool coastal_only;
+};
+
+/// The built-in theme catalogue (urban, agricultural, forest, coastal,
+/// wetland, lake district, mountain, burnt forest, industrial waterfront,
+/// river valley, ...).
+const std::vector<SceneTheme>& SceneThemes();
+
+/// Configuration for synthesising a BigEarthNet-like archive.
+struct ArchiveConfig {
+  /// Number of patch (pairs) to generate.  The real archive has 590,326;
+  /// tests use a few thousand, benches sweep up to the full size.
+  size_t num_patches = 10000;
+  /// RNG seed; same seed => bit-identical archive.
+  uint64_t seed = 42;
+  /// Average number of patches per scene; controls spatial label
+  /// correlation (each scene is a contiguous ~10x10 km neighbourhood
+  /// sharing a theme).
+  size_t patches_per_scene = 48;
+  /// Acquisition window; BigEarthNet spans June 2017 - May 2018.
+  DateRange dates{CivilDate(2017, 6, 1), CivilDate(2018, 5, 31)};
+  /// Restrict generation to these countries (empty = all 10).
+  std::vector<std::string> countries;
+};
+
+/// A generated archive: patch metadata in generation order plus the scene
+/// table.  Pixel rasters are synthesised on demand (patches are ~200 KB
+/// each; an eagerly materialised 590k-patch archive would not fit in
+/// memory, mirroring why EarthQube keeps pixels in a separate collection).
+struct Archive {
+  ArchiveConfig config;
+  std::vector<PatchMetadata> patches;
+  /// Scene centers (diagnostic; index = PatchMetadata::scene_id).
+  std::vector<geo::GeoPoint> scene_centers;
+  /// Theme index per scene (into SceneThemes()).
+  std::vector<int> scene_themes;
+};
+
+/// Deterministic archive synthesiser.
+class ArchiveGenerator {
+ public:
+  explicit ArchiveGenerator(ArchiveConfig config);
+
+  /// Generates the metadata for the whole archive.  O(num_patches).
+  StatusOr<Archive> Generate();
+
+  /// Materialises the full raster stack for one patch.  Deterministic in
+  /// (archive seed, patch name): repeated calls return identical pixels.
+  Patch SynthesizePatch(const PatchMetadata& meta) const;
+
+  /// The per-label area weights used when synthesising `meta`'s pixels
+  /// (deterministic in the patch name); exposed so the fast feature path
+  /// and the pixel path agree.
+  std::vector<float> LabelWeightsFor(const PatchMetadata& meta) const;
+
+  const SpectralModel& spectral_model() const { return spectral_model_; }
+
+  /// The archive seed (all per-patch determinism derives from it).
+  uint64_t seed() const { return config_.seed; }
+
+ private:
+  ArchiveConfig config_;
+  SpectralModel spectral_model_;
+};
+
+/// Stable 64-bit FNV-1a hash of a patch name; the seed for all per-patch
+/// deterministic randomness.
+uint64_t PatchNameHash(const std::string& name);
+
+}  // namespace agoraeo::bigearthnet
+
+#endif  // AGORAEO_BIGEARTHNET_ARCHIVE_GENERATOR_H_

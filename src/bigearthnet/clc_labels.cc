@@ -1,0 +1,214 @@
+#include "bigearthnet/clc_labels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace agoraeo::bigearthnet {
+
+namespace {
+
+// Level-1 names.
+constexpr const char* kArtificial = "Artificial surfaces";
+constexpr const char* kAgricultural = "Agricultural areas";
+constexpr const char* kForestSemiNatural = "Forest and semi-natural areas";
+constexpr const char* kWetlands = "Wetlands";
+constexpr const char* kWater = "Water bodies";
+
+// The 43 BigEarthNet CLC Level-3 classes, in CLC code order.  ASCII keys
+// are assigned 'A'.. following the table order, mirroring the paper's
+// label->character compression.  Colours approximate the official CLC
+// legend so the label-statistics bar chart is recognisable.
+const std::vector<ClcLabel> kLabels = {
+    {0, 111, "Continuous urban fabric", 11, "Urban fabric", 1, kArtificial, 'A', 0xE6004D},
+    {1, 112, "Discontinuous urban fabric", 11, "Urban fabric", 1, kArtificial, 'B', 0xFF0000},
+    {2, 121, "Industrial or commercial units", 12, "Industrial, commercial and transport units", 1, kArtificial, 'C', 0xCC4DF2},
+    {3, 122, "Road and rail networks and associated land", 12, "Industrial, commercial and transport units", 1, kArtificial, 'D', 0xCC0000},
+    {4, 123, "Port areas", 12, "Industrial, commercial and transport units", 1, kArtificial, 'E', 0xE6CCCC},
+    {5, 124, "Airports", 12, "Industrial, commercial and transport units", 1, kArtificial, 'F', 0xE6CCE6},
+    {6, 131, "Mineral extraction sites", 13, "Mine, dump and construction sites", 1, kArtificial, 'G', 0xA600CC},
+    {7, 132, "Dump sites", 13, "Mine, dump and construction sites", 1, kArtificial, 'H', 0xA64DCC},
+    {8, 133, "Construction sites", 13, "Mine, dump and construction sites", 1, kArtificial, 'I', 0xFF4DFF},
+    {9, 141, "Green urban areas", 14, "Artificial, non-agricultural vegetated areas", 1, kArtificial, 'J', 0xFFA6FF},
+    {10, 142, "Sport and leisure facilities", 14, "Artificial, non-agricultural vegetated areas", 1, kArtificial, 'K', 0xFFE6FF},
+    {11, 211, "Non-irrigated arable land", 21, "Arable land", 2, kAgricultural, 'L', 0xFFFFA8},
+    {12, 212, "Permanently irrigated land", 21, "Arable land", 2, kAgricultural, 'M', 0xFFFF00},
+    {13, 213, "Rice fields", 21, "Arable land", 2, kAgricultural, 'N', 0xE6E600},
+    {14, 221, "Vineyards", 22, "Permanent crops", 2, kAgricultural, 'O', 0xE68000},
+    {15, 222, "Fruit trees and berry plantations", 22, "Permanent crops", 2, kAgricultural, 'P', 0xF2A64D},
+    {16, 223, "Olive groves", 22, "Permanent crops", 2, kAgricultural, 'Q', 0xE6A600},
+    {17, 231, "Pastures", 23, "Pastures", 2, kAgricultural, 'R', 0xE6E64D},
+    {18, 241, "Annual crops associated with permanent crops", 24, "Heterogeneous agricultural areas", 2, kAgricultural, 'S', 0xFFE6A6},
+    {19, 242, "Complex cultivation patterns", 24, "Heterogeneous agricultural areas", 2, kAgricultural, 'T', 0xFFE64D},
+    {20, 243, "Land principally occupied by agriculture, with significant areas of natural vegetation", 24, "Heterogeneous agricultural areas", 2, kAgricultural, 'U', 0xE6CC4D},
+    {21, 244, "Agro-forestry areas", 24, "Heterogeneous agricultural areas", 2, kAgricultural, 'V', 0xF2CCA6},
+    {22, 311, "Broad-leaved forest", 31, "Forests", 3, kForestSemiNatural, 'W', 0x80FF00},
+    {23, 312, "Coniferous forest", 31, "Forests", 3, kForestSemiNatural, 'X', 0x00A600},
+    {24, 313, "Mixed forest", 31, "Forests", 3, kForestSemiNatural, 'Y', 0x4DFF00},
+    {25, 321, "Natural grassland", 32, "Scrub and/or herbaceous vegetation associations", 3, kForestSemiNatural, 'Z', 0xCCF24D},
+    {26, 322, "Moors and heathland", 32, "Scrub and/or herbaceous vegetation associations", 3, kForestSemiNatural, 'a', 0xA6FF80},
+    {27, 323, "Sclerophyllous vegetation", 32, "Scrub and/or herbaceous vegetation associations", 3, kForestSemiNatural, 'b', 0xA6E64D},
+    {28, 324, "Transitional woodland/shrub", 32, "Scrub and/or herbaceous vegetation associations", 3, kForestSemiNatural, 'c', 0xA6F200},
+    {29, 331, "Beaches, dunes, sands", 33, "Open spaces with little or no vegetation", 3, kForestSemiNatural, 'd', 0xE6E6E6},
+    {30, 332, "Bare rock", 33, "Open spaces with little or no vegetation", 3, kForestSemiNatural, 'e', 0xCCCCCC},
+    {31, 333, "Sparsely vegetated areas", 33, "Open spaces with little or no vegetation", 3, kForestSemiNatural, 'f', 0xCCFFCC},
+    {32, 334, "Burnt areas", 33, "Open spaces with little or no vegetation", 3, kForestSemiNatural, 'g', 0x000000},
+    {33, 411, "Inland marshes", 41, "Inland wetlands", 4, kWetlands, 'h', 0xA6A6FF},
+    {34, 412, "Peatbogs", 41, "Inland wetlands", 4, kWetlands, 'i', 0x4D4DFF},
+    {35, 421, "Salt marshes", 42, "Maritime wetlands", 4, kWetlands, 'j', 0xCCCCFF},
+    {36, 422, "Salines", 42, "Maritime wetlands", 4, kWetlands, 'k', 0xE6E6FF},
+    {37, 423, "Intertidal flats", 42, "Maritime wetlands", 4, kWetlands, 'l', 0xA6A6E6},
+    {38, 511, "Water courses", 51, "Inland waters", 5, kWater, 'm', 0x00CCF2},
+    {39, 512, "Water bodies", 51, "Inland waters", 5, kWater, 'n', 0x80F2E6},
+    {40, 521, "Coastal lagoons", 52, "Marine waters", 5, kWater, 'o', 0x00FFA6},
+    {41, 522, "Estuaries", 52, "Marine waters", 5, kWater, 'p', 0xA6FFE6},
+    {42, 523, "Sea and ocean", 52, "Marine waters", 5, kWater, 'q', 0xE6F2FF},
+};
+
+const std::unordered_map<int, LabelId>& ClcCodeIndex() {
+  static const auto* index = [] {
+    auto* m = new std::unordered_map<int, LabelId>();
+    for (const auto& l : kLabels) (*m)[l.clc_code] = l.id;
+    return m;
+  }();
+  return *index;
+}
+
+const std::unordered_map<std::string, LabelId>& NameIndex() {
+  static const auto* index = [] {
+    auto* m = new std::unordered_map<std::string, LabelId>();
+    for (const auto& l : kLabels) (*m)[l.name] = l.id;
+    return m;
+  }();
+  return *index;
+}
+
+const std::unordered_map<char, LabelId>& AsciiIndex() {
+  static const auto* index = [] {
+    auto* m = new std::unordered_map<char, LabelId>();
+    for (const auto& l : kLabels) (*m)[l.ascii_key] = l.id;
+    return m;
+  }();
+  return *index;
+}
+
+}  // namespace
+
+const std::vector<ClcLabel>& AllLabels() { return kLabels; }
+
+const ClcLabel& LabelById(LabelId id) {
+  assert(id >= 0 && id < kNumLabels);
+  return kLabels[static_cast<size_t>(id)];
+}
+
+StatusOr<LabelId> LabelIdFromClcCode(int clc_code) {
+  auto it = ClcCodeIndex().find(clc_code);
+  if (it == ClcCodeIndex().end()) {
+    return Status::NotFound(StrFormat("unknown CLC code: %d", clc_code));
+  }
+  return it->second;
+}
+
+StatusOr<LabelId> LabelIdFromName(const std::string& name) {
+  auto it = NameIndex().find(name);
+  if (it == NameIndex().end()) {
+    return Status::NotFound("unknown label name: " + name);
+  }
+  return it->second;
+}
+
+StatusOr<LabelId> LabelIdFromAsciiKey(char key) {
+  auto it = AsciiIndex().find(key);
+  if (it == AsciiIndex().end()) {
+    return Status::NotFound(StrFormat("unknown label ascii key: %c", key));
+  }
+  return it->second;
+}
+
+std::vector<LabelId> LabelsUnderLevel2(int level2_code) {
+  std::vector<LabelId> out;
+  for (const auto& l : kLabels) {
+    if (l.level2_code == level2_code) out.push_back(l.id);
+  }
+  return out;
+}
+
+std::vector<LabelId> LabelsUnderLevel1(int level1_code) {
+  std::vector<LabelId> out;
+  for (const auto& l : kLabels) {
+    if (l.level1_code == level1_code) out.push_back(l.id);
+  }
+  return out;
+}
+
+std::vector<int> AllLevel2Codes() {
+  std::vector<int> out;
+  for (const auto& l : kLabels) {
+    if (out.empty() || out.back() != l.level2_code) out.push_back(l.level2_code);
+  }
+  return out;
+}
+
+std::vector<int> AllLevel1Codes() {
+  std::vector<int> out;
+  for (const auto& l : kLabels) {
+    if (std::find(out.begin(), out.end(), l.level1_code) == out.end()) {
+      out.push_back(l.level1_code);
+    }
+  }
+  return out;
+}
+
+LabelSet::LabelSet(std::vector<LabelId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+bool LabelSet::Contains(LabelId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool LabelSet::ContainsAll(const LabelSet& other) const {
+  return std::includes(ids_.begin(), ids_.end(), other.ids_.begin(),
+                       other.ids_.end());
+}
+
+bool LabelSet::ContainsAny(const LabelSet& other) const {
+  for (LabelId id : other.ids_) {
+    if (Contains(id)) return true;
+  }
+  return false;
+}
+
+void LabelSet::Add(LabelId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) ids_.insert(it, id);
+}
+
+std::string LabelSet::ToAsciiKeys() const {
+  std::string out;
+  out.reserve(ids_.size());
+  for (LabelId id : ids_) out.push_back(LabelById(id).ascii_key);
+  return out;
+}
+
+StatusOr<LabelSet> LabelSet::FromAsciiKeys(const std::string& keys) {
+  std::vector<LabelId> ids;
+  ids.reserve(keys.size());
+  for (char c : keys) {
+    AGORAEO_ASSIGN_OR_RETURN(LabelId id, LabelIdFromAsciiKey(c));
+    ids.push_back(id);
+  }
+  return LabelSet(std::move(ids));
+}
+
+std::string LabelSet::ToString() const {
+  std::vector<std::string> names;
+  names.reserve(ids_.size());
+  for (LabelId id : ids_) names.emplace_back(LabelById(id).name);
+  return StrJoin(names, ", ");
+}
+
+}  // namespace agoraeo::bigearthnet

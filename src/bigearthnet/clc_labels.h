@@ -1,0 +1,100 @@
+#ifndef AGORAEO_BIGEARTHNET_CLC_LABELS_H_
+#define AGORAEO_BIGEARTHNET_CLC_LABELS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace agoraeo::bigearthnet {
+
+/// Number of CORINE Land Cover Level-3 classes in the (original)
+/// BigEarthNet nomenclature.
+inline constexpr int kNumLabels = 43;
+
+/// Identifier of a label: a dense index in [0, kNumLabels).
+using LabelId = int;
+
+/// One CORINE Land Cover Level-3 class as used by BigEarthNet, together
+/// with its position in the 3-level CLC hierarchy (the hierarchy EarthQube
+/// renders in its label-selection panel, Figure 2-2 of the paper).
+struct ClcLabel {
+  LabelId id;               ///< dense index in [0, 43)
+  int clc_code;             ///< 3-digit CLC code, e.g. 312
+  const char* name;         ///< Level-3 name, e.g. "Coniferous forest"
+  int level2_code;          ///< 2-digit parent, e.g. 31
+  const char* level2_name;  ///< e.g. "Forests"
+  int level1_code;          ///< 1-digit root, e.g. 3
+  const char* level1_name;  ///< e.g. "Forest and semi-natural areas"
+  /// The single ASCII character EarthQube's data tier substitutes for the
+  /// (potentially multi-word) label string to speed up label filtering
+  /// (Section 3.2 of the paper).
+  char ascii_key;
+  /// Representative display colour for the label-statistics bar chart
+  /// (Section 3.1), 0xRRGGBB.
+  uint32_t color_rgb;
+};
+
+/// The full nomenclature table, indexed by LabelId.
+const std::vector<ClcLabel>& AllLabels();
+
+/// Lookup by dense id; id must be in range (asserted).
+const ClcLabel& LabelById(LabelId id);
+
+/// Lookup by CLC Level-3 code (e.g. 312).
+StatusOr<LabelId> LabelIdFromClcCode(int clc_code);
+
+/// Lookup by exact Level-3 name.
+StatusOr<LabelId> LabelIdFromName(const std::string& name);
+
+/// Lookup by the ASCII compression character.
+StatusOr<LabelId> LabelIdFromAsciiKey(char key);
+
+/// All Level-3 labels under a Level-2 class (e.g. 31 -> the three forest
+/// classes).  Empty when the code is unknown.
+std::vector<LabelId> LabelsUnderLevel2(int level2_code);
+
+/// All Level-3 labels under a Level-1 class (e.g. 3 -> 12 classes).
+std::vector<LabelId> LabelsUnderLevel1(int level1_code);
+
+/// Distinct Level-2 codes in hierarchy order.
+std::vector<int> AllLevel2Codes();
+
+/// Distinct Level-1 codes in hierarchy order.
+std::vector<int> AllLevel1Codes();
+
+/// A multi-label annotation: sorted, de-duplicated vector of LabelIds.
+class LabelSet {
+ public:
+  LabelSet() = default;
+  explicit LabelSet(std::vector<LabelId> ids);
+
+  bool Contains(LabelId id) const;
+  /// True when every id in `other` is present here.
+  bool ContainsAll(const LabelSet& other) const;
+  /// True when at least one id of `other` is present here.
+  bool ContainsAny(const LabelSet& other) const;
+  /// Exact set equality.
+  bool operator==(const LabelSet& other) const { return ids_ == other.ids_; }
+
+  void Add(LabelId id);
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  const std::vector<LabelId>& ids() const { return ids_; }
+
+  /// The ASCII-compressed representation used by the data tier, one char
+  /// per label in sorted order (e.g. "AFs").
+  std::string ToAsciiKeys() const;
+  static StatusOr<LabelSet> FromAsciiKeys(const std::string& keys);
+
+  /// Comma-separated Level-3 names.
+  std::string ToString() const;
+
+ private:
+  std::vector<LabelId> ids_;
+};
+
+}  // namespace agoraeo::bigearthnet
+
+#endif  // AGORAEO_BIGEARTHNET_CLC_LABELS_H_

@@ -1,0 +1,210 @@
+#include "bigearthnet/feature_extractor.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/thread_pool.h"
+
+namespace agoraeo::bigearthnet {
+
+namespace {
+
+/// mean and std of a raster's pixels, as reflectance in [0, 1].
+void BandStats(const BandRaster& band, float* mean, float* stddev) {
+  double sum = 0.0, sum2 = 0.0;
+  for (uint16_t dn : band.pixels) {
+    const double v = dn / 10000.0;
+    sum += v;
+    sum2 += v * v;
+  }
+  const double n = static_cast<double>(band.pixels.size());
+  const double m = sum / n;
+  *mean = static_cast<float>(m);
+  *stddev = static_cast<float>(std::sqrt(std::max(0.0, sum2 / n - m * m)));
+}
+
+/// Normalised difference of two co-registered rasters, per pixel; returns
+/// mean and std of the index.
+void IndexStats(const BandRaster& a, const BandRaster& b, float* mean,
+                float* stddev) {
+  assert(a.pixels.size() == b.pixels.size());
+  double sum = 0.0, sum2 = 0.0;
+  for (size_t i = 0; i < a.pixels.size(); ++i) {
+    const double va = a.pixels[i], vb = b.pixels[i];
+    const double idx = (va + vb) > 0 ? (va - vb) / (va + vb) : 0.0;
+    sum += idx;
+    sum2 += idx * idx;
+  }
+  const double n = static_cast<double>(a.pixels.size());
+  const double m = sum / n;
+  *mean = static_cast<float>(m);
+  *stddev = static_cast<float>(std::sqrt(std::max(0.0, sum2 / n - m * m)));
+}
+
+/// Mean NDVI over one quadrant of the patch (2x2 spatial pyramid cell).
+float QuadrantNdvi(const BandRaster& nir, const BandRaster& red, int qr,
+                   int qc) {
+  const int half_h = nir.height / 2, half_w = nir.width / 2;
+  double sum = 0.0;
+  int count = 0;
+  for (int r = qr * half_h; r < (qr + 1) * half_h; ++r) {
+    for (int c = qc * half_w; c < (qc + 1) * half_w; ++c) {
+      const double vn = nir.at(r, c), vr = red.at(r, c);
+      sum += (vn + vr) > 0 ? (vn - vr) / (vn + vr) : 0.0;
+      ++count;
+    }
+  }
+  return count > 0 ? static_cast<float>(sum / count) : 0.0f;
+}
+
+/// Analytic normalised difference of two expected band values.
+float ExpectedIndex(float a, float b) {
+  return (a + b) > 0.0f ? (a - b) / (a + b) : 0.0f;
+}
+
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(uint64_t projection_seed) {
+  Rng rng(projection_seed, /*stream=*/3);
+  // Gaussian random projection, scaled so outputs land in tanh's useful
+  // range for unit-scale inputs.
+  projection_ = Tensor::RandomNormal(
+      {kRawFeatureDim, kFeatureDim},
+      1.0f / std::sqrt(static_cast<float>(kRawFeatureDim)), &rng);
+}
+
+std::vector<float> FeatureExtractor::RawFromPixels(const Patch& patch) const {
+  std::vector<float> raw;
+  raw.reserve(kRawFeatureDim);
+
+  // 12 S2 bands: mean + std.
+  for (int b = 0; b < kNumS2Bands; ++b) {
+    float m, s;
+    BandStats(patch.s2_bands[static_cast<size_t>(b)], &m, &s);
+    raw.push_back(m);
+    raw.push_back(s);
+  }
+  // 2 S1 channels: mean + std.
+  for (int ch = 0; ch < kNumS1Channels; ++ch) {
+    float m, s;
+    BandStats(patch.s1_channels[static_cast<size_t>(ch)], &m, &s);
+    raw.push_back(m);
+    raw.push_back(s);
+  }
+
+  // Spectral indices at 10 m: NDVI (B08 vs B04), NDWI (B03 vs B08),
+  // NDBI-like (SWIR B11 vs NIR B8A, both 20 m).
+  float m, s;
+  IndexStats(patch.s2(S2Band::kB08), patch.s2(S2Band::kB04), &m, &s);
+  raw.push_back(m);
+  raw.push_back(s);
+  IndexStats(patch.s2(S2Band::kB03), patch.s2(S2Band::kB08), &m, &s);
+  raw.push_back(m);
+  raw.push_back(s);
+  IndexStats(patch.s2(S2Band::kB11), patch.s2(S2Band::kB8A), &m, &s);
+  raw.push_back(m);
+  raw.push_back(s);
+
+  // 2x2 NDVI spatial pyramid (coarse layout information).
+  for (int qr = 0; qr < 2; ++qr) {
+    for (int qc = 0; qc < 2; ++qc) {
+      raw.push_back(
+          QuadrantNdvi(patch.s2(S2Band::kB08), patch.s2(S2Band::kB04), qr, qc));
+    }
+  }
+
+  assert(raw.size() == kRawFeatureDim);
+  return raw;
+}
+
+std::vector<float> FeatureExtractor::RawFromMetadata(
+    const PatchMetadata& meta, const ArchiveGenerator& generator) const {
+  const std::vector<float> weights = generator.LabelWeightsFor(meta);
+  const SpectralSignature blend =
+      generator.spectral_model().Blend(meta.labels, weights);
+
+  // Reproduce the per-patch radiometric jitter of SynthesizePatch so the
+  // fast path and pixel path share calibration.
+  Rng rng(PatchNameHash(meta.name) ^ generator.seed(), /*stream=*/17);
+  const float patch_gain = static_cast<float>(rng.Uniform(0.92, 1.08));
+  const float season_gain =
+      meta.season == Season::kWinter ? 0.85f
+      : meta.season == Season::kSummer ? 1.05f : 1.0f;
+  const float gain = patch_gain * season_gain;
+
+  // Expected mixing std: within-class texture plus between-class spread.
+  const float sigma = blend.texture_sigma / 10000.0f;
+
+  std::vector<float> raw;
+  raw.reserve(kRawFeatureDim);
+  auto dn_to_refl = [gain](float dn) { return dn * gain / 10000.0f; };
+
+  for (int b = 0; b < kNumS2Bands; ++b) {
+    const float mean = dn_to_refl(blend.s2_dn[static_cast<size_t>(b)]);
+    raw.push_back(mean + static_cast<float>(rng.Normal(0.0, sigma * 0.05)));
+    raw.push_back(sigma + static_cast<float>(rng.Normal(0.0, sigma * 0.1)));
+  }
+  for (int ch = 0; ch < kNumS1Channels; ++ch) {
+    const float mean = dn_to_refl(blend.s1_dn[static_cast<size_t>(ch)]);
+    raw.push_back(mean + static_cast<float>(rng.Normal(0.0, sigma * 0.05)));
+    raw.push_back(sigma + static_cast<float>(rng.Normal(0.0, sigma * 0.1)));
+  }
+
+  const auto b04 = blend.s2_dn[static_cast<size_t>(S2Band::kB04)];
+  const auto b03 = blend.s2_dn[static_cast<size_t>(S2Band::kB03)];
+  const auto b08 = blend.s2_dn[static_cast<size_t>(S2Band::kB08)];
+  const auto b8a = blend.s2_dn[static_cast<size_t>(S2Band::kB8A)];
+  const auto b11 = blend.s2_dn[static_cast<size_t>(S2Band::kB11)];
+
+  const float ndvi = ExpectedIndex(b08, b04);
+  const float ndwi = ExpectedIndex(b03, b08);
+  const float ndbi = ExpectedIndex(b11, b8a);
+  const float idx_noise = 0.02f;
+  raw.push_back(ndvi + static_cast<float>(rng.Normal(0.0, idx_noise)));
+  raw.push_back(sigma * 2.0f);
+  raw.push_back(ndwi + static_cast<float>(rng.Normal(0.0, idx_noise)));
+  raw.push_back(sigma * 2.0f);
+  raw.push_back(ndbi + static_cast<float>(rng.Normal(0.0, idx_noise)));
+  raw.push_back(sigma * 2.0f);
+
+  // Quadrant NDVI: expected NDVI per quadrant with layout noise (which
+  // labels fall in which quadrant varies per patch).
+  for (int q = 0; q < 4; ++q) {
+    raw.push_back(ndvi + static_cast<float>(rng.Normal(0.0, 0.08)));
+  }
+
+  assert(raw.size() == kRawFeatureDim);
+  return raw;
+}
+
+Tensor FeatureExtractor::Project(const std::vector<float>& raw) const {
+  assert(raw.size() == kRawFeatureDim);
+  Tensor x({1, kRawFeatureDim}, std::vector<float>(raw.begin(), raw.end()));
+  Tensor projected = MatMul(x, projection_);
+  projected.Apply([](float v) { return std::tanh(2.0f * v); });
+  return projected.Reshaped({kFeatureDim});
+}
+
+Tensor FeatureExtractor::ExtractFromPixels(const Patch& patch) const {
+  return Project(RawFromPixels(patch));
+}
+
+Tensor FeatureExtractor::ExtractFromMetadata(
+    const PatchMetadata& meta, const ArchiveGenerator& generator) const {
+  return Project(RawFromMetadata(meta, generator));
+}
+
+Tensor FeatureExtractor::ExtractArchive(const Archive& archive,
+                                        const ArchiveGenerator& generator,
+                                        size_t num_threads) const {
+  const size_t n = archive.patches.size();
+  Tensor features({n, kFeatureDim});
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(n, [&](size_t i) {
+    const Tensor f = ExtractFromMetadata(archive.patches[i], generator);
+    features.SetRow(i, f);
+  });
+  return features;
+}
+
+}  // namespace agoraeo::bigearthnet

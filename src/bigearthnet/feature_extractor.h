@@ -1,0 +1,70 @@
+#ifndef AGORAEO_BIGEARTHNET_FEATURE_EXTRACTOR_H_
+#define AGORAEO_BIGEARTHNET_FEATURE_EXTRACTOR_H_
+
+#include <vector>
+
+#include "bigearthnet/archive_generator.h"
+#include "bigearthnet/patch.h"
+#include "tensor/tensor.h"
+
+namespace agoraeo::bigearthnet {
+
+/// Dimensionality of the "deep feature" vectors handed to MiLaN.  The
+/// reference MiLaN implementation consumes CNN features; this pipeline
+/// substitutes a deterministic spectral-statistics encoder (see DESIGN.md)
+/// with the same interface and the same metric property (same-label
+/// patches are close, different-label patches are far).
+inline constexpr size_t kFeatureDim = 128;
+
+/// Number of raw statistics computed before projection: per-band mean+std
+/// for 12 S2 bands and 2 S1 channels (28), mean+std of NDVI/NDWI/NDBI (6),
+/// 2x2 NDVI spatial pyramid (4).
+inline constexpr size_t kRawFeatureDim = 38;
+
+/// Extracts fixed (non-learned) feature vectors from patches.
+///
+/// Two paths produce vectors from the *same* distribution family:
+///  - the pixel path computes real statistics over synthesised rasters
+///    (used by tests, examples, and query-by-new-example);
+///  - the metadata fast path computes the expected statistics analytically
+///    from the patch's label blend and adds matched sampling noise (used
+///    to scale benchmark archives to 100k+ patches without synthesising
+///    gigabytes of rasters).
+class FeatureExtractor {
+ public:
+  /// `projection_seed` fixes the random projection; extractors with equal
+  /// seeds produce comparable feature spaces.
+  explicit FeatureExtractor(uint64_t projection_seed = 0xFEA7);
+
+  /// Raw statistics of a materialised patch (pixel path).
+  std::vector<float> RawFromPixels(const Patch& patch) const;
+
+  /// Expected raw statistics of a patch given only metadata (fast path).
+  /// Deterministic in (generator seed, patch name).
+  std::vector<float> RawFromMetadata(const PatchMetadata& meta,
+                                     const ArchiveGenerator& generator) const;
+
+  /// Projects raw statistics to the kFeatureDim-d feature vector.
+  Tensor Project(const std::vector<float>& raw) const;
+
+  /// Convenience: RawFromPixels + Project.
+  Tensor ExtractFromPixels(const Patch& patch) const;
+
+  /// Convenience: RawFromMetadata + Project.
+  Tensor ExtractFromMetadata(const PatchMetadata& meta,
+                             const ArchiveGenerator& generator) const;
+
+  /// Extracts features for every patch of `archive` via the fast path,
+  /// parallelised across `num_threads`; row i corresponds to
+  /// archive.patches[i].  Returns a [N, kFeatureDim] tensor.
+  Tensor ExtractArchive(const Archive& archive,
+                        const ArchiveGenerator& generator,
+                        size_t num_threads = 4) const;
+
+ private:
+  Tensor projection_;  ///< [kRawFeatureDim, kFeatureDim], fixed
+};
+
+}  // namespace agoraeo::bigearthnet
+
+#endif  // AGORAEO_BIGEARTHNET_FEATURE_EXTRACTOR_H_

@@ -1,0 +1,80 @@
+#include "bigearthnet/patch.h"
+
+#include <algorithm>
+
+namespace agoraeo::bigearthnet {
+
+const char* S2BandName(S2Band band) {
+  switch (band) {
+    case S2Band::kB01: return "B01";
+    case S2Band::kB02: return "B02";
+    case S2Band::kB03: return "B03";
+    case S2Band::kB04: return "B04";
+    case S2Band::kB05: return "B05";
+    case S2Band::kB06: return "B06";
+    case S2Band::kB07: return "B07";
+    case S2Band::kB08: return "B08";
+    case S2Band::kB8A: return "B8A";
+    case S2Band::kB09: return "B09";
+    case S2Band::kB11: return "B11";
+    case S2Band::kB12: return "B12";
+  }
+  return "?";
+}
+
+int S2BandResolution(S2Band band) {
+  switch (band) {
+    case S2Band::kB02:
+    case S2Band::kB03:
+    case S2Band::kB04:
+    case S2Band::kB08:
+      return 10;
+    case S2Band::kB05:
+    case S2Band::kB06:
+    case S2Band::kB07:
+    case S2Band::kB8A:
+    case S2Band::kB11:
+    case S2Band::kB12:
+      return 20;
+    case S2Band::kB01:
+    case S2Band::kB09:
+      return 60;
+  }
+  return 0;
+}
+
+int S2BandPixels(S2Band band) {
+  switch (S2BandResolution(band)) {
+    case 10: return 120;
+    case 20: return 60;
+    case 60: return 20;
+  }
+  return 0;
+}
+
+const char* S1ChannelName(S1Channel ch) {
+  return ch == S1Channel::kVV ? "VV" : "VH";
+}
+
+std::vector<uint8_t> RenderRgb(const Patch& patch, uint16_t lo_dn,
+                               uint16_t hi_dn) {
+  const BandRaster& r = patch.s2(S2Band::kB04);
+  const BandRaster& g = patch.s2(S2Band::kB03);
+  const BandRaster& b = patch.s2(S2Band::kB02);
+  const int w = r.width, h = r.height;
+  std::vector<uint8_t> rgb(static_cast<size_t>(w) * h * 3);
+  const float span = std::max(1, hi_dn - lo_dn);
+  auto stretch = [&](uint16_t dn) -> uint8_t {
+    float v = (static_cast<float>(dn) - lo_dn) / span;
+    v = std::clamp(v, 0.0f, 1.0f);
+    return static_cast<uint8_t>(v * 255.0f + 0.5f);
+  };
+  for (int i = 0; i < w * h; ++i) {
+    rgb[3 * i + 0] = stretch(r.pixels[i]);
+    rgb[3 * i + 1] = stretch(g.pixels[i]);
+    rgb[3 * i + 2] = stretch(b.pixels[i]);
+  }
+  return rgb;
+}
+
+}  // namespace agoraeo::bigearthnet

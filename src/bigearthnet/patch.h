@@ -1,0 +1,98 @@
+#ifndef AGORAEO_BIGEARTHNET_PATCH_H_
+#define AGORAEO_BIGEARTHNET_PATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bigearthnet/clc_labels.h"
+#include "common/time_util.h"
+#include "geo/geo.h"
+
+namespace agoraeo::bigearthnet {
+
+/// The 12 Sentinel-2 spectral bands kept by BigEarthNet (band 10 is
+/// excluded because it carries no surface information), in archive order.
+enum class S2Band {
+  kB01 = 0,  ///< coastal aerosol, 60 m
+  kB02,      ///< blue, 10 m
+  kB03,      ///< green, 10 m
+  kB04,      ///< red, 10 m
+  kB05,      ///< vegetation red edge, 20 m
+  kB06,      ///< vegetation red edge, 20 m
+  kB07,      ///< vegetation red edge, 20 m
+  kB08,      ///< NIR, 10 m
+  kB8A,      ///< narrow NIR, 20 m
+  kB09,      ///< water vapour, 60 m
+  kB11,      ///< SWIR, 20 m
+  kB12,      ///< SWIR, 20 m
+};
+
+inline constexpr int kNumS2Bands = 12;
+
+/// Band name as used in BigEarthNet file names ("B01".."B12", "B8A").
+const char* S2BandName(S2Band band);
+
+/// Ground resolution of a band in meters (10, 20 or 60).
+int S2BandResolution(S2Band band);
+
+/// Patch side length in pixels for a band: 120 px @10 m, 60 px @20 m,
+/// 20 px @60 m (BigEarthNet patches cover 1.2 x 1.2 km).
+int S2BandPixels(S2Band band);
+
+/// Sentinel-1 dual polarisation channels (IW swath mode, 10 m).
+enum class S1Channel { kVV = 0, kVH = 1 };
+inline constexpr int kNumS1Channels = 2;
+const char* S1ChannelName(S1Channel ch);
+
+/// One raster band of a patch.  Pixels are uint16 digital numbers, the
+/// encoding Sentinel-2 L2A products use.
+struct BandRaster {
+  std::string name;          ///< e.g. "B04" or "VV"
+  int resolution_m = 0;      ///< ground resolution
+  int width = 0;             ///< pixels per row
+  int height = 0;            ///< rows
+  std::vector<uint16_t> pixels;  ///< row-major, width*height values
+
+  uint16_t at(int row, int col) const { return pixels[row * width + col]; }
+  uint16_t& at(int row, int col) { return pixels[row * width + col]; }
+};
+
+/// Identifying + queryable attributes of a patch; this is what the
+/// EarthQube metadata collection stores per image.
+struct PatchMetadata {
+  std::string name;          ///< e.g. "S2A_MSIL2A_20170717T113321_42_7"
+  LabelSet labels;           ///< CLC multi-labels
+  std::string country;       ///< one of the 10 BigEarthNet countries
+  CivilDate acquisition_date;
+  Season season = Season::kSummer;
+  geo::BoundingBox bounds;   ///< 1.2 km x 1.2 km footprint
+  /// Index of the generator scene the patch belongs to (diagnostic; lets
+  /// tests verify spatial label clustering).
+  int scene_id = -1;
+};
+
+/// A fully materialised patch: metadata plus the Sentinel-2 bands and
+/// Sentinel-1 channels.
+struct Patch {
+  PatchMetadata meta;
+  std::vector<BandRaster> s2_bands;  ///< 12 entries, archive band order
+  std::vector<BandRaster> s1_channels;  ///< VV, VH
+
+  const BandRaster& s2(S2Band band) const {
+    return s2_bands[static_cast<size_t>(band)];
+  }
+  const BandRaster& s1(S1Channel ch) const {
+    return s1_channels[static_cast<size_t>(ch)];
+  }
+};
+
+/// Composes the RGB (B04/B03/B02) preview EarthQube renders on the map,
+/// as 8-bit interleaved RGB rows (120x120x3).  Digital numbers are
+/// linearly stretched per band over [lo_dn, hi_dn].
+std::vector<uint8_t> RenderRgb(const Patch& patch, uint16_t lo_dn = 0,
+                               uint16_t hi_dn = 4000);
+
+}  // namespace agoraeo::bigearthnet
+
+#endif  // AGORAEO_BIGEARTHNET_PATCH_H_

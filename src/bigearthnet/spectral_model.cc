@@ -1,0 +1,153 @@
+#include "bigearthnet/spectral_model.h"
+
+#include <cassert>
+
+namespace agoraeo::bigearthnet {
+
+namespace {
+
+/// Archetype spectra over the 12 S2 bands (DN = reflectance x 10000) in
+/// archive band order B01,B02,B03,B04,B05,B06,B07,B08,B8A,B09,B11,B12,
+/// plus S1 (VV, VH) backscatter in dB.
+struct Archetype {
+  std::array<float, kNumS2Bands> s2;
+  float vv_db;
+  float vh_db;
+  float sigma;
+};
+
+const Archetype kWater      = {{400, 350, 300, 200, 150, 100, 80, 60, 50, 40, 30, 20}, -20.0f, -28.0f, 40.0f};
+const Archetype kBroadleaf  = {{200, 250, 500, 350, 800, 2000, 2500, 3000, 3100, 900, 1500, 700}, -8.0f, -14.0f, 180.0f};
+const Archetype kConifer    = {{150, 200, 350, 250, 500, 1200, 1500, 1800, 1900, 600, 900, 450}, -8.5f, -14.5f, 150.0f};
+const Archetype kGrass      = {{300, 400, 700, 600, 1100, 2200, 2600, 2900, 3000, 1000, 2000, 1100}, -11.0f, -17.5f, 200.0f};
+const Archetype kCropGreen  = {{250, 350, 650, 500, 1000, 2400, 2900, 3300, 3400, 1100, 1800, 900}, -10.0f, -16.5f, 260.0f};
+const Archetype kCropDry    = {{500, 700, 1100, 1500, 1800, 2000, 2100, 2200, 2300, 1000, 2900, 2400}, -12.0f, -19.0f, 300.0f};
+const Archetype kBareSoil   = {{600, 900, 1300, 1800, 2100, 2300, 2400, 2500, 2600, 1200, 3200, 2800}, -13.0f, -20.5f, 280.0f};
+const Archetype kSand       = {{1500, 2000, 2600, 3000, 3200, 3300, 3400, 3500, 3600, 1500, 4200, 3800}, -14.0f, -22.0f, 220.0f};
+const Archetype kRock       = {{900, 1100, 1400, 1600, 1700, 1800, 1900, 2000, 2000, 900, 2300, 2100}, -9.0f, -16.0f, 320.0f};
+const Archetype kUrban      = {{1200, 1500, 1800, 2000, 2100, 2200, 2300, 2400, 2400, 1100, 2600, 2400}, -5.0f, -11.5f, 450.0f};
+const Archetype kBurnt      = {{300, 350, 400, 450, 500, 550, 600, 650, 650, 400, 1400, 1600}, -12.5f, -19.5f, 160.0f};
+const Archetype kWetland    = {{300, 350, 500, 400, 600, 1200, 1400, 1600, 1650, 600, 800, 400}, -14.0f, -21.0f, 190.0f};
+
+struct Mix {
+  const Archetype* a;
+  float wa;
+  const Archetype* b;
+  float wb;
+};
+
+/// Archetype blend per CLC class (dense LabelId order, 43 entries).
+/// Weights sum to 1.
+const Mix kClassMixes[kNumLabels] = {
+    /* 0 Continuous urban fabric */            {&kUrban, 0.95f, &kGrass, 0.05f},
+    /* 1 Discontinuous urban fabric */         {&kUrban, 0.65f, &kGrass, 0.35f},
+    /* 2 Industrial or commercial units */     {&kUrban, 0.85f, &kBareSoil, 0.15f},
+    /* 3 Road and rail networks */             {&kUrban, 0.75f, &kBareSoil, 0.25f},
+    /* 4 Port areas */                         {&kUrban, 0.70f, &kWater, 0.30f},
+    /* 5 Airports */                           {&kUrban, 0.55f, &kGrass, 0.45f},
+    /* 6 Mineral extraction sites */           {&kBareSoil, 0.75f, &kRock, 0.25f},
+    /* 7 Dump sites */                         {&kBareSoil, 0.80f, &kUrban, 0.20f},
+    /* 8 Construction sites */                 {&kBareSoil, 0.60f, &kUrban, 0.40f},
+    /* 9 Green urban areas */                  {&kGrass, 0.60f, &kUrban, 0.40f},
+    /* 10 Sport and leisure facilities */      {&kGrass, 0.70f, &kUrban, 0.30f},
+    /* 11 Non-irrigated arable land */         {&kCropDry, 0.70f, &kCropGreen, 0.30f},
+    /* 12 Permanently irrigated land */        {&kCropGreen, 0.85f, &kWater, 0.15f},
+    /* 13 Rice fields */                       {&kCropGreen, 0.60f, &kWater, 0.40f},
+    /* 14 Vineyards */                         {&kCropGreen, 0.50f, &kBareSoil, 0.50f},
+    /* 15 Fruit trees and berry plantations */ {&kBroadleaf, 0.55f, &kBareSoil, 0.45f},
+    /* 16 Olive groves */                      {&kConifer, 0.45f, &kBareSoil, 0.55f},
+    /* 17 Pastures */                          {&kGrass, 0.90f, &kCropGreen, 0.10f},
+    /* 18 Annual + permanent crops */          {&kCropGreen, 0.55f, &kCropDry, 0.45f},
+    /* 19 Complex cultivation patterns */      {&kCropGreen, 0.45f, &kCropDry, 0.55f},
+    /* 20 Agriculture + natural vegetation */  {&kCropDry, 0.50f, &kBroadleaf, 0.50f},
+    /* 21 Agro-forestry areas */               {&kBroadleaf, 0.50f, &kCropDry, 0.50f},
+    /* 22 Broad-leaved forest */               {&kBroadleaf, 1.00f, nullptr, 0.0f},
+    /* 23 Coniferous forest */                 {&kConifer, 1.00f, nullptr, 0.0f},
+    /* 24 Mixed forest */                      {&kBroadleaf, 0.50f, &kConifer, 0.50f},
+    /* 25 Natural grassland */                 {&kGrass, 1.00f, nullptr, 0.0f},
+    /* 26 Moors and heathland */               {&kGrass, 0.55f, &kWetland, 0.45f},
+    /* 27 Sclerophyllous vegetation */         {&kConifer, 0.40f, &kGrass, 0.60f},
+    /* 28 Transitional woodland/shrub */       {&kBroadleaf, 0.55f, &kGrass, 0.45f},
+    /* 29 Beaches, dunes, sands */             {&kSand, 1.00f, nullptr, 0.0f},
+    /* 30 Bare rock */                         {&kRock, 1.00f, nullptr, 0.0f},
+    /* 31 Sparsely vegetated areas */          {&kRock, 0.50f, &kGrass, 0.50f},
+    /* 32 Burnt areas */                       {&kBurnt, 1.00f, nullptr, 0.0f},
+    /* 33 Inland marshes */                    {&kWetland, 0.80f, &kWater, 0.20f},
+    /* 34 Peatbogs */                          {&kWetland, 0.85f, &kGrass, 0.15f},
+    /* 35 Salt marshes */                      {&kWetland, 0.65f, &kWater, 0.35f},
+    /* 36 Salines */                           {&kSand, 0.55f, &kWater, 0.45f},
+    /* 37 Intertidal flats */                  {&kWetland, 0.45f, &kWater, 0.55f},
+    /* 38 Water courses */                     {&kWater, 0.90f, &kWetland, 0.10f},
+    /* 39 Water bodies */                      {&kWater, 1.00f, nullptr, 0.0f},
+    /* 40 Coastal lagoons */                   {&kWater, 0.85f, &kWetland, 0.15f},
+    /* 41 Estuaries */                         {&kWater, 0.80f, &kWetland, 0.20f},
+    /* 42 Sea and ocean */                     {&kWater, 1.00f, nullptr, 0.0f},
+};
+
+float EncodeS1(float db) { return (db + 50.0f) * 100.0f; }
+
+SpectralSignature MakeSignature(const Mix& mix, LabelId id) {
+  SpectralSignature sig;
+  const Archetype& a = *mix.a;
+  const Archetype* b = mix.b;
+  const float wa = mix.wa;
+  const float wb = b != nullptr ? mix.wb : 0.0f;
+  float vv = a.vv_db * wa, vh = a.vh_db * wa, sigma = a.sigma * wa;
+  for (int band = 0; band < kNumS2Bands; ++band) {
+    float v = a.s2[static_cast<size_t>(band)] * wa;
+    if (b != nullptr) v += b->s2[static_cast<size_t>(band)] * wb;
+    // Small deterministic per-class offset so sibling classes sharing the
+    // same mix stay distinguishable (e.g. water courses vs. coastal
+    // lagoons differ slightly).
+    v += static_cast<float>((id * 7 + band * 3) % 11) * 8.0f;
+    sig.s2_dn[static_cast<size_t>(band)] = v;
+  }
+  if (b != nullptr) {
+    vv += b->vv_db * wb;
+    vh += b->vh_db * wb;
+    sigma += b->sigma * wb;
+  }
+  sig.s1_dn[0] = EncodeS1(vv + static_cast<float>(id % 5) * 0.1f);
+  sig.s1_dn[1] = EncodeS1(vh + static_cast<float>(id % 7) * 0.1f);
+  sig.texture_sigma = sigma;
+  return sig;
+}
+
+}  // namespace
+
+SpectralModel::SpectralModel() {
+  signatures_.reserve(kNumLabels);
+  for (LabelId id = 0; id < kNumLabels; ++id) {
+    signatures_.push_back(MakeSignature(kClassMixes[id], id));
+  }
+}
+
+SpectralSignature SpectralModel::Blend(const LabelSet& labels,
+                                       const std::vector<float>& weights) const {
+  assert(!labels.empty());
+  assert(weights.empty() || weights.size() == labels.size());
+  SpectralSignature out;
+  out.s2_dn.fill(0.0f);
+  out.s1_dn.fill(0.0f);
+  out.texture_sigma = 0.0f;
+
+  float total = 0.0f;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    total += weights.empty() ? 1.0f : weights[i];
+  }
+  if (total <= 0.0f) total = 1.0f;
+
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const float w = (weights.empty() ? 1.0f : weights[i]) / total;
+    const SpectralSignature& sig = signature(labels.ids()[i]);
+    for (int band = 0; band < kNumS2Bands; ++band) {
+      out.s2_dn[static_cast<size_t>(band)] += w * sig.s2_dn[static_cast<size_t>(band)];
+    }
+    out.s1_dn[0] += w * sig.s1_dn[0];
+    out.s1_dn[1] += w * sig.s1_dn[1];
+    out.texture_sigma += w * sig.texture_sigma;
+  }
+  return out;
+}
+
+}  // namespace agoraeo::bigearthnet

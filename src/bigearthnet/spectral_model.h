@@ -1,0 +1,56 @@
+#ifndef AGORAEO_BIGEARTHNET_SPECTRAL_MODEL_H_
+#define AGORAEO_BIGEARTHNET_SPECTRAL_MODEL_H_
+
+#include <array>
+#include <vector>
+
+#include "bigearthnet/clc_labels.h"
+#include "bigearthnet/patch.h"
+
+namespace agoraeo::bigearthnet {
+
+/// Expected Sentinel-2 digital numbers (reflectance x 10000) for the 12
+/// archive bands plus Sentinel-1 VV/VH backscatter (encoded as
+/// DN = (dB + 50) * 100) for one land-cover class.
+struct SpectralSignature {
+  std::array<float, kNumS2Bands> s2_dn;
+  std::array<float, kNumS1Channels> s1_dn;
+  /// Within-class pixel standard deviation (same units as s2_dn), a
+  /// single scalar scaled per band.
+  float texture_sigma;
+};
+
+/// The class-conditional spectral model substituting for real Sentinel
+/// radiometry.
+///
+/// Signatures are blends of physically motivated archetype spectra
+/// (water, broadleaf/conifer canopy, grass, crops, bare soil, sand,
+/// rock, urban, burnt, wetland), so spectral *relationships* that the
+/// feature pipeline relies on hold: NDVI is high for forests and crops,
+/// negative for water; SWIR is elevated for burnt areas; urban classes
+/// are bright and flat; S1 backscatter separates water / vegetation /
+/// built-up.  Same-label patches are therefore close in feature space
+/// and different-label patches are far — the property MiLaN's metric
+/// learning needs.
+class SpectralModel {
+ public:
+  SpectralModel();
+
+  /// The signature of one class.
+  const SpectralSignature& signature(LabelId id) const {
+    return signatures_[static_cast<size_t>(id)];
+  }
+
+  /// Expected signature of a multi-label patch: the area-weighted blend
+  /// of its class signatures (`weights` must align with labels.ids(); pass
+  /// empty for uniform weights).
+  SpectralSignature Blend(const LabelSet& labels,
+                          const std::vector<float>& weights = {}) const;
+
+ private:
+  std::vector<SpectralSignature> signatures_;
+};
+
+}  // namespace agoraeo::bigearthnet
+
+#endif  // AGORAEO_BIGEARTHNET_SPECTRAL_MODEL_H_

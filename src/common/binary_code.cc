@@ -1,0 +1,88 @@
+#include "common/binary_code.h"
+
+#include <cassert>
+
+namespace agoraeo {
+
+BinaryCode BinaryCode::FromSigns(const std::vector<float>& values) {
+  BinaryCode code(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] > 0.0f) code.SetBit(i, true);
+  }
+  return code;
+}
+
+BinaryCode BinaryCode::FromBits(const std::vector<int>& bits) {
+  BinaryCode code(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) code.SetBit(i, true);
+  }
+  return code;
+}
+
+BinaryCode BinaryCode::FromBitString(const std::string& text) {
+  BinaryCode code(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '1') code.SetBit(i, true);
+  }
+  return code;
+}
+
+size_t BinaryCode::PopCount() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+size_t BinaryCode::HammingDistance(const BinaryCode& other) const {
+  assert(num_bits_ == other.num_bits_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return total;
+}
+
+BinaryCode BinaryCode::Substring(size_t begin, size_t len) const {
+  assert(begin + len <= num_bits_);
+  BinaryCode out(len);
+  for (size_t i = 0; i < len; ++i) {
+    if (GetBit(begin + i)) out.SetBit(i, true);
+  }
+  return out;
+}
+
+std::string BinaryCode::ToBitString() const {
+  std::string out(num_bits_, '0');
+  for (size_t i = 0; i < num_bits_; ++i) {
+    if (GetBit(i)) out[i] = '1';
+  }
+  return out;
+}
+
+std::string BinaryCode::ToHexString() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(words_.size() * 16);
+  for (uint64_t w : words_) {
+    for (int nibble = 0; nibble < 16; ++nibble) {
+      out.push_back(kHex[(w >> (nibble * 4)) & 0xf]);
+    }
+  }
+  return out;
+}
+
+size_t BinaryCodeHash::operator()(const BinaryCode& code) const {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (uint64_t w : code.words()) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (w >> (b * 8)) & 0xff;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  }
+  h ^= code.size();
+  h *= 1099511628211ULL;
+  return static_cast<size_t>(h);
+}
+
+}  // namespace agoraeo

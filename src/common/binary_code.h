@@ -1,0 +1,97 @@
+#ifndef AGORAEO_COMMON_BINARY_CODE_H_
+#define AGORAEO_COMMON_BINARY_CODE_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace agoraeo {
+
+/// A fixed-length binary hash code (e.g. the 128-bit codes MiLaN assigns to
+/// each BigEarthNet patch), packed into 64-bit words.
+///
+/// Bit i of the code is word i/64, bit i%64.  Codes of different lengths
+/// never compare equal.  Hamming distance is computed with hardware popcount
+/// (std::popcount).
+class BinaryCode {
+ public:
+  /// An empty (0-bit) code.
+  BinaryCode() : num_bits_(0) {}
+
+  /// A code of `num_bits` zero bits.
+  explicit BinaryCode(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  /// Builds a code from +/- real-valued network outputs: bit i is 1 when
+  /// values[i] > 0 (the sign binarization used by deep hashing methods).
+  static BinaryCode FromSigns(const std::vector<float>& values);
+
+  /// Builds a code from a 0/1 bit vector.
+  static BinaryCode FromBits(const std::vector<int>& bits);
+
+  /// Parses a string of '0'/'1' characters (most-significant textual first
+  /// position is bit 0).  Returns an empty code for an empty string.
+  static BinaryCode FromBitString(const std::string& text);
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  bool GetBit(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void SetBit(size_t i, bool value) {
+    if (value)
+      words_[i >> 6] |= (1ULL << (i & 63));
+    else
+      words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+  void FlipBit(size_t i) { words_[i >> 6] ^= (1ULL << (i & 63)); }
+
+  /// Number of set bits.
+  size_t PopCount() const;
+
+  /// Hamming distance to another code of the same length.
+  /// Precondition: other.size() == size().
+  size_t HammingDistance(const BinaryCode& other) const;
+
+  /// Extracts bits [begin, begin+len) as a new code (used by multi-index
+  /// hashing to form substrings).  Requires begin+len <= size().
+  BinaryCode Substring(size_t begin, size_t len) const;
+
+  /// The low 64 bits interpreted as an integer (for codes <= 64 bits this
+  /// is the whole code); used as a compact hash-table key for substrings.
+  uint64_t LowWord() const { return words_.empty() ? 0 : words_[0]; }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// '0'/'1' string, bit 0 first.
+  std::string ToBitString() const;
+
+  /// Lowercase hex, low word first, zero padded; stable across platforms.
+  std::string ToHexString() const;
+
+  bool operator==(const BinaryCode& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+  bool operator!=(const BinaryCode& other) const { return !(*this == other); }
+  /// Lexicographic over (length, words); gives codes a total order so they
+  /// can key ordered containers.
+  bool operator<(const BinaryCode& other) const {
+    if (num_bits_ != other.num_bits_) return num_bits_ < other.num_bits_;
+    return words_ < other.words_;
+  }
+
+ private:
+  size_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+/// FNV-1a over the code's words; for unordered containers.
+struct BinaryCodeHash {
+  size_t operator()(const BinaryCode& code) const;
+};
+
+}  // namespace agoraeo
+
+#endif  // AGORAEO_COMMON_BINARY_CODE_H_

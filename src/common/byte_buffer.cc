@@ -1,0 +1,104 @@
+#include "common/byte_buffer.h"
+
+#include <cstdio>
+
+namespace agoraeo {
+
+StatusOr<uint8_t> ByteReader::GetU8() {
+  AGORAEO_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+StatusOr<uint32_t> ByteReader::GetU32() {
+  AGORAEO_RETURN_IF_ERROR(Need(4));
+  uint32_t v;
+  std::memcpy(&v, data_ + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> ByteReader::GetU64() {
+  AGORAEO_RETURN_IF_ERROR(Need(8));
+  uint64_t v;
+  std::memcpy(&v, data_ + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<int64_t> ByteReader::GetI64() {
+  AGORAEO_RETURN_IF_ERROR(Need(8));
+  int64_t v;
+  std::memcpy(&v, data_ + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<float> ByteReader::GetF32() {
+  AGORAEO_RETURN_IF_ERROR(Need(4));
+  float v;
+  std::memcpy(&v, data_ + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<double> ByteReader::GetF64() {
+  AGORAEO_RETURN_IF_ERROR(Need(8));
+  double v;
+  std::memcpy(&v, data_ + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<std::string> ByteReader::GetString() {
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  AGORAEO_RETURN_IF_ERROR(Need(len));
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+StatusOr<std::vector<float>> ByteReader::GetF32Vector() {
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  AGORAEO_RETURN_IF_ERROR(Need(static_cast<size_t>(len) * sizeof(float)));
+  std::vector<float> out(len);
+  std::memcpy(out.data(), data_ + pos_, static_cast<size_t>(len) * sizeof(float));
+  pos_ += static_cast<size_t>(len) * sizeof(float);
+  return out;
+}
+
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != data.size() || close_rc != 0) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat: " + path);
+  }
+  std::vector<uint8_t> data(static_cast<size_t>(size));
+  size_t got = data.empty() ? 0 : std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (got != data.size()) {
+    return Status::IOError("short read: " + path);
+  }
+  return data;
+}
+
+}  // namespace agoraeo

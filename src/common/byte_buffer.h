@@ -1,0 +1,93 @@
+#ifndef AGORAEO_COMMON_BYTE_BUFFER_H_
+#define AGORAEO_COMMON_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace agoraeo {
+
+/// Append-only little-endian binary writer used for model checkpoints,
+/// docstore persistence and image payloads.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutF32(float v) { PutRaw(&v, sizeof(v)); }
+  void PutF64(double v) { PutRaw(&v, sizeof(v)); }
+
+  /// Length-prefixed (u32) string.
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+
+  /// Length-prefixed (u32) float vector.
+  void PutF32Vector(const std::vector<float>& v) {
+    PutU32(static_cast<uint32_t>(v.size()));
+    PutRaw(v.data(), v.size() * sizeof(float));
+  }
+
+  void PutRaw(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a byte span written by ByteWriter.  All Get*
+/// methods return Corruption when the buffer is exhausted.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  StatusOr<uint8_t> GetU8();
+  StatusOr<uint32_t> GetU32();
+  StatusOr<uint64_t> GetU64();
+  StatusOr<int64_t> GetI64();
+  StatusOr<float> GetF32();
+  StatusOr<double> GetF64();
+  StatusOr<std::string> GetString();
+  StatusOr<std::vector<float>> GetF32Vector();
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ >= size_; }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > size_) {
+      return Status::Corruption("byte buffer exhausted");
+    }
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+/// Writes `data` to `path` atomically enough for tests (write + rename is
+/// overkill here; plain write).  Returns IOError on failure.
+Status WriteFileBytes(const std::string& path, const std::vector<uint8_t>& data);
+
+/// Reads the whole file at `path`.
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+}  // namespace agoraeo
+
+#endif  // AGORAEO_COMMON_BYTE_BUFFER_H_

@@ -1,0 +1,24 @@
+#ifndef AGORAEO_COMMON_CRC32_H_
+#define AGORAEO_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace agoraeo {
+
+/// CRC-32 (ISO-HDLC polynomial 0xEDB88320, the zlib/gzip variant) over a
+/// byte span.  Used to checksum write-ahead-log records so torn or
+/// corrupted tails are detected during recovery.
+uint32_t Crc32(const void* data, size_t n);
+
+inline uint32_t Crc32(const std::vector<uint8_t>& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+/// Incremental form: feed `crc` from a previous call (start with 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t n);
+
+}  // namespace agoraeo
+
+#endif  // AGORAEO_COMMON_CRC32_H_

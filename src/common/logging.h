@@ -1,0 +1,56 @@
+#ifndef AGORAEO_COMMON_LOGGING_H_
+#define AGORAEO_COMMON_LOGGING_H_
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace agoraeo {
+
+/// Severity levels for the library logger, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.  Defaults to
+/// kInfo.  Thread-safe (the level is an atomic).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+/// Used via the AGORAEO_LOG macro; not part of the public API.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Discards a streamed expression; lets the macro below be a single
+/// expression usable in if/else without braces.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+/// Usage: AGORAEO_LOG(kInfo) << "indexed " << n << " patches";
+#define AGORAEO_LOG(severity)                                          \
+  (::agoraeo::LogLevel::severity < ::agoraeo::GetLogLevel())           \
+      ? (void)0                                                        \
+      : ::agoraeo::internal::LogMessageVoidify() &                     \
+            ::agoraeo::internal::LogMessage(                           \
+                ::agoraeo::LogLevel::severity, __FILE__, __LINE__)     \
+                .stream()
+
+}  // namespace agoraeo
+
+#endif  // AGORAEO_COMMON_LOGGING_H_

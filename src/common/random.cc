@@ -1,0 +1,117 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace agoraeo {
+
+Rng::Rng(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextUint32();
+  state_ += seed;
+  NextUint32();
+}
+
+uint32_t Rng::NextUint32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+}
+
+uint64_t Rng::NextUint64() {
+  return (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();
+}
+
+uint32_t Rng::UniformInt(uint32_t bound) {
+  assert(bound != 0);
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  uint64_t m = static_cast<uint64_t>(NextUint32()) * bound;
+  uint32_t l = static_cast<uint32_t>(m);
+  if (l < bound) {
+    uint32_t t = -bound % bound;
+    while (l < t) {
+      m = static_cast<uint64_t>(NextUint32()) * bound;
+      l = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  // For spans that fit in 32 bits use the fast path.
+  if (span <= 0xffffffffULL) {
+    return lo + static_cast<int64_t>(UniformInt(static_cast<uint32_t>(span)));
+  }
+  // Rejection sampling over 64 bits.
+  uint64_t limit = ~0ULL - (~0ULL % span);
+  uint64_t v;
+  do {
+    v = NextUint64();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % span);
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits.
+  return (NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  u2 = UniformDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+  double target = UniformDouble() * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (target < cum) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  // Partial Fisher-Yates over an index vector; O(n) memory, O(n + k) time.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + UniformInt(static_cast<uint32_t>(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace agoraeo

@@ -1,0 +1,41 @@
+#ifndef AGORAEO_COMMON_STRING_UTIL_H_
+#define AGORAEO_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agoraeo {
+
+/// Splits `input` on `delim`; empty pieces are kept ("a,,b" -> {a,"",b}).
+std::vector<std::string> StrSplit(std::string_view input, char delim);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string StrTrim(std::string_view input);
+
+/// ASCII lower-casing (locale independent).
+std::string StrToLower(std::string_view input);
+
+/// True when `text` starts with / ends with / contains `piece`.
+bool StrStartsWith(std::string_view text, std::string_view prefix);
+bool StrEndsWith(std::string_view text, std::string_view suffix);
+bool StrContains(std::string_view text, std::string_view piece);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Pads `s` on the left with `fill` to width `width` (no-op when already
+/// that wide).
+std::string PadLeft(std::string_view s, size_t width, char fill = ' ');
+
+/// Formats a count with thousands separators ("1234567" -> "1,234,567").
+std::string WithThousandsSeparators(int64_t value);
+
+}  // namespace agoraeo
+
+#endif  // AGORAEO_COMMON_STRING_UTIL_H_

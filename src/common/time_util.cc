@@ -1,0 +1,115 @@
+#include "common/time_util.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace agoraeo {
+
+const char* SeasonToString(Season s) {
+  switch (s) {
+    case Season::kWinter:
+      return "Winter";
+    case Season::kSpring:
+      return "Spring";
+    case Season::kSummer:
+      return "Summer";
+    case Season::kAutumn:
+      return "Autumn";
+  }
+  return "?";
+}
+
+StatusOr<Season> SeasonFromString(const std::string& name) {
+  std::string lower = StrToLower(name);
+  if (lower == "winter") return Season::kWinter;
+  if (lower == "spring") return Season::kSpring;
+  if (lower == "summer") return Season::kSummer;
+  if (lower == "autumn" || lower == "fall") return Season::kAutumn;
+  return Status::InvalidArgument("unknown season: " + name);
+}
+
+bool CivilDate::IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int CivilDate::DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+bool CivilDate::IsValid() const {
+  return month_ >= 1 && month_ <= 12 && day_ >= 1 &&
+         day_ <= DaysInMonth(year_, month_);
+}
+
+int64_t CivilDate::ToOrdinal() const {
+  // Howard Hinnant's days_from_civil algorithm.
+  int y = year_;
+  const int m = month_;
+  const int d = day_;
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) -
+         719468;
+}
+
+CivilDate CivilDate::FromOrdinal(int64_t days) {
+  // Howard Hinnant's civil_from_days algorithm.
+  days += 719468;
+  const int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  return CivilDate(static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+                   static_cast<int>(d));
+}
+
+StatusOr<CivilDate> CivilDate::Parse(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  char trailing = '\0';
+  int matched = std::sscanf(text.c_str(), "%d-%d-%d%c", &y, &m, &d, &trailing);
+  if (matched != 3) {
+    return Status::InvalidArgument("date not in YYYY-MM-DD form: " + text);
+  }
+  CivilDate date(y, m, d);
+  if (!date.IsValid()) {
+    return Status::InvalidArgument("invalid calendar date: " + text);
+  }
+  return date;
+}
+
+std::string CivilDate::ToString() const {
+  return StrFormat("%04d-%02d-%02d", year_, month_, day_);
+}
+
+Season CivilDate::GetSeason() const {
+  switch (month_) {
+    case 12:
+    case 1:
+    case 2:
+      return Season::kWinter;
+    case 3:
+    case 4:
+    case 5:
+      return Season::kSpring;
+    case 6:
+    case 7:
+    case 8:
+      return Season::kSummer;
+    default:
+      return Season::kAutumn;
+  }
+}
+
+}  // namespace agoraeo

@@ -1,0 +1,89 @@
+#ifndef AGORAEO_COMMON_TIME_UTIL_H_
+#define AGORAEO_COMMON_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace agoraeo {
+
+/// Meteorological season of an acquisition; BigEarthNet metadata tags
+/// patches with the season of their acquisition date.
+enum class Season { kWinter = 0, kSpring = 1, kSummer = 2, kAutumn = 3 };
+
+const char* SeasonToString(Season s);
+StatusOr<Season> SeasonFromString(const std::string& name);
+
+/// A calendar date (proleptic Gregorian), used for acquisition dates.
+/// Stored as year/month/day; convertible to/from a day ordinal so ranges
+/// can be compared and sampled in O(1).
+class CivilDate {
+ public:
+  CivilDate() : year_(1970), month_(1), day_(1) {}
+  CivilDate(int year, int month, int day)
+      : year_(year), month_(month), day_(day) {}
+
+  int year() const { return year_; }
+  int month() const { return month_; }
+  int day() const { return day_; }
+
+  /// Days since 1970-01-01 (can be negative).
+  int64_t ToOrdinal() const;
+
+  /// Inverse of ToOrdinal.
+  static CivilDate FromOrdinal(int64_t days);
+
+  /// Parses "YYYY-MM-DD"; validates calendar correctness (rejects Feb 30).
+  static StatusOr<CivilDate> Parse(const std::string& text);
+
+  /// True when the date is a real calendar date.
+  bool IsValid() const;
+
+  /// "YYYY-MM-DD".
+  std::string ToString() const;
+
+  /// Meteorological season (Dec-Feb winter, Mar-May spring, ...).
+  Season GetSeason() const;
+
+  bool operator==(const CivilDate& o) const {
+    return year_ == o.year_ && month_ == o.month_ && day_ == o.day_;
+  }
+  bool operator!=(const CivilDate& o) const { return !(*this == o); }
+  bool operator<(const CivilDate& o) const {
+    return ToOrdinal() < o.ToOrdinal();
+  }
+  bool operator<=(const CivilDate& o) const {
+    return ToOrdinal() <= o.ToOrdinal();
+  }
+  bool operator>(const CivilDate& o) const { return o < *this; }
+  bool operator>=(const CivilDate& o) const { return o <= *this; }
+
+  static bool IsLeapYear(int year);
+  static int DaysInMonth(int year, int month);
+
+ private:
+  int year_;
+  int month_;
+  int day_;
+};
+
+/// Inclusive date interval [begin, end]; `Contains` is false for invalid
+/// (begin > end) ranges.
+struct DateRange {
+  CivilDate begin;
+  CivilDate end;
+
+  bool Contains(const CivilDate& d) const {
+    return begin <= d && d <= end;
+  }
+  /// Number of days in the range (0 when begin > end).
+  int64_t NumDays() const {
+    int64_t n = end.ToOrdinal() - begin.ToOrdinal() + 1;
+    return n > 0 ? n : 0;
+  }
+};
+
+}  // namespace agoraeo
+
+#endif  // AGORAEO_COMMON_TIME_UTIL_H_

@@ -1,0 +1,274 @@
+#include "docstore/aggregate.h"
+
+#include <algorithm>
+#include <map>
+
+namespace agoraeo::docstore {
+
+void SetDottedPath(Document* doc, const std::string& dotted_path, Value v) {
+  const size_t dot = dotted_path.find('.');
+  if (dot == std::string::npos) {
+    doc->Set(dotted_path, std::move(v));
+    return;
+  }
+  const std::string head = dotted_path.substr(0, dot);
+  const std::string rest = dotted_path.substr(dot + 1);
+  const Value* existing = doc->Get(head);
+  Document nested;
+  if (existing != nullptr && existing->is_document()) {
+    nested = existing->as_document();
+  }
+  SetDottedPath(&nested, rest, std::move(v));
+  doc->Set(head, Value(std::move(nested)));
+}
+
+Pipeline& Pipeline::Match(Filter filter) {
+  Stage s;
+  s.kind = Stage::Kind::kMatch;
+  s.filter = std::move(filter);
+  stages_.push_back(std::move(s));
+  return *this;
+}
+
+Pipeline& Pipeline::Unwind(std::string path) {
+  Stage s;
+  s.kind = Stage::Kind::kUnwind;
+  s.path = std::move(path);
+  stages_.push_back(std::move(s));
+  return *this;
+}
+
+Pipeline& Pipeline::Group(std::string by_path,
+                          std::vector<Accumulator> accumulators) {
+  Stage s;
+  s.kind = Stage::Kind::kGroup;
+  s.path = std::move(by_path);
+  s.accumulators = std::move(accumulators);
+  stages_.push_back(std::move(s));
+  return *this;
+}
+
+Pipeline& Pipeline::Sort(std::string path, bool ascending) {
+  Stage s;
+  s.kind = Stage::Kind::kSort;
+  s.path = std::move(path);
+  s.ascending = ascending;
+  stages_.push_back(std::move(s));
+  return *this;
+}
+
+Pipeline& Pipeline::Limit(size_t n) {
+  Stage s;
+  s.kind = Stage::Kind::kLimit;
+  s.limit = n;
+  stages_.push_back(std::move(s));
+  return *this;
+}
+
+Pipeline& Pipeline::Project(std::vector<std::string> fields) {
+  Stage s;
+  s.kind = Stage::Kind::kProject;
+  s.fields = std::move(fields);
+  stages_.push_back(std::move(s));
+  return *this;
+}
+
+namespace {
+
+/// Running state of one group's accumulators.
+struct GroupState {
+  Value key;
+  std::vector<int64_t> counts;
+  std::vector<double> sums;
+  std::vector<size_t> nums;       // numeric samples seen (for avg)
+  std::vector<Value> mins;
+  std::vector<Value> maxs;
+  std::vector<bool> has_minmax;
+};
+
+void AccumulateInto(GroupState* state, const std::vector<Accumulator>& accs,
+                    const Document& doc) {
+  for (size_t i = 0; i < accs.size(); ++i) {
+    const Accumulator& acc = accs[i];
+    switch (acc.kind) {
+      case Accumulator::Kind::kCount:
+        ++state->counts[i];
+        break;
+      case Accumulator::Kind::kSum:
+      case Accumulator::Kind::kAvg: {
+        const Value* v = doc.GetPath(acc.input_path);
+        if (v != nullptr && v->is_number()) {
+          state->sums[i] += v->as_number();
+          ++state->nums[i];
+        }
+        break;
+      }
+      case Accumulator::Kind::kMin:
+      case Accumulator::Kind::kMax: {
+        const Value* v = doc.GetPath(acc.input_path);
+        if (v == nullptr) break;
+        if (!state->has_minmax[i]) {
+          state->mins[i] = *v;
+          state->maxs[i] = *v;
+          state->has_minmax[i] = true;
+        } else {
+          if (v->Compare(state->mins[i]) < 0) state->mins[i] = *v;
+          if (v->Compare(state->maxs[i]) > 0) state->maxs[i] = *v;
+        }
+        break;
+      }
+    }
+  }
+}
+
+Document FinalizeGroup(const GroupState& state,
+                       const std::vector<Accumulator>& accs) {
+  Document out;
+  out.Set("_id", state.key);
+  for (size_t i = 0; i < accs.size(); ++i) {
+    const Accumulator& acc = accs[i];
+    switch (acc.kind) {
+      case Accumulator::Kind::kCount:
+        out.Set(acc.output_field, Value(state.counts[i]));
+        break;
+      case Accumulator::Kind::kSum:
+        out.Set(acc.output_field, Value(state.sums[i]));
+        break;
+      case Accumulator::Kind::kAvg:
+        out.Set(acc.output_field,
+                state.nums[i] > 0
+                    ? Value(state.sums[i] / static_cast<double>(state.nums[i]))
+                    : Value());
+        break;
+      case Accumulator::Kind::kMin:
+        out.Set(acc.output_field,
+                state.has_minmax[i] ? state.mins[i] : Value());
+        break;
+      case Accumulator::Kind::kMax:
+        out.Set(acc.output_field,
+                state.has_minmax[i] ? state.maxs[i] : Value());
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Document>> Pipeline::Run(
+    const Collection& collection) const {
+  // The first Match stage (if any) runs through the collection's planner
+  // so it can use indexes; everything else streams over the working set.
+  std::vector<Document> working;
+  size_t start = 0;
+  if (!stages_.empty() && stages_[0].kind == Stage::Kind::kMatch) {
+    for (const Document* doc : collection.Find(stages_[0].filter)) {
+      working.push_back(*doc);
+    }
+    start = 1;
+  } else {
+    working.reserve(collection.size());
+    for (const auto& [id, doc] : collection.docs()) working.push_back(doc);
+  }
+
+  for (size_t si = start; si < stages_.size(); ++si) {
+    const Stage& stage = stages_[si];
+    switch (stage.kind) {
+      case Stage::Kind::kMatch: {
+        std::vector<Document> next;
+        for (Document& doc : working) {
+          if (stage.filter.Matches(doc)) next.push_back(std::move(doc));
+        }
+        working = std::move(next);
+        break;
+      }
+      case Stage::Kind::kUnwind: {
+        std::vector<Document> next;
+        for (const Document& doc : working) {
+          const Value* v = doc.GetPath(stage.path);
+          if (v == nullptr) continue;  // $unwind drops docs without the path
+          if (!v->is_array()) {
+            next.push_back(doc);  // scalar behaves as a 1-element array
+            continue;
+          }
+          for (const Value& element : v->as_array()) {
+            Document copy = doc;
+            SetDottedPath(&copy, stage.path, element);
+            next.push_back(std::move(copy));
+          }
+        }
+        working = std::move(next);
+        break;
+      }
+      case Stage::Kind::kGroup: {
+        for (const Accumulator& acc : stage.accumulators) {
+          if (acc.output_field.empty()) {
+            return Status::InvalidArgument(
+                "Group accumulator needs an output field name");
+          }
+        }
+        // Group states keyed by the canonical index key of the group-by
+        // value; insertion order preserved for determinism before Sort.
+        std::map<std::string, size_t> by_key;
+        std::vector<GroupState> states;
+        for (const Document& doc : working) {
+          const Value* v = doc.GetPath(stage.path);
+          const Value key = v != nullptr ? *v : Value();
+          const std::string canonical = key.IndexKey();
+          auto [it, inserted] = by_key.emplace(canonical, states.size());
+          if (inserted) {
+            GroupState s;
+            s.key = key;
+            const size_t n = stage.accumulators.size();
+            s.counts.assign(n, 0);
+            s.sums.assign(n, 0.0);
+            s.nums.assign(n, 0);
+            s.mins.assign(n, Value());
+            s.maxs.assign(n, Value());
+            s.has_minmax.assign(n, false);
+            states.push_back(std::move(s));
+          }
+          AccumulateInto(&states[it->second], stage.accumulators, doc);
+        }
+        std::vector<Document> next;
+        next.reserve(states.size());
+        for (const GroupState& s : states) {
+          next.push_back(FinalizeGroup(s, stage.accumulators));
+        }
+        working = std::move(next);
+        break;
+      }
+      case Stage::Kind::kSort: {
+        std::stable_sort(working.begin(), working.end(),
+                         [&stage](const Document& a, const Document& b) {
+                           const Value* va = a.GetPath(stage.path);
+                           const Value* vb = b.GetPath(stage.path);
+                           const Value na, nb;
+                           const Value& ka = va != nullptr ? *va : na;
+                           const Value& kb = vb != nullptr ? *vb : nb;
+                           const int cmp = ka.Compare(kb);
+                           return stage.ascending ? cmp < 0 : cmp > 0;
+                         });
+        break;
+      }
+      case Stage::Kind::kLimit: {
+        if (working.size() > stage.limit) working.resize(stage.limit);
+        break;
+      }
+      case Stage::Kind::kProject: {
+        for (Document& doc : working) {
+          Document projected;
+          for (const std::string& f : stage.fields) {
+            const Value* v = doc.Get(f);
+            if (v != nullptr) projected.Set(f, *v);
+          }
+          doc = std::move(projected);
+        }
+        break;
+      }
+    }
+  }
+  return working;
+}
+
+}  // namespace agoraeo::docstore

@@ -1,0 +1,105 @@
+#ifndef AGORAEO_DOCSTORE_AGGREGATE_H_
+#define AGORAEO_DOCSTORE_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "docstore/collection.h"
+#include "docstore/filter.h"
+#include "docstore/value.h"
+
+namespace agoraeo::docstore {
+
+/// One accumulator of a Group stage (the $group analogue).  `input_path`
+/// is unused for kCount.
+struct Accumulator {
+  enum class Kind { kCount, kSum, kAvg, kMin, kMax };
+
+  Kind kind = Kind::kCount;
+  std::string output_field;  ///< field name in the group result document
+  std::string input_path;    ///< dotted path read from each input document
+
+  static Accumulator Count(std::string as) {
+    return {Kind::kCount, std::move(as), ""};
+  }
+  static Accumulator Sum(std::string as, std::string path) {
+    return {Kind::kSum, std::move(as), std::move(path)};
+  }
+  static Accumulator Avg(std::string as, std::string path) {
+    return {Kind::kAvg, std::move(as), std::move(path)};
+  }
+  static Accumulator Min(std::string as, std::string path) {
+    return {Kind::kMin, std::move(as), std::move(path)};
+  }
+  static Accumulator Max(std::string as, std::string path) {
+    return {Kind::kMax, std::move(as), std::move(path)};
+  }
+};
+
+/// A document aggregation pipeline over a collection — the embedded
+/// analogue of MongoDB's aggregation framework, which is how EarthQube's
+/// label-statistics view (paper Figure 2-4) is computed against the real
+/// data tier: unwind the labels array, group-count by label, sort
+/// descending.
+///
+/// Stages execute in the order they were added:
+///   - Match(filter): keep documents satisfying the filter (uses the
+///     collection's indexes when it is the first stage).
+///   - Unwind(path): emit one document per element of the array at
+///     `path`, with the array replaced by the element.
+///   - Group(by, accumulators): group by the value at `by` (missing
+///     values group under null); each output document carries
+///     {_id: group key, <accumulator outputs>}.
+///   - Sort(path, ascending): order documents by the value at `path`
+///     (Value::Compare order; stable).
+///   - Limit(n): keep the first n documents.
+///   - Project(paths): keep only the listed top-level fields.
+///
+/// Example (label statistics):
+///   Pipeline()
+///       .Match(Filter::Eq("properties.country", Value("Portugal")))
+///       .Unwind("properties.labels")
+///       .Group("properties.labels", {Accumulator::Count("count")})
+///       .Sort("count", /*ascending=*/false)
+///       .Run(collection);
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  Pipeline& Match(Filter filter);
+  Pipeline& Unwind(std::string path);
+  Pipeline& Group(std::string by_path, std::vector<Accumulator> accumulators);
+  Pipeline& Sort(std::string path, bool ascending = true);
+  Pipeline& Limit(size_t n);
+  Pipeline& Project(std::vector<std::string> fields);
+
+  /// Executes the pipeline.  InvalidArgument on malformed stages (e.g.
+  /// Avg over a non-numeric field is skipped per-document, but a Group
+  /// with an empty output field name fails).
+  StatusOr<std::vector<Document>> Run(const Collection& collection) const;
+
+  size_t num_stages() const { return stages_.size(); }
+
+ private:
+  struct Stage {
+    enum class Kind { kMatch, kUnwind, kGroup, kSort, kLimit, kProject };
+    Kind kind;
+    Filter filter = Filter::True();   // kMatch
+    std::string path;                 // kUnwind / kGroup by / kSort
+    std::vector<Accumulator> accumulators;  // kGroup
+    bool ascending = true;            // kSort
+    size_t limit = 0;                 // kLimit
+    std::vector<std::string> fields;  // kProject
+  };
+
+  std::vector<Stage> stages_;
+};
+
+/// Sets a dotted path inside a document, materialising intermediate
+/// sub-documents as needed (used by Unwind; exposed for tests).
+void SetDottedPath(Document* doc, const std::string& dotted_path, Value v);
+
+}  // namespace agoraeo::docstore
+
+#endif  // AGORAEO_DOCSTORE_AGGREGATE_H_

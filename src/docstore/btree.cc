@@ -1,0 +1,430 @@
+#include "docstore/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace agoraeo::docstore {
+
+struct BPlusTree::Node {
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+
+  bool leaf;
+  std::vector<Value> keys;
+  // Leaf payload, parallel to keys.
+  std::vector<std::vector<DocId>> postings;
+  // Internal children; children.size() == keys.size() + 1.
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaf chain.
+  Node* next = nullptr;
+  Node* prev = nullptr;
+};
+
+namespace {
+
+/// Index of the first key in `keys` not less than `key`.
+size_t LowerBound(const std::vector<Value>& keys, const Value& key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (keys[mid].Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Child index a search for `key` routes to: the number of separators
+/// <= key (equal keys live in the right subtree of their separator).
+size_t RouteIndex(const std::vector<Value>& keys, const Value& key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (keys[mid].Compare(key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree(size_t order)
+    : order_(std::max<size_t>(4, order)),
+      root_(std::make_unique<Node>(/*is_leaf=*/true)) {}
+
+BPlusTree::~BPlusTree() = default;
+BPlusTree::BPlusTree(BPlusTree&&) noexcept = default;
+BPlusTree& BPlusTree::operator=(BPlusTree&&) noexcept = default;
+
+BPlusTree::Node* BPlusTree::LeafFor(const Value& key) const {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[RouteIndex(node->keys, key)].get();
+  }
+  return node;
+}
+
+BPlusTree::Node* BPlusTree::LeafLowerBound(const Value* lower) const {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    node = lower == nullptr
+               ? node->children.front().get()
+               : node->children[RouteIndex(node->keys, *lower)].get();
+  }
+  return node;
+}
+
+const std::vector<DocId>* BPlusTree::Find(const Value& key) const {
+  const Node* leaf = LeafFor(key);
+  const size_t pos = LowerBound(leaf->keys, key);
+  if (pos < leaf->keys.size() && leaf->keys[pos].Compare(key) == 0) {
+    return &leaf->postings[pos];
+  }
+  return nullptr;
+}
+
+void BPlusTree::Insert(const Value& key, DocId id) {
+  bool split = false;
+  Value split_key;
+  std::unique_ptr<Node> split_node;
+  InsertRec(root_.get(), key, id, &split, &split_key, &split_node);
+  if (split) {
+    auto new_root = std::make_unique<Node>(/*is_leaf=*/false);
+    new_root->keys.push_back(std::move(split_key));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split_node));
+    root_ = std::move(new_root);
+  }
+}
+
+void BPlusTree::InsertRec(Node* node, const Value& key, DocId id, bool* split,
+                          Value* split_key,
+                          std::unique_ptr<Node>* split_node) {
+  *split = false;
+  if (node->leaf) {
+    const size_t pos = LowerBound(node->keys, key);
+    if (pos < node->keys.size() && node->keys[pos].Compare(key) == 0) {
+      auto& list = node->postings[pos];
+      if (std::find(list.begin(), list.end(), id) == list.end()) {
+        list.push_back(id);
+      }
+      return;
+    }
+    node->keys.insert(node->keys.begin() + pos, key);
+    node->postings.insert(node->postings.begin() + pos, {id});
+    ++num_keys_;
+    if (node->keys.size() <= order_) return;
+
+    // Split the leaf: right half moves to a new sibling.
+    const size_t mid = node->keys.size() / 2;
+    auto right = std::make_unique<Node>(/*is_leaf=*/true);
+    right->keys.assign(std::make_move_iterator(node->keys.begin() + mid),
+                       std::make_move_iterator(node->keys.end()));
+    right->postings.assign(
+        std::make_move_iterator(node->postings.begin() + mid),
+        std::make_move_iterator(node->postings.end()));
+    node->keys.resize(mid);
+    node->postings.resize(mid);
+    right->next = node->next;
+    right->prev = node;
+    if (node->next != nullptr) node->next->prev = right.get();
+    node->next = right.get();
+    *split = true;
+    *split_key = right->keys.front();
+    *split_node = std::move(right);
+    return;
+  }
+
+  const size_t idx = RouteIndex(node->keys, key);
+  bool child_split = false;
+  Value child_key;
+  std::unique_ptr<Node> child_node;
+  InsertRec(node->children[idx].get(), key, id, &child_split, &child_key,
+            &child_node);
+  if (!child_split) return;
+  node->keys.insert(node->keys.begin() + idx, std::move(child_key));
+  node->children.insert(node->children.begin() + idx + 1,
+                        std::move(child_node));
+  if (node->keys.size() <= order_) return;
+
+  // Split the internal node: the middle separator moves up.
+  const size_t mid = node->keys.size() / 2;
+  auto right = std::make_unique<Node>(/*is_leaf=*/false);
+  *split_key = std::move(node->keys[mid]);
+  right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                     std::make_move_iterator(node->keys.end()));
+  right->children.assign(
+      std::make_move_iterator(node->children.begin() + mid + 1),
+      std::make_move_iterator(node->children.end()));
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  *split = true;
+  *split_node = std::move(right);
+}
+
+bool BPlusTree::Remove(const Value& key, DocId id) {
+  bool underflow = false;
+  const bool found = RemoveRec(root_.get(), key, id, &underflow);
+  // Shrink the height when the root is an internal node with one child.
+  if (!root_->leaf && root_->keys.empty()) {
+    root_ = std::move(root_->children.front());
+  }
+  return found;
+}
+
+bool BPlusTree::RemoveRec(Node* node, const Value& key, DocId id,
+                          bool* underflow) {
+  *underflow = false;
+  if (node->leaf) {
+    const size_t pos = LowerBound(node->keys, key);
+    if (pos >= node->keys.size() || node->keys[pos].Compare(key) != 0) {
+      return false;
+    }
+    auto& list = node->postings[pos];
+    auto it = std::find(list.begin(), list.end(), id);
+    if (it == list.end()) return false;
+    list.erase(it);
+    if (list.empty()) {
+      node->keys.erase(node->keys.begin() + pos);
+      node->postings.erase(node->postings.begin() + pos);
+      --num_keys_;
+      *underflow = node->keys.size() < min_keys();
+    }
+    return true;
+  }
+
+  const size_t idx = RouteIndex(node->keys, key);
+  bool child_underflow = false;
+  const bool found =
+      RemoveRec(node->children[idx].get(), key, id, &child_underflow);
+  if (child_underflow) FixUnderflow(node, idx);
+  *underflow = node->keys.size() < min_keys();
+  return found;
+}
+
+void BPlusTree::FixUnderflow(Node* parent, size_t child_idx) {
+  Node* child = parent->children[child_idx].get();
+  Node* left =
+      child_idx > 0 ? parent->children[child_idx - 1].get() : nullptr;
+  Node* right = child_idx + 1 < parent->children.size()
+                    ? parent->children[child_idx + 1].get()
+                    : nullptr;
+
+  if (left != nullptr && left->keys.size() > min_keys()) {
+    // Borrow the greatest entry of the left sibling.
+    if (child->leaf) {
+      child->keys.insert(child->keys.begin(), std::move(left->keys.back()));
+      child->postings.insert(child->postings.begin(),
+                             std::move(left->postings.back()));
+      left->keys.pop_back();
+      left->postings.pop_back();
+      parent->keys[child_idx - 1] = child->keys.front();
+    } else {
+      child->keys.insert(child->keys.begin(),
+                         std::move(parent->keys[child_idx - 1]));
+      parent->keys[child_idx - 1] = std::move(left->keys.back());
+      left->keys.pop_back();
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      left->children.pop_back();
+    }
+    return;
+  }
+  if (right != nullptr && right->keys.size() > min_keys()) {
+    // Borrow the smallest entry of the right sibling.
+    if (child->leaf) {
+      child->keys.push_back(std::move(right->keys.front()));
+      child->postings.push_back(std::move(right->postings.front()));
+      right->keys.erase(right->keys.begin());
+      right->postings.erase(right->postings.begin());
+      parent->keys[child_idx] = right->keys.front();
+    } else {
+      child->keys.push_back(std::move(parent->keys[child_idx]));
+      parent->keys[child_idx] = std::move(right->keys.front());
+      right->keys.erase(right->keys.begin());
+      child->children.push_back(std::move(right->children.front()));
+      right->children.erase(right->children.begin());
+    }
+    return;
+  }
+
+  // Merge: fold the child into its left sibling, or the right sibling
+  // into the child (one of the two must exist; the root has >= 2
+  // children whenever FixUnderflow is reached).
+  if (left != nullptr) {
+    if (child->leaf) {
+      for (size_t i = 0; i < child->keys.size(); ++i) {
+        left->keys.push_back(std::move(child->keys[i]));
+        left->postings.push_back(std::move(child->postings[i]));
+      }
+      left->next = child->next;
+      if (child->next != nullptr) child->next->prev = left;
+    } else {
+      left->keys.push_back(std::move(parent->keys[child_idx - 1]));
+      for (auto& k : child->keys) left->keys.push_back(std::move(k));
+      for (auto& c : child->children) left->children.push_back(std::move(c));
+    }
+    parent->keys.erase(parent->keys.begin() + child_idx - 1);
+    parent->children.erase(parent->children.begin() + child_idx);
+  } else {
+    if (child->leaf) {
+      for (size_t i = 0; i < right->keys.size(); ++i) {
+        child->keys.push_back(std::move(right->keys[i]));
+        child->postings.push_back(std::move(right->postings[i]));
+      }
+      child->next = right->next;
+      if (right->next != nullptr) right->next->prev = child;
+    } else {
+      child->keys.push_back(std::move(parent->keys[child_idx]));
+      for (auto& k : right->keys) child->keys.push_back(std::move(k));
+      for (auto& c : right->children) child->children.push_back(std::move(c));
+    }
+    parent->keys.erase(parent->keys.begin() + child_idx);
+    parent->children.erase(parent->children.begin() + child_idx + 1);
+  }
+}
+
+void BPlusTree::Scan(
+    const Value* lower, bool lower_inclusive, const Value* upper,
+    bool upper_inclusive,
+    const std::function<void(const Value&, const std::vector<DocId>&)>& visit)
+    const {
+  const Node* leaf = LeafLowerBound(lower);
+  size_t pos = 0;
+  if (lower != nullptr) {
+    pos = LowerBound(leaf->keys, *lower);
+    // Skip an equal key on an exclusive lower bound.
+    if (!lower_inclusive && pos < leaf->keys.size() &&
+        leaf->keys[pos].Compare(*lower) == 0) {
+      ++pos;
+    }
+  }
+  while (leaf != nullptr) {
+    for (; pos < leaf->keys.size(); ++pos) {
+      if (upper != nullptr) {
+        const int cmp = leaf->keys[pos].Compare(*upper);
+        if (cmp > 0 || (cmp == 0 && !upper_inclusive)) return;
+      }
+      visit(leaf->keys[pos], leaf->postings[pos]);
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+}
+
+std::vector<DocId> BPlusTree::ScanIds(const Value* lower, bool lower_inclusive,
+                                      const Value* upper,
+                                      bool upper_inclusive) const {
+  std::vector<DocId> out;
+  Scan(lower, lower_inclusive, upper, upper_inclusive,
+       [&](const Value&, const std::vector<DocId>& postings) {
+         out.insert(out.end(), postings.begin(), postings.end());
+       });
+  return out;
+}
+
+size_t BPlusTree::height() const {
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+std::string BPlusTree::CheckInvariants() const {
+  // Walk the tree verifying ordering and occupancy; then verify the leaf
+  // chain covers every key in ascending order.
+  std::string error;
+  size_t leaf_depth = 0;
+  bool leaf_depth_set = false;
+
+  // (node, depth, lower, upper): every key k in the subtree must satisfy
+  // lower <= k < upper (null = unbounded).
+  std::function<void(const Node*, size_t, const Value*, const Value*)> walk =
+      [&](const Node* node, size_t depth, const Value* lo, const Value* hi) {
+        if (!error.empty()) return;
+        const bool is_root = node == root_.get();
+        if (!is_root && node->keys.size() < min_keys()) {
+          error = "node below minimum occupancy";
+          return;
+        }
+        if (node->keys.size() > order_) {
+          error = "node above maximum occupancy";
+          return;
+        }
+        for (size_t i = 0; i + 1 < node->keys.size(); ++i) {
+          if (node->keys[i].Compare(node->keys[i + 1]) >= 0) {
+            error = "keys not strictly ascending";
+            return;
+          }
+        }
+        for (const Value& k : node->keys) {
+          if (lo != nullptr && k.Compare(*lo) < 0) {
+            error = "key below subtree lower bound";
+            return;
+          }
+          if (hi != nullptr && k.Compare(*hi) >= 0) {
+            error = "key at or above subtree upper bound";
+            return;
+          }
+        }
+        if (node->leaf) {
+          if (node->postings.size() != node->keys.size()) {
+            error = "leaf postings/keys size mismatch";
+            return;
+          }
+          for (const auto& p : node->postings) {
+            if (p.empty()) {
+              error = "empty posting list retained";
+              return;
+            }
+          }
+          if (!leaf_depth_set) {
+            leaf_depth = depth;
+            leaf_depth_set = true;
+          } else if (depth != leaf_depth) {
+            error = "leaves at differing depths";
+          }
+          return;
+        }
+        if (node->children.size() != node->keys.size() + 1) {
+          error = "internal child count != keys + 1";
+          return;
+        }
+        for (size_t i = 0; i < node->children.size(); ++i) {
+          const Value* child_lo = i == 0 ? lo : &node->keys[i - 1];
+          const Value* child_hi = i == node->keys.size() ? hi : &node->keys[i];
+          walk(node->children[i].get(), depth + 1, child_lo, child_hi);
+        }
+      };
+  walk(root_.get(), 1, nullptr, nullptr);
+  if (!error.empty()) return error;
+
+  // Leaf chain: ascending keys, count matches, prev links consistent.
+  const Node* leftmost = root_.get();
+  while (!leftmost->leaf) leftmost = leftmost->children.front().get();
+  size_t count = 0;
+  const Value* prev_key = nullptr;
+  const Node* prev_leaf = nullptr;
+  for (const Node* leaf = leftmost; leaf != nullptr; leaf = leaf->next) {
+    if (leaf->prev != prev_leaf) return "leaf prev pointer inconsistent";
+    for (const Value& k : leaf->keys) {
+      if (prev_key != nullptr && prev_key->Compare(k) >= 0) {
+        return "leaf chain keys not ascending";
+      }
+      prev_key = &k;
+      ++count;
+    }
+    prev_leaf = leaf;
+  }
+  if (count != num_keys_) return "leaf chain key count != num_keys";
+  return "";
+}
+
+}  // namespace agoraeo::docstore

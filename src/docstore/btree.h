@@ -1,0 +1,108 @@
+#ifndef AGORAEO_DOCSTORE_BTREE_H_
+#define AGORAEO_DOCSTORE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "docstore/value.h"
+
+namespace agoraeo::docstore {
+
+/// Identifier of a document within a collection (mirrors index.h; kept
+/// here so the tree is self-contained).
+using DocId = uint64_t;
+
+/// An in-memory B+-tree from Value keys (total order per Value::Compare)
+/// to DocId posting lists — the order-preserving index MongoDB's B-tree
+/// secondary indexes provide, which EarthQube's acquisition-date range
+/// filters rely on.
+///
+/// Structure: internal nodes hold separator keys and child pointers
+/// (children.size() == keys.size() + 1); leaves hold (key, posting list)
+/// pairs and are doubly linked for range scans.  Separator key i equals
+/// the smallest key in the subtree of child i+1.  Nodes split at
+/// `order` keys and rebalance (borrow from a sibling, else merge) when
+/// they fall below order/2, so the tree stays height-balanced under
+/// arbitrary insert/remove sequences.
+class BPlusTree {
+ public:
+  /// `order` is the maximum number of keys per node (>= 4).
+  explicit BPlusTree(size_t order = 32);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+
+  /// Adds `id` to the posting list of `key` (creating the key if new).
+  /// Duplicate (key, id) pairs are stored once.
+  void Insert(const Value& key, DocId id);
+
+  /// Removes `id` from the posting list of `key`; erases the key when
+  /// its posting list becomes empty.  Returns false when the pair was
+  /// not present.
+  bool Remove(const Value& key, DocId id);
+
+  /// Posting list for an exact key (nullptr when absent).  The pointer
+  /// is valid until the next mutation.
+  const std::vector<DocId>* Find(const Value& key) const;
+
+  /// Visits (key, postings) for every key in the interval, ascending.
+  /// A null bound means unbounded on that side.
+  void Scan(const Value* lower, bool lower_inclusive, const Value* upper,
+            bool upper_inclusive,
+            const std::function<void(const Value&, const std::vector<DocId>&)>&
+                visit) const;
+
+  /// All DocIds in the interval, ascending by (key, insertion order),
+  /// de-duplicated by the caller if needed (a DocId appears under one key
+  /// only in index usage).
+  std::vector<DocId> ScanIds(const Value* lower, bool lower_inclusive,
+                             const Value* upper, bool upper_inclusive) const;
+
+  size_t num_keys() const { return num_keys_; }
+  size_t order() const { return order_; }
+  /// Tree height (1 for a single leaf).
+  size_t height() const;
+
+  /// Verifies structural invariants (sorted keys, node occupancy, uniform
+  /// leaf depth, separator correctness, leaf-chain completeness).  Used
+  /// by the property tests; returns a description of the first violation
+  /// or the empty string when consistent.
+  std::string CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  Node* LeafFor(const Value& key) const;
+  /// First leaf whose greatest key could reach `lower` (leftmost when
+  /// lower is null).
+  Node* LeafLowerBound(const Value* lower) const;
+
+  /// Inserts into the subtree at `node`.  When the child splits, sets
+  /// `*split_key`/`*split_node` to the separator and new right sibling.
+  void InsertRec(Node* node, const Value& key, DocId id, bool* split,
+                 Value* split_key, std::unique_ptr<Node>* split_node);
+
+  /// Removes from the subtree; returns true when the pair existed.
+  /// `*underflow` reports whether `node` fell below minimum occupancy.
+  bool RemoveRec(Node* node, const Value& key, DocId id, bool* underflow);
+
+  /// Restores occupancy of children_[child] of `parent` by borrowing
+  /// from a sibling or merging with one.
+  void FixUnderflow(Node* parent, size_t child);
+
+  size_t min_keys() const { return order_ / 2; }
+
+  size_t order_;
+  size_t num_keys_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace agoraeo::docstore
+
+#endif  // AGORAEO_DOCSTORE_BTREE_H_

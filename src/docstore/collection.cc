@@ -1,0 +1,413 @@
+#include "docstore/collection.h"
+
+#include <algorithm>
+
+namespace agoraeo::docstore {
+
+StatusOr<DocId> Collection::Insert(Document doc) {
+  const DocId id = next_id_;
+  // Unique-index check first so a rejected insert leaves no trace.
+  for (const auto& idx : hash_indexes_) {
+    if (!idx->unique()) continue;
+    const Value* v = doc.GetPath(idx->path());
+    if (v != nullptr && idx->Lookup(*v) != nullptr) {
+      return Status::AlreadyExists("duplicate key on unique index " +
+                                   idx->path() + ": " + v->ToString());
+    }
+  }
+  for (const auto& idx : hash_indexes_) {
+    AGORAEO_RETURN_IF_ERROR(idx->Insert(id, doc));
+  }
+  for (const auto& idx : multikey_indexes_) idx->Insert(id, doc);
+  for (const auto& idx : geo_indexes_) idx->Insert(id, doc);
+  for (const auto& idx : range_indexes_) idx->Insert(id, doc);
+  docs_.emplace(id, std::move(doc));
+  ++next_id_;
+  return id;
+}
+
+Status Collection::Remove(DocId id) {
+  auto it = docs_.find(id);
+  if (it == docs_.end()) {
+    return Status::NotFound("no document with id " + std::to_string(id));
+  }
+  for (const auto& idx : hash_indexes_) idx->Remove(id, it->second);
+  for (const auto& idx : multikey_indexes_) idx->Remove(id, it->second);
+  for (const auto& idx : geo_indexes_) idx->Remove(id, it->second);
+  for (const auto& idx : range_indexes_) idx->Remove(id, it->second);
+  docs_.erase(it);
+  return Status::OK();
+}
+
+Status Collection::Update(DocId id, Document doc) {
+  auto it = docs_.find(id);
+  if (it == docs_.end()) {
+    return Status::NotFound("no document with id " + std::to_string(id));
+  }
+  // Check unique constraints against other documents.
+  for (const auto& idx : hash_indexes_) {
+    if (!idx->unique()) continue;
+    const Value* v = doc.GetPath(idx->path());
+    if (v == nullptr) continue;
+    const auto* list = idx->Lookup(*v);
+    if (list != nullptr && !(list->size() == 1 && (*list)[0] == id)) {
+      return Status::AlreadyExists("duplicate key on unique index " +
+                                   idx->path() + ": " + v->ToString());
+    }
+  }
+  for (const auto& idx : hash_indexes_) idx->Remove(id, it->second);
+  for (const auto& idx : multikey_indexes_) idx->Remove(id, it->second);
+  for (const auto& idx : geo_indexes_) idx->Remove(id, it->second);
+  for (const auto& idx : range_indexes_) idx->Remove(id, it->second);
+  it->second = std::move(doc);
+  for (const auto& idx : hash_indexes_) {
+    AGORAEO_RETURN_IF_ERROR(idx->Insert(id, it->second));
+  }
+  for (const auto& idx : multikey_indexes_) idx->Insert(id, it->second);
+  for (const auto& idx : geo_indexes_) idx->Insert(id, it->second);
+  for (const auto& idx : range_indexes_) idx->Insert(id, it->second);
+  return Status::OK();
+}
+
+const Document* Collection::Get(DocId id) const {
+  auto it = docs_.find(id);
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+bool Collection::PlanLeaf(const Filter& leaf, std::vector<DocId>* candidates,
+                          std::string* plan) const {
+  switch (leaf.op()) {
+    case Filter::Op::kEq: {
+      for (const auto& idx : hash_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        const auto* list = idx->Lookup(leaf.values()[0]);
+        *candidates = list != nullptr ? *list : std::vector<DocId>{};
+        *plan = "IXSCAN(hash:" + idx->path() + ")";
+        return true;
+      }
+      for (const auto& idx : multikey_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        const auto* list = idx->Lookup(leaf.values()[0]);
+        *candidates = list != nullptr ? *list : std::vector<DocId>{};
+        *plan = "IXSCAN(multikey:" + idx->path() + ")";
+        return true;
+      }
+      for (const auto& idx : range_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        const auto* list = idx->Lookup(leaf.values()[0]);
+        *candidates = list != nullptr ? *list : std::vector<DocId>{};
+        *plan = "IXSCAN(range:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    case Filter::Op::kGt:
+    case Filter::Op::kGte:
+    case Filter::Op::kLt:
+    case Filter::Op::kLte: {
+      for (const auto& idx : range_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        const Value& bound = leaf.values()[0];
+        const bool is_lower = leaf.op() == Filter::Op::kGt ||
+                              leaf.op() == Filter::Op::kGte;
+        const bool inclusive = leaf.op() == Filter::Op::kGte ||
+                               leaf.op() == Filter::Op::kLte;
+        *candidates = is_lower
+                          ? idx->Scan(&bound, inclusive, nullptr, false)
+                          : idx->Scan(nullptr, false, &bound, inclusive);
+        *plan = "IXSCAN(range:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    case Filter::Op::kIn: {
+      for (const auto& idx : multikey_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        *candidates = idx->LookupAny(leaf.values());
+        *plan = "IXSCAN(multikey:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    case Filter::Op::kAll: {
+      for (const auto& idx : multikey_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        *candidates = idx->LookupAll(leaf.values());
+        *plan = "IXSCAN(multikey:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    case Filter::Op::kGeoIntersects: {
+      for (const auto& idx : geo_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        *candidates = idx->Candidates(leaf.box());
+        *plan = "IXSCAN(geo:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    case Filter::Op::kGeoWithinCircle: {
+      for (const auto& idx : geo_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        *candidates = idx->Candidates(leaf.circle().Bounds());
+        *plan = "IXSCAN(geo:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    case Filter::Op::kGeoWithinPolygon: {
+      for (const auto& idx : geo_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        *candidates = idx->Candidates(leaf.polygon().Bounds());
+        *plan = "IXSCAN(geo:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+bool Collection::PlanCandidates(const Filter& filter,
+                                std::vector<DocId>* candidates,
+                                std::string* plan) const {
+  // Try the filter itself as an indexable leaf.
+  if (PlanLeaf(filter, candidates, plan)) return true;
+  // For a conjunction, use the applicable conjunct with the fewest
+  // candidates; remaining conjuncts are applied during verification.
+  if (filter.op() == Filter::Op::kAnd) {
+    bool found = false;
+    std::vector<DocId> best;
+    std::string best_plan;
+    for (const Filter& child : filter.children()) {
+      std::vector<DocId> cand;
+      std::string child_plan;
+      if (!PlanLeaf(child, &cand, &child_plan)) continue;
+      if (!found || cand.size() < best.size()) {
+        best = std::move(cand);
+        best_plan = std::move(child_plan);
+        found = true;
+      }
+    }
+    // A combined interval over several range conjuncts on one path can
+    // beat any single conjunct (e.g. date >= a AND date <= b).
+    std::vector<DocId> range_cand;
+    std::string range_plan;
+    if (PlanRangeConjunction(filter.children(), &range_cand, &range_plan) &&
+        (!found || range_cand.size() < best.size())) {
+      best = std::move(range_cand);
+      best_plan = std::move(range_plan);
+      found = true;
+    }
+    if (found) {
+      *candidates = std::move(best);
+      *plan = std::move(best_plan);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Collection::PlanRangeConjunction(const std::vector<Filter>& conjuncts,
+                                      std::vector<DocId>* candidates,
+                                      std::string* plan) const {
+  for (const auto& idx : range_indexes_) {
+    // Tightest interval implied by the conjuncts on this path.
+    const Value* lower = nullptr;
+    const Value* upper = nullptr;
+    bool lower_inc = true, upper_inc = true;
+    size_t bounds = 0;
+    for (const Filter& child : conjuncts) {
+      if (child.path() != idx->path()) continue;
+      switch (child.op()) {
+        case Filter::Op::kEq:
+          lower = upper = &child.values()[0];
+          lower_inc = upper_inc = true;
+          ++bounds;
+          break;
+        case Filter::Op::kGt:
+        case Filter::Op::kGte: {
+          const Value& b = child.values()[0];
+          const bool inc = child.op() == Filter::Op::kGte;
+          if (lower == nullptr || b.Compare(*lower) > 0 ||
+              (b.Compare(*lower) == 0 && !inc)) {
+            lower = &b;
+            lower_inc = inc;
+          }
+          ++bounds;
+          break;
+        }
+        case Filter::Op::kLt:
+        case Filter::Op::kLte: {
+          const Value& b = child.values()[0];
+          const bool inc = child.op() == Filter::Op::kLte;
+          if (upper == nullptr || b.Compare(*upper) < 0 ||
+              (b.Compare(*upper) == 0 && !inc)) {
+            upper = &b;
+            upper_inc = inc;
+          }
+          ++bounds;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if (bounds == 0) continue;
+    *candidates = idx->Scan(lower, lower_inc, upper, upper_inc);
+    *plan = "IXSCAN(range:" + idx->path() + ")";
+    return true;
+  }
+  return false;
+}
+
+std::vector<DocId> Collection::FindIds(const Filter& filter, size_t limit,
+                                       QueryStats* stats) const {
+  QueryStats local;
+  std::vector<DocId> out;
+
+  std::vector<DocId> candidates;
+  if (PlanCandidates(filter, &candidates, &local.plan)) {
+    local.index_candidates = candidates.size();
+    for (DocId id : candidates) {
+      auto it = docs_.find(id);
+      if (it == docs_.end()) continue;
+      ++local.docs_examined;
+      if (filter.Matches(it->second)) {
+        out.push_back(id);
+        if (limit != 0 && out.size() >= limit) break;
+      }
+    }
+  } else {
+    local.plan = "COLLSCAN";
+    for (const auto& [id, doc] : docs_) {
+      ++local.docs_examined;
+      if (filter.Matches(doc)) {
+        out.push_back(id);
+        if (limit != 0 && out.size() >= limit) break;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = std::move(local);
+  return out;
+}
+
+std::vector<const Document*> Collection::Find(const Filter& filter,
+                                              size_t limit,
+                                              QueryStats* stats) const {
+  std::vector<const Document*> out;
+  for (DocId id : FindIds(filter, limit, stats)) {
+    out.push_back(&docs_.at(id));
+  }
+  return out;
+}
+
+StatusOr<DocId> Collection::FindOneId(const Filter& filter) const {
+  std::vector<DocId> ids = FindIds(filter, 1);
+  if (ids.empty()) {
+    return Status::NotFound("no document matches " + filter.ToString());
+  }
+  return ids[0];
+}
+
+size_t Collection::Count(const Filter& filter, QueryStats* stats) const {
+  return FindIds(filter, 0, stats).size();
+}
+
+std::map<std::string, size_t> Collection::CountByArrayField(
+    const std::string& path, const Filter& filter) const {
+  std::map<std::string, size_t> counts;
+  for (DocId id : FindIds(filter)) {
+    const Document& doc = docs_.at(id);
+    const Value* v = doc.GetPath(path);
+    if (v == nullptr) continue;
+    if (v->is_array()) {
+      for (const Value& element : v->as_array()) {
+        if (element.is_string()) {
+          ++counts[element.as_string()];
+        } else {
+          ++counts[element.ToString()];
+        }
+      }
+    } else if (v->is_string()) {
+      ++counts[v->as_string()];
+    }
+  }
+  return counts;
+}
+
+Status Collection::CreateHashIndex(const std::string& path, bool unique) {
+  for (const auto& idx : hash_indexes_) {
+    if (idx->path() == path) {
+      return Status::AlreadyExists("hash index exists on " + path);
+    }
+  }
+  auto idx = std::make_unique<HashIndex>(path, unique);
+  for (const auto& [id, doc] : docs_) {
+    AGORAEO_RETURN_IF_ERROR(idx->Insert(id, doc));
+  }
+  hash_indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+Status Collection::CreateMultikeyIndex(const std::string& path) {
+  for (const auto& idx : multikey_indexes_) {
+    if (idx->path() == path) {
+      return Status::AlreadyExists("multikey index exists on " + path);
+    }
+  }
+  auto idx = std::make_unique<MultikeyIndex>(path);
+  for (const auto& [id, doc] : docs_) idx->Insert(id, doc);
+  multikey_indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+Status Collection::CreateGeoIndex(const std::string& path, int precision) {
+  if (precision < 1 || precision > 12) {
+    return Status::InvalidArgument("geo index precision must be in [1, 12]");
+  }
+  for (const auto& idx : geo_indexes_) {
+    if (idx->path() == path) {
+      return Status::AlreadyExists("geo index exists on " + path);
+    }
+  }
+  auto idx = std::make_unique<GeoIndex>(path, precision);
+  for (const auto& [id, doc] : docs_) idx->Insert(id, doc);
+  geo_indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+Status Collection::CreateRangeIndex(const std::string& path) {
+  for (const auto& idx : range_indexes_) {
+    if (idx->path() == path) {
+      return Status::AlreadyExists("range index exists on " + path);
+    }
+  }
+  auto idx = std::make_unique<RangeIndex>(path);
+  for (const auto& [id, doc] : docs_) idx->Insert(id, doc);
+  range_indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+std::vector<Collection::IndexSpec> Collection::IndexSpecs() const {
+  std::vector<IndexSpec> specs;
+  for (const auto& idx : hash_indexes_) {
+    specs.push_back({idx->unique() ? IndexSpec::Kind::kUniqueHash
+                                   : IndexSpec::Kind::kHash,
+                     idx->path(), 0});
+  }
+  for (const auto& idx : multikey_indexes_) {
+    specs.push_back({IndexSpec::Kind::kMultikey, idx->path(), 0});
+  }
+  for (const auto& idx : geo_indexes_) {
+    specs.push_back({IndexSpec::Kind::kGeo, idx->path(), idx->precision()});
+  }
+  for (const auto& idx : range_indexes_) {
+    specs.push_back({IndexSpec::Kind::kRange, idx->path(), 0});
+  }
+  return specs;
+}
+
+}  // namespace agoraeo::docstore

@@ -1,0 +1,127 @@
+#ifndef AGORAEO_DOCSTORE_COLLECTION_H_
+#define AGORAEO_DOCSTORE_COLLECTION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "docstore/filter.h"
+#include "docstore/index.h"
+#include "docstore/value.h"
+
+namespace agoraeo::docstore {
+
+/// Execution trace of one query; lets tests and benchmarks verify which
+/// plan was chosen (index scan vs. collection scan) and its work.
+struct QueryStats {
+  size_t docs_examined = 0;    ///< documents run through the filter
+  size_t index_candidates = 0; ///< candidate ids produced by the index
+  std::string plan = "COLLSCAN";  ///< "COLLSCAN" or "IXSCAN(<index path>)"
+};
+
+/// A named set of documents with secondary indexes and a small query
+/// planner — the collection abstraction EarthQube's MongoDB data tier
+/// provides (metadata, image data, rendered images, feedback).
+///
+/// The planner chooses, among applicable indexes for a filter's top-level
+/// conjuncts, the access path with the fewest candidates, then re-verifies
+/// candidates against the complete filter (indexes never return false
+/// positives to callers).
+class Collection {
+ public:
+  explicit Collection(std::string name) : name_(std::move(name)) {}
+
+  Collection(const Collection&) = delete;
+  Collection& operator=(const Collection&) = delete;
+  Collection(Collection&&) = default;
+  Collection& operator=(Collection&&) = default;
+
+  /// Inserts a document, assigning a fresh DocId.  Fails with
+  /// AlreadyExists when a unique index key collides (document not
+  /// inserted).
+  StatusOr<DocId> Insert(Document doc);
+
+  /// Removes a document; NotFound when absent.
+  Status Remove(DocId id);
+
+  /// Replaces a document in place, maintaining all indexes.
+  Status Update(DocId id, Document doc);
+
+  /// Fetches a document (nullptr when absent).
+  const Document* Get(DocId id) const;
+
+  /// Ids of documents matching `filter`, in DocId order; `limit` of 0
+  /// means unlimited.
+  std::vector<DocId> FindIds(const Filter& filter, size_t limit = 0,
+                             QueryStats* stats = nullptr) const;
+
+  /// Matching documents (pointers valid until the next mutation).
+  std::vector<const Document*> Find(const Filter& filter, size_t limit = 0,
+                                    QueryStats* stats = nullptr) const;
+
+  /// First match or NotFound.
+  StatusOr<DocId> FindOneId(const Filter& filter) const;
+
+  /// Number of matching documents.
+  size_t Count(const Filter& filter, QueryStats* stats = nullptr) const;
+
+  /// Aggregation used by the label-statistics view: counts occurrences of
+  /// every element of the array field at `path` across documents matching
+  /// `filter` (e.g. how many retrieved images carry each label).
+  std::map<std::string, size_t> CountByArrayField(
+      const std::string& path, const Filter& filter) const;
+
+  // --- index management -----------------------------------------------
+
+  /// Creates an exact-match index; `unique` rejects duplicate keys.
+  /// Existing documents are indexed immediately.
+  Status CreateHashIndex(const std::string& path, bool unique = false);
+  Status CreateMultikeyIndex(const std::string& path);
+  Status CreateGeoIndex(const std::string& path, int precision = 5);
+  /// Creates an order-preserving B+-tree index used for range filters
+  /// (Gt/Gte/Lt/Lte and conjunctions of them, e.g. acquisition-date
+  /// ranges) as well as equality.
+  Status CreateRangeIndex(const std::string& path);
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return docs_.size(); }
+
+  /// All documents in id order (for persistence and iteration).
+  const std::map<DocId, Document>& docs() const { return docs_; }
+
+  /// Index specs, for persistence.
+  struct IndexSpec {
+    enum class Kind { kHash, kUniqueHash, kMultikey, kGeo, kRange } kind;
+    std::string path;
+    int geo_precision = 5;
+  };
+  std::vector<IndexSpec> IndexSpecs() const;
+
+ private:
+  /// The index-assisted candidate set for `filter`, or nullopt when no
+  /// index applies.  Candidates are a superset of matches.
+  bool PlanCandidates(const Filter& filter, std::vector<DocId>* candidates,
+                      std::string* plan) const;
+  bool PlanLeaf(const Filter& leaf, std::vector<DocId>* candidates,
+                std::string* plan) const;
+  /// Combines every Gt/Gte/Lt/Lte/Eq conjunct on a range-indexed path
+  /// into a single interval scan (e.g. date >= a AND date <= b becomes
+  /// one bounded B+-tree scan).  False when no range index applies.
+  bool PlanRangeConjunction(const std::vector<Filter>& conjuncts,
+                            std::vector<DocId>* candidates,
+                            std::string* plan) const;
+
+  std::string name_;
+  DocId next_id_ = 1;
+  std::map<DocId, Document> docs_;
+  std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
+  std::vector<std::unique_ptr<MultikeyIndex>> multikey_indexes_;
+  std::vector<std::unique_ptr<GeoIndex>> geo_indexes_;
+  std::vector<std::unique_ptr<RangeIndex>> range_indexes_;
+};
+
+}  // namespace agoraeo::docstore
+
+#endif  // AGORAEO_DOCSTORE_COLLECTION_H_

@@ -1,0 +1,221 @@
+#include "docstore/database.h"
+
+#include "common/logging.h"
+
+namespace agoraeo::docstore {
+
+namespace {
+constexpr uint32_t kMagic = 0x41474f44;  // "AGOD"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Collection* Database::GetOrCreateCollection(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    it = collections_.emplace(name, std::make_unique<Collection>(name)).first;
+  }
+  return it->second.get();
+}
+
+Collection* Database::GetCollection(const std::string& name) {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+const Collection* Database::GetCollection(const std::string& name) const {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+Status Database::DropCollection(const std::string& name) {
+  if (collections_.erase(name) == 0) {
+    return Status::NotFound("no collection named " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Database::CollectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, _] : collections_) names.push_back(name);
+  return names;
+}
+
+void SerializeValue(const Value& v, ByteWriter* out) {
+  out->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kBool:
+      out->PutU8(v.as_bool() ? 1 : 0);
+      break;
+    case Value::Type::kInt64:
+      out->PutI64(v.as_int64());
+      break;
+    case Value::Type::kDouble:
+      out->PutF64(v.as_double());
+      break;
+    case Value::Type::kString:
+      out->PutString(v.as_string());
+      break;
+    case Value::Type::kBinary: {
+      const auto& bytes = v.as_binary();
+      out->PutU32(static_cast<uint32_t>(bytes.size()));
+      out->PutRaw(bytes.data(), bytes.size());
+      break;
+    }
+    case Value::Type::kArray: {
+      const auto& arr = v.as_array();
+      out->PutU32(static_cast<uint32_t>(arr.size()));
+      for (const Value& element : arr) SerializeValue(element, out);
+      break;
+    }
+    case Value::Type::kDocument:
+      SerializeDocument(v.as_document(), out);
+      break;
+  }
+}
+
+StatusOr<Value> DeserializeValue(ByteReader* in) {
+  AGORAEO_ASSIGN_OR_RETURN(uint8_t type_byte, in->GetU8());
+  switch (static_cast<Value::Type>(type_byte)) {
+    case Value::Type::kNull:
+      return Value();
+    case Value::Type::kBool: {
+      AGORAEO_ASSIGN_OR_RETURN(uint8_t b, in->GetU8());
+      return Value(b != 0);
+    }
+    case Value::Type::kInt64: {
+      AGORAEO_ASSIGN_OR_RETURN(int64_t v, in->GetI64());
+      return Value(v);
+    }
+    case Value::Type::kDouble: {
+      AGORAEO_ASSIGN_OR_RETURN(double v, in->GetF64());
+      return Value(v);
+    }
+    case Value::Type::kString: {
+      AGORAEO_ASSIGN_OR_RETURN(std::string s, in->GetString());
+      return Value(std::move(s));
+    }
+    case Value::Type::kBinary: {
+      AGORAEO_ASSIGN_OR_RETURN(uint32_t n, in->GetU32());
+      std::vector<uint8_t> bytes;
+      bytes.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        AGORAEO_ASSIGN_OR_RETURN(uint8_t b, in->GetU8());
+        bytes.push_back(b);
+      }
+      return Value(std::move(bytes));
+    }
+    case Value::Type::kArray: {
+      AGORAEO_ASSIGN_OR_RETURN(uint32_t n, in->GetU32());
+      std::vector<Value> arr;
+      arr.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        AGORAEO_ASSIGN_OR_RETURN(Value element, DeserializeValue(in));
+        arr.push_back(std::move(element));
+      }
+      return Value(std::move(arr));
+    }
+    case Value::Type::kDocument: {
+      AGORAEO_ASSIGN_OR_RETURN(Document doc, DeserializeDocument(in));
+      return Value(std::move(doc));
+    }
+  }
+  return Status::Corruption("unknown value type tag");
+}
+
+void SerializeDocument(const Document& doc, ByteWriter* out) {
+  out->PutU32(static_cast<uint32_t>(doc.fields().size()));
+  for (const auto& [key, value] : doc.fields()) {
+    out->PutString(key);
+    SerializeValue(value, out);
+  }
+}
+
+StatusOr<Document> DeserializeDocument(ByteReader* in) {
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t n, in->GetU32());
+  Document doc;
+  for (uint32_t i = 0; i < n; ++i) {
+    AGORAEO_ASSIGN_OR_RETURN(std::string key, in->GetString());
+    AGORAEO_ASSIGN_OR_RETURN(Value value, DeserializeValue(in));
+    doc.Set(key, std::move(value));
+  }
+  return doc;
+}
+
+Status Database::SaveToFile(const std::string& path) const {
+  ByteWriter out;
+  out.PutU32(kMagic);
+  out.PutU32(kVersion);
+  out.PutU32(static_cast<uint32_t>(collections_.size()));
+  for (const auto& [name, coll] : collections_) {
+    out.PutString(name);
+    // Index definitions.
+    const auto specs = coll->IndexSpecs();
+    out.PutU32(static_cast<uint32_t>(specs.size()));
+    for (const auto& spec : specs) {
+      out.PutU8(static_cast<uint8_t>(spec.kind));
+      out.PutString(spec.path);
+      out.PutU32(static_cast<uint32_t>(spec.geo_precision));
+    }
+    // Documents (ids are regenerated on load; insertion order preserved).
+    out.PutU64(coll->size());
+    for (const auto& [id, doc] : coll->docs()) {
+      SerializeDocument(doc, &out);
+    }
+  }
+  return WriteFileBytes(path, out.data());
+}
+
+Status Database::LoadFromFile(const std::string& path) {
+  AGORAEO_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  ByteReader in(bytes);
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t magic, in.GetU32());
+  if (magic != kMagic) return Status::Corruption("bad database file magic");
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t version, in.GetU32());
+  if (version != kVersion) {
+    return Status::Corruption("unsupported database file version");
+  }
+  collections_.clear();
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t num_collections, in.GetU32());
+  for (uint32_t c = 0; c < num_collections; ++c) {
+    AGORAEO_ASSIGN_OR_RETURN(std::string name, in.GetString());
+    Collection* coll = GetOrCreateCollection(name);
+    AGORAEO_ASSIGN_OR_RETURN(uint32_t num_specs, in.GetU32());
+    for (uint32_t s = 0; s < num_specs; ++s) {
+      AGORAEO_ASSIGN_OR_RETURN(uint8_t kind, in.GetU8());
+      AGORAEO_ASSIGN_OR_RETURN(std::string spec_path, in.GetString());
+      AGORAEO_ASSIGN_OR_RETURN(uint32_t precision, in.GetU32());
+      switch (static_cast<Collection::IndexSpec::Kind>(kind)) {
+        case Collection::IndexSpec::Kind::kHash:
+          AGORAEO_RETURN_IF_ERROR(coll->CreateHashIndex(spec_path, false));
+          break;
+        case Collection::IndexSpec::Kind::kUniqueHash:
+          AGORAEO_RETURN_IF_ERROR(coll->CreateHashIndex(spec_path, true));
+          break;
+        case Collection::IndexSpec::Kind::kMultikey:
+          AGORAEO_RETURN_IF_ERROR(coll->CreateMultikeyIndex(spec_path));
+          break;
+        case Collection::IndexSpec::Kind::kGeo:
+          AGORAEO_RETURN_IF_ERROR(
+              coll->CreateGeoIndex(spec_path, static_cast<int>(precision)));
+          break;
+        case Collection::IndexSpec::Kind::kRange:
+          AGORAEO_RETURN_IF_ERROR(coll->CreateRangeIndex(spec_path));
+          break;
+      }
+    }
+    AGORAEO_ASSIGN_OR_RETURN(uint64_t num_docs, in.GetU64());
+    for (uint64_t d = 0; d < num_docs; ++d) {
+      AGORAEO_ASSIGN_OR_RETURN(Document doc, DeserializeDocument(&in));
+      auto inserted = coll->Insert(std::move(doc));
+      if (!inserted.ok()) return inserted.status();
+    }
+  }
+  AGORAEO_LOG(kInfo) << "loaded database from " << path << " ("
+                     << collections_.size() << " collections)";
+  return Status::OK();
+}
+
+}  // namespace agoraeo::docstore

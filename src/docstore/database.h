@@ -1,0 +1,58 @@
+#ifndef AGORAEO_DOCSTORE_DATABASE_H_
+#define AGORAEO_DOCSTORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/status.h"
+#include "docstore/collection.h"
+
+namespace agoraeo::docstore {
+
+/// A set of named collections with file persistence — the embedded
+/// stand-in for EarthQube's MongoDB server.  EarthQube's data tier holds
+/// four collections: metadata, image data, rendered images, and user
+/// feedback (paper Section 3.2).
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Gets or creates a collection.
+  Collection* GetOrCreateCollection(const std::string& name);
+
+  /// Gets an existing collection (nullptr when absent).
+  Collection* GetCollection(const std::string& name);
+  const Collection* GetCollection(const std::string& name) const;
+
+  Status DropCollection(const std::string& name);
+
+  std::vector<std::string> CollectionNames() const;
+  size_t NumCollections() const { return collections_.size(); }
+
+  /// Serialises every collection (documents + index definitions) to a
+  /// single binary file.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Restores a database saved with SaveToFile; replaces current content.
+  /// Indexes are rebuilt from their persisted definitions.
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+/// Binary (de)serialisation of values/documents, used by Database
+/// persistence and by the image-payload collections.
+void SerializeValue(const Value& v, ByteWriter* out);
+StatusOr<Value> DeserializeValue(ByteReader* in);
+void SerializeDocument(const Document& doc, ByteWriter* out);
+StatusOr<Document> DeserializeDocument(ByteReader* in);
+
+}  // namespace agoraeo::docstore
+
+#endif  // AGORAEO_DOCSTORE_DATABASE_H_

@@ -1,0 +1,289 @@
+#include "docstore/filter.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace agoraeo::docstore {
+
+Filter Filter::True() { return Filter(Op::kTrue); }
+
+Filter Filter::Eq(std::string path, Value v) {
+  Filter f(Op::kEq);
+  f.path_ = std::move(path);
+  f.values_.push_back(std::move(v));
+  return f;
+}
+
+Filter Filter::Ne(std::string path, Value v) {
+  Filter f(Op::kNe);
+  f.path_ = std::move(path);
+  f.values_.push_back(std::move(v));
+  return f;
+}
+
+Filter Filter::In(std::string path, std::vector<Value> values) {
+  Filter f(Op::kIn);
+  f.path_ = std::move(path);
+  f.values_ = std::move(values);
+  return f;
+}
+
+Filter Filter::All(std::string path, std::vector<Value> values) {
+  Filter f(Op::kAll);
+  f.path_ = std::move(path);
+  f.values_ = std::move(values);
+  return f;
+}
+
+Filter Filter::Size(std::string path, size_t n) {
+  Filter f(Op::kSize);
+  f.path_ = std::move(path);
+  f.size_ = n;
+  return f;
+}
+
+Filter Filter::Exists(std::string path) {
+  Filter f(Op::kExists);
+  f.path_ = std::move(path);
+  return f;
+}
+
+Filter Filter::Gt(std::string path, Value v) {
+  Filter f(Op::kGt);
+  f.path_ = std::move(path);
+  f.values_.push_back(std::move(v));
+  return f;
+}
+
+Filter Filter::Gte(std::string path, Value v) {
+  Filter f(Op::kGte);
+  f.path_ = std::move(path);
+  f.values_.push_back(std::move(v));
+  return f;
+}
+
+Filter Filter::Lt(std::string path, Value v) {
+  Filter f(Op::kLt);
+  f.path_ = std::move(path);
+  f.values_.push_back(std::move(v));
+  return f;
+}
+
+Filter Filter::Lte(std::string path, Value v) {
+  Filter f(Op::kLte);
+  f.path_ = std::move(path);
+  f.values_.push_back(std::move(v));
+  return f;
+}
+
+Filter Filter::GeoIntersects(std::string path, geo::BoundingBox box) {
+  Filter f(Op::kGeoIntersects);
+  f.path_ = std::move(path);
+  f.box_ = box;
+  return f;
+}
+
+Filter Filter::GeoWithinCircle(std::string path, geo::Circle circle) {
+  Filter f(Op::kGeoWithinCircle);
+  f.path_ = std::move(path);
+  f.circle_ = circle;
+  return f;
+}
+
+Filter Filter::GeoWithinPolygon(std::string path, geo::Polygon polygon) {
+  Filter f(Op::kGeoWithinPolygon);
+  f.path_ = std::move(path);
+  f.polygon_ = std::move(polygon);
+  return f;
+}
+
+Filter Filter::And(std::vector<Filter> children) {
+  Filter f(Op::kAnd);
+  f.children_ = std::move(children);
+  return f;
+}
+
+Filter Filter::Or(std::vector<Filter> children) {
+  Filter f(Op::kOr);
+  f.children_ = std::move(children);
+  return f;
+}
+
+Filter Filter::Not(Filter child) {
+  Filter f(Op::kNot);
+  f.children_.push_back(std::move(child));
+  return f;
+}
+
+bool Filter::ReadStoredBox(const Document& doc, const std::string& path,
+                           geo::BoundingBox* out) {
+  const Value* loc = doc.GetPath(path);
+  if (loc == nullptr || !loc->is_document()) return false;
+  const Document& d = loc->as_document();
+  const Value* min_lat = d.Get("min_lat");
+  const Value* min_lon = d.Get("min_lon");
+  const Value* max_lat = d.Get("max_lat");
+  const Value* max_lon = d.Get("max_lon");
+  if (min_lat == nullptr || !min_lat->is_number() || min_lon == nullptr ||
+      !min_lon->is_number() || max_lat == nullptr || !max_lat->is_number() ||
+      max_lon == nullptr || !max_lon->is_number()) {
+    return false;
+  }
+  out->min = {min_lat->as_number(), min_lon->as_number()};
+  out->max = {max_lat->as_number(), max_lon->as_number()};
+  return true;
+}
+
+namespace {
+
+/// MongoDB-style scalar-or-any-array-element equality.
+bool FieldEquals(const Value& field, const Value& target) {
+  if (field.is_array() && !target.is_array()) {
+    const auto& arr = field.as_array();
+    return std::any_of(arr.begin(), arr.end(),
+                       [&](const Value& v) { return v == target; });
+  }
+  return field == target;
+}
+
+/// Scalar-or-any-array-element comparison via `cmp(element, target)`.
+template <typename Cmp>
+bool FieldCompares(const Value& field, const Value& target, Cmp cmp) {
+  if (field.is_array()) {
+    const auto& arr = field.as_array();
+    return std::any_of(arr.begin(), arr.end(), [&](const Value& v) {
+      return cmp(v.Compare(target));
+    });
+  }
+  return cmp(field.Compare(target));
+}
+
+}  // namespace
+
+bool Filter::MatchLeaf(const Value& field) const {
+  switch (op_) {
+    case Op::kEq:
+      return FieldEquals(field, values_[0]);
+    case Op::kNe:
+      return !FieldEquals(field, values_[0]);
+    case Op::kIn:
+      return std::any_of(values_.begin(), values_.end(), [&](const Value& v) {
+        return FieldEquals(field, v);
+      });
+    case Op::kAll: {
+      if (!field.is_array()) {
+        // A scalar field satisfies $all only for a single-element query.
+        return values_.size() == 1 && field == values_[0];
+      }
+      return std::all_of(values_.begin(), values_.end(), [&](const Value& v) {
+        return FieldEquals(field, v);
+      });
+    }
+    case Op::kSize:
+      return field.is_array() && field.as_array().size() == size_;
+    case Op::kGt:
+      return FieldCompares(field, values_[0], [](int c) { return c > 0; });
+    case Op::kGte:
+      return FieldCompares(field, values_[0], [](int c) { return c >= 0; });
+    case Op::kLt:
+      return FieldCompares(field, values_[0], [](int c) { return c < 0; });
+    case Op::kLte:
+      return FieldCompares(field, values_[0], [](int c) { return c <= 0; });
+    default:
+      return false;
+  }
+}
+
+bool Filter::Matches(const Document& doc) const {
+  switch (op_) {
+    case Op::kTrue:
+      return true;
+    case Op::kAnd:
+      return std::all_of(children_.begin(), children_.end(),
+                         [&](const Filter& f) { return f.Matches(doc); });
+    case Op::kOr:
+      return std::any_of(children_.begin(), children_.end(),
+                         [&](const Filter& f) { return f.Matches(doc); });
+    case Op::kNot:
+      return !children_[0].Matches(doc);
+    case Op::kExists:
+      return doc.GetPath(path_) != nullptr;
+    case Op::kGeoIntersects: {
+      geo::BoundingBox stored;
+      if (!ReadStoredBox(doc, path_, &stored)) return false;
+      return stored.Intersects(box_);
+    }
+    case Op::kGeoWithinCircle: {
+      geo::BoundingBox stored;
+      if (!ReadStoredBox(doc, path_, &stored)) return false;
+      return circle_.Contains(stored.Center());
+    }
+    case Op::kGeoWithinPolygon: {
+      geo::BoundingBox stored;
+      if (!ReadStoredBox(doc, path_, &stored)) return false;
+      return polygon_.Contains(stored.Center());
+    }
+    default: {
+      const Value* field = doc.GetPath(path_);
+      if (field == nullptr) return op_ == Op::kNe;  // missing != value
+      return MatchLeaf(*field);
+    }
+  }
+}
+
+std::string Filter::ToString() const {
+  std::ostringstream out;
+  auto join_children = [&](const char* name) {
+    out << name << "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << children_[i].ToString();
+    }
+    out << ")";
+  };
+  switch (op_) {
+    case Op::kTrue:
+      out << "True";
+      break;
+    case Op::kAnd:
+      join_children("And");
+      break;
+    case Op::kOr:
+      join_children("Or");
+      break;
+    case Op::kNot:
+      join_children("Not");
+      break;
+    case Op::kExists:
+      out << "Exists(" << path_ << ")";
+      break;
+    case Op::kSize:
+      out << "Size(" << path_ << ", " << size_ << ")";
+      break;
+    case Op::kGeoIntersects:
+      out << "GeoIntersects(" << path_ << ")";
+      break;
+    case Op::kGeoWithinCircle:
+      out << "GeoWithinCircle(" << path_ << ")";
+      break;
+    case Op::kGeoWithinPolygon:
+      out << "GeoWithinPolygon(" << path_ << ")";
+      break;
+    default: {
+      const char* name = op_ == Op::kEq    ? "Eq"
+                         : op_ == Op::kNe  ? "Ne"
+                         : op_ == Op::kIn  ? "In"
+                         : op_ == Op::kAll ? "All"
+                         : op_ == Op::kGt  ? "Gt"
+                         : op_ == Op::kGte ? "Gte"
+                         : op_ == Op::kLt  ? "Lt"
+                                           : "Lte";
+      out << name << "(" << path_;
+      for (const Value& v : values_) out << ", " << v.ToString();
+      out << ")";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace agoraeo::docstore

@@ -1,0 +1,105 @@
+#ifndef AGORAEO_DOCSTORE_FILTER_H_
+#define AGORAEO_DOCSTORE_FILTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "docstore/value.h"
+#include "geo/geo.h"
+
+namespace agoraeo::docstore {
+
+/// A predicate tree over documents, mirroring the subset of MongoDB's
+/// query language EarthQube's back end issues: equality, membership,
+/// array containment, ranges, existence, geo containment, and boolean
+/// combinators.
+///
+/// Array-field semantics follow MongoDB: a comparison on a path whose
+/// value is an array matches when *any* element matches (e.g.
+/// Eq("properties.labels", "Airports") matches a labels array containing
+/// "Airports"), which is what makes multikey indexes useful.
+class Filter {
+ public:
+  enum class Op {
+    kTrue,       ///< matches everything
+    kEq,
+    kNe,
+    kIn,         ///< field value (or any array element) in the given set
+    kAll,        ///< array field contains every given value
+    kSize,       ///< array field has exactly N elements
+    kExists,
+    kGt,
+    kGte,
+    kLt,
+    kLte,
+    kGeoIntersects,  ///< stored bounding rect intersects the query rect
+    kGeoWithinCircle,   ///< stored rect center within the query circle
+    kGeoWithinPolygon,  ///< stored rect center within the query polygon
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  /// Matches every document.
+  static Filter True();
+  static Filter Eq(std::string path, Value v);
+  static Filter Ne(std::string path, Value v);
+  static Filter In(std::string path, std::vector<Value> values);
+  static Filter All(std::string path, std::vector<Value> values);
+  static Filter Size(std::string path, size_t n);
+  static Filter Exists(std::string path);
+  static Filter Gt(std::string path, Value v);
+  static Filter Gte(std::string path, Value v);
+  static Filter Lt(std::string path, Value v);
+  static Filter Lte(std::string path, Value v);
+
+  /// Geo predicates over a location field holding a sub-document
+  /// {min_lat, min_lon, max_lat, max_lon} (the image bounding rectangle
+  /// the paper describes).
+  static Filter GeoIntersects(std::string path, geo::BoundingBox box);
+  static Filter GeoWithinCircle(std::string path, geo::Circle circle);
+  static Filter GeoWithinPolygon(std::string path, geo::Polygon polygon);
+
+  static Filter And(std::vector<Filter> children);
+  static Filter Or(std::vector<Filter> children);
+  static Filter Not(Filter child);
+
+  /// Evaluates the predicate against a document.
+  bool Matches(const Document& doc) const;
+
+  Op op() const { return op_; }
+  const std::string& path() const { return path_; }
+  const std::vector<Value>& values() const { return values_; }
+  const std::vector<Filter>& children() const { return children_; }
+  const geo::BoundingBox& box() const { return box_; }
+  const geo::Circle& circle() const { return circle_; }
+  const geo::Polygon& polygon() const { return polygon_; }
+  size_t size_arg() const { return size_; }
+
+  /// Debug rendering, e.g. `And(Eq(properties.country, "Portugal"), ...)`.
+  std::string ToString() const;
+
+  /// Parses the location sub-document {min_lat, min_lon, max_lat,
+  /// max_lon} stored at `path` into a BoundingBox; false when malformed.
+  static bool ReadStoredBox(const Document& doc, const std::string& path,
+                            geo::BoundingBox* out);
+
+ private:
+  explicit Filter(Op op) : op_(op) {}
+
+  bool MatchLeaf(const Value& field) const;
+
+  Op op_ = Op::kTrue;
+  std::string path_;
+  std::vector<Value> values_;
+  std::vector<Filter> children_;
+  geo::BoundingBox box_;
+  geo::Circle circle_;
+  geo::Polygon polygon_;
+  size_t size_ = 0;
+};
+
+}  // namespace agoraeo::docstore
+
+#endif  // AGORAEO_DOCSTORE_FILTER_H_

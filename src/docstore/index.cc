@@ -1,0 +1,220 @@
+#include "docstore/index.h"
+
+#include <algorithm>
+
+namespace agoraeo::docstore {
+
+namespace {
+
+void RemoveFromPostingList(std::vector<DocId>* list, DocId id) {
+  list->erase(std::remove(list->begin(), list->end(), id), list->end());
+}
+
+/// Intersects two sorted posting lists.
+std::vector<DocId> IntersectSorted(const std::vector<DocId>& a,
+                                   const std::vector<DocId>& b) {
+  std::vector<DocId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HashIndex
+// ---------------------------------------------------------------------------
+
+Status HashIndex::Insert(DocId id, const Document& doc) {
+  const Value* v = doc.GetPath(path_);
+  if (v == nullptr) return Status::OK();  // sparse: unindexed
+  const std::string key = v->IndexKey();
+  auto& list = map_[key];
+  if (unique_ && !list.empty()) {
+    return Status::AlreadyExists("duplicate key on unique index " + path_ +
+                                 ": " + v->ToString());
+  }
+  list.insert(std::upper_bound(list.begin(), list.end(), id), id);
+  return Status::OK();
+}
+
+void HashIndex::Remove(DocId id, const Document& doc) {
+  const Value* v = doc.GetPath(path_);
+  if (v == nullptr) return;
+  auto it = map_.find(v->IndexKey());
+  if (it == map_.end()) return;
+  RemoveFromPostingList(&it->second, id);
+  if (it->second.empty()) map_.erase(it);
+}
+
+const std::vector<DocId>* HashIndex::Lookup(const Value& v) const {
+  auto it = map_.find(v.IndexKey());
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// MultikeyIndex
+// ---------------------------------------------------------------------------
+
+void MultikeyIndex::Insert(DocId id, const Document& doc) {
+  const Value* v = doc.GetPath(path_);
+  if (v == nullptr) return;
+  auto add = [&](const Value& element) {
+    auto& list = map_[element.IndexKey()];
+    auto it = std::upper_bound(list.begin(), list.end(), id);
+    // A document may repeat an element; index it once.
+    if (it == list.begin() || *(it - 1) != id) list.insert(it, id);
+  };
+  if (v->is_array()) {
+    for (const Value& element : v->as_array()) add(element);
+  } else {
+    add(*v);  // scalar fields behave as single-element arrays
+  }
+}
+
+void MultikeyIndex::Remove(DocId id, const Document& doc) {
+  const Value* v = doc.GetPath(path_);
+  if (v == nullptr) return;
+  auto drop = [&](const Value& element) {
+    auto it = map_.find(element.IndexKey());
+    if (it == map_.end()) return;
+    RemoveFromPostingList(&it->second, id);
+    if (it->second.empty()) map_.erase(it);
+  };
+  if (v->is_array()) {
+    for (const Value& element : v->as_array()) drop(element);
+  } else {
+    drop(*v);
+  }
+}
+
+const std::vector<DocId>* MultikeyIndex::Lookup(const Value& element) const {
+  auto it = map_.find(element.IndexKey());
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+std::vector<DocId> MultikeyIndex::LookupAll(
+    const std::vector<Value>& elements) const {
+  if (elements.empty()) return {};
+  // Fetch all posting lists; any missing one empties the intersection.
+  std::vector<const std::vector<DocId>*> lists;
+  lists.reserve(elements.size());
+  for (const Value& e : elements) {
+    const auto* list = Lookup(e);
+    if (list == nullptr) return {};
+    lists.push_back(list);
+  }
+  // Intersect starting from the smallest list.
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<DocId> result = *lists[0];
+  for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    result = IntersectSorted(result, *lists[i]);
+  }
+  return result;
+}
+
+std::vector<DocId> MultikeyIndex::LookupAny(
+    const std::vector<Value>& elements) const {
+  std::vector<DocId> result;
+  for (const Value& e : elements) {
+    const auto* list = Lookup(e);
+    if (list == nullptr) continue;
+    std::vector<DocId> merged;
+    merged.reserve(result.size() + list->size());
+    std::set_union(result.begin(), result.end(), list->begin(), list->end(),
+                   std::back_inserter(merged));
+    result = std::move(merged);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// RangeIndex
+// ---------------------------------------------------------------------------
+
+void RangeIndex::Insert(DocId id, const Document& doc) {
+  const Value* v = doc.GetPath(path_);
+  if (v == nullptr) return;
+  if (v->is_array()) {
+    for (const Value& element : v->as_array()) tree_.Insert(element, id);
+  } else {
+    tree_.Insert(*v, id);
+  }
+}
+
+void RangeIndex::Remove(DocId id, const Document& doc) {
+  const Value* v = doc.GetPath(path_);
+  if (v == nullptr) return;
+  if (v->is_array()) {
+    for (const Value& element : v->as_array()) tree_.Remove(element, id);
+  } else {
+    tree_.Remove(*v, id);
+  }
+}
+
+std::vector<DocId> RangeIndex::Scan(const Value* lower, bool lower_inclusive,
+                                    const Value* upper,
+                                    bool upper_inclusive) const {
+  std::vector<DocId> out =
+      tree_.ScanIds(lower, lower_inclusive, upper, upper_inclusive);
+  // Callers (the query planner) expect sorted, de-duplicated candidates;
+  // array-valued fields can index one document under several keys.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// GeoIndex
+// ---------------------------------------------------------------------------
+
+void GeoIndex::Insert(DocId id, const Document& doc) {
+  geo::BoundingBox stored;
+  if (!Filter::ReadStoredBox(doc, path_, &stored)) return;
+  auto hash = geo::GeohashEncode(stored.Center(), precision_);
+  if (!hash.ok()) return;
+  auto& list = cells_[*hash];
+  list.insert(std::upper_bound(list.begin(), list.end(), id), id);
+}
+
+void GeoIndex::Remove(DocId id, const Document& doc) {
+  geo::BoundingBox stored;
+  if (!Filter::ReadStoredBox(doc, path_, &stored)) return;
+  auto hash = geo::GeohashEncode(stored.Center(), precision_);
+  if (!hash.ok()) return;
+  auto it = cells_.find(*hash);
+  if (it == cells_.end()) return;
+  RemoveFromPostingList(&it->second, id);
+  if (it->second.empty()) cells_.erase(it);
+}
+
+std::vector<DocId> GeoIndex::Candidates(const geo::BoundingBox& query) const {
+  // Expand the query box by one patch-size margin so rectangles whose
+  // center lies just outside but that still intersect are found.
+  geo::BoundingBox padded = query;
+  const double margin = 0.02;  // ~2 km; generous for 1.2 km patches
+  padded.min.lat -= margin;
+  padded.min.lon -= margin;
+  padded.max.lat += margin;
+  padded.max.lon += margin;
+
+  const std::vector<std::string> cover =
+      geo::GeohashCover(padded, precision_);
+  std::vector<DocId> out;
+  for (const std::string& prefix : cover) {
+    // Ordered prefix scan: covers cells at the index precision even when
+    // the cover had to fall back to a coarser precision.
+    for (auto it = cells_.lower_bound(prefix);
+         it != cells_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace agoraeo::docstore

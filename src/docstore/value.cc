@@ -1,0 +1,236 @@
+#include "docstore/value.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace agoraeo::docstore {
+
+// ---------------------------------------------------------------------------
+// Document
+// ---------------------------------------------------------------------------
+
+void Document::Set(const std::string& key, Value value) {
+  auto it = std::lower_bound(
+      fields_.begin(), fields_.end(), key,
+      [](const auto& kv, const std::string& k) { return kv.first < k; });
+  if (it != fields_.end() && it->first == key) {
+    it->second = std::move(value);
+  } else {
+    fields_.insert(it, {key, std::move(value)});
+  }
+}
+
+const Value* Document::Get(const std::string& key) const {
+  auto it = std::lower_bound(
+      fields_.begin(), fields_.end(), key,
+      [](const auto& kv, const std::string& k) { return kv.first < k; });
+  if (it != fields_.end() && it->first == key) return &it->second;
+  return nullptr;
+}
+
+const Value* Document::GetPath(const std::string& dotted_path) const {
+  const Document* doc = this;
+  size_t start = 0;
+  while (true) {
+    const size_t dot = dotted_path.find('.', start);
+    const std::string component =
+        dotted_path.substr(start, dot == std::string::npos ? std::string::npos
+                                                           : dot - start);
+    const Value* v = doc->Get(component);
+    if (v == nullptr) return nullptr;
+    if (dot == std::string::npos) return v;
+    if (!v->is_document()) return nullptr;
+    doc = &v->as_document();
+    start = dot + 1;
+  }
+}
+
+void Document::Remove(const std::string& key) {
+  auto it = std::lower_bound(
+      fields_.begin(), fields_.end(), key,
+      [](const auto& kv, const std::string& k) { return kv.first < k; });
+  if (it != fields_.end() && it->first == key) fields_.erase(it);
+}
+
+bool Document::operator==(const Document& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].first != other.fields_[i].first) return false;
+    if (fields_[i].second != other.fields_[i].second) return false;
+  }
+  return true;
+}
+
+std::string Document::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "\"" << fields_[i].first << "\": " << fields_[i].second.ToString();
+  }
+  out << "}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+int Value::Compare(const Value& other) const {
+  // Numbers of either storage compare numerically with each other.
+  if (is_number() && other.is_number()) {
+    const double a = as_number(), b = other.as_number();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type() != other.type()) {
+    return static_cast<int>(type()) < static_cast<int>(other.type()) ? -1 : 1;
+  }
+  switch (type()) {
+    case Type::kNull:
+      return 0;
+    case Type::kBool:
+      return static_cast<int>(as_bool()) - static_cast<int>(other.as_bool());
+    case Type::kInt64:
+    case Type::kDouble:
+      return 0;  // handled above
+    case Type::kString:
+      return as_string().compare(other.as_string());
+    case Type::kBinary: {
+      const auto& a = as_binary();
+      const auto& b = other.as_binary();
+      if (a < b) return -1;
+      if (b < a) return 1;
+      return 0;
+    }
+    case Type::kArray: {
+      const auto& a = as_array();
+      const auto& b = other.as_array();
+      const size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        const int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      if (a.size() < b.size()) return -1;
+      if (a.size() > b.size()) return 1;
+      return 0;
+    }
+    case Type::kDocument: {
+      const auto& a = as_document().fields();
+      const auto& b = other.as_document().fields();
+      const size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        const int kc = a[i].first.compare(b[i].first);
+        if (kc != 0) return kc;
+        const int vc = a[i].second.Compare(b[i].second);
+        if (vc != 0) return vc;
+      }
+      if (a.size() < b.size()) return -1;
+      if (a.size() > b.size()) return 1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+std::string Value::IndexKey() const {
+  switch (type()) {
+    case Type::kNull:
+      return "z";
+    case Type::kBool:
+      return as_bool() ? "b1" : "b0";
+    case Type::kInt64:
+    case Type::kDouble:
+      // Numeric values index identically whether stored as int or double.
+      return "n" + StrFormat("%.17g", as_number());
+    case Type::kString:
+      return "s" + as_string();
+    case Type::kBinary: {
+      std::string out = "x";
+      for (uint8_t byte : as_binary()) {
+        out += StrFormat("%02x", byte);
+      }
+      return out;
+    }
+    case Type::kArray: {
+      std::string out = "a";
+      for (const Value& v : as_array()) {
+        const std::string k = v.IndexKey();
+        out += StrFormat("%zu:", k.size());
+        out += k;
+      }
+      return out;
+    }
+    case Type::kDocument: {
+      std::string out = "d";
+      for (const auto& [k, v] : as_document().fields()) {
+        const std::string vk = v.IndexKey();
+        out += StrFormat("%zu:%s=%zu:", k.size(), k.c_str(), vk.size());
+        out += vk;
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return as_bool() ? "true" : "false";
+    case Type::kInt64:
+      return std::to_string(as_int64());
+    case Type::kDouble:
+      return StrFormat("%g", as_double());
+    case Type::kString:
+      return "\"" + as_string() + "\"";
+    case Type::kBinary:
+      return StrFormat("<binary %zu bytes>", as_binary().size());
+    case Type::kArray: {
+      std::ostringstream out;
+      out << "[";
+      const auto& arr = as_array();
+      for (size_t i = 0; i < arr.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << arr[i].ToString();
+      }
+      out << "]";
+      return out.str();
+    }
+    case Type::kDocument:
+      return as_document().ToString();
+  }
+  return "?";
+}
+
+const char* Value::TypeName() const {
+  switch (type()) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kInt64: return "int64";
+    case Type::kDouble: return "double";
+    case Type::kString: return "string";
+    case Type::kBinary: return "binary";
+    case Type::kArray: return "array";
+    case Type::kDocument: return "document";
+  }
+  return "?";
+}
+
+Value MakeArray(std::initializer_list<Value> items) {
+  return Value(std::vector<Value>(items));
+}
+
+Value MakeStringArray(const std::vector<std::string>& items) {
+  std::vector<Value> arr;
+  arr.reserve(items.size());
+  for (const auto& s : items) arr.emplace_back(s);
+  return Value(std::move(arr));
+}
+
+}  // namespace agoraeo::docstore

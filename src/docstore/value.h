@@ -1,0 +1,143 @@
+#ifndef AGORAEO_DOCSTORE_VALUE_H_
+#define AGORAEO_DOCSTORE_VALUE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace agoraeo::docstore {
+
+class Value;
+
+/// An ordered set of named fields, sorted by key — the BSON-document
+/// substitute stored in collections.  Field values may themselves be
+/// documents or arrays, so metadata like
+/// `{location: {min_lat: ..}, properties: {labels: [..]}}` round-trips.
+class Document {
+ public:
+  Document() = default;
+
+  /// Sets (inserting or replacing) a field.  Defined out of line because
+  /// Value is incomplete here.
+  void Set(const std::string& key, Value value);
+
+  /// Returns the field or nullptr.
+  const Value* Get(const std::string& key) const;
+
+  /// Resolves a dotted path ("properties.labels"); nullptr when any
+  /// component is missing or a non-document is traversed.
+  const Value* GetPath(const std::string& dotted_path) const;
+
+  /// Removes a field; no-op when absent.
+  void Remove(const std::string& key);
+
+  bool Has(const std::string& key) const { return Get(key) != nullptr; }
+  size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  const std::vector<std::pair<std::string, Value>>& fields() const {
+    return fields_;
+  }
+
+  bool operator==(const Document& other) const;
+
+  /// JSON-ish rendering for debugging.
+  std::string ToString() const;
+
+ private:
+  // Sorted by key; lookup is binary search.
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// A dynamically typed value, mirroring the BSON types EarthQube's
+/// MongoDB data tier uses: null, bool, int64, double, string, binary,
+/// array, embedded document.
+class Value {
+ public:
+  enum class Type {
+    kNull = 0,
+    kBool,
+    kInt64,
+    kDouble,
+    kString,
+    kBinary,
+    kArray,
+    kDocument,
+  };
+
+  Value() : v_(std::monostate{}) {}
+  Value(bool b) : v_(b) {}
+  Value(int v) : v_(static_cast<int64_t>(v)) {}
+  Value(int64_t v) : v_(v) {}
+  Value(double v) : v_(v) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(std::vector<uint8_t> bytes) : v_(std::move(bytes)) {}
+  Value(std::vector<Value> array) : v_(std::move(array)) {}
+  Value(Document doc) : v_(std::move(doc)) {}
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int64() const { return type() == Type::kInt64; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int64() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_binary() const { return type() == Type::kBinary; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_document() const { return type() == Type::kDocument; }
+
+  /// Typed accessors; calling the wrong one is a programming error
+  /// (std::get enforces).
+  bool as_bool() const { return std::get<bool>(v_); }
+  int64_t as_int64() const { return std::get<int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  /// Numeric value as double regardless of int64/double storage.
+  double as_number() const {
+    return is_int64() ? static_cast<double>(as_int64()) : as_double();
+  }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const std::vector<uint8_t>& as_binary() const {
+    return std::get<std::vector<uint8_t>>(v_);
+  }
+  const std::vector<Value>& as_array() const {
+    return std::get<std::vector<Value>>(v_);
+  }
+  const Document& as_document() const { return std::get<Document>(v_); }
+  Document& as_document() { return std::get<Document>(v_); }
+
+  /// Total order over values: first by type rank, then by value; numbers
+  /// compare numerically across int64/double.  Gives deterministic sort
+  /// order for index keys and equality for filters.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable string key for hash indexes (type-tagged so 1 != "1").
+  std::string IndexKey() const;
+
+  /// JSON-ish rendering.
+  std::string ToString() const;
+
+  const char* TypeName() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string,
+               std::vector<uint8_t>, std::vector<Value>, Document>
+      v_;
+};
+
+/// Convenience builder for array values.
+Value MakeArray(std::initializer_list<Value> items);
+Value MakeStringArray(const std::vector<std::string>& items);
+
+}  // namespace agoraeo::docstore
+
+#endif  // AGORAEO_DOCSTORE_VALUE_H_

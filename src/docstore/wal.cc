@@ -1,0 +1,328 @@
+#include "docstore/wal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <functional>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace agoraeo::docstore {
+
+namespace {
+
+/// Serialises a record payload (everything inside the checksummed frame).
+std::vector<uint8_t> EncodeRecord(const WalRecord& r) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(r.op));
+  w.PutString(r.collection);
+  switch (r.op) {
+    case WalRecord::Op::kInsert:
+      SerializeDocument(r.doc, &w);
+      break;
+    case WalRecord::Op::kUpdate:
+      w.PutU64(r.doc_id);
+      SerializeDocument(r.doc, &w);
+      break;
+    case WalRecord::Op::kRemove:
+      w.PutU64(r.doc_id);
+      break;
+    case WalRecord::Op::kCreateIndex:
+      w.PutU8(static_cast<uint8_t>(r.index_spec.kind));
+      w.PutString(r.index_spec.path);
+      w.PutU32(static_cast<uint32_t>(r.index_spec.geo_precision));
+      break;
+  }
+  return w.Release();
+}
+
+StatusOr<WalRecord> DecodeRecord(const std::vector<uint8_t>& payload) {
+  ByteReader in(payload);
+  WalRecord r;
+  AGORAEO_ASSIGN_OR_RETURN(uint8_t op, in.GetU8());
+  if (op < 1 || op > 4) return Status::Corruption("bad WAL op");
+  r.op = static_cast<WalRecord::Op>(op);
+  AGORAEO_ASSIGN_OR_RETURN(r.collection, in.GetString());
+  switch (r.op) {
+    case WalRecord::Op::kInsert: {
+      AGORAEO_ASSIGN_OR_RETURN(r.doc, DeserializeDocument(&in));
+      break;
+    }
+    case WalRecord::Op::kUpdate: {
+      AGORAEO_ASSIGN_OR_RETURN(r.doc_id, in.GetU64());
+      AGORAEO_ASSIGN_OR_RETURN(r.doc, DeserializeDocument(&in));
+      break;
+    }
+    case WalRecord::Op::kRemove: {
+      AGORAEO_ASSIGN_OR_RETURN(r.doc_id, in.GetU64());
+      break;
+    }
+    case WalRecord::Op::kCreateIndex: {
+      AGORAEO_ASSIGN_OR_RETURN(uint8_t kind, in.GetU8());
+      if (kind > static_cast<uint8_t>(Collection::IndexSpec::Kind::kRange)) {
+        return Status::Corruption("bad WAL index kind");
+      }
+      r.index_spec.kind = static_cast<Collection::IndexSpec::Kind>(kind);
+      AGORAEO_ASSIGN_OR_RETURN(r.index_spec.path, in.GetString());
+      AGORAEO_ASSIGN_OR_RETURN(uint32_t precision, in.GetU32());
+      r.index_spec.geo_precision = static_cast<int>(precision);
+      break;
+    }
+  }
+  if (!in.exhausted()) return Status::Corruption("trailing bytes in WAL record");
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WalWriter
+// ---------------------------------------------------------------------------
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  const std::vector<uint8_t> payload = EncodeRecord(record);
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload);
+  if (std::fwrite(&length, sizeof(length), 1, file_) != 1 ||
+      std::fwrite(&crc, sizeof(crc), 1, file_) != 1 ||
+      (length > 0 &&
+       std::fwrite(payload.data(), 1, payload.size(), file_) !=
+           payload.size())) {
+    return Status::IOError("WAL append failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("WAL flush failed");
+  }
+  ++appended_;
+  return Status::OK();
+}
+
+Status WalWriter::Reset() {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  const std::string path = path_;
+  Close();
+  std::FILE* truncated = std::fopen(path.c_str(), "wb");
+  if (truncated == nullptr) {
+    return Status::IOError("cannot truncate WAL " + path);
+  }
+  std::fclose(truncated);
+  return Open(path);
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WalReplay
+// ---------------------------------------------------------------------------
+
+StatusOr<WalReplayResult> WalReplay(
+    const std::string& path,
+    const std::function<Status(const WalRecord&)>& apply) {
+  WalReplayResult result;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return result;  // missing journal == empty journal
+
+  while (true) {
+    uint32_t length = 0, crc = 0;
+    const size_t got_len = std::fread(&length, sizeof(length), 1, f);
+    if (got_len != 1) break;  // clean EOF (or torn length word)
+    if (std::fread(&crc, sizeof(crc), 1, f) != 1) {
+      result.tail_discarded = true;
+      break;
+    }
+    // Guard against a corrupted length word asking for gigabytes.
+    if (length > (1u << 30)) {
+      result.tail_discarded = true;
+      break;
+    }
+    std::vector<uint8_t> payload(length);
+    if (length > 0 &&
+        std::fread(payload.data(), 1, length, f) != length) {
+      result.tail_discarded = true;  // torn payload
+      break;
+    }
+    if (Crc32(payload) != crc) {
+      result.tail_discarded = true;  // bit rot or torn write
+      break;
+    }
+    auto record = DecodeRecord(payload);
+    if (!record.ok()) {
+      result.tail_discarded = true;
+      break;
+    }
+    const Status applied = apply(*record);
+    if (!applied.ok()) {
+      std::fclose(f);
+      return applied;
+    }
+    ++result.records_applied;
+  }
+  std::fclose(f);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// DurableDatabase
+// ---------------------------------------------------------------------------
+
+DurableDatabase::DurableDatabase(std::string directory)
+    : directory_(std::move(directory)) {}
+
+Status DurableDatabase::Open() {
+  // Snapshot first (absent on first run), then the journal on top.
+  const Status loaded = db_.LoadFromFile(snapshot_path());
+  if (!loaded.ok() && !loaded.IsIOError()) return loaded;
+
+  AGORAEO_ASSIGN_OR_RETURN(
+      WalReplayResult replay,
+      WalReplay(wal_path(),
+                [this](const WalRecord& r) { return ApplyRecord(r); }));
+  torn_tail_ = replay.tail_discarded;
+  if (replay.tail_discarded) {
+    AGORAEO_LOG(kWarning) << "WAL recovery discarded a torn tail after "
+                       << replay.records_applied << " records";
+  }
+  return wal_.Open(wal_path());
+}
+
+Status DurableDatabase::ApplyRecord(const WalRecord& r) {
+  Collection* coll = db_.GetOrCreateCollection(r.collection);
+  switch (r.op) {
+    case WalRecord::Op::kInsert: {
+      auto inserted = coll->Insert(r.doc);
+      return inserted.ok() ? Status::OK() : inserted.status();
+    }
+    case WalRecord::Op::kUpdate:
+      return coll->Update(r.doc_id, r.doc);
+    case WalRecord::Op::kRemove:
+      return coll->Remove(r.doc_id);
+    case WalRecord::Op::kCreateIndex:
+      switch (r.index_spec.kind) {
+        case Collection::IndexSpec::Kind::kHash:
+          return coll->CreateHashIndex(r.index_spec.path, false);
+        case Collection::IndexSpec::Kind::kUniqueHash:
+          return coll->CreateHashIndex(r.index_spec.path, true);
+        case Collection::IndexSpec::Kind::kMultikey:
+          return coll->CreateMultikeyIndex(r.index_spec.path);
+        case Collection::IndexSpec::Kind::kGeo:
+          return coll->CreateGeoIndex(r.index_spec.path,
+                                      r.index_spec.geo_precision);
+        case Collection::IndexSpec::Kind::kRange:
+          return coll->CreateRangeIndex(r.index_spec.path);
+      }
+      return Status::Corruption("bad index kind");
+  }
+  return Status::Corruption("bad WAL op");
+}
+
+// Mutations apply in memory first and journal on success: only applied
+// mutations reach the log, so a replay reproduces exactly the applied
+// sequence (and therefore the same DocId assignment).  The append is
+// flushed before the call returns, which is the durability point.
+
+StatusOr<DocId> DurableDatabase::Insert(const std::string& collection,
+                                        Document doc) {
+  WalRecord r;
+  r.op = WalRecord::Op::kInsert;
+  r.collection = collection;
+  r.doc = std::move(doc);
+  AGORAEO_ASSIGN_OR_RETURN(
+      DocId id, db_.GetOrCreateCollection(collection)->Insert(r.doc));
+  AGORAEO_RETURN_IF_ERROR(wal_.Append(r));
+  return id;
+}
+
+Status DurableDatabase::Update(const std::string& collection, DocId id,
+                               Document doc) {
+  WalRecord r;
+  r.op = WalRecord::Op::kUpdate;
+  r.collection = collection;
+  r.doc_id = id;
+  r.doc = std::move(doc);
+  AGORAEO_RETURN_IF_ERROR(
+      db_.GetOrCreateCollection(collection)->Update(id, r.doc));
+  return wal_.Append(r);
+}
+
+Status DurableDatabase::Remove(const std::string& collection, DocId id) {
+  WalRecord r;
+  r.op = WalRecord::Op::kRemove;
+  r.collection = collection;
+  r.doc_id = id;
+  AGORAEO_RETURN_IF_ERROR(db_.GetOrCreateCollection(collection)->Remove(id));
+  return wal_.Append(r);
+}
+
+Status DurableDatabase::CreateHashIndex(const std::string& collection,
+                                        const std::string& path, bool unique) {
+  WalRecord r;
+  r.op = WalRecord::Op::kCreateIndex;
+  r.collection = collection;
+  r.index_spec = {unique ? Collection::IndexSpec::Kind::kUniqueHash
+                         : Collection::IndexSpec::Kind::kHash,
+                  path, 0};
+  AGORAEO_RETURN_IF_ERROR(
+      db_.GetOrCreateCollection(collection)->CreateHashIndex(path, unique));
+  return wal_.Append(r);
+}
+
+Status DurableDatabase::CreateMultikeyIndex(const std::string& collection,
+                                            const std::string& path) {
+  WalRecord r;
+  r.op = WalRecord::Op::kCreateIndex;
+  r.collection = collection;
+  r.index_spec = {Collection::IndexSpec::Kind::kMultikey, path, 0};
+  AGORAEO_RETURN_IF_ERROR(
+      db_.GetOrCreateCollection(collection)->CreateMultikeyIndex(path));
+  return wal_.Append(r);
+}
+
+Status DurableDatabase::CreateGeoIndex(const std::string& collection,
+                                       const std::string& path,
+                                       int precision) {
+  WalRecord r;
+  r.op = WalRecord::Op::kCreateIndex;
+  r.collection = collection;
+  r.index_spec = {Collection::IndexSpec::Kind::kGeo, path, precision};
+  AGORAEO_RETURN_IF_ERROR(
+      db_.GetOrCreateCollection(collection)->CreateGeoIndex(path, precision));
+  return wal_.Append(r);
+}
+
+Status DurableDatabase::CreateRangeIndex(const std::string& collection,
+                                         const std::string& path) {
+  WalRecord r;
+  r.op = WalRecord::Op::kCreateIndex;
+  r.collection = collection;
+  r.index_spec = {Collection::IndexSpec::Kind::kRange, path, 0};
+  AGORAEO_RETURN_IF_ERROR(
+      db_.GetOrCreateCollection(collection)->CreateRangeIndex(path));
+  return wal_.Append(r);
+}
+
+Status DurableDatabase::Checkpoint() {
+  AGORAEO_RETURN_IF_ERROR(db_.SaveToFile(snapshot_path()));
+  return wal_.Reset();
+}
+
+}  // namespace agoraeo::docstore

@@ -1,0 +1,142 @@
+#ifndef AGORAEO_DOCSTORE_WAL_H_
+#define AGORAEO_DOCSTORE_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/status.h"
+#include "docstore/database.h"
+
+namespace agoraeo::docstore {
+
+/// One logical write-ahead-log record: a mutation against a named
+/// collection.  Records are what recovery replays, in order, on top of
+/// the last checkpoint snapshot.
+struct WalRecord {
+  enum class Op : uint8_t {
+    kInsert = 1,       ///< doc
+    kUpdate = 2,       ///< doc_id + doc
+    kRemove = 3,       ///< doc_id
+    kCreateIndex = 4,  ///< index kind + path (+ precision)
+  };
+
+  Op op = Op::kInsert;
+  std::string collection;
+  DocId doc_id = 0;
+  Document doc;
+  Collection::IndexSpec index_spec{Collection::IndexSpec::Kind::kHash, "", 0};
+};
+
+/// Appender for the on-disk journal.  Framing per record:
+///   [u32 payload length][u32 crc32(payload)][payload]
+/// The CRC lets recovery distinguish a cleanly-ended log from a torn
+/// tail (a crash mid-append); everything before the first bad frame is
+/// trusted, the rest is discarded — MongoDB's journal behaves the same
+/// way.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens the log for appending (creating it when missing).
+  Status Open(const std::string& path);
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(const WalRecord& record);
+
+  /// Truncates the log to empty (after a checkpoint made its contents
+  /// redundant).
+  Status Reset();
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  /// Records appended through this writer (not counting pre-existing
+  /// log content).
+  size_t records_appended() const { return appended_; }
+
+  void Close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  size_t appended_ = 0;
+};
+
+/// Result of scanning a journal during recovery.
+struct WalReplayResult {
+  size_t records_applied = 0;
+  /// True when the log ended in a torn or corrupt frame that was
+  /// discarded (expected after a crash mid-append; not an error).
+  bool tail_discarded = false;
+};
+
+/// Reads a journal file and invokes `apply` on each intact record in
+/// order.  Stops at the first truncated or checksum-failing frame.
+/// A missing file is an empty journal.
+StatusOr<WalReplayResult> WalReplay(
+    const std::string& path,
+    const std::function<Status(const WalRecord&)>& apply);
+
+/// A Database with MongoDB-style durability: every mutation is applied
+/// in memory and appended to the journal before the call returns;
+/// `Checkpoint` snapshots the full state and resets the journal;
+/// `Open` restores snapshot + journal after a crash.
+///
+/// Mutations must go through this wrapper (not the raw Collection) to be
+/// journaled; reads can use the underlying collections directly.
+class DurableDatabase {
+ public:
+  /// `directory` holds `snapshot.bin` and `wal.log`.
+  explicit DurableDatabase(std::string directory);
+
+  /// Loads the snapshot (if any), replays the journal on top, and opens
+  /// the journal for appending.
+  Status Open();
+
+  /// In-memory database (reads, collection access).
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+
+  // --- journaled mutations ---------------------------------------------
+
+  StatusOr<DocId> Insert(const std::string& collection, Document doc);
+  Status Update(const std::string& collection, DocId id, Document doc);
+  Status Remove(const std::string& collection, DocId id);
+  Status CreateHashIndex(const std::string& collection,
+                         const std::string& path, bool unique = false);
+  Status CreateMultikeyIndex(const std::string& collection,
+                             const std::string& path);
+  Status CreateGeoIndex(const std::string& collection, const std::string& path,
+                        int precision = 5);
+  Status CreateRangeIndex(const std::string& collection,
+                          const std::string& path);
+
+  /// Writes a full snapshot and truncates the journal.
+  Status Checkpoint();
+
+  /// Journal records since open or the last checkpoint.
+  size_t journal_records() const { return wal_.records_appended(); }
+  /// Whether the last Open() discarded a torn journal tail.
+  bool recovered_torn_tail() const { return torn_tail_; }
+
+  std::string snapshot_path() const { return directory_ + "/snapshot.bin"; }
+  std::string wal_path() const { return directory_ + "/wal.log"; }
+
+ private:
+  Status ApplyRecord(const WalRecord& record);
+
+  std::string directory_;
+  Database db_;
+  WalWriter wal_;
+  bool torn_tail_ = false;
+};
+
+}  // namespace agoraeo::docstore
+
+#endif  // AGORAEO_DOCSTORE_WAL_H_

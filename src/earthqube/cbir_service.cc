@@ -1,0 +1,126 @@
+#include "earthqube/cbir_service.h"
+
+#include "index/hamming_table.h"
+#include "index/linear_scan.h"
+
+namespace agoraeo::earthqube {
+
+namespace {
+
+std::unique_ptr<index::HammingIndex> MakeIndex(CbirIndexKind kind) {
+  switch (kind) {
+    case CbirIndexKind::kHashTable:
+      return std::make_unique<index::HammingHashTable>();
+    case CbirIndexKind::kMultiIndex:
+      return std::make_unique<index::MultiIndexHashing>(4);
+    case CbirIndexKind::kLinearScan:
+      return std::make_unique<index::LinearScanIndex>();
+  }
+  return std::make_unique<index::HammingHashTable>();
+}
+
+}  // namespace
+
+CbirService::CbirService(std::unique_ptr<milan::MilanModel> model,
+                         const bigearthnet::FeatureExtractor* extractor,
+                         CbirIndexKind index_kind)
+    : model_(std::move(model)),
+      extractor_(extractor),
+      index_(MakeIndex(index_kind)) {}
+
+Status CbirService::AddImage(const std::string& patch_name,
+                             const Tensor& feature) {
+  if (code_by_name_.count(patch_name) != 0) {
+    return Status::AlreadyExists("image already indexed: " + patch_name);
+  }
+  const BinaryCode code = model_->HashOne(feature);
+  const index::ItemId id = name_by_id_.size();
+  AGORAEO_RETURN_IF_ERROR(index_->Add(id, code));
+  name_by_id_.push_back(patch_name);
+  code_by_name_.emplace(patch_name, code);
+  return Status::OK();
+}
+
+Status CbirService::AddImages(const std::vector<std::string>& names,
+                              const Tensor& features) {
+  if (features.rank() != 2 || features.dim(0) != names.size()) {
+    return Status::InvalidArgument("features shape mismatch with names");
+  }
+  const std::vector<BinaryCode> codes = model_->HashBatch(features);
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (code_by_name_.count(names[i]) != 0) {
+      return Status::AlreadyExists("image already indexed: " + names[i]);
+    }
+    const index::ItemId id = name_by_id_.size();
+    AGORAEO_RETURN_IF_ERROR(index_->Add(id, codes[i]));
+    name_by_id_.push_back(names[i]);
+    code_by_name_.emplace(names[i], codes[i]);
+  }
+  return Status::OK();
+}
+
+std::vector<CbirResult> CbirService::ToResults(
+    const std::vector<index::SearchResult>& hits, size_t max_results,
+    const std::string& exclude_name) const {
+  std::vector<CbirResult> out;
+  out.reserve(hits.size());
+  for (const auto& hit : hits) {
+    const std::string& name = name_by_id_[hit.id];
+    if (name == exclude_name) continue;
+    out.push_back({name, hit.distance});
+    if (max_results != 0 && out.size() >= max_results) break;
+  }
+  return out;
+}
+
+StatusOr<std::vector<CbirResult>> CbirService::QueryByName(
+    const std::string& patch_name, uint32_t radius,
+    size_t max_results) const {
+  auto it = code_by_name_.find(patch_name);
+  if (it == code_by_name_.end()) {
+    return Status::NotFound("image not in archive index: " + patch_name);
+  }
+  const auto hits = index_->RadiusSearch(it->second, radius);
+  return ToResults(hits, max_results, patch_name);
+}
+
+StatusOr<std::vector<CbirResult>> CbirService::KnnByName(
+    const std::string& patch_name, size_t k) const {
+  auto it = code_by_name_.find(patch_name);
+  if (it == code_by_name_.end()) {
+    return Status::NotFound("image not in archive index: " + patch_name);
+  }
+  // Fetch one extra so the self-match can be dropped.
+  const auto hits = index_->KnnSearch(it->second, k + 1);
+  return ToResults(hits, k, patch_name);
+}
+
+StatusOr<std::vector<CbirResult>> CbirService::QueryByPatch(
+    const bigearthnet::Patch& patch, uint32_t radius, size_t max_results) {
+  if (patch.s2_bands.size() != bigearthnet::kNumS2Bands ||
+      patch.s1_channels.size() != bigearthnet::kNumS1Channels) {
+    return Status::InvalidArgument(
+        "uploaded patch must carry 12 Sentinel-2 bands and 2 Sentinel-1 "
+        "channels");
+  }
+  const Tensor feature = extractor_->ExtractFromPixels(patch);
+  return QueryByFeature(feature, radius, max_results);
+}
+
+std::vector<CbirResult> CbirService::QueryByFeature(const Tensor& feature,
+                                                    uint32_t radius,
+                                                    size_t max_results) {
+  const BinaryCode code = model_->HashOne(feature);
+  const auto hits = index_->RadiusSearch(code, radius);
+  return ToResults(hits, max_results, /*exclude_name=*/"");
+}
+
+StatusOr<BinaryCode> CbirService::CodeOf(const std::string& patch_name) const {
+  auto it = code_by_name_.find(patch_name);
+  if (it == code_by_name_.end()) {
+    return Status::NotFound("image not in archive index: " + patch_name);
+  }
+  return it->second;
+}
+
+}  // namespace agoraeo::earthqube

@@ -1,0 +1,91 @@
+#ifndef AGORAEO_EARTHQUBE_CBIR_SERVICE_H_
+#define AGORAEO_EARTHQUBE_CBIR_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bigearthnet/feature_extractor.h"
+#include "bigearthnet/patch.h"
+#include "common/binary_code.h"
+#include "common/status.h"
+#include "index/hamming_index.h"
+#include "milan/milan_model.h"
+
+namespace agoraeo::earthqube {
+
+/// Which nearest-neighbour structure backs the service.
+enum class CbirIndexKind { kHashTable, kMultiIndex, kLinearScan };
+
+/// One retrieved image.
+struct CbirResult {
+  std::string patch_name;
+  uint32_t hamming_distance;
+};
+
+/// The content-based image-retrieval service (paper Section 3.3): MiLaN
+/// infers a binary code per archive image; an in-memory map from patch
+/// name to code supports query-by-archive-image, the model produces
+/// codes on the fly for external images, and a Hamming index returns all
+/// images within a small radius of the query code.
+class CbirService {
+ public:
+  /// Takes ownership of the trained model.  `extractor` must outlive the
+  /// service.
+  CbirService(std::unique_ptr<milan::MilanModel> model,
+              const bigearthnet::FeatureExtractor* extractor,
+              CbirIndexKind index_kind = CbirIndexKind::kHashTable);
+
+  /// Indexes one archive image with a precomputed feature vector.
+  Status AddImage(const std::string& patch_name, const Tensor& feature);
+
+  /// Indexes a feature matrix aligned with `names` (row i = names[i]).
+  Status AddImages(const std::vector<std::string>& names,
+                   const Tensor& features);
+
+  /// Query by an image already in the archive: looks the code up in the
+  /// in-memory hash table (no model inference).  NotFound for unknown
+  /// names.  Results exclude the query image itself.
+  StatusOr<std::vector<CbirResult>> QueryByName(const std::string& patch_name,
+                                                uint32_t radius,
+                                                size_t max_results = 0) const;
+
+  /// k-NN flavour of QueryByName.
+  StatusOr<std::vector<CbirResult>> KnnByName(const std::string& patch_name,
+                                              size_t k) const;
+
+  /// Query by an external image (query-by-new-example): extracts
+  /// features from pixels and infers the code on the fly.
+  StatusOr<std::vector<CbirResult>> QueryByPatch(
+      const bigearthnet::Patch& patch, uint32_t radius,
+      size_t max_results = 0);
+
+  /// Query by a raw feature vector (on-the-fly inference).
+  std::vector<CbirResult> QueryByFeature(const Tensor& feature,
+                                         uint32_t radius,
+                                         size_t max_results = 0);
+
+  /// The stored code of an archive image.
+  StatusOr<BinaryCode> CodeOf(const std::string& patch_name) const;
+
+  size_t num_indexed() const { return name_by_id_.size(); }
+  const milan::MilanModel& model() const { return *model_; }
+  index::HammingIndex& hamming_index() { return *index_; }
+
+ private:
+  std::vector<CbirResult> ToResults(
+      const std::vector<index::SearchResult>& hits, size_t max_results,
+      const std::string& exclude_name) const;
+
+  std::unique_ptr<milan::MilanModel> model_;
+  const bigearthnet::FeatureExtractor* extractor_;
+  std::unique_ptr<index::HammingIndex> index_;
+  /// The paper's in-memory hash table: patch name -> binary code.
+  std::unordered_map<std::string, BinaryCode> code_by_name_;
+  std::vector<std::string> name_by_id_;  ///< ItemId -> patch name
+};
+
+}  // namespace agoraeo::earthqube
+
+#endif  // AGORAEO_EARTHQUBE_CBIR_SERVICE_H_

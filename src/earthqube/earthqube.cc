@@ -1,0 +1,232 @@
+#include "earthqube/earthqube.h"
+
+#include "earthqube/zip_writer.h"
+
+#include "common/logging.h"
+
+namespace agoraeo::earthqube {
+
+using bigearthnet::LabelSet;
+using docstore::Document;
+using docstore::Filter;
+using docstore::Value;
+
+EarthQube::EarthQube(EarthQubeConfig config) : config_(config) {
+  metadata_ = db_.GetOrCreateCollection(kMetadataCollection);
+  image_data_ = db_.GetOrCreateCollection(kImageDataCollection);
+  rendered_ = db_.GetOrCreateCollection(kRenderedCollection);
+  feedback_ = db_.GetOrCreateCollection(kFeedbackCollection);
+  if (config_.build_indexes) {
+    // The image-data and rendered-images collections are keyed by patch
+    // name (the paper: "automatically indexed by MongoDB").
+    (void)image_data_->CreateHashIndex("name", /*unique=*/true);
+    (void)rendered_->CreateHashIndex("name", /*unique=*/true);
+  }
+}
+
+Status EarthQube::IngestArchive(const bigearthnet::Archive& archive) {
+  if (config_.build_indexes && metadata_->size() == 0) {
+    AGORAEO_RETURN_IF_ERROR(
+        metadata_->CreateHashIndex(kFieldName, /*unique=*/true));
+    AGORAEO_RETURN_IF_ERROR(metadata_->CreateMultikeyIndex(kFieldLabels));
+    AGORAEO_RETURN_IF_ERROR(metadata_->CreateHashIndex(kFieldLabelsKey));
+    AGORAEO_RETURN_IF_ERROR(metadata_->CreateGeoIndex(
+        kFieldLocation, config_.geo_index_precision));
+    // B+-tree over the day ordinal: acquisition-date range filters (the
+    // query panel's date subsection) plan an interval scan instead of a
+    // collection scan.
+    AGORAEO_RETURN_IF_ERROR(metadata_->CreateRangeIndex(kFieldDateOrdinal));
+  }
+  for (const auto& meta : archive.patches) {
+    auto inserted = metadata_->Insert(
+        MetadataToDocument(meta, config_.label_encoding));
+    if (!inserted.ok()) return inserted.status();
+  }
+  AGORAEO_LOG(kInfo) << "EarthQube ingested " << archive.patches.size()
+                     << " patches (total " << metadata_->size() << ")";
+  return Status::OK();
+}
+
+void EarthQube::AttachCbir(std::unique_ptr<CbirService> cbir) {
+  cbir_ = std::move(cbir);
+}
+
+StatusOr<ResultEntry> EarthQube::EntryFromDocument(const Document& doc) const {
+  AGORAEO_ASSIGN_OR_RETURN(bigearthnet::PatchMetadata meta,
+                           DocumentToMetadata(doc));
+  ResultEntry entry;
+  entry.name = meta.name;
+  entry.labels = meta.labels;
+  entry.country = meta.country;
+  entry.acquisition_date = meta.acquisition_date.ToString();
+  entry.map_location = meta.bounds.Center();
+  return entry;
+}
+
+StatusOr<SearchResponse> EarthQube::Search(const EarthQubeQuery& query) const {
+  const Filter filter = query.ToFilter(
+      config_.label_encoding == LabelEncoding::kAsciiCompressed);
+  docstore::QueryStats stats;
+  const auto docs = metadata_->Find(filter, query.limit, &stats);
+
+  std::vector<ResultEntry> entries;
+  std::vector<LabelSet> label_sets;
+  entries.reserve(docs.size());
+  label_sets.reserve(docs.size());
+  for (const Document* doc : docs) {
+    AGORAEO_ASSIGN_OR_RETURN(ResultEntry entry, EntryFromDocument(*doc));
+    label_sets.push_back(entry.labels);
+    entries.push_back(std::move(entry));
+  }
+  return SearchResponse{ResultPanel(std::move(entries)),
+                        LabelStatistics::FromLabelSets(label_sets),
+                        std::move(stats)};
+}
+
+size_t EarthQube::CountMatches(const EarthQubeQuery& query) const {
+  return metadata_->Count(query.ToFilter(
+      config_.label_encoding == LabelEncoding::kAsciiCompressed));
+}
+
+StatusOr<SearchResponse> EarthQube::ResponseFromCbirResults(
+    const std::vector<CbirResult>& results) const {
+  std::vector<ResultEntry> entries;
+  std::vector<LabelSet> label_sets;
+  entries.reserve(results.size());
+  docstore::QueryStats stats;
+  stats.plan = "CBIR";
+  for (const CbirResult& r : results) {
+    AGORAEO_ASSIGN_OR_RETURN(
+        docstore::DocId id,
+        metadata_->FindOneId(Filter::Eq(kFieldName, Value(r.patch_name))));
+    const Document* doc = metadata_->Get(id);
+    ++stats.docs_examined;
+    AGORAEO_ASSIGN_OR_RETURN(ResultEntry entry, EntryFromDocument(*doc));
+    label_sets.push_back(entry.labels);
+    entries.push_back(std::move(entry));
+  }
+  return SearchResponse{ResultPanel(std::move(entries)),
+                        LabelStatistics::FromLabelSets(label_sets),
+                        std::move(stats)};
+}
+
+StatusOr<SearchResponse> EarthQube::SimilarToArchiveImage(
+    const std::string& name, uint32_t radius, size_t max_results) const {
+  if (cbir_ == nullptr) {
+    return Status::FailedPrecondition("no CBIR service attached");
+  }
+  AGORAEO_ASSIGN_OR_RETURN(std::vector<CbirResult> results,
+                           cbir_->QueryByName(name, radius, max_results));
+  return ResponseFromCbirResults(results);
+}
+
+StatusOr<SearchResponse> EarthQube::NearestToArchiveImage(
+    const std::string& name, size_t k) const {
+  if (cbir_ == nullptr) {
+    return Status::FailedPrecondition("no CBIR service attached");
+  }
+  AGORAEO_ASSIGN_OR_RETURN(std::vector<CbirResult> results,
+                           cbir_->KnnByName(name, k));
+  return ResponseFromCbirResults(results);
+}
+
+StatusOr<SearchResponse> EarthQube::SimilarToUploadedImage(
+    const bigearthnet::Patch& patch, uint32_t radius,
+    size_t max_results) const {
+  if (cbir_ == nullptr) {
+    return Status::FailedPrecondition("no CBIR service attached");
+  }
+  // Uploaded-image inference mutates no index state; the const_cast is
+  // confined to the model's forward pass (dropout disabled at inference).
+  auto* cbir = const_cast<CbirService*>(cbir_.get());
+  AGORAEO_ASSIGN_OR_RETURN(std::vector<CbirResult> results,
+                           cbir->QueryByPatch(patch, radius, max_results));
+  return ResponseFromCbirResults(results);
+}
+
+Status EarthQube::StorePatchPixels(const bigearthnet::Patch& patch) {
+  auto inserted = image_data_->Insert(PatchToImageDocument(patch));
+  return inserted.ok() ? Status::OK() : inserted.status();
+}
+
+StatusOr<bigearthnet::Patch> EarthQube::LoadPatchPixels(
+    const std::string& name) const {
+  AGORAEO_ASSIGN_OR_RETURN(
+      docstore::DocId id,
+      image_data_->FindOneId(Filter::Eq("name", Value(name))));
+  return ImageDocumentToPatch(*image_data_->Get(id));
+}
+
+Status EarthQube::StoreRenderedImage(const bigearthnet::Patch& patch) {
+  const auto& band = patch.s2(bigearthnet::S2Band::kB04);
+  const std::vector<uint8_t> rgb = bigearthnet::RenderRgb(patch);
+  auto inserted = rendered_->Insert(
+      RenderedToDocument(patch.meta.name, rgb, band.width, band.height));
+  return inserted.ok() ? Status::OK() : inserted.status();
+}
+
+StatusOr<std::vector<uint8_t>> EarthQube::GetRenderedImage(
+    const std::string& name) const {
+  AGORAEO_ASSIGN_OR_RETURN(
+      docstore::DocId id,
+      rendered_->FindOneId(Filter::Eq("name", Value(name))));
+  const Value* rgb = rendered_->Get(id)->Get("rgb");
+  if (rgb == nullptr || !rgb->is_binary()) {
+    return Status::Corruption("rendered image payload missing: " + name);
+  }
+  return rgb->as_binary();
+}
+
+StatusOr<std::vector<uint8_t>> EarthQube::ExportAsZip(
+    const std::vector<std::string>& names) const {
+  ZipWriter zip;
+  std::string manifest;
+  for (const std::string& name : names) {
+    AGORAEO_ASSIGN_OR_RETURN(
+        docstore::DocId id,
+        metadata_->FindOneId(Filter::Eq(kFieldName, Value(name))));
+    const docstore::Document* meta = metadata_->Get(id);
+    AGORAEO_RETURN_IF_ERROR(
+        zip.Add(name + "/metadata.json", meta->ToString()));
+    manifest += name + "\n";
+
+    // Raster payload, when the image-data collection holds it.
+    auto pixels = image_data_->FindOneId(Filter::Eq("name", Value(name)));
+    if (pixels.ok()) {
+      ByteWriter bands;
+      docstore::SerializeDocument(*image_data_->Get(*pixels), &bands);
+      AGORAEO_RETURN_IF_ERROR(zip.Add(name + "/bands.bin", bands.data()));
+    }
+    // Rendered RGB preview, when present.
+    auto rendered = GetRenderedImage(name);
+    if (rendered.ok()) {
+      AGORAEO_RETURN_IF_ERROR(zip.Add(name + "/preview.rgb", *rendered));
+    }
+  }
+  AGORAEO_RETURN_IF_ERROR(zip.Add("manifest.txt", manifest));
+  return zip.Finish();
+}
+
+Status EarthQube::SubmitFeedback(const std::string& text) {
+  Document doc;
+  doc.Set("text", Value(text));
+  doc.Set("anonymous", Value(true));
+  auto inserted = feedback_->Insert(std::move(doc));
+  return inserted.ok() ? Status::OK() : inserted.status();
+}
+
+size_t EarthQube::NumFeedbackEntries() const {
+  return feedback_->size();
+}
+
+StatusOr<bigearthnet::PatchMetadata> EarthQube::GetMetadata(
+    const std::string& name) const {
+  AGORAEO_ASSIGN_OR_RETURN(
+      docstore::DocId id,
+      metadata_->FindOneId(Filter::Eq(kFieldName, Value(name))));
+  return DocumentToMetadata(*metadata_->Get(id));
+}
+
+size_t EarthQube::num_images() const { return metadata_->size(); }
+
+}  // namespace agoraeo::earthqube

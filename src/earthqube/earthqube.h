@@ -1,0 +1,143 @@
+#ifndef AGORAEO_EARTHQUBE_EARTHQUBE_H_
+#define AGORAEO_EARTHQUBE_EARTHQUBE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bigearthnet/archive_generator.h"
+#include "docstore/database.h"
+#include "earthqube/cbir_service.h"
+#include "earthqube/query.h"
+#include "earthqube/result_panel.h"
+#include "earthqube/schema.h"
+#include "earthqube/statistics.h"
+
+namespace agoraeo::earthqube {
+
+/// Back-end configuration.
+struct EarthQubeConfig {
+  LabelEncoding label_encoding = LabelEncoding::kAsciiCompressed;
+  /// Geohash precision of the metadata location index (5 chars ~ 4.9 km
+  /// cells, matching the ~1.2 km patches and typical query extents).
+  int geo_index_precision = 5;
+  /// Whether to build the metadata indexes (name PK, labels multikey,
+  /// labels_key hash, location geo).  Disabled only by the index-ablation
+  /// benchmarks.
+  bool build_indexes = true;
+};
+
+/// A search response: the result panel model, the label-statistics view,
+/// and the executed plan's statistics.  For similarity searches the
+/// panel is ordered by ascending Hamming distance; for panel queries by
+/// DocId (ingestion) order.
+struct SearchResponse {
+  ResultPanel panel;
+  LabelStatistics statistics;
+  docstore::QueryStats query_stats;
+};
+
+/// The EarthQube back-end server (paper Section 3.2): validates and
+/// processes user queries against the MongoDB-like data tier, and
+/// provides CBIR through the integrated MiLaN service.
+class EarthQube {
+ public:
+  explicit EarthQube(EarthQubeConfig config = {});
+
+  /// Loads an archive's metadata into the metadata collection and builds
+  /// the configured indexes.
+  Status IngestArchive(const bigearthnet::Archive& archive);
+
+  /// Attaches a CBIR service (trained MiLaN model + Hamming index) built
+  /// by the caller; enables the similarity-search endpoints.
+  void AttachCbir(std::unique_ptr<CbirService> cbir);
+
+  // --- query panel -------------------------------------------------------
+
+  /// Executes a query-panel submission.
+  StatusOr<SearchResponse> Search(const EarthQubeQuery& query) const;
+
+  /// Count without materialising results.
+  size_t CountMatches(const EarthQubeQuery& query) const;
+
+  // --- similarity search (Section 3.3) ------------------------------------
+
+  /// Query-by-archive-image: retrieves all images within `radius` of the
+  /// named image's code; the response panel is ordered by distance.
+  StatusOr<SearchResponse> SimilarToArchiveImage(const std::string& name,
+                                                 uint32_t radius,
+                                                 size_t max_results = 0) const;
+
+  /// k-NN flavour of the above.
+  StatusOr<SearchResponse> NearestToArchiveImage(const std::string& name,
+                                                 size_t k) const;
+
+  /// Query-by-new-example: an uploaded patch is featurised and hashed on
+  /// the fly.
+  StatusOr<SearchResponse> SimilarToUploadedImage(
+      const bigearthnet::Patch& patch, uint32_t radius,
+      size_t max_results = 0) const;
+
+  // --- image payloads ------------------------------------------------------
+
+  /// Stores a patch's raster stack in the image-data collection (unique
+  /// by patch name).
+  Status StorePatchPixels(const bigearthnet::Patch& patch);
+
+  /// Loads a raster stack back.
+  StatusOr<bigearthnet::Patch> LoadPatchPixels(const std::string& name) const;
+
+  /// Renders and stores the RGB preview for a patch (rendered-images
+  /// collection).
+  Status StoreRenderedImage(const bigearthnet::Patch& patch);
+
+  /// Returns the stored RGB payload (interleaved, 3 bytes per pixel).
+  StatusOr<std::vector<uint8_t>> GetRenderedImage(
+      const std::string& name) const;
+
+  // --- downloads -----------------------------------------------------------
+
+  /// Builds the download payload for a set of images (the result panel's
+  /// "download as zip" button and the cart's combined download): one
+  /// folder per image containing metadata.json, plus bands.bin and
+  /// preview.rgb when the corresponding payloads are stored, plus a
+  /// top-level manifest.txt.  NotFound when any name is unknown.
+  StatusOr<std::vector<uint8_t>> ExportAsZip(
+      const std::vector<std::string>& names) const;
+
+  // --- feedback ------------------------------------------------------------
+
+  /// Stores anonymous user feedback text.
+  Status SubmitFeedback(const std::string& text);
+  size_t NumFeedbackEntries() const;
+
+  // --- metadata access -----------------------------------------------------
+
+  /// Metadata of one archive image by patch name.
+  StatusOr<bigearthnet::PatchMetadata> GetMetadata(
+      const std::string& name) const;
+
+  docstore::Database& database() { return db_; }
+  const docstore::Database& database() const { return db_; }
+  CbirService* cbir() { return cbir_.get(); }
+  const CbirService* cbir() const { return cbir_.get(); }
+  const EarthQubeConfig& config() const { return config_; }
+  size_t num_images() const;
+
+ private:
+  StatusOr<ResultEntry> EntryFromDocument(const docstore::Document& doc) const;
+  StatusOr<SearchResponse> ResponseFromCbirResults(
+      const std::vector<CbirResult>& results) const;
+
+  EarthQubeConfig config_;
+  docstore::Database db_;
+  docstore::Collection* metadata_;
+  docstore::Collection* image_data_;
+  docstore::Collection* rendered_;
+  docstore::Collection* feedback_;
+  std::unique_ptr<CbirService> cbir_;
+};
+
+}  // namespace agoraeo::earthqube
+
+#endif  // AGORAEO_EARTHQUBE_EARTHQUBE_H_

@@ -1,0 +1,131 @@
+#include "earthqube/query.h"
+
+#include "earthqube/schema.h"
+
+namespace agoraeo::earthqube {
+
+using bigearthnet::LabelById;
+using bigearthnet::LabelSet;
+using docstore::Filter;
+using docstore::Value;
+
+GeoQuery GeoQuery::Rect(geo::BoundingBox box) {
+  GeoQuery q;
+  q.shape = Shape::kRectangle;
+  q.rectangle = box;
+  return q;
+}
+
+GeoQuery GeoQuery::InCircle(geo::Circle c) {
+  GeoQuery q;
+  q.shape = Shape::kCircle;
+  q.circle = c;
+  return q;
+}
+
+GeoQuery GeoQuery::InPolygon(geo::Polygon p) {
+  GeoQuery q;
+  q.shape = Shape::kPolygon;
+  q.polygon = std::move(p);
+  return q;
+}
+
+const char* LabelOperatorToString(LabelOperator op) {
+  switch (op) {
+    case LabelOperator::kSome:
+      return "Some";
+    case LabelOperator::kExactly:
+      return "Exactly";
+    case LabelOperator::kAtLeastAndMore:
+      return "At least & more";
+  }
+  return "?";
+}
+
+LabelFilter LabelFilter::Some(LabelSet labels) {
+  return {true, LabelOperator::kSome, std::move(labels)};
+}
+
+LabelFilter LabelFilter::Exactly(LabelSet labels) {
+  return {true, LabelOperator::kExactly, std::move(labels)};
+}
+
+LabelFilter LabelFilter::AtLeastAndMore(LabelSet labels) {
+  return {true, LabelOperator::kAtLeastAndMore, std::move(labels)};
+}
+
+LabelFilter LabelFilter::SomeLevel2(int level2_code) {
+  return Some(LabelSet(bigearthnet::LabelsUnderLevel2(level2_code)));
+}
+
+docstore::Filter EarthQubeQuery::ToFilter(bool ascii_labels) const {
+  std::vector<Filter> conjuncts;
+
+  switch (geo.shape) {
+    case GeoQuery::Shape::kNone:
+      break;
+    case GeoQuery::Shape::kRectangle:
+      conjuncts.push_back(Filter::GeoIntersects(kFieldLocation, geo.rectangle));
+      break;
+    case GeoQuery::Shape::kCircle:
+      conjuncts.push_back(Filter::GeoWithinCircle(kFieldLocation, geo.circle));
+      break;
+    case GeoQuery::Shape::kPolygon:
+      conjuncts.push_back(
+          Filter::GeoWithinPolygon(kFieldLocation, geo.polygon));
+      break;
+  }
+
+  if (date_range.has_value()) {
+    conjuncts.push_back(Filter::Gte(kFieldDateOrdinal,
+                                    Value(date_range->begin.ToOrdinal())));
+    conjuncts.push_back(
+        Filter::Lte(kFieldDateOrdinal, Value(date_range->end.ToOrdinal())));
+  }
+
+  if (!satellites.empty()) {
+    std::vector<Value> values;
+    values.reserve(satellites.size());
+    for (const std::string& s : satellites) values.emplace_back(s);
+    conjuncts.push_back(Filter::In(kFieldSatellite, std::move(values)));
+  }
+
+  if (!seasons.empty()) {
+    std::vector<Value> values;
+    values.reserve(seasons.size());
+    for (Season s : seasons) values.emplace_back(std::string(SeasonToString(s)));
+    conjuncts.push_back(Filter::In(kFieldSeason, std::move(values)));
+  }
+
+  if (label_filter.enabled && !label_filter.labels.empty()) {
+    std::vector<Value> keys;
+    keys.reserve(label_filter.labels.size());
+    for (bigearthnet::LabelId id : label_filter.labels.ids()) {
+      if (ascii_labels) {
+        keys.emplace_back(std::string(1, LabelById(id).ascii_key));
+      } else {
+        keys.emplace_back(std::string(LabelById(id).name));
+      }
+    }
+    switch (label_filter.op) {
+      case LabelOperator::kSome:
+        conjuncts.push_back(Filter::In(kFieldLabels, std::move(keys)));
+        break;
+      case LabelOperator::kExactly:
+        // The labels_key field stores the sorted ASCII keys, so exact
+        // set equality is one string equality (hash-indexable).
+        conjuncts.push_back(Filter::Eq(
+            kFieldLabelsKey, Value(label_filter.labels.ToAsciiKeys())));
+        break;
+      case LabelOperator::kAtLeastAndMore:
+        conjuncts.push_back(Filter::All(kFieldLabels, std::move(keys)));
+        break;
+    }
+  }
+
+  if (conjuncts.empty()) return Filter::True();
+  if (conjuncts.size() == 1) return std::move(conjuncts[0]);
+  return Filter::And(std::move(conjuncts));
+}
+
+}  // namespace agoraeo::earthqube

@@ -1,0 +1,76 @@
+#ifndef AGORAEO_EARTHQUBE_QUERY_H_
+#define AGORAEO_EARTHQUBE_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bigearthnet/clc_labels.h"
+#include "common/time_util.h"
+#include "docstore/filter.h"
+#include "geo/geo.h"
+
+namespace agoraeo::earthqube {
+
+/// Geospatial restriction from the query panel's coordinates subsection:
+/// a rectangle or circle typed in, or an arbitrary rectangle / circle /
+/// polygon drawn on the map (paper Section 3.1).
+struct GeoQuery {
+  enum class Shape { kNone, kRectangle, kCircle, kPolygon };
+  Shape shape = Shape::kNone;
+  geo::BoundingBox rectangle;
+  geo::Circle circle;
+  geo::Polygon polygon;
+
+  static GeoQuery None() { return {}; }
+  static GeoQuery Rect(geo::BoundingBox box);
+  static GeoQuery InCircle(geo::Circle c);
+  static GeoQuery InPolygon(geo::Polygon p);
+};
+
+/// The three label-filtering operators of the label panel (Figure 2-2):
+///  - Some: at least one of the selected labels is present;
+///  - Exactly: the label set equals the selection;
+///  - AtLeastAndMore: all selected labels present, extras allowed.
+enum class LabelOperator { kSome, kExactly, kAtLeastAndMore };
+
+const char* LabelOperatorToString(LabelOperator op);
+
+/// Label restriction; `enabled == false` models the panel's switch button
+/// in its initial position (no label-based filtering).
+struct LabelFilter {
+  bool enabled = false;
+  LabelOperator op = LabelOperator::kSome;
+  bigearthnet::LabelSet labels;
+
+  static LabelFilter Off() { return {}; }
+  static LabelFilter Some(bigearthnet::LabelSet labels);
+  static LabelFilter Exactly(bigearthnet::LabelSet labels);
+  static LabelFilter AtLeastAndMore(bigearthnet::LabelSet labels);
+
+  /// Selects a whole Level-2 class (e.g. "Forests" selects the three
+  /// Level-3 forest labels), as the hierarchical panel allows.
+  static LabelFilter SomeLevel2(int level2_code);
+};
+
+/// A complete query-panel submission.
+struct EarthQubeQuery {
+  GeoQuery geo;
+  std::optional<DateRange> date_range;
+  std::vector<std::string> satellites;  ///< subset of {"S2A", "S2B"}
+  std::vector<Season> seasons;
+  LabelFilter label_filter;
+  size_t limit = 0;  ///< 0 = unlimited
+
+  /// Translates the panel state into a docstore filter over the metadata
+  /// schema.  The Exactly operator compiles to an equality on the sorted
+  /// labels_key string (hash-indexable); Some/AtLeastAndMore compile to
+  /// In/All over the multikey labels array.  `ascii_labels` must match
+  /// the LabelEncoding the collection was ingested with (the E7 ablation
+  /// passes false to query full-string labels).
+  docstore::Filter ToFilter(bool ascii_labels = true) const;
+};
+
+}  // namespace agoraeo::earthqube
+
+#endif  // AGORAEO_EARTHQUBE_QUERY_H_

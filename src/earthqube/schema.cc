@@ -1,0 +1,183 @@
+#include "earthqube/schema.h"
+
+#include "common/string_util.h"
+#include "docstore/filter.h"
+
+namespace agoraeo::earthqube {
+
+using bigearthnet::LabelById;
+using bigearthnet::LabelSet;
+using bigearthnet::PatchMetadata;
+using docstore::Document;
+using docstore::Value;
+
+Document MetadataToDocument(const PatchMetadata& meta,
+                            LabelEncoding encoding) {
+  Document doc;
+  doc.Set(kFieldName, Value(meta.name));
+
+  Document location;
+  location.Set("min_lat", Value(meta.bounds.min.lat));
+  location.Set("min_lon", Value(meta.bounds.min.lon));
+  location.Set("max_lat", Value(meta.bounds.max.lat));
+  location.Set("max_lon", Value(meta.bounds.max.lon));
+  doc.Set("location", Value(std::move(location)));
+
+  Document properties;
+  std::vector<Value> labels;
+  labels.reserve(meta.labels.size());
+  for (bigearthnet::LabelId id : meta.labels.ids()) {
+    if (encoding == LabelEncoding::kAsciiCompressed) {
+      labels.emplace_back(std::string(1, LabelById(id).ascii_key));
+    } else {
+      labels.emplace_back(std::string(LabelById(id).name));
+    }
+  }
+  properties.Set("labels", Value(std::move(labels)));
+  properties.Set("labels_key", Value(meta.labels.ToAsciiKeys()));
+  properties.Set("country", Value(meta.country));
+  properties.Set("season", Value(std::string(SeasonToString(meta.season))));
+  properties.Set("satellite", Value(SatelliteFromName(meta.name)));
+  properties.Set("acquisition_date", Value(meta.acquisition_date.ToString()));
+  properties.Set("date_ordinal", Value(meta.acquisition_date.ToOrdinal()));
+  doc.Set("properties", Value(std::move(properties)));
+  return doc;
+}
+
+StatusOr<PatchMetadata> DocumentToMetadata(const Document& doc) {
+  PatchMetadata meta;
+  const Value* name = doc.GetPath(kFieldName);
+  if (name == nullptr || !name->is_string()) {
+    return Status::Corruption("metadata document missing name");
+  }
+  meta.name = name->as_string();
+
+  geo::BoundingBox box;
+  if (!docstore::Filter::ReadStoredBox(doc, kFieldLocation, &box)) {
+    return Status::Corruption("metadata document missing location: " +
+                              meta.name);
+  }
+  meta.bounds = box;
+
+  const Value* labels_key = doc.GetPath(kFieldLabelsKey);
+  if (labels_key == nullptr || !labels_key->is_string()) {
+    return Status::Corruption("metadata document missing labels_key: " +
+                              meta.name);
+  }
+  AGORAEO_ASSIGN_OR_RETURN(meta.labels,
+                           LabelSet::FromAsciiKeys(labels_key->as_string()));
+
+  const Value* country = doc.GetPath(kFieldCountry);
+  if (country != nullptr && country->is_string()) {
+    meta.country = country->as_string();
+  }
+  const Value* date = doc.GetPath(kFieldDate);
+  if (date == nullptr || !date->is_string()) {
+    return Status::Corruption("metadata document missing date: " + meta.name);
+  }
+  AGORAEO_ASSIGN_OR_RETURN(meta.acquisition_date,
+                           CivilDate::Parse(date->as_string()));
+  meta.season = meta.acquisition_date.GetSeason();
+  return meta;
+}
+
+std::string SatelliteFromName(const std::string& patch_name) {
+  if (StrStartsWith(patch_name, "S2A")) return "S2A";
+  if (StrStartsWith(patch_name, "S2B")) return "S2B";
+  return "S2A";
+}
+
+Document PatchToImageDocument(const bigearthnet::Patch& patch) {
+  Document doc;
+  doc.Set("name", Value(patch.meta.name));
+  auto band_to_value = [](const bigearthnet::BandRaster& band) {
+    Document b;
+    b.Set("name", Value(band.name));
+    b.Set("resolution", Value(static_cast<int64_t>(band.resolution_m)));
+    b.Set("width", Value(static_cast<int64_t>(band.width)));
+    b.Set("height", Value(static_cast<int64_t>(band.height)));
+    std::vector<uint8_t> bytes(band.pixels.size() * 2);
+    for (size_t i = 0; i < band.pixels.size(); ++i) {
+      bytes[2 * i] = static_cast<uint8_t>(band.pixels[i] & 0xff);
+      bytes[2 * i + 1] = static_cast<uint8_t>(band.pixels[i] >> 8);
+    }
+    b.Set("pixels", Value(std::move(bytes)));
+    return Value(std::move(b));
+  };
+  std::vector<Value> s2;
+  for (const auto& band : patch.s2_bands) s2.push_back(band_to_value(band));
+  doc.Set("s2_bands", Value(std::move(s2)));
+  std::vector<Value> s1;
+  for (const auto& band : patch.s1_channels) s1.push_back(band_to_value(band));
+  doc.Set("s1_channels", Value(std::move(s1)));
+  return doc;
+}
+
+namespace {
+
+StatusOr<bigearthnet::BandRaster> ValueToBand(const Value& v) {
+  if (!v.is_document()) return Status::Corruption("band is not a document");
+  const Document& d = v.as_document();
+  bigearthnet::BandRaster band;
+  const Value* name = d.Get("name");
+  const Value* resolution = d.Get("resolution");
+  const Value* width = d.Get("width");
+  const Value* height = d.Get("height");
+  const Value* pixels = d.Get("pixels");
+  if (name == nullptr || resolution == nullptr || width == nullptr ||
+      height == nullptr || pixels == nullptr || !pixels->is_binary()) {
+    return Status::Corruption("band document malformed");
+  }
+  band.name = name->as_string();
+  band.resolution_m = static_cast<int>(resolution->as_int64());
+  band.width = static_cast<int>(width->as_int64());
+  band.height = static_cast<int>(height->as_int64());
+  const auto& bytes = pixels->as_binary();
+  if (bytes.size() != static_cast<size_t>(band.width) * band.height * 2) {
+    return Status::Corruption("band pixel payload size mismatch");
+  }
+  band.pixels.resize(bytes.size() / 2);
+  for (size_t i = 0; i < band.pixels.size(); ++i) {
+    band.pixels[i] = static_cast<uint16_t>(bytes[2 * i] |
+                                           (bytes[2 * i + 1] << 8));
+  }
+  return band;
+}
+
+}  // namespace
+
+StatusOr<bigearthnet::Patch> ImageDocumentToPatch(const Document& doc) {
+  bigearthnet::Patch patch;
+  const Value* name = doc.Get("name");
+  if (name == nullptr || !name->is_string()) {
+    return Status::Corruption("image document missing name");
+  }
+  patch.meta.name = name->as_string();
+  const Value* s2 = doc.Get("s2_bands");
+  const Value* s1 = doc.Get("s1_channels");
+  if (s2 == nullptr || !s2->is_array() || s1 == nullptr || !s1->is_array()) {
+    return Status::Corruption("image document missing band arrays");
+  }
+  for (const Value& v : s2->as_array()) {
+    AGORAEO_ASSIGN_OR_RETURN(bigearthnet::BandRaster band, ValueToBand(v));
+    patch.s2_bands.push_back(std::move(band));
+  }
+  for (const Value& v : s1->as_array()) {
+    AGORAEO_ASSIGN_OR_RETURN(bigearthnet::BandRaster band, ValueToBand(v));
+    patch.s1_channels.push_back(std::move(band));
+  }
+  return patch;
+}
+
+Document RenderedToDocument(const std::string& name,
+                            const std::vector<uint8_t>& rgb, int width,
+                            int height) {
+  Document doc;
+  doc.Set("name", Value(name));
+  doc.Set("width", Value(static_cast<int64_t>(width)));
+  doc.Set("height", Value(static_cast<int64_t>(height)));
+  doc.Set("rgb", Value(rgb));
+  return doc;
+}
+
+}  // namespace agoraeo::earthqube

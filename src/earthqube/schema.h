@@ -1,0 +1,79 @@
+#ifndef AGORAEO_EARTHQUBE_SCHEMA_H_
+#define AGORAEO_EARTHQUBE_SCHEMA_H_
+
+#include <string>
+
+#include "bigearthnet/patch.h"
+#include "common/status.h"
+#include "docstore/value.h"
+
+namespace agoraeo::earthqube {
+
+/// Names of the four EarthQube data-tier collections (paper Section 3.2).
+inline constexpr const char kMetadataCollection[] = "metadata";
+inline constexpr const char kImageDataCollection[] = "image_data";
+inline constexpr const char kRenderedCollection[] = "rendered_images";
+inline constexpr const char kFeedbackCollection[] = "feedback";
+
+/// Field paths of the metadata schema.
+inline constexpr const char kFieldName[] = "name";
+inline constexpr const char kFieldLocation[] = "location";
+inline constexpr const char kFieldLabels[] = "properties.labels";
+inline constexpr const char kFieldLabelsKey[] = "properties.labels_key";
+inline constexpr const char kFieldCountry[] = "properties.country";
+inline constexpr const char kFieldSeason[] = "properties.season";
+inline constexpr const char kFieldSatellite[] = "properties.satellite";
+inline constexpr const char kFieldDate[] = "properties.acquisition_date";
+inline constexpr const char kFieldDateOrdinal[] = "properties.date_ordinal";
+
+/// Controls how land-cover labels are stored in metadata documents.
+///
+/// The paper (Section 3.2): "to improve the performance of label-based
+/// filtering, we map each (potentially multi-word) CLC label to an ASCII
+/// character, thereby avoiding the manipulation of long strings."
+/// kAsciiCompressed is EarthQube's production encoding; kFullStrings is
+/// kept for the E7 ablation benchmark.
+enum class LabelEncoding { kAsciiCompressed, kFullStrings };
+
+/// Converts patch metadata to a metadata-collection document:
+/// {
+///   name: "S2A_MSIL2A_...",
+///   location: {min_lat, min_lon, max_lat, max_lon},
+///   properties: {
+///     labels:      ["C", "n"] | ["Industrial or commercial units", ...],
+///     labels_key:  "Cn",            // sorted concatenation, for Exactly
+///     country:     "Portugal",
+///     season:      "Summer",
+///     satellite:   "S2A" | "S2B",
+///     acquisition_date: "2017-07-17",
+///     date_ordinal: 17364,          // days since epoch, for ranges
+///   }
+/// }
+docstore::Document MetadataToDocument(const bigearthnet::PatchMetadata& meta,
+                                      LabelEncoding encoding);
+
+/// Reconstructs patch metadata from a metadata document (scene_id is not
+/// stored and comes back as -1).
+StatusOr<bigearthnet::PatchMetadata> DocumentToMetadata(
+    const docstore::Document& doc);
+
+/// The satellite tag encoded in a BigEarthNet patch name ("S2A"/"S2B").
+std::string SatelliteFromName(const std::string& patch_name);
+
+/// Serialises a full patch (all bands) into an image-data document:
+/// {name, bands: [{name, resolution, width, height, pixels: binary}]}.
+docstore::Document PatchToImageDocument(const bigearthnet::Patch& patch);
+
+/// Inverse of PatchToImageDocument (metadata fields are not stored in the
+/// image-data collection; only rasters are restored).
+StatusOr<bigearthnet::Patch> ImageDocumentToPatch(
+    const docstore::Document& doc);
+
+/// Wraps an RGB rendering into a rendered-images document.
+docstore::Document RenderedToDocument(const std::string& name,
+                                      const std::vector<uint8_t>& rgb,
+                                      int width, int height);
+
+}  // namespace agoraeo::earthqube
+
+#endif  // AGORAEO_EARTHQUBE_SCHEMA_H_

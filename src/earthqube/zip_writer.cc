@@ -1,0 +1,192 @@
+#include "earthqube/zip_writer.h"
+
+#include <algorithm>
+
+#include "common/byte_buffer.h"
+#include "common/crc32.h"
+
+namespace agoraeo::earthqube {
+
+namespace {
+
+constexpr uint32_t kLocalHeaderSig = 0x04034b50;
+constexpr uint32_t kCentralHeaderSig = 0x02014b50;
+constexpr uint32_t kEndOfCentralSig = 0x06054b50;
+constexpr uint16_t kVersion = 20;        // 2.0 — store method
+constexpr uint16_t kMethodStore = 0;
+// Fixed DOS timestamp (2022-09-05 10:00, the VLDB demo week): archives
+// are bit-reproducible.
+constexpr uint16_t kDosTime = (10 << 11);
+constexpr uint16_t kDosDate = ((2022 - 1980) << 9) | (9 << 5) | 5;
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v & 0xFF));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Status ZipWriter::Add(const std::string& name,
+                      const std::vector<uint8_t>& content) {
+  if (name.empty() || name.size() > 0xFFFF) {
+    return Status::InvalidArgument("zip entry name empty or too long");
+  }
+  if (name.find('\\') != std::string::npos || name.front() == '/') {
+    return Status::InvalidArgument(
+        "zip entry names use relative '/' paths: " + name);
+  }
+  for (const Entry& e : entries_) {
+    if (e.name == name) {
+      return Status::AlreadyExists("duplicate zip entry: " + name);
+    }
+  }
+  if (content.size() > 0xFFFFFFFFull) {
+    return Status::InvalidArgument("entry too large for zip32: " + name);
+  }
+  Entry entry;
+  entry.name = name;
+  entry.content = content;
+  entry.crc32 = Crc32(content);
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status ZipWriter::Add(const std::string& name, const std::string& content) {
+  return Add(name,
+             std::vector<uint8_t>(content.begin(), content.end()));
+}
+
+std::vector<uint8_t> ZipWriter::Finish() const {
+  std::vector<uint8_t> out;
+  std::vector<uint32_t> offsets;
+  offsets.reserve(entries_.size());
+
+  // Local file headers + payloads.
+  for (const Entry& e : entries_) {
+    offsets.push_back(static_cast<uint32_t>(out.size()));
+    PutU32(&out, kLocalHeaderSig);
+    PutU16(&out, kVersion);
+    PutU16(&out, 0);  // flags
+    PutU16(&out, kMethodStore);
+    PutU16(&out, kDosTime);
+    PutU16(&out, kDosDate);
+    PutU32(&out, e.crc32);
+    PutU32(&out, static_cast<uint32_t>(e.content.size()));  // compressed
+    PutU32(&out, static_cast<uint32_t>(e.content.size()));  // uncompressed
+    PutU16(&out, static_cast<uint16_t>(e.name.size()));
+    PutU16(&out, 0);  // extra length
+    out.insert(out.end(), e.name.begin(), e.name.end());
+    out.insert(out.end(), e.content.begin(), e.content.end());
+  }
+
+  // Central directory.
+  const uint32_t central_start = static_cast<uint32_t>(out.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    PutU32(&out, kCentralHeaderSig);
+    PutU16(&out, kVersion);  // made by
+    PutU16(&out, kVersion);  // needed to extract
+    PutU16(&out, 0);         // flags
+    PutU16(&out, kMethodStore);
+    PutU16(&out, kDosTime);
+    PutU16(&out, kDosDate);
+    PutU32(&out, e.crc32);
+    PutU32(&out, static_cast<uint32_t>(e.content.size()));
+    PutU32(&out, static_cast<uint32_t>(e.content.size()));
+    PutU16(&out, static_cast<uint16_t>(e.name.size()));
+    PutU16(&out, 0);  // extra
+    PutU16(&out, 0);  // comment
+    PutU16(&out, 0);  // disk number
+    PutU16(&out, 0);  // internal attrs
+    PutU32(&out, 0);  // external attrs
+    PutU32(&out, offsets[i]);
+    out.insert(out.end(), e.name.begin(), e.name.end());
+  }
+  const uint32_t central_size =
+      static_cast<uint32_t>(out.size()) - central_start;
+
+  // End of central directory.
+  PutU32(&out, kEndOfCentralSig);
+  PutU16(&out, 0);  // this disk
+  PutU16(&out, 0);  // central-dir disk
+  PutU16(&out, static_cast<uint16_t>(entries_.size()));
+  PutU16(&out, static_cast<uint16_t>(entries_.size()));
+  PutU32(&out, central_size);
+  PutU32(&out, central_start);
+  PutU16(&out, 0);  // comment length
+  return out;
+}
+
+StatusOr<std::vector<std::pair<std::string, std::vector<uint8_t>>>>
+ZipExtractAll(const std::vector<uint8_t>& archive) {
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> out;
+  // Find the end-of-central-directory record (no comment in our subset,
+  // so it is the final 22 bytes).
+  if (archive.size() < 22) return Status::Corruption("zip too small");
+  const size_t eocd = archive.size() - 22;
+  if (GetU32(archive.data() + eocd) != kEndOfCentralSig) {
+    return Status::Corruption("missing end-of-central-directory");
+  }
+  const uint16_t count = GetU16(archive.data() + eocd + 10);
+  uint32_t pos = GetU32(archive.data() + eocd + 16);
+
+  for (uint16_t i = 0; i < count; ++i) {
+    if (pos + 46 > archive.size() ||
+        GetU32(archive.data() + pos) != kCentralHeaderSig) {
+      return Status::Corruption("bad central directory entry");
+    }
+    const uint16_t method = GetU16(archive.data() + pos + 10);
+    if (method != kMethodStore) {
+      return Status::Corruption("unsupported compression method");
+    }
+    const uint32_t crc = GetU32(archive.data() + pos + 16);
+    const uint32_t size = GetU32(archive.data() + pos + 24);
+    const uint16_t name_len = GetU16(archive.data() + pos + 28);
+    const uint16_t extra_len = GetU16(archive.data() + pos + 30);
+    const uint16_t comment_len = GetU16(archive.data() + pos + 32);
+    const uint32_t local_offset = GetU32(archive.data() + pos + 42);
+    if (pos + 46 + name_len > archive.size()) {
+      return Status::Corruption("truncated central entry name");
+    }
+    const std::string name(
+        reinterpret_cast<const char*>(archive.data() + pos + 46), name_len);
+
+    // Jump to the local header for the payload.
+    if (local_offset + 30 > archive.size() ||
+        GetU32(archive.data() + local_offset) != kLocalHeaderSig) {
+      return Status::Corruption("bad local header for " + name);
+    }
+    const uint16_t lname = GetU16(archive.data() + local_offset + 26);
+    const uint16_t lextra = GetU16(archive.data() + local_offset + 28);
+    const size_t data_start = local_offset + 30 + lname + lextra;
+    if (data_start + size > archive.size()) {
+      return Status::Corruption("truncated payload for " + name);
+    }
+    std::vector<uint8_t> content(archive.begin() + data_start,
+                                 archive.begin() + data_start + size);
+    if (Crc32(content) != crc) {
+      return Status::Corruption("CRC mismatch for " + name);
+    }
+    out.emplace_back(name, std::move(content));
+    pos += 46 + name_len + extra_len + comment_len;
+  }
+  return out;
+}
+
+}  // namespace agoraeo::earthqube

@@ -1,0 +1,52 @@
+#ifndef AGORAEO_EARTHQUBE_ZIP_WRITER_H_
+#define AGORAEO_EARTHQUBE_ZIP_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace agoraeo::earthqube {
+
+/// A minimal, spec-conformant ZIP archive writer (PKWARE APPNOTE layout:
+/// local file headers + central directory + end-of-central-directory),
+/// using the "store" method — image payloads are already binary rasters,
+/// so compression is not the point; a downloadable container is.
+///
+/// Backs the result panel's "(iv) download the image as a zip" button and
+/// the download cart's "download them together as a single collection"
+/// (paper §3.1).  Any standard unzip tool can open the output.
+class ZipWriter {
+ public:
+  /// Adds one file entry.  Names must be unique, non-empty, and use '/'
+  /// separators; InvalidArgument otherwise.
+  Status Add(const std::string& name, const std::vector<uint8_t>& content);
+  Status Add(const std::string& name, const std::string& content);
+
+  size_t num_entries() const { return entries_.size(); }
+
+  /// Serialises the archive.  Valid (empty central directory) even with
+  /// zero entries.
+  std::vector<uint8_t> Finish() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<uint8_t> content;
+    uint32_t crc32 = 0;
+  };
+
+  std::vector<Entry> entries_;
+};
+
+/// Reads back the entries of a store-method ZIP produced by ZipWriter
+/// (used by tests and by clients that want to verify a download).
+/// Corruption when the container deviates from the subset ZipWriter
+/// emits, or when a CRC mismatches.
+StatusOr<std::vector<std::pair<std::string, std::vector<uint8_t>>>>
+ZipExtractAll(const std::vector<uint8_t>& archive);
+
+}  // namespace agoraeo::earthqube
+
+#endif  // AGORAEO_EARTHQUBE_ZIP_WRITER_H_

@@ -1,0 +1,221 @@
+#include "geo/geo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace agoraeo::geo {
+
+namespace {
+
+constexpr double kDegToRad = M_PI / 180.0;
+const char kBase32[] = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+int Base32Index(char c) {
+  for (int i = 0; i < 32; ++i) {
+    if (kBase32[i] == c) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+bool IsValidPoint(const GeoPoint& p) {
+  return p.lat >= -90.0 && p.lat <= 90.0 && p.lon >= -180.0 && p.lon <= 180.0;
+}
+
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+BoundingBox Circle::Bounds() const {
+  const double dlat = (radius_meters / kEarthRadiusMeters) / kDegToRad;
+  const double coslat =
+      std::max(0.01, std::cos(center.lat * kDegToRad));  // clamp near poles
+  const double dlon = dlat / coslat;
+  BoundingBox box;
+  box.min = {std::max(-90.0, center.lat - dlat),
+             std::max(-180.0, center.lon - dlon)};
+  box.max = {std::min(90.0, center.lat + dlat),
+             std::min(180.0, center.lon + dlon)};
+  return box;
+}
+
+bool Polygon::Contains(const GeoPoint& p) const {
+  if (vertices.size() < 3) return false;
+  bool inside = false;
+  const double x = p.lon, y = p.lat;
+  for (size_t i = 0, j = vertices.size() - 1; i < vertices.size(); j = i++) {
+    const double xi = vertices[i].lon, yi = vertices[i].lat;
+    const double xj = vertices[j].lon, yj = vertices[j].lat;
+    const bool crosses = ((yi > y) != (yj > y)) &&
+                         (x < (xj - xi) * (y - yi) / (yj - yi) + xi);
+    if (crosses) inside = !inside;
+  }
+  return inside;
+}
+
+BoundingBox Polygon::Bounds() const {
+  BoundingBox box;
+  if (vertices.empty()) return box;
+  box.min = box.max = vertices[0];
+  for (const GeoPoint& v : vertices) {
+    box.min.lat = std::min(box.min.lat, v.lat);
+    box.min.lon = std::min(box.min.lon, v.lon);
+    box.max.lat = std::max(box.max.lat, v.lat);
+    box.max.lon = std::max(box.max.lon, v.lon);
+  }
+  return box;
+}
+
+StatusOr<std::string> GeohashEncode(const GeoPoint& p, int precision) {
+  if (!IsValidPoint(p)) {
+    return Status::InvalidArgument("point out of WGS-84 range");
+  }
+  if (precision < 1 || precision > 12) {
+    return Status::InvalidArgument("geohash precision must be in [1, 12]");
+  }
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  std::string out;
+  out.reserve(precision);
+  int bit = 0;
+  int current = 0;
+  bool even_bit = true;  // even bits encode longitude
+  while (static_cast<int>(out.size()) < precision) {
+    if (even_bit) {
+      const double mid = (lon_lo + lon_hi) / 2.0;
+      if (p.lon >= mid) {
+        current = (current << 1) | 1;
+        lon_lo = mid;
+      } else {
+        current <<= 1;
+        lon_hi = mid;
+      }
+    } else {
+      const double mid = (lat_lo + lat_hi) / 2.0;
+      if (p.lat >= mid) {
+        current = (current << 1) | 1;
+        lat_lo = mid;
+      } else {
+        current <<= 1;
+        lat_hi = mid;
+      }
+    }
+    even_bit = !even_bit;
+    if (++bit == 5) {
+      out.push_back(kBase32[current]);
+      bit = 0;
+      current = 0;
+    }
+  }
+  return out;
+}
+
+StatusOr<BoundingBox> GeohashDecodeBounds(const std::string& hash) {
+  if (hash.empty() || hash.size() > 12) {
+    return Status::InvalidArgument("geohash length must be in [1, 12]");
+  }
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  bool even_bit = true;
+  for (char c : hash) {
+    const int idx = Base32Index(c);
+    if (idx < 0) {
+      return Status::InvalidArgument(std::string("bad geohash character: ") +
+                                     c);
+    }
+    for (int b = 4; b >= 0; --b) {
+      const int bit = (idx >> b) & 1;
+      if (even_bit) {
+        const double mid = (lon_lo + lon_hi) / 2.0;
+        if (bit) lon_lo = mid; else lon_hi = mid;
+      } else {
+        const double mid = (lat_lo + lat_hi) / 2.0;
+        if (bit) lat_lo = mid; else lat_hi = mid;
+      }
+      even_bit = !even_bit;
+    }
+  }
+  BoundingBox box;
+  box.min = {lat_lo, lon_lo};
+  box.max = {lat_hi, lon_hi};
+  return box;
+}
+
+StatusOr<GeoPoint> GeohashDecode(const std::string& hash) {
+  AGORAEO_ASSIGN_OR_RETURN(BoundingBox box, GeohashDecodeBounds(hash));
+  return box.Center();
+}
+
+StatusOr<std::vector<std::string>> GeohashNeighbors(const std::string& hash) {
+  AGORAEO_ASSIGN_OR_RETURN(BoundingBox box, GeohashDecodeBounds(hash));
+  const double dlat = box.max.lat - box.min.lat;
+  const double dlon = box.max.lon - box.min.lon;
+  const GeoPoint c = box.Center();
+  const int precision = static_cast<int>(hash.size());
+
+  std::vector<std::string> out;
+  out.push_back(hash);
+  const double dirs[8][2] = {
+      {dlat, 0},    {dlat, dlon},  {0, dlon},  {-dlat, dlon},
+      {-dlat, 0},   {-dlat, -dlon}, {0, -dlon}, {dlat, -dlon},
+  };
+  for (const auto& d : dirs) {
+    GeoPoint q{c.lat + d[0], c.lon + d[1]};
+    // Wrap longitude; clamp latitude (no neighbour across a pole).
+    if (q.lon > 180.0) q.lon -= 360.0;
+    if (q.lon < -180.0) q.lon += 360.0;
+    if (q.lat > 90.0 || q.lat < -90.0) continue;
+    auto enc = GeohashEncode(q, precision);
+    if (enc.ok() && std::find(out.begin(), out.end(), *enc) == out.end()) {
+      out.push_back(std::move(enc).value());
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> GeohashCover(const BoundingBox& box, int precision,
+                                      size_t max_cells) {
+  precision = std::clamp(precision, 1, 12);
+  for (int prec = precision; prec >= 1; --prec) {
+    // Cell extents at this precision: derive from a decode of the SW corner.
+    auto sw = GeohashEncode(box.min, prec);
+    if (!sw.ok()) return {};
+    auto cell = GeohashDecodeBounds(*sw);
+    if (!cell.ok()) return {};
+    const double dlat = cell->max.lat - cell->min.lat;
+    const double dlon = cell->max.lon - cell->min.lon;
+
+    // Geohash cells are aligned to the global grid, not to the query box:
+    // walk cell centers starting from the cell that contains the SW corner
+    // (sampling from box.min itself can skip a grid row/column when the
+    // corner sits mid-cell).
+    const size_t nlat =
+        static_cast<size_t>((box.max.lat - cell->min.lat) / dlat) + 1;
+    const size_t nlon =
+        static_cast<size_t>((box.max.lon - cell->min.lon) / dlon) + 1;
+    if (nlat * nlon > max_cells) continue;  // too fine; try coarser
+
+    std::set<std::string> cells;
+    for (size_t i = 0; i < nlat; ++i) {
+      for (size_t j = 0; j < nlon; ++j) {
+        GeoPoint p{std::min(90.0, cell->min.lat + (i + 0.5) * dlat),
+                   std::min(180.0, cell->min.lon + (j + 0.5) * dlon)};
+        auto enc = GeohashEncode(p, prec);
+        if (enc.ok()) cells.insert(std::move(enc).value());
+      }
+    }
+    return std::vector<std::string>(cells.begin(), cells.end());
+  }
+  return {};
+}
+
+}  // namespace agoraeo::geo

@@ -1,0 +1,108 @@
+#ifndef AGORAEO_GEO_GEO_H_
+#define AGORAEO_GEO_GEO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace agoraeo::geo {
+
+/// Mean Earth radius in meters (spherical model).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// A WGS-84 coordinate: latitude in [-90, 90], longitude in [-180, 180].
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  bool operator==(const GeoPoint& o) const {
+    return lat == o.lat && lon == o.lon;
+  }
+};
+
+/// Validates coordinate ranges.
+bool IsValidPoint(const GeoPoint& p);
+
+/// Great-circle distance between two points in meters (haversine).
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b);
+
+/// Axis-aligned latitude/longitude rectangle.  `min` is the south-west
+/// corner and `max` the north-east; boxes never wrap the antimeridian
+/// (BigEarthNet covers Europe only, so this is safe).
+struct BoundingBox {
+  GeoPoint min;  ///< south-west corner
+  GeoPoint max;  ///< north-east corner
+
+  bool Contains(const GeoPoint& p) const {
+    return p.lat >= min.lat && p.lat <= max.lat && p.lon >= min.lon &&
+           p.lon <= max.lon;
+  }
+  bool Intersects(const BoundingBox& o) const {
+    return !(o.min.lat > max.lat || o.max.lat < min.lat ||
+             o.min.lon > max.lon || o.max.lon < min.lon);
+  }
+  GeoPoint Center() const {
+    return {(min.lat + max.lat) / 2.0, (min.lon + max.lon) / 2.0};
+  }
+  bool IsValid() const {
+    return IsValidPoint(min) && IsValidPoint(max) && min.lat <= max.lat &&
+           min.lon <= max.lon;
+  }
+};
+
+/// Geodesic circle (center + radius in meters).
+struct Circle {
+  GeoPoint center;
+  double radius_meters = 0.0;
+
+  bool Contains(const GeoPoint& p) const {
+    return HaversineMeters(center, p) <= radius_meters;
+  }
+  /// Conservative lat/lon bounding box of the circle (exact in latitude,
+  /// widened by cos(lat) in longitude).
+  BoundingBox Bounds() const;
+};
+
+/// Simple (non-self-intersecting) polygon in lat/lon space; vertices are
+/// listed in order, the closing edge is implicit.
+struct Polygon {
+  std::vector<GeoPoint> vertices;
+
+  /// Even-odd (ray casting) containment in lon/lat plane coordinates.
+  /// Points exactly on an edge may fall either way, like in most GIS
+  /// engines' fast paths.
+  bool Contains(const GeoPoint& p) const;
+  BoundingBox Bounds() const;
+  bool IsValid() const { return vertices.size() >= 3; }
+};
+
+// ---------------------------------------------------------------------------
+// Geohash
+// ---------------------------------------------------------------------------
+
+/// Encodes a point into a base-32 geohash of `precision` characters
+/// (1..12).  This mirrors the 2D geohashing index MongoDB builds for
+/// EarthQube's metadata `location` attribute.
+StatusOr<std::string> GeohashEncode(const GeoPoint& p, int precision);
+
+/// Decodes a geohash to the bounding box of its cell.
+StatusOr<BoundingBox> GeohashDecodeBounds(const std::string& hash);
+
+/// Decodes a geohash to its cell center.
+StatusOr<GeoPoint> GeohashDecode(const std::string& hash);
+
+/// The geohash cell and its 8 neighbours at the same precision (fewer at
+/// the poles).  Order: {self, N, NE, E, SE, S, SW, W, NW}.
+StatusOr<std::vector<std::string>> GeohashNeighbors(const std::string& hash);
+
+/// Returns a set of geohash prefixes at `precision` whose cells together
+/// cover `box`.  Cell count is capped at `max_cells`; when the cap would
+/// be exceeded the precision is reduced until the cover fits, so the
+/// result may be coarser (but always complete).
+std::vector<std::string> GeohashCover(const BoundingBox& box, int precision,
+                                      size_t max_cells = 1024);
+
+}  // namespace agoraeo::geo
+
+#endif  // AGORAEO_GEO_GEO_H_

@@ -1,0 +1,147 @@
+#include "index/bk_tree.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace agoraeo::index {
+
+Status BkTree::Add(ItemId id, const BinaryCode& code) {
+  if (code.empty()) return Status::InvalidArgument("empty code");
+  if (code_bits_ == 0) code_bits_ = code.size();
+  if (code.size() != code_bits_) {
+    return Status::InvalidArgument("code length mismatch");
+  }
+  if (root_ == nullptr) {
+    root_ = std::make_unique<Node>();
+    root_->code = code;
+    root_->ids.push_back(id);
+    ++num_items_;
+    return Status::OK();
+  }
+  Node* node = root_.get();
+  while (true) {
+    const uint32_t d =
+        static_cast<uint32_t>(node->code.HammingDistance(code));
+    if (d == 0) {
+      node->ids.push_back(id);
+      ++num_items_;
+      return Status::OK();
+    }
+    auto it = node->children.find(d);
+    if (it == node->children.end()) {
+      auto child = std::make_unique<Node>();
+      child->code = code;
+      child->ids.push_back(id);
+      node->children.emplace(d, std::move(child));
+      ++num_items_;
+      return Status::OK();
+    }
+    node = it->second.get();
+  }
+}
+
+std::vector<SearchResult> BkTree::RadiusSearch(const BinaryCode& query,
+                                               uint32_t radius,
+                                               SearchStats* stats) const {
+  std::vector<SearchResult> out;
+  SearchStats local;
+  if (root_ != nullptr) {
+    // Iterative DFS; triangle-inequality pruning on edge keys.
+    std::vector<const Node*> stack = {root_.get()};
+    while (!stack.empty()) {
+      const Node* node = stack.back();
+      stack.pop_back();
+      ++local.buckets_probed;  // nodes visited
+      const uint32_t d =
+          static_cast<uint32_t>(node->code.HammingDistance(query));
+      local.candidates += node->ids.size();
+      if (d <= radius) {
+        for (ItemId id : node->ids) out.push_back({id, d});
+      }
+      // Children with edge key in [d - radius, d + radius] can contain
+      // matches; std::map's ordering gives the window as a range scan.
+      const uint32_t lo = d > radius ? d - radius : 0;
+      const uint32_t hi = d + radius;
+      for (auto it = node->children.lower_bound(lo);
+           it != node->children.end() && it->first <= hi; ++it) {
+        stack.push_back(it->second.get());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), ResultLess);
+  local.results = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<SearchResult> BkTree::KnnSearch(const BinaryCode& query, size_t k,
+                                            SearchStats* stats) const {
+  // Best-first search: expand nodes in order of an optimistic bound on
+  // the distance their subtree can contain.  When the bound of the next
+  // frontier entry exceeds the current k-th best distance, the answer is
+  // complete.
+  std::vector<SearchResult> best;
+  SearchStats local;
+  if (root_ == nullptr || k == 0) {
+    if (stats != nullptr) *stats = local;
+    return best;
+  }
+
+  struct Frontier {
+    uint32_t bound;  // lower bound on distances within the subtree
+    const Node* node;
+    bool operator>(const Frontier& o) const { return bound > o.bound; }
+  };
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> queue;
+  queue.push({0, root_.get()});
+
+  auto worst = [&]() -> uint32_t {
+    return best.size() < k ? UINT32_MAX : best.back().distance;
+  };
+
+  while (!queue.empty()) {
+    const Frontier top = queue.top();
+    queue.pop();
+    if (top.bound > worst()) break;  // no subtree can improve the result
+    const Node* node = top.node;
+    ++local.buckets_probed;
+    const uint32_t d =
+        static_cast<uint32_t>(node->code.HammingDistance(query));
+    local.candidates += node->ids.size();
+    for (ItemId id : node->ids) {
+      const SearchResult candidate{id, d};
+      if (best.size() < k || ResultLess(candidate, best.back())) {
+        best.insert(
+            std::lower_bound(best.begin(), best.end(), candidate, ResultLess),
+            candidate);
+        if (best.size() > k) best.pop_back();
+      }
+    }
+    for (const auto& [edge, child] : node->children) {
+      // Subtree at edge key e holds codes at distance within
+      // |d - e| of the query (triangle inequality, both directions).
+      const uint32_t bound = d > edge ? d - edge : edge - d;
+      if (bound <= worst()) queue.push({bound, child.get()});
+    }
+  }
+  local.results = best.size();
+  if (stats != nullptr) *stats = local;
+  return best;
+}
+
+size_t BkTree::Depth() const {
+  if (root_ == nullptr) return 0;
+  size_t max_depth = 0;
+  std::vector<std::pair<const Node*, size_t>> stack = {{root_.get(), 1}};
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    for (const auto& [edge, child] : node->children) {
+      stack.push_back({child.get(), depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace agoraeo::index

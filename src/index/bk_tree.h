@@ -1,0 +1,55 @@
+#ifndef AGORAEO_INDEX_BK_TREE_H_
+#define AGORAEO_INDEX_BK_TREE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/hamming_index.h"
+
+namespace agoraeo::index {
+
+/// A Burkhard-Keller tree over Hamming space — the classic metric-tree
+/// baseline the hash-table approach is compared against in experiments
+/// E1/E3.  Every node holds one code; children are keyed by their exact
+/// distance to the parent.  A radius-r search at node n with
+/// d = ham(query, n.code) only needs to visit children with edge keys in
+/// [d - r, d + r] (triangle inequality), pruning the rest.
+///
+/// BK-trees answer exact radius queries without bucket enumeration, but
+/// their pruning weakens as r grows relative to the code length — the
+/// crossover experiment E3 charts exactly that behaviour against the
+/// hash table and multi-index hashing.
+class BkTree : public HammingIndex {
+ public:
+  Status Add(ItemId id, const BinaryCode& code) override;
+  std::vector<SearchResult> RadiusSearch(
+      const BinaryCode& query, uint32_t radius,
+      SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> KnnSearch(
+      const BinaryCode& query, size_t k,
+      SearchStats* stats = nullptr) const override;
+  size_t size() const override { return num_items_; }
+  std::string Name() const override { return "BkTree"; }
+
+  /// Tree depth (0 for empty; 1 for a root-only tree).
+  size_t Depth() const;
+
+ private:
+  struct Node {
+    BinaryCode code;
+    std::vector<ItemId> ids;  ///< duplicate codes share one node
+    // Children keyed by exact Hamming distance to this node's code
+    // (distance 0 never occurs: equal codes join ids).
+    std::map<uint32_t, std::unique_ptr<Node>> children;
+  };
+
+  std::unique_ptr<Node> root_;
+  size_t code_bits_ = 0;
+  size_t num_items_ = 0;
+};
+
+}  // namespace agoraeo::index
+
+#endif  // AGORAEO_INDEX_BK_TREE_H_

@@ -1,0 +1,67 @@
+#ifndef AGORAEO_INDEX_HAMMING_INDEX_H_
+#define AGORAEO_INDEX_HAMMING_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/binary_code.h"
+#include "common/status.h"
+
+namespace agoraeo::index {
+
+/// Identifier of an indexed item (EarthQube uses the metadata DocId of
+/// the image patch).
+using ItemId = uint64_t;
+
+/// One search hit: an item and its Hamming distance to the query.
+struct SearchResult {
+  ItemId id;
+  uint32_t distance;
+
+  bool operator==(const SearchResult& o) const {
+    return id == o.id && distance == o.distance;
+  }
+};
+
+/// Orders results by (distance, id) — the canonical result order all
+/// index implementations return, so they are comparable in tests.
+bool ResultLess(const SearchResult& a, const SearchResult& b);
+
+/// Counters describing the work one query performed; used by the
+/// benchmark harness to report candidate counts (experiment E3).
+struct SearchStats {
+  size_t buckets_probed = 0;    ///< hash buckets / cells examined
+  size_t candidates = 0;        ///< items whose distance was evaluated
+  size_t results = 0;           ///< items within the radius
+};
+
+/// Interface of a binary-code nearest-neighbour index.  All codes added
+/// to one index must have the same length.
+class HammingIndex {
+ public:
+  virtual ~HammingIndex() = default;
+
+  /// Adds an item; InvalidArgument when the code length differs from
+  /// previously added codes.
+  virtual Status Add(ItemId id, const BinaryCode& code) = 0;
+
+  /// All items within Hamming distance <= radius, ordered by
+  /// (distance, id).
+  virtual std::vector<SearchResult> RadiusSearch(
+      const BinaryCode& query, uint32_t radius,
+      SearchStats* stats = nullptr) const = 0;
+
+  /// The k nearest items by Hamming distance (ties by id), ordered by
+  /// (distance, id).  May return fewer than k when the index is small.
+  virtual std::vector<SearchResult> KnnSearch(
+      const BinaryCode& query, size_t k,
+      SearchStats* stats = nullptr) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace agoraeo::index
+
+#endif  // AGORAEO_INDEX_HAMMING_INDEX_H_

@@ -1,0 +1,259 @@
+#include "index/hamming_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace agoraeo::index {
+
+namespace {
+
+/// Enumerates every code within Hamming distance `radius` of `base`
+/// (including base itself) and invokes `visit` on each.  Recursive
+/// combination enumeration: flip positions are strictly increasing.
+void EnumerateWithinRadius(const BinaryCode& base, uint32_t radius,
+                           const std::function<void(const BinaryCode&)>& visit) {
+  BinaryCode current = base;
+  std::function<void(size_t, uint32_t)> recurse = [&](size_t start,
+                                                      uint32_t remaining) {
+    visit(current);
+    if (remaining == 0) return;
+    for (size_t i = start; i < base.size(); ++i) {
+      current.FlipBit(i);
+      recurse(i + 1, remaining - 1);
+      current.FlipBit(i);
+    }
+  };
+  recurse(0, radius);
+}
+
+/// Enumerates all 64-bit keys within `radius` of `base`, restricted to
+/// the low `bits` bits.
+void EnumerateWithinRadius64(uint64_t base, size_t bits, uint32_t radius,
+                             const std::function<void(uint64_t)>& visit) {
+  std::function<void(size_t, uint64_t, uint32_t)> recurse =
+      [&](size_t start, uint64_t value, uint32_t remaining) {
+        visit(value);
+        if (remaining == 0) return;
+        for (size_t i = start; i < bits; ++i) {
+          recurse(i + 1, value ^ (1ULL << i), remaining - 1);
+        }
+      };
+  recurse(0, base, radius);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HammingHashTable
+// ---------------------------------------------------------------------------
+
+size_t HammingHashTable::ProbeCount(size_t bits, uint32_t radius) {
+  size_t total = 0;
+  // C(bits, 0) + C(bits, 1) + ... + C(bits, radius), saturating.
+  double binom = 1.0;
+  for (uint32_t i = 0; i <= radius; ++i) {
+    if (binom > 1e18) return SIZE_MAX;
+    total += static_cast<size_t>(binom);
+    binom = binom * static_cast<double>(bits - i) / static_cast<double>(i + 1);
+  }
+  return total;
+}
+
+Status HammingHashTable::Add(ItemId id, const BinaryCode& code) {
+  if (code.empty()) return Status::InvalidArgument("empty code");
+  if (code_bits_ == 0) code_bits_ = code.size();
+  if (code.size() != code_bits_) {
+    return Status::InvalidArgument("code length mismatch");
+  }
+  buckets_[code].push_back(id);
+  ++num_items_;
+  return Status::OK();
+}
+
+std::vector<SearchResult> HammingHashTable::RadiusSearch(
+    const BinaryCode& query, uint32_t radius, SearchStats* stats) const {
+  std::vector<SearchResult> out;
+  SearchStats local;
+
+  const size_t probes = ProbeCount(code_bits_, radius);
+  if (probes <= buckets_.size() * 2) {
+    // Mask enumeration: probe every code within the radius.
+    EnumerateWithinRadius(query, radius, [&](const BinaryCode& probe) {
+      ++local.buckets_probed;
+      auto it = buckets_.find(probe);
+      if (it == buckets_.end()) return;
+      const uint32_t d = static_cast<uint32_t>(query.HammingDistance(probe));
+      for (ItemId id : it->second) {
+        out.push_back({id, d});
+        ++local.candidates;
+      }
+    });
+  } else {
+    // Bucket scan: fewer non-empty buckets than probe codes.
+    for (const auto& [code, items] : buckets_) {
+      ++local.buckets_probed;
+      const uint32_t d = static_cast<uint32_t>(query.HammingDistance(code));
+      if (d > radius) continue;
+      for (ItemId id : items) {
+        out.push_back({id, d});
+        ++local.candidates;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), ResultLess);
+  local.results = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<SearchResult> HammingHashTable::KnnSearch(const BinaryCode& query,
+                                                      size_t k,
+                                                      SearchStats* stats) const {
+  // Progressive radius expansion: results within radius r are complete
+  // before radius r+1 is explored, so the first k collected are exact.
+  std::vector<SearchResult> out;
+  SearchStats local;
+  for (uint32_t radius = 0; radius <= code_bits_; ++radius) {
+    SearchStats step;
+    out = RadiusSearch(query, radius, &step);
+    local.buckets_probed += step.buckets_probed;
+    local.candidates += step.candidates;
+    if (out.size() >= k || out.size() == num_items_) break;
+  }
+  if (out.size() > k) out.resize(k);
+  local.results = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MultiIndexHashing
+// ---------------------------------------------------------------------------
+
+void MultiIndexHashing::SubstringRange(size_t j, size_t* begin,
+                                       size_t* len) const {
+  // Balanced split: the first (bits % m) substrings get one extra bit.
+  const size_t base = code_bits_ / m_;
+  const size_t extra = code_bits_ % m_;
+  *begin = j * base + std::min(j, extra);
+  *len = base + (j < extra ? 1 : 0);
+}
+
+Status MultiIndexHashing::Add(ItemId id, const BinaryCode& code) {
+  if (code.empty()) return Status::InvalidArgument("empty code");
+  if (m_ == 0 || m_ > code.size()) {
+    return Status::InvalidArgument("invalid substring count");
+  }
+  if (code_bits_ == 0) {
+    code_bits_ = code.size();
+    if ((code_bits_ + m_ - 1) / m_ > 64) {
+      return Status::InvalidArgument("substrings longer than 64 bits");
+    }
+    tables_.resize(m_);
+  }
+  if (code.size() != code_bits_) {
+    return Status::InvalidArgument("code length mismatch");
+  }
+  const uint32_t pos = static_cast<uint32_t>(ids_.size());
+  ids_.push_back(id);
+  codes_.push_back(code);
+  for (size_t j = 0; j < m_; ++j) {
+    size_t begin, len;
+    SubstringRange(j, &begin, &len);
+    const uint64_t key = code.Substring(begin, len).LowWord();
+    tables_[j][key].push_back(pos);
+  }
+  return Status::OK();
+}
+
+std::vector<SearchResult> MultiIndexHashing::RadiusSearch(
+    const BinaryCode& query, uint32_t radius, SearchStats* stats) const {
+  SearchStats local;
+  std::vector<SearchResult> out;
+  if (codes_.empty()) {
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
+  // Pigeonhole: ham(a, b) <= r implies some substring differs by at most
+  // floor(r / m).
+  const uint32_t sub_radius = radius / static_cast<uint32_t>(m_);
+
+  // Adaptive fallback (same idea as HammingHashTable::RadiusSearch): when
+  // the mask enumeration would probe more keys than there are stored codes,
+  // a direct scan is strictly cheaper.  Without this cap, large radii on
+  // long substrings explode combinatorially (C(32, r/m) probes each).
+  size_t max_len = 0;
+  for (size_t j = 0; j < m_; ++j) {
+    size_t begin, len;
+    SubstringRange(j, &begin, &len);
+    max_len = std::max(max_len, len);
+  }
+  const size_t probes_per_table =
+      HammingHashTable::ProbeCount(max_len, sub_radius);
+  if (probes_per_table == SIZE_MAX ||
+      probes_per_table > codes_.size() + 1) {
+    for (size_t pos = 0; pos < codes_.size(); ++pos) {
+      ++local.candidates;
+      const uint32_t d =
+          static_cast<uint32_t>(codes_[pos].HammingDistance(query));
+      if (d <= radius) out.push_back({ids_[pos], d});
+    }
+    local.buckets_probed = codes_.size();
+    std::sort(out.begin(), out.end(), ResultLess);
+    local.results = out.size();
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
+
+  std::vector<bool> seen(codes_.size(), false);
+  for (size_t j = 0; j < m_; ++j) {
+    size_t begin, len;
+    SubstringRange(j, &begin, &len);
+    const uint64_t key = query.Substring(begin, len).LowWord();
+    EnumerateWithinRadius64(key, len, sub_radius, [&](uint64_t probe) {
+      ++local.buckets_probed;
+      auto it = tables_[j].find(probe);
+      if (it == tables_[j].end()) return;
+      for (uint32_t pos : it->second) {
+        if (seen[pos]) continue;
+        seen[pos] = true;
+        ++local.candidates;
+        const uint32_t d =
+            static_cast<uint32_t>(codes_[pos].HammingDistance(query));
+        if (d <= radius) out.push_back({ids_[pos], d});
+      }
+    });
+  }
+  std::sort(out.begin(), out.end(), ResultLess);
+  local.results = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<SearchResult> MultiIndexHashing::KnnSearch(
+    const BinaryCode& query, size_t k, SearchStats* stats) const {
+  std::vector<SearchResult> out;
+  SearchStats local;
+  // Expand by whole substring-radius steps (radius grows by m each step,
+  // the granularity at which the candidate set changes).
+  for (uint32_t radius = static_cast<uint32_t>(m_) - 1; radius <= code_bits_ + m_;
+       radius += static_cast<uint32_t>(m_)) {
+    SearchStats step;
+    const uint32_t capped =
+        std::min<uint32_t>(radius, static_cast<uint32_t>(code_bits_));
+    out = RadiusSearch(query, capped, &step);
+    local.buckets_probed += step.buckets_probed;
+    local.candidates += step.candidates;
+    if (out.size() >= k || out.size() == codes_.size() ||
+        capped == code_bits_) {
+      break;
+    }
+  }
+  if (out.size() > k) out.resize(k);
+  local.results = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace agoraeo::index

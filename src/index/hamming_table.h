@@ -1,0 +1,85 @@
+#ifndef AGORAEO_INDEX_HAMMING_TABLE_H_
+#define AGORAEO_INDEX_HAMMING_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/hamming_index.h"
+
+namespace agoraeo::index {
+
+/// The paper's retrieval structure (Section 2.2): a hash table that
+/// "stores all images with the same hash code in the same hash bucket";
+/// retrieval probes "all images in the hash buckets that are within a
+/// small hamming radius of the query image".
+///
+/// Radius-r lookup enumerates every code at distance <= r from the query
+/// (sum of C(bits, i) probes).  Because that blows up for larger radii,
+/// the implementation switches to scanning the non-empty buckets when
+/// they are fewer than the probe count — the behaviour stays exact, and
+/// experiment E3 charts the crossover.
+class HammingHashTable : public HammingIndex {
+ public:
+  Status Add(ItemId id, const BinaryCode& code) override;
+  std::vector<SearchResult> RadiusSearch(const BinaryCode& query,
+                                         uint32_t radius,
+                                         SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> KnnSearch(const BinaryCode& query, size_t k,
+                                      SearchStats* stats = nullptr) const override;
+  size_t size() const override { return num_items_; }
+  std::string Name() const override { return "HammingHashTable"; }
+
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// Number of hash probes a radius-r lookup would enumerate
+  /// (sum_{i<=r} C(bits, i), saturated at SIZE_MAX).
+  static size_t ProbeCount(size_t bits, uint32_t radius);
+
+ private:
+  std::unordered_map<BinaryCode, std::vector<ItemId>, BinaryCodeHash> buckets_;
+  size_t code_bits_ = 0;
+  size_t num_items_ = 0;
+};
+
+/// Multi-index hashing (Norouzi, Punjani & Fleet): the code is split into
+/// m disjoint substrings, each indexed in its own exact-match table.  If
+/// two codes differ by at most r bits, some substring differs by at most
+/// floor(r/m) bits (pigeonhole), so probing every substring table at that
+/// reduced radius finds a complete candidate set, verified against the
+/// full code.  This keeps radius search tractable where single-table
+/// mask enumeration explodes (experiment E3's crossover).
+class MultiIndexHashing : public HammingIndex {
+ public:
+  /// `num_substrings` must divide typical code lengths reasonably; each
+  /// substring must be <= 64 bits.
+  explicit MultiIndexHashing(size_t num_substrings = 4)
+      : m_(num_substrings) {}
+
+  Status Add(ItemId id, const BinaryCode& code) override;
+  std::vector<SearchResult> RadiusSearch(const BinaryCode& query,
+                                         uint32_t radius,
+                                         SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> KnnSearch(const BinaryCode& query, size_t k,
+                                      SearchStats* stats = nullptr) const override;
+  size_t size() const override { return ids_.size(); }
+  std::string Name() const override { return "MultiIndexHashing"; }
+
+  size_t num_substrings() const { return m_; }
+
+ private:
+  /// Bit range of substring j (balanced split).
+  void SubstringRange(size_t j, size_t* begin, size_t* len) const;
+
+  size_t m_;
+  size_t code_bits_ = 0;
+  std::vector<ItemId> ids_;
+  std::vector<BinaryCode> codes_;
+  /// One exact-match table per substring: low word of substring -> item
+  /// positions in ids_/codes_.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> tables_;
+};
+
+}  // namespace agoraeo::index
+
+#endif  // AGORAEO_INDEX_HAMMING_TABLE_H_

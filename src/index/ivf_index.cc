@@ -1,0 +1,168 @@
+#include "index/ivf_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace agoraeo::index {
+
+namespace {
+
+float SquaredL2(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+StatusOr<IvfFlatIndex> IvfFlatIndex::Train(const Tensor& training,
+                                           const Config& config) {
+  if (training.rank() != 2) {
+    return Status::InvalidArgument("training tensor must be [n, dim]");
+  }
+  const size_t n = training.shape()[0];
+  const size_t dim = training.shape()[1];
+  if (config.nlist == 0 || n < config.nlist) {
+    return Status::InvalidArgument("need at least nlist training vectors");
+  }
+
+  IvfFlatIndex index;
+  index.dim_ = dim;
+  index.centroids_.resize(config.nlist * dim);
+  index.lists_.resize(config.nlist);
+
+  // Seed with distinct random rows, then Lloyd iterations.
+  Rng rng(config.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+  const float* data = training.data();
+  for (size_t c = 0; c < config.nlist; ++c) {
+    std::copy(data + order[c] * dim, data + (order[c] + 1) * dim,
+              index.centroids_.begin() + c * dim);
+  }
+
+  std::vector<size_t> assignment(n, 0);
+  std::vector<float> sums(config.nlist * dim);
+  std::vector<size_t> counts(config.nlist);
+  for (size_t iter = 0; iter < config.kmeans_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      const float* x = data + i * dim;
+      float best = std::numeric_limits<float>::max();
+      size_t arg = 0;
+      for (size_t c = 0; c < config.nlist; ++c) {
+        const float d = SquaredL2(x, index.centroids_.data() + c * dim, dim);
+        if (d < best) {
+          best = d;
+          arg = c;
+        }
+      }
+      if (assignment[i] != arg) {
+        assignment[i] = arg;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    std::fill(sums.begin(), sums.end(), 0.0f);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const float* x = data + i * dim;
+      float* sum = sums.data() + assignment[i] * dim;
+      for (size_t j = 0; j < dim; ++j) sum[j] += x[j];
+      ++counts[assignment[i]];
+    }
+    for (size_t c = 0; c < config.nlist; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cell from a random row.
+        const size_t r = order[rng.UniformInt(static_cast<uint32_t>(n))];
+        std::copy(data + r * dim, data + (r + 1) * dim,
+                  index.centroids_.begin() + c * dim);
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      for (size_t j = 0; j < dim; ++j) {
+        index.centroids_[c * dim + j] = sums[c * dim + j] * inv;
+      }
+    }
+  }
+  return index;
+}
+
+Status IvfFlatIndex::Add(ItemId id, const Tensor& feature) {
+  if (feature.size() != dim_) {
+    return Status::InvalidArgument("feature dimension mismatch");
+  }
+  float best = std::numeric_limits<float>::max();
+  size_t arg = 0;
+  for (size_t c = 0; c < lists_.size(); ++c) {
+    const float d =
+        SquaredL2(feature.data(), centroids_.data() + c * dim_, dim_);
+    if (d < best) {
+      best = d;
+      arg = c;
+    }
+  }
+  lists_[arg].push_back(
+      {id, std::vector<float>(feature.data(), feature.data() + dim_)});
+  ++num_items_;
+  return Status::OK();
+}
+
+std::vector<size_t> IvfFlatIndex::RankCells(const Tensor& query,
+                                            size_t nprobe) const {
+  std::vector<std::pair<float, size_t>> ranked;
+  ranked.reserve(lists_.size());
+  for (size_t c = 0; c < lists_.size(); ++c) {
+    ranked.emplace_back(
+        SquaredL2(query.data(), centroids_.data() + c * dim_, dim_), c);
+  }
+  const size_t probe = std::min(nprobe, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + probe, ranked.end());
+  std::vector<size_t> cells(probe);
+  for (size_t i = 0; i < probe; ++i) cells[i] = ranked[i].second;
+  return cells;
+}
+
+std::vector<FloatSearchResult> IvfFlatIndex::KnnSearch(const Tensor& query,
+                                                       size_t k,
+                                                       size_t nprobe) const {
+  std::vector<FloatSearchResult> best;
+  if (k == 0 || num_items_ == 0 || nprobe == 0) return best;
+  auto worse = [](const FloatSearchResult& a, const FloatSearchResult& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.id < b.id);
+  };
+  for (size_t cell : RankCells(query, nprobe)) {
+    for (const ListEntry& entry : lists_[cell]) {
+      const FloatSearchResult candidate{
+          entry.id, SquaredL2(query.data(), entry.vec.data(), dim_)};
+      if (best.size() < k) {
+        best.insert(
+            std::lower_bound(best.begin(), best.end(), candidate, worse),
+            candidate);
+      } else if (worse(candidate, best.back())) {
+        best.pop_back();
+        best.insert(
+            std::lower_bound(best.begin(), best.end(), candidate, worse),
+            candidate);
+      }
+    }
+  }
+  return best;
+}
+
+size_t IvfFlatIndex::CandidatesForProbe(const Tensor& query,
+                                        size_t nprobe) const {
+  size_t total = 0;
+  for (size_t cell : RankCells(query, nprobe)) total += lists_[cell].size();
+  return total;
+}
+
+}  // namespace agoraeo::index

@@ -1,0 +1,70 @@
+#ifndef AGORAEO_INDEX_IVF_INDEX_H_
+#define AGORAEO_INDEX_IVF_INDEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "index/linear_scan.h"
+#include "tensor/tensor.h"
+
+namespace agoraeo::index {
+
+/// IVF-Flat: the inverted-file ANN index FAISS and Milvus build their
+/// float pipelines on, and the natural systems alternative to the
+/// paper's hash-table design.  A k-means coarse quantizer partitions the
+/// feature space into `nlist` cells; each vector is stored (exactly, no
+/// compression — "Flat") in the inverted list of its nearest centroid.
+/// A query ranks centroids and scans only the `nprobe` nearest lists
+/// with exact L2, trading recall for latency via nprobe.
+///
+/// Appears in experiment E1 as the float-side middle ground between the
+/// exhaustive float scan and binary hashing.
+class IvfFlatIndex {
+ public:
+  struct Config {
+    size_t nlist = 64;          ///< number of coarse cells
+    size_t kmeans_iterations = 12;
+    uint64_t seed = 42;
+  };
+
+  /// Learns the coarse quantizer from `training` ([n, dim]); requires
+  /// n >= nlist.
+  static StatusOr<IvfFlatIndex> Train(const Tensor& training,
+                                      const Config& config);
+
+  /// Adds a vector ([dim]) to the inverted list of its nearest centroid.
+  Status Add(ItemId id, const Tensor& feature);
+
+  /// The k nearest stored vectors among the `nprobe` closest cells,
+  /// ascending by exact squared L2.  nprobe >= nlist degenerates to an
+  /// exact scan.
+  std::vector<FloatSearchResult> KnnSearch(const Tensor& query, size_t k,
+                                           size_t nprobe) const;
+
+  /// Items whose cell was scanned for the given nprobe (the candidate
+  /// count a query of that setting examines); used by benchmarks.
+  size_t CandidatesForProbe(const Tensor& query, size_t nprobe) const;
+
+  size_t size() const { return num_items_; }
+  size_t dim() const { return dim_; }
+  size_t nlist() const { return centroids_.size() / dim_; }
+
+ private:
+  IvfFlatIndex() = default;
+
+  /// Indices of the nprobe nearest centroids, ascending by distance.
+  std::vector<size_t> RankCells(const Tensor& query, size_t nprobe) const;
+
+  size_t dim_ = 0;
+  size_t num_items_ = 0;
+  std::vector<float> centroids_;  ///< [nlist, dim] row-major
+  struct ListEntry {
+    ItemId id;
+    std::vector<float> vec;
+  };
+  std::vector<std::vector<ListEntry>> lists_;  ///< one per cell
+};
+
+}  // namespace agoraeo::index
+
+#endif  // AGORAEO_INDEX_IVF_INDEX_H_

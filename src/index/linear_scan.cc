@@ -1,0 +1,116 @@
+#include "index/linear_scan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace agoraeo::index {
+
+bool ResultLess(const SearchResult& a, const SearchResult& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+Status LinearScanIndex::Add(ItemId id, const BinaryCode& code) {
+  if (code.empty()) return Status::InvalidArgument("empty code");
+  if (code_bits_ == 0) code_bits_ = code.size();
+  if (code.size() != code_bits_) {
+    return Status::InvalidArgument("code length mismatch");
+  }
+  ids_.push_back(id);
+  codes_.push_back(code);
+  return Status::OK();
+}
+
+std::vector<SearchResult> LinearScanIndex::RadiusSearch(
+    const BinaryCode& query, uint32_t radius, SearchStats* stats) const {
+  std::vector<SearchResult> out;
+  for (size_t i = 0; i < codes_.size(); ++i) {
+    const uint32_t d = static_cast<uint32_t>(codes_[i].HammingDistance(query));
+    if (d <= radius) out.push_back({ids_[i], d});
+  }
+  std::sort(out.begin(), out.end(), ResultLess);
+  if (stats != nullptr) {
+    stats->buckets_probed = 0;
+    stats->candidates = codes_.size();
+    stats->results = out.size();
+  }
+  return out;
+}
+
+std::vector<SearchResult> LinearScanIndex::KnnSearch(const BinaryCode& query,
+                                                     size_t k,
+                                                     SearchStats* stats) const {
+  // Max-heap of the best k; comparator keeps the *worst* on top.
+  auto worse = [](const SearchResult& a, const SearchResult& b) {
+    return ResultLess(a, b);
+  };
+  std::priority_queue<SearchResult, std::vector<SearchResult>, decltype(worse)>
+      heap(worse);
+  for (size_t i = 0; i < codes_.size(); ++i) {
+    const uint32_t d = static_cast<uint32_t>(codes_[i].HammingDistance(query));
+    if (heap.size() < k) {
+      heap.push({ids_[i], d});
+    } else if (!heap.empty() &&
+               ResultLess({ids_[i], d}, heap.top())) {
+      heap.pop();
+      heap.push({ids_[i], d});
+    }
+  }
+  std::vector<SearchResult> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top());
+    heap.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  if (stats != nullptr) {
+    stats->buckets_probed = 0;
+    stats->candidates = codes_.size();
+    stats->results = out.size();
+  }
+  return out;
+}
+
+void FloatLinearScan::Add(ItemId id, const Tensor& vec) {
+  assert(vec.size() == dim_);
+  ids_.push_back(id);
+  data_.insert(data_.end(), vec.data(), vec.data() + vec.size());
+}
+
+std::vector<FloatSearchResult> FloatLinearScan::KnnSearch(const Tensor& query,
+                                                          size_t k) const {
+  assert(query.size() == dim_);
+  auto worse = [](const FloatSearchResult& a, const FloatSearchResult& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  std::priority_queue<FloatSearchResult, std::vector<FloatSearchResult>,
+                      decltype(worse)>
+      heap(worse);
+  const float* q = query.data();
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    const float* row = data_.data() + i * dim_;
+    float acc = 0.0f;
+    for (size_t j = 0; j < dim_; ++j) {
+      const float d = row[j] - q[j];
+      acc += d * d;
+    }
+    if (heap.size() < k) {
+      heap.push({ids_[i], acc});
+    } else if (!heap.empty() && worse({ids_[i], acc}, heap.top())) {
+      heap.pop();
+      heap.push({ids_[i], acc});
+    }
+  }
+  std::vector<FloatSearchResult> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top());
+    heap.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace agoraeo::index

@@ -1,0 +1,64 @@
+#ifndef AGORAEO_INDEX_LINEAR_SCAN_H_
+#define AGORAEO_INDEX_LINEAR_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "index/hamming_index.h"
+#include "tensor/tensor.h"
+
+namespace agoraeo::index {
+
+/// Exhaustive Hamming scan over all stored codes (popcount per item) —
+/// the exact baseline every hashing index is compared against in
+/// experiment E1.
+class LinearScanIndex : public HammingIndex {
+ public:
+  Status Add(ItemId id, const BinaryCode& code) override;
+  std::vector<SearchResult> RadiusSearch(const BinaryCode& query,
+                                         uint32_t radius,
+                                         SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> KnnSearch(const BinaryCode& query, size_t k,
+                                      SearchStats* stats = nullptr) const override;
+  size_t size() const override { return ids_.size(); }
+  std::string Name() const override { return "LinearScan"; }
+
+ private:
+  std::vector<ItemId> ids_;
+  std::vector<BinaryCode> codes_;
+  size_t code_bits_ = 0;
+};
+
+/// One float-vector search hit.
+struct FloatSearchResult {
+  ItemId id;
+  float distance;  ///< squared L2
+};
+
+/// Exact k-NN over raw float feature vectors (squared L2).  This is the
+/// accuracy upper bound of experiment E2 and the latency strawman of E1:
+/// what retrieval would cost without hashing.
+class FloatLinearScan {
+ public:
+  /// `dim` is the fixed dimensionality of all added vectors.
+  explicit FloatLinearScan(size_t dim) : dim_(dim) {}
+
+  /// Adds a vector (must be rank-1 of length dim; asserted).
+  void Add(ItemId id, const Tensor& vec);
+
+  /// The k nearest vectors by squared L2 distance, ordered ascending.
+  std::vector<FloatSearchResult> KnnSearch(const Tensor& query,
+                                           size_t k) const;
+
+  size_t size() const { return ids_.size(); }
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  std::vector<ItemId> ids_;
+  std::vector<float> data_;  ///< row-major [n, dim]
+};
+
+}  // namespace agoraeo::index
+
+#endif  // AGORAEO_INDEX_LINEAR_SCAN_H_

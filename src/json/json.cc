@@ -1,0 +1,505 @@
+#include "json/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace agoraeo::json {
+
+using docstore::Document;
+using docstore::Value;
+
+// ---------------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double d, std::string* out) {
+  if (!std::isfinite(d)) {
+    *out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips any double; trim to shortest via %g first.
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  double back = std::strtod(buf, nullptr);
+  if (back == d) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.15g", d);
+    if (std::strtod(shorter, nullptr) == d) {
+      *out += shorter;
+      return;
+    }
+  }
+  *out += buf;
+}
+
+void AppendIndent(int depth, std::string* out) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+void SerializeTo(const Value& v, bool pretty, int depth, std::string* out);
+
+void SerializeDoc(const Document& d, bool pretty, int depth,
+                  std::string* out) {
+  if (d.empty()) {
+    *out += "{}";
+    return;
+  }
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : d.fields()) {
+    if (!first) out->push_back(',');
+    first = false;
+    if (pretty) AppendIndent(depth + 1, out);
+    AppendEscaped(key, out);
+    *out += pretty ? ": " : ":";
+    SerializeTo(value, pretty, depth + 1, out);
+  }
+  if (pretty) AppendIndent(depth, out);
+  out->push_back('}');
+}
+
+void SerializeTo(const Value& v, bool pretty, int depth, std::string* out) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      *out += "null";
+      break;
+    case Value::Type::kBool:
+      *out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Type::kInt64:
+      *out += std::to_string(v.as_int64());
+      break;
+    case Value::Type::kDouble:
+      AppendNumber(v.as_double(), out);
+      break;
+    case Value::Type::kString:
+      AppendEscaped(v.as_string(), out);
+      break;
+    case Value::Type::kBinary:
+      AppendEscaped(Base64Encode(v.as_binary()), out);
+      break;
+    case Value::Type::kArray: {
+      const auto& items = v.as_array();
+      if (items.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const Value& item : items) {
+        if (!first) out->push_back(',');
+        first = false;
+        if (pretty) AppendIndent(depth + 1, out);
+        SerializeTo(item, pretty, depth + 1, out);
+      }
+      if (pretty) AppendIndent(depth, out);
+      out->push_back(']');
+      break;
+    }
+    case Value::Type::kDocument:
+      SerializeDoc(v.as_document(), pretty, depth, out);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Serialize(const Value& value, bool pretty) {
+  std::string out;
+  SerializeTo(value, pretty, 0, &out);
+  return out;
+}
+
+std::string Serialize(const Document& doc, bool pretty) {
+  std::string out;
+  SerializeDoc(doc, pretty, 0, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<Value> ParseComplete() {
+    AGORAEO_ASSIGN_OR_RETURN(Value v, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Value> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObjectValue(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        AGORAEO_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return Value(true);
+        return Error("bad literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Value(false);
+        return Error("bad literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return Value();
+        return Error("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<Value> ParseObjectValue(int depth) {
+    ++pos_;  // '{'
+    Document doc;
+    SkipWhitespace();
+    if (Consume('}')) return Value(std::move(doc));
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      AGORAEO_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after key");
+      AGORAEO_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      doc.Set(key, std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value(std::move(doc));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<Value> ParseArray(int depth) {
+    ++pos_;  // '['
+    std::vector<Value> items;
+    SkipWhitespace();
+    if (Consume(']')) return Value(std::move(items));
+    while (true) {
+      AGORAEO_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      items.push_back(std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value(std::move(items));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Error("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            AGORAEO_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+            // Surrogate pair handling.
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              if (!(Consume('\\') && Consume('u'))) {
+                return Error("unpaired high surrogate");
+              }
+              AGORAEO_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Error("bad low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return Error("unpaired low surrogate");
+            }
+            AppendUtf8(cp, &out);
+            break;
+          }
+          default:
+            return Error("bad escape character");
+        }
+        continue;
+      }
+      if (c < 0x20) return Error("raw control character in string");
+      out.push_back(static_cast<char>(c));
+      ++pos_;
+    }
+  }
+
+  StatusOr<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<uint32_t>(c - 'A' + 10);
+      else return Error("bad hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  StatusOr<Value> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    if (pos_ >= text_.size()) return Error("truncated number");
+    if (!Consume('0')) {
+      if (pos_ >= text_.size() || text_[pos_] < '1' || text_[pos_] > '9') {
+        return Error("bad number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    bool is_double = false;
+    if (Consume('.')) {
+      is_double = true;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("bad fraction");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("bad exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long ll = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return Value(static_cast<int64_t>(ll));
+      }
+      // Integer overflow: fall through to double.
+    }
+    const double d = std::strtod(token.c_str(), nullptr);
+    return Value(d);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Value> Parse(const std::string& text) {
+  return Parser(text).ParseComplete();
+}
+
+StatusOr<Document> ParseObject(const std::string& text) {
+  AGORAEO_ASSIGN_OR_RETURN(Value v, Parse(text));
+  if (!v.is_document()) {
+    return Status::InvalidArgument("JSON text is not an object");
+  }
+  return v.as_document();
+}
+
+// ---------------------------------------------------------------------------
+// Base64
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr char kBase64Chars[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int Base64Index(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+}  // namespace
+
+std::string Base64Encode(const std::vector<uint8_t>& bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= bytes.size()) {
+    const uint32_t n = (static_cast<uint32_t>(bytes[i]) << 16) |
+                       (static_cast<uint32_t>(bytes[i + 1]) << 8) |
+                       bytes[i + 2];
+    out.push_back(kBase64Chars[(n >> 18) & 63]);
+    out.push_back(kBase64Chars[(n >> 12) & 63]);
+    out.push_back(kBase64Chars[(n >> 6) & 63]);
+    out.push_back(kBase64Chars[n & 63]);
+    i += 3;
+  }
+  const size_t rem = bytes.size() - i;
+  if (rem == 1) {
+    const uint32_t n = static_cast<uint32_t>(bytes[i]) << 16;
+    out.push_back(kBase64Chars[(n >> 18) & 63]);
+    out.push_back(kBase64Chars[(n >> 12) & 63]);
+    out += "==";
+  } else if (rem == 2) {
+    const uint32_t n = (static_cast<uint32_t>(bytes[i]) << 16) |
+                       (static_cast<uint32_t>(bytes[i + 1]) << 8);
+    out.push_back(kBase64Chars[(n >> 18) & 63]);
+    out.push_back(kBase64Chars[(n >> 12) & 63]);
+    out.push_back(kBase64Chars[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> Base64Decode(const std::string& text) {
+  if (text.size() % 4 != 0) {
+    return Status::InvalidArgument("base64 length not a multiple of 4");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  for (size_t i = 0; i < text.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = text[i + k];
+      if (c == '=') {
+        // Padding only allowed in the last two positions of the final
+        // quantum.
+        if (i + 4 != text.size() || k < 2) {
+          return Status::InvalidArgument("misplaced base64 padding");
+        }
+        vals[k] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) {
+          return Status::InvalidArgument("data after base64 padding");
+        }
+        vals[k] = Base64Index(c);
+        if (vals[k] < 0) {
+          return Status::InvalidArgument("bad base64 character");
+        }
+      }
+    }
+    const uint32_t n = (static_cast<uint32_t>(vals[0]) << 18) |
+                       (static_cast<uint32_t>(vals[1]) << 12) |
+                       (static_cast<uint32_t>(vals[2]) << 6) |
+                       static_cast<uint32_t>(vals[3]);
+    out.push_back(static_cast<uint8_t>((n >> 16) & 0xFF));
+    if (pad < 2) out.push_back(static_cast<uint8_t>((n >> 8) & 0xFF));
+    if (pad < 1) out.push_back(static_cast<uint8_t>(n & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace agoraeo::json

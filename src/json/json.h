@@ -1,0 +1,46 @@
+#ifndef AGORAEO_JSON_JSON_H_
+#define AGORAEO_JSON_JSON_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "docstore/value.h"
+
+/// JSON (de)serialisation over the docstore value model — the wire
+/// format of EarthQube's back-end HTTP API (the paper's three-tier
+/// architecture puts a JSON-speaking server between the UI and the data
+/// tier).
+///
+/// Mapping:
+///   null / bool / string  <->  the same JSON type
+///   int64                 <->  JSON number without fraction/exponent
+///   double                <->  JSON number (NaN/Inf serialise as null,
+///                              which JSON cannot represent)
+///   array / document      <->  JSON array / object
+///   binary                 ->  base64 string (lossy direction: parsing
+///                              yields a plain string; binary payloads
+///                              cross the API base64-tagged by schema)
+namespace agoraeo::json {
+
+/// Serialises a value to compact JSON (`pretty` adds two-space
+/// indentation and newlines).
+std::string Serialize(const docstore::Value& value, bool pretty = false);
+std::string Serialize(const docstore::Document& doc, bool pretty = false);
+
+/// Parses a complete JSON text into a value.  InvalidArgument on any
+/// syntax error (with offset), on trailing content, and on nesting
+/// deeper than 128 levels.  Numbers with fraction or exponent parse as
+/// double, others as int64 (falling back to double on overflow).
+StatusOr<docstore::Value> Parse(const std::string& text);
+
+/// Parses a JSON object specifically (InvalidArgument when the text is
+/// valid JSON but not an object).
+StatusOr<docstore::Document> ParseObject(const std::string& text);
+
+/// Standard base64 (RFC 4648) used for binary payloads crossing the API.
+std::string Base64Encode(const std::vector<uint8_t>& bytes);
+StatusOr<std::vector<uint8_t>> Base64Decode(const std::string& text);
+
+}  // namespace agoraeo::json
+
+#endif  // AGORAEO_JSON_JSON_H_

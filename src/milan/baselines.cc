@@ -1,0 +1,204 @@
+#include "milan/baselines.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace agoraeo::milan {
+
+namespace {
+
+std::vector<BinaryCode> HashRows(const Tensor& features,
+                                 const std::function<BinaryCode(const Tensor&)>& fn) {
+  std::vector<BinaryCode> out;
+  out.reserve(features.dim(0));
+  for (size_t i = 0; i < features.dim(0); ++i) {
+    out.push_back(fn(features.Row(i)));
+  }
+  return out;
+}
+
+/// Gram-Schmidt orthonormalisation of the columns of [n, n] matrix `m`
+/// (in place); degenerate columns are replaced with unit axis vectors.
+void OrthonormalizeColumns(Tensor* m) {
+  const size_t n = m->dim(0);
+  for (size_t col = 0; col < m->dim(1); ++col) {
+    // Subtract projections onto previous columns.
+    for (size_t prev = 0; prev < col; ++prev) {
+      double dot = 0.0;
+      for (size_t r = 0; r < n; ++r) {
+        dot += static_cast<double>(m->at(r, col)) * m->at(r, prev);
+      }
+      for (size_t r = 0; r < n; ++r) {
+        m->at(r, col) -= static_cast<float>(dot) * m->at(r, prev);
+      }
+    }
+    double norm = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      norm += static_cast<double>(m->at(r, col)) * m->at(r, col);
+    }
+    norm = std::sqrt(norm);
+    if (norm < 1e-8) {
+      for (size_t r = 0; r < n; ++r) m->at(r, col) = 0.0f;
+      m->at(col % n, col) = 1.0f;
+    } else {
+      const float inv = static_cast<float>(1.0 / norm);
+      for (size_t r = 0; r < n; ++r) m->at(r, col) *= inv;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RandomHyperplaneLsh
+// ---------------------------------------------------------------------------
+
+RandomHyperplaneLsh::RandomHyperplaneLsh(size_t feature_dim, size_t bits,
+                                         uint64_t seed)
+    : bits_(bits) {
+  Rng rng(seed, /*stream=*/41);
+  hyperplanes_ = Tensor::RandomNormal({feature_dim, bits}, 1.0f, &rng);
+}
+
+BinaryCode RandomHyperplaneLsh::Hash(const Tensor& feature) const {
+  assert(feature.size() == hyperplanes_.dim(0));
+  Tensor x = feature.Reshaped({1, feature.size()});
+  Tensor proj = MatMul(x, hyperplanes_);
+  std::vector<float> values(proj.data(), proj.data() + proj.size());
+  return BinaryCode::FromSigns(values);
+}
+
+std::vector<BinaryCode> RandomHyperplaneLsh::HashBatch(
+    const Tensor& features) const {
+  return HashRows(features, [this](const Tensor& f) { return Hash(f); });
+}
+
+// ---------------------------------------------------------------------------
+// MedianThresholdHash
+// ---------------------------------------------------------------------------
+
+MedianThresholdHash::MedianThresholdHash(const Tensor& training, size_t bits,
+                                         uint64_t seed)
+    : bits_(bits) {
+  assert(training.rank() == 2 && training.dim(0) > 0);
+  Rng rng(seed, /*stream=*/43);
+  projections_ = Tensor::RandomNormal({training.dim(1), bits}, 1.0f, &rng);
+  const Tensor projected = MatMul(training, projections_);
+  thresholds_.resize(bits);
+  std::vector<float> column(projected.dim(0));
+  for (size_t j = 0; j < bits; ++j) {
+    for (size_t i = 0; i < projected.dim(0); ++i) column[i] = projected.at(i, j);
+    auto mid = column.begin() + column.size() / 2;
+    std::nth_element(column.begin(), mid, column.end());
+    thresholds_[j] = *mid;
+  }
+}
+
+BinaryCode MedianThresholdHash::Hash(const Tensor& feature) const {
+  assert(feature.size() == projections_.dim(0));
+  Tensor x = feature.Reshaped({1, feature.size()});
+  Tensor proj = MatMul(x, projections_);
+  BinaryCode code(bits_);
+  for (size_t j = 0; j < bits_; ++j) {
+    if (proj[j] > thresholds_[j]) code.SetBit(j, true);
+  }
+  return code;
+}
+
+std::vector<BinaryCode> MedianThresholdHash::HashBatch(
+    const Tensor& features) const {
+  return HashRows(features, [this](const Tensor& f) { return Hash(f); });
+}
+
+// ---------------------------------------------------------------------------
+// ItqHash
+// ---------------------------------------------------------------------------
+
+ItqHash::ItqHash(const Tensor& training, size_t bits, size_t iterations,
+                 uint64_t seed)
+    : bits_(bits) {
+  assert(training.rank() == 2 && training.dim(0) > 1);
+  const size_t n = training.dim(0), dim = training.dim(1);
+  Rng rng(seed, /*stream=*/47);
+
+  // Center the data.
+  mean_.assign(dim, 0.0f);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) mean_[j] += training.at(i, j);
+  }
+  for (float& v : mean_) v /= static_cast<float>(n);
+  Tensor centered = training;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) centered.at(i, j) -= mean_[j];
+  }
+
+  // Covariance [dim, dim] (scaled; scale does not affect eigenvectors).
+  Tensor cov = MatMul(centered.Transposed(), centered);
+
+  // Top-`bits` eigenvectors by power iteration with deflation.
+  pca_ = Tensor({dim, bits});
+  Tensor work = cov;
+  for (size_t k = 0; k < bits_; ++k) {
+    Tensor v = Tensor::RandomNormal({dim}, 1.0f, &rng);
+    float eigenvalue = 0.0f;
+    for (int it = 0; it < 60; ++it) {
+      Tensor next = MatVec(work, v);
+      const float norm = next.L2Norm();
+      if (norm < 1e-12f) break;
+      next *= 1.0f / norm;
+      eigenvalue = norm;
+      v = next;
+    }
+    for (size_t j = 0; j < dim; ++j) pca_.at(j, k) = v[j];
+    // Deflate: work -= lambda v v^T.
+    for (size_t r = 0; r < dim; ++r) {
+      for (size_t c = 0; c < dim; ++c) {
+        work.at(r, c) -= eigenvalue * v[r] * v[c];
+      }
+    }
+  }
+
+  // ITQ rotation refinement: alternate B = sign(V R) and R ~ orthogonal
+  // matrix aligning V with B (approximated by orthonormalising V^T B).
+  rotation_ = Tensor::RandomNormal({bits, bits}, 1.0f, &rng);
+  OrthonormalizeColumns(&rotation_);
+  const Tensor projected = MatMul(centered, pca_);  // [n, bits]
+  for (size_t it = 0; it < iterations; ++it) {
+    Tensor vr = MatMul(projected, rotation_);
+    Tensor b = vr;
+    b.Apply([](float x) { return x >= 0.0f ? 1.0f : -1.0f; });
+    Tensor corr = MatMul(projected.Transposed(), b);  // [bits, bits]
+    OrthonormalizeColumns(&corr);
+    rotation_ = corr;
+  }
+}
+
+Tensor ItqHash::ProjectCentered(const Tensor& features) const {
+  Tensor centered = features;
+  const size_t dim = centered.dim(1);
+  for (size_t i = 0; i < centered.dim(0); ++i) {
+    for (size_t j = 0; j < dim; ++j) centered.at(i, j) -= mean_[j];
+  }
+  return MatMul(MatMul(centered, pca_), rotation_);
+}
+
+BinaryCode ItqHash::Hash(const Tensor& feature) const {
+  Tensor proj = ProjectCentered(feature.Reshaped({1, feature.size()}));
+  std::vector<float> values(proj.data(), proj.data() + proj.size());
+  return BinaryCode::FromSigns(values);
+}
+
+std::vector<BinaryCode> ItqHash::HashBatch(const Tensor& features) const {
+  Tensor proj = ProjectCentered(features);
+  std::vector<BinaryCode> out;
+  out.reserve(proj.dim(0));
+  for (size_t i = 0; i < proj.dim(0); ++i) {
+    const Tensor row = proj.Row(i);
+    std::vector<float> values(row.data(), row.data() + row.size());
+    out.push_back(BinaryCode::FromSigns(values));
+  }
+  return out;
+}
+
+}  // namespace agoraeo::milan

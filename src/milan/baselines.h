@@ -1,0 +1,78 @@
+#ifndef AGORAEO_MILAN_BASELINES_H_
+#define AGORAEO_MILAN_BASELINES_H_
+
+#include <vector>
+
+#include "common/binary_code.h"
+#include "common/random.h"
+#include "tensor/tensor.h"
+
+namespace agoraeo::milan {
+
+/// Non-learned hashing baselines MiLaN is compared against in experiment
+/// E2.  All map float feature vectors to K-bit binary codes.
+
+/// Random-hyperplane LSH (Charikar): bit k is the sign of a fixed random
+/// projection.  Data independent.
+class RandomHyperplaneLsh {
+ public:
+  RandomHyperplaneLsh(size_t feature_dim, size_t bits, uint64_t seed);
+
+  BinaryCode Hash(const Tensor& feature) const;
+  std::vector<BinaryCode> HashBatch(const Tensor& features) const;
+
+  size_t bits() const { return bits_; }
+
+ private:
+  size_t bits_;
+  Tensor hyperplanes_;  ///< [feature_dim, bits]
+};
+
+/// Data-dependent baseline: random projections thresholded at the
+/// per-dimension median of a training sample (balances each bit, like
+/// spectral hashing's zero-centering trick, but without eigenvectors).
+class MedianThresholdHash {
+ public:
+  /// Fits medians on `training` ([N, feature_dim]).
+  MedianThresholdHash(const Tensor& training, size_t bits, uint64_t seed);
+
+  BinaryCode Hash(const Tensor& feature) const;
+  std::vector<BinaryCode> HashBatch(const Tensor& features) const;
+
+  size_t bits() const { return bits_; }
+
+ private:
+  size_t bits_;
+  Tensor projections_;  ///< [feature_dim, bits]
+  std::vector<float> thresholds_;  ///< per-bit median
+};
+
+/// Iterative-quantization-style baseline ("ITQ-lite"): PCA to K
+/// dimensions (power iteration with deflation) followed by alternating
+/// optimisation of a rotation that minimises quantization error, as in
+/// Gong & Lazebnik — with the orthogonal Procrustes step approximated by
+/// Gram-Schmidt re-orthonormalisation of the correlation matrix.
+class ItqHash {
+ public:
+  /// Fits on `training` ([N, feature_dim]); `iterations` of the rotation
+  /// refinement.
+  ItqHash(const Tensor& training, size_t bits, size_t iterations,
+          uint64_t seed);
+
+  BinaryCode Hash(const Tensor& feature) const;
+  std::vector<BinaryCode> HashBatch(const Tensor& features) const;
+
+  size_t bits() const { return bits_; }
+
+ private:
+  Tensor ProjectCentered(const Tensor& features) const;
+
+  size_t bits_;
+  std::vector<float> mean_;  ///< training mean, length feature_dim
+  Tensor pca_;               ///< [feature_dim, bits]
+  Tensor rotation_;          ///< [bits, bits]
+};
+
+}  // namespace agoraeo::milan
+
+#endif  // AGORAEO_MILAN_BASELINES_H_

@@ -1,0 +1,145 @@
+#include "milan/losses.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace agoraeo::milan {
+
+TripletLossResult TripletLoss(const Tensor& outputs, size_t batch,
+                              float margin) {
+  assert(outputs.rank() == 2 && outputs.dim(0) == 3 * batch);
+  const size_t k = outputs.dim(1);
+  TripletLossResult result;
+  result.grad = Tensor({3 * batch, k});
+  if (batch == 0) return result;
+
+  double total = 0.0;
+  for (size_t b = 0; b < batch; ++b) {
+    const size_t ia = b, ip = batch + b, in = 2 * batch + b;
+    double d_ap = 0.0, d_an = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      const float dp = outputs.at(ia, j) - outputs.at(ip, j);
+      const float dn = outputs.at(ia, j) - outputs.at(in, j);
+      d_ap += static_cast<double>(dp) * dp;
+      d_an += static_cast<double>(dn) * dn;
+    }
+    const double viol = d_ap - d_an + margin;
+    if (viol <= 0.0) continue;
+    total += viol;
+    ++result.active;
+    // Gradients of the hinge term, averaged over the batch below.
+    for (size_t j = 0; j < k; ++j) {
+      const float a = outputs.at(ia, j);
+      const float p = outputs.at(ip, j);
+      const float n = outputs.at(in, j);
+      result.grad.at(ia, j) += 2.0f * (n - p);
+      result.grad.at(ip, j) += 2.0f * (p - a);
+      result.grad.at(in, j) += 2.0f * (a - n);
+    }
+  }
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  result.grad *= inv_batch;
+  result.value = static_cast<float>(total) * inv_batch;
+  return result;
+}
+
+BitBalanceLossResult BitBalanceLoss(const Tensor& outputs, float beta) {
+  assert(outputs.rank() == 2);
+  const size_t rows = outputs.dim(0), k = outputs.dim(1);
+  BitBalanceLossResult result;
+  result.grad = Tensor({rows, k});
+  if (rows == 0 || k == 0) return result;
+
+  // Balance term: ||mu||^2 / K.
+  Tensor mu({k});
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < k; ++j) mu[j] += outputs.at(i, j);
+  }
+  mu *= 1.0f / static_cast<float>(rows);
+  double balance = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    balance += static_cast<double>(mu[j]) * mu[j];
+  }
+  balance /= static_cast<double>(k);
+  // d/dh_ij ||mu||^2 / K = 2 mu_j / (rows * K).
+  const float balance_scale =
+      2.0f / (static_cast<float>(rows) * static_cast<float>(k));
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      result.grad.at(i, j) += balance_scale * mu[j];
+    }
+  }
+
+  double independence = 0.0;
+  if (beta > 0.0f) {
+    // C = H^T H / rows; L_ind = beta * ||C - I||_F^2 / K^2.
+    Tensor c = MatMul(outputs.Transposed(), outputs);
+    c *= 1.0f / static_cast<float>(rows);
+    for (size_t j = 0; j < k; ++j) c.at(j, j) -= 1.0f;
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = 0; b < k; ++b) {
+        independence += static_cast<double>(c.at(a, b)) * c.at(a, b);
+      }
+    }
+    const float k2 = static_cast<float>(k) * static_cast<float>(k);
+    independence = beta * independence / k2;
+    // dL/dH = beta * (4 / (rows * K^2)) * H (C - I).
+    Tensor grad_ind = MatMul(outputs, c);
+    grad_ind *= beta * 4.0f / (static_cast<float>(rows) * k2);
+    result.grad += grad_ind;
+  }
+
+  result.value = static_cast<float>(balance + independence);
+  return result;
+}
+
+QuantizationLossResult QuantizationLoss(const Tensor& outputs) {
+  assert(outputs.rank() == 2);
+  const size_t rows = outputs.dim(0), k = outputs.dim(1);
+  QuantizationLossResult result;
+  result.grad = Tensor({rows, k});
+  if (rows == 0 || k == 0) return result;
+
+  double total = 0.0;
+  const float scale = 1.0f / (static_cast<float>(rows) * static_cast<float>(k));
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      const float h = outputs.at(i, j);
+      const float gap = std::fabs(h) - 1.0f;
+      total += static_cast<double>(gap) * gap;
+      // d/dh (|h|-1)^2 = 2 (|h|-1) sign(h) = 2 (h - sign(h)).
+      const float sign = h > 0.0f ? 1.0f : (h < 0.0f ? -1.0f : 0.0f);
+      result.grad.at(i, j) = 2.0f * scale * (h - sign);
+    }
+  }
+  result.value = static_cast<float>(total) * scale;
+  return result;
+}
+
+MilanLossResult MilanLoss(const Tensor& outputs, size_t batch,
+                          const MilanLossConfig& config) {
+  MilanLossResult result;
+  TripletLossResult triplet = TripletLoss(outputs, batch, config.margin);
+  BitBalanceLossResult balance =
+      BitBalanceLoss(outputs, config.independence_beta);
+  QuantizationLossResult quant = QuantizationLoss(outputs);
+
+  result.triplet = triplet.value;
+  result.balance = balance.value;
+  result.quantization = quant.value;
+  result.active_triplets = triplet.active;
+  result.total = config.triplet_weight * triplet.value +
+                 config.balance_weight * balance.value +
+                 config.quantization_weight * quant.value;
+
+  result.grad = Tensor(outputs.shape());
+  triplet.grad *= config.triplet_weight;
+  balance.grad *= config.balance_weight;
+  quant.grad *= config.quantization_weight;
+  result.grad += triplet.grad;
+  result.grad += balance.grad;
+  result.grad += quant.grad;
+  return result;
+}
+
+}  // namespace agoraeo::milan

@@ -1,0 +1,74 @@
+#ifndef AGORAEO_MILAN_LOSSES_H_
+#define AGORAEO_MILAN_LOSSES_H_
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace agoraeo::milan {
+
+/// MiLaN trains its hashing network with three losses (paper Section 2.2,
+/// following Roy et al. 2021):
+///  1. a triplet loss learning a metric space where semantically similar
+///     images are close and dissimilar ones separated;
+///  2. a bit-balance loss pushing every bit to a 50% activation rate and
+///     decorrelating different bits;
+///  3. a quantization loss shrinking the gap between the continuous
+///     network outputs and their binarized codes.
+/// Each loss exposes value and gradient w.r.t. the network outputs so the
+/// trainer can combine them with configurable weights.
+
+/// Triplet loss over a batch of B triplets.  `outputs` is a [3B, K]
+/// tensor laid out as B anchors, then B positives, then B negatives.
+/// L = mean_b max(0, ||a_b - p_b||^2 - ||a_b - n_b||^2 + margin).
+struct TripletLossResult {
+  float value = 0.0f;
+  Tensor grad;          ///< [3B, K], same layout as outputs
+  size_t active = 0;    ///< triplets violating the margin
+};
+TripletLossResult TripletLoss(const Tensor& outputs, size_t batch,
+                              float margin);
+
+/// Bit-balance loss over a [B, K] output block:
+/// L = ||mu||^2 / K + beta * ||H^T H / B - I||_F^2 / K^2,
+/// where mu is the per-bit batch mean.  The first term balances each
+/// bit's activation; the second decorrelates bits (independence).
+struct BitBalanceLossResult {
+  float value = 0.0f;
+  Tensor grad;  ///< [B, K]
+};
+BitBalanceLossResult BitBalanceLoss(const Tensor& outputs, float beta);
+
+/// Quantization loss over a [B, K] output block:
+/// L = mean_{b,k} (|h_bk| - 1)^2, pulling tanh outputs toward +/-1 so
+/// binarization loses little information.
+struct QuantizationLossResult {
+  float value = 0.0f;
+  Tensor grad;  ///< [B, K]
+};
+QuantizationLossResult QuantizationLoss(const Tensor& outputs);
+
+/// Weighted combination of the three losses on a triplet batch layout
+/// ([3B, K]).  The balance/quantization terms apply to all 3B rows.
+struct MilanLossConfig {
+  float margin = 2.0f;             ///< triplet margin
+  float triplet_weight = 1.0f;
+  float balance_weight = 0.5f;     ///< lambda_1
+  float independence_beta = 0.1f;  ///< decorrelation inside balance loss
+  float quantization_weight = 0.1f;  ///< lambda_2
+};
+
+struct MilanLossResult {
+  float total = 0.0f;
+  float triplet = 0.0f;
+  float balance = 0.0f;
+  float quantization = 0.0f;
+  size_t active_triplets = 0;
+  Tensor grad;  ///< [3B, K]
+};
+MilanLossResult MilanLoss(const Tensor& outputs, size_t batch,
+                          const MilanLossConfig& config);
+
+}  // namespace agoraeo::milan
+
+#endif  // AGORAEO_MILAN_LOSSES_H_

@@ -1,0 +1,96 @@
+#include "milan/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <numeric>
+
+namespace agoraeo::milan {
+
+double PrecisionAtK(const std::vector<bool>& relevant, size_t k) {
+  if (k == 0) return 0.0;
+  const size_t n = std::min(k, relevant.size());
+  if (n == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (relevant[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double AveragePrecision(const std::vector<bool>& relevant) {
+  size_t hits = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < relevant.size(); ++i) {
+    if (relevant[i]) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return hits == 0 ? 0.0 : sum / static_cast<double>(hits);
+}
+
+std::vector<size_t> RankByHamming(const BinaryCode& query,
+                                  const std::vector<BinaryCode>& database,
+                                  size_t exclude_index) {
+  std::vector<std::pair<uint32_t, size_t>> dist;
+  dist.reserve(database.size());
+  for (size_t i = 0; i < database.size(); ++i) {
+    if (i == exclude_index) continue;
+    dist.emplace_back(
+        static_cast<uint32_t>(database[i].HammingDistance(query)), i);
+  }
+  std::sort(dist.begin(), dist.end());
+  std::vector<size_t> out;
+  out.reserve(dist.size());
+  for (const auto& [d, i] : dist) out.push_back(i);
+  return out;
+}
+
+std::vector<size_t> RankByL2(const Tensor& query, const Tensor& database,
+                             size_t exclude_index) {
+  assert(database.rank() == 2 && query.size() == database.dim(1));
+  const size_t n = database.dim(0), dim = database.dim(1);
+  std::vector<std::pair<float, size_t>> dist;
+  dist.reserve(n);
+  const float* q = query.data();
+  for (size_t i = 0; i < n; ++i) {
+    if (i == exclude_index) continue;
+    const float* row = database.data() + i * dim;
+    float acc = 0.0f;
+    for (size_t j = 0; j < dim; ++j) {
+      const float d = row[j] - q[j];
+      acc += d * d;
+    }
+    dist.emplace_back(acc, i);
+  }
+  std::sort(dist.begin(), dist.end());
+  std::vector<size_t> out;
+  out.reserve(dist.size());
+  for (const auto& [d, i] : dist) out.push_back(i);
+  return out;
+}
+
+RetrievalQuality EvaluateRetrieval(
+    size_t num_queries, size_t k,
+    const std::function<std::vector<size_t>(size_t)>& rank_fn,
+    const std::function<bool(size_t, size_t)>& is_relevant) {
+  RetrievalQuality out;
+  for (size_t q = 0; q < num_queries; ++q) {
+    std::vector<size_t> ranked = rank_fn(q);
+    if (ranked.size() > k) ranked.resize(k);
+    std::vector<bool> relevant;
+    relevant.reserve(ranked.size());
+    for (size_t i : ranked) relevant.push_back(is_relevant(q, i));
+    out.precision_at_k += PrecisionAtK(relevant, k);
+    out.map_at_k += AveragePrecision(relevant);
+    ++out.num_queries;
+  }
+  if (out.num_queries > 0) {
+    out.precision_at_k /= static_cast<double>(out.num_queries);
+    out.map_at_k /= static_cast<double>(out.num_queries);
+  }
+  return out;
+}
+
+}  // namespace agoraeo::milan

@@ -1,0 +1,56 @@
+#ifndef AGORAEO_MILAN_METRICS_H_
+#define AGORAEO_MILAN_METRICS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/binary_code.h"
+#include "tensor/tensor.h"
+
+namespace agoraeo::milan {
+
+/// Retrieval-quality metrics for experiment E2 (the "highly accurate
+/// retrieval" claim).  Ground truth follows the BigEarthNet CBIR
+/// convention: a retrieved image is relevant to the query when their
+/// label sets share at least one class.
+
+/// `relevant[i]` flags whether the i-th ranked retrieved item is
+/// relevant.  Precision@k = relevant fraction of the first k.
+double PrecisionAtK(const std::vector<bool>& relevant, size_t k);
+
+/// Average precision of one ranked list (mean of precision@rank over the
+/// relevant positions; 0 when nothing is relevant).
+double AveragePrecision(const std::vector<bool>& relevant);
+
+/// Ranks all database codes by Hamming distance to the query code (ties
+/// by index) and returns the database indices in rank order, excluding
+/// `exclude_index` (pass SIZE_MAX to keep all).
+std::vector<size_t> RankByHamming(const BinaryCode& query,
+                                  const std::vector<BinaryCode>& database,
+                                  size_t exclude_index);
+
+/// Ranks all database rows by squared L2 distance to the query vector —
+/// the float-feature upper-bound ranking.
+std::vector<size_t> RankByL2(const Tensor& query, const Tensor& database,
+                             size_t exclude_index);
+
+/// Aggregated retrieval quality over a query set.
+struct RetrievalQuality {
+  double precision_at_k = 0.0;
+  double map_at_k = 0.0;  ///< mean AP truncated at k
+  size_t num_queries = 0;
+};
+
+/// Evaluates a ranking function over `num_queries` sampled queries.
+/// `rank_fn(q)` returns ranked database indices for query index q
+/// (self-match already excluded); `is_relevant(q, i)` is the ground
+/// truth.  Ranks are truncated at k.
+RetrievalQuality EvaluateRetrieval(
+    size_t num_queries, size_t k,
+    const std::function<std::vector<size_t>(size_t)>& rank_fn,
+    const std::function<bool(size_t, size_t)>& is_relevant);
+
+}  // namespace agoraeo::milan
+
+#endif  // AGORAEO_MILAN_METRICS_H_

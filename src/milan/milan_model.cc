@@ -1,0 +1,120 @@
+#include "milan/milan_model.h"
+
+#include "common/byte_buffer.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+
+namespace agoraeo::milan {
+
+namespace {
+constexpr uint32_t kMagic = 0x4d494c41;  // "MILA"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+MilanModel::MilanModel(const MilanConfig& config)
+    : config_(config), rng_(config.seed, /*stream=*/21) {
+  net_.Emplace<nn::Dense>(config_.feature_dim, config_.hidden1,
+                          nn::Init::kHeNormal, &rng_);
+  net_.Emplace<nn::ReLU>();
+  if (config_.dropout > 0.0f) net_.Emplace<nn::Dropout>(config_.dropout, &rng_);
+  net_.Emplace<nn::Dense>(config_.hidden1, config_.hidden2,
+                          nn::Init::kHeNormal, &rng_);
+  net_.Emplace<nn::ReLU>();
+  if (config_.dropout > 0.0f) net_.Emplace<nn::Dropout>(config_.dropout, &rng_);
+  net_.Emplace<nn::Dense>(config_.hidden2, config_.hash_bits,
+                          nn::Init::kXavierUniform, &rng_);
+  net_.Emplace<nn::Tanh>();
+}
+
+Tensor MilanModel::Forward(const Tensor& features, bool training) {
+  return net_.Forward(features, training);
+}
+
+void MilanModel::Backward(const Tensor& grad_outputs) {
+  net_.Backward(grad_outputs);
+}
+
+std::vector<BinaryCode> MilanModel::HashBatch(const Tensor& features) {
+  const Tensor outputs = Forward(features, /*training=*/false);
+  std::vector<BinaryCode> codes;
+  codes.reserve(outputs.dim(0));
+  for (size_t i = 0; i < outputs.dim(0); ++i) {
+    const Tensor row = outputs.Row(i);
+    std::vector<float> values(row.data(), row.data() + row.size());
+    codes.push_back(BinaryCode::FromSigns(values));
+  }
+  return codes;
+}
+
+BinaryCode MilanModel::HashOne(const Tensor& feature) {
+  Tensor batch = feature.Reshaped({1, feature.size()});
+  return HashBatch(batch)[0];
+}
+
+Status MilanModel::Save(const std::string& path) const {
+  ByteWriter out;
+  out.PutU32(kMagic);
+  out.PutU32(kVersion);
+  out.PutU64(config_.feature_dim);
+  out.PutU64(config_.hidden1);
+  out.PutU64(config_.hidden2);
+  out.PutU64(config_.hash_bits);
+  out.PutF32(config_.dropout);
+  out.PutU64(config_.seed);
+  // Parameter tensors in layer order.
+  auto params = const_cast<nn::Sequential&>(net_).Params();
+  out.PutU32(static_cast<uint32_t>(params.size()));
+  for (const nn::Parameter* p : params) {
+    out.PutU32(static_cast<uint32_t>(p->value.shape().size()));
+    for (size_t d : p->value.shape()) out.PutU64(d);
+    std::vector<float> data(p->value.data(),
+                            p->value.data() + p->value.size());
+    out.PutF32Vector(data);
+  }
+  return WriteFileBytes(path, out.data());
+}
+
+StatusOr<std::unique_ptr<MilanModel>> MilanModel::Load(
+    const std::string& path) {
+  AGORAEO_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  ByteReader in(bytes);
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t magic, in.GetU32());
+  if (magic != kMagic) return Status::Corruption("bad model file magic");
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t version, in.GetU32());
+  if (version != kVersion) {
+    return Status::Corruption("unsupported model file version");
+  }
+  MilanConfig config;
+  AGORAEO_ASSIGN_OR_RETURN(config.feature_dim, in.GetU64());
+  AGORAEO_ASSIGN_OR_RETURN(config.hidden1, in.GetU64());
+  AGORAEO_ASSIGN_OR_RETURN(config.hidden2, in.GetU64());
+  AGORAEO_ASSIGN_OR_RETURN(config.hash_bits, in.GetU64());
+  AGORAEO_ASSIGN_OR_RETURN(config.dropout, in.GetF32());
+  AGORAEO_ASSIGN_OR_RETURN(config.seed, in.GetU64());
+
+  auto model = std::make_unique<MilanModel>(config);
+  auto params = model->net_.Params();
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t num_params, in.GetU32());
+  if (num_params != params.size()) {
+    return Status::Corruption("parameter count mismatch in model file");
+  }
+  for (nn::Parameter* p : params) {
+    AGORAEO_ASSIGN_OR_RETURN(uint32_t rank, in.GetU32());
+    std::vector<size_t> shape;
+    for (uint32_t d = 0; d < rank; ++d) {
+      AGORAEO_ASSIGN_OR_RETURN(uint64_t dim, in.GetU64());
+      shape.push_back(dim);
+    }
+    if (shape != p->value.shape()) {
+      return Status::Corruption("parameter shape mismatch in model file");
+    }
+    AGORAEO_ASSIGN_OR_RETURN(std::vector<float> data, in.GetF32Vector());
+    if (data.size() != p->value.size()) {
+      return Status::Corruption("parameter size mismatch in model file");
+    }
+    p->value = Tensor(shape, std::move(data));
+  }
+  return model;
+}
+
+}  // namespace agoraeo::milan

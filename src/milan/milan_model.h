@@ -1,0 +1,70 @@
+#ifndef AGORAEO_MILAN_MILAN_MODEL_H_
+#define AGORAEO_MILAN_MILAN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/binary_code.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace agoraeo::milan {
+
+/// Architecture/configuration of the MiLaN hashing network.
+struct MilanConfig {
+  size_t feature_dim = 128;   ///< input "deep feature" dimensionality
+  size_t hidden1 = 1024;      ///< first FC layer width
+  size_t hidden2 = 512;       ///< second FC layer width
+  size_t hash_bits = 128;     ///< K, the binary code length (paper: 128)
+  float dropout = 0.1f;       ///< dropout rate between FC layers
+  uint64_t seed = 1234;       ///< weight-initialisation seed
+};
+
+/// The metric-learning deep hashing network: three fully connected
+/// layers ending in a tanh head whose sign yields the binary hash code.
+///
+///   feature (128) -> FC 1024 + ReLU -> dropout
+///                 -> FC 512  + ReLU -> dropout
+///                 -> FC K    + tanh -> sign -> K-bit code
+class MilanModel {
+ public:
+  explicit MilanModel(const MilanConfig& config);
+
+  /// Continuous hash-head outputs in (-1, 1) for a [B, feature_dim]
+  /// batch; `training` enables dropout.
+  Tensor Forward(const Tensor& features, bool training);
+
+  /// Back-propagates dLoss/dOutputs; parameter gradients accumulate into
+  /// the network (call net().ZeroGrad() between steps).
+  void Backward(const Tensor& grad_outputs);
+
+  /// Binary codes for a feature batch (inference path: forward + sign).
+  std::vector<BinaryCode> HashBatch(const Tensor& features);
+
+  /// Binary code for one feature vector (rank-1 [feature_dim]); the
+  /// on-the-fly path EarthQube uses for query-by-new-example.
+  BinaryCode HashOne(const Tensor& feature);
+
+  /// Serialises config + all weights.
+  Status Save(const std::string& path) const;
+
+  /// Restores a model saved with Save; the loaded config replaces the
+  /// current one.
+  static StatusOr<std::unique_ptr<MilanModel>> Load(const std::string& path);
+
+  nn::Sequential& net() { return net_; }
+  const MilanConfig& config() const { return config_; }
+
+ private:
+  MilanConfig config_;
+  Rng rng_;
+  nn::Sequential net_;
+};
+
+}  // namespace agoraeo::milan
+
+#endif  // AGORAEO_MILAN_MILAN_MODEL_H_

@@ -1,0 +1,71 @@
+#include "milan/trainer.h"
+
+#include "common/logging.h"
+
+namespace agoraeo::milan {
+
+Trainer::Trainer(MilanModel* model, const Tensor* features,
+                 const TripletSampler* sampler, TrainConfig config)
+    : model_(model),
+      features_(features),
+      sampler_(sampler),
+      config_(config),
+      rng_(config.seed, /*stream=*/31),
+      optimizer_(model->net().Params(), config.learning_rate) {}
+
+StatusOr<MilanLossResult> Trainer::TrainStep() {
+  const size_t batch = config_.batch_size;
+  AGORAEO_ASSIGN_OR_RETURN(std::vector<Triplet> triplets,
+                           sampler_->SampleBatch(batch, &rng_));
+
+  // Stack rows: [anchors; positives; negatives].
+  const size_t dim = features_->dim(1);
+  Tensor input({3 * batch, dim});
+  for (size_t b = 0; b < batch; ++b) {
+    input.SetRow(b, features_->Row(triplets[b].anchor));
+    input.SetRow(batch + b, features_->Row(triplets[b].positive));
+    input.SetRow(2 * batch + b, features_->Row(triplets[b].negative));
+  }
+
+  model_->net().ZeroGrad();
+  const Tensor outputs = model_->Forward(input, /*training=*/true);
+  MilanLossResult loss = MilanLoss(outputs, batch, config_.loss);
+  model_->Backward(loss.grad);
+  optimizer_.Step();
+  return loss;
+}
+
+StatusOr<TrainResult> Trainer::Train() {
+  TrainResult result;
+  float lr = config_.learning_rate;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    optimizer_.set_learning_rate(lr);
+    EpochStats stats;
+    for (size_t step = 0; step < config_.batches_per_epoch; ++step) {
+      AGORAEO_ASSIGN_OR_RETURN(MilanLossResult loss, TrainStep());
+      stats.total += loss.total;
+      stats.triplet += loss.triplet;
+      stats.balance += loss.balance;
+      stats.quantization += loss.quantization;
+      stats.active_triplet_fraction +=
+          static_cast<float>(loss.active_triplets) /
+          static_cast<float>(config_.batch_size);
+      result.samples_seen += 3 * config_.batch_size;
+    }
+    const float inv = 1.0f / static_cast<float>(config_.batches_per_epoch);
+    stats.total *= inv;
+    stats.triplet *= inv;
+    stats.balance *= inv;
+    stats.quantization *= inv;
+    stats.active_triplet_fraction *= inv;
+    result.epochs.push_back(stats);
+    AGORAEO_LOG(kDebug) << "epoch " << epoch << " loss=" << stats.total
+                        << " (triplet=" << stats.triplet
+                        << " balance=" << stats.balance
+                        << " quant=" << stats.quantization << ")";
+    lr *= config_.lr_decay;
+  }
+  return result;
+}
+
+}  // namespace agoraeo::milan

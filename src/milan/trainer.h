@@ -1,0 +1,67 @@
+#ifndef AGORAEO_MILAN_TRAINER_H_
+#define AGORAEO_MILAN_TRAINER_H_
+
+#include <vector>
+
+#include "milan/losses.h"
+#include "milan/milan_model.h"
+#include "milan/triplet_sampler.h"
+#include "tensor/tensor.h"
+
+namespace agoraeo::milan {
+
+/// Training hyper-parameters.
+struct TrainConfig {
+  size_t epochs = 10;
+  size_t batches_per_epoch = 50;
+  size_t batch_size = 32;        ///< triplets per batch (3x rows)
+  float learning_rate = 1e-3f;
+  float lr_decay = 0.95f;        ///< multiplicative per-epoch decay
+  uint64_t seed = 99;
+  MilanLossConfig loss;
+};
+
+/// Loss trajectory of one epoch.
+struct EpochStats {
+  float total = 0.0f;
+  float triplet = 0.0f;
+  float balance = 0.0f;
+  float quantization = 0.0f;
+  float active_triplet_fraction = 0.0f;
+};
+
+/// Full training record.
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  size_t samples_seen = 0;
+};
+
+/// Minibatch trainer for the MiLaN network: samples label-based triplets,
+/// stacks them [anchors; positives; negatives], applies the composite
+/// loss and an Adam step.
+class Trainer {
+ public:
+  /// `features` is the [N, feature_dim] matrix aligned with the sampler's
+  /// item indices.  Both must outlive the trainer.
+  Trainer(MilanModel* model, const Tensor* features,
+          const TripletSampler* sampler, TrainConfig config);
+
+  /// Runs the configured schedule; resumable (call again to continue).
+  StatusOr<TrainResult> Train();
+
+  /// One gradient step on one sampled batch; exposed for tests and the
+  /// training-throughput benchmark.
+  StatusOr<MilanLossResult> TrainStep();
+
+ private:
+  MilanModel* model_;
+  const Tensor* features_;
+  const TripletSampler* sampler_;
+  TrainConfig config_;
+  Rng rng_;
+  nn::Adam optimizer_;
+};
+
+}  // namespace agoraeo::milan
+
+#endif  // AGORAEO_MILAN_TRAINER_H_

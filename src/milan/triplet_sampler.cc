@@ -1,0 +1,67 @@
+#include "milan/triplet_sampler.h"
+
+namespace agoraeo::milan {
+
+using bigearthnet::kNumLabels;
+
+TripletSampler::TripletSampler(std::vector<bigearthnet::LabelSet> labels)
+    : labels_(std::move(labels)), by_label_(kNumLabels) {
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    for (bigearthnet::LabelId id : labels_[i].ids()) {
+      by_label_[static_cast<size_t>(id)].push_back(i);
+    }
+  }
+}
+
+StatusOr<Triplet> TripletSampler::Sample(Rng* rng) const {
+  if (labels_.size() < 3) {
+    return Status::FailedPrecondition("corpus too small for triplets");
+  }
+  constexpr int kMaxAttempts = 256;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const size_t anchor =
+        rng->UniformInt(static_cast<uint32_t>(labels_.size()));
+    const auto& anchor_labels = labels_[anchor].ids();
+    if (anchor_labels.empty()) continue;
+
+    // Positive: a different item carrying a random anchor label.
+    const bigearthnet::LabelId pivot = anchor_labels[rng->UniformInt(
+        static_cast<uint32_t>(anchor_labels.size()))];
+    const auto& bucket = by_label_[static_cast<size_t>(pivot)];
+    if (bucket.size() < 2) continue;
+    const size_t positive =
+        bucket[rng->UniformInt(static_cast<uint32_t>(bucket.size()))];
+    if (positive == anchor) continue;
+
+    // Negative: rejection-sample an item sharing no label with anchor.
+    bool found = false;
+    size_t negative = 0;
+    for (int tries = 0; tries < 64; ++tries) {
+      const size_t cand =
+          rng->UniformInt(static_cast<uint32_t>(labels_.size()));
+      if (cand == anchor || cand == positive) continue;
+      if (!Similar(anchor, cand)) {
+        negative = cand;
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+    return Triplet{anchor, positive, negative};
+  }
+  return Status::FailedPrecondition(
+      "could not sample a triplet: labels too homogeneous");
+}
+
+StatusOr<std::vector<Triplet>> TripletSampler::SampleBatch(size_t batch,
+                                                           Rng* rng) const {
+  std::vector<Triplet> out;
+  out.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    AGORAEO_ASSIGN_OR_RETURN(Triplet t, Sample(rng));
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace agoraeo::milan

@@ -1,0 +1,54 @@
+#ifndef AGORAEO_MILAN_TRIPLET_SAMPLER_H_
+#define AGORAEO_MILAN_TRIPLET_SAMPLER_H_
+
+#include <vector>
+
+#include "bigearthnet/clc_labels.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace agoraeo::milan {
+
+/// Indices of one training triplet into the feature matrix.
+struct Triplet {
+  size_t anchor;
+  size_t positive;  ///< shares >= 1 label with the anchor
+  size_t negative;  ///< shares no label with the anchor
+};
+
+/// Samples training triplets from a multi-labelled corpus.
+///
+/// MiLaN's metric-learning notion of semantic similarity on BigEarthNet:
+/// two images are similar when their label sets intersect, dissimilar
+/// when they are disjoint.  The sampler indexes items by label so
+/// positives are drawn in O(1) and negatives by rejection (disjointness
+/// checked exactly).
+class TripletSampler {
+ public:
+  /// `labels[i]` is the label set of item i.
+  explicit TripletSampler(std::vector<bigearthnet::LabelSet> labels);
+
+  /// Draws one triplet; FailedPrecondition when the corpus cannot supply
+  /// one (e.g. no two items share a label, or no disjoint pair exists).
+  StatusOr<Triplet> Sample(Rng* rng) const;
+
+  /// Draws a batch; fails when any draw fails.
+  StatusOr<std::vector<Triplet>> SampleBatch(size_t batch, Rng* rng) const;
+
+  /// True when item a and item b share at least one label.
+  bool Similar(size_t a, size_t b) const {
+    return labels_[a].ContainsAny(labels_[b]);
+  }
+
+  size_t size() const { return labels_.size(); }
+  const bigearthnet::LabelSet& labels(size_t i) const { return labels_[i]; }
+
+ private:
+  std::vector<bigearthnet::LabelSet> labels_;
+  /// label id -> item indices carrying it.
+  std::vector<std::vector<size_t>> by_label_;
+};
+
+}  // namespace agoraeo::milan
+
+#endif  // AGORAEO_MILAN_TRIPLET_SAMPLER_H_

@@ -1,0 +1,119 @@
+#include "netsvc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace agoraeo::netsvc {
+
+namespace {
+
+Status SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<HttpResponse> HttpClient::Request(uint16_t port,
+                                           const std::string& method,
+                                           const std::string& target,
+                                           const std::string& body,
+                                           const std::string& content_type)
+    const {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms_ / 1000;
+  tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host_);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::IOError(std::string("connect: ") + std::strerror(errno));
+  }
+
+  HttpRequest req;
+  req.method = method;
+  const size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    req.path = target;
+  } else {
+    req.path = target.substr(0, qmark);
+    req.query = target.substr(qmark + 1);
+  }
+  req.body = body;
+  if (!body.empty()) req.headers["content-type"] = content_type;
+
+  const Status sent =
+      SendAll(fd, SerializeRequest(req, host_ + ":" + std::to_string(port)));
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+
+  // Read until EOF (the server closes after one response).
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::IOError("no complete HTTP response head received");
+  }
+  AGORAEO_ASSIGN_OR_RETURN(HttpResponse resp,
+                           ParseResponseHead(buffer.substr(0, head_end)));
+  resp.body = buffer.substr(head_end + 4);
+  // Trust Content-Length when present and sane.
+  auto it = resp.headers.find("content-length");
+  if (it != resp.headers.end()) {
+    const size_t expected =
+        static_cast<size_t>(std::strtoull(it->second.c_str(), nullptr, 10));
+    if (resp.body.size() < expected) {
+      return Status::IOError("response body shorter than content-length");
+    }
+    resp.body.resize(expected);
+  }
+  return resp;
+}
+
+}  // namespace agoraeo::netsvc

@@ -1,0 +1,42 @@
+#ifndef AGORAEO_NETSVC_CLIENT_H_
+#define AGORAEO_NETSVC_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "netsvc/http.h"
+
+namespace agoraeo::netsvc {
+
+/// A blocking HTTP client for the loopback tiers (the UI tier's side of
+/// the paper's three-tier architecture).  One request per connection,
+/// mirroring the server.
+class HttpClient {
+ public:
+  /// `timeout_ms` bounds connect/send/receive individually.
+  explicit HttpClient(std::string host = "127.0.0.1", int timeout_ms = 5000)
+      : host_(std::move(host)), timeout_ms_(timeout_ms) {}
+
+  /// Issues `method target` with an optional body.
+  StatusOr<HttpResponse> Request(uint16_t port, const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body = "",
+                                 const std::string& content_type =
+                                     "application/json") const;
+
+  StatusOr<HttpResponse> Get(uint16_t port, const std::string& target) const {
+    return Request(port, "GET", target);
+  }
+  StatusOr<HttpResponse> Post(uint16_t port, const std::string& target,
+                              const std::string& json_body) const {
+    return Request(port, "POST", target, json_body);
+  }
+
+ private:
+  std::string host_;
+  int timeout_ms_;
+};
+
+}  // namespace agoraeo::netsvc
+
+#endif  // AGORAEO_NETSVC_CLIENT_H_

@@ -1,0 +1,356 @@
+#include "netsvc/earthqube_service.h"
+
+#include <cstdio>
+
+#include "json/json.h"
+
+namespace agoraeo::netsvc {
+
+using docstore::Document;
+using docstore::Value;
+using earthqube::EarthQubeQuery;
+using earthqube::GeoQuery;
+using earthqube::LabelFilter;
+using earthqube::LabelOperator;
+using earthqube::SearchResponse;
+
+namespace {
+
+StatusOr<double> NumberField(const Document& doc, const std::string& path) {
+  const Value* v = doc.GetPath(path);
+  if (v == nullptr || !v->is_number()) {
+    return Status::InvalidArgument("missing numeric field: " + path);
+  }
+  return v->as_number();
+}
+
+StatusOr<GeoQuery> GeoFromJson(const Document& geo) {
+  if (geo.Has("rect")) {
+    const Value* rect = geo.Get("rect");
+    if (!rect->is_document()) {
+      return Status::InvalidArgument("geo.rect must be an object");
+    }
+    const Document& r = rect->as_document();
+    geo::BoundingBox box;
+    AGORAEO_ASSIGN_OR_RETURN(box.min.lat, NumberField(r, "min_lat"));
+    AGORAEO_ASSIGN_OR_RETURN(box.min.lon, NumberField(r, "min_lon"));
+    AGORAEO_ASSIGN_OR_RETURN(box.max.lat, NumberField(r, "max_lat"));
+    AGORAEO_ASSIGN_OR_RETURN(box.max.lon, NumberField(r, "max_lon"));
+    return GeoQuery::Rect(box);
+  }
+  if (geo.Has("circle")) {
+    const Value* circle = geo.Get("circle");
+    if (!circle->is_document()) {
+      return Status::InvalidArgument("geo.circle must be an object");
+    }
+    const Document& c = circle->as_document();
+    geo::Circle out;
+    AGORAEO_ASSIGN_OR_RETURN(out.center.lat, NumberField(c, "lat"));
+    AGORAEO_ASSIGN_OR_RETURN(out.center.lon, NumberField(c, "lon"));
+    AGORAEO_ASSIGN_OR_RETURN(out.radius_meters, NumberField(c, "radius_m"));
+    return GeoQuery::InCircle(out);
+  }
+  if (geo.Has("polygon")) {
+    const Value* poly = geo.Get("polygon");
+    if (!poly->is_array()) {
+      return Status::InvalidArgument("geo.polygon must be an array");
+    }
+    geo::Polygon out;
+    for (const Value& vertex : poly->as_array()) {
+      if (!vertex.is_array() || vertex.as_array().size() != 2 ||
+          !vertex.as_array()[0].is_number() ||
+          !vertex.as_array()[1].is_number()) {
+        return Status::InvalidArgument(
+            "polygon vertices must be [lat, lon] pairs");
+      }
+      out.vertices.push_back({vertex.as_array()[0].as_number(),
+                              vertex.as_array()[1].as_number()});
+    }
+    if (out.vertices.size() < 3) {
+      return Status::InvalidArgument("polygon needs at least 3 vertices");
+    }
+    return GeoQuery::InPolygon(std::move(out));
+  }
+  return Status::InvalidArgument(
+      "geo must contain one of rect/circle/polygon");
+}
+
+StatusOr<LabelFilter> LabelsFromJson(const Document& labels) {
+  const Value* names = labels.Get("names");
+  if (names == nullptr || !names->is_array()) {
+    return Status::InvalidArgument("labels.names must be an array");
+  }
+  bigearthnet::LabelSet set;
+  for (const Value& name : names->as_array()) {
+    if (!name.is_string()) {
+      return Status::InvalidArgument("label names must be strings");
+    }
+    AGORAEO_ASSIGN_OR_RETURN(bigearthnet::LabelId id,
+                             bigearthnet::LabelIdFromName(name.as_string()));
+    set.Add(id);
+  }
+  const Value* op = labels.Get("operator");
+  const std::string op_name =
+      op != nullptr && op->is_string() ? op->as_string() : "some";
+  if (op_name == "some") return LabelFilter::Some(std::move(set));
+  if (op_name == "exactly") return LabelFilter::Exactly(std::move(set));
+  if (op_name == "at_least_and_more") {
+    return LabelFilter::AtLeastAndMore(std::move(set));
+  }
+  return Status::InvalidArgument("unknown label operator: " + op_name);
+}
+
+std::string EntryToJsonValue(const earthqube::ResultEntry& entry) {
+  Document d;
+  d.Set("name", Value(entry.name));
+  std::vector<Value> labels;
+  for (bigearthnet::LabelId id : entry.labels.ids()) {
+    labels.emplace_back(bigearthnet::LabelById(id).name);
+  }
+  d.Set("labels", Value(std::move(labels)));
+  d.Set("country", Value(entry.country));
+  d.Set("date", Value(entry.acquisition_date));
+  d.Set("lat", Value(entry.map_location.lat));
+  d.Set("lon", Value(entry.map_location.lon));
+  return json::Serialize(d);
+}
+
+}  // namespace
+
+StatusOr<EarthQubeQuery> EarthQubeService::QueryFromJson(
+    const Document& body) {
+  EarthQubeQuery query;
+  if (const Value* geo = body.Get("geo"); geo != nullptr) {
+    if (!geo->is_document()) {
+      return Status::InvalidArgument("geo must be an object");
+    }
+    AGORAEO_ASSIGN_OR_RETURN(query.geo, GeoFromJson(geo->as_document()));
+  }
+  if (const Value* dr = body.Get("date_range"); dr != nullptr) {
+    if (!dr->is_document()) {
+      return Status::InvalidArgument("date_range must be an object");
+    }
+    const Value* begin = dr->as_document().Get("begin");
+    const Value* end = dr->as_document().Get("end");
+    if (begin == nullptr || end == nullptr || !begin->is_string() ||
+        !end->is_string()) {
+      return Status::InvalidArgument(
+          "date_range needs string fields begin and end");
+    }
+    DateRange range;
+    AGORAEO_ASSIGN_OR_RETURN(range.begin,
+                             CivilDate::Parse(begin->as_string()));
+    AGORAEO_ASSIGN_OR_RETURN(range.end, CivilDate::Parse(end->as_string()));
+    query.date_range = range;
+  }
+  if (const Value* sats = body.Get("satellites"); sats != nullptr) {
+    if (!sats->is_array()) {
+      return Status::InvalidArgument("satellites must be an array");
+    }
+    for (const Value& s : sats->as_array()) {
+      if (!s.is_string()) {
+        return Status::InvalidArgument("satellite entries must be strings");
+      }
+      query.satellites.push_back(s.as_string());
+    }
+  }
+  if (const Value* seasons = body.Get("seasons"); seasons != nullptr) {
+    if (!seasons->is_array()) {
+      return Status::InvalidArgument("seasons must be an array");
+    }
+    for (const Value& s : seasons->as_array()) {
+      if (!s.is_string()) {
+        return Status::InvalidArgument("season entries must be strings");
+      }
+      AGORAEO_ASSIGN_OR_RETURN(Season season,
+                               SeasonFromString(s.as_string()));
+      query.seasons.push_back(season);
+    }
+  }
+  if (const Value* labels = body.Get("labels"); labels != nullptr) {
+    if (!labels->is_document()) {
+      return Status::InvalidArgument("labels must be an object");
+    }
+    AGORAEO_ASSIGN_OR_RETURN(query.label_filter,
+                             LabelsFromJson(labels->as_document()));
+  }
+  if (const Value* limit = body.Get("limit"); limit != nullptr) {
+    if (!limit->is_int64() || limit->as_int64() < 0) {
+      return Status::InvalidArgument("limit must be a non-negative integer");
+    }
+    query.limit = static_cast<size_t>(limit->as_int64());
+  }
+  return query;
+}
+
+std::string EarthQubeService::ResponseToJson(const SearchResponse& response,
+                                             size_t page) {
+  std::string out = "{\"total\":" + std::to_string(response.panel.total()) +
+                    ",\"page\":" + std::to_string(page) + ",\"plan\":\"" +
+                    response.query_stats.plan + "\",\"results\":[";
+  bool first = true;
+  for (const earthqube::ResultEntry* entry : response.panel.Page(page)) {
+    if (!first) out += ",";
+    first = false;
+    out += EntryToJsonValue(*entry);
+  }
+  out += "],\"label_statistics\":[";
+  first = true;
+  for (const earthqube::LabelBar& bar : response.statistics.bars()) {
+    if (!first) out += ",";
+    first = false;
+    char color[16];
+    std::snprintf(color, sizeof(color), "#%06X", bar.color_rgb & 0xFFFFFF);
+    Document d;
+    d.Set("label", Value(bar.label_name));
+    d.Set("count", Value(static_cast<int64_t>(bar.count)));
+    d.Set("color", Value(std::string(color)));
+    out += json::Serialize(d);
+  }
+  out += "]}";
+  return out;
+}
+
+void EarthQubeService::RegisterRoutes(HttpServer* server) {
+  server->Route("GET", "/health", [](const HttpRequest&) {
+    return HttpResponse::Json(200, "{\"status\":\"ok\"}");
+  });
+  server->Route("POST", "/api/search", [this](const HttpRequest& request) {
+    return HandleSearch(request);
+  });
+  server->Route("POST", "/api/similar/by_name",
+                [this](const HttpRequest& request) {
+                  return HandleSimilarByName(request);
+                });
+  server->Route("POST", "/api/feedback", [this](const HttpRequest& request) {
+    return HandleFeedback(request);
+  });
+  server->Route("POST", "/api/download", [this](const HttpRequest& request) {
+    return HandleDownload(request);
+  });
+  server->Route("GET", "/api/feedback/count", [this](const HttpRequest&) {
+    return HttpResponse::Json(
+        200, "{\"count\":" + std::to_string(system_->NumFeedbackEntries()) +
+                 "}");
+  });
+  server->Route("GET", "/api/patch/*", [this](const HttpRequest& request) {
+    return HandlePatchMetadata(request);
+  });
+}
+
+HttpResponse EarthQubeService::HandleSearch(const HttpRequest& request) const {
+  auto body = json::ParseObject(request.body.empty() ? "{}" : request.body);
+  if (!body.ok()) return HttpResponse::BadRequest(body.status().message());
+  auto query = QueryFromJson(*body);
+  if (!query.ok()) return HttpResponse::BadRequest(query.status().message());
+  auto response = system_->Search(*query);
+  if (!response.ok()) {
+    return HttpResponse::InternalError(response.status().message());
+  }
+  size_t page = 0;
+  if (const Value* p = body->Get("page"); p != nullptr && p->is_int64()) {
+    page = static_cast<size_t>(std::max<int64_t>(0, p->as_int64()));
+  }
+  return HttpResponse::Json(200, ResponseToJson(*response, page));
+}
+
+HttpResponse EarthQubeService::HandleSimilarByName(
+    const HttpRequest& request) const {
+  auto body = json::ParseObject(request.body);
+  if (!body.ok()) return HttpResponse::BadRequest(body.status().message());
+  const Value* name = body->Get("name");
+  if (name == nullptr || !name->is_string()) {
+    return HttpResponse::BadRequest("name is required");
+  }
+  StatusOr<SearchResponse> response = Status::InvalidArgument("unreachable");
+  if (const Value* k = body->Get("k"); k != nullptr && k->is_int64()) {
+    response = system_->NearestToArchiveImage(
+        name->as_string(), static_cast<size_t>(k->as_int64()));
+  } else {
+    uint32_t radius = 8;
+    if (const Value* r = body->Get("radius"); r != nullptr && r->is_int64()) {
+      radius = static_cast<uint32_t>(r->as_int64());
+    }
+    size_t limit = 0;
+    if (const Value* l = body->Get("limit"); l != nullptr && l->is_int64()) {
+      limit = static_cast<size_t>(l->as_int64());
+    }
+    response =
+        system_->SimilarToArchiveImage(name->as_string(), radius, limit);
+  }
+  if (!response.ok()) {
+    const Status& s = response.status();
+    return s.IsNotFound() ? HttpResponse::NotFound(s.message())
+                          : HttpResponse::InternalError(s.message());
+  }
+  return HttpResponse::Json(200, ResponseToJson(*response, 0));
+}
+
+HttpResponse EarthQubeService::HandleFeedback(const HttpRequest& request) {
+  auto body = json::ParseObject(request.body);
+  if (!body.ok()) return HttpResponse::BadRequest(body.status().message());
+  const Value* text = body->Get("text");
+  if (text == nullptr || !text->is_string() || text->as_string().empty()) {
+    return HttpResponse::BadRequest("text is required");
+  }
+  const Status stored = system_->SubmitFeedback(text->as_string());
+  if (!stored.ok()) return HttpResponse::InternalError(stored.message());
+  return HttpResponse::Json(201, "{\"stored\":true}");
+}
+
+HttpResponse EarthQubeService::HandleDownload(
+    const HttpRequest& request) const {
+  auto body = json::ParseObject(request.body);
+  if (!body.ok()) return HttpResponse::BadRequest(body.status().message());
+  const Value* names = body->Get("names");
+  if (names == nullptr || !names->is_array() || names->as_array().empty()) {
+    return HttpResponse::BadRequest("names must be a non-empty array");
+  }
+  std::vector<std::string> list;
+  for (const Value& n : names->as_array()) {
+    if (!n.is_string()) {
+      return HttpResponse::BadRequest("names must be strings");
+    }
+    list.push_back(n.as_string());
+  }
+  auto zip = system_->ExportAsZip(list);
+  if (!zip.ok()) {
+    const Status& s = zip.status();
+    return s.IsNotFound() ? HttpResponse::NotFound(s.message())
+                          : HttpResponse::InternalError(s.message());
+  }
+  // The browser downloads binary; the JSON API ships it base64-tagged.
+  Document out;
+  out.Set("filename", Value("earthqube_download.zip"));
+  out.Set("zip_base64", Value(json::Base64Encode(*zip)));
+  out.Set("entries", Value(static_cast<int64_t>(list.size())));
+  return HttpResponse::Json(200, json::Serialize(out));
+}
+
+HttpResponse EarthQubeService::HandlePatchMetadata(
+    const HttpRequest& request) const {
+  const std::string prefix = "/api/patch/";
+  auto name = UrlDecode(request.path.substr(prefix.size()));
+  if (!name.ok()) return HttpResponse::BadRequest(name.status().message());
+  auto meta = system_->GetMetadata(*name);
+  if (!meta.ok()) return HttpResponse::NotFound("no such patch: " + *name);
+  Document d;
+  d.Set("name", Value(meta->name));
+  std::vector<Value> labels;
+  for (bigearthnet::LabelId id : meta->labels.ids()) {
+    labels.emplace_back(bigearthnet::LabelById(id).name);
+  }
+  d.Set("labels", Value(std::move(labels)));
+  d.Set("country", Value(meta->country));
+  d.Set("date", Value(meta->acquisition_date.ToString()));
+  d.Set("season", Value(std::string(SeasonToString(meta->season))));
+  Document bounds;
+  bounds.Set("min_lat", Value(meta->bounds.min.lat));
+  bounds.Set("min_lon", Value(meta->bounds.min.lon));
+  bounds.Set("max_lat", Value(meta->bounds.max.lat));
+  bounds.Set("max_lon", Value(meta->bounds.max.lon));
+  d.Set("bounds", Value(bounds));
+  return HttpResponse::Json(200, json::Serialize(d));
+}
+
+}  // namespace agoraeo::netsvc

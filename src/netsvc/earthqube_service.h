@@ -1,0 +1,74 @@
+#ifndef AGORAEO_NETSVC_EARTHQUBE_SERVICE_H_
+#define AGORAEO_NETSVC_EARTHQUBE_SERVICE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "earthqube/earthqube.h"
+#include "netsvc/server.h"
+
+namespace agoraeo::netsvc {
+
+/// The HTTP face of the EarthQube back end — the middle tier of the
+/// paper's three-tier architecture.  Registers JSON endpoints on an
+/// HttpServer and translates between the wire format and the EarthQube
+/// facade:
+///
+///   GET  /health                         liveness probe
+///   POST /api/search                     query-panel submission
+///   POST /api/similar/by_name            CBIR from an archive image
+///   POST /api/download                   zip export of named images
+///   POST /api/feedback                   anonymous feedback text
+///   GET  /api/feedback/count
+///   GET  /api/patch/<name>               one image's metadata
+///
+/// /api/search request body (all fields optional):
+///   {
+///     "geo": {"rect": {"min_lat":..,"min_lon":..,"max_lat":..,"max_lon":..}}
+///          | {"circle": {"lat":..,"lon":..,"radius_m":..}}
+///          | {"polygon": [[lat,lon],...]},
+///     "date_range": {"begin": "YYYY-MM-DD", "end": "YYYY-MM-DD"},
+///     "satellites": ["S2A","S2B"],
+///     "seasons": ["Summer","Autumn"],
+///     "labels": {"operator": "some"|"exactly"|"at_least_and_more",
+///                "names": ["Airports", ...]},
+///     "limit": 100, "page": 0
+///   }
+///
+/// /api/similar/by_name body: {"name": "...", "radius": 8, "limit": 50}
+/// (or {"name": "...", "k": 20} for k-NN).
+///
+/// Search/similar responses:
+///   {"total": N, "page": 0, "plan": "IXSCAN(...)",
+///    "results": [{"name","labels":[..],"country","date","lat","lon"}...],
+///    "label_statistics": [{"label","count","color"}...]}
+class EarthQubeService {
+ public:
+  /// `system` must outlive the service and the server.
+  explicit EarthQubeService(earthqube::EarthQube* system) : system_(system) {}
+
+  /// Registers every endpoint on `server` (call before server->Start()).
+  void RegisterRoutes(HttpServer* server);
+
+  /// Translates a JSON search request body into a query-panel submission
+  /// (exposed for tests).
+  static StatusOr<earthqube::EarthQubeQuery> QueryFromJson(
+      const docstore::Document& body);
+
+  /// Serialises a search response (exposed for tests).
+  static std::string ResponseToJson(const earthqube::SearchResponse& response,
+                                    size_t page);
+
+ private:
+  HttpResponse HandleSearch(const HttpRequest& request) const;
+  HttpResponse HandleSimilarByName(const HttpRequest& request) const;
+  HttpResponse HandleFeedback(const HttpRequest& request);
+  HttpResponse HandleDownload(const HttpRequest& request) const;
+  HttpResponse HandlePatchMetadata(const HttpRequest& request) const;
+
+  earthqube::EarthQube* system_;
+};
+
+}  // namespace agoraeo::netsvc
+
+#endif  // AGORAEO_NETSVC_EARTHQUBE_SERVICE_H_

@@ -1,0 +1,64 @@
+#ifndef AGORAEO_NETSVC_HTTP_H_
+#define AGORAEO_NETSVC_HTTP_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace agoraeo::netsvc {
+
+/// A parsed HTTP/1.1 request.  Header names are lower-cased; the target
+/// is split into path and (raw) query string at the first '?'.
+struct HttpRequest {
+  std::string method;  ///< upper-case, e.g. "GET", "POST"
+  std::string path;    ///< e.g. "/api/search"
+  std::string query;   ///< raw query string without '?', may be empty
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Header lookup by lower-case name; empty string when absent.
+  const std::string& Header(const std::string& lower_name) const;
+};
+
+/// An HTTP response under construction or as received by the client.
+struct HttpResponse {
+  int status_code = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  static HttpResponse Json(int code, std::string json_body);
+  static HttpResponse Text(int code, std::string text_body);
+  static HttpResponse NotFound(const std::string& what);
+  static HttpResponse BadRequest(const std::string& what);
+  static HttpResponse InternalError(const std::string& what);
+};
+
+/// Serialises a request/response with a Content-Length header and
+/// `Connection: close` (the server speaks one-request-per-connection
+/// HTTP, which is all the loopback tiers need).
+std::string SerializeRequest(const HttpRequest& request,
+                             const std::string& host);
+std::string SerializeResponse(const HttpResponse& response);
+
+/// Parses the head (request line + headers) of a request/response given
+/// everything up to and excluding the blank line.  Body handling is the
+/// transport's job (via Content-Length).
+StatusOr<HttpRequest> ParseRequestHead(const std::string& head);
+StatusOr<HttpResponse> ParseResponseHead(const std::string& head);
+
+/// Percent-decodes a URL component ("%20" -> ' ', '+' -> ' ').
+StatusOr<std::string> UrlDecode(const std::string& text);
+std::string UrlEncode(const std::string& text);
+
+/// Parses "a=1&b=x%20y" into a map (later duplicates win).
+StatusOr<std::map<std::string, std::string>> ParseQueryString(
+    const std::string& query);
+
+/// Reason phrase for common status codes ("OK", "Not Found", ...).
+const char* ReasonPhrase(int code);
+
+}  // namespace agoraeo::netsvc
+
+#endif  // AGORAEO_NETSVC_HTTP_H_

@@ -1,0 +1,222 @@
+#include "netsvc/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace agoraeo::netsvc {
+
+namespace {
+
+/// Reads from `fd` until the terminator "\r\n\r\n" has been seen and
+/// Content-Length further bytes are buffered, or the peer closes.
+/// Returns (head, body) split, or an error.
+Status ReadFullRequest(int fd, std::string* head, std::string* body,
+                       size_t max_bytes) {
+  std::string buffer;
+  size_t head_end = std::string::npos;
+  size_t content_length = 0;
+  bool have_length = false;
+
+  char chunk[4096];
+  while (true) {
+    if (head_end == std::string::npos) {
+      head_end = buffer.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        *head = buffer.substr(0, head_end);
+        // A paranoia-light parse of Content-Length from the raw head.
+        auto parsed = ParseRequestHead(*head);
+        if (!parsed.ok()) return parsed.status();
+        const std::string& cl = parsed->Header("content-length");
+        content_length = cl.empty()
+                             ? 0
+                             : static_cast<size_t>(std::strtoull(
+                                   cl.c_str(), nullptr, 10));
+        have_length = true;
+      }
+    }
+    if (have_length) {
+      const size_t body_have = buffer.size() - (head_end + 4);
+      if (body_have >= content_length) {
+        *body = buffer.substr(head_end + 4, content_length);
+        return Status::OK();
+      }
+    }
+    if (buffer.size() > max_bytes) {
+      return Status::InvalidArgument("request exceeds size limit");
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("peer closed before complete request");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+HttpServer::HttpServer(size_t num_workers)
+    : num_workers_(std::max<size_t>(1, num_workers)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Route(const std::string& method, const std::string& path,
+                       Handler handler) {
+  RouteEntry entry;
+  entry.method = method;
+  if (path.size() >= 2 && path.compare(path.size() - 2, 2, "/*") == 0) {
+    entry.path = path.substr(0, path.size() - 1);  // keep trailing '/'
+    entry.prefix = true;
+  } else {
+    entry.path = path;
+  }
+  entry.handler = std::move(handler);
+  routes_.push_back(std::move(entry));
+}
+
+Status HttpServer::Start(uint16_t port) {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  pool_ = std::make_unique<ThreadPool>(num_workers_);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  AGORAEO_LOG(kInfo) << "EarthQube back-end listening on 127.0.0.1:" << port_;
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listening socket unblocks accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (pool_ != nullptr) {
+    pool_->Wait();
+    pool_.reset();
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket closed by Stop()
+    }
+    pool_->Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  std::string head, body;
+  const Status read = ReadFullRequest(fd, &head, &body, kMaxRequestBytes);
+  HttpResponse response;
+  if (!read.ok()) {
+    response = HttpResponse::BadRequest(read.message());
+  } else {
+    auto request = ParseRequestHead(head);
+    if (!request.ok()) {
+      response = HttpResponse::BadRequest(request.status().message());
+    } else {
+      request->body = std::move(body);
+      response = Dispatch(*request);
+    }
+  }
+  // Count before sending: a client that has seen the response must be
+  // able to observe the incremented counter.
+  requests_served_.fetch_add(1);
+  (void)SendAll(fd, SerializeResponse(response));
+  ::close(fd);
+}
+
+HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
+  const RouteEntry* best = nullptr;
+  bool path_matched_any_method = false;
+  for (const RouteEntry& route : routes_) {
+    const bool path_matches =
+        route.prefix ? request.path.rfind(route.path, 0) == 0 &&
+                           request.path.size() > route.path.size()
+                     : request.path == route.path;
+    if (!path_matches) continue;
+    path_matched_any_method = true;
+    if (route.method != request.method) continue;
+    // Exact routes beat prefix routes; longer prefixes beat shorter.
+    if (best == nullptr ||
+        (best->prefix &&
+         (!route.prefix || route.path.size() > best->path.size()))) {
+      best = &route;
+    }
+  }
+  if (best == nullptr) {
+    return path_matched_any_method
+               ? HttpResponse::Json(405, "{\"error\":\"method not allowed\"}")
+               : HttpResponse::NotFound("no route for " + request.path);
+  }
+  try {
+    return best->handler(request);
+  } catch (const std::exception& e) {
+    return HttpResponse::InternalError(e.what());
+  }
+}
+
+}  // namespace agoraeo::netsvc

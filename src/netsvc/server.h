@@ -1,0 +1,85 @@
+#ifndef AGORAEO_NETSVC_SERVER_H_
+#define AGORAEO_NETSVC_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "netsvc/http.h"
+
+namespace agoraeo::netsvc {
+
+/// A loopback HTTP server: the transport of EarthQube's back-end tier
+/// (paper Section 3.2's three-tier architecture).  Listens on
+/// 127.0.0.1, accepts on a background thread, and dispatches each
+/// connection to a worker pool.  One request per connection
+/// (`Connection: close`), which keeps the framing trivial and is ample
+/// for the demo's interactive request rates.
+///
+/// Routes are matched by (method, path): exact paths first, then the
+/// longest registered prefix route (a path ending in "/*").  An
+/// unmatched request gets 404; a matched path with the wrong method
+/// gets 405.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// `num_workers` sizes the connection-handling pool.
+  explicit HttpServer(size_t num_workers = 4);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler.  A `path` ending in "/*" is a prefix route
+  /// (e.g. "/api/patch/*" matches "/api/patch/S2A_...").  Must be called
+  /// before Start.
+  void Route(const std::string& method, const std::string& path,
+             Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — query `port()`)
+  /// and starts accepting.
+  Status Start(uint16_t port = 0);
+
+  /// Stops accepting, drains in-flight connections and joins.
+  /// Idempotent.
+  void Stop();
+
+  bool is_running() const { return running_.load(); }
+  uint16_t port() const { return port_; }
+  size_t requests_served() const { return requests_served_.load(); }
+
+  /// Maximum accepted request size (head + body), a guard against
+  /// malformed or hostile clients.
+  static constexpr size_t kMaxRequestBytes = 64 * 1024 * 1024;
+
+ private:
+  struct RouteEntry {
+    std::string method;
+    std::string path;    // without the trailing '*' for prefix routes
+    bool prefix = false;
+    Handler handler;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  std::vector<RouteEntry> routes_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<size_t> requests_served_{0};
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+  size_t num_workers_;
+};
+
+}  // namespace agoraeo::netsvc
+
+#endif  // AGORAEO_NETSVC_SERVER_H_

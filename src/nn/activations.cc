@@ -1,0 +1,90 @@
+#include "nn/activations.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace agoraeo::nn {
+
+Tensor ReLU::Forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  Tensor out = input;
+  out.Apply([](float v) { return v > 0.0f ? v : 0.0f; });
+  return out;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  assert(grad_output.shape() == cached_input_.shape());
+  Tensor out = grad_output;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (cached_input_[i] <= 0.0f) out[i] = 0.0f;
+  }
+  return out;
+}
+
+Tensor Tanh::Forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  out.Apply([](float v) { return std::tanh(v); });
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  assert(grad_output.shape() == cached_output_.shape());
+  Tensor out = grad_output;
+  for (size_t i = 0; i < out.size(); ++i) {
+    float y = cached_output_[i];
+    out[i] *= (1.0f - y * y);
+  }
+  return out;
+}
+
+Tensor Sigmoid::Forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  out.Apply([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::Backward(const Tensor& grad_output) {
+  assert(grad_output.shape() == cached_output_.shape());
+  Tensor out = grad_output;
+  for (size_t i = 0; i < out.size(); ++i) {
+    float y = cached_output_[i];
+    out[i] *= y * (1.0f - y);
+  }
+  return out;
+}
+
+Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng) {
+  assert(p >= 0.0f && p < 1.0f);
+}
+
+Tensor Dropout::Forward(const Tensor& input, bool training) {
+  last_training_ = training;
+  if (!training || p_ == 0.0f) return input;
+  mask_ = Tensor(input.shape());
+  const float keep_scale = 1.0f / (1.0f - p_);
+  Tensor out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (rng_->Bernoulli(p_)) {
+      mask_[i] = 0.0f;
+      out[i] = 0.0f;
+    } else {
+      mask_[i] = keep_scale;
+      out[i] *= keep_scale;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  if (!last_training_ || p_ == 0.0f) return grad_output;
+  assert(grad_output.shape() == mask_.shape());
+  return Mul(grad_output, mask_);
+}
+
+std::string Dropout::Name() const { return StrFormat("Dropout(%.2f)", p_); }
+
+}  // namespace agoraeo::nn

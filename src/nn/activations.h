@@ -1,0 +1,69 @@
+#ifndef AGORAEO_NN_ACTIVATIONS_H_
+#define AGORAEO_NN_ACTIVATIONS_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "nn/layer.h"
+
+namespace agoraeo::nn {
+
+/// Elementwise max(0, x).
+class ReLU : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "ReLU"; }
+  size_t OutputDim(size_t input_dim) const override { return input_dim; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Elementwise tanh(x) — the output nonlinearity of MiLaN's hashing head;
+/// its outputs in (-1, 1) are binarized by sign to produce hash bits.
+class Tanh : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "Tanh"; }
+  size_t OutputDim(size_t input_dim) const override { return input_dim; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Elementwise logistic sigmoid.
+class Sigmoid : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "Sigmoid"; }
+  size_t OutputDim(size_t input_dim) const override { return input_dim; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Inverted dropout: during training zeroes each activation with
+/// probability p and scales survivors by 1/(1-p); identity at inference.
+class Dropout : public Layer {
+ public:
+  /// `rng` must outlive the layer.
+  Dropout(float p, Rng* rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override;
+  size_t OutputDim(size_t input_dim) const override { return input_dim; }
+
+ private:
+  float p_;
+  Rng* rng_;
+  Tensor mask_;
+  bool last_training_ = false;
+};
+
+}  // namespace agoraeo::nn
+
+#endif  // AGORAEO_NN_ACTIVATIONS_H_

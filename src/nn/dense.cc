@@ -1,0 +1,55 @@
+#include "nn/dense.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace agoraeo::nn {
+
+namespace {
+Tensor MakeWeight(size_t in, size_t out, Init init, Rng* rng) {
+  switch (init) {
+    case Init::kXavierUniform: {
+      float limit = std::sqrt(6.0f / static_cast<float>(in + out));
+      return Tensor::RandomUniform({in, out}, -limit, limit, rng);
+    }
+    case Init::kHeNormal: {
+      float stddev = std::sqrt(2.0f / static_cast<float>(in));
+      return Tensor::RandomNormal({in, out}, stddev, rng);
+    }
+    case Init::kZero:
+      return Tensor({in, out});
+  }
+  return Tensor({in, out});
+}
+}  // namespace
+
+Dense::Dense(size_t in_features, size_t out_features, Init init, Rng* rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(MakeWeight(in_features, out_features, init, rng)),
+      bias_(Tensor({out_features})) {}
+
+Tensor Dense::Forward(const Tensor& input, bool /*training*/) {
+  assert(input.rank() == 2 && input.dim(1) == in_features_);
+  cached_input_ = input;
+  Tensor out = MatMul(input, weight_.value);
+  AddBiasRows(&out, bias_.value);
+  return out;
+}
+
+Tensor Dense::Backward(const Tensor& grad_output) {
+  assert(grad_output.rank() == 2 && grad_output.dim(1) == out_features_);
+  assert(cached_input_.rank() == 2);
+  // dW += x^T g ; db += sum_rows(g) ; dx = g W^T
+  MatMulAccumulate(cached_input_.Transposed(), grad_output, &weight_.grad);
+  bias_.grad += SumRows(grad_output);
+  return MatMul(grad_output, weight_.value.Transposed());
+}
+
+std::string Dense::Name() const {
+  return StrFormat("Dense(%zu->%zu)", in_features_, out_features_);
+}
+
+}  // namespace agoraeo::nn

@@ -1,0 +1,45 @@
+#ifndef AGORAEO_NN_DENSE_H_
+#define AGORAEO_NN_DENSE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "nn/layer.h"
+
+namespace agoraeo::nn {
+
+/// Weight initialisation schemes for Dense layers.
+enum class Init {
+  kXavierUniform,  ///< U(-sqrt(6/(in+out)), +sqrt(6/(in+out))) — tanh nets
+  kHeNormal,       ///< N(0, sqrt(2/in)) — ReLU nets
+  kZero,
+};
+
+/// Fully connected layer: y = x W + b, W: [in, out], b: [out].
+class Dense : public Layer {
+ public:
+  Dense(size_t in_features, size_t out_features, Init init, Rng* rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
+  std::string Name() const override;
+  size_t OutputDim(size_t) const override { return out_features_; }
+
+  size_t in_features() const { return in_features_; }
+  size_t out_features() const { return out_features_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  size_t in_features_;
+  size_t out_features_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace agoraeo::nn
+
+#endif  // AGORAEO_NN_DENSE_H_

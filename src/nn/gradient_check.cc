@@ -1,0 +1,75 @@
+#include "nn/gradient_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agoraeo::nn {
+
+GradCheckResult CheckGradients(Sequential* net, const Tensor& input,
+                               const LossFn& loss, size_t max_probes,
+                               float epsilon) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  net->ZeroGrad();
+  Tensor out = net->Forward(input, /*training=*/false);
+  Tensor grad_out = loss.grad(out);
+  net->Backward(grad_out);
+
+  auto params = net->Params();
+  size_t total_scalars = 0;
+  for (Parameter* p : params) total_scalars += p->value.size();
+  if (total_scalars == 0) return result;
+
+  const float loss0 = loss.value(net->Forward(input, false));
+  // A float32 forward pass carries O(machine-eps) relative noise that the
+  // central difference divides by 2*epsilon.  Derivatives below this floor
+  // cannot be measured by finite differences (the comparison would be
+  // noise against noise), so such probes are recorded but excluded from
+  // the relative-error verdict.
+  constexpr float kMachineEps = 1.2e-7f;
+  const float fd_noise =
+      100.0f * kMachineEps * std::max(1.0f, std::fabs(loss0)) / epsilon;
+
+  const size_t stride = std::max<size_t>(1, total_scalars / max_probes);
+
+  size_t flat = 0;
+  for (Parameter* p : params) {
+    for (size_t j = 0; j < p->value.size(); ++j, ++flat) {
+      if (flat % stride != 0) continue;
+      if (result.checked >= max_probes) break;
+
+      const float orig = p->value[j];
+      p->value[j] = orig + epsilon;
+      const float loss_plus = loss.value(net->Forward(input, false));
+      p->value[j] = orig - epsilon;
+      const float loss_minus = loss.value(net->Forward(input, false));
+      p->value[j] = orig;
+
+      const float d_plus = (loss_plus - loss0) / epsilon;
+      const float d_minus = (loss0 - loss_minus) / epsilon;
+      const float numeric = 0.5f * (d_plus + d_minus);
+      const float analytic = p->grad[j];
+      const float abs_err = std::fabs(numeric - analytic);
+      const float scale = std::max(std::fabs(numeric), std::fabs(analytic));
+      ++result.checked;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+
+      if (scale < fd_noise) {
+        ++result.skipped;  // derivative below the measurable floor
+        continue;
+      }
+      // One-sided slopes that disagree mean the probe straddles a ReLU
+      // kink (or a curvature spike of the same magnitude as the slope);
+      // the central difference is meaningless there.
+      if (std::fabs(d_plus - d_minus) > 0.2f * scale + 10.0f * fd_noise) {
+        ++result.skipped;
+        continue;
+      }
+      result.max_rel_error = std::max(result.max_rel_error, abs_err / scale);
+    }
+  }
+  return result;
+}
+
+}  // namespace agoraeo::nn

@@ -1,0 +1,42 @@
+#ifndef AGORAEO_NN_GRADIENT_CHECK_H_
+#define AGORAEO_NN_GRADIENT_CHECK_H_
+
+#include <functional>
+
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace agoraeo::nn {
+
+/// A scalar loss over a network output batch, together with its gradient
+/// w.r.t. that output.  Used by the finite-difference gradient checker.
+struct LossFn {
+  /// Returns loss value for `output`.
+  std::function<float(const Tensor& output)> value;
+  /// Returns dLoss/dOutput for `output`.
+  std::function<Tensor(const Tensor& output)> grad;
+};
+
+/// Result of a finite-difference check.
+struct GradCheckResult {
+  float max_abs_error = 0.0f;  ///< max |analytic - numeric| over params
+  float max_rel_error = 0.0f;  ///< max relative error over measurable probes
+  size_t checked = 0;          ///< number of parameter scalars probed
+  /// Probes excluded from the relative-error verdict: derivative below the
+  /// float32 finite-difference noise floor, or straddling a ReLU kink
+  /// (one-sided slopes disagree).  Always <= checked.
+  size_t skipped = 0;
+};
+
+/// Compares analytic parameter gradients of `net` under `loss` on `input`
+/// against central finite differences.  Probes at most `max_probes`
+/// parameter scalars (round-robin across parameters) with step `epsilon`.
+///
+/// Used by the test suite to validate every layer's backward pass.
+GradCheckResult CheckGradients(Sequential* net, const Tensor& input,
+                               const LossFn& loss, size_t max_probes = 64,
+                               float epsilon = 1e-3f);
+
+}  // namespace agoraeo::nn
+
+#endif  // AGORAEO_NN_GRADIENT_CHECK_H_

@@ -1,0 +1,57 @@
+#ifndef AGORAEO_NN_LAYER_H_
+#define AGORAEO_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace agoraeo::nn {
+
+/// A parameter tensor paired with its accumulated gradient.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+
+  explicit Parameter(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+/// Base class for differentiable layers.
+///
+/// Layers operate on minibatches: the input and output of Forward are
+/// rank-2 tensors of shape [batch, features].  Backward receives the
+/// gradient of the loss w.r.t. the layer output and returns the gradient
+/// w.r.t. the layer input, accumulating parameter gradients internally.
+///
+/// A layer caches whatever it needs from the Forward pass, so the usage
+/// protocol is strictly: Forward, then Backward on the same batch.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for `input` ([batch, in_features]).
+  virtual Tensor Forward(const Tensor& input, bool training) = 0;
+
+  /// Back-propagates `grad_output` ([batch, out_features]); returns
+  /// gradient w.r.t. the last Forward input.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// The layer's trainable parameters (possibly empty).  Pointers remain
+  /// valid for the layer's lifetime.
+  virtual std::vector<Parameter*> Params() { return {}; }
+
+  /// Human-readable description, e.g. "Dense(128->512)".
+  virtual std::string Name() const = 0;
+
+  /// Number of output features for a given number of input features.
+  virtual size_t OutputDim(size_t input_dim) const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace agoraeo::nn
+
+#endif  // AGORAEO_NN_LAYER_H_

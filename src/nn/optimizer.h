@@ -1,0 +1,69 @@
+#ifndef AGORAEO_NN_OPTIMIZER_H_
+#define AGORAEO_NN_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace agoraeo::nn {
+
+/// Base optimizer over a fixed set of parameters.  `Step` consumes the
+/// gradients accumulated since the last ZeroGrad and updates values.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+  virtual std::string Name() const = 0;
+
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  float lr_ = 1e-3f;
+};
+
+/// Stochastic gradient descent with classical momentum and optional L2
+/// weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+  std::string Name() const override { return "SGD"; }
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction; the optimizer used to train
+/// MiLaN in the reference implementation.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float epsilon = 1e-8f,
+       float weight_decay = 0.0f);
+
+  void Step() override;
+  std::string Name() const override { return "Adam"; }
+
+ private:
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace agoraeo::nn
+
+#endif  // AGORAEO_NN_OPTIMIZER_H_

@@ -1,0 +1,49 @@
+#include "nn/sequential.h"
+
+#include <sstream>
+
+namespace agoraeo::nn {
+
+Tensor Sequential::Forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) {
+    x = layer->Forward(x, training);
+  }
+  return x;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::Params() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+void Sequential::ZeroGrad() {
+  for (Parameter* p : Params()) p->ZeroGrad();
+}
+
+size_t Sequential::NumParams() {
+  size_t n = 0;
+  for (Parameter* p : Params()) n += p->value.size();
+  return n;
+}
+
+std::string Sequential::Summary() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    out << "  (" << i << ") " << layers_[i]->Name() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace agoraeo::nn

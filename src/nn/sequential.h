@@ -1,0 +1,59 @@
+#ifndef AGORAEO_NN_SEQUENTIAL_H_
+#define AGORAEO_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace agoraeo::nn {
+
+/// An ordered stack of layers trained end-to-end; the container MiLaN's
+/// hashing head is built from.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& Add(LayerPtr layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  template <typename L, typename... Args>
+  Sequential& Emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<L>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  /// Runs the batch through every layer.
+  Tensor Forward(const Tensor& input, bool training);
+
+  /// Back-propagates through every layer in reverse; returns the gradient
+  /// w.r.t. the network input.
+  Tensor Backward(const Tensor& grad_output);
+
+  /// All trainable parameters across layers.
+  std::vector<Parameter*> Params();
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  /// Total number of trainable scalars.
+  size_t NumParams();
+
+  size_t NumLayers() const { return layers_.size(); }
+  Layer& layer(size_t i) { return *layers_[i]; }
+
+  /// One line per layer.
+  std::string Summary() const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace agoraeo::nn
+
+#endif  // AGORAEO_NN_SEQUENTIAL_H_

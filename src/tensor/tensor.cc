@@ -1,0 +1,248 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace agoraeo {
+
+namespace {
+size_t Volume(const std::vector<size_t>& shape) {
+  size_t v = 1;
+  for (size_t d : shape) v *= d;
+  return v;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(Volume(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  assert(data_.size() == Volume(shape_));
+}
+
+Tensor Tensor::Full(std::vector<size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::RandomNormal(std::vector<size_t> shape, float stddev,
+                            Rng* rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomUniform(std::vector<size_t> shape, float lo, float hi,
+                             Rng* rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::Reshaped(std::vector<size_t> new_shape) const {
+  assert(Volume(new_shape) == data_.size());
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::Transposed() const {
+  assert(rank() == 2);
+  const size_t rows = shape_[0], cols = shape_[1];
+  Tensor out({cols, rows});
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      out.at(c, r) = at(r, c);
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Row(size_t r) const {
+  assert(rank() == 2 && r < shape_[0]);
+  const size_t cols = shape_[1];
+  Tensor out({cols});
+  std::copy(data_.begin() + r * cols, data_.begin() + (r + 1) * cols,
+            out.data());
+  return out;
+}
+
+void Tensor::SetRow(size_t r, const Tensor& row) {
+  assert(rank() == 2 && r < shape_[0] && row.size() == shape_[1]);
+  std::copy(row.data(), row.data() + row.size(),
+            data_.begin() + r * shape_[1]);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  assert(shape_ == other.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  assert(shape_ == other.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::Apply(const std::function<float(float)>& fn) {
+  for (float& v : data_) v = fn(v);
+}
+
+float Tensor::Sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+}
+
+float Tensor::Mean() const {
+  return data_.empty() ? 0.0f : Sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::Min() const {
+  assert(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::Max() const {
+  assert(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::L2Norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Tensor::SquaredDistance(const Tensor& other) const {
+  assert(shape_ == other.shape_);
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    double d = static_cast<double>(data_[i]) - other.data_[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc);
+}
+
+float Tensor::Dot(const Tensor& other) const {
+  assert(size() == other.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    acc += static_cast<double>(data_[i]) * other.data_[i];
+  }
+  return static_cast<float>(acc);
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  assert(a.shape() == b.shape());
+  Tensor out = a;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= b[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float scalar) {
+  Tensor out = a;
+  out *= scalar;
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  assert(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0));
+  Tensor c({a.dim(0), b.dim(1)});
+  MatMulAccumulate(a, b, &c);
+  return c;
+}
+
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
+  assert(a.rank() == 2 && b.rank() == 2 && c->rank() == 2);
+  const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  assert(b.dim(0) == k && c->dim(0) == m && c->dim(1) == n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c->data();
+  // i-k-j loop order: the inner loop streams rows of B and C.
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (size_t j = 0; j < n; ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+Tensor MatVec(const Tensor& a, const Tensor& x) {
+  assert(a.rank() == 2 && x.rank() == 1 && a.dim(1) == x.size());
+  const size_t m = a.dim(0), k = a.dim(1);
+  Tensor out({m});
+  for (size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    const float* row = a.data() + i * k;
+    for (size_t j = 0; j < k; ++j) acc += static_cast<double>(row[j]) * x[j];
+    out[i] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+void AddBiasRows(Tensor* m, const Tensor& bias) {
+  assert(m->rank() == 2 && bias.rank() == 1 && m->dim(1) == bias.size());
+  const size_t rows = m->dim(0), cols = m->dim(1);
+  float* p = m->data();
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) p[r * cols + c] += bias[c];
+  }
+}
+
+Tensor SumRows(const Tensor& m) {
+  assert(m.rank() == 2);
+  const size_t rows = m.dim(0), cols = m.dim(1);
+  Tensor out({cols});
+  const float* p = m.data();
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) out[c] += p[r * cols + c];
+  }
+  return out;
+}
+
+}  // namespace agoraeo

@@ -1,0 +1,143 @@
+#ifndef AGORAEO_TENSOR_TENSOR_H_
+#define AGORAEO_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace agoraeo {
+
+/// Dense row-major float tensor.  The neural-network substrate only needs
+/// rank-1 and rank-2 tensors, but shapes of any rank are supported.
+///
+/// Tensors own their storage (std::vector<float>); copies are deep.  All
+/// shape mismatches are programming errors and are reported via assert in
+/// the in-place/arithmetic API; the checked factory functions return
+/// StatusOr instead.
+class Tensor {
+ public:
+  /// Rank-0 empty tensor.
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(std::vector<size_t> shape);
+
+  /// Tensor with explicit contents; `data.size()` must equal the shape
+  /// volume (asserted).
+  Tensor(std::vector<size_t> shape, std::vector<float> data);
+
+  /// Convenience rank-2 factory.
+  static Tensor Matrix(size_t rows, size_t cols) {
+    return Tensor({rows, cols});
+  }
+  /// Convenience rank-1 factory.
+  static Tensor Vector(size_t n) { return Tensor({n}); }
+
+  /// All elements set to `value`.
+  static Tensor Full(std::vector<size_t> shape, float value);
+
+  /// Elements drawn i.i.d. from N(0, stddev^2).
+  static Tensor RandomNormal(std::vector<size_t> shape, float stddev, Rng* rng);
+
+  /// Elements drawn i.i.d. from U(lo, hi).
+  static Tensor RandomUniform(std::vector<size_t> shape, float lo, float hi,
+                              Rng* rng);
+
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t rank() const { return shape_.size(); }
+  size_t dim(size_t i) const { return shape_[i]; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Rank-2 accessors (asserted in debug builds).
+  float& at(size_t r, size_t c) { return data_[r * shape_[1] + c]; }
+  float at(size_t r, size_t c) const { return data_[r * shape_[1] + c]; }
+
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Reinterprets the buffer with a new shape of equal volume (asserted).
+  Tensor Reshaped(std::vector<size_t> new_shape) const;
+
+  /// Rank-2 transpose.
+  Tensor Transposed() const;
+
+  /// Returns row r of a rank-2 tensor as a rank-1 tensor (copy).
+  Tensor Row(size_t r) const;
+
+  /// Copies `row` (rank-1, length == cols) into row r.
+  void SetRow(size_t r, const Tensor& row);
+
+  /// Elementwise in-place operations; shapes must match exactly.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+  void Fill(float value);
+
+  /// Applies fn to every element in place.
+  void Apply(const std::function<float(float)>& fn);
+
+  /// Sum / mean / min / max over all elements (0 for empty tensors where
+  /// applicable; min/max assert non-empty).
+  float Sum() const;
+  float Mean() const;
+  float Min() const;
+  float Max() const;
+
+  /// Euclidean norm over all elements.
+  float L2Norm() const;
+
+  /// Squared L2 distance to `other` (same shape, asserted).
+  float SquaredDistance(const Tensor& other) const;
+
+  /// Dot product with `other` (same volume, asserted).
+  float Dot(const Tensor& other) const;
+
+  /// Human-readable shape, e.g. "[32, 128]".
+  std::string ShapeString() const;
+
+  bool operator==(const Tensor& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+  }
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// out = a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// out = a - b (same shape).
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// out = a * b elementwise (same shape).
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// out = a * scalar.
+Tensor Scale(const Tensor& a, float scalar);
+
+/// Rank-2 matrix product: [m,k] x [k,n] -> [m,n].  Blocked loop order
+/// (i,k,j) for cache friendliness; no BLAS dependency.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C += A * B without allocating; shapes as MatMul, C must be [m,n].
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// Rank-2 x rank-1: [m,k] x [k] -> [m].
+Tensor MatVec(const Tensor& a, const Tensor& x);
+
+/// Adds `bias` ([n]) to every row of `m` ([r,n]) in place.
+void AddBiasRows(Tensor* m, const Tensor& bias);
+
+/// Sums rows of `m` ([r,n]) into a [n] tensor (gradient of AddBiasRows).
+Tensor SumRows(const Tensor& m);
+
+}  // namespace agoraeo
+
+#endif  // AGORAEO_TENSOR_TENSOR_H_

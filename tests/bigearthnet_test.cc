@@ -1,0 +1,705 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "bigearthnet/archive_generator.h"
+#include "bigearthnet/clc_labels.h"
+#include "bigearthnet/feature_extractor.h"
+#include "bigearthnet/patch.h"
+#include "bigearthnet/spectral_model.h"
+
+namespace agoraeo::bigearthnet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CLC nomenclature
+// ---------------------------------------------------------------------------
+
+TEST(ClcLabelsTest, Exactly43Labels) {
+  EXPECT_EQ(AllLabels().size(), 43u);
+  EXPECT_EQ(kNumLabels, 43);
+}
+
+TEST(ClcLabelsTest, FiveLevel1Classes) {
+  auto level1 = AllLevel1Codes();
+  EXPECT_EQ(level1, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(ClcLabelsTest, Level2CodesAreConsistentWithLevel1) {
+  for (const auto& label : AllLabels()) {
+    EXPECT_EQ(label.level2_code / 10, label.level1_code) << label.name;
+    EXPECT_EQ(label.clc_code / 100, label.level1_code) << label.name;
+    EXPECT_EQ(label.clc_code / 10, label.level2_code) << label.name;
+  }
+}
+
+TEST(ClcLabelsTest, AsciiKeysAreUnique) {
+  std::set<char> keys;
+  for (const auto& label : AllLabels()) keys.insert(label.ascii_key);
+  EXPECT_EQ(keys.size(), 43u);
+}
+
+TEST(ClcLabelsTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& label : AllLabels()) names.insert(label.name);
+  EXPECT_EQ(names.size(), 43u);
+}
+
+TEST(ClcLabelsTest, LookupByClcCode) {
+  auto id = LabelIdFromClcCode(312);
+  ASSERT_TRUE(id.ok());
+  EXPECT_STREQ(LabelById(*id).name, "Coniferous forest");
+  EXPECT_FALSE(LabelIdFromClcCode(999).ok());
+}
+
+TEST(ClcLabelsTest, LookupByName) {
+  auto id = LabelIdFromName("Sea and ocean");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(LabelById(*id).clc_code, 523);
+  EXPECT_FALSE(LabelIdFromName("Desert").ok());
+}
+
+TEST(ClcLabelsTest, ForestLevel2HasThreeClasses) {
+  auto forests = LabelsUnderLevel2(31);
+  ASSERT_EQ(forests.size(), 3u);
+  std::set<std::string> names;
+  for (LabelId id : forests) names.insert(LabelById(id).name);
+  EXPECT_TRUE(names.count("Broad-leaved forest"));
+  EXPECT_TRUE(names.count("Coniferous forest"));
+  EXPECT_TRUE(names.count("Mixed forest"));
+}
+
+TEST(ClcLabelsTest, Level1Partition) {
+  // Every label belongs to exactly one Level-1 class; the five classes
+  // partition the nomenclature.
+  size_t total = 0;
+  for (int code : AllLevel1Codes()) total += LabelsUnderLevel1(code).size();
+  EXPECT_EQ(total, 43u);
+  EXPECT_EQ(LabelsUnderLevel1(1).size(), 11u);  // Artificial surfaces
+  EXPECT_EQ(LabelsUnderLevel1(2).size(), 11u);  // Agricultural areas
+  // Forest & semi-natural has 11 classes in BigEarthNet-43: the CLC
+  // nomenclature's 12th ("Glaciers and perpetual snow", code 335) does not
+  // occur in the archive's 10 countries and is excluded.
+  EXPECT_EQ(LabelsUnderLevel1(3).size(), 11u);
+  EXPECT_EQ(LabelsUnderLevel1(4).size(), 5u);   // Wetlands
+  EXPECT_EQ(LabelsUnderLevel1(5).size(), 5u);   // Water bodies
+}
+
+// One parameterized check per label: table row is internally consistent
+// and lookups invert.
+class LabelTableTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LabelTableTest, RowConsistent) {
+  const LabelId id = GetParam();
+  const ClcLabel& label = LabelById(id);
+  EXPECT_EQ(label.id, id);
+  EXPECT_EQ(*LabelIdFromClcCode(label.clc_code), id);
+  EXPECT_EQ(*LabelIdFromName(label.name), id);
+  EXPECT_EQ(*LabelIdFromAsciiKey(label.ascii_key), id);
+  EXPECT_GT(std::string(label.name).size(), 3u);
+  EXPECT_LE(label.color_rgb, 0xFFFFFFu);
+}
+
+INSTANTIATE_TEST_SUITE_P(All43, LabelTableTest, ::testing::Range(0, 43));
+
+// ---------------------------------------------------------------------------
+// LabelSet
+// ---------------------------------------------------------------------------
+
+TEST(LabelSetTest, SortsAndDeduplicates) {
+  LabelSet set({5, 2, 5, 40, 2});
+  EXPECT_EQ(set.ids(), (std::vector<LabelId>{2, 5, 40}));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(LabelSetTest, ContainsOperations) {
+  LabelSet set({2, 5, 40});
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(6));
+  EXPECT_TRUE(set.ContainsAll(LabelSet({2, 40})));
+  EXPECT_FALSE(set.ContainsAll(LabelSet({2, 41})));
+  EXPECT_TRUE(set.ContainsAny(LabelSet({41, 40})));
+  EXPECT_FALSE(set.ContainsAny(LabelSet({41, 42})));
+  EXPECT_FALSE(set.ContainsAny(LabelSet()));
+}
+
+TEST(LabelSetTest, AddKeepsSorted) {
+  LabelSet set;
+  set.Add(10);
+  set.Add(3);
+  set.Add(10);
+  set.Add(7);
+  EXPECT_EQ(set.ids(), (std::vector<LabelId>{3, 7, 10}));
+}
+
+TEST(LabelSetTest, AsciiKeysRoundTrip) {
+  LabelSet set({0, 5, 23, 42});
+  const std::string keys = set.ToAsciiKeys();
+  EXPECT_EQ(keys.size(), 4u);
+  auto back = LabelSet::FromAsciiKeys(keys);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, set);
+}
+
+TEST(LabelSetTest, FromAsciiRejectsUnknownKey) {
+  EXPECT_FALSE(LabelSet::FromAsciiKeys("~").ok());
+}
+
+TEST(LabelSetTest, ToStringNamesLabels) {
+  LabelSet set({23});
+  EXPECT_EQ(set.ToString(), "Coniferous forest");
+}
+
+// ---------------------------------------------------------------------------
+// Sentinel band geometry
+// ---------------------------------------------------------------------------
+
+TEST(BandGeometryTest, ResolutionsMatchPaper) {
+  // 4 bands at 10 m -> 120 px, 6 at 20 m -> 60 px, 2 at 60 m -> 20 px.
+  int count10 = 0, count20 = 0, count60 = 0;
+  for (int b = 0; b < kNumS2Bands; ++b) {
+    const S2Band band = static_cast<S2Band>(b);
+    switch (S2BandResolution(band)) {
+      case 10:
+        ++count10;
+        EXPECT_EQ(S2BandPixels(band), 120);
+        break;
+      case 20:
+        ++count20;
+        EXPECT_EQ(S2BandPixels(band), 60);
+        break;
+      case 60:
+        ++count60;
+        EXPECT_EQ(S2BandPixels(band), 20);
+        break;
+      default:
+        FAIL() << "unexpected resolution";
+    }
+  }
+  EXPECT_EQ(count10, 4);
+  EXPECT_EQ(count20, 6);
+  EXPECT_EQ(count60, 2);
+}
+
+TEST(BandGeometryTest, BandNames) {
+  EXPECT_STREQ(S2BandName(S2Band::kB02), "B02");
+  EXPECT_STREQ(S2BandName(S2Band::kB8A), "B8A");
+  EXPECT_STREQ(S1ChannelName(S1Channel::kVV), "VV");
+  EXPECT_STREQ(S1ChannelName(S1Channel::kVH), "VH");
+}
+
+// ---------------------------------------------------------------------------
+// Spectral model
+// ---------------------------------------------------------------------------
+
+TEST(SpectralModelTest, WaterHasNegativeNdvi) {
+  SpectralModel model;
+  auto water = LabelIdFromName("Water bodies");
+  ASSERT_TRUE(water.ok());
+  const auto& sig = model.signature(*water);
+  const float nir = sig.s2_dn[static_cast<size_t>(S2Band::kB08)];
+  const float red = sig.s2_dn[static_cast<size_t>(S2Band::kB04)];
+  EXPECT_LT(nir, red);  // NDVI < 0
+}
+
+TEST(SpectralModelTest, ForestHasHighNdvi) {
+  SpectralModel model;
+  for (const char* name : {"Broad-leaved forest", "Coniferous forest"}) {
+    const auto& sig = model.signature(*LabelIdFromName(name));
+    const float nir = sig.s2_dn[static_cast<size_t>(S2Band::kB08)];
+    const float red = sig.s2_dn[static_cast<size_t>(S2Band::kB04)];
+    EXPECT_GT((nir - red) / (nir + red), 0.5f) << name;
+  }
+}
+
+TEST(SpectralModelTest, UrbanBrighterThanWater) {
+  SpectralModel model;
+  const auto& urban = model.signature(*LabelIdFromName("Continuous urban fabric"));
+  const auto& water = model.signature(*LabelIdFromName("Sea and ocean"));
+  for (int b = 0; b < kNumS2Bands; ++b) {
+    EXPECT_GT(urban.s2_dn[static_cast<size_t>(b)],
+              water.s2_dn[static_cast<size_t>(b)]);
+  }
+  // Urban backscatter is much stronger than water's.
+  EXPECT_GT(urban.s1_dn[0], water.s1_dn[0] + 1000);
+}
+
+TEST(SpectralModelTest, BurntAreasShowSwirSignature) {
+  SpectralModel model;
+  const auto& burnt = model.signature(*LabelIdFromName("Burnt areas"));
+  const float nir = burnt.s2_dn[static_cast<size_t>(S2Band::kB08)];
+  const float swir = burnt.s2_dn[static_cast<size_t>(S2Band::kB12)];
+  EXPECT_GT(swir, nir);  // post-fire SWIR rise
+}
+
+TEST(SpectralModelTest, DistinctClassesAreDistinct) {
+  SpectralModel model;
+  for (LabelId a = 0; a < kNumLabels; ++a) {
+    for (LabelId b = a + 1; b < kNumLabels; ++b) {
+      float diff = 0;
+      for (int band = 0; band < kNumS2Bands; ++band) {
+        diff += std::fabs(model.signature(a).s2_dn[static_cast<size_t>(band)] -
+                          model.signature(b).s2_dn[static_cast<size_t>(band)]);
+      }
+      EXPECT_GT(diff, 1.0f) << "classes " << a << " and " << b;
+    }
+  }
+}
+
+TEST(SpectralModelTest, BlendIsConvex) {
+  SpectralModel model;
+  LabelSet labels({22, 39});  // broadleaf forest + water bodies
+  const auto blend = model.Blend(labels);
+  for (int b = 0; b < kNumS2Bands; ++b) {
+    const float lo = std::min(model.signature(22).s2_dn[static_cast<size_t>(b)],
+                              model.signature(39).s2_dn[static_cast<size_t>(b)]);
+    const float hi = std::max(model.signature(22).s2_dn[static_cast<size_t>(b)],
+                              model.signature(39).s2_dn[static_cast<size_t>(b)]);
+    EXPECT_GE(blend.s2_dn[static_cast<size_t>(b)], lo - 1e-3f);
+    EXPECT_LE(blend.s2_dn[static_cast<size_t>(b)], hi + 1e-3f);
+  }
+}
+
+TEST(SpectralModelTest, BlendWeightsShiftTowardDominantClass) {
+  SpectralModel model;
+  LabelSet labels({22, 39});
+  const auto mostly_forest = model.Blend(labels, {0.9f, 0.1f});
+  const auto mostly_water = model.Blend(labels, {0.1f, 0.9f});
+  const size_t nir = static_cast<size_t>(S2Band::kB08);
+  EXPECT_GT(mostly_forest.s2_dn[nir], mostly_water.s2_dn[nir]);
+}
+
+// ---------------------------------------------------------------------------
+// Countries & themes
+// ---------------------------------------------------------------------------
+
+TEST(CountriesTest, TenCountriesWithValidExtents) {
+  const auto& countries = BigEarthNetCountries();
+  EXPECT_EQ(countries.size(), 10u);
+  std::set<std::string> names;
+  for (const Country& c : countries) {
+    names.insert(c.name);
+    EXPECT_TRUE(c.extent.IsValid()) << c.name;
+  }
+  for (const char* expected :
+       {"Austria", "Belgium", "Finland", "Ireland", "Kosovo", "Lithuania",
+        "Luxembourg", "Portugal", "Serbia", "Switzerland"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(CountriesTest, LookupByName) {
+  auto c = CountryByName("Portugal");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE((*c)->has_coast);
+  EXPECT_FALSE(CountryByName("Germany").ok());  // not in BigEarthNet
+}
+
+TEST(ThemesTest, FrequenciesArePositiveAndLabelsValid) {
+  for (const SceneTheme& theme : SceneThemes()) {
+    EXPECT_GT(theme.frequency, 0.0) << theme.name;
+    EXPECT_FALSE(theme.core_labels.empty()) << theme.name;
+    for (LabelId id : theme.core_labels) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, kNumLabels);
+    }
+    for (LabelId id : theme.satellite_labels) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, kNumLabels);
+    }
+  }
+}
+
+TEST(ThemesTest, ScenarioThemesExist) {
+  // The demo scenarios need: industrial near inland water; coastal
+  // beaches with conifers; burnt forest.
+  bool industrial_water = false, coastal = false, burnt = false;
+  for (const SceneTheme& theme : SceneThemes()) {
+    const std::string name = theme.name;
+    if (name == "industrial_waterfront") industrial_water = true;
+    if (name == "coastal_beach") coastal = true;
+    if (name == "burnt_forest") burnt = true;
+  }
+  EXPECT_TRUE(industrial_water);
+  EXPECT_TRUE(coastal);
+  EXPECT_TRUE(burnt);
+}
+
+// ---------------------------------------------------------------------------
+// Archive generation
+// ---------------------------------------------------------------------------
+
+ArchiveConfig SmallConfig() {
+  ArchiveConfig config;
+  config.num_patches = 2000;
+  config.seed = 7;
+  config.patches_per_scene = 40;
+  return config;
+}
+
+TEST(ArchiveGeneratorTest, GeneratesRequestedCount) {
+  ArchiveGenerator gen(SmallConfig());
+  auto archive = gen.Generate();
+  ASSERT_TRUE(archive.ok());
+  EXPECT_EQ(archive->patches.size(), 2000u);
+  EXPECT_EQ(archive->scene_centers.size(), archive->scene_themes.size());
+}
+
+TEST(ArchiveGeneratorTest, DeterministicForSameSeed) {
+  ArchiveGenerator a(SmallConfig()), b(SmallConfig());
+  auto archive_a = a.Generate();
+  auto archive_b = b.Generate();
+  ASSERT_TRUE(archive_a.ok() && archive_b.ok());
+  for (size_t i = 0; i < archive_a->patches.size(); ++i) {
+    EXPECT_EQ(archive_a->patches[i].name, archive_b->patches[i].name);
+    EXPECT_TRUE(archive_a->patches[i].labels == archive_b->patches[i].labels);
+  }
+}
+
+TEST(ArchiveGeneratorTest, DifferentSeedsDiffer) {
+  ArchiveConfig other = SmallConfig();
+  other.seed = 8;
+  auto a = ArchiveGenerator(SmallConfig()).Generate();
+  auto b = ArchiveGenerator(other).Generate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  size_t same = 0;
+  for (size_t i = 0; i < a->patches.size(); ++i) {
+    if (a->patches[i].labels == b->patches[i].labels) ++same;
+  }
+  EXPECT_LT(same, a->patches.size() / 2);
+}
+
+TEST(ArchiveGeneratorTest, NamesAreUnique) {
+  auto archive = ArchiveGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(archive.ok());
+  std::set<std::string> names;
+  for (const auto& p : archive->patches) names.insert(p.name);
+  EXPECT_EQ(names.size(), archive->patches.size());
+}
+
+TEST(ArchiveGeneratorTest, EveryPatchHasLabelsAndValidGeo) {
+  auto archive = ArchiveGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(archive.ok());
+  for (const auto& p : archive->patches) {
+    EXPECT_FALSE(p.labels.empty()) << p.name;
+    EXPECT_LE(p.labels.size(), 10u) << p.name;
+    EXPECT_TRUE(p.bounds.IsValid()) << p.name;
+    // Patch footprint is ~1.2 km in latitude.
+    EXPECT_NEAR(p.bounds.max.lat - p.bounds.min.lat, 1.2 / 111.0, 1e-6);
+  }
+}
+
+TEST(ArchiveGeneratorTest, DatesWithinWindowAndSeasonsConsistent) {
+  auto archive = ArchiveGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(archive.ok());
+  const DateRange window{CivilDate(2017, 6, 1), CivilDate(2018, 5, 31)};
+  for (const auto& p : archive->patches) {
+    EXPECT_TRUE(window.Contains(p.acquisition_date)) << p.name;
+    EXPECT_EQ(p.season, p.acquisition_date.GetSeason()) << p.name;
+  }
+}
+
+TEST(ArchiveGeneratorTest, PatchesLieWithinTheirCountry) {
+  auto archive = ArchiveGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(archive.ok());
+  size_t outside = 0;
+  for (const auto& p : archive->patches) {
+    auto country = CountryByName(p.country);
+    ASSERT_TRUE(country.ok()) << p.country;
+    // Scene jitter is Gaussian; allow a small overshoot fraction.
+    if (!(*country)->extent.Contains(p.bounds.Center())) ++outside;
+  }
+  EXPECT_LT(static_cast<double>(outside) / archive->patches.size(), 0.05);
+}
+
+TEST(ArchiveGeneratorTest, ScenesShareCountryDateAndCorrelatedLabels) {
+  auto archive = ArchiveGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(archive.ok());
+  std::map<int, std::vector<const PatchMetadata*>> by_scene;
+  for (const auto& p : archive->patches) by_scene[p.scene_id].push_back(&p);
+
+  for (const auto& [scene, patches] : by_scene) {
+    if (patches.size() < 2) continue;
+    for (size_t i = 1; i < patches.size(); ++i) {
+      EXPECT_EQ(patches[i]->country, patches[0]->country);
+      EXPECT_EQ(patches[i]->acquisition_date.ToString(),
+                patches[0]->acquisition_date.ToString());
+    }
+  }
+  // Label correlation: within a scene, patch pairs share a label far more
+  // often than across scenes.
+  Rng rng(71);
+  size_t within_shared = 0, within_total = 0;
+  size_t across_shared = 0, across_total = 0;
+  const auto& patches = archive->patches;
+  for (int trial = 0; trial < 3000; ++trial) {
+    size_t i = rng.UniformInt(static_cast<uint32_t>(patches.size()));
+    size_t j = rng.UniformInt(static_cast<uint32_t>(patches.size()));
+    if (i == j) continue;
+    const bool shared = patches[i].labels.ContainsAny(patches[j].labels);
+    if (patches[i].scene_id == patches[j].scene_id) {
+      within_total++;
+      within_shared += shared;
+    } else {
+      across_total++;
+      across_shared += shared;
+    }
+  }
+  // Sampling random pairs rarely hits the same scene; sample within-scene
+  // pairs directly instead.
+  within_shared = within_total = 0;
+  for (const auto& [scene, scene_patches] : by_scene) {
+    for (size_t i = 0; i + 1 < scene_patches.size() && i < 5; ++i) {
+      within_total++;
+      within_shared += scene_patches[i]->labels.ContainsAny(
+          scene_patches[i + 1]->labels);
+    }
+  }
+  ASSERT_GT(within_total, 0u);
+  ASSERT_GT(across_total, 0u);
+  const double within_rate =
+      static_cast<double>(within_shared) / within_total;
+  const double across_rate =
+      static_cast<double>(across_shared) / across_total;
+  EXPECT_GT(within_rate, across_rate + 0.2);
+}
+
+TEST(ArchiveGeneratorTest, CountryRestrictionHonoured) {
+  ArchiveConfig config = SmallConfig();
+  config.countries = {"Portugal", "Ireland"};
+  auto archive = ArchiveGenerator(config).Generate();
+  ASSERT_TRUE(archive.ok());
+  for (const auto& p : archive->patches) {
+    EXPECT_TRUE(p.country == "Portugal" || p.country == "Ireland");
+  }
+}
+
+TEST(ArchiveGeneratorTest, UnknownCountryRejected) {
+  ArchiveConfig config = SmallConfig();
+  config.countries = {"Atlantis"};
+  EXPECT_TRUE(ArchiveGenerator(config).Generate().status().IsNotFound());
+}
+
+TEST(ArchiveGeneratorTest, ZeroPatchesRejected) {
+  ArchiveConfig config;
+  config.num_patches = 0;
+  EXPECT_TRUE(
+      ArchiveGenerator(config).Generate().status().IsInvalidArgument());
+}
+
+TEST(ArchiveGeneratorTest, CoastalThemesOnlyInCoastalCountries) {
+  ArchiveConfig config = SmallConfig();
+  config.num_patches = 4000;
+  auto archive = ArchiveGenerator(config).Generate();
+  ASSERT_TRUE(archive.ok());
+  const auto& themes = SceneThemes();
+  std::map<int, std::string> scene_country;
+  for (const auto& p : archive->patches) {
+    scene_country[p.scene_id] = p.country;
+  }
+  for (size_t scene = 0; scene < archive->scene_themes.size(); ++scene) {
+    const SceneTheme& theme =
+        themes[static_cast<size_t>(archive->scene_themes[scene])];
+    if (!theme.coastal_only) continue;
+    auto country = CountryByName(scene_country[static_cast<int>(scene)]);
+    ASSERT_TRUE(country.ok());
+    EXPECT_TRUE((*country)->has_coast)
+        << "coastal theme " << theme.name << " in " << (*country)->name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Patch synthesis
+// ---------------------------------------------------------------------------
+
+TEST(PatchSynthesisTest, BandGeometryAndDeterminism) {
+  ArchiveGenerator gen(SmallConfig());
+  auto archive = gen.Generate();
+  ASSERT_TRUE(archive.ok());
+  const PatchMetadata& meta = archive->patches[0];
+  Patch patch = gen.SynthesizePatch(meta);
+  ASSERT_EQ(patch.s2_bands.size(), 12u);
+  ASSERT_EQ(patch.s1_channels.size(), 2u);
+  for (int b = 0; b < kNumS2Bands; ++b) {
+    const S2Band band = static_cast<S2Band>(b);
+    EXPECT_EQ(patch.s2_bands[b].width, S2BandPixels(band));
+    EXPECT_EQ(patch.s2_bands[b].height, S2BandPixels(band));
+    EXPECT_EQ(patch.s2_bands[b].resolution_m, S2BandResolution(band));
+    EXPECT_EQ(patch.s2_bands[b].name, S2BandName(band));
+  }
+  EXPECT_EQ(patch.s1_channels[0].width, 120);
+
+  // Determinism.
+  Patch again = gen.SynthesizePatch(meta);
+  EXPECT_EQ(patch.s2(S2Band::kB04).pixels, again.s2(S2Band::kB04).pixels);
+  EXPECT_EQ(patch.s1(S1Channel::kVV).pixels, again.s1(S1Channel::kVV).pixels);
+}
+
+TEST(PatchSynthesisTest, WaterPatchIsDarkForestIsBright) {
+  ArchiveConfig config = SmallConfig();
+  config.num_patches = 4000;
+  ArchiveGenerator gen(config);
+  auto archive = gen.Generate();
+  ASSERT_TRUE(archive.ok());
+
+  auto water_id = *LabelIdFromName("Water bodies");
+  auto forest_id = *LabelIdFromName("Coniferous forest");
+  const PatchMetadata* water_patch = nullptr;
+  const PatchMetadata* forest_patch = nullptr;
+  for (const auto& p : archive->patches) {
+    if (p.labels.size() == 1 && p.labels.Contains(water_id)) water_patch = &p;
+    if (p.labels.size() == 1 && p.labels.Contains(forest_id))
+      forest_patch = &p;
+    if (water_patch && forest_patch) break;
+  }
+  ASSERT_NE(water_patch, nullptr) << "no pure water patch generated";
+  ASSERT_NE(forest_patch, nullptr) << "no pure conifer patch generated";
+
+  auto mean_nir = [&](const PatchMetadata& meta) {
+    Patch patch = gen.SynthesizePatch(meta);
+    const auto& nir = patch.s2(S2Band::kB08);
+    double sum = 0;
+    for (uint16_t v : nir.pixels) sum += v;
+    return sum / nir.pixels.size();
+  };
+  EXPECT_GT(mean_nir(*forest_patch), mean_nir(*water_patch) * 3);
+}
+
+TEST(PatchSynthesisTest, LabelWeightsSumToOne) {
+  ArchiveGenerator gen(SmallConfig());
+  auto archive = gen.Generate();
+  ASSERT_TRUE(archive.ok());
+  for (size_t i = 0; i < 50; ++i) {
+    const auto weights = gen.LabelWeightsFor(archive->patches[i]);
+    EXPECT_EQ(weights.size(), archive->patches[i].labels.size());
+    float total = 0;
+    for (float w : weights) {
+      EXPECT_GT(w, 0.0f);
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(PatchSynthesisTest, RenderRgbShapeAndRange) {
+  ArchiveGenerator gen(SmallConfig());
+  auto archive = gen.Generate();
+  ASSERT_TRUE(archive.ok());
+  Patch patch = gen.SynthesizePatch(archive->patches[0]);
+  auto rgb = RenderRgb(patch);
+  EXPECT_EQ(rgb.size(), 120u * 120u * 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Feature extraction
+// ---------------------------------------------------------------------------
+
+class FeatureExtractionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ArchiveConfig config;
+    config.num_patches = 600;
+    config.seed = 21;
+    config.patches_per_scene = 30;
+    gen_ = std::make_unique<ArchiveGenerator>(config);
+    auto archive = gen_->Generate();
+    ASSERT_TRUE(archive.ok());
+    archive_ = std::move(archive).value();
+  }
+
+  std::unique_ptr<ArchiveGenerator> gen_;
+  Archive archive_;
+  FeatureExtractor extractor_;
+};
+
+TEST_F(FeatureExtractionTest, DimensionsAndRange) {
+  const Tensor f =
+      extractor_.ExtractFromMetadata(archive_.patches[0], *gen_);
+  EXPECT_EQ(f.shape(), (std::vector<size_t>{kFeatureDim}));
+  EXPECT_GE(f.Min(), -1.0f);  // tanh squashed
+  EXPECT_LE(f.Max(), 1.0f);
+}
+
+TEST_F(FeatureExtractionTest, DeterministicPerPatch) {
+  const Tensor a = extractor_.ExtractFromMetadata(archive_.patches[3], *gen_);
+  const Tensor b = extractor_.ExtractFromMetadata(archive_.patches[3], *gen_);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(FeatureExtractionTest, PixelAndFastPathsAgreeApproximately) {
+  // The two paths share calibration: same patch's vectors must be far
+  // closer to each other than vectors of unrelated patches.
+  double same = 0, cross = 0;
+  int n = 10;
+  for (int i = 0; i < n; ++i) {
+    const auto& meta = archive_.patches[static_cast<size_t>(i)];
+    Patch patch = gen_->SynthesizePatch(meta);
+    const Tensor pixel_f = extractor_.ExtractFromPixels(patch);
+    const Tensor fast_f = extractor_.ExtractFromMetadata(meta, *gen_);
+    same += std::sqrt(pixel_f.SquaredDistance(fast_f));
+    const auto& other =
+        archive_.patches[archive_.patches.size() - 1 - static_cast<size_t>(i)];
+    const Tensor other_f = extractor_.ExtractFromMetadata(other, *gen_);
+    cross += std::sqrt(pixel_f.SquaredDistance(other_f));
+  }
+  EXPECT_LT(same / n, cross / n);
+}
+
+TEST_F(FeatureExtractionTest, MetricPropertySameLabelsCloser) {
+  // Average distance between same-label-set patches must be smaller than
+  // between disjoint-label patches: the property MiLaN training needs.
+  std::vector<Tensor> features;
+  for (size_t i = 0; i < 300; ++i) {
+    features.push_back(
+        extractor_.ExtractFromMetadata(archive_.patches[i], *gen_));
+  }
+  double same_sum = 0, diff_sum = 0;
+  size_t same_n = 0, diff_n = 0;
+  for (size_t i = 0; i < 300; ++i) {
+    for (size_t j = i + 1; j < 300; ++j) {
+      const double d = features[i].SquaredDistance(features[j]);
+      if (archive_.patches[i].labels == archive_.patches[j].labels) {
+        same_sum += d;
+        ++same_n;
+      } else if (!archive_.patches[i].labels.ContainsAny(
+                     archive_.patches[j].labels)) {
+        diff_sum += d;
+        ++diff_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 10u);
+  ASSERT_GT(diff_n, 10u);
+  EXPECT_LT(same_sum / same_n, 0.5 * (diff_sum / diff_n));
+}
+
+TEST_F(FeatureExtractionTest, ExtractArchiveMatchesPerPatch) {
+  const Tensor all = extractor_.ExtractArchive(archive_, *gen_, 4);
+  EXPECT_EQ(all.shape(),
+            (std::vector<size_t>{archive_.patches.size(), kFeatureDim}));
+  for (size_t i : {size_t{0}, size_t{17}, size_t{599}}) {
+    const Tensor row = all.Row(i);
+    const Tensor single =
+        extractor_.ExtractFromMetadata(archive_.patches[i], *gen_);
+    EXPECT_EQ(row, single) << "row " << i;
+  }
+}
+
+TEST_F(FeatureExtractionTest, RawFeatureCount) {
+  Patch patch = gen_->SynthesizePatch(archive_.patches[0]);
+  EXPECT_EQ(extractor_.RawFromPixels(patch).size(), kRawFeatureDim);
+  EXPECT_EQ(extractor_.RawFromMetadata(archive_.patches[0], *gen_).size(),
+            kRawFeatureDim);
+}
+
+TEST(PatchNameHashTest, StableAndSpreads) {
+  EXPECT_EQ(PatchNameHash("abc"), PatchNameHash("abc"));
+  EXPECT_NE(PatchNameHash("abc"), PatchNameHash("abd"));
+  EXPECT_NE(PatchNameHash(""), PatchNameHash("a"));
+}
+
+}  // namespace
+}  // namespace agoraeo::bigearthnet

@@ -1,0 +1,582 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "common/binary_code.h"
+#include "common/byte_buffer.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/time_util.h"
+
+namespace agoraeo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing patch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing patch");
+  EXPECT_EQ(s.ToString(), "NotFound: missing patch");
+}
+
+TEST(StatusTest, AllFactoryHelpersProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> so(42);
+  ASSERT_TRUE(so.ok());
+  EXPECT_EQ(so.value(), 42);
+  EXPECT_EQ(*so, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> so(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(so.ok());
+  EXPECT_TRUE(so.status().IsInvalidArgument());
+  EXPECT_EQ(so.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, OkStatusConstructionBecomesInternalError) {
+  StatusOr<int> so(Status::OK());
+  EXPECT_FALSE(so.ok());
+  EXPECT_TRUE(so.status().IsInternal());
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> so(std::string("hello"));
+  std::string v = std::move(so).value();
+  EXPECT_EQ(v, "hello");
+}
+
+StatusOr<int> HelperReturnsDouble(StatusOr<int> input) {
+  AGORAEO_ASSIGN_OR_RETURN(int v, input);
+  return v * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacroPropagatesValueAndError) {
+  auto ok = HelperReturnsDouble(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  auto err = HelperReturnsDouble(Status::NotFound("no"));
+  EXPECT_TRUE(err.status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123, 5), b(123, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint32(), b.NextUint32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(123), b(124);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint32() == b.NextUint32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17u), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalHasExpectedMoments) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(29);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(31);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringUtilTest, SplitBasic) {
+  auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  auto parts = StrSplit("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, "-"), "x-y-z");
+  EXPECT_EQ(StrSplit(StrJoin(parts, ","), ','), parts);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(StrTrim("  hello \t\n"), "hello");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("x"), "x");
+}
+
+TEST(StringUtilTest, LowerStartsEndsContains) {
+  EXPECT_EQ(StrToLower("AbC"), "abc");
+  EXPECT_TRUE(StrStartsWith("S2A_MSIL2A", "S2A"));
+  EXPECT_FALSE(StrStartsWith("S2", "S2A"));
+  EXPECT_TRUE(StrEndsWith("patch.zip", ".zip"));
+  EXPECT_TRUE(StrContains("Coniferous forest", "forest"));
+  EXPECT_FALSE(StrContains("forest", "Coniferous"));
+}
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%05.1f", 3.25), "003.2");
+}
+
+TEST(StringUtilTest, PadLeftAndThousands) {
+  EXPECT_EQ(PadLeft("7", 3, '0'), "007");
+  EXPECT_EQ(PadLeft("1234", 3), "1234");
+  EXPECT_EQ(WithThousandsSeparators(590326), "590,326");
+  EXPECT_EQ(WithThousandsSeparators(-1200), "-1,200");
+  EXPECT_EQ(WithThousandsSeparators(7), "7");
+}
+
+// ---------------------------------------------------------------------------
+// CivilDate / Season
+// ---------------------------------------------------------------------------
+
+TEST(CivilDateTest, OrdinalRoundTrip) {
+  for (int64_t days : {-1000L, 0L, 1L, 17167L, 20000L}) {
+    CivilDate d = CivilDate::FromOrdinal(days);
+    EXPECT_EQ(d.ToOrdinal(), days) << d.ToString();
+  }
+}
+
+TEST(CivilDateTest, KnownEpoch) {
+  EXPECT_EQ(CivilDate(1970, 1, 1).ToOrdinal(), 0);
+  EXPECT_EQ(CivilDate(1970, 1, 2).ToOrdinal(), 1);
+  EXPECT_EQ(CivilDate(2017, 6, 1).ToOrdinal(), 17318);
+}
+
+TEST(CivilDateTest, ParseValid) {
+  auto d = CivilDate::Parse("2017-06-15");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->year(), 2017);
+  EXPECT_EQ(d->month(), 6);
+  EXPECT_EQ(d->day(), 15);
+  EXPECT_EQ(d->ToString(), "2017-06-15");
+}
+
+TEST(CivilDateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(CivilDate::Parse("not a date").ok());
+  EXPECT_FALSE(CivilDate::Parse("2017-02-30").ok());
+  EXPECT_FALSE(CivilDate::Parse("2017-13-01").ok());
+  EXPECT_FALSE(CivilDate::Parse("2017-06-15x").ok());
+}
+
+TEST(CivilDateTest, LeapYears) {
+  EXPECT_TRUE(CivilDate::IsLeapYear(2020));
+  EXPECT_FALSE(CivilDate::IsLeapYear(2019));
+  EXPECT_FALSE(CivilDate::IsLeapYear(1900));
+  EXPECT_TRUE(CivilDate::IsLeapYear(2000));
+  EXPECT_EQ(CivilDate::DaysInMonth(2020, 2), 29);
+  EXPECT_EQ(CivilDate::DaysInMonth(2019, 2), 28);
+  EXPECT_TRUE(CivilDate(2020, 2, 29).IsValid());
+  EXPECT_FALSE(CivilDate(2019, 2, 29).IsValid());
+}
+
+TEST(CivilDateTest, Ordering) {
+  EXPECT_LT(CivilDate(2017, 6, 1), CivilDate(2018, 5, 31));
+  EXPECT_LE(CivilDate(2017, 6, 1), CivilDate(2017, 6, 1));
+  EXPECT_GT(CivilDate(2018, 1, 1), CivilDate(2017, 12, 31));
+}
+
+TEST(CivilDateTest, Seasons) {
+  EXPECT_EQ(CivilDate(2017, 12, 15).GetSeason(), Season::kWinter);
+  EXPECT_EQ(CivilDate(2018, 1, 15).GetSeason(), Season::kWinter);
+  EXPECT_EQ(CivilDate(2018, 4, 15).GetSeason(), Season::kSpring);
+  EXPECT_EQ(CivilDate(2017, 7, 15).GetSeason(), Season::kSummer);
+  EXPECT_EQ(CivilDate(2017, 10, 15).GetSeason(), Season::kAutumn);
+}
+
+TEST(SeasonTest, RoundTripStrings) {
+  for (Season s : {Season::kWinter, Season::kSpring, Season::kSummer,
+                   Season::kAutumn}) {
+    auto back = SeasonFromString(SeasonToString(s));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_TRUE(SeasonFromString("fall").ok());
+  EXPECT_FALSE(SeasonFromString("monsoon").ok());
+}
+
+TEST(DateRangeTest, ContainsAndNumDays) {
+  DateRange range{CivilDate(2017, 6, 1), CivilDate(2018, 5, 31)};
+  EXPECT_TRUE(range.Contains(CivilDate(2017, 6, 1)));
+  EXPECT_TRUE(range.Contains(CivilDate(2018, 5, 31)));
+  EXPECT_FALSE(range.Contains(CivilDate(2018, 6, 1)));
+  EXPECT_EQ(range.NumDays(), 365);
+  DateRange inverted{CivilDate(2018, 1, 1), CivilDate(2017, 1, 1)};
+  EXPECT_EQ(inverted.NumDays(), 0);
+  EXPECT_FALSE(inverted.Contains(CivilDate(2017, 6, 1)));
+}
+
+// ---------------------------------------------------------------------------
+// BinaryCode
+// ---------------------------------------------------------------------------
+
+TEST(BinaryCodeTest, EmptyAndZero) {
+  BinaryCode empty;
+  EXPECT_TRUE(empty.empty());
+  BinaryCode zeros(128);
+  EXPECT_EQ(zeros.size(), 128u);
+  EXPECT_EQ(zeros.PopCount(), 0u);
+}
+
+TEST(BinaryCodeTest, SetGetFlip) {
+  BinaryCode code(128);
+  code.SetBit(0, true);
+  code.SetBit(127, true);
+  code.SetBit(64, true);
+  EXPECT_TRUE(code.GetBit(0));
+  EXPECT_TRUE(code.GetBit(64));
+  EXPECT_TRUE(code.GetBit(127));
+  EXPECT_FALSE(code.GetBit(1));
+  EXPECT_EQ(code.PopCount(), 3u);
+  code.FlipBit(64);
+  EXPECT_FALSE(code.GetBit(64));
+  EXPECT_EQ(code.PopCount(), 2u);
+  code.SetBit(0, false);
+  EXPECT_EQ(code.PopCount(), 1u);
+}
+
+TEST(BinaryCodeTest, FromSignsBinarizesAtZero) {
+  BinaryCode code = BinaryCode::FromSigns({0.5f, -0.5f, 0.0f, 1e-9f});
+  EXPECT_TRUE(code.GetBit(0));
+  EXPECT_FALSE(code.GetBit(1));
+  EXPECT_FALSE(code.GetBit(2));  // exactly zero -> 0
+  EXPECT_TRUE(code.GetBit(3));
+}
+
+TEST(BinaryCodeTest, BitStringRoundTrip) {
+  const std::string bits = "10110010011101";
+  BinaryCode code = BinaryCode::FromBitString(bits);
+  EXPECT_EQ(code.size(), bits.size());
+  EXPECT_EQ(code.ToBitString(), bits);
+}
+
+TEST(BinaryCodeTest, HammingDistanceMatchesManualCount) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    BinaryCode a(128), b(128);
+    size_t expected = 0;
+    for (size_t i = 0; i < 128; ++i) {
+      bool ba = rng.Bernoulli(0.5), bb = rng.Bernoulli(0.5);
+      a.SetBit(i, ba);
+      b.SetBit(i, bb);
+      if (ba != bb) ++expected;
+    }
+    EXPECT_EQ(a.HammingDistance(b), expected);
+    EXPECT_EQ(b.HammingDistance(a), expected);
+    EXPECT_EQ(a.HammingDistance(a), 0u);
+  }
+}
+
+TEST(BinaryCodeTest, HammingDistanceIsAMetric) {
+  // Triangle inequality on random triples.
+  Rng rng(43);
+  for (int trial = 0; trial < 50; ++trial) {
+    BinaryCode a(64), b(64), c(64);
+    for (size_t i = 0; i < 64; ++i) {
+      a.SetBit(i, rng.Bernoulli(0.5));
+      b.SetBit(i, rng.Bernoulli(0.5));
+      c.SetBit(i, rng.Bernoulli(0.5));
+    }
+    EXPECT_LE(a.HammingDistance(c),
+              a.HammingDistance(b) + b.HammingDistance(c));
+  }
+}
+
+TEST(BinaryCodeTest, SubstringExtractsBits) {
+  BinaryCode code = BinaryCode::FromBitString("110010101100");
+  BinaryCode sub = code.Substring(2, 5);
+  EXPECT_EQ(sub.ToBitString(), "00101");
+  // Substrings spanning a word boundary.
+  BinaryCode wide(128);
+  wide.SetBit(62, true);
+  wide.SetBit(65, true);
+  BinaryCode cross = wide.Substring(60, 8);
+  EXPECT_EQ(cross.ToBitString(), "00100100");
+}
+
+TEST(BinaryCodeTest, EqualityAndOrdering) {
+  BinaryCode a = BinaryCode::FromBitString("0101");
+  BinaryCode b = BinaryCode::FromBitString("0101");
+  BinaryCode c = BinaryCode::FromBitString("0111");
+  BinaryCode longer = BinaryCode::FromBitString("01010");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, longer);
+  EXPECT_TRUE(a < c || c < a);
+  EXPECT_TRUE(a < longer);  // shorter sorts first
+}
+
+TEST(BinaryCodeTest, HashIsStableAndSpreads) {
+  BinaryCodeHash hasher;
+  BinaryCode a = BinaryCode::FromBitString("0101");
+  EXPECT_EQ(hasher(a), hasher(BinaryCode::FromBitString("0101")));
+  std::set<size_t> hashes;
+  Rng rng(47);
+  for (int i = 0; i < 200; ++i) {
+    BinaryCode code(64);
+    for (size_t j = 0; j < 64; ++j) code.SetBit(j, rng.Bernoulli(0.5));
+    hashes.insert(hasher(code));
+  }
+  EXPECT_GT(hashes.size(), 195u);  // essentially no collisions
+}
+
+TEST(BinaryCodeTest, HexStringIsStable) {
+  BinaryCode code(128);
+  code.SetBit(0, true);
+  code.SetBit(4, true);
+  const std::string hex = code.ToHexString();
+  EXPECT_EQ(hex.size(), 32u);
+  EXPECT_EQ(hex[0], '1');
+  EXPECT_EQ(hex[1], '1');
+}
+
+// ---------------------------------------------------------------------------
+// ByteBuffer
+// ---------------------------------------------------------------------------
+
+TEST(ByteBufferTest, RoundTripScalars) {
+  ByteWriter w;
+  w.PutU8(7);
+  w.PutU32(123456);
+  w.PutU64(1ull << 40);
+  w.PutI64(-99);
+  w.PutF32(2.5f);
+  w.PutF64(-0.125);
+  w.PutString("hello");
+  w.PutF32Vector({1.0f, 2.0f, 3.0f});
+
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetU8(), 7);
+  EXPECT_EQ(*r.GetU32(), 123456u);
+  EXPECT_EQ(*r.GetU64(), 1ull << 40);
+  EXPECT_EQ(*r.GetI64(), -99);
+  EXPECT_EQ(*r.GetF32(), 2.5f);
+  EXPECT_EQ(*r.GetF64(), -0.125);
+  EXPECT_EQ(*r.GetString(), "hello");
+  auto vec = r.GetF32Vector();
+  ASSERT_TRUE(vec.ok());
+  EXPECT_EQ(*vec, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBufferTest, ExhaustionIsCorruption) {
+  ByteWriter w;
+  w.PutU8(1);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetU8().ok());
+  EXPECT_TRUE(r.GetU32().status().IsCorruption());
+}
+
+TEST(ByteBufferTest, TruncatedStringIsCorruption) {
+  ByteWriter w;
+  w.PutU32(100);  // claims 100 bytes follow, none do
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetString().status().IsCorruption());
+}
+
+TEST(ByteBufferTest, FileRoundTrip) {
+  const std::string path = "/tmp/agoraeo_bytebuffer_test.bin";
+  std::vector<uint8_t> payload = {1, 2, 3, 250, 255};
+  ASSERT_TRUE(WriteFileBytes(path, payload).ok());
+  auto back = ReadFileBytes(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+  std::remove(path.c_str());
+}
+
+TEST(ByteBufferTest, ReadMissingFileIsIOError) {
+  EXPECT_TRUE(ReadFileBytes("/tmp/definitely_missing_agoraeo_file")
+                  .status()
+                  .IsIOError());
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(257, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmpty) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(10, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace agoraeo

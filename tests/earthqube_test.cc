@@ -1,0 +1,595 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bigearthnet/archive_generator.h"
+#include "bigearthnet/feature_extractor.h"
+#include "earthqube/earthqube.h"
+#include "earthqube/zip_writer.h"
+#include "earthqube/query.h"
+#include "earthqube/result_panel.h"
+#include "earthqube/schema.h"
+#include "earthqube/statistics.h"
+#include "milan/trainer.h"
+
+namespace agoraeo::earthqube {
+namespace {
+
+using bigearthnet::LabelIdFromName;
+using bigearthnet::LabelSet;
+using bigearthnet::PatchMetadata;
+
+PatchMetadata SampleMeta() {
+  PatchMetadata meta;
+  meta.name = "S2A_MSIL2A_20170717T113321_42_7";
+  meta.labels = LabelSet({2, 39});  // industrial + water bodies
+  meta.country = "Portugal";
+  meta.acquisition_date = CivilDate(2017, 7, 17);
+  meta.season = Season::kSummer;
+  meta.bounds = {{38.0, -9.0}, {38.011, -8.989}};
+  return meta;
+}
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+TEST(SchemaTest, MetadataRoundTripAscii) {
+  const PatchMetadata meta = SampleMeta();
+  auto doc = MetadataToDocument(meta, LabelEncoding::kAsciiCompressed);
+  auto back = DocumentToMetadata(doc);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name, meta.name);
+  EXPECT_TRUE(back->labels == meta.labels);
+  EXPECT_EQ(back->country, meta.country);
+  EXPECT_EQ(back->acquisition_date, meta.acquisition_date);
+  EXPECT_EQ(back->season, Season::kSummer);
+  EXPECT_NEAR(back->bounds.min.lat, 38.0, 1e-12);
+}
+
+TEST(SchemaTest, AsciiEncodingStoresSingleCharLabels) {
+  auto doc = MetadataToDocument(SampleMeta(), LabelEncoding::kAsciiCompressed);
+  const auto* labels = doc.GetPath(kFieldLabels);
+  ASSERT_NE(labels, nullptr);
+  for (const auto& v : labels->as_array()) {
+    EXPECT_EQ(v.as_string().size(), 1u);
+  }
+  const auto* key = doc.GetPath(kFieldLabelsKey);
+  ASSERT_NE(key, nullptr);
+  EXPECT_EQ(key->as_string().size(), 2u);
+}
+
+TEST(SchemaTest, FullStringEncodingStoresNames) {
+  auto doc = MetadataToDocument(SampleMeta(), LabelEncoding::kFullStrings);
+  const auto* labels = doc.GetPath(kFieldLabels);
+  ASSERT_NE(labels, nullptr);
+  bool found = false;
+  for (const auto& v : labels->as_array()) {
+    if (v.as_string() == "Industrial or commercial units") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SchemaTest, SatelliteParsedFromName) {
+  EXPECT_EQ(SatelliteFromName("S2A_MSIL2A_x"), "S2A");
+  EXPECT_EQ(SatelliteFromName("S2B_MSIL2A_x"), "S2B");
+}
+
+TEST(SchemaTest, MalformedDocumentRejected) {
+  docstore::Document empty;
+  EXPECT_TRUE(DocumentToMetadata(empty).status().IsCorruption());
+}
+
+TEST(SchemaTest, ImageDocumentRoundTrip) {
+  bigearthnet::ArchiveConfig config;
+  config.num_patches = 10;
+  config.seed = 77;
+  bigearthnet::ArchiveGenerator gen(config);
+  auto archive = gen.Generate();
+  ASSERT_TRUE(archive.ok());
+  bigearthnet::Patch patch = gen.SynthesizePatch(archive->patches[0]);
+  auto doc = PatchToImageDocument(patch);
+  auto back = ImageDocumentToPatch(doc);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->meta.name, patch.meta.name);
+  ASSERT_EQ(back->s2_bands.size(), 12u);
+  EXPECT_EQ(back->s2_bands[3].pixels, patch.s2_bands[3].pixels);
+  EXPECT_EQ(back->s1_channels[1].pixels, patch.s1_channels[1].pixels);
+}
+
+// ---------------------------------------------------------------------------
+// Query translation
+// ---------------------------------------------------------------------------
+
+TEST(QueryTest, EmptyQueryMatchesEverything) {
+  EarthQubeQuery query;
+  EXPECT_EQ(query.ToFilter().op(), docstore::Filter::Op::kTrue);
+}
+
+TEST(QueryTest, SomeCompilesToIn) {
+  EarthQubeQuery query;
+  query.label_filter = LabelFilter::Some(LabelSet({2, 39}));
+  auto filter = query.ToFilter();
+  EXPECT_EQ(filter.op(), docstore::Filter::Op::kIn);
+  EXPECT_EQ(filter.path(), kFieldLabels);
+  EXPECT_EQ(filter.values().size(), 2u);
+}
+
+TEST(QueryTest, ExactlyCompilesToLabelsKeyEquality) {
+  EarthQubeQuery query;
+  query.label_filter = LabelFilter::Exactly(LabelSet({2, 39}));
+  auto filter = query.ToFilter();
+  EXPECT_EQ(filter.op(), docstore::Filter::Op::kEq);
+  EXPECT_EQ(filter.path(), kFieldLabelsKey);
+}
+
+TEST(QueryTest, AtLeastCompilesToAll) {
+  EarthQubeQuery query;
+  query.label_filter = LabelFilter::AtLeastAndMore(LabelSet({2, 39}));
+  auto filter = query.ToFilter();
+  EXPECT_EQ(filter.op(), docstore::Filter::Op::kAll);
+}
+
+TEST(QueryTest, DisabledLabelFilterIgnored) {
+  EarthQubeQuery query;
+  query.label_filter.enabled = false;
+  query.label_filter.labels = LabelSet({2});
+  EXPECT_EQ(query.ToFilter().op(), docstore::Filter::Op::kTrue);
+}
+
+TEST(QueryTest, SomeLevel2ExpandsHierarchy) {
+  auto filter = LabelFilter::SomeLevel2(31);  // Forests
+  EXPECT_EQ(filter.labels.size(), 3u);
+}
+
+TEST(QueryTest, CompoundQueryIsConjunction) {
+  EarthQubeQuery query;
+  query.geo = GeoQuery::Rect({{37, -10}, {39, -8}});
+  query.date_range = DateRange{CivilDate(2017, 6, 1), CivilDate(2017, 8, 31)};
+  query.satellites = {"S2A"};
+  query.seasons = {Season::kSummer};
+  query.label_filter = LabelFilter::Some(LabelSet({42}));
+  auto filter = query.ToFilter();
+  EXPECT_EQ(filter.op(), docstore::Filter::Op::kAnd);
+  EXPECT_EQ(filter.children().size(), 6u);  // geo + 2 dates + sat + season + labels
+}
+
+TEST(QueryTest, OperatorNames) {
+  EXPECT_STREQ(LabelOperatorToString(LabelOperator::kSome), "Some");
+  EXPECT_STREQ(LabelOperatorToString(LabelOperator::kExactly), "Exactly");
+  EXPECT_STREQ(LabelOperatorToString(LabelOperator::kAtLeastAndMore),
+               "At least & more");
+}
+
+// ---------------------------------------------------------------------------
+// Label statistics
+// ---------------------------------------------------------------------------
+
+TEST(StatisticsTest, CountsAndOrdering) {
+  std::vector<LabelSet> retrievals = {LabelSet({2, 39}), LabelSet({39}),
+                                      LabelSet({39, 11})};
+  auto stats = LabelStatistics::FromLabelSets(retrievals);
+  EXPECT_EQ(stats.num_images(), 3u);
+  EXPECT_EQ(stats.total_occurrences(), 5u);
+  EXPECT_EQ(stats.CountOf(39), 3u);
+  EXPECT_EQ(stats.CountOf(2), 1u);
+  EXPECT_EQ(stats.CountOf(22), 0u);
+  ASSERT_FALSE(stats.bars().empty());
+  EXPECT_EQ(stats.bars()[0].label, 39);  // most frequent first
+  auto dominant = stats.DominantLabel();
+  ASSERT_TRUE(dominant.ok());
+  EXPECT_EQ(*dominant, 39);
+}
+
+TEST(StatisticsTest, EmptyStatistics) {
+  auto stats = LabelStatistics::FromLabelSets({});
+  EXPECT_EQ(stats.num_images(), 0u);
+  EXPECT_TRUE(stats.DominantLabel().status().IsNotFound());
+  EXPECT_EQ(stats.RenderAscii(), "(no labels)\n");
+}
+
+TEST(StatisticsTest, AsciiChartMentionsLabelsAndColors) {
+  auto stats = LabelStatistics::FromLabelSets({LabelSet({39})});
+  const std::string chart = stats.RenderAscii(20);
+  EXPECT_NE(chart.find("Water bodies"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Result panel / cart / clustering
+// ---------------------------------------------------------------------------
+
+std::vector<ResultEntry> MakeEntries(size_t n) {
+  std::vector<ResultEntry> entries;
+  for (size_t i = 0; i < n; ++i) {
+    ResultEntry e;
+    e.name = "patch_" + std::to_string(i);
+    e.labels = LabelSet({static_cast<int>(i % 43)});
+    e.country = "Portugal";
+    e.acquisition_date = "2017-07-17";
+    e.map_location = {38.0 + (i % 10) * 0.001, -9.0 + (i / 10) * 0.001};
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+TEST(ResultPanelTest, Pagination) {
+  ResultPanel panel(MakeEntries(123));
+  EXPECT_EQ(panel.total(), 123u);
+  EXPECT_EQ(panel.num_pages(), 3u);
+  EXPECT_EQ(panel.Page(0).size(), kPageSize);
+  EXPECT_EQ(panel.Page(1).size(), kPageSize);
+  EXPECT_EQ(panel.Page(2).size(), 23u);
+  EXPECT_TRUE(panel.Page(3).empty());
+  EXPECT_EQ(panel.Page(1)[0]->name, "patch_50");
+}
+
+TEST(ResultPanelTest, NamesAsTextOnePerLine) {
+  ResultPanel panel(MakeEntries(3));
+  EXPECT_EQ(panel.NamesAsText(), "patch_0\npatch_1\npatch_2\n");
+}
+
+TEST(ResultPanelTest, RenderLimit) {
+  EXPECT_TRUE(ResultPanel(MakeEntries(1000)).CanRenderOnMap());
+  EXPECT_FALSE(ResultPanel(MakeEntries(1001)).CanRenderOnMap());
+}
+
+TEST(ResultPanelTest, FindByName) {
+  ResultPanel panel(MakeEntries(10));
+  ASSERT_NE(panel.FindByName("patch_7"), nullptr);
+  EXPECT_EQ(panel.FindByName("patch_7")->name, "patch_7");
+  EXPECT_EQ(panel.FindByName("ghost"), nullptr);
+}
+
+TEST(DownloadCartTest, DeduplicatesAcrossSearches) {
+  DownloadCart cart;
+  ResultPanel first(MakeEntries(60));
+  ResultPanel second(MakeEntries(10));  // same names as first 10
+  cart.AddPage(first, 0);
+  EXPECT_EQ(cart.size(), 50u);
+  cart.AddPage(first, 1);
+  EXPECT_EQ(cart.size(), 60u);
+  cart.AddPage(second, 0);  // all duplicates
+  EXPECT_EQ(cart.size(), 60u);
+  EXPECT_TRUE(cart.Contains("patch_0"));
+  EXPECT_FALSE(cart.Contains("ghost"));
+  cart.Clear();
+  EXPECT_EQ(cart.size(), 0u);
+}
+
+TEST(MarkerClusteringTest, LowZoomCollapsesHighZoomSeparates) {
+  auto entries = MakeEntries(100);
+  auto coarse = ClusterMarkers(entries, 1);
+  auto fine = ClusterMarkers(entries, 18);
+  EXPECT_LE(coarse.size(), fine.size());
+  EXPECT_EQ(coarse.size(), 1u);  // all within one huge cell
+
+  // Counts must sum to the number of entries at every zoom.
+  for (const auto& clusters : {coarse, fine}) {
+    size_t total = 0;
+    for (const auto& c : clusters) total += c.count;
+    EXPECT_EQ(total, entries.size());
+  }
+}
+
+TEST(MarkerClusteringTest, ClusterCentersAreMeans) {
+  std::vector<ResultEntry> entries = MakeEntries(2);
+  entries[0].map_location = {38.0, -9.0};
+  entries[1].map_location = {38.0002, -9.0002};
+  auto clusters = ClusterMarkers(entries, 5);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_NEAR(clusters[0].center.lat, 38.0001, 1e-6);
+  EXPECT_NEAR(clusters[0].center.lon, -9.0001, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// EarthQube facade
+// ---------------------------------------------------------------------------
+
+class EarthQubeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bigearthnet::ArchiveConfig aconfig;
+    aconfig.num_patches = 1200;
+    aconfig.seed = 91;
+    aconfig.patches_per_scene = 30;
+    generator_ = new bigearthnet::ArchiveGenerator(aconfig);
+    auto archive = generator_->Generate();
+    ASSERT_TRUE(archive.ok());
+    archive_ = new bigearthnet::Archive(std::move(archive).value());
+
+    extractor_ = new bigearthnet::FeatureExtractor();
+    features_ = new Tensor(extractor_->ExtractArchive(*archive_, *generator_, 4));
+
+    system_ = new EarthQube();
+    ASSERT_TRUE(system_->IngestArchive(*archive_).ok());
+
+    // Train a small MiLaN and attach CBIR.
+    milan::MilanConfig mconfig;
+    mconfig.feature_dim = bigearthnet::kFeatureDim;
+    mconfig.hidden1 = 128;
+    mconfig.hidden2 = 64;
+    mconfig.hash_bits = 32;
+    mconfig.dropout = 0.0f;
+    auto model = std::make_unique<milan::MilanModel>(mconfig);
+    std::vector<LabelSet> labels;
+    for (const auto& p : archive_->patches) labels.push_back(p.labels);
+    milan::TripletSampler sampler(labels);
+    milan::TrainConfig tconfig;
+    tconfig.epochs = 5;
+    tconfig.batches_per_epoch = 20;
+    tconfig.batch_size = 16;
+    milan::Trainer trainer(model.get(), features_, &sampler, tconfig);
+    ASSERT_TRUE(trainer.Train().ok());
+
+    auto cbir = std::make_unique<CbirService>(std::move(model), extractor_);
+    std::vector<std::string> names;
+    for (const auto& p : archive_->patches) names.push_back(p.name);
+    ASSERT_TRUE(cbir->AddImages(names, *features_).ok());
+    system_->AttachCbir(std::move(cbir));
+  }
+
+  static void TearDownTestSuite() {
+    delete system_;
+    delete features_;
+    delete extractor_;
+    delete archive_;
+    delete generator_;
+    system_ = nullptr;
+  }
+
+  static bigearthnet::ArchiveGenerator* generator_;
+  static bigearthnet::Archive* archive_;
+  static bigearthnet::FeatureExtractor* extractor_;
+  static Tensor* features_;
+  static EarthQube* system_;
+};
+
+bigearthnet::ArchiveGenerator* EarthQubeTest::generator_ = nullptr;
+bigearthnet::Archive* EarthQubeTest::archive_ = nullptr;
+bigearthnet::FeatureExtractor* EarthQubeTest::extractor_ = nullptr;
+Tensor* EarthQubeTest::features_ = nullptr;
+EarthQube* EarthQubeTest::system_ = nullptr;
+
+TEST_F(EarthQubeTest, IngestedAllPatches) {
+  EXPECT_EQ(system_->num_images(), archive_->patches.size());
+}
+
+TEST_F(EarthQubeTest, EmptyQueryReturnsEverything) {
+  EarthQubeQuery query;
+  auto response = system_->Search(query);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->panel.total(), archive_->patches.size());
+  EXPECT_EQ(response->statistics.num_images(), archive_->patches.size());
+}
+
+TEST_F(EarthQubeTest, LimitIsRespected) {
+  EarthQubeQuery query;
+  query.limit = 25;
+  auto response = system_->Search(query);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->panel.total(), 25u);
+}
+
+TEST_F(EarthQubeTest, CountrySearchViaGeo) {
+  // Portugal's extent as a rectangle query.
+  auto country = bigearthnet::CountryByName("Portugal");
+  ASSERT_TRUE(country.ok());
+  EarthQubeQuery query;
+  query.geo = GeoQuery::Rect((*country)->extent);
+  auto response = system_->Search(query);
+  ASSERT_TRUE(response.ok());
+  // Every result's center is inside (or extremely near) the extent.
+  for (const auto& e : response->panel.entries()) {
+    EXPECT_TRUE(e.country == "Portugal" ||
+                (*country)->extent.Contains(e.map_location))
+        << e.name << " from " << e.country;
+  }
+  // Cross-check the count against metadata.
+  size_t expected = 0;
+  for (const auto& p : archive_->patches) {
+    if ((*country)->extent.Intersects(p.bounds)) ++expected;
+  }
+  EXPECT_EQ(response->panel.total(), expected);
+}
+
+TEST_F(EarthQubeTest, GeoQueryUsesIndex) {
+  EarthQubeQuery query;
+  query.geo = GeoQuery::Rect({{38.0, -9.5}, {39.0, -8.0}});
+  auto response = system_->Search(query);
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->query_stats.plan.find("geo"), std::string::npos)
+      << response->query_stats.plan;
+}
+
+TEST_F(EarthQubeTest, LabelOperatorsAgreeWithGroundTruth) {
+  const LabelSet targets({2, 39});  // industrial + water bodies
+  size_t expect_some = 0, expect_exactly = 0, expect_atleast = 0;
+  for (const auto& p : archive_->patches) {
+    if (p.labels.ContainsAny(targets)) ++expect_some;
+    if (p.labels == targets) ++expect_exactly;
+    if (p.labels.ContainsAll(targets)) ++expect_atleast;
+  }
+  EarthQubeQuery query;
+  query.label_filter = LabelFilter::Some(targets);
+  EXPECT_EQ(system_->CountMatches(query), expect_some);
+  query.label_filter = LabelFilter::Exactly(targets);
+  EXPECT_EQ(system_->CountMatches(query), expect_exactly);
+  query.label_filter = LabelFilter::AtLeastAndMore(targets);
+  EXPECT_EQ(system_->CountMatches(query), expect_atleast);
+  // Exactly <= AtLeast <= Some, and the scenario labels do co-occur.
+  EXPECT_LE(expect_exactly, expect_atleast);
+  EXPECT_LE(expect_atleast, expect_some);
+  EXPECT_GT(expect_atleast, 0u) << "industrial_waterfront theme missing";
+}
+
+TEST_F(EarthQubeTest, SeasonAndSatelliteAndDateFilters) {
+  EarthQubeQuery query;
+  query.seasons = {Season::kSummer};
+  query.satellites = {"S2A"};
+  query.date_range = DateRange{CivilDate(2017, 6, 1), CivilDate(2017, 8, 31)};
+  auto response = system_->Search(query);
+  ASSERT_TRUE(response.ok());
+  size_t expected = 0;
+  for (const auto& p : archive_->patches) {
+    if (p.season == Season::kSummer &&
+        SatelliteFromName(p.name) == "S2A" &&
+        p.acquisition_date >= CivilDate(2017, 6, 1) &&
+        p.acquisition_date <= CivilDate(2017, 8, 31)) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(response->panel.total(), expected);
+}
+
+TEST_F(EarthQubeTest, SimilarToArchiveImageExcludesSelfAndSorts) {
+  const std::string& name = archive_->patches[10].name;
+  auto response = system_->SimilarToArchiveImage(name, /*radius=*/8);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->panel.FindByName(name), nullptr);  // self excluded
+  EXPECT_EQ(response->query_stats.plan, "CBIR");
+}
+
+TEST_F(EarthQubeTest, SimilaritySearchFindsSemanticNeighbors) {
+  // For several queries, retrieved images share labels with the query far
+  // more often than random pairs would.
+  size_t shared = 0, total = 0;
+  for (size_t q = 0; q < 20; ++q) {
+    const auto& meta = archive_->patches[q * 7];
+    auto response = system_->NearestToArchiveImage(meta.name, 10);
+    ASSERT_TRUE(response.ok());
+    for (const auto& e : response->panel.entries()) {
+      ++total;
+      if (e.labels.ContainsAny(meta.labels)) ++shared;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(shared) / total, 0.6);
+}
+
+TEST_F(EarthQubeTest, QueryByNewExample) {
+  // Synthesise a patch that is NOT part of the ingested archive by using
+  // metadata from the archive but treating pixels as an upload.
+  bigearthnet::Patch upload =
+      generator_->SynthesizePatch(archive_->patches[33]);
+  upload.meta.name = "uploaded_by_visitor";
+  auto response = system_->SimilarToUploadedImage(upload, /*radius=*/10);
+  ASSERT_TRUE(response.ok());
+  EXPECT_GT(response->panel.total(), 0u);
+  // The original archive twin should be among the closest results.
+  EXPECT_NE(response->panel.FindByName(archive_->patches[33].name), nullptr);
+}
+
+TEST_F(EarthQubeTest, UnknownImageNameIsNotFound) {
+  EXPECT_TRUE(
+      system_->SimilarToArchiveImage("ghost_patch", 4).status().IsNotFound());
+  EXPECT_TRUE(system_->GetMetadata("ghost_patch").status().IsNotFound());
+}
+
+TEST_F(EarthQubeTest, MetadataLookup) {
+  auto meta = system_->GetMetadata(archive_->patches[5].name);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(meta->labels == archive_->patches[5].labels);
+}
+
+TEST_F(EarthQubeTest, ImagePayloadStoreAndLoad) {
+  bigearthnet::Patch patch = generator_->SynthesizePatch(archive_->patches[2]);
+  ASSERT_TRUE(system_->StorePatchPixels(patch).ok());
+  EXPECT_TRUE(system_->StorePatchPixels(patch).IsAlreadyExists());
+  auto loaded = system_->LoadPatchPixels(patch.meta.name);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->s2_bands[0].pixels, patch.s2_bands[0].pixels);
+}
+
+TEST_F(EarthQubeTest, RenderedImageStoreAndGet) {
+  bigearthnet::Patch patch = generator_->SynthesizePatch(archive_->patches[4]);
+  ASSERT_TRUE(system_->StoreRenderedImage(patch).ok());
+  auto rgb = system_->GetRenderedImage(patch.meta.name);
+  ASSERT_TRUE(rgb.ok());
+  EXPECT_EQ(rgb->size(), 120u * 120u * 3u);
+}
+
+TEST_F(EarthQubeTest, FeedbackCollection) {
+  const size_t before = system_->NumFeedbackEntries();
+  ASSERT_TRUE(system_->SubmitFeedback("lovely beaches in the demo").ok());
+  EXPECT_EQ(system_->NumFeedbackEntries(), before + 1);
+}
+
+TEST_F(EarthQubeTest, CbirWithoutServiceFailsGracefully) {
+  EarthQube bare;
+  EXPECT_TRUE(
+      bare.SimilarToArchiveImage("x", 4).status().IsFailedPrecondition());
+}
+
+
+// ---------------------------------------------------------------------------
+// ZipWriter / download export
+// ---------------------------------------------------------------------------
+
+TEST(ZipWriterTest, EmptyArchiveIsValid) {
+  ZipWriter zip;
+  const auto bytes = zip.Finish();
+  ASSERT_GE(bytes.size(), 22u);
+  // End-of-central-directory signature.
+  EXPECT_EQ(bytes[0], 0x50);
+  EXPECT_EQ(bytes[1], 0x4b);
+  auto entries = ZipExtractAll(bytes);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+}
+
+TEST(ZipWriterTest, RoundTripsEntries) {
+  ZipWriter zip;
+  ASSERT_TRUE(zip.Add("a/metadata.json", std::string("{\"x\":1}")).ok());
+  std::vector<uint8_t> binary = {0, 1, 2, 255, 254, 0, 42};
+  ASSERT_TRUE(zip.Add("a/bands.bin", binary).ok());
+  ASSERT_TRUE(zip.Add("manifest.txt", std::string("a\n")).ok());
+  const auto bytes = zip.Finish();
+  // Local-header magic "PK\3\4" first.
+  ASSERT_GE(bytes.size(), 4u);
+  EXPECT_EQ(bytes[2], 0x03);
+  EXPECT_EQ(bytes[3], 0x04);
+
+  auto entries = ZipExtractAll(bytes);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].first, "a/metadata.json");
+  EXPECT_EQ((*entries)[1].first, "a/bands.bin");
+  EXPECT_EQ((*entries)[1].second, binary);
+  EXPECT_EQ(std::string((*entries)[2].second.begin(),
+                        (*entries)[2].second.end()),
+            "a\n");
+}
+
+TEST(ZipWriterTest, RejectsBadNamesAndDuplicates) {
+  ZipWriter zip;
+  EXPECT_TRUE(zip.Add("", std::string("x")).IsInvalidArgument());
+  EXPECT_TRUE(zip.Add("/abs/path", std::string("x")).IsInvalidArgument());
+  EXPECT_TRUE(zip.Add("back\\slash", std::string("x")).IsInvalidArgument());
+  ASSERT_TRUE(zip.Add("ok.txt", std::string("x")).ok());
+  EXPECT_TRUE(zip.Add("ok.txt", std::string("y")).IsAlreadyExists());
+}
+
+TEST(ZipWriterTest, ExtractDetectsCorruption) {
+  ZipWriter zip;
+  ASSERT_TRUE(zip.Add("f.bin", std::vector<uint8_t>(100, 7)).ok());
+  auto bytes = zip.Finish();
+  // Flip a payload byte: the CRC check must catch it.
+  bytes[40] ^= 0xFF;
+  EXPECT_TRUE(ZipExtractAll(bytes).status().IsCorruption());
+  // Truncation must be detected, not crash.
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + 10);
+  EXPECT_FALSE(ZipExtractAll(truncated).ok());
+}
+
+TEST(ZipWriterTest, DeterministicOutput) {
+  auto build = [] {
+    ZipWriter zip;
+    (void)!zip.Add("x.txt", std::string("hello")).ok();
+    return zip.Finish();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace agoraeo::earthqube

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "geo/geo.h"
+
+namespace agoraeo::geo {
+namespace {
+
+TEST(GeoPointTest, Validation) {
+  EXPECT_TRUE(IsValidPoint({0, 0}));
+  EXPECT_TRUE(IsValidPoint({90, 180}));
+  EXPECT_TRUE(IsValidPoint({-90, -180}));
+  EXPECT_FALSE(IsValidPoint({91, 0}));
+  EXPECT_FALSE(IsValidPoint({0, 181}));
+  EXPECT_FALSE(IsValidPoint({-90.01, 0}));
+}
+
+TEST(HaversineTest, ZeroForSamePoint) {
+  GeoPoint berlin{52.52, 13.405};
+  EXPECT_EQ(HaversineMeters(berlin, berlin), 0.0);
+}
+
+TEST(HaversineTest, KnownDistances) {
+  // Berlin <-> Lisbon: ~2313 km.
+  GeoPoint berlin{52.52, 13.405};
+  GeoPoint lisbon{38.7223, -9.1393};
+  EXPECT_NEAR(HaversineMeters(berlin, lisbon), 2313000, 15000);
+  // One degree of latitude at the equator: ~111.2 km.
+  EXPECT_NEAR(HaversineMeters({0, 0}, {1, 0}), 111195, 200);
+}
+
+TEST(HaversineTest, Symmetry) {
+  GeoPoint a{47.3, 8.5}, b{41.9, 21.0};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(BoundingBoxTest, ContainsAndIntersects) {
+  BoundingBox box{{40, -10}, {50, 10}};
+  EXPECT_TRUE(box.Contains({45, 0}));
+  EXPECT_TRUE(box.Contains({40, -10}));  // boundary inclusive
+  EXPECT_FALSE(box.Contains({39.99, 0}));
+  EXPECT_FALSE(box.Contains({45, 11}));
+
+  BoundingBox overlap{{45, 5}, {55, 15}};
+  BoundingBox disjoint{{60, 20}, {70, 30}};
+  BoundingBox touching{{50, 10}, {60, 20}};
+  EXPECT_TRUE(box.Intersects(overlap));
+  EXPECT_TRUE(overlap.Intersects(box));
+  EXPECT_FALSE(box.Intersects(disjoint));
+  EXPECT_TRUE(box.Intersects(touching));  // shared corner counts
+}
+
+TEST(BoundingBoxTest, CenterAndValidity) {
+  BoundingBox box{{40, -10}, {50, 10}};
+  EXPECT_EQ(box.Center().lat, 45);
+  EXPECT_EQ(box.Center().lon, 0);
+  EXPECT_TRUE(box.IsValid());
+  BoundingBox inverted{{50, 10}, {40, -10}};
+  EXPECT_FALSE(inverted.IsValid());
+}
+
+TEST(CircleTest, ContainsByDistance) {
+  Circle c{{48.0, 11.0}, 50000};  // 50 km around Munich-ish
+  EXPECT_TRUE(c.Contains({48.1, 11.1}));
+  EXPECT_FALSE(c.Contains({49.0, 13.0}));
+}
+
+TEST(CircleTest, BoundsContainCircle) {
+  Circle c{{48.0, 11.0}, 30000};
+  BoundingBox bounds = c.Bounds();
+  // Sample circle boundary points; all must fall inside the bounds.
+  for (int deg = 0; deg < 360; deg += 15) {
+    const double rad = deg * M_PI / 180.0;
+    const double dlat = (c.radius_meters / kEarthRadiusMeters) * 180.0 / M_PI;
+    const double dlon = dlat / std::cos(c.center.lat * M_PI / 180.0);
+    GeoPoint p{c.center.lat + dlat * std::sin(rad),
+               c.center.lon + dlon * std::cos(rad)};
+    EXPECT_TRUE(bounds.Contains(p)) << "angle " << deg;
+  }
+}
+
+TEST(PolygonTest, TriangleContainment) {
+  Polygon tri{{{0, 0}, {0, 10}, {10, 0}}};
+  EXPECT_TRUE(tri.Contains({2, 2}));
+  EXPECT_FALSE(tri.Contains({6, 6}));
+  EXPECT_FALSE(tri.Contains({-1, 0}));
+}
+
+TEST(PolygonTest, ConcavePolygon) {
+  // A "U" shape: the notch must be outside.
+  Polygon u{{{0, 0}, {0, 10}, {10, 10}, {10, 7}, {3, 7}, {3, 3}, {10, 3},
+             {10, 0}}};
+  EXPECT_TRUE(u.Contains({1, 5}));    // inside the left bar
+  EXPECT_FALSE(u.Contains({6, 5}));   // inside the notch
+  EXPECT_TRUE(u.Contains({9, 8.5}));  // upper arm
+  EXPECT_TRUE(u.Contains({9, 1.5}));  // lower arm
+}
+
+TEST(PolygonTest, DegenerateIsEmpty) {
+  Polygon line{{{0, 0}, {1, 1}}};
+  EXPECT_FALSE(line.IsValid());
+  EXPECT_FALSE(line.Contains({0.5, 0.5}));
+}
+
+TEST(PolygonTest, BoundsCoverVertices) {
+  Polygon p{{{1, 2}, {5, -3}, {-2, 7}}};
+  BoundingBox b = p.Bounds();
+  EXPECT_EQ(b.min.lat, -2);
+  EXPECT_EQ(b.min.lon, -3);
+  EXPECT_EQ(b.max.lat, 5);
+  EXPECT_EQ(b.max.lon, 7);
+}
+
+// --- geohash ---------------------------------------------------------------
+
+TEST(GeohashTest, KnownValue) {
+  // Well-known reference: (57.64911, 10.40744) -> "u4pruydqqvj".
+  auto hash = GeohashEncode({57.64911, 10.40744}, 11);
+  ASSERT_TRUE(hash.ok());
+  EXPECT_EQ(*hash, "u4pruydqqvj");
+}
+
+TEST(GeohashTest, PrefixPropertyAcrossPrecisions) {
+  GeoPoint p{48.8584, 2.2945};
+  auto full = GeohashEncode(p, 9);
+  ASSERT_TRUE(full.ok());
+  for (int precision = 1; precision < 9; ++precision) {
+    auto shorter = GeohashEncode(p, precision);
+    ASSERT_TRUE(shorter.ok());
+    EXPECT_EQ(*shorter, full->substr(0, precision));
+  }
+}
+
+TEST(GeohashTest, InvalidArguments) {
+  EXPECT_FALSE(GeohashEncode({91, 0}, 5).ok());
+  EXPECT_FALSE(GeohashEncode({0, 0}, 0).ok());
+  EXPECT_FALSE(GeohashEncode({0, 0}, 13).ok());
+  EXPECT_FALSE(GeohashDecodeBounds("").ok());
+  EXPECT_FALSE(GeohashDecodeBounds("abi").ok());  // 'i' not in base32
+}
+
+TEST(GeohashTest, DecodeBoundsContainOriginal) {
+  Rng rng(55);
+  for (int trial = 0; trial < 50; ++trial) {
+    GeoPoint p{rng.Uniform(-85, 85), rng.Uniform(-179, 179)};
+    for (int precision : {3, 5, 8}) {
+      auto hash = GeohashEncode(p, precision);
+      ASSERT_TRUE(hash.ok());
+      auto bounds = GeohashDecodeBounds(*hash);
+      ASSERT_TRUE(bounds.ok());
+      EXPECT_TRUE(bounds->Contains(p))
+          << "precision " << precision << " point " << p.lat << "," << p.lon;
+    }
+  }
+}
+
+TEST(GeohashTest, DecodeCenterReencodesToSameCell) {
+  Rng rng(56);
+  for (int trial = 0; trial < 30; ++trial) {
+    GeoPoint p{rng.Uniform(-85, 85), rng.Uniform(-179, 179)};
+    auto hash = GeohashEncode(p, 6);
+    ASSERT_TRUE(hash.ok());
+    auto center = GeohashDecode(*hash);
+    ASSERT_TRUE(center.ok());
+    auto rehash = GeohashEncode(*center, 6);
+    ASSERT_TRUE(rehash.ok());
+    EXPECT_EQ(*rehash, *hash);
+  }
+}
+
+TEST(GeohashTest, CellSizeShrinksWithPrecision) {
+  GeoPoint p{47.0, 8.0};
+  double prev_area = 1e18;
+  for (int precision = 1; precision <= 8; ++precision) {
+    auto bounds = GeohashDecodeBounds(*GeohashEncode(p, precision));
+    ASSERT_TRUE(bounds.ok());
+    const double area = (bounds->max.lat - bounds->min.lat) *
+                        (bounds->max.lon - bounds->min.lon);
+    EXPECT_LT(area, prev_area);
+    prev_area = area;
+  }
+}
+
+TEST(GeohashTest, NeighborsIncludeSelfAndAreAdjacent) {
+  auto neighbors = GeohashNeighbors("u4pru");
+  ASSERT_TRUE(neighbors.ok());
+  EXPECT_EQ((*neighbors)[0], "u4pru");
+  EXPECT_EQ(neighbors->size(), 9u);  // mid-latitude: all 8 neighbours
+  auto self_bounds = GeohashDecodeBounds("u4pru");
+  for (size_t i = 1; i < neighbors->size(); ++i) {
+    auto b = GeohashDecodeBounds((*neighbors)[i]);
+    ASSERT_TRUE(b.ok());
+    // Every neighbour cell touches the self cell (expanded marginally
+    // for floating point).
+    BoundingBox padded = *self_bounds;
+    padded.min.lat -= 1e-9;
+    padded.min.lon -= 1e-9;
+    padded.max.lat += 1e-9;
+    padded.max.lon += 1e-9;
+    EXPECT_TRUE(padded.Intersects(*b)) << (*neighbors)[i];
+  }
+}
+
+TEST(GeohashTest, CoverContainsAllPointsInBox) {
+  BoundingBox box{{47.0, 8.0}, {47.5, 9.0}};
+  auto cover = GeohashCover(box, 5);
+  ASSERT_FALSE(cover.empty());
+  Rng rng(57);
+  for (int trial = 0; trial < 100; ++trial) {
+    GeoPoint p{rng.Uniform(box.min.lat, box.max.lat),
+               rng.Uniform(box.min.lon, box.max.lon)};
+    auto hash = GeohashEncode(p, 5);
+    ASSERT_TRUE(hash.ok());
+    // The point's cell (or one of its prefixes) must be in the cover.
+    bool covered = false;
+    for (const std::string& cell : cover) {
+      if (hash->compare(0, cell.size(), cell) == 0) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "point " << p.lat << "," << p.lon;
+  }
+}
+
+TEST(GeohashTest, CoverRespectsMaxCells) {
+  BoundingBox europe{{35.0, -10.0}, {70.0, 30.0}};
+  auto cover = GeohashCover(europe, 8, /*max_cells=*/64);
+  EXPECT_LE(cover.size(), 64u);
+  EXPECT_FALSE(cover.empty());
+}
+
+class GeohashPrecisionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeohashPrecisionTest, RoundTripAtEveryPrecision) {
+  const int precision = GetParam();
+  Rng rng(58 + precision);
+  for (int trial = 0; trial < 10; ++trial) {
+    GeoPoint p{rng.Uniform(-80, 80), rng.Uniform(-170, 170)};
+    auto hash = GeohashEncode(p, precision);
+    ASSERT_TRUE(hash.ok());
+    EXPECT_EQ(hash->size(), static_cast<size_t>(precision));
+    auto bounds = GeohashDecodeBounds(*hash);
+    ASSERT_TRUE(bounds.ok());
+    EXPECT_TRUE(bounds->Contains(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, GeohashPrecisionTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace agoraeo::geo

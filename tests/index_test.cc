@@ -1,0 +1,636 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/random.h"
+#include "milan/baselines.h"
+#include "index/hamming_table.h"
+#include "index/bk_tree.h"
+#include "index/ivf_index.h"
+#include "index/product_quantizer.h"
+#include "index/linear_scan.h"
+
+namespace agoraeo::index {
+namespace {
+
+BinaryCode RandomCode(size_t bits, Rng* rng) {
+  BinaryCode code(bits);
+  for (size_t i = 0; i < bits; ++i) code.SetBit(i, rng->Bernoulli(0.5));
+  return code;
+}
+
+/// Flips exactly `flips` random distinct bits of `base`.
+BinaryCode Perturb(const BinaryCode& base, size_t flips, Rng* rng) {
+  BinaryCode code = base;
+  auto positions = rng->SampleWithoutReplacement(base.size(), flips);
+  for (size_t pos : positions) code.FlipBit(pos);
+  return code;
+}
+
+// ---------------------------------------------------------------------------
+// LinearScanIndex (the reference implementation)
+// ---------------------------------------------------------------------------
+
+TEST(LinearScanTest, RadiusSearchExact) {
+  LinearScanIndex idx;
+  Rng rng(1);
+  BinaryCode query = RandomCode(64, &rng);
+  ASSERT_TRUE(idx.Add(0, query).ok());                      // d = 0
+  ASSERT_TRUE(idx.Add(1, Perturb(query, 3, &rng)).ok());    // d = 3
+  ASSERT_TRUE(idx.Add(2, Perturb(query, 10, &rng)).ok());   // d = 10
+
+  auto r2 = idx.RadiusSearch(query, 2);
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(r2[0].id, 0u);
+  auto r5 = idx.RadiusSearch(query, 5);
+  ASSERT_EQ(r5.size(), 2u);
+  EXPECT_EQ(r5[1].id, 1u);
+  EXPECT_EQ(r5[1].distance, 3u);
+  auto r64 = idx.RadiusSearch(query, 64);
+  EXPECT_EQ(r64.size(), 3u);
+}
+
+TEST(LinearScanTest, KnnOrderedAndTiedById) {
+  LinearScanIndex idx;
+  BinaryCode zero(16);
+  BinaryCode one(16);
+  one.SetBit(0, true);
+  ASSERT_TRUE(idx.Add(5, one).ok());
+  ASSERT_TRUE(idx.Add(3, one).ok());  // same distance, lower id
+  ASSERT_TRUE(idx.Add(9, zero).ok());
+  auto knn = idx.KnnSearch(zero, 3);
+  ASSERT_EQ(knn.size(), 3u);
+  EXPECT_EQ(knn[0].id, 9u);
+  EXPECT_EQ(knn[0].distance, 0u);
+  EXPECT_EQ(knn[1].id, 3u);  // tie broken by id
+  EXPECT_EQ(knn[2].id, 5u);
+}
+
+TEST(LinearScanTest, KnnFewerThanK) {
+  LinearScanIndex idx;
+  Rng rng(2);
+  ASSERT_TRUE(idx.Add(0, RandomCode(32, &rng)).ok());
+  EXPECT_EQ(idx.KnnSearch(RandomCode(32, &rng), 10).size(), 1u);
+}
+
+TEST(LinearScanTest, RejectsMismatchedLengths) {
+  LinearScanIndex idx;
+  Rng rng(3);
+  ASSERT_TRUE(idx.Add(0, RandomCode(64, &rng)).ok());
+  EXPECT_TRUE(idx.Add(1, RandomCode(32, &rng)).IsInvalidArgument());
+  EXPECT_TRUE(idx.Add(2, BinaryCode()).IsInvalidArgument());
+}
+
+TEST(FloatLinearScanTest, ExactNeighbors) {
+  FloatLinearScan idx(2);
+  idx.Add(0, Tensor({2}, {0, 0}));
+  idx.Add(1, Tensor({2}, {1, 0}));
+  idx.Add(2, Tensor({2}, {5, 5}));
+  auto knn = idx.KnnSearch(Tensor({2}, {0.4f, 0}), 2);
+  ASSERT_EQ(knn.size(), 2u);
+  EXPECT_EQ(knn[0].id, 0u);
+  EXPECT_EQ(knn[1].id, 1u);
+  EXPECT_NEAR(knn[0].distance, 0.16f, 1e-5f);
+}
+
+// ---------------------------------------------------------------------------
+// HammingHashTable
+// ---------------------------------------------------------------------------
+
+TEST(HammingHashTableTest, ExactLookupRadiusZero) {
+  HammingHashTable idx;
+  Rng rng(4);
+  BinaryCode a = RandomCode(128, &rng);
+  BinaryCode b = Perturb(a, 1, &rng);
+  ASSERT_TRUE(idx.Add(1, a).ok());
+  ASSERT_TRUE(idx.Add(2, a).ok());  // same bucket
+  ASSERT_TRUE(idx.Add(3, b).ok());
+  auto hits = idx.RadiusSearch(a, 0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(hits[1].id, 2u);
+  EXPECT_EQ(idx.num_buckets(), 2u);
+  EXPECT_EQ(idx.size(), 3u);
+}
+
+TEST(HammingHashTableTest, ProbeCountBinomialSums) {
+  EXPECT_EQ(HammingHashTable::ProbeCount(128, 0), 1u);
+  EXPECT_EQ(HammingHashTable::ProbeCount(128, 1), 129u);
+  EXPECT_EQ(HammingHashTable::ProbeCount(128, 2), 1u + 128u + 8128u);
+  EXPECT_EQ(HammingHashTable::ProbeCount(4, 4), 16u);  // whole space
+  EXPECT_EQ(HammingHashTable::ProbeCount(512, 60), SIZE_MAX);  // saturates
+}
+
+TEST(HammingHashTableTest, StatsReportProbeStrategy) {
+  HammingHashTable idx;
+  Rng rng(5);
+  for (ItemId i = 0; i < 100; ++i) {
+    ASSERT_TRUE(idx.Add(i, RandomCode(32, &rng)).ok());
+  }
+  // Small radius: mask enumeration (probes = 1 + 32 = 33).
+  SearchStats stats;
+  idx.RadiusSearch(RandomCode(32, &rng), 1, &stats);
+  EXPECT_EQ(stats.buckets_probed, 33u);
+  // Large radius: bucket scan (probes = number of buckets).
+  idx.RadiusSearch(RandomCode(32, &rng), 20, &stats);
+  EXPECT_EQ(stats.buckets_probed, idx.num_buckets());
+}
+
+// ---------------------------------------------------------------------------
+// MultiIndexHashing
+// ---------------------------------------------------------------------------
+
+TEST(MultiIndexHashingTest, SubstringGuarantee) {
+  // Construct a code pair at distance exactly r and verify MIH finds it
+  // for every r in a sweep.
+  for (uint32_t r = 0; r <= 16; r += 4) {
+    MultiIndexHashing idx(4);
+    Rng rng(6 + r);
+    BinaryCode base = RandomCode(128, &rng);
+    BinaryCode far = Perturb(base, r, &rng);
+    ASSERT_TRUE(idx.Add(1, far).ok());
+    auto hits = idx.RadiusSearch(base, r);
+    ASSERT_EQ(hits.size(), 1u) << "radius " << r;
+    EXPECT_EQ(hits[0].distance, r);
+  }
+}
+
+TEST(MultiIndexHashingTest, RejectsOversizedSubstrings) {
+  MultiIndexHashing idx(1);  // 128-bit single substring > 64 bits
+  Rng rng(7);
+  EXPECT_TRUE(idx.Add(0, RandomCode(128, &rng)).IsInvalidArgument());
+}
+
+TEST(MultiIndexHashingTest, UnevenSplitWorks) {
+  MultiIndexHashing idx(3);  // 64 = 22 + 21 + 21
+  Rng rng(8);
+  BinaryCode base = RandomCode(64, &rng);
+  ASSERT_TRUE(idx.Add(0, base).ok());
+  ASSERT_TRUE(idx.Add(1, Perturb(base, 5, &rng)).ok());
+  auto hits = idx.RadiusSearch(base, 6);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-implementation equivalence (property tests)
+// ---------------------------------------------------------------------------
+
+struct EquivalenceParams {
+  size_t bits;
+  size_t n_items;
+  uint32_t radius;
+};
+
+class IndexEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceParams> {};
+
+TEST_P(IndexEquivalenceTest, AllIndexesReturnIdenticalRadiusResults) {
+  const auto& params = GetParam();
+  Rng rng(1000 + params.bits + params.radius);
+
+  LinearScanIndex reference;
+  HammingHashTable table;
+  MultiIndexHashing mih(4);
+  BkTree bk;
+
+  // Clustered codes so radius searches have non-trivial results.
+  std::vector<BinaryCode> centers;
+  for (int c = 0; c < 5; ++c) centers.push_back(RandomCode(params.bits, &rng));
+  for (ItemId i = 0; i < params.n_items; ++i) {
+    const BinaryCode code = Perturb(
+        centers[i % centers.size()],
+        rng.UniformInt(static_cast<uint32_t>(params.bits / 8)), &rng);
+    ASSERT_TRUE(reference.Add(i, code).ok());
+    ASSERT_TRUE(table.Add(i, code).ok());
+    ASSERT_TRUE(mih.Add(i, code).ok());
+    ASSERT_TRUE(bk.Add(i, code).ok());
+  }
+
+  for (int q = 0; q < 10; ++q) {
+    const BinaryCode query =
+        Perturb(centers[static_cast<size_t>(q) % centers.size()],
+                rng.UniformInt(4), &rng);
+    const auto expected = reference.RadiusSearch(query, params.radius);
+    const auto from_table = table.RadiusSearch(query, params.radius);
+    const auto from_mih = mih.RadiusSearch(query, params.radius);
+    const auto from_bk = bk.RadiusSearch(query, params.radius);
+    EXPECT_EQ(from_table, expected) << "hash table, query " << q;
+    EXPECT_EQ(from_mih, expected) << "MIH, query " << q;
+    EXPECT_EQ(from_bk, expected) << "BK-tree, query " << q;
+  }
+}
+
+TEST_P(IndexEquivalenceTest, KnnMatchesReferenceDistances) {
+  const auto& params = GetParam();
+  Rng rng(2000 + params.bits + params.radius);
+
+  LinearScanIndex reference;
+  HammingHashTable table;
+  MultiIndexHashing mih(4);
+  BkTree bk;
+  std::vector<BinaryCode> centers;
+  for (int c = 0; c < 4; ++c) centers.push_back(RandomCode(params.bits, &rng));
+  for (ItemId i = 0; i < params.n_items; ++i) {
+    const BinaryCode code =
+        Perturb(centers[i % centers.size()],
+                rng.UniformInt(static_cast<uint32_t>(params.bits / 6)), &rng);
+    ASSERT_TRUE(reference.Add(i, code).ok());
+    ASSERT_TRUE(table.Add(i, code).ok());
+    ASSERT_TRUE(mih.Add(i, code).ok());
+    ASSERT_TRUE(bk.Add(i, code).ok());
+  }
+  const size_t k = 7;
+  for (int q = 0; q < 5; ++q) {
+    const BinaryCode query = RandomCode(params.bits, &rng);
+    const auto expected = reference.KnnSearch(query, k);
+    const auto from_table = table.KnnSearch(query, k);
+    const auto from_mih = mih.KnnSearch(query, k);
+    // Distances must agree exactly (ids may differ only on equal
+    // distance; our tie-break is deterministic so full equality holds).
+    EXPECT_EQ(from_table, expected) << "hash table knn, query " << q;
+    EXPECT_EQ(from_mih, expected) << "MIH knn, query " << q;
+    EXPECT_EQ(bk.KnnSearch(query, k), expected) << "BK knn, query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IndexEquivalenceTest,
+    ::testing::Values(EquivalenceParams{32, 200, 2},
+                      EquivalenceParams{32, 200, 6},
+                      EquivalenceParams{64, 300, 3},
+                      EquivalenceParams{64, 300, 8},
+                      EquivalenceParams{128, 400, 4},
+                      EquivalenceParams{128, 400, 10}));
+
+TEST(IndexStressTest, EmptyIndexReturnsNothing) {
+  HammingHashTable table;
+  MultiIndexHashing mih(4);
+  LinearScanIndex scan;
+  BkTree bk;
+  Rng rng(9);
+  const BinaryCode query = RandomCode(64, &rng);
+  EXPECT_TRUE(table.RadiusSearch(query, 5).empty());
+  EXPECT_TRUE(mih.RadiusSearch(query, 5).empty());
+  EXPECT_TRUE(scan.RadiusSearch(query, 5).empty());
+  EXPECT_TRUE(bk.RadiusSearch(query, 5).empty());
+  EXPECT_TRUE(table.KnnSearch(query, 3).empty());
+  EXPECT_TRUE(mih.KnnSearch(query, 3).empty());
+  EXPECT_TRUE(scan.KnnSearch(query, 3).empty());
+  EXPECT_TRUE(bk.KnnSearch(query, 3).empty());
+}
+
+TEST(IndexStressTest, DuplicateCodesAllReturned) {
+  HammingHashTable table;
+  Rng rng(10);
+  const BinaryCode code = RandomCode(64, &rng);
+  for (ItemId i = 0; i < 50; ++i) ASSERT_TRUE(table.Add(i, code).ok());
+  EXPECT_EQ(table.RadiusSearch(code, 0).size(), 50u);
+  EXPECT_EQ(table.num_buckets(), 1u);
+  EXPECT_EQ(table.KnnSearch(code, 10).size(), 10u);
+}
+
+
+// ---------------------------------------------------------------------------
+// BkTree specifics
+// ---------------------------------------------------------------------------
+
+TEST(BkTreeTest, DuplicateCodesShareOneNode) {
+  BkTree bk;
+  Rng rng(31);
+  const BinaryCode code = RandomCode(64, &rng);
+  ASSERT_TRUE(bk.Add(1, code).ok());
+  ASSERT_TRUE(bk.Add(2, code).ok());
+  EXPECT_EQ(bk.size(), 2u);
+  EXPECT_EQ(bk.Depth(), 1u);
+  auto hits = bk.RadiusSearch(code, 0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].distance, 0u);
+  EXPECT_EQ(hits[1].distance, 0u);
+}
+
+TEST(BkTreeTest, RejectsMismatchedCodeLength) {
+  BkTree bk;
+  Rng rng(32);
+  ASSERT_TRUE(bk.Add(1, RandomCode(64, &rng)).ok());
+  EXPECT_TRUE(bk.Add(2, RandomCode(32, &rng)).IsInvalidArgument());
+  EXPECT_TRUE(bk.Add(3, BinaryCode()).IsInvalidArgument());
+}
+
+TEST(BkTreeTest, PruningVisitsFewerNodesThanScanAtSmallRadius) {
+  BkTree bk;
+  LinearScanIndex scan;
+  Rng rng(33);
+  std::vector<BinaryCode> centers;
+  for (int c = 0; c < 8; ++c) centers.push_back(RandomCode(128, &rng));
+  for (ItemId i = 0; i < 2000; ++i) {
+    const BinaryCode code = Perturb(centers[i % 8], rng.UniformInt(10u), &rng);
+    ASSERT_TRUE(bk.Add(i, code).ok());
+    ASSERT_TRUE(scan.Add(i, code).ok());
+  }
+  SearchStats bk_stats;
+  const auto hits = bk.RadiusSearch(centers[0], 4, &bk_stats);
+  EXPECT_FALSE(hits.empty());
+  // Triangle-inequality pruning must skip a large share of the nodes.
+  EXPECT_LT(bk_stats.buckets_probed, 2000u / 2);
+}
+
+TEST(BkTreeTest, DepthGrowsLogarithmically) {
+  BkTree bk;
+  Rng rng(34);
+  for (ItemId i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(bk.Add(i, RandomCode(64, &rng)).ok());
+  }
+  // Random 64-bit codes give a bushy tree; depth far below item count.
+  EXPECT_LT(bk.Depth(), 64u);
+  EXPECT_GT(bk.Depth(), 2u);
+}
+
+
+// ---------------------------------------------------------------------------
+// Product quantization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Gaussian mixture in d dimensions: `clusters` centers, per-point noise.
+Tensor ClusteredFloats(size_t n, size_t d, size_t clusters, float noise,
+                       Rng* rng) {
+  Tensor centers = Tensor::RandomNormal({clusters, d}, 3.0f, rng);
+  Tensor out({n, d});
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = i % clusters;
+    for (size_t j = 0; j < d; ++j) {
+      out[i * d + j] =
+          centers[c * d + j] + static_cast<float>(noise * rng->Normal());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(ProductQuantizerTest, TrainRejectsBadConfigs) {
+  Rng rng(41);
+  Tensor data = Tensor::RandomNormal({300, 32}, 1.0f, &rng);
+  ProductQuantizer::Config config;
+  config.num_subspaces = 5;  // does not divide 32
+  EXPECT_FALSE(ProductQuantizer::Train(data, config).ok());
+  config.num_subspaces = 8;
+  config.num_centroids = 300;  // > 256
+  EXPECT_FALSE(ProductQuantizer::Train(data, config).ok());
+  config.num_centroids = 256;  // n < K
+  Tensor tiny = Tensor::RandomNormal({100, 32}, 1.0f, &rng);
+  EXPECT_FALSE(ProductQuantizer::Train(tiny, config).ok());
+}
+
+TEST(ProductQuantizerTest, EncodeDecodeReducesError) {
+  Rng rng(42);
+  Tensor data = ClusteredFloats(2000, 32, 16, 0.15f, &rng);
+  ProductQuantizer::Config config;
+  config.num_subspaces = 4;
+  config.num_centroids = 32;
+  auto pq = ProductQuantizer::Train(data, config);
+  ASSERT_TRUE(pq.ok());
+
+  // Reconstruction must be far better than quantizing to the data mean
+  // (a 1-centroid codebook): measure relative error on held-in rows.
+  double err = 0.0, scale = 0.0;
+  for (size_t i = 0; i < 100; ++i) {
+    const Tensor row = data.Row(i * 17 % 2000);
+    const Tensor rec = pq->Decode(pq->Encode(row));
+    for (size_t j = 0; j < row.size(); ++j) {
+      const double d = row[j] - rec[j];
+      err += d * d;
+      scale += row[j] * row[j];
+    }
+  }
+  EXPECT_LT(err / scale, 0.05) << "relative quantization error too high";
+}
+
+TEST(ProductQuantizerTest, AdcMatchesExplicitDecode) {
+  Rng rng(43);
+  Tensor data = ClusteredFloats(600, 16, 8, 0.3f, &rng);
+  ProductQuantizer::Config config;
+  config.num_subspaces = 4;
+  config.num_centroids = 16;
+  auto pq = ProductQuantizer::Train(data, config);
+  ASSERT_TRUE(pq.ok());
+  const Tensor query = data.Row(5);
+  const auto table = pq->BuildAdcTable(query);
+  for (size_t i = 0; i < 20; ++i) {
+    const auto code = pq->Encode(data.Row(i * 29 % 600));
+    const Tensor rec = pq->Decode(code);
+    float direct = 0.0f;
+    for (size_t j = 0; j < query.size(); ++j) {
+      const float d = query[j] - rec[j];
+      direct += d * d;
+    }
+    EXPECT_NEAR(pq->AdcDistance(table, code), direct, 1e-3f) << i;
+  }
+}
+
+TEST(PqIndexTest, KnnFindsTrueClusterNeighbours) {
+  Rng rng(44);
+  constexpr size_t kN = 3000, kD = 32, kClusters = 10;
+  Tensor data = ClusteredFloats(kN, kD, kClusters, 0.1f, &rng);
+  ProductQuantizer::Config config;
+  config.num_subspaces = 8;
+  config.num_centroids = 64;
+  auto pq = ProductQuantizer::Train(data, config);
+  ASSERT_TRUE(pq.ok());
+  PqIndex index(std::move(pq).value());
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(index.Add(i, data.Row(i)).ok());
+  }
+  // Query with cluster-0 points: the 10 nearest by ADC must be almost
+  // entirely cluster-0 members (ids ≡ 0 mod kClusters).
+  size_t correct = 0, total = 0;
+  for (size_t q = 0; q < 10; ++q) {
+    const auto hits = index.KnnSearch(data.Row(q * kClusters), 10);
+    ASSERT_EQ(hits.size(), 10u);
+    for (const auto& h : hits) {
+      correct += (h.id % kClusters == 0);
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(PqIndexTest, RejectsWrongDimension) {
+  Rng rng(45);
+  Tensor data = Tensor::RandomNormal({300, 16}, 1.0f, &rng);
+  ProductQuantizer::Config config;
+  config.num_subspaces = 4;
+  config.num_centroids = 16;
+  auto pq = ProductQuantizer::Train(data, config);
+  ASSERT_TRUE(pq.ok());
+  PqIndex index(std::move(pq).value());
+  Tensor wrong = Tensor::RandomNormal({8}, 1.0f, &rng);
+  EXPECT_TRUE(index.Add(0, wrong).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Two-stage retrieval (Hamming shortlist -> float re-rank)
+// ---------------------------------------------------------------------------
+
+TEST(TwoStageTest, RerankingImprovesOverPureHamming) {
+  Rng rng(46);
+  constexpr size_t kN = 2000, kD = 32, kClusters = 8, kBits = 16;
+  Tensor data = ClusteredFloats(kN, kD, kClusters, 0.2f, &rng);
+
+  // A deliberately coarse binary sketch (16-bit LSH) so Hamming ranking
+  // alone is noticeably lossy.
+  milan::RandomHyperplaneLsh lsh(kD, kBits, /*seed=*/9);
+  HammingHashTable table;
+  TwoStageRetriever two_stage(&table, kD);
+  FloatLinearScan exact(kD);
+  for (size_t i = 0; i < kN; ++i) {
+    const Tensor row = data.Row(i);
+    ASSERT_TRUE(table.Add(i, lsh.Hash(row)).ok());
+    two_stage.AddFeature(i, row);
+    exact.Add(i, row);
+  }
+
+  size_t hamming_correct = 0, reranked_correct = 0, total = 0;
+  for (size_t q = 0; q < 20; ++q) {
+    const size_t qi = q * 31 % kN;
+    const Tensor qf = data.Row(qi);
+    const BinaryCode qc = lsh.Hash(qf);
+    // Ground truth: exact float top-10.
+    const auto truth = exact.KnnSearch(qf, 10);
+    std::set<ItemId> truth_ids;
+    for (const auto& t : truth) truth_ids.insert(t.id);
+
+    const auto hamming_only = table.KnnSearch(qc, 10);
+    for (const auto& h : hamming_only) {
+      hamming_correct += truth_ids.count(h.id);
+    }
+    const auto reranked = two_stage.Search(qc, qf, 10, /*shortlist=*/200);
+    ASSERT_LE(reranked.size(), 10u);
+    for (const auto& h : reranked) reranked_correct += truth_ids.count(h.id);
+    total += 10;
+  }
+  const double hamming_recall =
+      static_cast<double>(hamming_correct) / static_cast<double>(total);
+  const double reranked_recall =
+      static_cast<double>(reranked_correct) / static_cast<double>(total);
+  EXPECT_GT(reranked_recall, hamming_recall)
+      << "re-ranking must improve recall@10";
+  EXPECT_GT(reranked_recall, 0.7);
+}
+
+TEST(TwoStageTest, ShortlistOfEverythingEqualsExactSearch) {
+  Rng rng(47);
+  constexpr size_t kN = 500, kD = 16;
+  Tensor data = ClusteredFloats(kN, kD, 5, 0.3f, &rng);
+  milan::RandomHyperplaneLsh lsh(kD, 32, 11);
+  HammingHashTable table;
+  TwoStageRetriever two_stage(&table, kD);
+  FloatLinearScan exact(kD);
+  for (size_t i = 0; i < kN; ++i) {
+    const Tensor row = data.Row(i);
+    ASSERT_TRUE(table.Add(i, lsh.Hash(row)).ok());
+    two_stage.AddFeature(i, row);
+    exact.Add(i, row);
+  }
+  const Tensor qf = data.Row(3);
+  const auto truth = exact.KnnSearch(qf, 5);
+  const auto got = two_stage.Search(lsh.Hash(qf), qf, 5, /*shortlist=*/kN);
+  ASSERT_EQ(got.size(), truth.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, truth[i].id) << i;
+    EXPECT_FLOAT_EQ(got[i].distance, truth[i].distance) << i;
+  }
+}
+
+
+// ---------------------------------------------------------------------------
+// IVF-Flat
+// ---------------------------------------------------------------------------
+
+TEST(IvfFlatTest, TrainRejectsBadConfigs) {
+  Rng rng(51);
+  Tensor data = Tensor::RandomNormal({30, 16}, 1.0f, &rng);
+  IvfFlatIndex::Config config;
+  config.nlist = 64;  // more cells than training rows
+  EXPECT_FALSE(IvfFlatIndex::Train(data, config).ok());
+  config.nlist = 0;
+  EXPECT_FALSE(IvfFlatIndex::Train(data, config).ok());
+}
+
+TEST(IvfFlatTest, FullProbeMatchesExactScan) {
+  Rng rng(52);
+  Tensor data = ClusteredFloats(800, 16, 6, 0.3f, &rng);
+  IvfFlatIndex::Config config;
+  config.nlist = 16;
+  auto ivf = IvfFlatIndex::Train(data, config);
+  ASSERT_TRUE(ivf.ok());
+  FloatLinearScan exact(16);
+  for (size_t i = 0; i < 800; ++i) {
+    ASSERT_TRUE(ivf->Add(i, data.Row(i)).ok());
+    exact.Add(i, data.Row(i));
+  }
+  for (size_t q = 0; q < 10; ++q) {
+    const Tensor query = data.Row(q * 67 % 800);
+    const auto truth = exact.KnnSearch(query, 8);
+    const auto got = ivf->KnnSearch(query, 8, /*nprobe=*/16);
+    ASSERT_EQ(got.size(), truth.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, truth[i].id) << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST(IvfFlatTest, RecallRisesWithNprobe) {
+  Rng rng(53);
+  constexpr size_t kN = 4000, kD = 32;
+  Tensor data = ClusteredFloats(kN, kD, 24, 0.25f, &rng);
+  IvfFlatIndex::Config config;
+  config.nlist = 48;
+  auto ivf = IvfFlatIndex::Train(data, config);
+  ASSERT_TRUE(ivf.ok());
+  FloatLinearScan exact(kD);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(ivf->Add(i, data.Row(i)).ok());
+    exact.Add(i, data.Row(i));
+  }
+  auto recall_at = [&](size_t nprobe) {
+    size_t hit = 0, total = 0;
+    for (size_t q = 0; q < 25; ++q) {
+      const Tensor query = data.Row(q * 151 % kN);
+      const auto truth = exact.KnnSearch(query, 10);
+      std::set<ItemId> truth_ids;
+      for (const auto& t : truth) truth_ids.insert(t.id);
+      for (const auto& h : ivf->KnnSearch(query, 10, nprobe)) {
+        hit += truth_ids.count(h.id);
+      }
+      total += truth.size();
+    }
+    return static_cast<double>(hit) / static_cast<double>(total);
+  };
+  const double r1 = recall_at(1);
+  const double r4 = recall_at(4);
+  const double r48 = recall_at(48);
+  EXPECT_LE(r1, r4 + 1e-9);
+  EXPECT_GT(r4, 0.5);
+  EXPECT_DOUBLE_EQ(r48, 1.0);  // full probe == exact
+  // Probing fewer cells must actually scan fewer candidates.
+  const Tensor probe_query = data.Row(0);
+  EXPECT_LT(ivf->CandidatesForProbe(probe_query, 4),
+            ivf->CandidatesForProbe(probe_query, 48));
+}
+
+TEST(IvfFlatTest, RejectsWrongDimension) {
+  Rng rng(54);
+  Tensor data = Tensor::RandomNormal({100, 8}, 1.0f, &rng);
+  IvfFlatIndex::Config config;
+  config.nlist = 4;
+  auto ivf = IvfFlatIndex::Train(data, config);
+  ASSERT_TRUE(ivf.ok());
+  Tensor wrong = Tensor::RandomNormal({16}, 1.0f, &rng);
+  EXPECT_TRUE(ivf->Add(0, wrong).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace agoraeo::index

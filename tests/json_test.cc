@@ -1,0 +1,313 @@
+/// Tests for the JSON library (src/json): serialisation, parsing,
+/// round-trips, malformed-input rejection and base64.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+#include "json/json.h"
+
+namespace agoraeo::json {
+namespace {
+
+using docstore::Document;
+using docstore::MakeArray;
+using docstore::Value;
+
+// --- serialisation ---------------------------------------------------------
+
+TEST(JsonSerializeTest, Scalars) {
+  EXPECT_EQ(Serialize(Value()), "null");
+  EXPECT_EQ(Serialize(Value(true)), "true");
+  EXPECT_EQ(Serialize(Value(false)), "false");
+  EXPECT_EQ(Serialize(Value(42)), "42");
+  EXPECT_EQ(Serialize(Value(int64_t{-7})), "-7");
+  EXPECT_EQ(Serialize(Value(1.5)), "1.5");
+  EXPECT_EQ(Serialize(Value("hi")), "\"hi\"");
+}
+
+TEST(JsonSerializeTest, StringEscapes) {
+  EXPECT_EQ(Serialize(Value("a\"b")), "\"a\\\"b\"");
+  EXPECT_EQ(Serialize(Value("back\\slash")), "\"back\\\\slash\"");
+  EXPECT_EQ(Serialize(Value("tab\there")), "\"tab\\there\"");
+  EXPECT_EQ(Serialize(Value("line\nbreak")), "\"line\\nbreak\"");
+  EXPECT_EQ(Serialize(Value(std::string("nul\x01 byte"))),
+            "\"nul\\u0001 byte\"");
+}
+
+TEST(JsonSerializeTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(Serialize(Value(std::numeric_limits<double>::quiet_NaN())),
+            "null");
+  EXPECT_EQ(Serialize(Value(std::numeric_limits<double>::infinity())),
+            "null");
+}
+
+TEST(JsonSerializeTest, ArraysAndObjects) {
+  Document doc;
+  doc.Set("name", Value("S2A_MSIL2A"));
+  doc.Set("bands", MakeArray({Value(1), Value(2), Value(3)}));
+  Document nested;
+  nested.Set("lat", Value(38.7));
+  doc.Set("location", Value(nested));
+  // Document fields are key-sorted, so the output is deterministic.
+  EXPECT_EQ(Serialize(doc),
+            "{\"bands\":[1,2,3],\"location\":{\"lat\":38.7},"
+            "\"name\":\"S2A_MSIL2A\"}");
+  EXPECT_EQ(Serialize(Value(std::vector<Value>{})), "[]");
+  EXPECT_EQ(Serialize(Document()), "{}");
+}
+
+TEST(JsonSerializeTest, PrettyPrintIndents) {
+  Document doc;
+  doc.Set("a", Value(1));
+  const std::string pretty = Serialize(doc, /*pretty=*/true);
+  EXPECT_NE(pretty.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+TEST(JsonSerializeTest, BinaryAsBase64) {
+  EXPECT_EQ(Serialize(Value(std::vector<uint8_t>{'M', 'a', 'n'})),
+            "\"TWFu\"");
+}
+
+// --- parsing ---------------------------------------------------------------
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_EQ(Parse("true")->as_bool(), true);
+  EXPECT_EQ(Parse("false")->as_bool(), false);
+  EXPECT_EQ(Parse("42")->as_int64(), 42);
+  EXPECT_EQ(Parse("-17")->as_int64(), -17);
+  EXPECT_DOUBLE_EQ(Parse("3.25")->as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(Parse("1e3")->as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(Parse("-2.5E-2")->as_double(), -0.025);
+  EXPECT_EQ(Parse("\"text\"")->as_string(), "text");
+}
+
+TEST(JsonParseTest, IntegerVsDoubleTyping) {
+  EXPECT_TRUE(Parse("7")->is_int64());
+  EXPECT_TRUE(Parse("7.0")->is_double());
+  EXPECT_TRUE(Parse("7e0")->is_double());
+  // Overflowing int64 falls back to double.
+  EXPECT_TRUE(Parse("99999999999999999999999999")->is_double());
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  auto v = Parse(R"({"query":{"labels":["Airports","Port areas"],)"
+                 R"("limit":50,"geo":{"min_lat":-1.5}}})");
+  ASSERT_TRUE(v.ok());
+  const Document& doc = v->as_document();
+  const Value* labels = doc.GetPath("query.labels");
+  ASSERT_NE(labels, nullptr);
+  ASSERT_TRUE(labels->is_array());
+  EXPECT_EQ(labels->as_array()[0].as_string(), "Airports");
+  EXPECT_EQ(doc.GetPath("query.limit")->as_int64(), 50);
+  EXPECT_DOUBLE_EQ(doc.GetPath("query.geo.min_lat")->as_double(), -1.5);
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  auto v = Parse("  {\n\t\"a\" : [ 1 , 2 ]\r\n}  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_document().GetPath("a")->as_array().size(), 2u);
+}
+
+TEST(JsonParseTest, EscapeSequences) {
+  EXPECT_EQ(Parse(R"("a\"b\\c\/d\b\f\n\r\t")")->as_string(),
+            "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(Parse(R"("A")")->as_string(), "A");
+  EXPECT_EQ(Parse(R"("é")")->as_string(), "\xC3\xA9");       // é
+  EXPECT_EQ(Parse(R"("€")")->as_string(), "\xE2\x82\xAC");   // €
+  // Surrogate pair: U+1F30D (earth globe).
+  EXPECT_EQ(Parse(R"("🌍")")->as_string(),
+            "\xF0\x9F\x8C\x8D");
+}
+
+TEST(JsonParseTest, MalformedInputsRejected) {
+  const char* bad[] = {
+      "",
+      "{",
+      "}",
+      "[1,",
+      "[1 2]",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{a:1}",
+      "\"unterminated",
+      "tru",
+      "nul",
+      "01",
+      "1.",
+      "1e",
+      "+1",
+      "--1",
+      "\"bad\\escape\"",
+      "\"\\u12g4\"",
+      "\"\\ud800\"",          // unpaired high surrogate
+      "\"\\udc00\"",          // unpaired low surrogate
+      "[1] trailing",
+      "{\"a\":1}{",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(Parse(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonParseTest, RawControlCharacterRejected) {
+  std::string s = "\"a";
+  s.push_back('\n');
+  s += "b\"";
+  EXPECT_FALSE(Parse(s).ok());
+}
+
+TEST(JsonParseTest, DeepNestingRejected) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+  // 100 levels is fine.
+  std::string ok(100, '[');
+  ok += std::string(100, ']');
+  EXPECT_TRUE(Parse(ok).ok());
+}
+
+TEST(JsonParseTest, ParseObjectRequiresObject) {
+  EXPECT_TRUE(ParseObject("{\"a\":1}").ok());
+  EXPECT_TRUE(ParseObject("[1]").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseObject("3").status().IsInvalidArgument());
+}
+
+// --- round trips -------------------------------------------------------------
+
+TEST(JsonRoundTripTest, StructuredValueSurvives) {
+  Document doc;
+  doc.Set("name", Value("patch_1"));
+  doc.Set("count", Value(int64_t{123456789012345}));
+  doc.Set("ratio", Value(0.1));
+  doc.Set("flags", MakeArray({Value(true), Value(false), Value()}));
+  Document nested;
+  nested.Set("deep", MakeArray({Value("x"), Value(2.5)}));
+  doc.Set("nested", Value(nested));
+
+  auto back = ParseObject(Serialize(doc));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, doc);
+}
+
+TEST(JsonRoundTripTest, RandomDoublesRoundTripExactly) {
+  Rng rng(2022);
+  for (int i = 0; i < 200; ++i) {
+    const double d = (rng.Uniform(-1.0, 1.0)) *
+                     std::pow(10.0, rng.Uniform(-30.0, 30.0));
+    auto v = Parse(Serialize(Value(d)));
+    ASSERT_TRUE(v.ok());
+    EXPECT_DOUBLE_EQ(v->as_number(), d) << d;
+  }
+}
+
+TEST(JsonRoundTripTest, UnicodeStringsSurvive) {
+  const std::string s = "céu \xE2\x82\xAC \xF0\x9F\x8C\x8D end";
+  auto v = Parse(Serialize(Value(s)));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), s);
+}
+
+// --- base64 ------------------------------------------------------------------
+
+TEST(Base64Test, Rfc4648Vectors) {
+  auto enc = [](const std::string& s) {
+    return Base64Encode(std::vector<uint8_t>(s.begin(), s.end()));
+  };
+  EXPECT_EQ(enc(""), "");
+  EXPECT_EQ(enc("f"), "Zg==");
+  EXPECT_EQ(enc("fo"), "Zm8=");
+  EXPECT_EQ(enc("foo"), "Zm9v");
+  EXPECT_EQ(enc("foob"), "Zm9vYg==");
+  EXPECT_EQ(enc("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(enc("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeInvertsEncode) {
+  Rng rng(7);
+  for (size_t len : {0u, 1u, 2u, 3u, 17u, 256u}) {
+    std::vector<uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.UniformInt(256));
+    auto back = Base64Decode(Base64Encode(bytes));
+    ASSERT_TRUE(back.ok()) << len;
+    EXPECT_EQ(*back, bytes) << len;
+  }
+}
+
+TEST(Base64Test, MalformedRejected) {
+  EXPECT_FALSE(Base64Decode("abc").ok());      // not multiple of 4
+  EXPECT_FALSE(Base64Decode("ab!=").ok());     // bad character
+  EXPECT_FALSE(Base64Decode("=abc").ok());     // padding first
+  EXPECT_FALSE(Base64Decode("a=bc").ok());     // data after padding
+  EXPECT_TRUE(Base64Decode("TWFu").ok());
+}
+
+
+// --- randomized structural round-trip ----------------------------------------
+
+namespace {
+
+/// Random JSON-representable value with bounded depth.
+Value RandomJsonValue(Rng* rng, int depth) {
+  const uint32_t pick = rng->UniformInt(depth <= 0 ? 5u : 7u);
+  switch (pick) {
+    case 0: return Value();
+    case 1: return Value(rng->UniformInt(2u) == 1);
+    case 2: return Value(static_cast<int64_t>(rng->UniformInt(0, 1000000)) -
+                         500000);
+    case 3: return Value(rng->Uniform(-1e6, 1e6));
+    case 4: {
+      std::string s;
+      const size_t len = rng->UniformInt(12u);
+      for (size_t i = 0; i < len; ++i) {
+        // Printable ASCII plus the characters needing escapes.
+        const char* alphabet =
+            "abcXYZ019 _\"\\\n\t/{}[]:,";
+        s.push_back(alphabet[rng->UniformInt(23u)]);
+      }
+      return Value(std::move(s));
+    }
+    case 5: {
+      std::vector<Value> items;
+      const size_t n = rng->UniformInt(4u);
+      for (size_t i = 0; i < n; ++i) {
+        items.push_back(RandomJsonValue(rng, depth - 1));
+      }
+      return Value(std::move(items));
+    }
+    default: {
+      Document d;
+      const size_t n = rng->UniformInt(4u);
+      for (size_t i = 0; i < n; ++i) {
+        d.Set("k" + std::to_string(i), RandomJsonValue(rng, depth - 1));
+      }
+      return Value(std::move(d));
+    }
+  }
+}
+
+}  // namespace
+
+class JsonFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonFuzzTest, RandomValuesRoundTrip) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1009 + 3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Value original = RandomJsonValue(&rng, 4);
+    const std::string compact = Serialize(original);
+    auto back = Parse(compact);
+    ASSERT_TRUE(back.ok()) << compact;
+    EXPECT_EQ(*back, original) << compact;
+    // Pretty form parses to the same value.
+    auto pretty_back = Parse(Serialize(original, /*pretty=*/true));
+    ASSERT_TRUE(pretty_back.ok());
+    EXPECT_EQ(*pretty_back, original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace agoraeo::json

@@ -1,0 +1,495 @@
+/// Tests for the netsvc module: HTTP framing, URL utilities, the
+/// loopback server/client pair, and the EarthQube JSON service — the
+/// paper's three-tier architecture exercised end to end over real TCP.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <memory>
+#include <thread>
+
+#include "bigearthnet/archive_generator.h"
+#include "bigearthnet/feature_extractor.h"
+#include "earthqube/earthqube.h"
+#include "earthqube/zip_writer.h"
+#include "json/json.h"
+#include "milan/trainer.h"
+#include "netsvc/client.h"
+#include "netsvc/earthqube_service.h"
+#include "netsvc/http.h"
+#include "netsvc/server.h"
+
+namespace agoraeo::netsvc {
+namespace {
+
+using docstore::Document;
+using docstore::Value;
+
+// --- HTTP framing ------------------------------------------------------------
+
+TEST(HttpTest, ParseRequestHead) {
+  auto req = ParseRequestHead(
+      "POST /api/search?debug=1 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 2");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->path, "/api/search");
+  EXPECT_EQ(req->query, "debug=1");
+  EXPECT_EQ(req->Header("content-type"), "application/json");
+  EXPECT_EQ(req->Header("host"), "localhost");
+  EXPECT_EQ(req->Header("absent"), "");
+}
+
+TEST(HttpTest, ParseRequestHeadRejectsMalformed) {
+  EXPECT_FALSE(ParseRequestHead("").ok());
+  EXPECT_FALSE(ParseRequestHead("GET /x").ok());
+  EXPECT_FALSE(ParseRequestHead("GET /x SMTP/1.0").ok());
+  EXPECT_FALSE(ParseRequestHead("GET /x HTTP/1.1\r\nbadheader").ok());
+}
+
+TEST(HttpTest, SerializeParseRoundTrip) {
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/api/echo";
+  req.body = "{\"x\":1}";
+  req.headers["content-type"] = "application/json";
+  const std::string wire = SerializeRequest(req, "127.0.0.1:80");
+  const size_t head_end = wire.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  auto back = ParseRequestHead(wire.substr(0, head_end));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->method, "POST");
+  EXPECT_EQ(back->path, "/api/echo");
+  EXPECT_EQ(back->Header("content-length"), "7");
+  EXPECT_EQ(wire.substr(head_end + 4), req.body);
+}
+
+TEST(HttpTest, ParseResponseHead) {
+  auto resp = ParseResponseHead(
+      "HTTP/1.1 404 Not Found\r\ncontent-type: application/json");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status_code, 404);
+  EXPECT_EQ(resp->reason, "Not Found");
+  EXPECT_FALSE(ParseResponseHead("FTP/1.1 200 OK").ok());
+  EXPECT_FALSE(ParseResponseHead("HTTP/1.1 999999 X").ok());
+}
+
+TEST(HttpTest, UrlCoding) {
+  EXPECT_EQ(UrlEncode("a b/c"), "a%20b%2Fc");
+  EXPECT_EQ(*UrlDecode("a%20b%2Fc"), "a b/c");
+  EXPECT_EQ(*UrlDecode("x+y"), "x y");
+  EXPECT_FALSE(UrlDecode("bad%2").ok());
+  EXPECT_FALSE(UrlDecode("bad%zz").ok());
+  // Round trip over awkward characters.
+  const std::string nasty = "S2A_MSIL2A 2017/08#1?a=b&c";
+  EXPECT_EQ(*UrlDecode(UrlEncode(nasty)), nasty);
+}
+
+TEST(HttpTest, ParseQueryString) {
+  auto q = ParseQueryString("a=1&b=x%20y&flag");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->at("a"), "1");
+  EXPECT_EQ(q->at("b"), "x y");
+  EXPECT_EQ(q->at("flag"), "");
+}
+
+// --- server + client over loopback ------------------------------------------
+
+TEST(ServerTest, RoutesAndStatusCodes) {
+  HttpServer server(2);
+  server.Route("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "pong");
+  });
+  server.Route("POST", "/echo", [](const HttpRequest& req) {
+    return HttpResponse::Json(200, req.body);
+  });
+  server.Route("GET", "/things/*", [](const HttpRequest& req) {
+    return HttpResponse::Text(200, "thing:" + req.path.substr(8));
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  HttpClient client;
+  auto pong = client.Get(server.port(), "/ping");
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->status_code, 200);
+  EXPECT_EQ(pong->body, "pong");
+
+  auto echo = client.Post(server.port(), "/echo", "{\"k\":[1,2]}");
+  ASSERT_TRUE(echo.ok());
+  EXPECT_EQ(echo->body, "{\"k\":[1,2]}");
+
+  auto thing = client.Get(server.port(), "/things/42");
+  ASSERT_TRUE(thing.ok());
+  EXPECT_EQ(thing->body, "thing:42");
+
+  auto missing = client.Get(server.port(), "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status_code, 404);
+
+  auto wrong_method = client.Post(server.port(), "/ping", "{}");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status_code, 405);
+
+  EXPECT_EQ(server.requests_served(), 5u);
+  server.Stop();
+  EXPECT_FALSE(server.is_running());
+}
+
+TEST(ServerTest, ConcurrentClients) {
+  HttpServer server(4);
+  std::atomic<int> handled{0};
+  server.Route("POST", "/work", [&handled](const HttpRequest& req) {
+    ++handled;
+    return HttpResponse::Text(200, req.body);
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      HttpClient client;
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string body =
+            "t" + std::to_string(t) + "_" + std::to_string(i);
+        auto resp = client.Post(server.port(), "/work", body);
+        if (resp.ok() && resp->status_code == 200 && resp->body == body) {
+          ++ok_count;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), kThreads * kPerThread);
+  EXPECT_EQ(handled.load(), kThreads * kPerThread);
+  server.Stop();
+}
+
+TEST(ServerTest, StopIsIdempotentAndRestartable) {
+  HttpServer server;
+  server.Route("GET", "/x", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "x");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  const uint16_t port = server.port();
+  server.Stop();
+  server.Stop();
+  // A fresh server can bind a fresh port immediately.
+  HttpServer second;
+  second.Route("GET", "/x", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "x");
+  });
+  ASSERT_TRUE(second.Start(0).ok());
+  EXPECT_NE(second.port(), 0);
+  (void)port;
+  second.Stop();
+}
+
+// --- EarthQube service over the wire ------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bigearthnet::ArchiveConfig config;
+    config.num_patches = 800;
+    config.seed = 77;
+    generator_ = new bigearthnet::ArchiveGenerator(config);
+    auto archive = generator_->Generate();
+    ASSERT_TRUE(archive.ok());
+    archive_ = new bigearthnet::Archive(std::move(archive).value());
+
+    system_ = new earthqube::EarthQube();
+    ASSERT_TRUE(system_->IngestArchive(*archive_).ok());
+
+    // Small trained model so the similarity endpoint works.
+    bigearthnet::FeatureExtractor extractor;
+    Tensor features = extractor.ExtractArchive(*archive_, *generator_, 2);
+    milan::MilanConfig mconfig;
+    mconfig.feature_dim = bigearthnet::kFeatureDim;
+    mconfig.hidden1 = 64;
+    mconfig.hidden2 = 32;
+    mconfig.hash_bits = 32;
+    mconfig.dropout = 0.0f;
+    auto model = std::make_unique<milan::MilanModel>(mconfig);
+    std::vector<bigearthnet::LabelSet> labels;
+    for (const auto& p : archive_->patches) labels.push_back(p.labels);
+    milan::TripletSampler sampler(labels);
+    milan::TrainConfig tconfig;
+    tconfig.epochs = 2;
+    tconfig.batches_per_epoch = 10;
+    tconfig.batch_size = 16;
+    milan::Trainer trainer(model.get(), &features, &sampler, tconfig);
+    ASSERT_TRUE(trainer.Train().ok());
+    auto cbir = std::make_unique<earthqube::CbirService>(
+        std::move(model), new bigearthnet::FeatureExtractor());
+    std::vector<std::string> names;
+    for (const auto& p : archive_->patches) names.push_back(p.name);
+    ASSERT_TRUE(cbir->AddImages(names, features).ok());
+    system_->AttachCbir(std::move(cbir));
+
+    service_ = new EarthQubeService(system_);
+    server_ = new HttpServer(2);
+    service_->RegisterRoutes(server_);
+    ASSERT_TRUE(server_->Start(0).ok());
+  }
+
+  static void TearDownTestSuite() {
+    server_->Stop();
+    delete server_;
+    delete service_;
+    delete system_;
+    delete archive_;
+    delete generator_;
+  }
+
+  static bigearthnet::ArchiveGenerator* generator_;
+  static bigearthnet::Archive* archive_;
+  static earthqube::EarthQube* system_;
+  static EarthQubeService* service_;
+  static HttpServer* server_;
+};
+
+bigearthnet::ArchiveGenerator* ServiceTest::generator_ = nullptr;
+bigearthnet::Archive* ServiceTest::archive_ = nullptr;
+earthqube::EarthQube* ServiceTest::system_ = nullptr;
+EarthQubeService* ServiceTest::service_ = nullptr;
+HttpServer* ServiceTest::server_ = nullptr;
+
+TEST_F(ServiceTest, HealthEndpoint) {
+  HttpClient client;
+  auto resp = client.Get(server_->port(), "/health");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status_code, 200);
+  EXPECT_EQ(resp->body, "{\"status\":\"ok\"}");
+}
+
+TEST_F(ServiceTest, SearchByCountryLabelsOverWire) {
+  HttpClient client;
+  auto resp = client.Post(
+      server_->port(), "/api/search",
+      R"({"labels":{"operator":"some","names":["Broad-leaved forest",)"
+      R"("Coniferous forest","Mixed forest"]},"limit":25})");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200) << resp->body;
+  auto body = json::ParseObject(resp->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_GT(body->Get("total")->as_int64(), 0);
+  EXPECT_LE(body->Get("total")->as_int64(), 25);
+  const Value* results = body->Get("results");
+  ASSERT_TRUE(results->is_array());
+  ASSERT_FALSE(results->as_array().empty());
+  // Every result must carry one of the forest labels.
+  for (const Value& r : results->as_array()) {
+    bool has_forest = false;
+    for (const Value& l : r.as_document().Get("labels")->as_array()) {
+      if (l.as_string().find("forest") != std::string::npos) {
+        has_forest = true;
+      }
+    }
+    EXPECT_TRUE(has_forest) << r.as_document().ToString();
+  }
+  // The statistics view accompanies the search (Figure 2-4).
+  EXPECT_TRUE(body->Get("label_statistics")->is_array());
+  EXPECT_FALSE(body->Get("label_statistics")->as_array().empty());
+}
+
+TEST_F(ServiceTest, SearchWithDateRangeUsesRangeIndex) {
+  HttpClient client;
+  auto resp = client.Post(
+      server_->port(), "/api/search",
+      R"({"date_range":{"begin":"2017-08-01","end":"2017-08-31"}})");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200) << resp->body;
+  auto body = json::ParseObject(resp->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_NE(body->Get("plan")->as_string().find("range"), std::string::npos)
+      << body->Get("plan")->as_string();
+}
+
+TEST_F(ServiceTest, SimilarByNameOverWire) {
+  HttpClient client;
+  const std::string& name = archive_->patches[0].name;
+  Document req;
+  req.Set("name", Value(name));
+  req.Set("k", Value(10));
+  auto resp = client.Post(server_->port(), "/api/similar/by_name",
+                          json::Serialize(req));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200) << resp->body;
+  auto body = json::ParseObject(resp->body);
+  ASSERT_TRUE(body.ok());
+  const auto& results = body->Get("results")->as_array();
+  ASSERT_EQ(results.size(), 10u);
+  // The service drops the self-match (the UI's "retrieve similar images"
+  // button must not return the clicked image itself); every name is
+  // distinct and differs from the query.
+  std::set<std::string> names;
+  for (const Value& r : results) {
+    const std::string& n = r.as_document().Get("name")->as_string();
+    EXPECT_NE(n, name);
+    names.insert(n);
+  }
+  EXPECT_EQ(names.size(), results.size());
+}
+
+TEST_F(ServiceTest, SimilarByNameUnknownIs404) {
+  HttpClient client;
+  auto resp = client.Post(server_->port(), "/api/similar/by_name",
+                          R"({"name":"no_such_patch","k":5})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status_code, 404);
+}
+
+TEST_F(ServiceTest, FeedbackRoundTrip) {
+  HttpClient client;
+  const size_t before = system_->NumFeedbackEntries();
+  auto resp = client.Post(server_->port(), "/api/feedback",
+                          R"({"text":"lovely demo!"})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status_code, 201);
+  auto count = client.Get(server_->port(), "/api/feedback/count");
+  ASSERT_TRUE(count.ok());
+  auto body = json::ParseObject(count->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(static_cast<size_t>(body->Get("count")->as_int64()), before + 1);
+
+  auto empty = client.Post(server_->port(), "/api/feedback", R"({"text":""})");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->status_code, 400);
+}
+
+TEST_F(ServiceTest, PatchMetadataByName) {
+  HttpClient client;
+  const auto& meta = archive_->patches[3];
+  auto resp = client.Get(server_->port(),
+                         "/api/patch/" + UrlEncode(meta.name));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200) << resp->body;
+  auto body = json::ParseObject(resp->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Get("name")->as_string(), meta.name);
+  EXPECT_EQ(body->Get("country")->as_string(), meta.country);
+  EXPECT_EQ(body->Get("labels")->as_array().size(), meta.labels.size());
+
+  auto missing = client.Get(server_->port(), "/api/patch/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status_code, 404);
+}
+
+TEST_F(ServiceTest, DownloadCartAsZipOverWire) {
+  // Store pixels + preview for two patches, then download them combined
+  // — the cart's "download together as a single collection".
+  bigearthnet::ArchiveGenerator& gen = *generator_;
+  const auto& m0 = archive_->patches[0];
+  const auto& m1 = archive_->patches[1];
+  bigearthnet::Patch p0 = gen.SynthesizePatch(m0);
+  bigearthnet::Patch p1 = gen.SynthesizePatch(m1);
+  ASSERT_TRUE(system_->StorePatchPixels(p0).ok());
+  ASSERT_TRUE(system_->StoreRenderedImage(p1).ok());
+
+  HttpClient client;
+  Document req;
+  req.Set("names", docstore::MakeStringArray({m0.name, m1.name}));
+  auto resp = client.Post(server_->port(), "/api/download",
+                          json::Serialize(req));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200) << resp->body;
+  auto body = json::ParseObject(resp->body);
+  ASSERT_TRUE(body.ok());
+  auto zip_bytes =
+      json::Base64Decode(body->Get("zip_base64")->as_string());
+  ASSERT_TRUE(zip_bytes.ok());
+
+  auto entries = earthqube::ZipExtractAll(*zip_bytes);
+  ASSERT_TRUE(entries.ok());
+  std::set<std::string> names;
+  for (const auto& [name, content] : *entries) names.insert(name);
+  EXPECT_TRUE(names.count(m0.name + "/metadata.json"));
+  EXPECT_TRUE(names.count(m0.name + "/bands.bin"));    // pixels stored
+  EXPECT_TRUE(names.count(m1.name + "/metadata.json"));
+  EXPECT_TRUE(names.count(m1.name + "/preview.rgb"));  // preview stored
+  EXPECT_TRUE(names.count("manifest.txt"));
+
+  // Unknown names are a 404, not a broken archive.
+  Document bad;
+  bad.Set("names", docstore::MakeStringArray({"nope"}));
+  auto missing = client.Post(server_->port(), "/api/download",
+                             json::Serialize(bad));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status_code, 404);
+}
+
+TEST_F(ServiceTest, MalformedSearchBodyIs400) {
+  HttpClient client;
+  auto resp = client.Post(server_->port(), "/api/search", "{not json");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status_code, 400);
+
+  auto bad_label = client.Post(
+      server_->port(), "/api/search",
+      R"({"labels":{"operator":"some","names":["Atlantis"]}})");
+  ASSERT_TRUE(bad_label.ok());
+  EXPECT_EQ(bad_label->status_code, 400);
+
+  auto bad_op = client.Post(
+      server_->port(), "/api/search",
+      R"({"labels":{"operator":"banana","names":["Airports"]}})");
+  ASSERT_TRUE(bad_op.ok());
+  EXPECT_EQ(bad_op->status_code, 400);
+
+  auto bad_date = client.Post(
+      server_->port(), "/api/search",
+      R"({"date_range":{"begin":"2017-02-30","end":"2017-03-01"}})");
+  ASSERT_TRUE(bad_date.ok());
+  EXPECT_EQ(bad_date->status_code, 400);
+}
+
+// --- QueryFromJson unit tests (no sockets) -----------------------------------
+
+TEST(QueryFromJsonTest, GeoShapes) {
+  auto rect = EarthQubeService::QueryFromJson(*json::ParseObject(
+      R"({"geo":{"rect":{"min_lat":1,"min_lon":2,"max_lat":3,"max_lon":4}}})"));
+  ASSERT_TRUE(rect.ok());
+  EXPECT_EQ(rect->geo.shape, earthqube::GeoQuery::Shape::kRectangle);
+  EXPECT_DOUBLE_EQ(rect->geo.rectangle.max.lon, 4.0);
+
+  auto circle = EarthQubeService::QueryFromJson(*json::ParseObject(
+      R"({"geo":{"circle":{"lat":38.0,"lon":-9.1,"radius_m":5000}}})"));
+  ASSERT_TRUE(circle.ok());
+  EXPECT_EQ(circle->geo.shape, earthqube::GeoQuery::Shape::kCircle);
+
+  auto poly = EarthQubeService::QueryFromJson(*json::ParseObject(
+      R"({"geo":{"polygon":[[0,0],[0,1],[1,1]]}})"));
+  ASSERT_TRUE(poly.ok());
+  EXPECT_EQ(poly->geo.shape, earthqube::GeoQuery::Shape::kPolygon);
+
+  EXPECT_FALSE(EarthQubeService::QueryFromJson(
+                   *json::ParseObject(R"({"geo":{"polygon":[[0,0],[1,1]]}})"))
+                   .ok());
+  EXPECT_FALSE(EarthQubeService::QueryFromJson(
+                   *json::ParseObject(R"({"geo":{"blob":1}})"))
+                   .ok());
+}
+
+TEST(QueryFromJsonTest, SeasonsAndSatellites) {
+  auto q = EarthQubeService::QueryFromJson(*json::ParseObject(
+      R"({"seasons":["Summer","Winter"],"satellites":["S2A"],"limit":9})"));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->seasons.size(), 2u);
+  EXPECT_EQ(q->satellites.size(), 1u);
+  EXPECT_EQ(q->limit, 9u);
+  EXPECT_FALSE(EarthQubeService::QueryFromJson(
+                   *json::ParseObject(R"({"seasons":["Monsoon"]})"))
+                   .ok());
+  EXPECT_FALSE(EarthQubeService::QueryFromJson(
+                   *json::ParseObject(R"({"limit":-3})"))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace agoraeo::netsvc

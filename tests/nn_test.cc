@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/gradient_check.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace agoraeo::nn {
+namespace {
+
+/// Scalar loss L = 0.5 * sum(output^2); grad = output.
+LossFn QuadraticLoss() {
+  LossFn loss;
+  loss.value = [](const Tensor& out) {
+    float acc = 0;
+    for (size_t i = 0; i < out.size(); ++i) acc += out[i] * out[i];
+    return 0.5f * acc;
+  };
+  loss.grad = [](const Tensor& out) { return out; };
+  return loss;
+}
+
+TEST(DenseTest, ForwardMatchesManual) {
+  Rng rng(1);
+  Dense dense(2, 2, Init::kZero, &rng);
+  dense.weight().value = Tensor({2, 2}, {1, 2, 3, 4});
+  dense.bias().value = Tensor({2}, {10, 20});
+  Tensor x({1, 2}, {1, 1});
+  Tensor y = dense.Forward(x, false);
+  EXPECT_EQ(y.at(0, 0), 14.0f);  // 1*1 + 1*3 + 10
+  EXPECT_EQ(y.at(0, 1), 26.0f);  // 1*2 + 1*4 + 20
+}
+
+TEST(DenseTest, OutputDimAndName) {
+  Rng rng(2);
+  Dense dense(128, 512, Init::kHeNormal, &rng);
+  EXPECT_EQ(dense.OutputDim(128), 512u);
+  EXPECT_EQ(dense.Name(), "Dense(128->512)");
+  EXPECT_EQ(dense.Params().size(), 2u);
+}
+
+TEST(DenseTest, XavierInitBounded) {
+  Rng rng(3);
+  Dense dense(100, 100, Init::kXavierUniform, &rng);
+  const float limit = std::sqrt(6.0f / 200.0f);
+  EXPECT_GE(dense.weight().value.Min(), -limit);
+  EXPECT_LE(dense.weight().value.Max(), limit);
+  EXPECT_EQ(dense.bias().value.Sum(), 0.0f);
+}
+
+TEST(DenseTest, GradientCheck) {
+  Rng rng(4);
+  Sequential net;
+  net.Emplace<Dense>(5, 3, Init::kXavierUniform, &rng);
+  Tensor input = Tensor::RandomNormal({4, 5}, 1.0f, &rng);
+  auto result = CheckGradients(&net, input, QuadraticLoss(), 64);
+  EXPECT_GT(result.checked, 0u);
+  EXPECT_LT(result.max_rel_error, 0.02f);
+}
+
+TEST(ReLUTest, ForwardClampsNegatives) {
+  ReLU relu;
+  Tensor x({1, 4}, {-1, 0, 2, -3});
+  Tensor y = relu.Forward(x, false);
+  EXPECT_EQ(y, Tensor({1, 4}, {0, 0, 2, 0}));
+}
+
+TEST(ReLUTest, BackwardMasksGradient) {
+  ReLU relu;
+  Tensor x({1, 4}, {-1, 0.5f, 2, -3});
+  relu.Forward(x, false);
+  Tensor g({1, 4}, {1, 1, 1, 1});
+  Tensor gx = relu.Backward(g);
+  EXPECT_EQ(gx, Tensor({1, 4}, {0, 1, 1, 0}));
+}
+
+TEST(TanhTest, ForwardRange) {
+  Tanh tanh_layer;
+  Tensor x({1, 3}, {-100, 0, 100});
+  Tensor y = tanh_layer.Forward(x, false);
+  EXPECT_NEAR(y[0], -1.0f, 1e-5f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_NEAR(y[2], 1.0f, 1e-5f);
+}
+
+TEST(TanhTest, GradientCheckThroughDense) {
+  Rng rng(5);
+  Sequential net;
+  net.Emplace<Dense>(4, 4, Init::kXavierUniform, &rng);
+  net.Emplace<Tanh>();
+  Tensor input = Tensor::RandomNormal({3, 4}, 0.5f, &rng);
+  auto result = CheckGradients(&net, input, QuadraticLoss(), 48);
+  EXPECT_LT(result.max_rel_error, 0.02f);
+}
+
+TEST(SigmoidTest, ForwardAndGradientCheck) {
+  Sigmoid sig;
+  Tensor x({1, 2}, {0, 100});
+  Tensor y = sig.Forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.5f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-5f);
+
+  Rng rng(6);
+  Sequential net;
+  net.Emplace<Dense>(3, 3, Init::kXavierUniform, &rng);
+  net.Emplace<Sigmoid>();
+  Tensor input = Tensor::RandomNormal({2, 3}, 1.0f, &rng);
+  auto result = CheckGradients(&net, input, QuadraticLoss(), 32);
+  EXPECT_LT(result.max_rel_error, 0.02f);
+}
+
+TEST(DropoutTest, IdentityAtInference) {
+  Rng rng(7);
+  Dropout drop(0.5f, &rng);
+  Tensor x = Tensor::RandomNormal({4, 8}, 1.0f, &rng);
+  Tensor y = drop.Forward(x, /*training=*/false);
+  EXPECT_EQ(y, x);
+}
+
+TEST(DropoutTest, TrainingZeroesAboutPFraction) {
+  Rng rng(8);
+  Dropout drop(0.3f, &rng);
+  Tensor x = Tensor::Full({100, 100}, 1.0f);
+  Tensor y = drop.Forward(x, /*training=*/true);
+  size_t zeros = 0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0f) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.size(), 0.3, 0.02);
+  // Survivors are scaled to keep the expectation.
+  EXPECT_NEAR(y.Mean(), 1.0f, 0.05f);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Rng rng(9);
+  Dropout drop(0.5f, &rng);
+  Tensor x = Tensor::Full({1, 100}, 1.0f);
+  Tensor y = drop.Forward(x, /*training=*/true);
+  Tensor g = Tensor::Full({1, 100}, 1.0f);
+  Tensor gx = drop.Backward(g);
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_EQ(gx[i], y[i]);  // mask * scale matches exactly for all-ones
+  }
+}
+
+TEST(SequentialTest, ChainsLayers) {
+  Rng rng(10);
+  Sequential net;
+  net.Emplace<Dense>(8, 16, Init::kHeNormal, &rng);
+  net.Emplace<ReLU>();
+  net.Emplace<Dense>(16, 4, Init::kXavierUniform, &rng);
+  net.Emplace<Tanh>();
+  EXPECT_EQ(net.NumLayers(), 4u);
+  EXPECT_EQ(net.Params().size(), 4u);
+  EXPECT_EQ(net.NumParams(), 8u * 16 + 16 + 16 * 4 + 4);
+
+  Tensor x = Tensor::RandomNormal({5, 8}, 1.0f, &rng);
+  Tensor y = net.Forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<size_t>{5, 4}));
+  EXPECT_LE(y.Max(), 1.0f);
+  EXPECT_GE(y.Min(), -1.0f);
+}
+
+TEST(SequentialTest, ZeroGradClearsAccumulation) {
+  Rng rng(11);
+  Sequential net;
+  net.Emplace<Dense>(3, 2, Init::kHeNormal, &rng);
+  Tensor x = Tensor::RandomNormal({2, 3}, 1.0f, &rng);
+  Tensor y = net.Forward(x, true);
+  net.Backward(y);
+  float grad_norm = net.Params()[0]->grad.L2Norm();
+  EXPECT_GT(grad_norm, 0.0f);
+  net.ZeroGrad();
+  EXPECT_EQ(net.Params()[0]->grad.L2Norm(), 0.0f);
+}
+
+TEST(SequentialTest, DeepNetworkGradientCheck) {
+  Rng rng(12);
+  Sequential net;
+  net.Emplace<Dense>(6, 10, Init::kHeNormal, &rng);
+  net.Emplace<ReLU>();
+  net.Emplace<Dense>(10, 8, Init::kHeNormal, &rng);
+  net.Emplace<ReLU>();
+  net.Emplace<Dense>(8, 4, Init::kXavierUniform, &rng);
+  net.Emplace<Tanh>();
+  Tensor input = Tensor::RandomNormal({4, 6}, 0.7f, &rng);
+  auto result = CheckGradients(&net, input, QuadraticLoss(), 96);
+  EXPECT_GT(result.checked, 50u);
+  EXPECT_LT(result.max_rel_error, 0.05f);
+}
+
+TEST(SequentialTest, SummaryListsLayers) {
+  Rng rng(13);
+  Sequential net;
+  net.Emplace<Dense>(2, 3, Init::kZero, &rng);
+  net.Emplace<ReLU>();
+  const std::string summary = net.Summary();
+  EXPECT_NE(summary.find("Dense(2->3)"), std::string::npos);
+  EXPECT_NE(summary.find("ReLU"), std::string::npos);
+}
+
+// --- optimizers ------------------------------------------------------------
+
+/// Minimises f(w) = ||w - target||^2 with each optimizer; both must
+/// converge to the target.
+template <typename MakeOpt>
+void TestOptimizerConvergence(MakeOpt make_opt, float tol) {
+  Parameter param(Tensor({4}, {5, -3, 2, 8}));
+  const Tensor target({4}, {1, 1, 1, 1});
+  std::vector<Parameter*> params = {&param};
+  auto opt = make_opt(params);
+  for (int step = 0; step < 500; ++step) {
+    param.ZeroGrad();
+    for (size_t i = 0; i < 4; ++i) {
+      param.grad[i] = 2.0f * (param.value[i] - target[i]);
+    }
+    opt->Step();
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(param.value[i], target[i], tol) << "component " << i;
+  }
+}
+
+TEST(OptimizerTest, SgdConverges) {
+  TestOptimizerConvergence(
+      [](std::vector<Parameter*> p) {
+        return std::make_unique<Sgd>(p, 0.05f, 0.9f);
+      },
+      1e-3f);
+}
+
+TEST(OptimizerTest, AdamConverges) {
+  TestOptimizerConvergence(
+      [](std::vector<Parameter*> p) {
+        return std::make_unique<Adam>(p, 0.1f);
+      },
+      1e-2f);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksWeights) {
+  Parameter param(Tensor({1}, {10.0f}));
+  std::vector<Parameter*> params = {&param};
+  Sgd opt(params, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  for (int step = 0; step < 100; ++step) {
+    param.ZeroGrad();  // no data gradient; only decay acts
+    opt.Step();
+  }
+  EXPECT_LT(std::fabs(param.value[0]), 0.1f);
+}
+
+TEST(OptimizerTest, LearningRateAdjustable) {
+  Parameter param(Tensor({1}, {1.0f}));
+  std::vector<Parameter*> params = {&param};
+  Sgd opt(params, 1.0f, 0.0f);
+  EXPECT_EQ(opt.learning_rate(), 1.0f);
+  opt.set_learning_rate(0.0f);
+  param.grad[0] = 100.0f;
+  opt.Step();
+  EXPECT_EQ(param.value[0], 1.0f);  // lr 0 -> no movement
+}
+
+TEST(OptimizerTest, TrainXorWithAdam) {
+  // A 2-2-1 tanh net can fit XOR: end-to-end sanity of forward/backward.
+  Rng rng(14);
+  Sequential net;
+  net.Emplace<Dense>(2, 8, Init::kXavierUniform, &rng);
+  net.Emplace<Tanh>();
+  net.Emplace<Dense>(8, 1, Init::kXavierUniform, &rng);
+  net.Emplace<Tanh>();
+  Adam opt(net.Params(), 0.03f);
+
+  const Tensor inputs({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  const Tensor targets({4, 1}, {-1, 1, 1, -1});
+  for (int epoch = 0; epoch < 800; ++epoch) {
+    net.ZeroGrad();
+    Tensor out = net.Forward(inputs, true);
+    Tensor grad = Sub(out, targets);
+    net.Backward(grad);
+    opt.Step();
+  }
+  Tensor out = net.Forward(inputs, false);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(out[i] * targets[i], 0.25f) << "sample " << i;
+  }
+}
+
+}  // namespace
+}  // namespace agoraeo::nn

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "tensor/tensor.h"
+
+namespace agoraeo {
+namespace {
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 12u);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ConstructWithData) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full({5}, 2.5f);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], 2.5f);
+  t.Fill(-1.0f);
+  EXPECT_EQ(t.Sum(), -5.0f);
+}
+
+TEST(TensorTest, RandomNormalMoments) {
+  Rng rng(1);
+  Tensor t = Tensor::RandomNormal({100, 100}, 2.0f, &rng);
+  EXPECT_NEAR(t.Mean(), 0.0f, 0.05f);
+  float var = 0;
+  for (size_t i = 0; i < t.size(); ++i) var += t[i] * t[i];
+  var /= t.size();
+  EXPECT_NEAR(var, 4.0f, 0.2f);
+}
+
+TEST(TensorTest, RandomUniformRange) {
+  Rng rng(2);
+  Tensor t = Tensor::RandomUniform({1000}, -2.0f, 3.0f, &rng);
+  EXPECT_GE(t.Min(), -2.0f);
+  EXPECT_LT(t.Max(), 3.0f);
+  EXPECT_NEAR(t.Mean(), 0.5f, 0.15f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.at(0, 0), 1.0f);
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+}
+
+TEST(TensorTest, Transpose) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor tt = t.Transposed();
+  EXPECT_EQ(tt.shape(), (std::vector<size_t>{3, 2}));
+  EXPECT_EQ(tt.at(0, 0), 1.0f);
+  EXPECT_EQ(tt.at(0, 1), 4.0f);
+  EXPECT_EQ(tt.at(2, 0), 3.0f);
+  // Double transpose is identity.
+  EXPECT_EQ(tt.Transposed(), t);
+}
+
+TEST(TensorTest, RowAndSetRow) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row = t.Row(1);
+  EXPECT_EQ(row.shape(), (std::vector<size_t>{3}));
+  EXPECT_EQ(row[0], 4.0f);
+  Tensor newrow({3}, {7, 8, 9});
+  t.SetRow(0, newrow);
+  EXPECT_EQ(t.at(0, 2), 9.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  EXPECT_EQ(Add(a, b), Tensor({3}, {11, 22, 33}));
+  EXPECT_EQ(Sub(b, a), Tensor({3}, {9, 18, 27}));
+  EXPECT_EQ(Mul(a, b), Tensor({3}, {10, 40, 90}));
+  EXPECT_EQ(Scale(a, -2.0f), Tensor({3}, {-2, -4, -6}));
+  a += b;
+  EXPECT_EQ(a, Tensor({3}, {11, 22, 33}));
+  a -= b;
+  EXPECT_EQ(a, Tensor({3}, {1, 2, 3}));
+  a *= 3.0f;
+  EXPECT_EQ(a, Tensor({3}, {3, 6, 9}));
+}
+
+TEST(TensorTest, ApplyAndReductions) {
+  Tensor t({4}, {-2, -1, 1, 2});
+  t.Apply([](float v) { return v * v; });
+  EXPECT_EQ(t, Tensor({4}, {4, 1, 1, 4}));
+  EXPECT_EQ(t.Sum(), 10.0f);
+  EXPECT_EQ(t.Mean(), 2.5f);
+  EXPECT_EQ(t.Min(), 1.0f);
+  EXPECT_EQ(t.Max(), 4.0f);
+}
+
+TEST(TensorTest, NormsAndDistances) {
+  Tensor a({2}, {3, 4});
+  EXPECT_FLOAT_EQ(a.L2Norm(), 5.0f);
+  Tensor b({2}, {0, 0});
+  EXPECT_FLOAT_EQ(a.SquaredDistance(b), 25.0f);
+  EXPECT_FLOAT_EQ(a.Dot(a), 25.0f);
+  Tensor c({2}, {4, -3});
+  EXPECT_FLOAT_EQ(a.Dot(c), 0.0f);  // orthogonal
+}
+
+TEST(TensorTest, MatMulKnownResult) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<size_t>{2, 2}));
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(TensorTest, MatMulIdentity) {
+  Rng rng(3);
+  Tensor a = Tensor::RandomNormal({4, 4}, 1.0f, &rng);
+  Tensor eye({4, 4});
+  for (size_t i = 0; i < 4; ++i) eye.at(i, i) = 1.0f;
+  Tensor prod = MatMul(a, eye);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(prod[i], a[i], 1e-5f);
+}
+
+TEST(TensorTest, MatMulAssociativityProperty) {
+  Rng rng(4);
+  Tensor a = Tensor::RandomNormal({3, 5}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal({5, 4}, 1.0f, &rng);
+  Tensor c = Tensor::RandomNormal({4, 2}, 1.0f, &rng);
+  Tensor left = MatMul(MatMul(a, b), c);
+  Tensor right = MatMul(a, MatMul(b, c));
+  ASSERT_EQ(left.shape(), right.shape());
+  for (size_t i = 0; i < left.size(); ++i) {
+    EXPECT_NEAR(left[i], right[i], 1e-3f);
+  }
+}
+
+TEST(TensorTest, MatMulAccumulateAddsIntoC) {
+  Tensor a({1, 2}, {1, 1});
+  Tensor b({2, 1}, {2, 3});
+  Tensor c({1, 1}, {10});
+  MatMulAccumulate(a, b, &c);
+  EXPECT_EQ(c.at(0, 0), 15.0f);
+}
+
+TEST(TensorTest, MatVec) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor x({3}, {1, 0, -1});
+  Tensor y = MatVec(a, x);
+  EXPECT_EQ(y.shape(), (std::vector<size_t>{2}));
+  EXPECT_EQ(y[0], -2.0f);
+  EXPECT_EQ(y[1], -2.0f);
+}
+
+TEST(TensorTest, AddBiasRowsAndSumRows) {
+  Tensor m({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias({3}, {10, 20, 30});
+  AddBiasRows(&m, bias);
+  EXPECT_EQ(m, Tensor({2, 3}, {11, 22, 33, 14, 25, 36}));
+  Tensor sums = SumRows(m);
+  EXPECT_EQ(sums, Tensor({3}, {25, 47, 69}));
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor({32, 128}).ShapeString(), "[32, 128]");
+  EXPECT_EQ(Tensor({5}).ShapeString(), "[5]");
+}
+
+// Property sweep: MatMul matches a naive reference implementation on
+// random shapes.
+class MatMulPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatMulPropertyTest, MatchesNaiveReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t m = 1 + rng.UniformInt(8u);
+  const size_t k = 1 + rng.UniformInt(8u);
+  const size_t n = 1 + rng.UniformInt(8u);
+  Tensor a = Tensor::RandomNormal({m, k}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal({k, n}, 1.0f, &rng);
+  Tensor c = MatMul(a, b);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      float acc = 0;
+      for (size_t kk = 0; kk < k; ++kk) acc += a.at(i, kk) * b.at(kk, j);
+      EXPECT_NEAR(c.at(i, j), acc, 1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, MatMulPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace agoraeo
