@@ -1,0 +1,204 @@
+/// Experiment E1b — batched, thread-parallel CBIR queries.
+///
+/// The ROADMAP's first scaling increment: instead of answering queries
+/// one at a time on one thread, the retrieval stack accepts query
+/// batches, shards them across a ThreadPool, and (for the linear scan)
+/// blocks over the code array so a cache-resident block of codes serves
+/// every query of a shard.  This bench reports single-query baseline
+/// throughput against batched throughput at 1/4/8 pool threads for the
+/// linear-scan, hash-table and BK-tree backends at 10k codes, plus the
+/// end-to-end CbirService::QueryBatch path (one MiLaN forward pass per
+/// batch instead of per query).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/harness.h"
+#include "common/thread_pool.h"
+#include "index/bk_tree.h"
+#include "index/hamming_table.h"
+#include "index/linear_scan.h"
+
+namespace agoraeo::bench {
+namespace {
+
+constexpr size_t kBits = 128;
+constexpr uint32_t kRadius = 8;
+constexpr size_t kArchive = 10000;
+constexpr size_t kBatch = 64;
+
+index::HammingIndex* GetIndex(const std::string& kind) {
+  static std::map<std::string, std::unique_ptr<index::HammingIndex>> cache;
+  auto it = cache.find(kind);
+  if (it != cache.end()) return it->second.get();
+  const ArchiveFixture& fixture = GetArchive(kArchive);
+  const auto codes = ClusteredCodes(fixture, kBits);
+  std::unique_ptr<index::HammingIndex> idx;
+  if (kind == "hash_table") {
+    idx = std::make_unique<index::HammingHashTable>();
+  } else if (kind == "bk_tree") {
+    idx = std::make_unique<index::BkTree>();
+  } else {
+    idx = std::make_unique<index::LinearScanIndex>();
+  }
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (!idx->Add(i, codes[i]).ok()) std::abort();
+  }
+  return cache.emplace(kind, std::move(idx)).first->second.get();
+}
+
+/// Pre-generated rotating query batches so the timed loops measure the
+/// search alone, not query synthesis.
+const std::vector<BinaryCode>& QueryBatchCodes(size_t offset) {
+  static const std::vector<std::vector<BinaryCode>> batches = [] {
+    const ArchiveFixture& fixture = GetArchive(kArchive);
+    const auto codes = ClusteredCodes(fixture, kBits);
+    std::vector<std::vector<BinaryCode>> out(16);
+    for (size_t b = 0; b < out.size(); ++b) {
+      out[b].reserve(kBatch);
+      for (size_t q = 0; q < kBatch; ++q) {
+        out[b].push_back(codes[(b + q * 37) % codes.size()]);
+      }
+    }
+    return out;
+  }();
+  return batches[offset % batches.size()];
+}
+
+/// Baseline: the batch answered as kBatch independent single-threaded
+/// single queries (the seed's only query path).
+void RunSingleQuery(benchmark::State& state, const std::string& kind) {
+  index::HammingIndex* idx = GetIndex(kind);
+  size_t offset = 0;
+  for (auto _ : state) {
+    const auto& queries = QueryBatchCodes(offset++);
+    size_t results = 0;
+    for (const BinaryCode& q : queries) {
+      auto hits = idx->RadiusSearch(q, kRadius);
+      benchmark::DoNotOptimize(hits);
+      results += hits.size();
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatch));
+  state.counters["queries_per_batch"] = static_cast<double>(kBatch);
+}
+
+/// Batched path: one BatchRadiusSearch call sharded across `threads`
+/// pool workers (threads == 0 runs the batch sequentially, isolating
+/// the batching gain from the threading gain).
+void RunBatchQuery(benchmark::State& state, const std::string& kind) {
+  index::HammingIndex* idx = GetIndex(kind);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  size_t offset = 0;
+  for (auto _ : state) {
+    const auto& queries = QueryBatchCodes(offset++);
+    auto hits = idx->BatchRadiusSearch(queries, kRadius, pool.get());
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatch));
+  state.counters["pool_threads"] = static_cast<double>(threads);
+}
+
+void BM_SingleQueryLinearScan(benchmark::State& state) {
+  RunSingleQuery(state, "linear");
+}
+void BM_BatchLinearScan(benchmark::State& state) {
+  RunBatchQuery(state, "linear");
+}
+void BM_SingleQueryHashTable(benchmark::State& state) {
+  RunSingleQuery(state, "hash_table");
+}
+void BM_BatchHashTable(benchmark::State& state) {
+  RunBatchQuery(state, "hash_table");
+}
+void BM_SingleQueryBkTree(benchmark::State& state) {
+  RunSingleQuery(state, "bk_tree");
+}
+void BM_BatchBkTree(benchmark::State& state) {
+  RunBatchQuery(state, "bk_tree");
+}
+
+/// End-to-end service path: query-by-feature with per-query inference
+/// (baseline) versus one batched forward pass + batch index search.
+earthqube::CbirService* GetCbir() {
+  static std::unique_ptr<earthqube::CbirService> cbir;
+  if (cbir != nullptr) return cbir.get();
+  const ArchiveFixture& fixture = GetArchive(2000);
+  milan::MilanModel* trained = GetTrainedMilan(fixture, 32);
+  // Clone the trained weights into a service-owned model via a
+  // save/load round trip (the harness cache keeps the original).
+  const std::string path = "/tmp/agoraeo_bench_batch_milan.bin";
+  if (!trained->Save(path).ok()) std::abort();
+  auto model = milan::MilanModel::Load(path);
+  if (!model.ok()) std::abort();
+  cbir = std::make_unique<earthqube::CbirService>(
+      std::move(model).value(), &fixture.extractor,
+      earthqube::CbirIndexKind::kHashTable, /*query_threads=*/4);
+  if (!cbir->AddImages(fixture.names, fixture.features).ok()) std::abort();
+  return cbir.get();
+}
+
+void BM_CbirSingleQueryByFeature(benchmark::State& state) {
+  earthqube::CbirService* cbir = GetCbir();
+  const ArchiveFixture& fixture = GetArchive(2000);
+  size_t offset = 0;
+  for (auto _ : state) {
+    size_t results = 0;
+    for (size_t q = 0; q < kBatch; ++q) {
+      const auto hits = cbir->QueryByFeature(
+          fixture.features.Row((offset + q * 37) % 2000), kRadius);
+      results += hits.size();
+    }
+    benchmark::DoNotOptimize(results);
+    ++offset;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatch));
+}
+
+void BM_CbirQueryBatch(benchmark::State& state) {
+  earthqube::CbirService* cbir = GetCbir();
+  const ArchiveFixture& fixture = GetArchive(2000);
+  const size_t dim = fixture.features.shape()[1];
+  size_t offset = 0;
+  for (auto _ : state) {
+    Tensor batch({kBatch, dim});
+    for (size_t q = 0; q < kBatch; ++q) {
+      batch.SetRow(q, fixture.features.Row((offset + q * 37) % 2000));
+    }
+    auto hits = cbir->QueryBatch(batch, kRadius);
+    if (!hits.ok()) std::abort();
+    benchmark::DoNotOptimize(*hits);
+    ++offset;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatch));
+}
+
+// UseRealTime: worker-pool benches must report wall-clock rates, not
+// the main thread's CPU time.
+BENCHMARK(BM_SingleQueryLinearScan)->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+BENCHMARK(BM_BatchLinearScan)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK(BM_SingleQueryHashTable)->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+BENCHMARK(BM_BatchHashTable)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK(BM_SingleQueryBkTree)->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+BENCHMARK(BM_BatchBkTree)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK(BM_CbirSingleQueryByFeature)->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+BENCHMARK(BM_CbirQueryBatch)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+}  // namespace
+}  // namespace agoraeo::bench
+
+BENCHMARK_MAIN();

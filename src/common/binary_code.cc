@@ -30,7 +30,7 @@ BinaryCode BinaryCode::FromBitString(const std::string& text) {
 
 size_t BinaryCode::PopCount() const {
   size_t total = 0;
-  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  for (uint64_t w : words_) total += static_cast<size_t>(PopcountWord(w));
   return total;
 }
 
@@ -38,7 +38,7 @@ size_t BinaryCode::HammingDistance(const BinaryCode& other) const {
   assert(num_bits_ == other.num_bits_);
   size_t total = 0;
   for (size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<size_t>(std::popcount(words_[i] ^ other.words_[i]));
+    total += static_cast<size_t>(PopcountWord(words_[i] ^ other.words_[i]));
   }
   return total;
 }

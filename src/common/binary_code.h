@@ -6,7 +6,27 @@
 #include <string>
 #include <vector>
 
+#if !defined(__cpp_lib_bitops) || __cpp_lib_bitops < 201907L
+#if !defined(__GNUC__) && !defined(__clang__)
+#error \
+    "agoraeo requires std::popcount (<bit>, C++20) or a GNU-compatible " \
+    "compiler providing __builtin_popcountll; build with -std=c++20."
+#endif
+#endif
+
 namespace agoraeo {
+
+/// Hardware popcount with a feature-test guard: C++20's std::popcount
+/// when the standard library provides it, the GNU builtin otherwise, so
+/// an accidental C++17 toolchain fails with the #error above instead of
+/// a cryptic "popcount is not a member of std".
+inline int PopcountWord(uint64_t word) {
+#if defined(__cpp_lib_bitops) && __cpp_lib_bitops >= 201907L
+  return std::popcount(word);
+#else
+  return __builtin_popcountll(word);
+#endif
+}
 
 /// A fixed-length binary hash code (e.g. the 128-bit codes MiLaN assigns to
 /// each BigEarthNet patch), packed into 64-bit words.

@@ -61,15 +61,28 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   const size_t num_chunks = std::min(n, workers_.size());
   const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  // Completion is tracked with a per-call latch rather than Wait():
+  // Wait() blocks until the pool's *global* queue drains, which would
+  // couple concurrent ParallelFor callers sharing one pool.
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t pending = 0;
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t begin = c * chunk;
     const size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    Submit([begin, end, &fn] {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++pending;
+    }
+    Submit([begin, end, &fn, &mu, &cv, &pending] {
       for (size_t i = begin; i < end; ++i) fn(i);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--pending == 0) cv.notify_one();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&pending] { return pending == 0; });
 }
 
 }  // namespace agoraeo

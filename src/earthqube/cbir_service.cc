@@ -1,5 +1,8 @@
 #include "earthqube/cbir_service.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "index/hamming_table.h"
 #include "index/linear_scan.h"
 
@@ -23,10 +26,24 @@ std::unique_ptr<index::HammingIndex> MakeIndex(CbirIndexKind kind) {
 
 CbirService::CbirService(std::unique_ptr<milan::MilanModel> model,
                          const bigearthnet::FeatureExtractor* extractor,
-                         CbirIndexKind index_kind)
+                         CbirIndexKind index_kind, size_t query_threads)
     : model_(std::move(model)),
       extractor_(extractor),
-      index_(MakeIndex(index_kind)) {}
+      index_(MakeIndex(index_kind)),
+      query_threads_(query_threads) {}
+
+ThreadPool* CbirService::QueryPool() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr) {
+    size_t threads = query_threads_;
+    if (threads == 0) {
+      threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+    }
+    if (threads == 1) return nullptr;  // sequential: no pool at all
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return pool_.get();
+}
 
 Status CbirService::AddImage(const std::string& patch_name,
                              const Tensor& feature) {
@@ -90,6 +107,9 @@ StatusOr<std::vector<CbirResult>> CbirService::KnnByName(
   if (it == code_by_name_.end()) {
     return Status::NotFound("image not in archive index: " + patch_name);
   }
+  // k == 0 must return nothing: ToResults treats a 0 cap as "unlimited",
+  // and the k+1 overfetch below would otherwise surface one neighbour.
+  if (k == 0) return std::vector<CbirResult>{};
   // Fetch one extra so the self-match can be dropped.
   const auto hits = index_->KnnSearch(it->second, k + 1);
   return ToResults(hits, k, patch_name);
@@ -113,6 +133,66 @@ std::vector<CbirResult> CbirService::QueryByFeature(const Tensor& feature,
   const BinaryCode code = model_->HashOne(feature);
   const auto hits = index_->RadiusSearch(code, radius);
   return ToResults(hits, max_results, /*exclude_name=*/"");
+}
+
+StatusOr<std::vector<std::vector<CbirResult>>> CbirService::QueryBatchByName(
+    const std::vector<std::string>& names, uint32_t radius,
+    size_t max_results) const {
+  std::vector<BinaryCode> codes;
+  codes.reserve(names.size());
+  for (const std::string& name : names) {
+    auto it = code_by_name_.find(name);
+    if (it == code_by_name_.end()) {
+      return Status::NotFound("image not in archive index: " + name);
+    }
+    codes.push_back(it->second);
+  }
+  const auto batch_hits = index_->BatchRadiusSearch(codes, radius, QueryPool());
+  std::vector<std::vector<CbirResult>> out(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    out[i] = ToResults(batch_hits[i], max_results, names[i]);
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::vector<CbirResult>>> CbirService::KnnBatchByName(
+    const std::vector<std::string>& names, size_t k) const {
+  std::vector<BinaryCode> codes;
+  codes.reserve(names.size());
+  for (const std::string& name : names) {
+    auto it = code_by_name_.find(name);
+    if (it == code_by_name_.end()) {
+      return Status::NotFound("image not in archive index: " + name);
+    }
+    codes.push_back(it->second);
+  }
+  // Same k == 0 guard as KnnByName (names were still validated above).
+  if (k == 0) return std::vector<std::vector<CbirResult>>(names.size());
+  // Fetch one extra per query so the self-match can be dropped.
+  const auto batch_hits = index_->BatchKnnSearch(codes, k + 1, QueryPool());
+  std::vector<std::vector<CbirResult>> out(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    out[i] = ToResults(batch_hits[i], k, names[i]);
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::vector<CbirResult>>> CbirService::QueryBatch(
+    const Tensor& features, uint32_t radius, size_t max_results) {
+  if (features.rank() != 2 ||
+      features.dim(1) != model_->config().feature_dim) {
+    return Status::InvalidArgument(
+        "features must be [batch, feature_dim] for batch query");
+  }
+  // One forward pass through MiLaN for the whole matrix; per-query
+  // inference is the dominant fixed cost this amortises.
+  const std::vector<BinaryCode> codes = model_->HashBatch(features);
+  const auto batch_hits = index_->BatchRadiusSearch(codes, radius, QueryPool());
+  std::vector<std::vector<CbirResult>> out(codes.size());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    out[i] = ToResults(batch_hits[i], max_results, /*exclude_name=*/"");
+  }
+  return out;
 }
 
 StatusOr<BinaryCode> CbirService::CodeOf(const std::string& patch_name) const {

@@ -2,9 +2,12 @@
 #define AGORAEO_EARTHQUBE_CBIR_SERVICE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 #include "bigearthnet/feature_extractor.h"
 #include "bigearthnet/patch.h"
@@ -32,10 +35,13 @@ struct CbirResult {
 class CbirService {
  public:
   /// Takes ownership of the trained model.  `extractor` must outlive the
-  /// service.
+  /// service.  `query_threads` sizes the pool the batch queries shard
+  /// across: 0 picks the hardware concurrency, 1 disables threading.
+  /// The pool is created lazily on the first batch query.
   CbirService(std::unique_ptr<milan::MilanModel> model,
               const bigearthnet::FeatureExtractor* extractor,
-              CbirIndexKind index_kind = CbirIndexKind::kHashTable);
+              CbirIndexKind index_kind = CbirIndexKind::kHashTable,
+              size_t query_threads = 0);
 
   /// Indexes one archive image with a precomputed feature vector.
   Status AddImage(const std::string& patch_name, const Tensor& feature);
@@ -66,6 +72,28 @@ class CbirService {
                                          uint32_t radius,
                                          size_t max_results = 0);
 
+  // --- batch queries -------------------------------------------------------
+  //
+  // Slot i of every batch result equals what the corresponding
+  // single-query call would return for input i.  Index lookups are
+  // sharded across the service's query pool.
+
+  /// Batch query-by-archive-image: radius search for each named image.
+  /// NotFound (whole batch) when any name is unknown.
+  StatusOr<std::vector<std::vector<CbirResult>>> QueryBatchByName(
+      const std::vector<std::string>& names, uint32_t radius,
+      size_t max_results = 0) const;
+
+  /// k-NN flavour of QueryBatchByName.
+  StatusOr<std::vector<std::vector<CbirResult>>> KnnBatchByName(
+      const std::vector<std::string>& names, size_t k) const;
+
+  /// Batch query-by-feature over a [B, feature_dim] matrix: the whole
+  /// batch goes through ONE MiLaN forward pass (amortising inference),
+  /// then one sharded batch index search.
+  StatusOr<std::vector<std::vector<CbirResult>>> QueryBatch(
+      const Tensor& features, uint32_t radius, size_t max_results = 0);
+
   /// The stored code of an archive image.
   StatusOr<BinaryCode> CodeOf(const std::string& patch_name) const;
 
@@ -78,9 +106,15 @@ class CbirService {
       const std::vector<index::SearchResult>& hits, size_t max_results,
       const std::string& exclude_name) const;
 
+  /// The lazily created query pool (nullptr when query_threads == 1).
+  ThreadPool* QueryPool() const;
+
   std::unique_ptr<milan::MilanModel> model_;
   const bigearthnet::FeatureExtractor* extractor_;
   std::unique_ptr<index::HammingIndex> index_;
+  size_t query_threads_;
+  mutable std::mutex pool_mu_;  ///< guards lazy pool creation
+  mutable std::unique_ptr<ThreadPool> pool_;
   /// The paper's in-memory hash table: patch name -> binary code.
   std::unordered_map<std::string, BinaryCode> code_by_name_;
   std::vector<std::string> name_by_id_;  ///< ItemId -> patch name

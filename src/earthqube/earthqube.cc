@@ -144,6 +144,25 @@ StatusOr<SearchResponse> EarthQube::SimilarToUploadedImage(
   return ResponseFromCbirResults(results);
 }
 
+StatusOr<std::vector<std::vector<CbirResult>>>
+EarthQube::BatchSimilarToArchiveImages(const std::vector<std::string>& names,
+                                       uint32_t radius,
+                                       size_t max_results) const {
+  if (cbir_ == nullptr) {
+    return Status::FailedPrecondition("no CBIR service attached");
+  }
+  return cbir_->QueryBatchByName(names, radius, max_results);
+}
+
+StatusOr<std::vector<std::vector<CbirResult>>>
+EarthQube::BatchNearestToArchiveImages(const std::vector<std::string>& names,
+                                       size_t k) const {
+  if (cbir_ == nullptr) {
+    return Status::FailedPrecondition("no CBIR service attached");
+  }
+  return cbir_->KnnBatchByName(names, k);
+}
+
 Status EarthQube::StorePatchPixels(const bigearthnet::Patch& patch) {
   auto inserted = image_data_->Insert(PatchToImageDocument(patch));
   return inserted.ok() ? Status::OK() : inserted.status();

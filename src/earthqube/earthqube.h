@@ -78,6 +78,19 @@ class EarthQube {
       const bigearthnet::Patch& patch, uint32_t radius,
       size_t max_results = 0) const;
 
+  /// Batch query-by-archive-image: slot i holds what
+  /// SimilarToArchiveImage(names[i], ...) would return as raw CBIR hits
+  /// (name + Hamming distance, no metadata join — the batch path is the
+  /// high-throughput interface).  The index lookups run as one sharded
+  /// batch across the CBIR service's query pool.
+  StatusOr<std::vector<std::vector<CbirResult>>> BatchSimilarToArchiveImages(
+      const std::vector<std::string>& names, uint32_t radius,
+      size_t max_results = 0) const;
+
+  /// k-NN flavour of BatchSimilarToArchiveImages.
+  StatusOr<std::vector<std::vector<CbirResult>>> BatchNearestToArchiveImages(
+      const std::vector<std::string>& names, size_t k) const;
+
   // --- image payloads ------------------------------------------------------
 
   /// Stores a patch's raster stack in the image-data collection (unique

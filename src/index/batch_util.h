@@ -1,0 +1,38 @@
+#ifndef AGORAEO_INDEX_BATCH_UTIL_H_
+#define AGORAEO_INDEX_BATCH_UTIL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+#include "common/thread_pool.h"
+
+namespace agoraeo::index {
+
+/// Splits [0, n) into one contiguous range per pool worker and runs
+/// `shard(begin, end)` on each, blocking until all shards finish.  A
+/// null pool (or a single-worker pool) runs the whole range inline.
+/// Used by the batch search implementations to shard a query batch.
+/// Dispatch and completion are delegated to ThreadPool::ParallelFor,
+/// whose per-call latch keeps concurrent batch calls sharing one pool
+/// independent of each other.
+inline void RunSharded(size_t n, ThreadPool* pool,
+                       const std::function<void(size_t, size_t)>& shard) {
+  if (n == 0) return;
+  const size_t num_shards =
+      pool != nullptr ? std::min(pool->num_threads(), n) : 1;
+  if (num_shards <= 1) {
+    shard(0, n);
+    return;
+  }
+  const size_t chunk = (n + num_shards - 1) / num_shards;
+  pool->ParallelFor(num_shards, [&](size_t s) {
+    const size_t begin = s * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin < end) shard(begin, end);
+  });
+}
+
+}  // namespace agoraeo::index
+
+#endif  // AGORAEO_INDEX_BATCH_UTIL_H_

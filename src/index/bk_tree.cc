@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "index/batch_util.h"
+
 namespace agoraeo::index {
 
 Status BkTree::Add(ItemId id, const BinaryCode& code) {
@@ -40,23 +42,24 @@ Status BkTree::Add(ItemId id, const BinaryCode& code) {
   }
 }
 
-std::vector<SearchResult> BkTree::RadiusSearch(const BinaryCode& query,
-                                               uint32_t radius,
-                                               SearchStats* stats) const {
-  std::vector<SearchResult> out;
+void BkTree::RadiusSearchInto(const BinaryCode& query, uint32_t radius,
+                              std::vector<const Node*>* stack,
+                              std::vector<SearchResult>* out,
+                              SearchStats* stats) const {
   SearchStats local;
   if (root_ != nullptr) {
     // Iterative DFS; triangle-inequality pruning on edge keys.
-    std::vector<const Node*> stack = {root_.get()};
-    while (!stack.empty()) {
-      const Node* node = stack.back();
-      stack.pop_back();
+    stack->clear();
+    stack->push_back(root_.get());
+    while (!stack->empty()) {
+      const Node* node = stack->back();
+      stack->pop_back();
       ++local.buckets_probed;  // nodes visited
       const uint32_t d =
           static_cast<uint32_t>(node->code.HammingDistance(query));
       local.candidates += node->ids.size();
       if (d <= radius) {
-        for (ItemId id : node->ids) out.push_back({id, d});
+        for (ItemId id : node->ids) out->push_back({id, d});
       }
       // Children with edge key in [d - radius, d + radius] can contain
       // matches; std::map's ordering gives the window as a range scan.
@@ -64,13 +67,36 @@ std::vector<SearchResult> BkTree::RadiusSearch(const BinaryCode& query,
       const uint32_t hi = d + radius;
       for (auto it = node->children.lower_bound(lo);
            it != node->children.end() && it->first <= hi; ++it) {
-        stack.push_back(it->second.get());
+        stack->push_back(it->second.get());
       }
     }
   }
-  std::sort(out.begin(), out.end(), ResultLess);
-  local.results = out.size();
+  std::sort(out->begin(), out->end(), ResultLess);
+  local.results = out->size();
   if (stats != nullptr) *stats = local;
+}
+
+std::vector<SearchResult> BkTree::RadiusSearch(const BinaryCode& query,
+                                               uint32_t radius,
+                                               SearchStats* stats) const {
+  std::vector<SearchResult> out;
+  std::vector<const Node*> stack;
+  RadiusSearchInto(query, radius, &stack, &out, stats);
+  return out;
+}
+
+std::vector<std::vector<SearchResult>> BkTree::BatchRadiusSearch(
+    const std::vector<BinaryCode>& queries, uint32_t radius, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  std::vector<std::vector<SearchResult>> out(queries.size());
+  if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
+  RunSharded(queries.size(), pool, [&](size_t begin, size_t end) {
+    std::vector<const Node*> stack;  // reused across the shard's queries
+    for (size_t q = begin; q < end; ++q) {
+      RadiusSearchInto(queries[q], radius, &stack, &out[q],
+                       stats != nullptr ? &(*stats)[q] : nullptr);
+    }
+  });
   return out;
 }
 

@@ -30,6 +30,15 @@ class BkTree : public HammingIndex {
   std::vector<SearchResult> KnnSearch(
       const BinaryCode& query, size_t k,
       SearchStats* stats = nullptr) const override;
+
+  /// Query-sharded batch radius search.  Each shard reuses one DFS
+  /// stack buffer across all of its queries, avoiding the per-query
+  /// allocation the single-query path pays.
+  std::vector<std::vector<SearchResult>> BatchRadiusSearch(
+      const std::vector<BinaryCode>& queries, uint32_t radius,
+      ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const override;
+
   size_t size() const override { return num_items_; }
   std::string Name() const override { return "BkTree"; }
 
@@ -44,6 +53,14 @@ class BkTree : public HammingIndex {
     // (distance 0 never occurs: equal codes join ids).
     std::map<uint32_t, std::unique_ptr<Node>> children;
   };
+
+  /// Radius search writing into caller-owned buffers; `stack` is the
+  /// DFS work list, cleared on entry so batch shards can reuse its
+  /// capacity across queries.
+  void RadiusSearchInto(const BinaryCode& query, uint32_t radius,
+                        std::vector<const Node*>* stack,
+                        std::vector<SearchResult>* out,
+                        SearchStats* stats) const;
 
   std::unique_ptr<Node> root_;
   size_t code_bits_ = 0;

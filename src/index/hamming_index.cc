@@ -1,0 +1,40 @@
+#include "index/hamming_index.h"
+
+#include "index/batch_util.h"
+
+namespace agoraeo::index {
+
+bool ResultLess(const SearchResult& a, const SearchResult& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+std::vector<std::vector<SearchResult>> HammingIndex::BatchRadiusSearch(
+    const std::vector<BinaryCode>& queries, uint32_t radius, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  std::vector<std::vector<SearchResult>> out(queries.size());
+  if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
+  RunSharded(queries.size(), pool, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = RadiusSearch(queries[i], radius,
+                            stats != nullptr ? &(*stats)[i] : nullptr);
+    }
+  });
+  return out;
+}
+
+std::vector<std::vector<SearchResult>> HammingIndex::BatchKnnSearch(
+    const std::vector<BinaryCode>& queries, size_t k, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  std::vector<std::vector<SearchResult>> out(queries.size());
+  if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
+  RunSharded(queries.size(), pool, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = KnnSearch(queries[i], k,
+                         stats != nullptr ? &(*stats)[i] : nullptr);
+    }
+  });
+  return out;
+}
+
+}  // namespace agoraeo::index

@@ -8,6 +8,10 @@
 #include "common/binary_code.h"
 #include "common/status.h"
 
+namespace agoraeo {
+class ThreadPool;
+}
+
 namespace agoraeo::index {
 
 /// Identifier of an indexed item (EarthQube uses the metadata DocId of
@@ -57,6 +61,29 @@ class HammingIndex {
   virtual std::vector<SearchResult> KnnSearch(
       const BinaryCode& query, size_t k,
       SearchStats* stats = nullptr) const = 0;
+
+  /// Batch flavour of RadiusSearch: slot i of the returned vector holds
+  /// exactly what RadiusSearch(queries[i], radius) would return, in the
+  /// same canonical (distance, id) order.  When `pool` is non-null the
+  /// batch is sharded across its workers (implementations are read-only
+  /// and therefore safe to query concurrently); a null pool runs
+  /// sequentially.  When `stats` is non-null it is resized to the batch
+  /// size and per-query counters are written to the matching slot.
+  ///
+  /// The default implementation shards single queries; backends override
+  /// it when they can do better (e.g. the linear scan blocks over the
+  /// code array so one block of codes serves many queries from cache).
+  virtual std::vector<std::vector<SearchResult>> BatchRadiusSearch(
+      const std::vector<BinaryCode>& queries, uint32_t radius,
+      ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const;
+
+  /// Batch flavour of KnnSearch with the same guarantees as
+  /// BatchRadiusSearch: slot i equals KnnSearch(queries[i], k).
+  virtual std::vector<std::vector<SearchResult>> BatchKnnSearch(
+      const std::vector<BinaryCode>& queries, size_t k,
+      ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const;
 
   virtual size_t size() const = 0;
   virtual std::string Name() const = 0;

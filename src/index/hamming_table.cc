@@ -4,6 +4,8 @@
 #include <cassert>
 #include <functional>
 
+#include "index/batch_util.h"
+
 namespace agoraeo::index {
 
 namespace {
@@ -125,6 +127,66 @@ std::vector<SearchResult> HammingHashTable::KnnSearch(const BinaryCode& query,
   local.results = out.size();
   if (stats != nullptr) *stats = local;
   return out;
+}
+
+namespace {
+
+/// Collapses duplicate query codes to one representative slot, runs
+/// `search_one(slot, stats_slot)` for each distinct code sharded across
+/// the pool, and fans results out to the duplicate slots.
+std::vector<std::vector<SearchResult>> DedupedBatch(
+    const std::vector<BinaryCode>& queries, ThreadPool* pool,
+    std::vector<SearchStats>* stats,
+    const std::function<std::vector<SearchResult>(size_t, SearchStats*)>&
+        search_one) {
+  std::vector<std::vector<SearchResult>> out(queries.size());
+  if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
+
+  std::unordered_map<BinaryCode, size_t, BinaryCodeHash> representative;
+  representative.reserve(queries.size());
+  std::vector<size_t> unique_slots;
+  unique_slots.reserve(queries.size());
+  std::vector<size_t> source(queries.size());  // slot -> representative slot
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto [it, inserted] = representative.emplace(queries[i], i);
+    if (inserted) unique_slots.push_back(i);
+    source[i] = it->second;
+  }
+
+  RunSharded(unique_slots.size(), pool, [&](size_t begin, size_t end) {
+    for (size_t u = begin; u < end; ++u) {
+      const size_t slot = unique_slots[u];
+      out[slot] =
+          search_one(slot, stats != nullptr ? &(*stats)[slot] : nullptr);
+    }
+  });
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (source[i] == i) continue;
+    out[i] = out[source[i]];
+    if (stats != nullptr) (*stats)[i] = (*stats)[source[i]];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<SearchResult>> HammingHashTable::BatchRadiusSearch(
+    const std::vector<BinaryCode>& queries, uint32_t radius, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  return DedupedBatch(queries, pool, stats,
+                      [&](size_t slot, SearchStats* slot_stats) {
+                        return RadiusSearch(queries[slot], radius, slot_stats);
+                      });
+}
+
+std::vector<std::vector<SearchResult>> HammingHashTable::BatchKnnSearch(
+    const std::vector<BinaryCode>& queries, size_t k, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  return DedupedBatch(queries, pool, stats,
+                      [&](size_t slot, SearchStats* slot_stats) {
+                        return KnnSearch(queries[slot], k, slot_stats);
+                      });
 }
 
 // ---------------------------------------------------------------------------

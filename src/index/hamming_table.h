@@ -27,6 +27,20 @@ class HammingHashTable : public HammingIndex {
                                          SearchStats* stats = nullptr) const override;
   std::vector<SearchResult> KnnSearch(const BinaryCode& query, size_t k,
                                       SearchStats* stats = nullptr) const override;
+
+  /// Batch searches that first collapse duplicate query codes (a
+  /// common shape for production batches over clustered codes): each
+  /// distinct code is probed once, sharded across the pool, and its
+  /// result is fanned out to every batch slot that asked for it.
+  std::vector<std::vector<SearchResult>> BatchRadiusSearch(
+      const std::vector<BinaryCode>& queries, uint32_t radius,
+      ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const override;
+  std::vector<std::vector<SearchResult>> BatchKnnSearch(
+      const std::vector<BinaryCode>& queries, size_t k,
+      ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const override;
+
   size_t size() const override { return num_items_; }
   std::string Name() const override { return "HammingHashTable"; }
 

@@ -1,10 +1,12 @@
 #include "index/ivf_index.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <numeric>
 
 #include "common/random.h"
+#include "index/batch_util.h"
 
 namespace agoraeo::index {
 
@@ -156,6 +158,19 @@ std::vector<FloatSearchResult> IvfFlatIndex::KnnSearch(const Tensor& query,
     }
   }
   return best;
+}
+
+std::vector<std::vector<FloatSearchResult>> IvfFlatIndex::BatchKnnSearch(
+    const Tensor& queries, size_t k, size_t nprobe, ThreadPool* pool) const {
+  assert(queries.rank() == 2 && queries.shape()[1] == dim_);
+  const size_t batch = queries.shape()[0];
+  std::vector<std::vector<FloatSearchResult>> out(batch);
+  RunSharded(batch, pool, [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      out[q] = KnnSearch(queries.Row(q), k, nprobe);
+    }
+  });
+  return out;
 }
 
 size_t IvfFlatIndex::CandidatesForProbe(const Tensor& query,

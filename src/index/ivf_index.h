@@ -41,6 +41,13 @@ class IvfFlatIndex {
   std::vector<FloatSearchResult> KnnSearch(const Tensor& query, size_t k,
                                            size_t nprobe) const;
 
+  /// Batch k-NN over a [B, dim] query matrix: slot i equals
+  /// KnnSearch(queries.Row(i), k, nprobe).  Queries are sharded across
+  /// `pool` when one is given (search is read-only and thread-safe).
+  std::vector<std::vector<FloatSearchResult>> BatchKnnSearch(
+      const Tensor& queries, size_t k, size_t nprobe,
+      ThreadPool* pool = nullptr) const;
+
   /// Items whose cell was scanned for the given nprobe (the candidate
   /// count a query of that setting examines); used by benchmarks.
   size_t CandidatesForProbe(const Tensor& query, size_t nprobe) const;

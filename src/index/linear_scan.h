@@ -20,12 +20,42 @@ class LinearScanIndex : public HammingIndex {
                                          SearchStats* stats = nullptr) const override;
   std::vector<SearchResult> KnnSearch(const BinaryCode& query, size_t k,
                                       SearchStats* stats = nullptr) const override;
+
+  /// Cache-blocked batch scan: queries are sharded across the pool, and
+  /// each shard walks the code array in blocks so one block of codes
+  /// stays cache-resident while it serves every query of the shard.
+  std::vector<std::vector<SearchResult>> BatchRadiusSearch(
+      const std::vector<BinaryCode>& queries, uint32_t radius,
+      ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const override;
+  std::vector<std::vector<SearchResult>> BatchKnnSearch(
+      const std::vector<BinaryCode>& queries, size_t k,
+      ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const override;
+
   size_t size() const override { return ids_.size(); }
   std::string Name() const override { return "LinearScan"; }
 
  private:
+  /// Runs the blocked kernel for queries [query_begin, query_end).
+  void BlockedRadiusShard(const std::vector<BinaryCode>& queries,
+                          size_t query_begin, size_t query_end,
+                          uint32_t radius,
+                          std::vector<std::vector<SearchResult>>* out,
+                          std::vector<SearchStats>* stats) const;
+  void BlockedKnnShard(const std::vector<BinaryCode>& queries,
+                       size_t query_begin, size_t query_end, size_t k,
+                       std::vector<std::vector<SearchResult>>* out,
+                       std::vector<SearchStats>* stats) const;
+
   std::vector<ItemId> ids_;
   std::vector<BinaryCode> codes_;
+  /// Contiguous mirror of every code's words ([n, words_per_code_]
+  /// row-major).  The batched kernels stream this flat array instead of
+  /// chasing each BinaryCode's heap buffer, which is where the batch
+  /// path's cache locality comes from.
+  std::vector<uint64_t> flat_words_;
+  size_t words_per_code_ = 0;
   size_t code_bits_ = 0;
 };
 

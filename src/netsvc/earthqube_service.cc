@@ -222,6 +222,10 @@ void EarthQubeService::RegisterRoutes(HttpServer* server) {
                 [this](const HttpRequest& request) {
                   return HandleSimilarByName(request);
                 });
+  server->Route("POST", "/cbir/batch_search",
+                [this](const HttpRequest& request) {
+                  return HandleBatchSearch(request);
+                });
   server->Route("POST", "/api/feedback", [this](const HttpRequest& request) {
     return HandleFeedback(request);
   });
@@ -262,18 +266,21 @@ HttpResponse EarthQubeService::HandleSimilarByName(
   if (name == nullptr || !name->is_string()) {
     return HttpResponse::BadRequest("name is required");
   }
+  // Same negative-value clamping as the batch endpoint, so the two
+  // interpret identical JSON fields identically.
   StatusOr<SearchResponse> response = Status::InvalidArgument("unreachable");
   if (const Value* k = body->Get("k"); k != nullptr && k->is_int64()) {
     response = system_->NearestToArchiveImage(
-        name->as_string(), static_cast<size_t>(k->as_int64()));
+        name->as_string(),
+        static_cast<size_t>(std::max<int64_t>(0, k->as_int64())));
   } else {
     uint32_t radius = 8;
     if (const Value* r = body->Get("radius"); r != nullptr && r->is_int64()) {
-      radius = static_cast<uint32_t>(r->as_int64());
+      radius = static_cast<uint32_t>(std::max<int64_t>(0, r->as_int64()));
     }
     size_t limit = 0;
     if (const Value* l = body->Get("limit"); l != nullptr && l->is_int64()) {
-      limit = static_cast<size_t>(l->as_int64());
+      limit = static_cast<size_t>(std::max<int64_t>(0, l->as_int64()));
     }
     response =
         system_->SimilarToArchiveImage(name->as_string(), radius, limit);
@@ -284,6 +291,72 @@ HttpResponse EarthQubeService::HandleSimilarByName(
                           : HttpResponse::InternalError(s.message());
   }
   return HttpResponse::Json(200, ResponseToJson(*response, 0));
+}
+
+HttpResponse EarthQubeService::HandleBatchSearch(
+    const HttpRequest& request) const {
+  auto body = json::ParseObject(request.body);
+  if (!body.ok()) return HttpResponse::BadRequest(body.status().message());
+  const Value* names = body->Get("names");
+  if (names == nullptr || !names->is_array() || names->as_array().empty()) {
+    return HttpResponse::BadRequest("names must be a non-empty array");
+  }
+  if (names->as_array().size() > kMaxBatchQueries) {
+    return HttpResponse::BadRequest(
+        "batch too large: at most " + std::to_string(kMaxBatchQueries) +
+        " names per request");
+  }
+  std::vector<std::string> queries;
+  queries.reserve(names->as_array().size());
+  for (const Value& n : names->as_array()) {
+    if (!n.is_string()) {
+      return HttpResponse::BadRequest("names must be strings");
+    }
+    queries.push_back(n.as_string());
+  }
+
+  StatusOr<std::vector<std::vector<earthqube::CbirResult>>> batch =
+      Status::InvalidArgument("unreachable");
+  if (const Value* k = body->Get("k"); k != nullptr && k->is_int64()) {
+    batch = system_->BatchNearestToArchiveImages(
+        queries, static_cast<size_t>(std::max<int64_t>(0, k->as_int64())));
+  } else {
+    uint32_t radius = 8;
+    if (const Value* r = body->Get("radius"); r != nullptr && r->is_int64()) {
+      radius = static_cast<uint32_t>(std::max<int64_t>(0, r->as_int64()));
+    }
+    size_t limit = 0;
+    if (const Value* l = body->Get("limit"); l != nullptr && l->is_int64()) {
+      limit = static_cast<size_t>(std::max<int64_t>(0, l->as_int64()));
+    }
+    batch = system_->BatchSimilarToArchiveImages(queries, radius, limit);
+  }
+  if (!batch.ok()) {
+    const Status& s = batch.status();
+    return s.IsNotFound() ? HttpResponse::NotFound(s.message())
+                          : HttpResponse::InternalError(s.message());
+  }
+
+  Document out;
+  out.Set("batch_size", Value(static_cast<int64_t>(queries.size())));
+  std::vector<Value> results;
+  results.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Document entry;
+    entry.Set("query", Value(queries[i]));
+    std::vector<Value> hits;
+    hits.reserve((*batch)[i].size());
+    for (const earthqube::CbirResult& hit : (*batch)[i]) {
+      Document h;
+      h.Set("name", Value(hit.patch_name));
+      h.Set("distance", Value(static_cast<int64_t>(hit.hamming_distance)));
+      hits.emplace_back(std::move(h));
+    }
+    entry.Set("hits", Value(std::move(hits)));
+    results.emplace_back(std::move(entry));
+  }
+  out.Set("results", Value(std::move(results)));
+  return HttpResponse::Json(200, json::Serialize(out));
 }
 
 HttpResponse EarthQubeService::HandleFeedback(const HttpRequest& request) {

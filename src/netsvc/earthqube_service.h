@@ -17,6 +17,7 @@ namespace agoraeo::netsvc {
 ///   GET  /health                         liveness probe
 ///   POST /api/search                     query-panel submission
 ///   POST /api/similar/by_name            CBIR from an archive image
+///   POST /cbir/batch_search              batched CBIR (many queries at once)
 ///   POST /api/download                   zip export of named images
 ///   POST /api/feedback                   anonymous feedback text
 ///   GET  /api/feedback/count
@@ -38,6 +39,17 @@ namespace agoraeo::netsvc {
 /// /api/similar/by_name body: {"name": "...", "radius": 8, "limit": 50}
 /// (or {"name": "...", "k": 20} for k-NN).
 ///
+/// /cbir/batch_search body:
+///   {"names": ["...", ...], "radius": 8, "limit": 50}
+/// or {"names": ["...", ...], "k": 20} for k-NN.  All queries of the
+/// batch share one thread-parallel index pass.  Response:
+///   {"batch_size": N, "results": [
+///     {"query": "...", "hits": [{"name": "...", "distance": D}, ...]},
+///     ...]}
+/// 404 when any queried name is not in the archive; 400 when the batch
+/// exceeds kMaxBatchQueries (one request must not monopolize the
+/// shared query pool).
+///
 /// Search/similar responses:
 ///   {"total": N, "page": 0, "plan": "IXSCAN(...)",
 ///    "results": [{"name","labels":[..],"country","date","lat","lon"}...],
@@ -49,6 +61,9 @@ class EarthQubeService {
 
   /// Registers every endpoint on `server` (call before server->Start()).
   void RegisterRoutes(HttpServer* server);
+
+  /// Largest accepted /cbir/batch_search batch.
+  static constexpr size_t kMaxBatchQueries = 1024;
 
   /// Translates a JSON search request body into a query-panel submission
   /// (exposed for tests).
@@ -62,6 +77,7 @@ class EarthQubeService {
  private:
   HttpResponse HandleSearch(const HttpRequest& request) const;
   HttpResponse HandleSimilarByName(const HttpRequest& request) const;
+  HttpResponse HandleBatchSearch(const HttpRequest& request) const;
   HttpResponse HandleFeedback(const HttpRequest& request);
   HttpResponse HandleDownload(const HttpRequest& request) const;
   HttpResponse HandlePatchMetadata(const HttpRequest& request) const;

@@ -724,7 +724,9 @@ TEST_P(BPlusTreeRandomTest, MatchesReferenceUnderRandomOps) {
         if (ref[key].empty()) ref.erase(key);
       }
     }
-    if (step % 100 == 0) ASSERT_EQ(tree.CheckInvariants(), "") << step;
+    if (step % 100 == 0) {
+      ASSERT_EQ(tree.CheckInvariants(), "") << step;
+    }
   }
   ASSERT_EQ(tree.CheckInvariants(), "");
   EXPECT_EQ(tree.num_keys(), ref.size());

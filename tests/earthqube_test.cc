@@ -467,6 +467,103 @@ TEST_F(EarthQubeTest, SimilaritySearchFindsSemanticNeighbors) {
   EXPECT_GT(static_cast<double>(shared) / total, 0.6);
 }
 
+TEST_F(EarthQubeTest, BatchSimilarMatchesSequentialQueries) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < 6; ++i) names.push_back(archive_->patches[i * 9].name);
+  names.push_back(names[0]);  // duplicate query in the same batch
+  constexpr uint32_t kRadius = 8;
+
+  auto batch = system_->BatchSimilarToArchiveImages(names, kRadius);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    auto single = system_->cbir()->QueryByName(names[i], kRadius);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ((*batch)[i].size(), single->size()) << "query " << i;
+    for (size_t j = 0; j < single->size(); ++j) {
+      EXPECT_EQ((*batch)[i][j].patch_name, (*single)[j].patch_name)
+          << "query " << i << " hit " << j;
+      EXPECT_EQ((*batch)[i][j].hamming_distance, (*single)[j].hamming_distance)
+          << "query " << i << " hit " << j;
+    }
+  }
+}
+
+TEST_F(EarthQubeTest, BatchNearestMatchesSequentialKnn) {
+  std::vector<std::string> names = {archive_->patches[3].name,
+                                    archive_->patches[44].name,
+                                    archive_->patches[100].name};
+  constexpr size_t kK = 12;
+  auto batch = system_->BatchNearestToArchiveImages(names, kK);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    auto single = system_->cbir()->KnnByName(names[i], kK);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ((*batch)[i].size(), single->size()) << "query " << i;
+    for (size_t j = 0; j < single->size(); ++j) {
+      EXPECT_EQ((*batch)[i][j].patch_name, (*single)[j].patch_name)
+          << "query " << i << " hit " << j;
+    }
+    // Self is excluded from every batch slot.
+    for (const auto& hit : (*batch)[i]) {
+      EXPECT_NE(hit.patch_name, names[i]);
+    }
+  }
+}
+
+TEST_F(EarthQubeTest, BatchQueriesEdgeCases) {
+  // Any unknown name fails the whole batch with NotFound.
+  EXPECT_TRUE(system_
+                  ->BatchSimilarToArchiveImages(
+                      {archive_->patches[0].name, "ghost_patch"}, 4)
+                  .status()
+                  .IsNotFound());
+  // An empty batch succeeds with an empty result.
+  auto empty = system_->BatchSimilarToArchiveImages({}, 4);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  // k == 0 asks for no neighbours and must return none (not the k+1
+  // self-match overfetch leaking through).
+  auto zero_knn = system_->cbir()->KnnByName(archive_->patches[0].name, 0);
+  ASSERT_TRUE(zero_knn.ok());
+  EXPECT_TRUE(zero_knn->empty());
+  auto zero_batch = system_->BatchNearestToArchiveImages(
+      {archive_->patches[0].name, archive_->patches[1].name}, 0);
+  ASSERT_TRUE(zero_batch.ok());
+  ASSERT_EQ(zero_batch->size(), 2u);
+  EXPECT_TRUE((*zero_batch)[0].empty());
+  EXPECT_TRUE((*zero_batch)[1].empty());
+}
+
+TEST_F(EarthQubeTest, CbirQueryBatchAmortizedInferenceMatchesSingle) {
+  // Batch query-by-feature: one forward pass for the matrix must yield
+  // exactly the per-row single-query results.
+  constexpr size_t kBatch = 5;
+  const size_t dim = features_->shape()[1];
+  Tensor batch_features({kBatch, dim});
+  for (size_t q = 0; q < kBatch; ++q) {
+    batch_features.SetRow(q, features_->Row(q * 13));
+  }
+  CbirService* cbir = system_->cbir();
+  auto batch = cbir->QueryBatch(batch_features, /*radius=*/8);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), kBatch);
+  for (size_t q = 0; q < kBatch; ++q) {
+    const auto single = cbir->QueryByFeature(features_->Row(q * 13), 8);
+    ASSERT_EQ((*batch)[q].size(), single.size()) << "query " << q;
+    for (size_t j = 0; j < single.size(); ++j) {
+      EXPECT_EQ((*batch)[q][j].patch_name, single[j].patch_name)
+          << "query " << q << " hit " << j;
+      EXPECT_EQ((*batch)[q][j].hamming_distance, single[j].hamming_distance)
+          << "query " << q << " hit " << j;
+    }
+  }
+  // Shape validation: rank-1 input is rejected.
+  EXPECT_TRUE(
+      cbir->QueryBatch(features_->Row(0), 8).status().IsInvalidArgument());
+}
+
 TEST_F(EarthQubeTest, QueryByNewExample) {
   // Synthesise a patch that is NOT part of the ingested archive by using
   // metadata from the archive but treating pixels as an upload.

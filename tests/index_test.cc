@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
+#include <thread>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "milan/baselines.h"
 #include "index/hamming_table.h"
 #include "index/bk_tree.h"
@@ -290,6 +293,188 @@ TEST(IndexStressTest, DuplicateCodesAllReturned) {
   EXPECT_EQ(table.KnnSearch(code, 10).size(), 10u);
 }
 
+
+// ---------------------------------------------------------------------------
+// Batch search (BatchRadiusSearch / BatchKnnSearch)
+// ---------------------------------------------------------------------------
+
+/// All four HammingIndex kinds loaded with identical clustered codes.
+struct IndexSet {
+  std::vector<std::unique_ptr<HammingIndex>> indexes;
+  std::vector<BinaryCode> queries;
+};
+
+IndexSet BuildIndexSet(size_t bits, size_t n_items, size_t n_queries,
+                       uint64_t seed, bool with_duplicates = false) {
+  IndexSet set;
+  set.indexes.push_back(std::make_unique<LinearScanIndex>());
+  set.indexes.push_back(std::make_unique<HammingHashTable>());
+  set.indexes.push_back(std::make_unique<MultiIndexHashing>(4));
+  set.indexes.push_back(std::make_unique<BkTree>());
+
+  Rng rng(seed);
+  std::vector<BinaryCode> centers;
+  for (int c = 0; c < 5; ++c) centers.push_back(RandomCode(bits, &rng));
+  for (ItemId i = 0; i < n_items; ++i) {
+    // Duplicate codes force (distance, id) ties across many ids.
+    const BinaryCode code =
+        with_duplicates && i % 3 != 0
+            ? centers[i % centers.size()]
+            : Perturb(centers[i % centers.size()],
+                      rng.UniformInt(static_cast<uint32_t>(bits / 8)), &rng);
+    for (auto& idx : set.indexes) {
+      EXPECT_TRUE(idx->Add(i, code).ok());
+    }
+  }
+  for (size_t q = 0; q < n_queries; ++q) {
+    // Include exact-duplicate queries (exercises the hash table's dedup).
+    if (q % 4 == 3 && q > 0) {
+      set.queries.push_back(set.queries[q - 1]);
+    } else {
+      set.queries.push_back(
+          Perturb(centers[q % centers.size()], rng.UniformInt(4), &rng));
+    }
+  }
+  return set;
+}
+
+TEST(BatchSearchTest, BatchEqualsSequentialForEveryKind) {
+  IndexSet set = BuildIndexSet(64, 300, 13, 71);
+  constexpr uint32_t kRadius = 8;
+  constexpr size_t kK = 9;
+  for (auto& idx : set.indexes) {
+    const auto batch_radius = idx->BatchRadiusSearch(set.queries, kRadius);
+    const auto batch_knn = idx->BatchKnnSearch(set.queries, kK);
+    ASSERT_EQ(batch_radius.size(), set.queries.size()) << idx->Name();
+    ASSERT_EQ(batch_knn.size(), set.queries.size()) << idx->Name();
+    for (size_t q = 0; q < set.queries.size(); ++q) {
+      EXPECT_EQ(batch_radius[q], idx->RadiusSearch(set.queries[q], kRadius))
+          << idx->Name() << " radius, query " << q;
+      EXPECT_EQ(batch_knn[q], idx->KnnSearch(set.queries[q], kK))
+          << idx->Name() << " knn, query " << q;
+    }
+  }
+}
+
+TEST(BatchSearchTest, EmptyBatchReturnsEmpty) {
+  IndexSet set = BuildIndexSet(64, 50, 0, 72);
+  const std::vector<BinaryCode> empty;
+  ThreadPool pool(2);
+  for (auto& idx : set.indexes) {
+    std::vector<SearchStats> stats;
+    EXPECT_TRUE(idx->BatchRadiusSearch(empty, 5, &pool, &stats).empty())
+        << idx->Name();
+    EXPECT_TRUE(stats.empty());
+    EXPECT_TRUE(idx->BatchKnnSearch(empty, 3, &pool).empty()) << idx->Name();
+  }
+}
+
+TEST(BatchSearchTest, ResultsIndependentOfThreadCount) {
+  IndexSet set = BuildIndexSet(128, 400, 17, 73);
+  constexpr uint32_t kRadius = 10;
+  constexpr size_t kK = 6;
+  for (auto& idx : set.indexes) {
+    const auto expected_radius = idx->BatchRadiusSearch(set.queries, kRadius);
+    const auto expected_knn = idx->BatchKnnSearch(set.queries, kK);
+    for (size_t threads : {1, 2, 4, 8}) {
+      ThreadPool pool(threads);
+      EXPECT_EQ(idx->BatchRadiusSearch(set.queries, kRadius, &pool),
+                expected_radius)
+          << idx->Name() << " radius with " << threads << " threads";
+      EXPECT_EQ(idx->BatchKnnSearch(set.queries, kK, &pool), expected_knn)
+          << idx->Name() << " knn with " << threads << " threads";
+    }
+  }
+}
+
+TEST(BatchSearchTest, TieOrderingIsCanonicalAcrossKinds) {
+  // Regression for the (distance, id) contract under heavy ties: many
+  // items share identical codes, so whole runs of results differ only by
+  // id.  Every kind (single-query and batch) must produce the exact same
+  // canonically ordered list.
+  IndexSet set = BuildIndexSet(32, 240, 11, 74, /*with_duplicates=*/true);
+  constexpr uint32_t kRadius = 6;
+  constexpr size_t kK = 25;
+  ThreadPool pool(3);
+  auto& reference = set.indexes[0];
+  const auto expected_radius =
+      reference->BatchRadiusSearch(set.queries, kRadius);
+  const auto expected_knn = reference->BatchKnnSearch(set.queries, kK);
+  for (size_t q = 0; q < set.queries.size(); ++q) {
+    // The reference result itself must be (distance, id) sorted.
+    EXPECT_TRUE(std::is_sorted(expected_radius[q].begin(),
+                               expected_radius[q].end(), ResultLess))
+        << "query " << q;
+    EXPECT_TRUE(std::is_sorted(expected_knn[q].begin(), expected_knn[q].end(),
+                               ResultLess))
+        << "query " << q;
+  }
+  for (size_t i = 1; i < set.indexes.size(); ++i) {
+    auto& idx = set.indexes[i];
+    EXPECT_EQ(idx->BatchRadiusSearch(set.queries, kRadius, &pool),
+              expected_radius)
+        << idx->Name();
+    EXPECT_EQ(idx->BatchKnnSearch(set.queries, kK, &pool), expected_knn)
+        << idx->Name();
+    for (size_t q = 0; q < set.queries.size(); ++q) {
+      EXPECT_EQ(idx->RadiusSearch(set.queries[q], kRadius),
+                expected_radius[q])
+          << idx->Name() << " single-query radius, query " << q;
+      EXPECT_EQ(idx->KnnSearch(set.queries[q], kK), expected_knn[q])
+          << idx->Name() << " single-query knn, query " << q;
+    }
+  }
+}
+
+TEST(BatchSearchTest, ConcurrentBatchesShareOnePool) {
+  // Regression for per-call completion tracking: many batch calls
+  // running concurrently on ONE shared query pool must each return
+  // their own correct results (waiting on global pool quiescence would
+  // couple and potentially starve them).
+  IndexSet set = BuildIndexSet(64, 300, 16, 77);
+  constexpr uint32_t kRadius = 8;
+  auto& idx = set.indexes[0];  // LinearScan: sharded override
+  const auto expected = idx->BatchRadiusSearch(set.queries, kRadius);
+  ThreadPool shared_pool(4);
+  std::vector<std::thread> callers;
+  std::vector<int> ok(6, 0);
+  for (size_t c = 0; c < ok.size(); ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 5; ++round) {
+        if (idx->BatchRadiusSearch(set.queries, kRadius, &shared_pool) !=
+            expected) {
+          return;  // leaves ok[c] == 0
+        }
+      }
+      ok[c] = 1;
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (size_t c = 0; c < ok.size(); ++c) {
+    EXPECT_EQ(ok[c], 1) << "caller " << c;
+  }
+}
+
+TEST(BatchSearchTest, BatchStatsMatchSingleQueryCounters) {
+  IndexSet set = BuildIndexSet(64, 200, 7, 75);
+  constexpr uint32_t kRadius = 7;
+  for (auto& idx : set.indexes) {
+    std::vector<SearchStats> batch_stats;
+    const auto batch =
+        idx->BatchRadiusSearch(set.queries, kRadius, nullptr, &batch_stats);
+    ASSERT_EQ(batch_stats.size(), set.queries.size()) << idx->Name();
+    for (size_t q = 0; q < set.queries.size(); ++q) {
+      EXPECT_EQ(batch_stats[q].results, batch[q].size())
+          << idx->Name() << " query " << q;
+      SearchStats single;
+      idx->RadiusSearch(set.queries[q], kRadius, &single);
+      EXPECT_EQ(batch_stats[q].results, single.results)
+          << idx->Name() << " query " << q;
+      EXPECT_EQ(batch_stats[q].candidates, single.candidates)
+          << idx->Name() << " query " << q;
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // BkTree specifics
@@ -619,6 +804,32 @@ TEST(IvfFlatTest, RecallRisesWithNprobe) {
   const Tensor probe_query = data.Row(0);
   EXPECT_LT(ivf->CandidatesForProbe(probe_query, 4),
             ivf->CandidatesForProbe(probe_query, 48));
+}
+
+TEST(IvfFlatTest, BatchKnnMatchesSequential) {
+  Rng rng(76);
+  Tensor data = ClusteredFloats(600, 16, 6, 0.3f, &rng);
+  IvfFlatIndex::Config config;
+  config.nlist = 12;
+  auto ivf = IvfFlatIndex::Train(data, config);
+  ASSERT_TRUE(ivf.ok());
+  for (size_t i = 0; i < 600; ++i) {
+    ASSERT_TRUE(ivf->Add(i, data.Row(i)).ok());
+  }
+  Tensor queries({8, 16});
+  for (size_t q = 0; q < 8; ++q) queries.SetRow(q, data.Row(q * 71 % 600));
+  ThreadPool pool(3);
+  const auto batch = ivf->BatchKnnSearch(queries, 5, /*nprobe=*/4, &pool);
+  ASSERT_EQ(batch.size(), 8u);
+  for (size_t q = 0; q < 8; ++q) {
+    const auto single = ivf->KnnSearch(queries.Row(q), 5, 4);
+    ASSERT_EQ(batch[q].size(), single.size()) << "query " << q;
+    for (size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(batch[q][i].id, single[i].id) << "query " << q << " rank " << i;
+      EXPECT_FLOAT_EQ(batch[q][i].distance, single[i].distance)
+          << "query " << q << " rank " << i;
+    }
+  }
 }
 
 TEST(IvfFlatTest, RejectsWrongDimension) {

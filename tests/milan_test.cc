@@ -345,7 +345,7 @@ TEST(MetricsTest, EvaluateRetrievalAggregates) {
   auto rank_fn = [](size_t q) {
     return q == 0 ? std::vector<size_t>{1, 2} : std::vector<size_t>{2, 1};
   };
-  auto is_relevant = [](size_t q, size_t i) { return i == 1; };
+  auto is_relevant = [](size_t /*q*/, size_t i) { return i == 1; };
   auto quality = EvaluateRetrieval(2, 2, rank_fn, is_relevant);
   EXPECT_EQ(quality.num_queries, 2u);
   EXPECT_DOUBLE_EQ(quality.precision_at_k, 0.5);

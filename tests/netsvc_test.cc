@@ -337,6 +337,106 @@ TEST_F(ServiceTest, SimilarByNameOverWire) {
   EXPECT_EQ(names.size(), results.size());
 }
 
+TEST_F(ServiceTest, BatchSearchOverWire) {
+  HttpClient client;
+  const std::string& a = archive_->patches[0].name;
+  const std::string& b = archive_->patches[5].name;
+  Document req;
+  req.Set("names", Value(std::vector<Value>{Value(a), Value(b)}));
+  req.Set("k", Value(8));
+  auto resp = client.Post(server_->port(), "/cbir/batch_search",
+                          json::Serialize(req));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200) << resp->body;
+  auto body = json::ParseObject(resp->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Get("batch_size")->as_int64(), 2);
+  const auto& results = body->Get("results")->as_array();
+  ASSERT_EQ(results.size(), 2u);
+
+  // Each slot must agree with the single-query endpoint for that name.
+  const std::string queries[] = {a, b};
+  for (size_t i = 0; i < 2; ++i) {
+    const Document& slot = results[i].as_document();
+    EXPECT_EQ(slot.Get("query")->as_string(), queries[i]);
+    const auto& hits = slot.Get("hits")->as_array();
+    ASSERT_EQ(hits.size(), 8u);
+    Document single_req;
+    single_req.Set("name", Value(queries[i]));
+    single_req.Set("k", Value(8));
+    auto single = client.Post(server_->port(), "/api/similar/by_name",
+                              json::Serialize(single_req));
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ(single->status_code, 200);
+    auto single_body = json::ParseObject(single->body);
+    ASSERT_TRUE(single_body.ok());
+    const auto& single_hits = single_body->Get("results")->as_array();
+    ASSERT_EQ(single_hits.size(), hits.size());
+    for (size_t j = 0; j < hits.size(); ++j) {
+      EXPECT_EQ(hits[j].as_document().Get("name")->as_string(),
+                single_hits[j].as_document().Get("name")->as_string())
+          << "query " << i << " hit " << j;
+    }
+    // No slot returns its own query image.
+    for (const Value& h : hits) {
+      EXPECT_NE(h.as_document().Get("name")->as_string(), queries[i]);
+    }
+  }
+}
+
+TEST_F(ServiceTest, BatchSearchRadiusFlavour) {
+  HttpClient client;
+  Document req;
+  req.Set("names",
+          Value(std::vector<Value>{Value(archive_->patches[2].name)}));
+  req.Set("radius", Value(6));
+  req.Set("limit", Value(10));
+  auto resp = client.Post(server_->port(), "/cbir/batch_search",
+                          json::Serialize(req));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200) << resp->body;
+  auto body = json::ParseObject(resp->body);
+  ASSERT_TRUE(body.ok());
+  const auto& results = body->Get("results")->as_array();
+  ASSERT_EQ(results.size(), 1u);
+  const auto& hits = results[0].as_document().Get("hits")->as_array();
+  EXPECT_LE(hits.size(), 10u);
+  // Hits arrive in ascending Hamming distance within the radius.
+  int64_t last = -1;
+  for (const Value& h : hits) {
+    const int64_t d = h.as_document().Get("distance")->as_int64();
+    EXPECT_LE(d, 6);
+    EXPECT_GE(d, last);
+    last = d;
+  }
+}
+
+TEST_F(ServiceTest, BatchSearchRejectsBadBodies) {
+  HttpClient client;
+  auto missing = client.Post(server_->port(), "/cbir/batch_search",
+                             R"({"k":5})");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status_code, 400);
+  auto empty = client.Post(server_->port(), "/cbir/batch_search",
+                           R"({"names":[],"k":5})");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->status_code, 400);
+  auto unknown = client.Post(server_->port(), "/cbir/batch_search",
+                             R"({"names":["ghost_patch"],"k":5})");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->status_code, 404);
+  // Oversized batches are rejected before touching the query pool.
+  std::string big = R"({"k":1,"names":[)";
+  for (size_t i = 0; i <= EarthQubeService::kMaxBatchQueries; ++i) {
+    if (i != 0) big += ",";
+    big += "\"" + archive_->patches[0].name + "\"";
+  }
+  big += "]}";
+  auto oversized = client.Post(server_->port(), "/cbir/batch_search", big);
+  ASSERT_TRUE(oversized.ok());
+  EXPECT_EQ(oversized->status_code, 400);
+}
+
 TEST_F(ServiceTest, SimilarByNameUnknownIs404) {
   HttpClient client;
   auto resp = client.Post(server_->port(), "/api/similar/by_name",
