@@ -1,0 +1,100 @@
+/// Unified QueryRequest API v2: one request object combines the query
+/// panel's metadata restrictions with similarity search.  The demo runs
+/// the same hybrid (labels ∧ k-NN) request under both executor
+/// strategies — pre-filter (filter -> candidate set -> restricted
+/// Hamming search) and post-filter (Hamming search -> metadata join ->
+/// filter) — shows that they agree, and lets the selectivity planner
+/// pick on its own.
+#include <cstdio>
+#include <memory>
+
+#include "bigearthnet/archive_generator.h"
+#include "bigearthnet/feature_extractor.h"
+#include "earthqube/earthqube.h"
+#include "milan/trainer.h"
+
+using namespace agoraeo;
+
+int main() {
+  // --- Build the system (archive + MiLaN + CBIR). --------------------------
+  bigearthnet::ArchiveConfig aconfig;
+  aconfig.num_patches = 6000;
+  aconfig.seed = 11;
+  bigearthnet::ArchiveGenerator generator(aconfig);
+  auto archive = generator.Generate();
+  if (!archive.ok()) return 1;
+
+  bigearthnet::FeatureExtractor extractor;
+  const Tensor features = extractor.ExtractArchive(*archive, generator, 8);
+
+  milan::MilanConfig mconfig;
+  mconfig.feature_dim = bigearthnet::kFeatureDim;
+  mconfig.hidden1 = 128;
+  mconfig.hidden2 = 64;
+  mconfig.hash_bits = 64;
+  mconfig.dropout = 0.0f;
+  auto model = std::make_unique<milan::MilanModel>(mconfig);
+  std::vector<bigearthnet::LabelSet> labels;
+  for (const auto& p : archive->patches) labels.push_back(p.labels);
+  milan::TripletSampler sampler(labels);
+  milan::TrainConfig tconfig;
+  tconfig.epochs = 4;
+  tconfig.batches_per_epoch = 25;
+  tconfig.batch_size = 24;
+  milan::Trainer trainer(model.get(), &features, &sampler, tconfig);
+  if (!trainer.Train().ok()) return 1;
+
+  earthqube::EarthQube system;
+  if (!system.IngestArchive(*archive).ok()) return 1;
+  auto cbir =
+      std::make_unique<earthqube::CbirService>(std::move(model), &extractor);
+  std::vector<std::string> names;
+  for (const auto& p : archive->patches) names.push_back(p.name);
+  if (!cbir->AddImages(names, features).ok()) return 1;
+  system.AttachCbir(std::move(cbir));
+
+  // --- One hybrid request: forest labels ∧ 20-NN of an archive image. ------
+  const std::string& query_image = archive->patches[42].name;
+  earthqube::EarthQubeQuery panel;
+  panel.label_filter = earthqube::LabelFilter::SomeLevel2(31);  // forests
+
+  earthqube::QueryRequest request;
+  request.panel = panel;
+  request.similarity = earthqube::SimilaritySpec::NameKnn(query_image, 20);
+  request.page_size = 0;
+
+  std::printf("hybrid query: forest labels ∧ 20-NN of %s\n\n",
+              query_image.c_str());
+
+  for (auto [mode, label] :
+       {std::pair{earthqube::PlannerMode::kForcePreFilter, "pre-filter "},
+        std::pair{earthqube::PlannerMode::kForcePostFilter, "post-filter"},
+        std::pair{earthqube::PlannerMode::kAuto, "auto       "}}) {
+    request.planner = mode;
+    auto response = system.Execute(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "execute failed: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s -> %zu hits, strategy %s (est. selectivity %.4f)\n",
+                label, response->hits.size(),
+                earthqube::StrategyToString(response->plan.strategy),
+                response->plan.estimated_selectivity);
+    std::printf("  plan: %s\n", response->plan.description.c_str());
+  }
+
+  // --- The winning plan's results, joined with metadata. --------------------
+  request.planner = earthqube::PlannerMode::kAuto;
+  auto response = system.Execute(request);
+  if (!response.ok()) return 1;
+  std::printf("\ntop hits (distance | name | labels):\n");
+  const auto& entries = response->panel.entries();
+  for (size_t i = 0; i < std::min<size_t>(8, entries.size()); ++i) {
+    std::printf("  %2u | %-44s | %s\n", response->hits[i].hamming_distance,
+                entries[i].name.c_str(), entries[i].labels.ToString().c_str());
+  }
+  std::printf("\nlabel statistics over the retrieval:\n%s\n",
+              response->statistics.RenderAscii(30).c_str());
+  return 0;
+}

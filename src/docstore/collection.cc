@@ -316,6 +316,18 @@ size_t Collection::Count(const Filter& filter, QueryStats* stats) const {
   return FindIds(filter, 0, stats).size();
 }
 
+size_t Collection::EstimateMatches(const Filter& filter,
+                                   std::string* plan) const {
+  std::vector<DocId> candidates;
+  std::string chosen;
+  if (PlanCandidates(filter, &candidates, &chosen)) {
+    if (plan != nullptr) *plan = chosen;
+    return candidates.size();
+  }
+  if (plan != nullptr) *plan = "COLLSCAN";
+  return docs_.size();
+}
+
 std::map<std::string, size_t> Collection::CountByArrayField(
     const std::string& path, const Filter& filter) const {
   std::map<std::string, size_t> counts;

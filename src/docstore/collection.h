@@ -67,6 +67,15 @@ class Collection {
   /// Number of matching documents.
   size_t Count(const Filter& filter, QueryStats* stats = nullptr) const;
 
+  /// Cheap upper-bound estimate of how many documents match `filter`:
+  /// the index candidate count when an index applies (index lookups
+  /// only, no document verification), the collection size otherwise.
+  /// Query planners use this to gauge filter selectivity without paying
+  /// for the full query.  `plan` (optional) receives the access path the
+  /// estimate came from.
+  size_t EstimateMatches(const Filter& filter,
+                         std::string* plan = nullptr) const;
+
   /// Aggregation used by the label-statistics view: counts occurrences of
   /// every element of the array field at `path` across documents matching
   /// `filter` (e.g. how many retrieved images carry each label).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "index/bk_tree.h"
 #include "index/hamming_table.h"
 #include "index/linear_scan.h"
 
@@ -18,6 +19,8 @@ std::unique_ptr<index::HammingIndex> MakeIndex(CbirIndexKind kind) {
       return std::make_unique<index::MultiIndexHashing>(4);
     case CbirIndexKind::kLinearScan:
       return std::make_unique<index::LinearScanIndex>();
+    case CbirIndexKind::kBkTree:
+      return std::make_unique<index::BkTree>();
   }
   return std::make_unique<index::HammingHashTable>();
 }
@@ -55,6 +58,7 @@ Status CbirService::AddImage(const std::string& patch_name,
   AGORAEO_RETURN_IF_ERROR(index_->Add(id, code));
   name_by_id_.push_back(patch_name);
   code_by_name_.emplace(patch_name, code);
+  id_by_name_.emplace(patch_name, id);
   return Status::OK();
 }
 
@@ -72,6 +76,7 @@ Status CbirService::AddImages(const std::vector<std::string>& names,
     AGORAEO_RETURN_IF_ERROR(index_->Add(id, codes[i]));
     name_by_id_.push_back(names[i]);
     code_by_name_.emplace(names[i], codes[i]);
+    id_by_name_.emplace(names[i], id);
   }
   return Status::OK();
 }
@@ -97,8 +102,7 @@ StatusOr<std::vector<CbirResult>> CbirService::QueryByName(
   if (it == code_by_name_.end()) {
     return Status::NotFound("image not in archive index: " + patch_name);
   }
-  const auto hits = index_->RadiusSearch(it->second, radius);
-  return ToResults(hits, max_results, patch_name);
+  return RadiusByCode(it->second, radius, max_results, patch_name);
 }
 
 StatusOr<std::vector<CbirResult>> CbirService::KnnByName(
@@ -107,16 +111,66 @@ StatusOr<std::vector<CbirResult>> CbirService::KnnByName(
   if (it == code_by_name_.end()) {
     return Status::NotFound("image not in archive index: " + patch_name);
   }
-  // k == 0 must return nothing: ToResults treats a 0 cap as "unlimited",
-  // and the k+1 overfetch below would otherwise surface one neighbour.
-  if (k == 0) return std::vector<CbirResult>{};
-  // Fetch one extra so the self-match can be dropped.
-  const auto hits = index_->KnnSearch(it->second, k + 1);
-  return ToResults(hits, k, patch_name);
+  return KnnByCode(it->second, k, patch_name);
 }
 
 StatusOr<std::vector<CbirResult>> CbirService::QueryByPatch(
     const bigearthnet::Patch& patch, uint32_t radius, size_t max_results) {
+  AGORAEO_ASSIGN_OR_RETURN(BinaryCode code, HashPatch(patch));
+  return RadiusByCode(code, radius, max_results);
+}
+
+std::vector<CbirResult> CbirService::QueryByFeature(const Tensor& feature,
+                                                    uint32_t radius,
+                                                    size_t max_results) {
+  return RadiusByCode(model_->HashOne(feature), radius, max_results);
+}
+
+std::vector<CbirResult> CbirService::RadiusByCode(
+    const BinaryCode& code, uint32_t radius, size_t max_results,
+    const std::string& exclude_name) const {
+  return ToResults(index_->RadiusSearch(code, radius), max_results,
+                   exclude_name);
+}
+
+std::vector<CbirResult> CbirService::KnnByCode(
+    const BinaryCode& code, size_t k, const std::string& exclude_name) const {
+  // k == 0 must return nothing: ToResults treats a 0 cap as "unlimited",
+  // and the k+1 overfetch below would otherwise surface one neighbour.
+  if (k == 0) return {};
+  // Fetch one extra so a self-match can be dropped.
+  const size_t fetch = exclude_name.empty() ? k : k + 1;
+  return ToResults(index_->KnnSearch(code, fetch), k, exclude_name);
+}
+
+std::vector<CbirResult> CbirService::RadiusByCodeRestricted(
+    const BinaryCode& code, uint32_t radius, size_t max_results,
+    const index::CandidateSet& allowed, const std::string& exclude_name) const {
+  return ToResults(index_->RadiusSearchIn(code, radius, allowed), max_results,
+                   exclude_name);
+}
+
+std::vector<CbirResult> CbirService::KnnByCodeRestricted(
+    const BinaryCode& code, size_t k, const index::CandidateSet& allowed,
+    const std::string& exclude_name) const {
+  if (k == 0) return {};
+  const size_t fetch = exclude_name.empty() ? k : k + 1;
+  return ToResults(index_->KnnSearchIn(code, fetch, allowed), k, exclude_name);
+}
+
+index::CandidateSet CbirService::CandidatesFromNames(
+    const std::vector<std::string>& names) const {
+  std::vector<index::ItemId> ids;
+  ids.reserve(names.size());
+  for (const std::string& name : names) {
+    auto it = id_by_name_.find(name);
+    if (it != id_by_name_.end()) ids.push_back(it->second);
+  }
+  return index::CandidateSet(std::move(ids));
+}
+
+StatusOr<BinaryCode> CbirService::HashPatch(
+    const bigearthnet::Patch& patch) const {
   if (patch.s2_bands.size() != bigearthnet::kNumS2Bands ||
       patch.s1_channels.size() != bigearthnet::kNumS1Channels) {
     return Status::InvalidArgument(
@@ -124,15 +178,9 @@ StatusOr<std::vector<CbirResult>> CbirService::QueryByPatch(
         "channels");
   }
   const Tensor feature = extractor_->ExtractFromPixels(patch);
-  return QueryByFeature(feature, radius, max_results);
-}
-
-std::vector<CbirResult> CbirService::QueryByFeature(const Tensor& feature,
-                                                    uint32_t radius,
-                                                    size_t max_results) {
-  const BinaryCode code = model_->HashOne(feature);
-  const auto hits = index_->RadiusSearch(code, radius);
-  return ToResults(hits, max_results, /*exclude_name=*/"");
+  // Inference mutates no service state; dropout is disabled outside
+  // training, so the forward pass is logically const.
+  return model_->HashOne(feature);
 }
 
 StatusOr<std::vector<std::vector<CbirResult>>> CbirService::QueryBatchByName(

@@ -19,7 +19,7 @@
 namespace agoraeo::earthqube {
 
 /// Which nearest-neighbour structure backs the service.
-enum class CbirIndexKind { kHashTable, kMultiIndex, kLinearScan };
+enum class CbirIndexKind { kHashTable, kMultiIndex, kLinearScan, kBkTree };
 
 /// One retrieved image.
 struct CbirResult {
@@ -72,6 +72,41 @@ class CbirService {
                                          uint32_t radius,
                                          size_t max_results = 0);
 
+  // --- code-level queries (the unified executor's entry points) ------------
+  //
+  // Every query path above resolves its subject to a BinaryCode and runs
+  // one of these.  `exclude_name` drops one archive image from the
+  // result (the query image itself for query-by-archive-image).
+
+  /// Radius search by explicit code.
+  std::vector<CbirResult> RadiusByCode(const BinaryCode& code, uint32_t radius,
+                                       size_t max_results = 0,
+                                       const std::string& exclude_name = {}) const;
+
+  /// k-NN search by explicit code.
+  std::vector<CbirResult> KnnByCode(const BinaryCode& code, size_t k,
+                                    const std::string& exclude_name = {}) const;
+
+  /// Candidate-restricted flavours: only images in `allowed` can be
+  /// returned — the pre-filter leg of hybrid (metadata ∧ similarity)
+  /// queries.
+  std::vector<CbirResult> RadiusByCodeRestricted(
+      const BinaryCode& code, uint32_t radius, size_t max_results,
+      const index::CandidateSet& allowed,
+      const std::string& exclude_name = {}) const;
+  std::vector<CbirResult> KnnByCodeRestricted(
+      const BinaryCode& code, size_t k, const index::CandidateSet& allowed,
+      const std::string& exclude_name = {}) const;
+
+  /// Builds the ItemId allowlist for a set of patch names; names not in
+  /// the CBIR index are skipped (they cannot be similarity hits anyway).
+  index::CandidateSet CandidatesFromNames(
+      const std::vector<std::string>& names) const;
+
+  /// Featurises and hashes an uploaded patch (query-by-new-example
+  /// subject resolution).  InvalidArgument when bands are missing.
+  StatusOr<BinaryCode> HashPatch(const bigearthnet::Patch& patch) const;
+
   // --- batch queries -------------------------------------------------------
   //
   // Slot i of every batch result equals what the corresponding
@@ -118,6 +153,7 @@ class CbirService {
   /// The paper's in-memory hash table: patch name -> binary code.
   std::unordered_map<std::string, BinaryCode> code_by_name_;
   std::vector<std::string> name_by_id_;  ///< ItemId -> patch name
+  std::unordered_map<std::string, index::ItemId> id_by_name_;
 };
 
 }  // namespace agoraeo::earthqube

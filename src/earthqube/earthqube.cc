@@ -1,5 +1,8 @@
 #include "earthqube/earthqube.h"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "earthqube/zip_writer.h"
 
 #include "common/logging.h"
@@ -63,11 +66,59 @@ StatusOr<ResultEntry> EarthQube::EntryFromDocument(const Document& doc) const {
   return entry;
 }
 
-StatusOr<SearchResponse> EarthQube::Search(const EarthQubeQuery& query) const {
+// --- unified executor ---------------------------------------------------
+
+void EarthQube::FinishPaging(const QueryRequest& request,
+                             QueryResponse* response) {
+  response->projection = request.projection;
+  response->page = request.page;
+  response->page_size = request.page_size;
+  if (request.page_size > 0 &&
+      (request.page + 1) * request.page_size < response->total()) {
+    response->cursor = EncodeCursor({request.page + 1, request.page_size});
+  }
+}
+
+StatusOr<BinaryCode> EarthQube::ResolveSimilarityCode(
+    const SimilaritySpec& spec, std::string* exclude_name) const {
+  exclude_name->clear();
+  if (spec.archive_name.has_value()) {
+    *exclude_name = *spec.archive_name;
+    return cbir_->CodeOf(*spec.archive_name);
+  }
+  if (spec.patch.has_value()) return cbir_->HashPatch(*spec.patch);
+  return *spec.code;
+}
+
+Status EarthQube::JoinHits(const std::vector<CbirResult>& hits,
+                           QueryResponse* response) const {
+  std::vector<ResultEntry> entries;
+  std::vector<LabelSet> label_sets;
+  entries.reserve(hits.size());
+  label_sets.reserve(hits.size());
+  for (const CbirResult& r : hits) {
+    AGORAEO_ASSIGN_OR_RETURN(
+        docstore::DocId id,
+        metadata_->FindOneId(Filter::Eq(kFieldName, Value(r.patch_name))));
+    ++response->query_stats.docs_examined;
+    AGORAEO_ASSIGN_OR_RETURN(ResultEntry entry,
+                             EntryFromDocument(*metadata_->Get(id)));
+    label_sets.push_back(entry.labels);
+    entries.push_back(std::move(entry));
+  }
+  response->panel = ResultPanel(std::move(entries));
+  response->statistics = LabelStatistics::FromLabelSets(label_sets);
+  return Status::OK();
+}
+
+StatusOr<QueryResponse> EarthQube::ExecutePanelOnly(
+    const QueryRequest& request) const {
+  const EarthQubeQuery& query = *request.panel;
   const Filter filter = query.ToFilter(
       config_.label_encoding == LabelEncoding::kAsciiCompressed);
-  docstore::QueryStats stats;
-  const auto docs = metadata_->Find(filter, query.limit, &stats);
+  QueryResponse response;
+  const auto docs =
+      metadata_->Find(filter, query.limit, &response.query_stats);
 
   std::vector<ResultEntry> entries;
   std::vector<LabelSet> label_sets;
@@ -78,9 +129,238 @@ StatusOr<SearchResponse> EarthQube::Search(const EarthQubeQuery& query) const {
     label_sets.push_back(entry.labels);
     entries.push_back(std::move(entry));
   }
-  return SearchResponse{ResultPanel(std::move(entries)),
-                        LabelStatistics::FromLabelSets(label_sets),
-                        std::move(stats)};
+  response.panel = ResultPanel(std::move(entries));
+  response.statistics = LabelStatistics::FromLabelSets(label_sets);
+  response.plan.strategy = QueryPlan::Strategy::kPanelOnly;
+  response.plan.description = response.query_stats.plan;
+  FinishPaging(request, &response);
+  return response;
+}
+
+StatusOr<QueryResponse> EarthQube::ExecuteCbirOnly(
+    const QueryRequest& request) const {
+  const SimilaritySpec& spec = *request.similarity;
+  std::string exclude;
+  AGORAEO_ASSIGN_OR_RETURN(BinaryCode code,
+                           ResolveSimilarityCode(spec, &exclude));
+  QueryResponse response;
+  response.hits =
+      spec.radius.has_value()
+          ? cbir_->RadiusByCode(code, *spec.radius, spec.limit, exclude)
+          : cbir_->KnnByCode(code, *spec.k, exclude);
+  response.query_stats.plan = "CBIR";
+  response.plan.strategy = QueryPlan::Strategy::kCbirOnly;
+  response.plan.description =
+      spec.radius.has_value()
+          ? "CBIR(" + cbir_->hamming_index().Name() +
+                ", radius=" + std::to_string(*spec.radius) + ")"
+          : "CBIR(" + cbir_->hamming_index().Name() +
+                ", k=" + std::to_string(*spec.k) + ")";
+  if (request.projection == Projection::kFullPanel) {
+    AGORAEO_RETURN_IF_ERROR(JoinHits(response.hits, &response));
+  }
+  FinishPaging(request, &response);
+  return response;
+}
+
+StatusOr<QueryResponse> EarthQube::ExecuteHybrid(
+    const QueryRequest& request) const {
+  const SimilaritySpec& spec = *request.similarity;
+  const Filter filter = request.panel->ToFilter(
+      config_.label_encoding == LabelEncoding::kAsciiCompressed);
+
+  // Cheap selectivity estimate: index candidate counts only, no
+  // document verification.
+  std::string estimate_plan;
+  const size_t estimated = metadata_->EstimateMatches(filter, &estimate_plan);
+  const size_t collection_size = metadata_->size();
+  const double selectivity =
+      collection_size == 0
+          ? 1.0
+          : static_cast<double>(estimated) /
+                static_cast<double>(collection_size);
+
+  QueryPlan::Strategy strategy;
+  switch (request.planner) {
+    case PlannerMode::kForcePreFilter:
+      strategy = QueryPlan::Strategy::kPreFilter;
+      break;
+    case PlannerMode::kForcePostFilter:
+      strategy = QueryPlan::Strategy::kPostFilter;
+      break;
+    case PlannerMode::kAuto:
+    default:
+      strategy = selectivity <= config_.prefilter_selectivity_threshold
+                     ? QueryPlan::Strategy::kPreFilter
+                     : QueryPlan::Strategy::kPostFilter;
+      break;
+  }
+
+  std::string exclude;
+  AGORAEO_ASSIGN_OR_RETURN(BinaryCode code,
+                           ResolveSimilarityCode(spec, &exclude));
+
+  QueryResponse response;
+  response.plan.strategy = strategy;
+  response.plan.estimated_selectivity = selectivity;
+  response.plan.estimated_filter_matches = estimated;
+
+  char sel_text[32];
+  std::snprintf(sel_text, sizeof(sel_text), "%.4f", selectivity);
+
+  if (strategy == QueryPlan::Strategy::kPreFilter) {
+    // Filter first: the docstore produces the allowlist, then the
+    // Hamming index searches only within it.
+    const auto docs = metadata_->Find(filter, 0, &response.query_stats);
+    std::vector<std::string> names;
+    names.reserve(docs.size());
+    for (const Document* doc : docs) {
+      const Value* name = doc->GetPath(kFieldName);
+      if (name != nullptr && name->is_string()) {
+        names.push_back(name->as_string());
+      }
+    }
+    const index::CandidateSet allowed = cbir_->CandidatesFromNames(names);
+    response.hits =
+        spec.radius.has_value()
+            ? cbir_->RadiusByCodeRestricted(code, *spec.radius, spec.limit,
+                                            allowed, exclude)
+            : cbir_->KnnByCodeRestricted(code, *spec.k, allowed, exclude);
+    response.plan.description =
+        "HYBRID(pre-filter: " + response.query_stats.plan + " -> " +
+        std::to_string(allowed.size()) + " candidates -> restricted " +
+        cbir_->hamming_index().Name() + ", est_sel=" + sel_text + ")";
+  } else {
+    // Search first: unrestricted Hamming search, then join each hit's
+    // metadata and keep the filter survivors.
+    std::vector<CbirResult> survivors;
+    auto filter_hits = [&](const std::vector<CbirResult>& raw,
+                           size_t cap) -> Status {
+      survivors.clear();
+      for (const CbirResult& r : raw) {
+        AGORAEO_ASSIGN_OR_RETURN(
+            docstore::DocId id,
+            metadata_->FindOneId(
+                Filter::Eq(kFieldName, Value(r.patch_name))));
+        ++response.query_stats.docs_examined;
+        if (!filter.Matches(*metadata_->Get(id))) continue;
+        survivors.push_back(r);
+        if (cap != 0 && survivors.size() >= cap) break;
+      }
+      return Status::OK();
+    };
+    if (spec.radius.has_value()) {
+      const auto raw = cbir_->RadiusByCode(code, *spec.radius,
+                                           /*max_results=*/0, exclude);
+      AGORAEO_RETURN_IF_ERROR(filter_hits(raw, spec.limit));
+    } else {
+      // k-NN post-filter must over-fetch: the k nearest overall may not
+      // survive the metadata filter.  Double the fetch until k
+      // survivors are found or the index is exhausted.
+      const size_t k = *spec.k;
+      for (size_t fetch = std::max<size_t>(k, 1);; fetch *= 2) {
+        const auto raw = cbir_->KnnByCode(code, fetch, exclude);
+        AGORAEO_RETURN_IF_ERROR(filter_hits(raw, k));
+        if (survivors.size() >= k || raw.size() < fetch) break;
+      }
+    }
+    response.hits = std::move(survivors);
+    response.plan.description =
+        "HYBRID(post-filter: CBIR " + cbir_->hamming_index().Name() +
+        " -> join -> " + filter.ToString() + ", est_sel=" + sel_text + ")";
+  }
+  response.query_stats.plan = response.plan.description;
+  if (request.projection == Projection::kFullPanel) {
+    AGORAEO_RETURN_IF_ERROR(JoinHits(response.hits, &response));
+  }
+  FinishPaging(request, &response);
+  return response;
+}
+
+StatusOr<QueryResponse> EarthQube::Execute(const QueryRequest& request) const {
+  AGORAEO_RETURN_IF_ERROR(request.Validate());
+  if (request.similarity.has_value() && cbir_ == nullptr) {
+    return Status::FailedPrecondition("no CBIR service attached");
+  }
+  if (!request.similarity.has_value()) return ExecutePanelOnly(request);
+  if (!request.panel.has_value()) return ExecuteCbirOnly(request);
+  return ExecuteHybrid(request);
+}
+
+StatusOr<std::vector<QueryResponse>> EarthQube::ExecuteBatch(
+    const std::vector<QueryRequest>& requests) const {
+  // Homogeneous CBIR-only by-name batches (the /cbir/batch_search
+  // shape) share one thread-parallel index pass instead of N
+  // independent searches.
+  const auto batchable = [&]() -> bool {
+    if (requests.empty() || cbir_ == nullptr) return false;
+    const SimilaritySpec* first = nullptr;
+    for (const QueryRequest& r : requests) {
+      if (r.panel.has_value() || !r.similarity.has_value() ||
+          !r.similarity->archive_name.has_value() ||
+          r.projection != Projection::kHitsOnly) {
+        return false;
+      }
+      if (first == nullptr) {
+        first = &*r.similarity;
+        continue;
+      }
+      if (r.similarity->radius != first->radius ||
+          r.similarity->k != first->k ||
+          r.similarity->limit != first->limit) {
+        return false;
+      }
+    }
+    return true;
+  }();
+
+  std::vector<QueryResponse> out;
+  out.reserve(requests.size());
+  if (batchable) {
+    for (const QueryRequest& r : requests) {
+      AGORAEO_RETURN_IF_ERROR(r.Validate());
+    }
+    const SimilaritySpec& spec = *requests.front().similarity;
+    std::vector<std::string> names;
+    names.reserve(requests.size());
+    for (const QueryRequest& r : requests) {
+      names.push_back(*r.similarity->archive_name);
+    }
+    AGORAEO_ASSIGN_OR_RETURN(
+        std::vector<std::vector<CbirResult>> batch,
+        spec.radius.has_value()
+            ? cbir_->QueryBatchByName(names, *spec.radius, spec.limit)
+            : cbir_->KnnBatchByName(names, *spec.k));
+    for (size_t i = 0; i < requests.size(); ++i) {
+      QueryResponse response;
+      response.hits = std::move(batch[i]);
+      response.query_stats.plan = "CBIR";
+      response.plan.strategy = QueryPlan::Strategy::kCbirOnly;
+      response.plan.description =
+          "CBIR(batch, " + cbir_->hamming_index().Name() + ")";
+      FinishPaging(requests[i], &response);
+      out.push_back(std::move(response));
+    }
+    return out;
+  }
+
+  for (const QueryRequest& request : requests) {
+    AGORAEO_ASSIGN_OR_RETURN(QueryResponse response, Execute(request));
+    out.push_back(std::move(response));
+  }
+  return out;
+}
+
+// --- v1 facade shims ----------------------------------------------------
+
+StatusOr<SearchResponse> EarthQube::Search(const EarthQubeQuery& query) const {
+  QueryRequest request;
+  request.panel = query;
+  request.page_size = 0;  // facade callers page the panel themselves
+  AGORAEO_ASSIGN_OR_RETURN(QueryResponse response, Execute(request));
+  return SearchResponse{std::move(response.panel),
+                        std::move(response.statistics),
+                        std::move(response.query_stats)};
 }
 
 size_t EarthQube::CountMatches(const EarthQubeQuery& query) const {
@@ -88,79 +368,83 @@ size_t EarthQube::CountMatches(const EarthQubeQuery& query) const {
       config_.label_encoding == LabelEncoding::kAsciiCompressed));
 }
 
-StatusOr<SearchResponse> EarthQube::ResponseFromCbirResults(
-    const std::vector<CbirResult>& results) const {
-  std::vector<ResultEntry> entries;
-  std::vector<LabelSet> label_sets;
-  entries.reserve(results.size());
-  docstore::QueryStats stats;
-  stats.plan = "CBIR";
-  for (const CbirResult& r : results) {
-    AGORAEO_ASSIGN_OR_RETURN(
-        docstore::DocId id,
-        metadata_->FindOneId(Filter::Eq(kFieldName, Value(r.patch_name))));
-    const Document* doc = metadata_->Get(id);
-    ++stats.docs_examined;
-    AGORAEO_ASSIGN_OR_RETURN(ResultEntry entry, EntryFromDocument(*doc));
-    label_sets.push_back(entry.labels);
-    entries.push_back(std::move(entry));
-  }
-  return SearchResponse{ResultPanel(std::move(entries)),
-                        LabelStatistics::FromLabelSets(label_sets),
-                        std::move(stats)};
-}
-
 StatusOr<SearchResponse> EarthQube::SimilarToArchiveImage(
     const std::string& name, uint32_t radius, size_t max_results) const {
-  if (cbir_ == nullptr) {
-    return Status::FailedPrecondition("no CBIR service attached");
-  }
-  AGORAEO_ASSIGN_OR_RETURN(std::vector<CbirResult> results,
-                           cbir_->QueryByName(name, radius, max_results));
-  return ResponseFromCbirResults(results);
+  QueryRequest request;
+  request.similarity = SimilaritySpec::NameRadius(name, radius, max_results);
+  request.page_size = 0;
+  AGORAEO_ASSIGN_OR_RETURN(QueryResponse response, Execute(request));
+  return SearchResponse{std::move(response.panel),
+                        std::move(response.statistics),
+                        std::move(response.query_stats)};
 }
 
 StatusOr<SearchResponse> EarthQube::NearestToArchiveImage(
     const std::string& name, size_t k) const {
-  if (cbir_ == nullptr) {
-    return Status::FailedPrecondition("no CBIR service attached");
-  }
-  AGORAEO_ASSIGN_OR_RETURN(std::vector<CbirResult> results,
-                           cbir_->KnnByName(name, k));
-  return ResponseFromCbirResults(results);
+  QueryRequest request;
+  request.similarity = SimilaritySpec::NameKnn(name, k);
+  request.page_size = 0;
+  AGORAEO_ASSIGN_OR_RETURN(QueryResponse response, Execute(request));
+  return SearchResponse{std::move(response.panel),
+                        std::move(response.statistics),
+                        std::move(response.query_stats)};
 }
 
 StatusOr<SearchResponse> EarthQube::SimilarToUploadedImage(
     const bigearthnet::Patch& patch, uint32_t radius,
     size_t max_results) const {
-  if (cbir_ == nullptr) {
-    return Status::FailedPrecondition("no CBIR service attached");
-  }
-  // Uploaded-image inference mutates no index state; the const_cast is
-  // confined to the model's forward pass (dropout disabled at inference).
-  auto* cbir = const_cast<CbirService*>(cbir_.get());
-  AGORAEO_ASSIGN_OR_RETURN(std::vector<CbirResult> results,
-                           cbir->QueryByPatch(patch, radius, max_results));
-  return ResponseFromCbirResults(results);
+  QueryRequest request;
+  request.similarity = SimilaritySpec::PatchRadius(patch, radius, max_results);
+  request.page_size = 0;
+  AGORAEO_ASSIGN_OR_RETURN(QueryResponse response, Execute(request));
+  return SearchResponse{std::move(response.panel),
+                        std::move(response.statistics),
+                        std::move(response.query_stats)};
 }
 
 StatusOr<std::vector<std::vector<CbirResult>>>
 EarthQube::BatchSimilarToArchiveImages(const std::vector<std::string>& names,
                                        uint32_t radius,
                                        size_t max_results) const {
-  if (cbir_ == nullptr) {
-    return Status::FailedPrecondition("no CBIR service attached");
+  std::vector<QueryRequest> requests;
+  requests.reserve(names.size());
+  for (const std::string& name : names) {
+    QueryRequest request;
+    request.similarity = SimilaritySpec::NameRadius(name, radius, max_results);
+    request.projection = Projection::kHitsOnly;
+    request.page_size = 0;
+    requests.push_back(std::move(request));
   }
-  return cbir_->QueryBatchByName(names, radius, max_results);
+  AGORAEO_ASSIGN_OR_RETURN(std::vector<QueryResponse> responses,
+                           ExecuteBatch(requests));
+  std::vector<std::vector<CbirResult>> out;
+  out.reserve(responses.size());
+  for (QueryResponse& response : responses) {
+    out.push_back(std::move(response.hits));
+  }
+  return out;
 }
 
 StatusOr<std::vector<std::vector<CbirResult>>>
 EarthQube::BatchNearestToArchiveImages(const std::vector<std::string>& names,
                                        size_t k) const {
-  if (cbir_ == nullptr) {
-    return Status::FailedPrecondition("no CBIR service attached");
+  std::vector<QueryRequest> requests;
+  requests.reserve(names.size());
+  for (const std::string& name : names) {
+    QueryRequest request;
+    request.similarity = SimilaritySpec::NameKnn(name, k);
+    request.projection = Projection::kHitsOnly;
+    request.page_size = 0;
+    requests.push_back(std::move(request));
   }
-  return cbir_->KnnBatchByName(names, k);
+  AGORAEO_ASSIGN_OR_RETURN(std::vector<QueryResponse> responses,
+                           ExecuteBatch(requests));
+  std::vector<std::vector<CbirResult>> out;
+  out.reserve(responses.size());
+  for (QueryResponse& response : responses) {
+    out.push_back(std::move(response.hits));
+  }
+  return out;
 }
 
 Status EarthQube::StorePatchPixels(const bigearthnet::Patch& patch) {

@@ -9,6 +9,7 @@
 #include "docstore/database.h"
 #include "earthqube/cbir_service.h"
 #include "earthqube/query.h"
+#include "earthqube/query_request.h"
 #include "earthqube/result_panel.h"
 #include "earthqube/schema.h"
 #include "earthqube/statistics.h"
@@ -25,6 +26,12 @@ struct EarthQubeConfig {
   /// labels_key hash, location geo).  Disabled only by the index-ablation
   /// benchmarks.
   bool build_indexes = true;
+  /// Hybrid planner: estimated filter selectivities at or below this
+  /// run pre-filter (filter -> candidate set -> restricted Hamming
+  /// search); above it, post-filter (Hamming search -> metadata join ->
+  /// filter).  bench_hybrid_query measures the crossover at ~2-8%
+  /// selectivity (lower at larger archive sizes); 5% centres it.
+  double prefilter_selectivity_threshold = 0.05;
 };
 
 /// A search response: the result panel model, the label-statistics view,
@@ -52,7 +59,26 @@ class EarthQube {
   /// by the caller; enables the similarity-search endpoints.
   void AttachCbir(std::unique_ptr<CbirService> cbir);
 
-  // --- query panel -------------------------------------------------------
+  // --- unified query execution (API v2) -----------------------------------
+
+  /// Executes one unified request — panel-only, CBIR-only, or hybrid
+  /// (filter ∧ similarity).  Hybrid requests go through a small planner:
+  /// when the metadata filter's estimated selectivity is at or below
+  /// config().prefilter_selectivity_threshold the executor pre-filters
+  /// (docstore filter -> candidate set -> restricted Hamming search);
+  /// otherwise it post-filters (Hamming search -> metadata join ->
+  /// filter).  Both strategies return identical result sets; the choice
+  /// is reported in QueryResponse::plan.  Every other query entry point
+  /// of this facade is a shim over this method.
+  StatusOr<QueryResponse> Execute(const QueryRequest& request) const;
+
+  /// Executes a request batch: slot i holds what Execute(requests[i])
+  /// would return.  Homogeneous CBIR-only by-name batches (the
+  /// /cbir/batch_search shape) share one thread-parallel index pass.
+  StatusOr<std::vector<QueryResponse>> ExecuteBatch(
+      const std::vector<QueryRequest>& requests) const;
+
+  // --- query panel (v1 shims over Execute) ---------------------------------
 
   /// Executes a query-panel submission.
   StatusOr<SearchResponse> Search(const EarthQubeQuery& query) const;
@@ -139,8 +165,24 @@ class EarthQube {
 
  private:
   StatusOr<ResultEntry> EntryFromDocument(const docstore::Document& doc) const;
-  StatusOr<SearchResponse> ResponseFromCbirResults(
-      const std::vector<CbirResult>& results) const;
+
+  // Execute's three paths.
+  StatusOr<QueryResponse> ExecutePanelOnly(const QueryRequest& request) const;
+  StatusOr<QueryResponse> ExecuteCbirOnly(const QueryRequest& request) const;
+  StatusOr<QueryResponse> ExecuteHybrid(const QueryRequest& request) const;
+
+  /// Resolves a similarity spec's subject to (code, exclude_name).
+  StatusOr<BinaryCode> ResolveSimilarityCode(const SimilaritySpec& spec,
+                                             std::string* exclude_name) const;
+
+  /// Joins CBIR hits against the metadata collection into a full-panel
+  /// response body (entries in hit order + label statistics).
+  Status JoinHits(const std::vector<CbirResult>& hits,
+                  QueryResponse* response) const;
+
+  /// Fills paging bookkeeping (page, page_size, continuation cursor).
+  static void FinishPaging(const QueryRequest& request,
+                           QueryResponse* response);
 
   EarthQubeConfig config_;
   docstore::Database db_;

@@ -1,0 +1,126 @@
+#include "earthqube/query_request.h"
+
+#include "json/json.h"
+
+namespace agoraeo::earthqube {
+
+SimilaritySpec SimilaritySpec::NameRadius(std::string name, uint32_t radius,
+                                          size_t limit) {
+  SimilaritySpec spec;
+  spec.archive_name = std::move(name);
+  spec.radius = radius;
+  spec.limit = limit;
+  return spec;
+}
+
+SimilaritySpec SimilaritySpec::NameKnn(std::string name, size_t k) {
+  SimilaritySpec spec;
+  spec.archive_name = std::move(name);
+  spec.k = k;
+  return spec;
+}
+
+SimilaritySpec SimilaritySpec::PatchRadius(bigearthnet::Patch patch,
+                                           uint32_t radius, size_t limit) {
+  SimilaritySpec spec;
+  spec.patch = std::move(patch);
+  spec.radius = radius;
+  spec.limit = limit;
+  return spec;
+}
+
+SimilaritySpec SimilaritySpec::CodeRadius(BinaryCode code, uint32_t radius,
+                                          size_t limit) {
+  SimilaritySpec spec;
+  spec.code = std::move(code);
+  spec.radius = radius;
+  spec.limit = limit;
+  return spec;
+}
+
+SimilaritySpec SimilaritySpec::CodeKnn(BinaryCode code, size_t k) {
+  SimilaritySpec spec;
+  spec.code = std::move(code);
+  spec.k = k;
+  return spec;
+}
+
+Status SimilaritySpec::Validate() const {
+  const int subjects = (archive_name.has_value() ? 1 : 0) +
+                       (patch.has_value() ? 1 : 0) + (code.has_value() ? 1 : 0);
+  if (subjects != 1) {
+    return Status::InvalidArgument(
+        "similarity needs exactly one of archive_name/patch/code");
+  }
+  if (radius.has_value() && k.has_value()) {
+    return Status::InvalidArgument(
+        "similarity cannot set both radius and k; pick one mode");
+  }
+  if (!radius.has_value() && !k.has_value()) {
+    return Status::InvalidArgument("similarity needs radius or k");
+  }
+  return Status::OK();
+}
+
+Status QueryRequest::Validate() const {
+  if (!panel.has_value() && !similarity.has_value()) {
+    return Status::InvalidArgument(
+        "query needs a metadata panel, a similarity spec, or both");
+  }
+  if (similarity.has_value()) {
+    AGORAEO_RETURN_IF_ERROR(similarity->Validate());
+  }
+  if (projection == Projection::kHitsOnly && !similarity.has_value()) {
+    return Status::InvalidArgument(
+        "hits-only projection requires a similarity spec");
+  }
+  return Status::OK();
+}
+
+const char* StrategyToString(QueryPlan::Strategy strategy) {
+  switch (strategy) {
+    case QueryPlan::Strategy::kPanelOnly:
+      return "panel_only";
+    case QueryPlan::Strategy::kCbirOnly:
+      return "cbir_only";
+    case QueryPlan::Strategy::kPreFilter:
+      return "pre_filter";
+    case QueryPlan::Strategy::kPostFilter:
+      return "post_filter";
+  }
+  return "unknown";
+}
+
+size_t QueryResponse::total() const {
+  return projection == Projection::kHitsOnly ? hits.size() : panel.total();
+}
+
+std::string EncodeCursor(const PageCursor& cursor) {
+  const std::string raw = "v2:" + std::to_string(cursor.page) + ":" +
+                          std::to_string(cursor.page_size);
+  return json::Base64Encode(
+      std::vector<uint8_t>(raw.begin(), raw.end()));
+}
+
+StatusOr<PageCursor> DecodeCursor(const std::string& token) {
+  AGORAEO_ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                           json::Base64Decode(token));
+  const std::string text(raw.begin(), raw.end());
+  if (text.rfind("v2:", 0) != 0) {
+    return Status::InvalidArgument("unrecognised cursor");
+  }
+  const size_t sep = text.find(':', 3);
+  if (sep == std::string::npos) {
+    return Status::InvalidArgument("malformed cursor");
+  }
+  PageCursor cursor;
+  try {
+    cursor.page = std::stoull(text.substr(3, sep - 3));
+    cursor.page_size = std::stoull(text.substr(sep + 1));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed cursor");
+  }
+  return cursor;
+}
+
+}  // namespace agoraeo::earthqube

@@ -43,6 +43,7 @@ Status BkTree::Add(ItemId id, const BinaryCode& code) {
 }
 
 void BkTree::RadiusSearchInto(const BinaryCode& query, uint32_t radius,
+                              const CandidateSet* allowed,
                               std::vector<const Node*>* stack,
                               std::vector<SearchResult>* out,
                               SearchStats* stats) const {
@@ -59,7 +60,10 @@ void BkTree::RadiusSearchInto(const BinaryCode& query, uint32_t radius,
           static_cast<uint32_t>(node->code.HammingDistance(query));
       local.candidates += node->ids.size();
       if (d <= radius) {
-        for (ItemId id : node->ids) out->push_back({id, d});
+        for (ItemId id : node->ids) {
+          if (allowed != nullptr && !allowed->Contains(id)) continue;
+          out->push_back({id, d});
+        }
       }
       // Children with edge key in [d - radius, d + radius] can contain
       // matches; std::map's ordering gives the window as a range scan.
@@ -81,8 +85,25 @@ std::vector<SearchResult> BkTree::RadiusSearch(const BinaryCode& query,
                                                SearchStats* stats) const {
   std::vector<SearchResult> out;
   std::vector<const Node*> stack;
-  RadiusSearchInto(query, radius, &stack, &out, stats);
+  RadiusSearchInto(query, radius, /*allowed=*/nullptr, &stack, &out, stats);
   return out;
+}
+
+std::vector<SearchResult> BkTree::RadiusSearchIn(const BinaryCode& query,
+                                                 uint32_t radius,
+                                                 const CandidateSet& allowed,
+                                                 SearchStats* stats) const {
+  std::vector<SearchResult> out;
+  std::vector<const Node*> stack;
+  RadiusSearchInto(query, radius, &allowed, &stack, &out, stats);
+  return out;
+}
+
+std::vector<SearchResult> BkTree::KnnSearchIn(const BinaryCode& query,
+                                              size_t k,
+                                              const CandidateSet& allowed,
+                                              SearchStats* stats) const {
+  return BestFirstKnn(query, k, &allowed, stats);
 }
 
 std::vector<std::vector<SearchResult>> BkTree::BatchRadiusSearch(
@@ -93,8 +114,8 @@ std::vector<std::vector<SearchResult>> BkTree::BatchRadiusSearch(
   RunSharded(queries.size(), pool, [&](size_t begin, size_t end) {
     std::vector<const Node*> stack;  // reused across the shard's queries
     for (size_t q = begin; q < end; ++q) {
-      RadiusSearchInto(queries[q], radius, &stack, &out[q],
-                       stats != nullptr ? &(*stats)[q] : nullptr);
+      RadiusSearchInto(queries[q], radius, /*allowed=*/nullptr, &stack,
+                       &out[q], stats != nullptr ? &(*stats)[q] : nullptr);
     }
   });
   return out;
@@ -102,6 +123,13 @@ std::vector<std::vector<SearchResult>> BkTree::BatchRadiusSearch(
 
 std::vector<SearchResult> BkTree::KnnSearch(const BinaryCode& query, size_t k,
                                             SearchStats* stats) const {
+  return BestFirstKnn(query, k, /*allowed=*/nullptr, stats);
+}
+
+std::vector<SearchResult> BkTree::BestFirstKnn(const BinaryCode& query,
+                                               size_t k,
+                                               const CandidateSet* allowed,
+                                               SearchStats* stats) const {
   // Best-first search: expand nodes in order of an optimistic bound on
   // the distance their subtree can contain.  When the bound of the next
   // frontier entry exceeds the current k-th best distance, the answer is
@@ -135,6 +163,7 @@ std::vector<SearchResult> BkTree::KnnSearch(const BinaryCode& query, size_t k,
         static_cast<uint32_t>(node->code.HammingDistance(query));
     local.candidates += node->ids.size();
     for (ItemId id : node->ids) {
+      if (allowed != nullptr && !allowed->Contains(id)) continue;
       const SearchResult candidate{id, d};
       if (best.size() < k || ResultLess(candidate, best.back())) {
         best.insert(

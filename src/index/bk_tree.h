@@ -39,6 +39,15 @@ class BkTree : public HammingIndex {
       ThreadPool* pool = nullptr,
       std::vector<SearchStats>* stats = nullptr) const override;
 
+  /// Restricted searches traverse with the usual triangle-inequality
+  /// pruning and admit only allowlisted ids when collecting.
+  std::vector<SearchResult> RadiusSearchIn(
+      const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> KnnSearchIn(
+      const BinaryCode& query, size_t k, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const override;
+
   size_t size() const override { return num_items_; }
   std::string Name() const override { return "BkTree"; }
 
@@ -56,11 +65,17 @@ class BkTree : public HammingIndex {
 
   /// Radius search writing into caller-owned buffers; `stack` is the
   /// DFS work list, cleared on entry so batch shards can reuse its
-  /// capacity across queries.
+  /// capacity across queries.  `allowed == nullptr` means unrestricted.
   void RadiusSearchInto(const BinaryCode& query, uint32_t radius,
+                        const CandidateSet* allowed,
                         std::vector<const Node*>* stack,
                         std::vector<SearchResult>* out,
                         SearchStats* stats) const;
+
+  /// Shared best-first k-NN (`allowed == nullptr` means unrestricted).
+  std::vector<SearchResult> BestFirstKnn(const BinaryCode& query, size_t k,
+                                         const CandidateSet* allowed,
+                                         SearchStats* stats) const;
 
   std::unique_ptr<Node> root_;
   size_t code_bits_ = 0;

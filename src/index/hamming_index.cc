@@ -1,5 +1,7 @@
 #include "index/hamming_index.h"
 
+#include <algorithm>
+
 #include "index/batch_util.h"
 
 namespace agoraeo::index {
@@ -7,6 +9,44 @@ namespace agoraeo::index {
 bool ResultLess(const SearchResult& a, const SearchResult& b) {
   if (a.distance != b.distance) return a.distance < b.distance;
   return a.id < b.id;
+}
+
+CandidateSet::CandidateSet(std::vector<ItemId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+bool CandidateSet::Contains(ItemId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+std::vector<SearchResult> HammingIndex::RadiusSearchIn(
+    const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
+    SearchStats* stats) const {
+  std::vector<SearchResult> out = RadiusSearch(query, radius, stats);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const SearchResult& r) {
+                             return !allowed.Contains(r.id);
+                           }),
+            out.end());
+  if (stats != nullptr) stats->results = out.size();
+  return out;
+}
+
+std::vector<SearchResult> HammingIndex::KnnSearchIn(
+    const BinaryCode& query, size_t k, const CandidateSet& allowed,
+    SearchStats* stats) const {
+  // Rank everything, keep the first k allowed.  Exact but unbounded;
+  // implementations override with restricted traversals.
+  std::vector<SearchResult> all = KnnSearch(query, size(), stats);
+  std::vector<SearchResult> out;
+  out.reserve(std::min(k, allowed.size()));
+  for (const SearchResult& r : all) {
+    if (out.size() >= k) break;
+    if (allowed.Contains(r.id)) out.push_back(r);
+  }
+  if (stats != nullptr) stats->results = out.size();
+  return out;
 }
 
 std::vector<std::vector<SearchResult>> HammingIndex::BatchRadiusSearch(

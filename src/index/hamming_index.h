@@ -32,6 +32,25 @@ struct SearchResult {
 /// index implementations return, so they are comparable in tests.
 bool ResultLess(const SearchResult& a, const SearchResult& b);
 
+/// An allowlist of item ids for candidate-restricted searches (the
+/// pre-filter side of hybrid metadata ∧ similarity queries): the ids a
+/// search may return, held sorted for O(log n) membership tests.
+class CandidateSet {
+ public:
+  CandidateSet() = default;
+  /// Takes any id list; sorts and deduplicates it.
+  explicit CandidateSet(std::vector<ItemId> ids);
+
+  bool Contains(ItemId id) const;
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  /// Sorted, deduplicated ids.
+  const std::vector<ItemId>& ids() const { return ids_; }
+
+ private:
+  std::vector<ItemId> ids_;
+};
+
 /// Counters describing the work one query performed; used by the
 /// benchmark harness to report candidate counts (experiment E3).
 struct SearchStats {
@@ -61,6 +80,30 @@ class HammingIndex {
   virtual std::vector<SearchResult> KnnSearch(
       const BinaryCode& query, size_t k,
       SearchStats* stats = nullptr) const = 0;
+
+  // --- candidate-restricted search ----------------------------------------
+  //
+  // The pre-filter leg of hybrid (metadata ∧ similarity) queries: the
+  // docstore filter produces an id allowlist, and the index searches
+  // only within it.  Both calls return exactly what filtering the
+  // unrestricted result down to `allowed` would — RadiusSearchIn(q, r,
+  // allowed) == {h ∈ RadiusSearch(q, r) : allowed.Contains(h.id)}, and
+  // KnnSearchIn returns the k nearest *allowed* items — in the same
+  // canonical (distance, id) order.
+
+  /// All allowed items within the radius.  The default filters a full
+  /// RadiusSearch; implementations override it to restrict the scan
+  /// itself (e.g. the linear scan walks only the allowlist).
+  virtual std::vector<SearchResult> RadiusSearchIn(
+      const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const;
+
+  /// The k nearest allowed items.  The default ranks every allowed item
+  /// (exact but O(n log n)); implementations override it with bounded
+  /// traversals.
+  virtual std::vector<SearchResult> KnnSearchIn(
+      const BinaryCode& query, size_t k, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const;
 
   /// Batch flavour of RadiusSearch: slot i of the returned vector holds
   /// exactly what RadiusSearch(queries[i], radius) would return, in the

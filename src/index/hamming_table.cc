@@ -73,11 +73,19 @@ Status HammingHashTable::Add(ItemId id, const BinaryCode& code) {
   return Status::OK();
 }
 
-std::vector<SearchResult> HammingHashTable::RadiusSearch(
-    const BinaryCode& query, uint32_t radius, SearchStats* stats) const {
+std::vector<SearchResult> HammingHashTable::SearchBuckets(
+    const BinaryCode& query, uint32_t radius, const CandidateSet* allowed,
+    SearchStats* stats) const {
   std::vector<SearchResult> out;
   SearchStats local;
 
+  auto collect = [&](const std::vector<ItemId>& items, uint32_t d) {
+    for (ItemId id : items) {
+      ++local.candidates;
+      if (allowed != nullptr && !allowed->Contains(id)) continue;
+      out.push_back({id, d});
+    }
+  };
   const size_t probes = ProbeCount(code_bits_, radius);
   if (probes <= buckets_.size() * 2) {
     // Mask enumeration: probe every code within the radius.
@@ -85,11 +93,8 @@ std::vector<SearchResult> HammingHashTable::RadiusSearch(
       ++local.buckets_probed;
       auto it = buckets_.find(probe);
       if (it == buckets_.end()) return;
-      const uint32_t d = static_cast<uint32_t>(query.HammingDistance(probe));
-      for (ItemId id : it->second) {
-        out.push_back({id, d});
-        ++local.candidates;
-      }
+      collect(it->second,
+              static_cast<uint32_t>(query.HammingDistance(probe)));
     });
   } else {
     // Bucket scan: fewer non-empty buckets than probe codes.
@@ -97,13 +102,44 @@ std::vector<SearchResult> HammingHashTable::RadiusSearch(
       ++local.buckets_probed;
       const uint32_t d = static_cast<uint32_t>(query.HammingDistance(code));
       if (d > radius) continue;
-      for (ItemId id : items) {
-        out.push_back({id, d});
-        ++local.candidates;
-      }
+      collect(items, d);
     }
   }
   std::sort(out.begin(), out.end(), ResultLess);
+  local.results = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<SearchResult> HammingHashTable::RadiusSearch(
+    const BinaryCode& query, uint32_t radius, SearchStats* stats) const {
+  return SearchBuckets(query, radius, /*allowed=*/nullptr, stats);
+}
+
+std::vector<SearchResult> HammingHashTable::RadiusSearchIn(
+    const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
+    SearchStats* stats) const {
+  return SearchBuckets(query, radius, &allowed, stats);
+}
+
+std::vector<SearchResult> HammingHashTable::KnnSearchIn(
+    const BinaryCode& query, size_t k, const CandidateSet& allowed,
+    SearchStats* stats) const {
+  // Progressive radius expansion over the restricted search; complete
+  // when k allowed items were found, the whole allowlist was retrieved,
+  // or the radius covers the code space.
+  std::vector<SearchResult> out;
+  SearchStats local;
+  if (k > 0) {
+    for (uint32_t radius = 0; radius <= code_bits_; ++radius) {
+      SearchStats step;
+      out = SearchBuckets(query, radius, &allowed, &step);
+      local.buckets_probed += step.buckets_probed;
+      local.candidates += step.candidates;
+      if (out.size() >= k || out.size() == allowed.size()) break;
+    }
+  }
+  if (out.size() > k) out.resize(k);
   local.results = out.size();
   if (stats != nullptr) *stats = local;
   return out;
@@ -229,8 +265,9 @@ Status MultiIndexHashing::Add(ItemId id, const BinaryCode& code) {
   return Status::OK();
 }
 
-std::vector<SearchResult> MultiIndexHashing::RadiusSearch(
-    const BinaryCode& query, uint32_t radius, SearchStats* stats) const {
+std::vector<SearchResult> MultiIndexHashing::SearchSubstrings(
+    const BinaryCode& query, uint32_t radius, const CandidateSet* allowed,
+    SearchStats* stats) const {
   SearchStats local;
   std::vector<SearchResult> out;
   if (codes_.empty()) {
@@ -240,6 +277,13 @@ std::vector<SearchResult> MultiIndexHashing::RadiusSearch(
   // Pigeonhole: ham(a, b) <= r implies some substring differs by at most
   // floor(r / m).
   const uint32_t sub_radius = radius / static_cast<uint32_t>(m_);
+
+  auto verify = [&](size_t pos) {
+    if (allowed != nullptr && !allowed->Contains(ids_[pos])) return;
+    const uint32_t d =
+        static_cast<uint32_t>(codes_[pos].HammingDistance(query));
+    if (d <= radius) out.push_back({ids_[pos], d});
+  };
 
   // Adaptive fallback (same idea as HammingHashTable::RadiusSearch): when
   // the mask enumeration would probe more keys than there are stored codes,
@@ -257,9 +301,7 @@ std::vector<SearchResult> MultiIndexHashing::RadiusSearch(
       probes_per_table > codes_.size() + 1) {
     for (size_t pos = 0; pos < codes_.size(); ++pos) {
       ++local.candidates;
-      const uint32_t d =
-          static_cast<uint32_t>(codes_[pos].HammingDistance(query));
-      if (d <= radius) out.push_back({ids_[pos], d});
+      verify(pos);
     }
     local.buckets_probed = codes_.size();
     std::sort(out.begin(), out.end(), ResultLess);
@@ -281,13 +323,50 @@ std::vector<SearchResult> MultiIndexHashing::RadiusSearch(
         if (seen[pos]) continue;
         seen[pos] = true;
         ++local.candidates;
-        const uint32_t d =
-            static_cast<uint32_t>(codes_[pos].HammingDistance(query));
-        if (d <= radius) out.push_back({ids_[pos], d});
+        verify(pos);
       }
     });
   }
   std::sort(out.begin(), out.end(), ResultLess);
+  local.results = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<SearchResult> MultiIndexHashing::RadiusSearch(
+    const BinaryCode& query, uint32_t radius, SearchStats* stats) const {
+  return SearchSubstrings(query, radius, /*allowed=*/nullptr, stats);
+}
+
+std::vector<SearchResult> MultiIndexHashing::RadiusSearchIn(
+    const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
+    SearchStats* stats) const {
+  return SearchSubstrings(query, radius, &allowed, stats);
+}
+
+std::vector<SearchResult> MultiIndexHashing::KnnSearchIn(
+    const BinaryCode& query, size_t k, const CandidateSet& allowed,
+    SearchStats* stats) const {
+  std::vector<SearchResult> out;
+  SearchStats local;
+  if (k > 0) {
+    // Same whole-substring-radius expansion as KnnSearch, over the
+    // restricted search; the allowlist size bounds the retrievable set.
+    for (uint32_t radius = static_cast<uint32_t>(m_) - 1;
+         radius <= code_bits_ + m_; radius += static_cast<uint32_t>(m_)) {
+      SearchStats step;
+      const uint32_t capped =
+          std::min<uint32_t>(radius, static_cast<uint32_t>(code_bits_));
+      out = SearchSubstrings(query, capped, &allowed, &step);
+      local.buckets_probed += step.buckets_probed;
+      local.candidates += step.candidates;
+      if (out.size() >= k || out.size() == allowed.size() ||
+          capped == code_bits_) {
+        break;
+      }
+    }
+  }
+  if (out.size() > k) out.resize(k);
   local.results = out.size();
   if (stats != nullptr) *stats = local;
   return out;

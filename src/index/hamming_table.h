@@ -41,6 +41,16 @@ class HammingHashTable : public HammingIndex {
       ThreadPool* pool = nullptr,
       std::vector<SearchStats>* stats = nullptr) const override;
 
+  /// Restricted searches probe buckets exactly like the unrestricted
+  /// ones but admit only allowlisted ids; the restricted k-NN stops its
+  /// radius expansion as soon as the allowlist is exhausted.
+  std::vector<SearchResult> RadiusSearchIn(
+      const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> KnnSearchIn(
+      const BinaryCode& query, size_t k, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const override;
+
   size_t size() const override { return num_items_; }
   std::string Name() const override { return "HammingHashTable"; }
 
@@ -51,6 +61,13 @@ class HammingHashTable : public HammingIndex {
   static size_t ProbeCount(size_t bits, uint32_t radius);
 
  private:
+  /// Shared body of RadiusSearch / RadiusSearchIn (`allowed == nullptr`
+  /// means unrestricted).
+  std::vector<SearchResult> SearchBuckets(const BinaryCode& query,
+                                          uint32_t radius,
+                                          const CandidateSet* allowed,
+                                          SearchStats* stats) const;
+
   std::unordered_map<BinaryCode, std::vector<ItemId>, BinaryCodeHash> buckets_;
   size_t code_bits_ = 0;
   size_t num_items_ = 0;
@@ -76,6 +93,12 @@ class MultiIndexHashing : public HammingIndex {
                                          SearchStats* stats = nullptr) const override;
   std::vector<SearchResult> KnnSearch(const BinaryCode& query, size_t k,
                                       SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> RadiusSearchIn(
+      const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> KnnSearchIn(
+      const BinaryCode& query, size_t k, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const override;
   size_t size() const override { return ids_.size(); }
   std::string Name() const override { return "MultiIndexHashing"; }
 
@@ -84,6 +107,13 @@ class MultiIndexHashing : public HammingIndex {
  private:
   /// Bit range of substring j (balanced split).
   void SubstringRange(size_t j, size_t* begin, size_t* len) const;
+
+  /// Shared body of RadiusSearch / RadiusSearchIn (`allowed == nullptr`
+  /// means unrestricted).
+  std::vector<SearchResult> SearchSubstrings(const BinaryCode& query,
+                                             uint32_t radius,
+                                             const CandidateSet* allowed,
+                                             SearchStats* stats) const;
 
   size_t m_;
   size_t code_bits_ = 0;

@@ -19,6 +19,7 @@ Status LinearScanIndex::Add(ItemId id, const BinaryCode& code) {
   if (code.size() != code_bits_) {
     return Status::InvalidArgument("code length mismatch");
   }
+  pos_by_id_.emplace(id, ids_.size());
   ids_.push_back(id);
   codes_.push_back(code);
   flat_words_.insert(flat_words_.end(), code.words().begin(),
@@ -201,6 +202,82 @@ std::vector<std::vector<SearchResult>> LinearScanIndex::BatchKnnSearch(
     BlockedKnnShard(queries, begin, end, k, &out, stats);
   });
   return out;
+}
+
+std::vector<SearchResult> LinearScanIndex::RadiusSearchIn(
+    const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
+    SearchStats* stats) const {
+  std::vector<SearchResult> out;
+  SearchStats local;
+  const size_t wpc = words_per_code_;
+  const uint64_t* qw = query.words().data();
+  // Sparse allowlists pay |allowed| hash lookups + popcounts; dense ones
+  // are cheaper as one flat scan with a sorted-membership check.
+  if (allowed.size() * 4 < ids_.size()) {
+    for (ItemId id : allowed.ids()) {
+      auto it = pos_by_id_.find(id);
+      if (it == pos_by_id_.end()) continue;
+      ++local.candidates;
+      const uint32_t d = BoundedHamming(
+          flat_words_.data() + it->second * wpc, qw, wpc, radius);
+      if (d <= radius) out.push_back({id, d});
+    }
+  } else {
+    const uint64_t* row = flat_words_.data();
+    for (size_t i = 0; i < ids_.size(); ++i, row += wpc) {
+      if (!allowed.Contains(ids_[i])) continue;
+      ++local.candidates;
+      const uint32_t d = BoundedHamming(row, qw, wpc, radius);
+      if (d <= radius) out.push_back({ids_[i], d});
+    }
+  }
+  std::sort(out.begin(), out.end(), ResultLess);
+  local.results = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<SearchResult> LinearScanIndex::KnnSearchIn(
+    const BinaryCode& query, size_t k, const CandidateSet& allowed,
+    SearchStats* stats) const {
+  std::vector<SearchResult> best;  // sorted top-k under (distance, id)
+  SearchStats local;
+  if (k == 0) {
+    if (stats != nullptr) *stats = local;
+    return best;
+  }
+  const size_t wpc = words_per_code_;
+  const uint64_t* qw = query.words().data();
+  auto consider = [&](ItemId id, size_t pos) {
+    ++local.candidates;
+    const uint32_t bound = best.size() < k
+                               ? static_cast<uint32_t>(code_bits_)
+                               : best.back().distance;
+    const uint32_t d =
+        BoundedHamming(flat_words_.data() + pos * wpc, qw, wpc, bound);
+    if (d > bound) return;
+    const SearchResult candidate{id, d};
+    if (best.size() >= k) {
+      if (!ResultLess(candidate, best.back())) return;
+      best.pop_back();
+    }
+    best.insert(
+        std::lower_bound(best.begin(), best.end(), candidate, ResultLess),
+        candidate);
+  };
+  if (allowed.size() * 4 < ids_.size()) {
+    for (ItemId id : allowed.ids()) {
+      auto it = pos_by_id_.find(id);
+      if (it != pos_by_id_.end()) consider(id, it->second);
+    }
+  } else {
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      if (allowed.Contains(ids_[i])) consider(ids_[i], i);
+    }
+  }
+  local.results = best.size();
+  if (stats != nullptr) *stats = local;
+  return best;
 }
 
 void FloatLinearScan::Add(ItemId id, const Tensor& vec) {

@@ -2,6 +2,7 @@
 #define AGORAEO_INDEX_LINEAR_SCAN_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "index/hamming_index.h"
@@ -33,6 +34,17 @@ class LinearScanIndex : public HammingIndex {
       ThreadPool* pool = nullptr,
       std::vector<SearchStats>* stats = nullptr) const override;
 
+  /// Candidate-driven restricted searches: for a selective allowlist the
+  /// scan touches only the allowed items' codes (O(|allowed|) popcounts
+  /// instead of O(n)); a dense allowlist falls back to the full scan
+  /// with a membership check.
+  std::vector<SearchResult> RadiusSearchIn(
+      const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> KnnSearchIn(
+      const BinaryCode& query, size_t k, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const override;
+
   size_t size() const override { return ids_.size(); }
   std::string Name() const override { return "LinearScan"; }
 
@@ -50,6 +62,9 @@ class LinearScanIndex : public HammingIndex {
 
   std::vector<ItemId> ids_;
   std::vector<BinaryCode> codes_;
+  /// ItemId -> position in ids_/codes_, for the candidate-driven
+  /// restricted scans (first position wins should an id be re-added).
+  std::unordered_map<ItemId, size_t> pos_by_id_;
   /// Contiguous mirror of every code's words ([n, words_per_code_]
   /// row-major).  The batched kernels stream this flat array instead of
   /// chasing each BinaryCode's heap buffer, which is where the batch

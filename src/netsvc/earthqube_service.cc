@@ -1,5 +1,6 @@
 #include "netsvc/earthqube_service.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "json/json.h"
@@ -12,7 +13,12 @@ using earthqube::EarthQubeQuery;
 using earthqube::GeoQuery;
 using earthqube::LabelFilter;
 using earthqube::LabelOperator;
+using earthqube::PlannerMode;
+using earthqube::Projection;
+using earthqube::QueryRequest;
+using earthqube::QueryResponse;
 using earthqube::SearchResponse;
+using earthqube::SimilaritySpec;
 
 namespace {
 
@@ -22,6 +28,27 @@ StatusOr<double> NumberField(const Document& doc, const std::string& path) {
     return Status::InvalidArgument("missing numeric field: " + path);
   }
   return v->as_number();
+}
+
+/// Reads an optional non-negative integer field; malformed or negative
+/// values are rejected (the v1 endpoints used to clamp silently).
+StatusOr<int64_t> NonNegativeField(const Document& doc, const std::string& key,
+                                   int64_t default_value) {
+  const Value* v = doc.Get(key);
+  if (v == nullptr) return default_value;
+  if (!v->is_int64() || v->as_int64() < 0) {
+    return Status::InvalidArgument(key + " must be a non-negative integer");
+  }
+  return v->as_int64();
+}
+
+/// Maps a facade error onto the shared JSON error envelope.
+HttpResponse FromStatus(const Status& status) {
+  if (status.IsNotFound()) return HttpResponse::NotFound(status.message());
+  if (status.IsInvalidArgument()) {
+    return HttpResponse::BadRequest(status.message());
+  }
+  return HttpResponse::InternalError(status.message());
 }
 
 StatusOr<GeoQuery> GeoFromJson(const Document& geo) {
@@ -100,7 +127,7 @@ StatusOr<LabelFilter> LabelsFromJson(const Document& labels) {
   return Status::InvalidArgument("unknown label operator: " + op_name);
 }
 
-std::string EntryToJsonValue(const earthqube::ResultEntry& entry) {
+Document EntryToJsonDoc(const earthqube::ResultEntry& entry) {
   Document d;
   d.Set("name", Value(entry.name));
   std::vector<Value> labels;
@@ -112,7 +139,26 @@ std::string EntryToJsonValue(const earthqube::ResultEntry& entry) {
   d.Set("date", Value(entry.acquisition_date));
   d.Set("lat", Value(entry.map_location.lat));
   d.Set("lon", Value(entry.map_location.lon));
-  return json::Serialize(d);
+  return d;
+}
+
+/// Serialises the label-statistics bars as the contents of a JSON array
+/// (shared between the v1 and v2 response shapes).
+std::string LabelStatisticsToJson(const earthqube::LabelStatistics& stats) {
+  std::string out;
+  bool first = true;
+  for (const earthqube::LabelBar& bar : stats.bars()) {
+    if (!first) out += ",";
+    first = false;
+    char color[16];
+    std::snprintf(color, sizeof(color), "#%06X", bar.color_rgb & 0xFFFFFF);
+    Document d;
+    d.Set("label", Value(bar.label_name));
+    d.Set("count", Value(static_cast<int64_t>(bar.count)));
+    d.Set("color", Value(std::string(color)));
+    out += json::Serialize(d);
+  }
+  return out;
 }
 
 }  // namespace
@@ -151,6 +197,9 @@ StatusOr<EarthQubeQuery> EarthQubeService::QueryFromJson(
       if (!s.is_string()) {
         return Status::InvalidArgument("satellite entries must be strings");
       }
+      if (s.as_string() != "S2A" && s.as_string() != "S2B") {
+        return Status::InvalidArgument("unknown satellite: " + s.as_string());
+      }
       query.satellites.push_back(s.as_string());
     }
   }
@@ -174,13 +223,110 @@ StatusOr<EarthQubeQuery> EarthQubeService::QueryFromJson(
     AGORAEO_ASSIGN_OR_RETURN(query.label_filter,
                              LabelsFromJson(labels->as_document()));
   }
-  if (const Value* limit = body.Get("limit"); limit != nullptr) {
-    if (!limit->is_int64() || limit->as_int64() < 0) {
-      return Status::InvalidArgument("limit must be a non-negative integer");
-    }
-    query.limit = static_cast<size_t>(limit->as_int64());
-  }
+  AGORAEO_ASSIGN_OR_RETURN(const int64_t limit,
+                           NonNegativeField(body, "limit", 0));
+  query.limit = static_cast<size_t>(limit);
   return query;
+}
+
+StatusOr<QueryRequest> EarthQubeService::QueryRequestFromJson(
+    const Document& body) {
+  QueryRequest request;
+  if (const Value* panel = body.Get("panel"); panel != nullptr) {
+    if (!panel->is_document()) {
+      return Status::InvalidArgument("panel must be an object");
+    }
+    AGORAEO_ASSIGN_OR_RETURN(request.panel,
+                             QueryFromJson(panel->as_document()));
+  }
+  if (const Value* sim = body.Get("similarity"); sim != nullptr) {
+    if (!sim->is_document()) {
+      return Status::InvalidArgument("similarity must be an object");
+    }
+    const Document& s = sim->as_document();
+    SimilaritySpec spec;
+    if (const Value* name = s.Get("name"); name != nullptr) {
+      if (!name->is_string()) {
+        return Status::InvalidArgument("similarity.name must be a string");
+      }
+      spec.archive_name = name->as_string();
+    }
+    if (const Value* code = s.Get("code"); code != nullptr) {
+      if (!code->is_string() || code->as_string().empty()) {
+        return Status::InvalidArgument(
+            "similarity.code must be a non-empty '0'/'1' bit string");
+      }
+      for (char c : code->as_string()) {
+        if (c != '0' && c != '1') {
+          return Status::InvalidArgument(
+              "similarity.code must contain only '0'/'1' characters");
+        }
+      }
+      spec.code = BinaryCode::FromBitString(code->as_string());
+    }
+    if (s.Has("radius")) {
+      AGORAEO_ASSIGN_OR_RETURN(const int64_t radius,
+                               NonNegativeField(s, "radius", 0));
+      spec.radius = static_cast<uint32_t>(radius);
+    }
+    if (s.Has("k")) {
+      AGORAEO_ASSIGN_OR_RETURN(const int64_t k, NonNegativeField(s, "k", 0));
+      spec.k = static_cast<size_t>(k);
+    }
+    // v1-compatible default mode.
+    if (!spec.radius.has_value() && !spec.k.has_value()) spec.radius = 8;
+    AGORAEO_ASSIGN_OR_RETURN(const int64_t limit,
+                             NonNegativeField(s, "limit", 0));
+    spec.limit = static_cast<size_t>(limit);
+    request.similarity = std::move(spec);
+  }
+  if (const Value* projection = body.Get("projection"); projection != nullptr) {
+    if (!projection->is_string()) {
+      return Status::InvalidArgument("projection must be a string");
+    }
+    if (projection->as_string() == "full") {
+      request.projection = Projection::kFullPanel;
+    } else if (projection->as_string() == "hits") {
+      request.projection = Projection::kHitsOnly;
+    } else {
+      return Status::InvalidArgument(
+          "projection must be \"full\" or \"hits\"");
+    }
+  }
+  if (const Value* planner = body.Get("planner"); planner != nullptr) {
+    if (!planner->is_string()) {
+      return Status::InvalidArgument("planner must be a string");
+    }
+    if (planner->as_string() == "auto") {
+      request.planner = PlannerMode::kAuto;
+    } else if (planner->as_string() == "pre_filter") {
+      request.planner = PlannerMode::kForcePreFilter;
+    } else if (planner->as_string() == "post_filter") {
+      request.planner = PlannerMode::kForcePostFilter;
+    } else {
+      return Status::InvalidArgument(
+          "planner must be \"auto\", \"pre_filter\" or \"post_filter\"");
+    }
+  }
+  AGORAEO_ASSIGN_OR_RETURN(const int64_t page,
+                           NonNegativeField(body, "page", 0));
+  request.page = static_cast<size_t>(page);
+  AGORAEO_ASSIGN_OR_RETURN(
+      const int64_t page_size,
+      NonNegativeField(body, "page_size",
+                       static_cast<int64_t>(earthqube::kPageSize)));
+  request.page_size = static_cast<size_t>(page_size);
+  if (const Value* cursor = body.Get("cursor"); cursor != nullptr) {
+    if (!cursor->is_string()) {
+      return Status::InvalidArgument("cursor must be a string");
+    }
+    AGORAEO_ASSIGN_OR_RETURN(const earthqube::PageCursor decoded,
+                             earthqube::DecodeCursor(cursor->as_string()));
+    request.page = decoded.page;
+    request.page_size = decoded.page_size;
+  }
+  AGORAEO_RETURN_IF_ERROR(request.Validate());
+  return request;
 }
 
 std::string EarthQubeService::ResponseToJson(const SearchResponse& response,
@@ -192,28 +338,84 @@ std::string EarthQubeService::ResponseToJson(const SearchResponse& response,
   for (const earthqube::ResultEntry* entry : response.panel.Page(page)) {
     if (!first) out += ",";
     first = false;
-    out += EntryToJsonValue(*entry);
+    out += json::Serialize(EntryToJsonDoc(*entry));
   }
   out += "],\"label_statistics\":[";
-  first = true;
-  for (const earthqube::LabelBar& bar : response.statistics.bars()) {
-    if (!first) out += ",";
-    first = false;
-    char color[16];
-    std::snprintf(color, sizeof(color), "#%06X", bar.color_rgb & 0xFFFFFF);
-    Document d;
-    d.Set("label", Value(bar.label_name));
-    d.Set("count", Value(static_cast<int64_t>(bar.count)));
-    d.Set("color", Value(std::string(color)));
-    out += json::Serialize(d);
+  out += LabelStatisticsToJson(response.statistics);
+  // The v2 continuation cursor, also served on v1 search responses so
+  // clients can page without recomputing offsets.
+  out += "],\"cursor\":\"";
+  if ((page + 1) * earthqube::kPageSize < response.panel.total()) {
+    out += earthqube::EncodeCursor({page + 1, earthqube::kPageSize});
   }
-  out += "]}";
+  out += "\"}";
+  return out;
+}
+
+std::string EarthQubeService::QueryResponseToJson(
+    const QueryResponse& response) {
+  Document plan;
+  plan.Set("strategy", Value(std::string(earthqube::StrategyToString(
+                           response.plan.strategy))));
+  plan.Set("description", Value(response.plan.description));
+  plan.Set("selectivity", Value(response.plan.estimated_selectivity));
+  plan.Set("estimated_matches",
+           Value(static_cast<int64_t>(response.plan.estimated_filter_matches)));
+
+  const size_t total = response.total();
+  size_t begin = 0;
+  size_t end = total;
+  if (response.page_size > 0) {
+    begin = std::min(total, response.page * response.page_size);
+    end = std::min(total, begin + response.page_size);
+  }
+
+  std::string out = "{\"total\":" + std::to_string(total) +
+                    ",\"page\":" + std::to_string(response.page) +
+                    ",\"page_size\":" + std::to_string(response.page_size) +
+                    ",\"plan\":" + json::Serialize(plan) + ",\"results\":[";
+  bool first = true;
+  if (response.projection == Projection::kHitsOnly) {
+    for (size_t i = begin; i < end; ++i) {
+      if (!first) out += ",";
+      first = false;
+      Document d;
+      d.Set("name", Value(response.hits[i].patch_name));
+      d.Set("distance",
+            Value(static_cast<int64_t>(response.hits[i].hamming_distance)));
+      out += json::Serialize(d);
+    }
+  } else {
+    const auto& entries = response.panel.entries();
+    // Joined similarity responses keep entries aligned with hits, so
+    // each result row can carry its Hamming distance.
+    const bool aligned = response.hits.size() == entries.size();
+    for (size_t i = begin; i < end; ++i) {
+      if (!first) out += ",";
+      first = false;
+      Document d = EntryToJsonDoc(entries[i]);
+      if (aligned && !response.hits.empty()) {
+        d.Set("distance",
+              Value(static_cast<int64_t>(response.hits[i].hamming_distance)));
+      }
+      out += json::Serialize(d);
+    }
+  }
+  out += "]";
+  if (response.projection == Projection::kFullPanel) {
+    out += ",\"label_statistics\":[" +
+           LabelStatisticsToJson(response.statistics) + "]";
+  }
+  out += ",\"cursor\":\"" + response.cursor + "\"}";
   return out;
 }
 
 void EarthQubeService::RegisterRoutes(HttpServer* server) {
   server->Route("GET", "/health", [](const HttpRequest&) {
     return HttpResponse::Json(200, "{\"status\":\"ok\"}");
+  });
+  server->Route("POST", "/api/v2/query", [this](const HttpRequest& request) {
+    return HandleQueryV2(request);
   });
   server->Route("POST", "/api/search", [this](const HttpRequest& request) {
     return HandleSearch(request);
@@ -242,20 +444,61 @@ void EarthQubeService::RegisterRoutes(HttpServer* server) {
   });
 }
 
+HttpResponse EarthQubeService::HandleQueryV2(const HttpRequest& request) const {
+  auto body = json::ParseObject(request.body.empty() ? "{}" : request.body);
+  if (!body.ok()) return HttpResponse::BadRequest(body.status().message());
+
+  if (const Value* batch = body->Get("requests"); batch != nullptr) {
+    if (!batch->is_array() || batch->as_array().empty()) {
+      return HttpResponse::BadRequest("requests must be a non-empty array");
+    }
+    if (batch->as_array().size() > kMaxBatchQueries) {
+      return HttpResponse::BadRequest(
+          "batch too large: at most " + std::to_string(kMaxBatchQueries) +
+          " requests per submission");
+    }
+    std::vector<QueryRequest> requests;
+    requests.reserve(batch->as_array().size());
+    for (const Value& entry : batch->as_array()) {
+      if (!entry.is_document()) {
+        return HttpResponse::BadRequest("requests entries must be objects");
+      }
+      auto parsed = QueryRequestFromJson(entry.as_document());
+      if (!parsed.ok()) return FromStatus(parsed.status());
+      requests.push_back(std::move(parsed).value());
+    }
+    auto responses = system_->ExecuteBatch(requests);
+    if (!responses.ok()) return FromStatus(responses.status());
+    std::string out =
+        "{\"batch_size\":" + std::to_string(responses->size()) +
+        ",\"responses\":[";
+    for (size_t i = 0; i < responses->size(); ++i) {
+      if (i != 0) out += ",";
+      out += QueryResponseToJson((*responses)[i]);
+    }
+    out += "]}";
+    return HttpResponse::Json(200, out);
+  }
+
+  auto parsed = QueryRequestFromJson(*body);
+  if (!parsed.ok()) return FromStatus(parsed.status());
+  auto response = system_->Execute(*parsed);
+  if (!response.ok()) return FromStatus(response.status());
+  return HttpResponse::Json(200, QueryResponseToJson(*response));
+}
+
 HttpResponse EarthQubeService::HandleSearch(const HttpRequest& request) const {
   auto body = json::ParseObject(request.body.empty() ? "{}" : request.body);
   if (!body.ok()) return HttpResponse::BadRequest(body.status().message());
   auto query = QueryFromJson(*body);
   if (!query.ok()) return HttpResponse::BadRequest(query.status().message());
+  // Malformed paging is a client error, not something to clamp away.
+  auto page = NonNegativeField(*body, "page", 0);
+  if (!page.ok()) return HttpResponse::BadRequest(page.status().message());
   auto response = system_->Search(*query);
-  if (!response.ok()) {
-    return HttpResponse::InternalError(response.status().message());
-  }
-  size_t page = 0;
-  if (const Value* p = body->Get("page"); p != nullptr && p->is_int64()) {
-    page = static_cast<size_t>(std::max<int64_t>(0, p->as_int64()));
-  }
-  return HttpResponse::Json(200, ResponseToJson(*response, page));
+  if (!response.ok()) return FromStatus(response.status());
+  return HttpResponse::Json(
+      200, ResponseToJson(*response, static_cast<size_t>(*page)));
 }
 
 HttpResponse EarthQubeService::HandleSimilarByName(
@@ -266,31 +509,31 @@ HttpResponse EarthQubeService::HandleSimilarByName(
   if (name == nullptr || !name->is_string()) {
     return HttpResponse::BadRequest("name is required");
   }
-  // Same negative-value clamping as the batch endpoint, so the two
-  // interpret identical JSON fields identically.
-  StatusOr<SearchResponse> response = Status::InvalidArgument("unreachable");
-  if (const Value* k = body->Get("k"); k != nullptr && k->is_int64()) {
-    response = system_->NearestToArchiveImage(
-        name->as_string(),
-        static_cast<size_t>(std::max<int64_t>(0, k->as_int64())));
+  QueryRequest unified;
+  unified.page_size = 0;  // v1 similarity responses are unpaged
+  // v1 precedence: "k" selects k-NN and wins over "radius".
+  if (body->Has("k")) {
+    auto k = NonNegativeField(*body, "k", 0);
+    if (!k.ok()) return HttpResponse::BadRequest(k.status().message());
+    unified.similarity = SimilaritySpec::NameKnn(
+        name->as_string(), static_cast<size_t>(*k));
   } else {
-    uint32_t radius = 8;
-    if (const Value* r = body->Get("radius"); r != nullptr && r->is_int64()) {
-      radius = static_cast<uint32_t>(std::max<int64_t>(0, r->as_int64()));
+    auto radius = NonNegativeField(*body, "radius", 8);
+    if (!radius.ok()) {
+      return HttpResponse::BadRequest(radius.status().message());
     }
-    size_t limit = 0;
-    if (const Value* l = body->Get("limit"); l != nullptr && l->is_int64()) {
-      limit = static_cast<size_t>(std::max<int64_t>(0, l->as_int64()));
-    }
-    response =
-        system_->SimilarToArchiveImage(name->as_string(), radius, limit);
+    auto limit = NonNegativeField(*body, "limit", 0);
+    if (!limit.ok()) return HttpResponse::BadRequest(limit.status().message());
+    unified.similarity = SimilaritySpec::NameRadius(
+        name->as_string(), static_cast<uint32_t>(*radius),
+        static_cast<size_t>(*limit));
   }
-  if (!response.ok()) {
-    const Status& s = response.status();
-    return s.IsNotFound() ? HttpResponse::NotFound(s.message())
-                          : HttpResponse::InternalError(s.message());
-  }
-  return HttpResponse::Json(200, ResponseToJson(*response, 0));
+  auto response = system_->Execute(unified);
+  if (!response.ok()) return FromStatus(response.status());
+  const SearchResponse v1{std::move(response->panel),
+                          std::move(response->statistics),
+                          std::move(response->query_stats)};
+  return HttpResponse::Json(200, ResponseToJson(v1, 0));
 }
 
 HttpResponse EarthQubeService::HandleBatchSearch(
@@ -315,27 +558,38 @@ HttpResponse EarthQubeService::HandleBatchSearch(
     queries.push_back(n.as_string());
   }
 
-  StatusOr<std::vector<std::vector<earthqube::CbirResult>>> batch =
-      Status::InvalidArgument("unreachable");
-  if (const Value* k = body->Get("k"); k != nullptr && k->is_int64()) {
-    batch = system_->BatchNearestToArchiveImages(
-        queries, static_cast<size_t>(std::max<int64_t>(0, k->as_int64())));
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  if (body->Has("k")) {
+    auto k = NonNegativeField(*body, "k", 0);
+    if (!k.ok()) return HttpResponse::BadRequest(k.status().message());
+    for (const std::string& query : queries) {
+      QueryRequest unified;
+      unified.similarity =
+          SimilaritySpec::NameKnn(query, static_cast<size_t>(*k));
+      unified.projection = Projection::kHitsOnly;
+      unified.page_size = 0;
+      requests.push_back(std::move(unified));
+    }
   } else {
-    uint32_t radius = 8;
-    if (const Value* r = body->Get("radius"); r != nullptr && r->is_int64()) {
-      radius = static_cast<uint32_t>(std::max<int64_t>(0, r->as_int64()));
+    auto radius = NonNegativeField(*body, "radius", 8);
+    if (!radius.ok()) {
+      return HttpResponse::BadRequest(radius.status().message());
     }
-    size_t limit = 0;
-    if (const Value* l = body->Get("limit"); l != nullptr && l->is_int64()) {
-      limit = static_cast<size_t>(std::max<int64_t>(0, l->as_int64()));
+    auto limit = NonNegativeField(*body, "limit", 0);
+    if (!limit.ok()) return HttpResponse::BadRequest(limit.status().message());
+    for (const std::string& query : queries) {
+      QueryRequest unified;
+      unified.similarity = SimilaritySpec::NameRadius(
+          query, static_cast<uint32_t>(*radius), static_cast<size_t>(*limit));
+      unified.projection = Projection::kHitsOnly;
+      unified.page_size = 0;
+      requests.push_back(std::move(unified));
     }
-    batch = system_->BatchSimilarToArchiveImages(queries, radius, limit);
   }
-  if (!batch.ok()) {
-    const Status& s = batch.status();
-    return s.IsNotFound() ? HttpResponse::NotFound(s.message())
-                          : HttpResponse::InternalError(s.message());
-  }
+
+  auto batch = system_->ExecuteBatch(requests);
+  if (!batch.ok()) return FromStatus(batch.status());
 
   Document out;
   out.Set("batch_size", Value(static_cast<int64_t>(queries.size())));
@@ -345,8 +599,8 @@ HttpResponse EarthQubeService::HandleBatchSearch(
     Document entry;
     entry.Set("query", Value(queries[i]));
     std::vector<Value> hits;
-    hits.reserve((*batch)[i].size());
-    for (const earthqube::CbirResult& hit : (*batch)[i]) {
+    hits.reserve((*batch)[i].hits.size());
+    for (const earthqube::CbirResult& hit : (*batch)[i].hits) {
       Document h;
       h.Set("name", Value(hit.patch_name));
       h.Set("distance", Value(static_cast<int64_t>(hit.hamming_distance)));
@@ -387,11 +641,7 @@ HttpResponse EarthQubeService::HandleDownload(
     list.push_back(n.as_string());
   }
   auto zip = system_->ExportAsZip(list);
-  if (!zip.ok()) {
-    const Status& s = zip.status();
-    return s.IsNotFound() ? HttpResponse::NotFound(s.message())
-                          : HttpResponse::InternalError(s.message());
-  }
+  if (!zip.ok()) return FromStatus(zip.status());
   // The browser downloads binary; the JSON API ships it base64-tagged.
   Document out;
   out.Set("filename", Value("earthqube_download.zip"));

@@ -15,45 +15,64 @@ namespace agoraeo::netsvc {
 /// facade:
 ///
 ///   GET  /health                         liveness probe
-///   POST /api/search                     query-panel submission
-///   POST /api/similar/by_name            CBIR from an archive image
-///   POST /cbir/batch_search              batched CBIR (many queries at once)
+///   POST /api/v2/query                   unified query API (see below)
+///   POST /api/search                     [v1, deprecated] query panel
+///   POST /api/similar/by_name            [v1, deprecated] CBIR by name
+///   POST /cbir/batch_search              [v1, deprecated] batched CBIR
 ///   POST /api/download                   zip export of named images
 ///   POST /api/feedback                   anonymous feedback text
 ///   GET  /api/feedback/count
 ///   GET  /api/patch/<name>               one image's metadata
 ///
-/// /api/search request body (all fields optional):
+/// The v1 routes are thin shims over the same EarthQube::Execute path
+/// that serves /api/v2/query and are kept for compatibility; new
+/// clients should use v2.
+///
+/// /api/v2/query request body — one schema covers panel-only,
+/// CBIR-only, hybrid (panel ∧ similarity) and batch submissions:
 ///   {
-///     "geo": {"rect": {"min_lat":..,"min_lon":..,"max_lat":..,"max_lon":..}}
-///          | {"circle": {"lat":..,"lon":..,"radius_m":..}}
-///          | {"polygon": [[lat,lon],...]},
-///     "date_range": {"begin": "YYYY-MM-DD", "end": "YYYY-MM-DD"},
-///     "satellites": ["S2A","S2B"],
-///     "seasons": ["Summer","Autumn"],
-///     "labels": {"operator": "some"|"exactly"|"at_least_and_more",
-///                "names": ["Airports", ...]},
-///     "limit": 100, "page": 0
+///     "panel": {            // optional metadata restrictions
+///       "geo": {"rect": {...}} | {"circle": {...}} | {"polygon": [...]},
+///       "date_range": {"begin": "YYYY-MM-DD", "end": "YYYY-MM-DD"},
+///       "satellites": ["S2A","S2B"],
+///       "seasons": ["Summer","Autumn"],
+///       "labels": {"operator": "some"|"exactly"|"at_least_and_more",
+///                  "names": [...]},
+///       "limit": 100
+///     },
+///     "similarity": {       // optional similarity restriction
+///       "name": "<archive image>" | "code": "<'0'/'1' bit string>",
+///       "radius": 8 | "k": 20,   // both together -> 400 (default radius 8)
+///       "limit": 50
+///     },
+///     "projection": "full" | "hits",        // default "full"
+///     "planner": "auto" | "pre_filter" | "post_filter",  // default auto
+///     "page": 0, "page_size": 50,
+///     "cursor": "<continuation token>"      // overrides page/page_size
 ///   }
+/// Batch flavour: {"requests": [<single bodies>, ...]} (at most
+/// kMaxBatchQueries).
 ///
-/// /api/similar/by_name body: {"name": "...", "radius": 8, "limit": 50}
-/// (or {"name": "...", "k": 20} for k-NN).
+/// /api/v2/query response:
+///   {"total": N, "page": 0, "page_size": 50, "cursor": "<token>"|"",
+///    "plan": {"strategy": "panel_only"|"cbir_only"|"pre_filter"|
+///             "post_filter", "description": "...", "selectivity": 0.03,
+///             "estimated_matches": 123},
+///    "results": [{"name",...,"distance"?}, ...],
+///    "label_statistics": [{"label","count","color"}, ...]}
+/// Hits-only projection drops the metadata join: results are
+/// [{"name","distance"}, ...] and label_statistics is omitted.  Batch
+/// responses: {"batch_size": N, "responses": [<single responses>]}.
 ///
-/// /cbir/batch_search body:
-///   {"names": ["...", ...], "radius": 8, "limit": 50}
-/// or {"names": ["...", ...], "k": 20} for k-NN.  All queries of the
-/// batch share one thread-parallel index pass.  Response:
-///   {"batch_size": N, "results": [
-///     {"query": "...", "hits": [{"name": "...", "distance": D}, ...]},
-///     ...]}
-/// 404 when any queried name is not in the archive; 400 when the batch
-/// exceeds kMaxBatchQueries (one request must not monopolize the
-/// shared query pool).
+/// Every endpoint answers errors with the shared JSON envelope
+/// {"error": {"code": "...", "message": "..."}} (HttpResponse::Error).
 ///
-/// Search/similar responses:
-///   {"total": N, "page": 0, "plan": "IXSCAN(...)",
-///    "results": [{"name","labels":[..],"country","date","lat","lon"}...],
-///    "label_statistics": [{"label","count","color"}...]}
+/// v1 bodies (unchanged): /api/search takes the "panel" fields at the
+/// top level plus "page"; /api/similar/by_name takes {"name", "radius"
+/// | "k", "limit"}; /cbir/batch_search takes {"names": [...], "radius"
+/// | "k", "limit"}.  v1 search responses now carry the v2 continuation
+/// "cursor", and malformed "page"/"limit" values are rejected (400)
+/// instead of clamped.
 class EarthQubeService {
  public:
   /// `system` must outlive the service and the server.
@@ -62,7 +81,8 @@ class EarthQubeService {
   /// Registers every endpoint on `server` (call before server->Start()).
   void RegisterRoutes(HttpServer* server);
 
-  /// Largest accepted /cbir/batch_search batch.
+  /// Largest accepted batch (/cbir/batch_search names and /api/v2/query
+  /// requests).
   static constexpr size_t kMaxBatchQueries = 1024;
 
   /// Translates a JSON search request body into a query-panel submission
@@ -70,11 +90,23 @@ class EarthQubeService {
   static StatusOr<earthqube::EarthQubeQuery> QueryFromJson(
       const docstore::Document& body);
 
-  /// Serialises a search response (exposed for tests).
+  /// Translates a /api/v2/query body into a unified request (exposed
+  /// for tests).  Parser-level and semantic validation errors both
+  /// surface as InvalidArgument.
+  static StatusOr<earthqube::QueryRequest> QueryRequestFromJson(
+      const docstore::Document& body);
+
+  /// Serialises a v1 search response (exposed for tests).  Emits the v2
+  /// continuation cursor when further kPageSize pages remain.
   static std::string ResponseToJson(const earthqube::SearchResponse& response,
                                     size_t page);
 
+  /// Serialises a v2 response (exposed for tests).
+  static std::string QueryResponseToJson(
+      const earthqube::QueryResponse& response);
+
  private:
+  HttpResponse HandleQueryV2(const HttpRequest& request) const;
   HttpResponse HandleSearch(const HttpRequest& request) const;
   HttpResponse HandleSimilarByName(const HttpRequest& request) const;
   HttpResponse HandleBatchSearch(const HttpRequest& request) const;

@@ -76,22 +76,63 @@ HttpResponse HttpResponse::Text(int code, std::string text_body) {
   return r;
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+HttpResponse HttpResponse::Error(int status, const std::string& code,
+                                 const std::string& message) {
+  return Json(status, "{\"error\":{\"code\":\"" + JsonEscape(code) +
+                          "\",\"message\":\"" + JsonEscape(message) + "\"}}");
+}
+
 HttpResponse HttpResponse::NotFound(const std::string& what) {
-  return Json(404, "{\"error\":\"" + what + "\"}");
+  return Error(404, "not_found", what);
 }
 
 HttpResponse HttpResponse::BadRequest(const std::string& what) {
-  std::string safe = what;
-  std::replace(safe.begin(), safe.end(), '"', '\'');
-  std::replace(safe.begin(), safe.end(), '\n', ' ');
-  return Json(400, "{\"error\":\"" + safe + "\"}");
+  return Error(400, "bad_request", what);
 }
 
 HttpResponse HttpResponse::InternalError(const std::string& what) {
-  std::string safe = what;
-  std::replace(safe.begin(), safe.end(), '"', '\'');
-  std::replace(safe.begin(), safe.end(), '\n', ' ');
-  return Json(500, "{\"error\":\"" + safe + "\"}");
+  return Error(500, "internal_error", what);
+}
+
+HttpResponse HttpResponse::MethodNotAllowed(const std::string& what) {
+  return Error(405, "method_not_allowed", what);
 }
 
 std::string SerializeRequest(const HttpRequest& request,

@@ -30,9 +30,18 @@ struct HttpResponse {
 
   static HttpResponse Json(int code, std::string json_body);
   static HttpResponse Text(int code, std::string text_body);
+
+  /// The shared JSON error envelope every endpoint (v1 and v2) answers
+  /// errors with: {"error": {"code": "<machine code>", "message":
+  /// "<human text>"}} — `message` is JSON-escaped.
+  static HttpResponse Error(int status, const std::string& code,
+                            const std::string& message);
+
+  /// Canonical error shorthands over Error().
   static HttpResponse NotFound(const std::string& what);
   static HttpResponse BadRequest(const std::string& what);
   static HttpResponse InternalError(const std::string& what);
+  static HttpResponse MethodNotAllowed(const std::string& what);
 };
 
 /// Serialises a request/response with a Content-Length header and

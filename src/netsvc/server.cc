@@ -209,7 +209,8 @@ HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
   }
   if (best == nullptr) {
     return path_matched_any_method
-               ? HttpResponse::Json(405, "{\"error\":\"method not allowed\"}")
+               ? HttpResponse::MethodNotAllowed("method not allowed for " +
+                                                request.path)
                : HttpResponse::NotFound("no route for " + request.path);
   }
   try {

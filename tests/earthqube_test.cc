@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 
 #include "bigearthnet/archive_generator.h"
 #include "bigearthnet/feature_extractor.h"
@@ -686,6 +687,246 @@ TEST(ZipWriterTest, DeterministicOutput) {
     return zip.Finish();
   };
   EXPECT_EQ(build(), build());
+}
+
+// ---------------------------------------------------------------------------
+// Unified QueryRequest validation + paging cursor
+// ---------------------------------------------------------------------------
+
+TEST(QueryRequestTest, ValidationRules) {
+  QueryRequest empty;
+  EXPECT_TRUE(empty.Validate().IsInvalidArgument());
+
+  QueryRequest panel_only;
+  panel_only.panel = EarthQubeQuery{};
+  EXPECT_TRUE(panel_only.Validate().ok());
+
+  // Hits-only projection makes no sense without a similarity spec.
+  panel_only.projection = Projection::kHitsOnly;
+  EXPECT_TRUE(panel_only.Validate().IsInvalidArgument());
+
+  QueryRequest conflicting;
+  SimilaritySpec both = SimilaritySpec::NameRadius("x", 4);
+  both.k = 5;  // radius AND k
+  conflicting.similarity = both;
+  EXPECT_TRUE(conflicting.Validate().IsInvalidArgument());
+
+  SimilaritySpec no_mode;
+  no_mode.archive_name = "x";
+  conflicting.similarity = no_mode;
+  EXPECT_TRUE(conflicting.Validate().IsInvalidArgument());
+
+  SimilaritySpec two_subjects = SimilaritySpec::NameRadius("x", 4);
+  two_subjects.code = BinaryCode(32);
+  conflicting.similarity = two_subjects;
+  EXPECT_TRUE(conflicting.Validate().IsInvalidArgument());
+
+  QueryRequest ok;
+  ok.similarity = SimilaritySpec::NameKnn("x", 5);
+  EXPECT_TRUE(ok.Validate().ok());
+}
+
+TEST(QueryRequestTest, CursorRoundTrip) {
+  const std::string token = EncodeCursor({7, 25});
+  auto decoded = DecodeCursor(token);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->page, 7u);
+  EXPECT_EQ(decoded->page_size, 25u);
+
+  EXPECT_TRUE(DecodeCursor("not base64!").status().IsInvalidArgument());
+  EXPECT_TRUE(DecodeCursor("aGVsbG8=").status().IsInvalidArgument());
+  EXPECT_TRUE(DecodeCursor("").status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid (filter ∧ similarity) execution and the selectivity planner
+// ---------------------------------------------------------------------------
+
+/// A small EarthQube with a CBIR service of the given kind.  The MiLaN
+/// model stays untrained: hybrid parity and planner behaviour depend
+/// only on codes being deterministic, not on retrieval quality.
+class HybridFixture {
+ public:
+  explicit HybridFixture(CbirIndexKind kind) {
+    bigearthnet::ArchiveConfig config;
+    config.num_patches = 400;
+    config.seed = 17;
+    generator_ = std::make_unique<bigearthnet::ArchiveGenerator>(config);
+    auto archive = generator_->Generate();
+    if (!archive.ok()) std::abort();
+    archive_ = std::move(archive).value();
+
+    features_ = extractor_.ExtractArchive(archive_, *generator_, 2);
+    system_ = std::make_unique<EarthQube>();
+    if (!system_->IngestArchive(archive_).ok()) std::abort();
+
+    milan::MilanConfig mconfig;
+    mconfig.feature_dim = bigearthnet::kFeatureDim;
+    mconfig.hidden1 = 32;
+    mconfig.hidden2 = 16;
+    mconfig.hash_bits = 32;
+    mconfig.dropout = 0.0f;
+    auto cbir = std::make_unique<CbirService>(
+        std::make_unique<milan::MilanModel>(mconfig), &extractor_, kind);
+    std::vector<std::string> names;
+    for (const auto& p : archive_.patches) names.push_back(p.name);
+    if (!cbir->AddImages(names, features_).ok()) std::abort();
+    system_->AttachCbir(std::move(cbir));
+  }
+
+  EarthQube& system() { return *system_; }
+  const bigearthnet::Archive& archive() const { return archive_; }
+
+ private:
+  std::unique_ptr<bigearthnet::ArchiveGenerator> generator_;
+  bigearthnet::Archive archive_;
+  bigearthnet::FeatureExtractor extractor_;
+  Tensor features_;
+  std::unique_ptr<EarthQube> system_;
+};
+
+std::vector<std::pair<std::string, uint32_t>> HitList(
+    const QueryResponse& response) {
+  std::vector<std::pair<std::string, uint32_t>> out;
+  for (const CbirResult& hit : response.hits) {
+    out.emplace_back(hit.patch_name, hit.hamming_distance);
+  }
+  return out;
+}
+
+TEST(HybridPlannerTest, PreAndPostFilterParityOnAllIndexKinds) {
+  for (CbirIndexKind kind :
+       {CbirIndexKind::kHashTable, CbirIndexKind::kMultiIndex,
+        CbirIndexKind::kLinearScan, CbirIndexKind::kBkTree}) {
+    HybridFixture fixture(kind);
+    const std::string& query_name = fixture.archive().patches[3].name;
+
+    EarthQubeQuery panel;
+    panel.seasons = {Season::kSummer, Season::kAutumn};
+
+    std::vector<SimilaritySpec> specs = {
+        SimilaritySpec::NameRadius(query_name, 10),
+        SimilaritySpec::NameRadius(query_name, 14, /*limit=*/12),
+        SimilaritySpec::NameKnn(query_name, 9),
+    };
+    for (size_t s = 0; s < specs.size(); ++s) {
+      QueryRequest pre;
+      pre.panel = panel;
+      pre.similarity = specs[s];
+      pre.planner = PlannerMode::kForcePreFilter;
+      pre.page_size = 0;
+      QueryRequest post = pre;
+      post.planner = PlannerMode::kForcePostFilter;
+
+      auto pre_response = fixture.system().Execute(pre);
+      auto post_response = fixture.system().Execute(post);
+      ASSERT_TRUE(pre_response.ok()) << pre_response.status().ToString();
+      ASSERT_TRUE(post_response.ok()) << post_response.status().ToString();
+      EXPECT_EQ(pre_response->plan.strategy, QueryPlan::Strategy::kPreFilter);
+      EXPECT_EQ(post_response->plan.strategy,
+                QueryPlan::Strategy::kPostFilter);
+      EXPECT_EQ(HitList(*pre_response), HitList(*post_response))
+          << "kind " << static_cast<int>(kind) << " spec " << s;
+      // The joined panels agree too (same entries, same order).
+      ASSERT_EQ(pre_response->panel.total(), post_response->panel.total());
+      for (size_t i = 0; i < pre_response->panel.entries().size(); ++i) {
+        EXPECT_EQ(pre_response->panel.entries()[i].name,
+                  post_response->panel.entries()[i].name);
+      }
+    }
+  }
+}
+
+TEST(HybridPlannerTest, HybridRadiusEqualsFilterIntersection) {
+  HybridFixture fixture(CbirIndexKind::kHashTable);
+  EarthQube& system = fixture.system();
+  const std::string& query_name = fixture.archive().patches[10].name;
+
+  EarthQubeQuery panel;
+  panel.seasons = {Season::kWinter};
+
+  QueryRequest hybrid;
+  hybrid.panel = panel;
+  hybrid.similarity = SimilaritySpec::NameRadius(query_name, 12);
+  hybrid.page_size = 0;
+  auto response = system.Execute(hybrid);
+  ASSERT_TRUE(response.ok());
+
+  // Ground truth: CBIR radius hits intersected with the filter matches.
+  auto cbir_only = system.SimilarToArchiveImage(query_name, 12);
+  ASSERT_TRUE(cbir_only.ok());
+  auto filter_only = system.Search(panel);
+  ASSERT_TRUE(filter_only.ok());
+  std::set<std::string> allowed;
+  for (const auto& e : filter_only->panel.entries()) allowed.insert(e.name);
+
+  std::vector<std::string> expected;
+  for (const auto& e : cbir_only->panel.entries()) {
+    if (allowed.count(e.name)) expected.push_back(e.name);
+  }
+  std::vector<std::string> actual;
+  for (const CbirResult& hit : response->hits) {
+    actual.push_back(hit.patch_name);
+  }
+  EXPECT_EQ(actual, expected);
+  EXPECT_FALSE(response->plan.description.empty());
+}
+
+TEST(HybridPlannerTest, AutoPlannerFollowsSelectivityThreshold) {
+  HybridFixture fixture(CbirIndexKind::kLinearScan);
+  EarthQube& system = fixture.system();
+  const std::string& query_name = fixture.archive().patches[0].name;
+
+  // An unfiltered panel (selectivity ~1.0) must post-filter.
+  QueryRequest broad;
+  broad.panel = EarthQubeQuery{};
+  broad.similarity = SimilaritySpec::NameKnn(query_name, 5);
+  auto broad_response = system.Execute(broad);
+  ASSERT_TRUE(broad_response.ok());
+  EXPECT_EQ(broad_response->plan.strategy, QueryPlan::Strategy::kPostFilter);
+  EXPECT_GT(broad_response->plan.estimated_selectivity,
+            system.config().prefilter_selectivity_threshold);
+
+  // An exact-label-set panel (hash-indexed, few documents) should fall
+  // below the threshold and pre-filter.
+  EarthQubeQuery narrow_panel;
+  narrow_panel.label_filter =
+      LabelFilter::Exactly(fixture.archive().patches[0].labels);
+  QueryRequest narrow;
+  narrow.panel = narrow_panel;
+  narrow.similarity = SimilaritySpec::NameKnn(query_name, 5);
+  auto narrow_response = system.Execute(narrow);
+  ASSERT_TRUE(narrow_response.ok());
+  if (narrow_response->plan.estimated_selectivity <=
+      system.config().prefilter_selectivity_threshold) {
+    EXPECT_EQ(narrow_response->plan.strategy,
+              QueryPlan::Strategy::kPreFilter);
+  }
+}
+
+TEST(HybridPlannerTest, ExecutePagingAndCursor) {
+  HybridFixture fixture(CbirIndexKind::kHashTable);
+  EarthQube& system = fixture.system();
+
+  QueryRequest request;
+  request.panel = EarthQubeQuery{};
+  request.page_size = 30;
+  auto first = system.Execute(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->total(), fixture.archive().patches.size());
+  ASSERT_FALSE(first->cursor.empty());
+
+  auto cursor = DecodeCursor(first->cursor);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_EQ(cursor->page, 1u);
+  EXPECT_EQ(cursor->page_size, 30u);
+
+  // The final page carries no continuation cursor.
+  QueryRequest last = request;
+  last.page = (first->total() - 1) / 30;
+  auto last_response = system.Execute(last);
+  ASSERT_TRUE(last_response.ok());
+  EXPECT_TRUE(last_response->cursor.empty());
 }
 
 }  // namespace

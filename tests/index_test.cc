@@ -266,6 +266,121 @@ INSTANTIATE_TEST_SUITE_P(
                       EquivalenceParams{128, 400, 4},
                       EquivalenceParams{128, 400, 10}));
 
+// ---------------------------------------------------------------------------
+// Candidate-restricted search (the hybrid-query pre-filter leg)
+// ---------------------------------------------------------------------------
+
+/// Builds one index of each kind over the same clustered codes.
+struct AllKinds {
+  LinearScanIndex scan;
+  HammingHashTable table;
+  MultiIndexHashing mih{4};
+  BkTree bk;
+  std::vector<HammingIndex*> all;
+
+  AllKinds(size_t bits, size_t n_items, Rng* rng) {
+    std::vector<BinaryCode> centers;
+    for (int c = 0; c < 5; ++c) centers.push_back(RandomCode(bits, rng));
+    for (ItemId i = 0; i < n_items; ++i) {
+      const BinaryCode code =
+          Perturb(centers[i % centers.size()],
+                  rng->UniformInt(static_cast<uint32_t>(bits / 8)), rng);
+      for (HammingIndex* idx :
+           {static_cast<HammingIndex*>(&scan), static_cast<HammingIndex*>(&table),
+            static_cast<HammingIndex*>(&mih), static_cast<HammingIndex*>(&bk)}) {
+        // Not ASSERT_TRUE: gtest assertions only early-return inside the
+        // constructor instead of failing the test.
+        if (!idx->Add(i, code).ok()) std::abort();
+      }
+    }
+    all = {&scan, &table, &mih, &bk};
+  }
+};
+
+TEST(RestrictedSearchTest, RadiusSearchInEqualsPostFilteredRadiusSearch) {
+  Rng rng(77);
+  constexpr size_t kBits = 64;
+  constexpr size_t kItems = 300;
+  AllKinds kinds(kBits, kItems, &rng);
+
+  // Allowlists of varied density, including ids absent from the index.
+  for (double density : {0.02, 0.25, 0.9}) {
+    std::vector<ItemId> ids;
+    for (ItemId i = 0; i < kItems + 20; ++i) {
+      if (rng.Bernoulli(density)) ids.push_back(i);
+    }
+    const CandidateSet allowed(ids);
+    for (int q = 0; q < 8; ++q) {
+      const BinaryCode query = RandomCode(kBits, &rng);
+      for (HammingIndex* idx : kinds.all) {
+        auto expected = idx->RadiusSearch(query, 8);
+        expected.erase(
+            std::remove_if(expected.begin(), expected.end(),
+                           [&](const SearchResult& r) {
+                             return !allowed.Contains(r.id);
+                           }),
+            expected.end());
+        EXPECT_EQ(idx->RadiusSearchIn(query, 8, allowed), expected)
+            << idx->Name() << " density " << density << " query " << q;
+      }
+    }
+  }
+}
+
+TEST(RestrictedSearchTest, KnnSearchInReturnsNearestAllowed) {
+  Rng rng(78);
+  constexpr size_t kBits = 64;
+  constexpr size_t kItems = 250;
+  AllKinds kinds(kBits, kItems, &rng);
+
+  for (double density : {0.05, 0.5}) {
+    std::vector<ItemId> ids;
+    for (ItemId i = 0; i < kItems; ++i) {
+      if (rng.Bernoulli(density)) ids.push_back(i);
+    }
+    const CandidateSet allowed(ids);
+    for (int q = 0; q < 6; ++q) {
+      const BinaryCode query = RandomCode(kBits, &rng);
+      // Reference: rank everything, keep the first k allowed.
+      const size_t k = 9;
+      auto ranked = kinds.scan.KnnSearch(query, kItems);
+      std::vector<SearchResult> expected;
+      for (const SearchResult& r : ranked) {
+        if (expected.size() >= k) break;
+        if (allowed.Contains(r.id)) expected.push_back(r);
+      }
+      for (HammingIndex* idx : kinds.all) {
+        EXPECT_EQ(idx->KnnSearchIn(query, k, allowed), expected)
+            << idx->Name() << " density " << density << " query " << q;
+      }
+    }
+  }
+}
+
+TEST(RestrictedSearchTest, EmptyAndFullAllowlists) {
+  Rng rng(79);
+  constexpr size_t kBits = 32;
+  constexpr size_t kItems = 120;
+  AllKinds kinds(kBits, kItems, &rng);
+
+  std::vector<ItemId> everyone;
+  for (ItemId i = 0; i < kItems; ++i) everyone.push_back(i);
+  const CandidateSet all_ids(everyone);
+  const CandidateSet none;
+
+  const BinaryCode query = RandomCode(kBits, &rng);
+  for (HammingIndex* idx : kinds.all) {
+    EXPECT_TRUE(idx->RadiusSearchIn(query, 6, none).empty()) << idx->Name();
+    EXPECT_TRUE(idx->KnnSearchIn(query, 5, none).empty()) << idx->Name();
+    // A full allowlist restricts nothing.
+    EXPECT_EQ(idx->RadiusSearchIn(query, 6, all_ids),
+              idx->RadiusSearch(query, 6))
+        << idx->Name();
+    EXPECT_EQ(idx->KnnSearchIn(query, 5, all_ids), idx->KnnSearch(query, 5))
+        << idx->Name();
+  }
+}
+
 TEST(IndexStressTest, EmptyIndexReturnsNothing) {
   HammingHashTable table;
   MultiIndexHashing mih(4);

@@ -589,6 +589,346 @@ TEST(QueryFromJsonTest, SeasonsAndSatellites) {
   EXPECT_FALSE(EarthQubeService::QueryFromJson(
                    *json::ParseObject(R"({"limit":-3})"))
                    .ok());
+  // Unknown satellites are rejected, not silently matched against
+  // nothing.
+  EXPECT_FALSE(EarthQubeService::QueryFromJson(
+                   *json::ParseObject(R"({"satellites":["S3A"]})"))
+                   .ok());
+}
+
+// --- QueryRequestFromJson (v2) unit tests ------------------------------------
+
+TEST(QueryRequestFromJsonTest, EdgeCases) {
+  // Empty body: neither panel nor similarity.
+  EXPECT_TRUE(EarthQubeService::QueryRequestFromJson(*json::ParseObject("{}"))
+                  .status()
+                  .IsInvalidArgument());
+
+  // Malformed polygon with fewer than 3 vertices inside the panel.
+  EXPECT_FALSE(EarthQubeService::QueryRequestFromJson(*json::ParseObject(
+                   R"({"panel":{"geo":{"polygon":[[0,0],[1,1]]}}})"))
+                   .ok());
+
+  // Unknown season / satellite strings inside the panel.
+  EXPECT_FALSE(EarthQubeService::QueryRequestFromJson(*json::ParseObject(
+                   R"({"panel":{"seasons":["Monsoon"]}})"))
+                   .ok());
+  EXPECT_FALSE(EarthQubeService::QueryRequestFromJson(*json::ParseObject(
+                   R"({"panel":{"satellites":["Landsat"]}})"))
+                   .ok());
+
+  // Conflicting radius + k.
+  EXPECT_TRUE(EarthQubeService::QueryRequestFromJson(
+                  *json::ParseObject(
+                      R"({"similarity":{"name":"x","radius":4,"k":5}})"))
+                  .status()
+                  .IsInvalidArgument());
+
+  // Two similarity subjects.
+  EXPECT_TRUE(EarthQubeService::QueryRequestFromJson(
+                  *json::ParseObject(
+                      R"({"similarity":{"name":"x","code":"0101","k":5}})"))
+                  .status()
+                  .IsInvalidArgument());
+
+  // Invalid bit-string code.
+  EXPECT_TRUE(EarthQubeService::QueryRequestFromJson(
+                  *json::ParseObject(R"({"similarity":{"code":"01a1","k":5}})"))
+                  .status()
+                  .IsInvalidArgument());
+
+  // Hits projection without similarity.
+  EXPECT_TRUE(EarthQubeService::QueryRequestFromJson(
+                  *json::ParseObject(R"({"panel":{},"projection":"hits"})"))
+                  .status()
+                  .IsInvalidArgument());
+
+  // Negative paging values are rejected, not clamped.
+  EXPECT_TRUE(EarthQubeService::QueryRequestFromJson(
+                  *json::ParseObject(R"({"panel":{},"page":-1})"))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(EarthQubeService::QueryRequestFromJson(
+                  *json::ParseObject(
+                      R"({"similarity":{"name":"x","k":-2}})"))
+                  .status()
+                  .IsInvalidArgument());
+
+  // Unknown planner / projection values.
+  EXPECT_FALSE(EarthQubeService::QueryRequestFromJson(
+                   *json::ParseObject(R"({"panel":{},"planner":"magic"})"))
+                   .ok());
+  EXPECT_FALSE(EarthQubeService::QueryRequestFromJson(
+                   *json::ParseObject(R"({"panel":{},"projection":"csv"})"))
+                   .ok());
+}
+
+TEST(QueryRequestFromJsonTest, DefaultsAndCursor) {
+  // A bare similarity name defaults to radius 8 (the v1 default).
+  auto req = EarthQubeService::QueryRequestFromJson(
+      *json::ParseObject(R"({"similarity":{"name":"x"}})"));
+  ASSERT_TRUE(req.ok());
+  ASSERT_TRUE(req->similarity->radius.has_value());
+  EXPECT_EQ(*req->similarity->radius, 8u);
+
+  // A cursor token overrides page/page_size.
+  const std::string token = earthqube::EncodeCursor({3, 20});
+  auto paged = EarthQubeService::QueryRequestFromJson(*json::ParseObject(
+      R"({"panel":{},"page":0,"page_size":50,"cursor":")" + token + "\"}"));
+  ASSERT_TRUE(paged.ok());
+  EXPECT_EQ(paged->page, 3u);
+  EXPECT_EQ(paged->page_size, 20u);
+
+  auto bad = EarthQubeService::QueryRequestFromJson(
+      *json::ParseObject(R"({"panel":{},"cursor":"garbage!"})"));
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+// --- v2 endpoint over the wire ------------------------------------------------
+
+TEST_F(ServiceTest, V2PanelOnlyQuery) {
+  HttpClient client;
+  auto resp = client.Post(
+      server_->port(), "/api/v2/query",
+      R"({"panel":{"labels":{"operator":"some","names":["Broad-leaved forest",)"
+      R"("Coniferous forest","Mixed forest"]}},"page_size":10})");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200) << resp->body;
+  auto body = json::ParseObject(resp->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_GT(body->Get("total")->as_int64(), 0);
+  EXPECT_EQ(body->GetPath("plan.strategy")->as_string(), "panel_only");
+  EXPECT_LE(body->Get("results")->as_array().size(), 10u);
+  EXPECT_TRUE(body->Get("label_statistics")->is_array());
+  // More than one 10-entry page exists, so a cursor is returned; feeding
+  // it back fetches the next page.
+  const std::string cursor = body->Get("cursor")->as_string();
+  if (body->Get("total")->as_int64() > 10) {
+    ASSERT_FALSE(cursor.empty());
+    auto next = client.Post(server_->port(), "/api/v2/query",
+                            R"({"panel":{"labels":{"operator":"some",)"
+                            R"("names":["Broad-leaved forest",)"
+                            R"("Coniferous forest","Mixed forest"]}},)"
+                            R"("cursor":")" + cursor + "\"}");
+    ASSERT_TRUE(next.ok());
+    ASSERT_EQ(next->status_code, 200) << next->body;
+    auto next_body = json::ParseObject(next->body);
+    ASSERT_TRUE(next_body.ok());
+    EXPECT_EQ(next_body->Get("page")->as_int64(), 1);
+    // Pages are disjoint.
+    const auto& first_results = body->Get("results")->as_array();
+    const auto& second_results = next_body->Get("results")->as_array();
+    std::set<std::string> first_names;
+    for (const Value& r : first_results) {
+      first_names.insert(r.as_document().Get("name")->as_string());
+    }
+    for (const Value& r : second_results) {
+      EXPECT_EQ(first_names.count(r.as_document().Get("name")->as_string()),
+                0u);
+    }
+  }
+}
+
+TEST_F(ServiceTest, V2CbirOnlyMatchesV1SimilarByName) {
+  HttpClient client;
+  const std::string& name = archive_->patches[4].name;
+  auto v2 = client.Post(server_->port(), "/api/v2/query",
+                        R"({"similarity":{"name":")" + name +
+                            R"(","k":10},"page_size":0})");
+  ASSERT_TRUE(v2.ok());
+  ASSERT_EQ(v2->status_code, 200) << v2->body;
+  auto v2_body = json::ParseObject(v2->body);
+  ASSERT_TRUE(v2_body.ok());
+  EXPECT_EQ(v2_body->GetPath("plan.strategy")->as_string(), "cbir_only");
+
+  auto v1 = client.Post(server_->port(), "/api/similar/by_name",
+                        R"({"name":")" + name + R"(","k":10})");
+  ASSERT_TRUE(v1.ok());
+  ASSERT_EQ(v1->status_code, 200) << v1->body;
+  auto v1_body = json::ParseObject(v1->body);
+  ASSERT_TRUE(v1_body.ok());
+
+  const auto& v2_results = v2_body->Get("results")->as_array();
+  const auto& v1_results = v1_body->Get("results")->as_array();
+  ASSERT_EQ(v2_results.size(), v1_results.size());
+  for (size_t i = 0; i < v2_results.size(); ++i) {
+    EXPECT_EQ(v2_results[i].as_document().Get("name")->as_string(),
+              v1_results[i].as_document().Get("name")->as_string());
+    // v2 joined results carry the Hamming distance.
+    EXPECT_TRUE(v2_results[i].as_document().Has("distance"));
+  }
+}
+
+TEST_F(ServiceTest, V2HybridPlannerStrategiesAgreeOverWire) {
+  HttpClient client;
+  const std::string& name = archive_->patches[7].name;
+  const std::string base =
+      R"({"panel":{"seasons":["Summer","Autumn"]},"similarity":{"name":")" +
+      name + R"(","k":8},"projection":"hits","page_size":0)";
+  auto pre = client.Post(server_->port(), "/api/v2/query",
+                         base + R"(,"planner":"pre_filter"})");
+  auto post = client.Post(server_->port(), "/api/v2/query",
+                          base + R"(,"planner":"post_filter"})");
+  auto auto_plan = client.Post(server_->port(), "/api/v2/query", base + "}");
+  ASSERT_TRUE(pre.ok());
+  ASSERT_TRUE(post.ok());
+  ASSERT_TRUE(auto_plan.ok());
+  ASSERT_EQ(pre->status_code, 200) << pre->body;
+  ASSERT_EQ(post->status_code, 200) << post->body;
+  ASSERT_EQ(auto_plan->status_code, 200) << auto_plan->body;
+
+  auto pre_body = json::ParseObject(pre->body);
+  auto post_body = json::ParseObject(post->body);
+  auto auto_body = json::ParseObject(auto_plan->body);
+  ASSERT_TRUE(pre_body.ok());
+  ASSERT_TRUE(post_body.ok());
+  ASSERT_TRUE(auto_body.ok());
+  EXPECT_EQ(pre_body->GetPath("plan.strategy")->as_string(), "pre_filter");
+  EXPECT_EQ(post_body->GetPath("plan.strategy")->as_string(), "post_filter");
+  const std::string auto_strategy =
+      auto_body->GetPath("plan.strategy")->as_string();
+  EXPECT_TRUE(auto_strategy == "pre_filter" || auto_strategy == "post_filter");
+
+  // Identical result sets regardless of strategy.
+  const auto& pre_results = pre_body->Get("results")->as_array();
+  const auto& post_results = post_body->Get("results")->as_array();
+  ASSERT_EQ(pre_results.size(), post_results.size());
+  for (size_t i = 0; i < pre_results.size(); ++i) {
+    EXPECT_EQ(pre_results[i].as_document().Get("name")->as_string(),
+              post_results[i].as_document().Get("name")->as_string());
+    EXPECT_EQ(pre_results[i].as_document().Get("distance")->as_int64(),
+              post_results[i].as_document().Get("distance")->as_int64());
+  }
+}
+
+TEST_F(ServiceTest, V2BatchMatchesV1BatchSearch) {
+  HttpClient client;
+  const std::string& a = archive_->patches[1].name;
+  const std::string& b = archive_->patches[6].name;
+  auto v2 = client.Post(
+      server_->port(), "/api/v2/query",
+      R"({"requests":[)"
+      R"({"similarity":{"name":")" + a +
+          R"(","k":6},"projection":"hits","page_size":0},)"
+      R"({"similarity":{"name":")" + b +
+          R"(","k":6},"projection":"hits","page_size":0}]})");
+  ASSERT_TRUE(v2.ok());
+  ASSERT_EQ(v2->status_code, 200) << v2->body;
+  auto v2_body = json::ParseObject(v2->body);
+  ASSERT_TRUE(v2_body.ok());
+  EXPECT_EQ(v2_body->Get("batch_size")->as_int64(), 2);
+  const auto& responses = v2_body->Get("responses")->as_array();
+  ASSERT_EQ(responses.size(), 2u);
+
+  Document v1_req;
+  v1_req.Set("names", Value(std::vector<Value>{Value(a), Value(b)}));
+  v1_req.Set("k", Value(6));
+  auto v1 = client.Post(server_->port(), "/cbir/batch_search",
+                        json::Serialize(v1_req));
+  ASSERT_TRUE(v1.ok());
+  ASSERT_EQ(v1->status_code, 200) << v1->body;
+  auto v1_body = json::ParseObject(v1->body);
+  ASSERT_TRUE(v1_body.ok());
+  const auto& v1_results = v1_body->Get("results")->as_array();
+  for (size_t i = 0; i < 2; ++i) {
+    const auto& v2_hits =
+        responses[i].as_document().Get("results")->as_array();
+    const auto& v1_hits =
+        v1_results[i].as_document().Get("hits")->as_array();
+    ASSERT_EQ(v2_hits.size(), v1_hits.size());
+    for (size_t j = 0; j < v2_hits.size(); ++j) {
+      EXPECT_EQ(v2_hits[j].as_document().Get("name")->as_string(),
+                v1_hits[j].as_document().Get("name")->as_string());
+    }
+  }
+}
+
+TEST_F(ServiceTest, V2RejectsMalformedBodies) {
+  HttpClient client;
+  auto empty = client.Post(server_->port(), "/api/v2/query", "{}");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->status_code, 400);
+
+  auto conflict = client.Post(
+      server_->port(), "/api/v2/query",
+      R"({"similarity":{"name":"x","radius":3,"k":5}})");
+  ASSERT_TRUE(conflict.ok());
+  EXPECT_EQ(conflict->status_code, 400);
+
+  auto unknown = client.Post(server_->port(), "/api/v2/query",
+                             R"({"similarity":{"name":"ghost","k":3}})");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->status_code, 404);
+
+  auto empty_batch = client.Post(server_->port(), "/api/v2/query",
+                                 R"({"requests":[]})");
+  ASSERT_TRUE(empty_batch.ok());
+  EXPECT_EQ(empty_batch->status_code, 400);
+}
+
+// --- v1 paging + shared error envelope ----------------------------------------
+
+TEST_F(ServiceTest, V1SearchRejectsMalformedPagingAndReturnsCursor) {
+  HttpClient client;
+  auto negative = client.Post(server_->port(), "/api/search",
+                              R"({"page":-2})");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(negative->status_code, 400);
+
+  auto fractional = client.Post(server_->port(), "/api/search",
+                                R"({"page":1.5})");
+  ASSERT_TRUE(fractional.ok());
+  EXPECT_EQ(fractional->status_code, 400);
+
+  // An unfiltered search has many pages: the v1 response carries the v2
+  // continuation cursor.
+  auto all = client.Post(server_->port(), "/api/search", "{}");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->status_code, 200);
+  auto body = json::ParseObject(all->body);
+  ASSERT_TRUE(body.ok());
+  ASSERT_TRUE(body->Has("cursor"));
+  const std::string cursor = body->Get("cursor")->as_string();
+  ASSERT_FALSE(cursor.empty());
+  auto decoded = earthqube::DecodeCursor(cursor);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->page, 1u);
+}
+
+TEST_F(ServiceTest, ErrorsUseSharedJsonEnvelope) {
+  HttpClient client;
+  // 400 from a handler.
+  auto bad = client.Post(server_->port(), "/api/search", "{not json");
+  ASSERT_TRUE(bad.ok());
+  ASSERT_EQ(bad->status_code, 400);
+  auto bad_body = json::ParseObject(bad->body);
+  ASSERT_TRUE(bad_body.ok()) << bad->body;
+  EXPECT_EQ(bad_body->GetPath("error.code")->as_string(), "bad_request");
+  EXPECT_TRUE(bad_body->GetPath("error.message")->is_string());
+
+  // 404 from a handler.
+  auto missing = client.Get(server_->port(), "/api/patch/nope");
+  ASSERT_TRUE(missing.ok());
+  ASSERT_EQ(missing->status_code, 404);
+  auto missing_body = json::ParseObject(missing->body);
+  ASSERT_TRUE(missing_body.ok()) << missing->body;
+  EXPECT_EQ(missing_body->GetPath("error.code")->as_string(), "not_found");
+
+  // 404/405 from the router itself share the envelope.
+  auto unrouted = client.Get(server_->port(), "/no/such/route");
+  ASSERT_TRUE(unrouted.ok());
+  ASSERT_EQ(unrouted->status_code, 404);
+  auto unrouted_body = json::ParseObject(unrouted->body);
+  ASSERT_TRUE(unrouted_body.ok()) << unrouted->body;
+  EXPECT_EQ(unrouted_body->GetPath("error.code")->as_string(), "not_found");
+
+  auto wrong_method = client.Get(server_->port(), "/api/search");
+  ASSERT_TRUE(wrong_method.ok());
+  ASSERT_EQ(wrong_method->status_code, 405);
+  auto wrong_body = json::ParseObject(wrong_method->body);
+  ASSERT_TRUE(wrong_body.ok()) << wrong_method->body;
+  EXPECT_EQ(wrong_body->GetPath("error.code")->as_string(),
+            "method_not_allowed");
 }
 
 }  // namespace
