@@ -136,4 +136,6 @@ BENCHMARK(BM_HybridAutoPlanner) HYBRID_ARGS;
 }  // namespace
 }  // namespace agoraeo::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return agoraeo::bench::RunBenchmarksWithJson("hybrid_query", argc, argv);
+}

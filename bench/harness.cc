@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "json/json.h"
 
 namespace agoraeo::bench {
 
@@ -135,6 +136,65 @@ void PrintHeader(const std::string& experiment, const std::string& claim) {
   std::printf("%s\n", experiment.c_str());
   std::printf("Paper claim: %s\n", claim.c_str());
   std::printf("============================================================\n");
+}
+
+JsonFileReporter::JsonFileReporter(std::string suite)
+    : suite_(std::move(suite)),
+      path_("BENCH_" + suite_ + ".json"),
+      console_(benchmark::CreateDefaultDisplayReporter()) {}
+
+bool JsonFileReporter::ReportContext(const Context& context) {
+  return console_->ReportContext(context);
+}
+
+void JsonFileReporter::ReportRuns(const std::vector<Run>& runs) {
+  console_->ReportRuns(runs);
+  for (const Run& run : runs) {
+    if (run.error_occurred) continue;
+    const double iters =
+        run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+    docstore::Document row;
+    row.Set("name", docstore::Value(run.benchmark_name()));
+    row.Set("label", docstore::Value(run.report_label));
+    row.Set("iterations",
+            docstore::Value(static_cast<int64_t>(run.iterations)));
+    row.Set("real_time_per_iter_ns",
+            docstore::Value(run.real_accumulated_time / iters * 1e9));
+    row.Set("cpu_time_per_iter_ns",
+            docstore::Value(run.cpu_accumulated_time / iters * 1e9));
+    docstore::Document counters;
+    for (const auto& [name, counter] : run.counters) {
+      counters.Set(name, docstore::Value(static_cast<double>(counter)));
+    }
+    row.Set("counters", docstore::Value(std::move(counters)));
+    rows_.emplace_back(std::move(row));
+  }
+}
+
+void JsonFileReporter::Finalize() {
+  console_->Finalize();
+  std::FILE* out = std::fopen(path_.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "JsonFileReporter: cannot write %s\n", path_.c_str());
+    return;
+  }
+  docstore::Document report;
+  report.Set("suite", docstore::Value(suite_));
+  report.Set("benchmarks", docstore::Value(std::move(rows_)));
+  const std::string text = json::Serialize(report);
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("wrote %s\n", path_.c_str());
+}
+
+int RunBenchmarksWithJson(const std::string& suite, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonFileReporter json(suite);
+  benchmark::RunSpecifiedBenchmarks(&json);
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace agoraeo::bench

@@ -6,6 +6,8 @@
 /// build archives, features, codes and EarthQube instances once per
 /// process and cache them across benchmark repetitions.
 
+#include <benchmark/benchmark.h>
+
 #include <map>
 #include <memory>
 #include <string>
@@ -15,6 +17,7 @@
 #include "bigearthnet/feature_extractor.h"
 #include "common/binary_code.h"
 #include "common/random.h"
+#include "docstore/value.h"
 #include "earthqube/earthqube.h"
 #include "milan/baselines.h"
 #include "milan/trainer.h"
@@ -57,6 +60,41 @@ earthqube::EarthQube* GetEarthQube(const ArchiveFixture& fixture,
 
 /// Prints a section header for plain-table benches.
 void PrintHeader(const std::string& experiment, const std::string& claim);
+
+/// Machine-readable benchmark reporting: collects every run and writes
+/// BENCH_<suite>.json into the working directory on Finalize, so CI and
+/// later PRs can track the perf trajectory without scraping console
+/// tables.  One row per run: name, label, iterations, per-iteration
+/// real/cpu time in ns, and all user counters (including the
+/// items_per_second rate set via SetItemsProcessed).
+///
+/// Used as the display reporter (it tees to the normal console
+/// reporter) because google-benchmark refuses custom file reporters
+/// without --benchmark_out.
+class JsonFileReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit JsonFileReporter(std::string suite);
+
+  bool ReportContext(const Context& context) override;
+  void ReportRuns(const std::vector<Run>& runs) override;
+  void Finalize() override;
+
+  /// Where the report lands ("BENCH_<suite>.json").
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string suite_;
+  std::string path_;
+  std::vector<docstore::Value> rows_;  ///< one JSON object per run
+  std::unique_ptr<benchmark::BenchmarkReporter> console_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body that tees results
+/// into BENCH_<suite>.json next to the normal console output:
+///   int main(int argc, char** argv) {
+///     return agoraeo::bench::RunBenchmarksWithJson("query_cache", argc, argv);
+///   }
+int RunBenchmarksWithJson(const std::string& suite, int argc, char** argv);
 
 }  // namespace agoraeo::bench
 

@@ -1,0 +1,51 @@
+#ifndef AGORAEO_CACHE_CACHE_STATS_H_
+#define AGORAEO_CACHE_CACHE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace agoraeo::cache {
+
+/// Counters describing one cache's lifetime activity and current
+/// occupancy.  Per-shard counters are aggregated into one of these by
+/// ShardedLruCache::Stats().
+struct CacheStats {
+  // Lifetime counters.
+  uint64_t hits = 0;
+  uint64_t misses = 0;       ///< includes stale and expired drops
+  uint64_t puts = 0;         ///< admitted inserts/replacements only
+  uint64_t rejected_puts = 0;  ///< values larger than one shard's budget
+  uint64_t evictions = 0;    ///< capacity-driven LRU evictions
+  uint64_t stale_drops = 0;  ///< entries dropped by epoch mismatch on Get
+  uint64_t expired_drops = 0;  ///< entries dropped by TTL expiry on Get
+
+  // Current occupancy.
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+  uint64_t capacity_bytes = 0;
+
+  double hit_rate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+
+  CacheStats& operator+=(const CacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    puts += o.puts;
+    rejected_puts += o.rejected_puts;
+    evictions += o.evictions;
+    stale_drops += o.stale_drops;
+    expired_drops += o.expired_drops;
+    entries += o.entries;
+    bytes += o.bytes;
+    capacity_bytes += o.capacity_bytes;
+    return *this;
+  }
+};
+
+}  // namespace agoraeo::cache
+
+#endif  // AGORAEO_CACHE_CACHE_STATS_H_

@@ -1,0 +1,32 @@
+#ifndef AGORAEO_CACHE_EPOCH_H_
+#define AGORAEO_CACHE_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace agoraeo::cache {
+
+/// A monotonically increasing generation counter that lazily invalidates
+/// cache entries.  Every entry records the epoch current at insertion;
+/// a Get whose entry epoch no longer matches Current() treats the entry
+/// as a miss and drops it.  Bump() therefore invalidates the entire
+/// cache in O(1) — no sweep, no lock, stale entries are reclaimed as
+/// they are touched (or as LRU pressure evicts them).
+///
+/// One validator can back several caches: EarthQube points its response
+/// and allowlist caches at the same validator so one archive ingest
+/// invalidates both.
+class EpochValidator {
+ public:
+  uint64_t Current() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Invalidates every entry inserted under earlier epochs.
+  void Bump() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace agoraeo::cache
+
+#endif  // AGORAEO_CACHE_EPOCH_H_

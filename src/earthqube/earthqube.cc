@@ -1,7 +1,9 @@
 #include "earthqube/earthqube.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <unordered_map>
 
 #include "earthqube/zip_writer.h"
 
@@ -14,7 +16,8 @@ using docstore::Document;
 using docstore::Filter;
 using docstore::Value;
 
-EarthQube::EarthQube(EarthQubeConfig config) : config_(config) {
+EarthQube::EarthQube(EarthQubeConfig config)
+    : config_(config), query_cache_(config.cache) {
   metadata_ = db_.GetOrCreateCollection(kMetadataCollection);
   image_data_ = db_.GetOrCreateCollection(kImageDataCollection);
   rendered_ = db_.GetOrCreateCollection(kRenderedCollection);
@@ -43,8 +46,14 @@ Status EarthQube::IngestArchive(const bigearthnet::Archive& archive) {
   for (const auto& meta : archive.patches) {
     auto inserted = metadata_->Insert(
         MetadataToDocument(meta, config_.label_encoding));
-    if (!inserted.ok()) return inserted.status();
+    if (!inserted.ok()) {
+      // Documents inserted before the failure are visible, so cached
+      // query results may already be stale.
+      query_cache_.Invalidate();
+      return inserted.status();
+    }
   }
+  query_cache_.Invalidate();
   AGORAEO_LOG(kInfo) << "EarthQube ingested " << archive.patches.size()
                      << " patches (total " << metadata_->size() << ")";
   return Status::OK();
@@ -52,6 +61,8 @@ Status EarthQube::IngestArchive(const bigearthnet::Archive& archive) {
 
 void EarthQube::AttachCbir(std::unique_ptr<CbirService> cbir) {
   cbir_ = std::move(cbir);
+  // A new code index changes every similarity result.
+  query_cache_.Invalidate();
 }
 
 StatusOr<ResultEntry> EarthQube::EntryFromDocument(const Document& doc) const {
@@ -210,17 +221,41 @@ StatusOr<QueryResponse> EarthQube::ExecuteHybrid(
 
   if (strategy == QueryPlan::Strategy::kPreFilter) {
     // Filter first: the docstore produces the allowlist, then the
-    // Hamming index searches only within it.
-    const auto docs = metadata_->Find(filter, 0, &response.query_stats);
-    std::vector<std::string> names;
-    names.reserve(docs.size());
-    for (const Document* doc : docs) {
-      const Value* name = doc->GetPath(kFieldName);
-      if (name != nullptr && name->is_string()) {
-        names.push_back(name->as_string());
-      }
+    // Hamming index searches only within it.  Hot panel filters skip
+    // the docstore pass entirely via the allowlist cache (the cached
+    // entry replays the original filter pass's stats so the response
+    // stays byte-identical).
+    std::optional<std::string> allowlist_fp;
+    std::shared_ptr<const CachedAllowlist> allowlist;
+    if (config_.cache.enable_allowlist_cache) {
+      allowlist_fp = QueryCache::PanelFingerprint(*request.panel,
+                                                  /*include_limit=*/false);
+      allowlist = query_cache_.GetAllowlist(*allowlist_fp);
     }
-    const index::CandidateSet allowed = cbir_->CandidatesFromNames(names);
+    if (allowlist == nullptr) {
+      // Epoch snapshot before the filter pass, for the same
+      // racing-ingest reason as in Execute.
+      const uint64_t epoch_snapshot = query_cache_.epoch();
+      const auto docs = metadata_->Find(filter, 0, &response.query_stats);
+      std::vector<std::string> names;
+      names.reserve(docs.size());
+      for (const Document* doc : docs) {
+        const Value* name = doc->GetPath(kFieldName);
+        if (name != nullptr && name->is_string()) {
+          names.push_back(name->as_string());
+        }
+      }
+      auto fresh = std::make_shared<CachedAllowlist>();
+      fresh->candidates = cbir_->CandidatesFromNames(names);
+      fresh->filter_stats = response.query_stats;
+      if (allowlist_fp.has_value()) {
+        query_cache_.PutAllowlist(*allowlist_fp, fresh, epoch_snapshot);
+      }
+      allowlist = std::move(fresh);
+    } else {
+      response.query_stats = allowlist->filter_stats;
+    }
+    const index::CandidateSet& allowed = allowlist->candidates;
     response.hits =
         spec.radius.has_value()
             ? cbir_->RadiusByCodeRestricted(code, *spec.radius, spec.limit,
@@ -278,10 +313,46 @@ StatusOr<QueryResponse> EarthQube::ExecuteHybrid(
 }
 
 StatusOr<QueryResponse> EarthQube::Execute(const QueryRequest& request) const {
+  return ExecuteWithFingerprint(request,
+                                request.similarity.has_value()
+                                    ? QueryCache::RequestFingerprint(request)
+                                    : std::nullopt);
+}
+
+StatusOr<QueryResponse> EarthQube::ExecuteWithFingerprint(
+    const QueryRequest& request,
+    std::optional<std::string> fingerprint) const {
   AGORAEO_RETURN_IF_ERROR(request.Validate());
   if (request.similarity.has_value() && cbir_ == nullptr) {
     return Status::FailedPrecondition("no CBIR service attached");
   }
+  // Response cache: CBIR-only and hybrid requests (the hot interactive
+  // shapes; uploaded-patch subjects have no cheap fingerprint).  A hit
+  // replays the stored response byte-for-byte, flagged served_from_cache.
+  if (!config_.cache.enable_response_cache ||
+      !request.similarity.has_value()) {
+    fingerprint.reset();
+  }
+  if (fingerprint.has_value()) {
+    if (auto cached = query_cache_.GetResponse(*fingerprint)) {
+      QueryResponse out = *cached;
+      out.served_from_cache = true;
+      return out;
+    }
+  }
+  // Snapshot the epoch BEFORE executing: an ingest racing this query
+  // bumps it, leaving the entry we put below stale instead of serving
+  // pre-ingest data as fresh.
+  const uint64_t epoch_snapshot = query_cache_.epoch();
+  auto response = ExecuteUncached(request);
+  if (response.ok() && fingerprint.has_value()) {
+    query_cache_.PutResponse(*fingerprint, *response, epoch_snapshot);
+  }
+  return response;
+}
+
+StatusOr<QueryResponse> EarthQube::ExecuteUncached(
+    const QueryRequest& request) const {
   if (!request.similarity.has_value()) return ExecutePanelOnly(request);
   if (!request.panel.has_value()) return ExecuteCbirOnly(request);
   return ExecuteHybrid(request);
@@ -344,9 +415,31 @@ StatusOr<std::vector<QueryResponse>> EarthQube::ExecuteBatch(
     return out;
   }
 
-  for (const QueryRequest& request : requests) {
-    AGORAEO_ASSIGN_OR_RETURN(QueryResponse response, Execute(request));
-    out.push_back(std::move(response));
+  // General path: dedupe identical requests (by canonical fingerprint)
+  // so each distinct query executes once and fans its response out to
+  // every duplicate slot — the request-level mirror of the code-level
+  // dedup BatchRadiusSearch does inside the index.
+  out.resize(requests.size());
+  std::unordered_map<std::string, size_t> first_slot_by_fp;
+  std::vector<size_t> duplicate_of(requests.size(), SIZE_MAX);
+  std::vector<std::optional<std::string>> fingerprints(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    fingerprints[i] = QueryCache::RequestFingerprint(requests[i]);
+    if (!fingerprints[i].has_value()) {
+      continue;  // uploaded-patch subjects stay unique
+    }
+    auto [it, inserted] = first_slot_by_fp.emplace(*fingerprints[i], i);
+    if (!inserted) duplicate_of[i] = it->second;
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (duplicate_of[i] != SIZE_MAX) continue;
+    // The dedup fingerprint doubles as the response-cache key.
+    AGORAEO_ASSIGN_OR_RETURN(
+        out[i],
+        ExecuteWithFingerprint(requests[i], std::move(fingerprints[i])));
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (duplicate_of[i] != SIZE_MAX) out[i] = out[duplicate_of[i]];
   }
   return out;
 }

@@ -9,6 +9,7 @@
 #include "docstore/database.h"
 #include "earthqube/cbir_service.h"
 #include "earthqube/query.h"
+#include "earthqube/query_cache.h"
 #include "earthqube/query_request.h"
 #include "earthqube/result_panel.h"
 #include "earthqube/schema.h"
@@ -32,6 +33,10 @@ struct EarthQubeConfig {
   /// filter).  bench_hybrid_query measures the crossover at ~2-8%
   /// selectivity (lower at larger archive sizes); 5% centres it.
   double prefilter_selectivity_threshold = 0.05;
+  /// Query-cache subsystem: response cache (hot CBIR/hybrid requests)
+  /// and allowlist cache (hot pre-filter panel filters), both epoch-
+  /// invalidated by archive mutations.  See QueryCacheConfig.
+  QueryCacheConfig cache;
 };
 
 /// A search response: the result panel model, the label-statistics view,
@@ -161,10 +166,24 @@ class EarthQube {
   CbirService* cbir() { return cbir_.get(); }
   const CbirService* cbir() const { return cbir_.get(); }
   const EarthQubeConfig& config() const { return config_; }
+  /// The query-cache subsystem (stats endpoint, tests, manual
+  /// invalidation).  Mutations made through this facade bump its epoch
+  /// automatically; callers mutating the CBIR service directly via
+  /// cbir() must call query_cache().Invalidate() themselves.
+  QueryCache& query_cache() const { return query_cache_; }
   size_t num_images() const;
 
  private:
   StatusOr<ResultEntry> EntryFromDocument(const docstore::Document& doc) const;
+
+  /// Execute body reusing a fingerprint the caller (ExecuteBatch's
+  /// dedup pass) already computed; nullopt = not fingerprintable.
+  StatusOr<QueryResponse> ExecuteWithFingerprint(
+      const QueryRequest& request,
+      std::optional<std::string> fingerprint) const;
+
+  /// Execute minus the response-cache layer.
+  StatusOr<QueryResponse> ExecuteUncached(const QueryRequest& request) const;
 
   // Execute's three paths.
   StatusOr<QueryResponse> ExecutePanelOnly(const QueryRequest& request) const;
@@ -185,6 +204,9 @@ class EarthQube {
                            QueryResponse* response);
 
   EarthQubeConfig config_;
+  /// Caching is not observable query state, so const query paths may
+  /// populate it.
+  mutable QueryCache query_cache_;
   docstore::Database db_;
   docstore::Collection* metadata_;
   docstore::Collection* image_data_;

@@ -1,0 +1,117 @@
+#ifndef AGORAEO_EARTHQUBE_QUERY_CACHE_H_
+#define AGORAEO_EARTHQUBE_QUERY_CACHE_H_
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cache/cache_stats.h"
+#include "cache/epoch.h"
+#include "cache/sharded_lru_cache.h"
+#include "docstore/collection.h"
+#include "earthqube/query_request.h"
+#include "index/hamming_index.h"
+
+namespace agoraeo::earthqube {
+
+/// Knobs of EarthQube's two query-path caches (EarthQubeConfig::cache).
+struct QueryCacheConfig {
+  /// Response cache: whole QueryResponses keyed by a canonical request
+  /// fingerprint (CBIR-only and hybrid requests; paging-aware).
+  bool enable_response_cache = true;
+  /// Allowlist cache: the hybrid pre-filter leg's (panel filter ->
+  /// CandidateSet) product, keyed by the panel-filter fingerprint, so
+  /// repeated pre-filter hybrids skip the docstore filter pass.
+  bool enable_allowlist_cache = true;
+  size_t response_capacity_bytes = 64u << 20;
+  size_t allowlist_capacity_bytes = 16u << 20;
+  /// Shards per cache (rounded up to a power of two).
+  size_t num_shards = 16;
+  /// Age limit for entries in both caches; zero keeps entries until an
+  /// epoch bump or LRU pressure removes them.
+  std::chrono::milliseconds ttl{0};
+};
+
+/// What the hybrid pre-filter leg caches per panel filter: the candidate
+/// allowlist plus the docstore stats of the filter pass that produced
+/// it.  The stats are replayed on a hit so a cached-allowlist response
+/// stays byte-identical to an uncached one.
+struct CachedAllowlist {
+  index::CandidateSet candidates;
+  docstore::QueryStats filter_stats;
+};
+
+/// EarthQube's query-cache subsystem: a response cache and an allowlist
+/// cache over one shared EpochValidator.  Any archive mutation bumps the
+/// epoch, lazily invalidating every entry of both caches without a
+/// sweep.  Thread-safe; Get/Put may race with Invalidate freely.
+class QueryCache {
+ public:
+  explicit QueryCache(const QueryCacheConfig& config);
+
+  /// Canonical fingerprint of a panel query's filter semantics.
+  /// `include_limit` distinguishes the response-cache use (limit changes
+  /// the materialised panel) from the allowlist-cache use (the hybrid
+  /// pre-filter pass ignores the panel limit).
+  static std::string PanelFingerprint(const EarthQubeQuery& query,
+                                      bool include_limit = true);
+
+  /// Canonical fingerprint of a full request, covering the panel, the
+  /// similarity spec, projection, planner mode and paging — requests
+  /// with equal fingerprints produce byte-identical responses.
+  /// nullopt for uploaded-patch subjects (hashing raw pixels would cost
+  /// as much as the inference the cache is meant to skip).
+  static std::optional<std::string> RequestFingerprint(
+      const QueryRequest& request);
+
+  /// Byte estimate of a response's heap footprint, for cache accounting.
+  static size_t ApproxResponseBytes(const QueryResponse& response);
+
+  // --- response cache ------------------------------------------------------
+  //
+  // Both Puts take the epoch snapshotted BEFORE the value was computed
+  // (see ShardedLruCache::Put): a mutation racing the execution then
+  // leaves the entry stale instead of serving pre-mutation data as
+  // fresh.
+
+  /// Returns the cached response (served_from_cache still false — the
+  /// caller copies and flags it), or null on miss / cache disabled.
+  std::shared_ptr<const QueryResponse> GetResponse(
+      const std::string& fingerprint);
+  void PutResponse(const std::string& fingerprint,
+                   const QueryResponse& response, uint64_t computed_at_epoch);
+
+  // --- allowlist cache -----------------------------------------------------
+
+  std::shared_ptr<const CachedAllowlist> GetAllowlist(
+      const std::string& fingerprint);
+  void PutAllowlist(const std::string& fingerprint,
+                    std::shared_ptr<const CachedAllowlist> allowlist,
+                    uint64_t computed_at_epoch);
+
+  // --- invalidation & introspection ---------------------------------------
+
+  /// Bumps the shared epoch: every currently cached entry of both caches
+  /// becomes stale and is dropped lazily on its next access.
+  void Invalidate() { epoch_.Bump(); }
+  uint64_t epoch() const { return epoch_.Current(); }
+
+  cache::CacheStats ResponseStats() const { return responses_.Stats(); }
+  cache::CacheStats AllowlistStats() const { return allowlists_.Stats(); }
+  const QueryCacheConfig& config() const { return config_; }
+
+ private:
+  QueryCacheConfig config_;
+  cache::EpochValidator epoch_;
+  /// Values are shared_ptr so a hit hands out a reference instead of
+  /// deep-copying a potentially large response under the shard mutex.
+  cache::ShardedLruCache<std::string, std::shared_ptr<const QueryResponse>>
+      responses_;
+  cache::ShardedLruCache<std::string, std::shared_ptr<const CachedAllowlist>>
+      allowlists_;
+};
+
+}  // namespace agoraeo::earthqube
+
+#endif  // AGORAEO_EARTHQUBE_QUERY_CACHE_H_

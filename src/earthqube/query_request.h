@@ -106,6 +106,10 @@ struct QueryResponse {
   /// Opaque continuation cursor for the next page; empty when this page
   /// exhausts the result.
   std::string cursor;
+  /// Whether this response was served from the query-response cache.
+  /// The only field that may differ between a cached response and the
+  /// equivalent freshly executed one.
+  bool served_from_cache = false;
 
   /// Total result count (panel entries, or raw hits for kHitsOnly).
   size_t total() const;

@@ -373,6 +373,8 @@ std::string EarthQubeService::QueryResponseToJson(
   std::string out = "{\"total\":" + std::to_string(total) +
                     ",\"page\":" + std::to_string(response.page) +
                     ",\"page_size\":" + std::to_string(response.page_size) +
+                    ",\"served_from_cache\":" +
+                    (response.served_from_cache ? "true" : "false") +
                     ",\"plan\":" + json::Serialize(plan) + ",\"results\":[";
   bool first = true;
   if (response.projection == Projection::kHitsOnly) {
@@ -439,9 +441,41 @@ void EarthQubeService::RegisterRoutes(HttpServer* server) {
         200, "{\"count\":" + std::to_string(system_->NumFeedbackEntries()) +
                  "}");
   });
+  server->Route("GET", "/api/v2/cache/stats", [this](const HttpRequest&) {
+    return HandleCacheStats();
+  });
   server->Route("GET", "/api/patch/*", [this](const HttpRequest& request) {
     return HandlePatchMetadata(request);
   });
+}
+
+HttpResponse EarthQubeService::HandleCacheStats() const {
+  const earthqube::QueryCache& cache = system_->query_cache();
+  const auto to_doc = [](bool enabled, const agoraeo::cache::CacheStats& s) {
+    Document d;
+    d.Set("enabled", Value(enabled));
+    d.Set("hits", Value(static_cast<int64_t>(s.hits)));
+    d.Set("misses", Value(static_cast<int64_t>(s.misses)));
+    d.Set("puts", Value(static_cast<int64_t>(s.puts)));
+    d.Set("rejected_puts", Value(static_cast<int64_t>(s.rejected_puts)));
+    d.Set("evictions", Value(static_cast<int64_t>(s.evictions)));
+    d.Set("stale_drops", Value(static_cast<int64_t>(s.stale_drops)));
+    d.Set("expired_drops", Value(static_cast<int64_t>(s.expired_drops)));
+    d.Set("entries", Value(static_cast<int64_t>(s.entries)));
+    d.Set("bytes", Value(static_cast<int64_t>(s.bytes)));
+    d.Set("capacity_bytes", Value(static_cast<int64_t>(s.capacity_bytes)));
+    d.Set("hit_rate", Value(s.hit_rate()));
+    return d;
+  };
+  Document out;
+  out.Set("epoch", Value(static_cast<int64_t>(cache.epoch())));
+  out.Set("response_cache",
+          Value(to_doc(cache.config().enable_response_cache,
+                       cache.ResponseStats())));
+  out.Set("allowlist_cache",
+          Value(to_doc(cache.config().enable_allowlist_cache,
+                       cache.AllowlistStats())));
+  return HttpResponse::Json(200, json::Serialize(out));
 }
 
 HttpResponse EarthQubeService::HandleQueryV2(const HttpRequest& request) const {

@@ -16,6 +16,7 @@ namespace agoraeo::netsvc {
 ///
 ///   GET  /health                         liveness probe
 ///   POST /api/v2/query                   unified query API (see below)
+///   GET  /api/v2/cache/stats             query-cache counters + epoch
 ///   POST /api/search                     [v1, deprecated] query panel
 ///   POST /api/similar/by_name            [v1, deprecated] CBIR by name
 ///   POST /cbir/batch_search              [v1, deprecated] batched CBIR
@@ -55,6 +56,7 @@ namespace agoraeo::netsvc {
 ///
 /// /api/v2/query response:
 ///   {"total": N, "page": 0, "page_size": 50, "cursor": "<token>"|"",
+///    "served_from_cache": false,
 ///    "plan": {"strategy": "panel_only"|"cbir_only"|"pre_filter"|
 ///             "post_filter", "description": "...", "selectivity": 0.03,
 ///             "estimated_matches": 123},
@@ -107,6 +109,7 @@ class EarthQubeService {
 
  private:
   HttpResponse HandleQueryV2(const HttpRequest& request) const;
+  HttpResponse HandleCacheStats() const;
   HttpResponse HandleSearch(const HttpRequest& request) const;
   HttpResponse HandleSimilarByName(const HttpRequest& request) const;
   HttpResponse HandleBatchSearch(const HttpRequest& request) const;

@@ -106,34 +106,31 @@ void HttpServer::Route(const std::string& method, const std::string& path,
 Status HttpServer::Start(uint16_t port) {
   if (running_.load()) return Status::FailedPrecondition("already running");
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  const int sock = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (sock < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(sock, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(sock);
     return Status::IOError(std::string("bind: ") + std::strerror(errno));
   }
-  if (::listen(listen_fd_, 64) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(sock, 64) < 0) {
+    ::close(sock);
     return Status::IOError(std::string("listen: ") + std::strerror(errno));
   }
   socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
-      0) {
+  if (::getsockname(sock, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
 
+  listen_fd_.store(sock);
   pool_ = std::make_unique<ThreadPool>(num_workers_);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -143,13 +140,14 @@ Status HttpServer::Start(uint16_t port) {
 
 void HttpServer::Stop() {
   if (!running_.exchange(false)) return;
-  // Closing the listening socket unblocks accept().
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  // Retire the socket: shutdown() unblocks a blocked accept(), but the
+  // fd is only close()d after the accept thread joins — closing earlier
+  // would let the kernel reuse the fd number while AcceptLoop may still
+  // hold a loaded copy, making it accept() on a foreign socket.
+  const int sock = listen_fd_.exchange(-1);
+  if (sock >= 0) ::shutdown(sock, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (sock >= 0) ::close(sock);
   if (pool_ != nullptr) {
     pool_->Wait();
     pool_.reset();
@@ -158,7 +156,9 @@ void HttpServer::Stop() {
 
 void HttpServer::AcceptLoop() {
   while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) break;  // retired by Stop()
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listening socket closed by Stop()

@@ -71,7 +71,9 @@ class HttpServer {
   HttpResponse Dispatch(const HttpRequest& request) const;
 
   std::vector<RouteEntry> routes_;
-  int listen_fd_ = -1;
+  /// Atomic: Stop() retires the socket concurrently with AcceptLoop()'s
+  /// reads.
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<size_t> requests_served_{0};

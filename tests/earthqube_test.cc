@@ -747,7 +747,8 @@ TEST(QueryRequestTest, CursorRoundTrip) {
 /// only on codes being deterministic, not on retrieval quality.
 class HybridFixture {
  public:
-  explicit HybridFixture(CbirIndexKind kind) {
+  explicit HybridFixture(CbirIndexKind kind,
+                         EarthQubeConfig system_config = {}) {
     bigearthnet::ArchiveConfig config;
     config.num_patches = 400;
     config.seed = 17;
@@ -757,7 +758,7 @@ class HybridFixture {
     archive_ = std::move(archive).value();
 
     features_ = extractor_.ExtractArchive(archive_, *generator_, 2);
-    system_ = std::make_unique<EarthQube>();
+    system_ = std::make_unique<EarthQube>(system_config);
     if (!system_->IngestArchive(archive_).ok()) std::abort();
 
     milan::MilanConfig mconfig;
@@ -776,6 +777,7 @@ class HybridFixture {
 
   EarthQube& system() { return *system_; }
   const bigearthnet::Archive& archive() const { return archive_; }
+  const Tensor& features() const { return features_; }
 
  private:
   std::unique_ptr<bigearthnet::ArchiveGenerator> generator_;
@@ -927,6 +929,219 @@ TEST(HybridPlannerTest, ExecutePagingAndCursor) {
   auto last_response = system.Execute(last);
   ASSERT_TRUE(last_response.ok());
   EXPECT_TRUE(last_response->cursor.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Query cache
+// ---------------------------------------------------------------------------
+
+/// Asserts two responses are identical in every caller-visible field
+/// except served_from_cache.
+void ExpectSameResponse(const QueryResponse& a, const QueryResponse& b) {
+  EXPECT_EQ(HitList(a), HitList(b));
+  ASSERT_EQ(a.panel.total(), b.panel.total());
+  for (size_t i = 0; i < a.panel.entries().size(); ++i) {
+    EXPECT_EQ(a.panel.entries()[i].name, b.panel.entries()[i].name);
+  }
+  EXPECT_EQ(a.plan.strategy, b.plan.strategy);
+  EXPECT_EQ(a.plan.description, b.plan.description);
+  EXPECT_EQ(a.query_stats.plan, b.query_stats.plan);
+  EXPECT_EQ(a.query_stats.docs_examined, b.query_stats.docs_examined);
+  EXPECT_EQ(a.page, b.page);
+  EXPECT_EQ(a.page_size, b.page_size);
+  EXPECT_EQ(a.cursor, b.cursor);
+}
+
+TEST(QueryCacheTest, RequestFingerprintCanonicalizesAndDistinguishes) {
+  QueryRequest request;
+  EarthQubeQuery panel;
+  panel.satellites = {"S2A", "S2B"};
+  panel.seasons = {Season::kSummer, Season::kWinter};
+  request.panel = panel;
+  request.similarity = SimilaritySpec::NameKnn("img", 5);
+  const auto fp = QueryCache::RequestFingerprint(request);
+  ASSERT_TRUE(fp.has_value());
+
+  // Order-insensitive filter terms canonicalize to one fingerprint.
+  QueryRequest permuted = request;
+  permuted.panel->satellites = {"S2B", "S2A"};
+  permuted.panel->seasons = {Season::kWinter, Season::kSummer};
+  EXPECT_EQ(QueryCache::RequestFingerprint(permuted), fp);
+
+  // Paging, planner and projection are part of the key.
+  QueryRequest paged = request;
+  paged.page = 1;
+  EXPECT_NE(QueryCache::RequestFingerprint(paged), fp);
+  QueryRequest pinned = request;
+  pinned.planner = PlannerMode::kForcePreFilter;
+  EXPECT_NE(QueryCache::RequestFingerprint(pinned), fp);
+  QueryRequest hits_only = request;
+  hits_only.projection = Projection::kHitsOnly;
+  EXPECT_NE(QueryCache::RequestFingerprint(hits_only), fp);
+
+  // Uploaded-patch subjects are not fingerprintable.
+  QueryRequest upload;
+  upload.similarity =
+      SimilaritySpec::PatchRadius(bigearthnet::Patch{}, /*radius=*/4);
+  EXPECT_FALSE(QueryCache::RequestFingerprint(upload).has_value());
+}
+
+TEST(QueryCacheTest, RepeatedQueryServedFromCacheIdentically) {
+  HybridFixture fixture(CbirIndexKind::kHashTable);
+  EarthQube& system = fixture.system();
+  const std::string& name = fixture.archive().patches[7].name;
+
+  QueryRequest request;
+  request.similarity = SimilaritySpec::NameRadius(name, 10);
+  auto first = system.Execute(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->served_from_cache);
+
+  auto second = system.Execute(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->served_from_cache);
+  ExpectSameResponse(*first, *second);
+
+  const cache::CacheStats stats = system.query_cache().ResponseStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(QueryCacheTest, DisabledCachesNeverServeOrStore) {
+  EarthQubeConfig config;
+  config.cache.enable_response_cache = false;
+  config.cache.enable_allowlist_cache = false;
+  HybridFixture fixture(CbirIndexKind::kHashTable, config);
+  EarthQube& system = fixture.system();
+  const std::string& name = fixture.archive().patches[7].name;
+
+  QueryRequest request;
+  request.similarity = SimilaritySpec::NameRadius(name, 10);
+  auto first = system.Execute(request);
+  auto second = system.Execute(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(first->served_from_cache);
+  EXPECT_FALSE(second->served_from_cache);
+  ExpectSameResponse(*first, *second);
+  EXPECT_EQ(system.query_cache().ResponseStats().puts, 0u);
+  EXPECT_EQ(system.query_cache().ResponseStats().hits, 0u);
+}
+
+/// The stale-hit correctness guard for the response cache: after a new
+/// archive lands, the very next identical query must see the new data.
+TEST(QueryCacheTest, IngestInvalidatesResponseCache) {
+  HybridFixture fixture(CbirIndexKind::kHashTable);
+  EarthQube& system = fixture.system();
+  const auto& patch0 = fixture.archive().patches[0];
+
+  QueryRequest request;
+  request.similarity = SimilaritySpec::NameRadius(patch0.name, 6);
+  auto warm = system.Execute(request);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(system.Execute(request)->served_from_cache);
+
+  // A twin of patch 0 arrives: same features (so Hamming distance 0 to
+  // the query), new name, ingested as a fresh archive.
+  bigearthnet::Archive extra;
+  bigearthnet::PatchMetadata twin = patch0;
+  twin.name = "twin_of_patch_0";
+  extra.patches.push_back(twin);
+  ASSERT_TRUE(
+      system.cbir()->AddImage(twin.name, fixture.features().Row(0)).ok());
+  ASSERT_TRUE(system.IngestArchive(extra).ok());
+
+  auto fresh = system.Execute(request);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->served_from_cache);
+  std::set<std::string> hit_names;
+  for (const CbirResult& hit : fresh->hits) hit_names.insert(hit.patch_name);
+  EXPECT_TRUE(hit_names.count("twin_of_patch_0"))
+      << "stale cached response hid the newly ingested twin";
+  EXPECT_GE(system.query_cache().ResponseStats().stale_drops, 1u);
+}
+
+/// Same guard for the allowlist cache: the response cache is disabled so
+/// the pre-filter leg's cached allowlist is what must invalidate.
+TEST(QueryCacheTest, IngestInvalidatesAllowlistCache) {
+  EarthQubeConfig config;
+  config.cache.enable_response_cache = false;
+  HybridFixture fixture(CbirIndexKind::kHashTable, config);
+  EarthQube& system = fixture.system();
+  const auto& patch0 = fixture.archive().patches[0];
+
+  QueryRequest request;
+  EarthQubeQuery panel;
+  panel.seasons = {patch0.season};
+  request.panel = panel;
+  request.similarity = SimilaritySpec::NameRadius(patch0.name, 6);
+  request.planner = PlannerMode::kForcePreFilter;
+  request.page_size = 0;
+
+  auto warm = system.Execute(request);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  auto replay = system.Execute(request);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->served_from_cache);
+  EXPECT_EQ(system.query_cache().AllowlistStats().hits, 1u);
+  ExpectSameResponse(*warm, *replay);
+
+  // The twin matches the season filter, so a fresh allowlist must
+  // include it; a stale one cannot.
+  bigearthnet::Archive extra;
+  bigearthnet::PatchMetadata twin = patch0;
+  twin.name = "twin_of_patch_0";
+  extra.patches.push_back(twin);
+  ASSERT_TRUE(
+      system.cbir()->AddImage(twin.name, fixture.features().Row(0)).ok());
+  ASSERT_TRUE(system.IngestArchive(extra).ok());
+
+  auto fresh = system.Execute(request);
+  ASSERT_TRUE(fresh.ok());
+  std::set<std::string> hit_names;
+  for (const CbirResult& hit : fresh->hits) hit_names.insert(hit.patch_name);
+  EXPECT_TRUE(hit_names.count("twin_of_patch_0"))
+      << "stale cached allowlist excluded the newly ingested twin";
+  EXPECT_GE(system.query_cache().AllowlistStats().stale_drops, 1u);
+}
+
+TEST(QueryCacheTest, ExecuteBatchDedupesIdenticalRequests) {
+  HybridFixture fixture(CbirIndexKind::kHashTable);
+  EarthQube& system = fixture.system();
+  const std::string& name_a = fixture.archive().patches[3].name;
+  const std::string& name_b = fixture.archive().patches[11].name;
+
+  // Full-panel projection keeps this off the homogeneous hits-only fast
+  // path, so the general (deduping) path executes.
+  QueryRequest a;
+  a.similarity = SimilaritySpec::NameRadius(name_a, 10);
+  QueryRequest b;
+  b.similarity = SimilaritySpec::NameKnn(name_b, 5);
+  const std::vector<QueryRequest> requests = {a, b, a, a, b, a};
+
+  auto batch = system.ExecuteBatch(requests);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), requests.size());
+
+  // Two distinct requests -> exactly two executions: the response cache
+  // saw two misses and zero hits (duplicates were fanned out, not
+  // re-executed, not even served from cache).
+  const cache::CacheStats stats = system.query_cache().ResponseStats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.puts, 2u);
+
+  ExpectSameResponse((*batch)[0], (*batch)[2]);
+  ExpectSameResponse((*batch)[0], (*batch)[3]);
+  ExpectSameResponse((*batch)[0], (*batch)[5]);
+  ExpectSameResponse((*batch)[1], (*batch)[4]);
+  EXPECT_EQ((*batch)[2].served_from_cache, (*batch)[0].served_from_cache);
+
+  // Slot results match what a lone Execute returns.
+  auto solo = system.Execute(a);
+  ASSERT_TRUE(solo.ok());
+  ExpectSameResponse(*solo, (*batch)[0]);
 }
 
 }  // namespace

@@ -225,8 +225,9 @@ class ServiceTest : public ::testing::Test {
     tconfig.batch_size = 16;
     milan::Trainer trainer(model.get(), &features, &sampler, tconfig);
     ASSERT_TRUE(trainer.Train().ok());
-    auto cbir = std::make_unique<earthqube::CbirService>(
-        std::move(model), new bigearthnet::FeatureExtractor());
+    cbir_extractor_ = new bigearthnet::FeatureExtractor();
+    auto cbir = std::make_unique<earthqube::CbirService>(std::move(model),
+                                                         cbir_extractor_);
     std::vector<std::string> names;
     for (const auto& p : archive_->patches) names.push_back(p.name);
     ASSERT_TRUE(cbir->AddImages(names, features).ok());
@@ -242,13 +243,15 @@ class ServiceTest : public ::testing::Test {
     server_->Stop();
     delete server_;
     delete service_;
-    delete system_;
+    delete system_;  // owns the CbirService that references the extractor
+    delete cbir_extractor_;
     delete archive_;
     delete generator_;
   }
 
   static bigearthnet::ArchiveGenerator* generator_;
   static bigearthnet::Archive* archive_;
+  static bigearthnet::FeatureExtractor* cbir_extractor_;
   static earthqube::EarthQube* system_;
   static EarthQubeService* service_;
   static HttpServer* server_;
@@ -256,6 +259,7 @@ class ServiceTest : public ::testing::Test {
 
 bigearthnet::ArchiveGenerator* ServiceTest::generator_ = nullptr;
 bigearthnet::Archive* ServiceTest::archive_ = nullptr;
+bigearthnet::FeatureExtractor* ServiceTest::cbir_extractor_ = nullptr;
 earthqube::EarthQube* ServiceTest::system_ = nullptr;
 EarthQubeService* ServiceTest::service_ = nullptr;
 HttpServer* ServiceTest::server_ = nullptr;
@@ -929,6 +933,76 @@ TEST_F(ServiceTest, ErrorsUseSharedJsonEnvelope) {
   ASSERT_TRUE(wrong_body.ok()) << wrong_method->body;
   EXPECT_EQ(wrong_body->GetPath("error.code")->as_string(),
             "method_not_allowed");
+}
+
+TEST_F(ServiceTest, CachedV2ResponseIsByteIdenticalExceptFlag) {
+  HttpClient client;
+  // A request no earlier test issued, so the first round trip is a miss.
+  const std::string body =
+      R"({"similarity":{"name":")" + archive_->patches[42].name +
+      R"(","radius":9}})";
+
+  auto first = client.Post(server_->port(), "/api/v2/query", body);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->status_code, 200) << first->body;
+  EXPECT_NE(first->body.find("\"served_from_cache\":false"),
+            std::string::npos);
+
+  auto second = client.Post(server_->port(), "/api/v2/query", body);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->status_code, 200) << second->body;
+  EXPECT_NE(second->body.find("\"served_from_cache\":true"),
+            std::string::npos);
+
+  // Normalising the cache flag must make the wire bodies byte-identical
+  // (same results, same paging cursor, same plan and statistics).
+  std::string normalized = second->body;
+  const size_t pos = normalized.find("\"served_from_cache\":true");
+  ASSERT_NE(pos, std::string::npos);
+  normalized.replace(pos, std::string("\"served_from_cache\":true").size(),
+                     "\"served_from_cache\":false");
+  EXPECT_EQ(first->body, normalized);
+}
+
+TEST_F(ServiceTest, CacheStatsEndpoint) {
+  HttpClient client;
+  auto before = client.Get(server_->port(), "/api/v2/cache/stats");
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->status_code, 200) << before->body;
+  auto before_body = json::ParseObject(before->body);
+  ASSERT_TRUE(before_body.ok()) << before->body;
+  ASSERT_TRUE(before_body->Get("epoch")->is_int64());
+  for (const char* which : {"response_cache", "allowlist_cache"}) {
+    const Value* stats = before_body->Get(which);
+    ASSERT_TRUE(stats != nullptr && stats->is_document()) << which;
+    const Document& d = stats->as_document();
+    EXPECT_TRUE(d.Get("enabled")->as_bool());
+    for (const char* field : {"hits", "misses", "puts", "rejected_puts",
+                              "evictions", "stale_drops", "expired_drops",
+                              "entries", "bytes", "capacity_bytes"}) {
+      ASSERT_TRUE(d.Get(field) != nullptr && d.Get(field)->is_int64())
+          << which << "." << field;
+    }
+    EXPECT_TRUE(d.Get("hit_rate")->is_number());
+  }
+  const int64_t hits_before =
+      before_body->GetPath("response_cache.hits")->as_int64();
+
+  // One repeated query adds exactly one response-cache hit.
+  const std::string body =
+      R"({"similarity":{"name":")" + archive_->patches[55].name +
+      R"(","k":4}})";
+  ASSERT_EQ(client.Post(server_->port(), "/api/v2/query", body)->status_code,
+            200);
+  ASSERT_EQ(client.Post(server_->port(), "/api/v2/query", body)->status_code,
+            200);
+
+  auto after = client.Get(server_->port(), "/api/v2/cache/stats");
+  ASSERT_TRUE(after.ok());
+  auto after_body = json::ParseObject(after->body);
+  ASSERT_TRUE(after_body.ok()) << after->body;
+  EXPECT_EQ(after_body->GetPath("response_cache.hits")->as_int64(),
+            hits_before + 1);
 }
 
 }  // namespace
