@@ -243,6 +243,67 @@ StatusOr<std::vector<std::vector<CbirResult>>> CbirService::QueryBatch(
   return out;
 }
 
+std::vector<std::vector<CbirResult>> CbirService::RadiusBatchByCode(
+    const std::vector<BinaryCode>& codes, uint32_t radius,
+    const std::vector<size_t>& max_results,
+    const std::vector<std::string>& exclude_names) const {
+  const auto batch_hits = index_->BatchRadiusSearch(codes, radius, QueryPool());
+  std::vector<std::vector<CbirResult>> out(codes.size());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    out[i] = ToResults(batch_hits[i], max_results[i], exclude_names[i]);
+  }
+  return out;
+}
+
+std::vector<std::vector<CbirResult>> CbirService::KnnBatchByCode(
+    const std::vector<BinaryCode>& codes, size_t k,
+    const std::vector<std::string>& exclude_names) const {
+  std::vector<std::vector<CbirResult>> out(codes.size());
+  if (k == 0) return out;  // same guard as KnnByCode
+  // One extra per query so a self-match can be dropped; slots without
+  // an exclusion take the first k of the canonical (distance, id)
+  // order, which equals a direct k-fetch.
+  const bool any_exclude =
+      std::any_of(exclude_names.begin(), exclude_names.end(),
+                  [](const std::string& name) { return !name.empty(); });
+  const auto batch_hits =
+      index_->BatchKnnSearch(codes, any_exclude ? k + 1 : k, QueryPool());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    out[i] = ToResults(batch_hits[i], k, exclude_names[i]);
+  }
+  return out;
+}
+
+std::vector<std::vector<CbirResult>> CbirService::RadiusBatchByCodeRestricted(
+    const std::vector<BinaryCode>& codes, uint32_t radius,
+    const std::vector<size_t>& max_results, const index::CandidateSet& allowed,
+    const std::vector<std::string>& exclude_names) const {
+  const auto batch_hits =
+      index_->BatchRadiusSearchIn(codes, radius, allowed, QueryPool());
+  std::vector<std::vector<CbirResult>> out(codes.size());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    out[i] = ToResults(batch_hits[i], max_results[i], exclude_names[i]);
+  }
+  return out;
+}
+
+std::vector<std::vector<CbirResult>> CbirService::KnnBatchByCodeRestricted(
+    const std::vector<BinaryCode>& codes, size_t k,
+    const index::CandidateSet& allowed,
+    const std::vector<std::string>& exclude_names) const {
+  std::vector<std::vector<CbirResult>> out(codes.size());
+  if (k == 0) return out;
+  const bool any_exclude =
+      std::any_of(exclude_names.begin(), exclude_names.end(),
+                  [](const std::string& name) { return !name.empty(); });
+  const auto batch_hits = index_->BatchKnnSearchIn(
+      codes, any_exclude ? k + 1 : k, allowed, QueryPool());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    out[i] = ToResults(batch_hits[i], k, exclude_names[i]);
+  }
+  return out;
+}
+
 StatusOr<BinaryCode> CbirService::CodeOf(const std::string& patch_name) const {
   auto it = code_by_name_.find(patch_name);
   if (it == code_by_name_.end()) {

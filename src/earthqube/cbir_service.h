@@ -129,6 +129,33 @@ class CbirService {
   StatusOr<std::vector<std::vector<CbirResult>>> QueryBatch(
       const Tensor& features, uint32_t radius, size_t max_results = 0);
 
+  // --- batch code-level queries (the execution engine's micro-batch
+  // --- entry points) -------------------------------------------------------
+  //
+  // Per-slot caps and excludes: slot i equals the corresponding single
+  // code-level call with max_results[i] / exclude_names[i].  The
+  // `max_results` and `exclude_names` vectors must match `codes` in
+  // length.
+
+  std::vector<std::vector<CbirResult>> RadiusBatchByCode(
+      const std::vector<BinaryCode>& codes, uint32_t radius,
+      const std::vector<size_t>& max_results,
+      const std::vector<std::string>& exclude_names) const;
+  std::vector<std::vector<CbirResult>> KnnBatchByCode(
+      const std::vector<BinaryCode>& codes, size_t k,
+      const std::vector<std::string>& exclude_names) const;
+  /// Candidate-restricted flavours (micro-batched pre-filter hybrids:
+  /// many query codes against one shared allowlist).
+  std::vector<std::vector<CbirResult>> RadiusBatchByCodeRestricted(
+      const std::vector<BinaryCode>& codes, uint32_t radius,
+      const std::vector<size_t>& max_results,
+      const index::CandidateSet& allowed,
+      const std::vector<std::string>& exclude_names) const;
+  std::vector<std::vector<CbirResult>> KnnBatchByCodeRestricted(
+      const std::vector<BinaryCode>& codes, size_t k,
+      const index::CandidateSet& allowed,
+      const std::vector<std::string>& exclude_names) const;
+
   /// The stored code of an archive image.
   StatusOr<BinaryCode> CodeOf(const std::string& patch_name) const;
 

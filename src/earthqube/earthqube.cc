@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "earthqube/exec/execution_engine.h"
 #include "earthqube/zip_writer.h"
 
 #include "common/logging.h"
@@ -28,7 +29,12 @@ EarthQube::EarthQube(EarthQubeConfig config)
     (void)image_data_->CreateHashIndex("name", /*unique=*/true);
     (void)rendered_->CreateHashIndex("name", /*unique=*/true);
   }
+  if (config_.exec.enable) {
+    engine_ = std::make_unique<ExecutionEngine>(this, config_.exec);
+  }
 }
+
+EarthQube::~EarthQube() = default;
 
 Status EarthQube::IngestArchive(const bigearthnet::Archive& archive) {
   if (config_.build_indexes && metadata_->size() == 0) {
@@ -148,17 +154,11 @@ StatusOr<QueryResponse> EarthQube::ExecutePanelOnly(
   return response;
 }
 
-StatusOr<QueryResponse> EarthQube::ExecuteCbirOnly(
-    const QueryRequest& request) const {
+StatusOr<QueryResponse> EarthQube::BuildCbirResponse(
+    const QueryRequest& request, std::vector<CbirResult> hits) const {
   const SimilaritySpec& spec = *request.similarity;
-  std::string exclude;
-  AGORAEO_ASSIGN_OR_RETURN(BinaryCode code,
-                           ResolveSimilarityCode(spec, &exclude));
   QueryResponse response;
-  response.hits =
-      spec.radius.has_value()
-          ? cbir_->RadiusByCode(code, *spec.radius, spec.limit, exclude)
-          : cbir_->KnnByCode(code, *spec.k, exclude);
+  response.hits = std::move(hits);
   response.query_stats.plan = "CBIR";
   response.plan.strategy = QueryPlan::Strategy::kCbirOnly;
   response.plan.description =
@@ -174,98 +174,137 @@ StatusOr<QueryResponse> EarthQube::ExecuteCbirOnly(
   return response;
 }
 
+StatusOr<QueryResponse> EarthQube::ExecuteCbirOnly(
+    const QueryRequest& request) const {
+  const SimilaritySpec& spec = *request.similarity;
+  std::string exclude;
+  AGORAEO_ASSIGN_OR_RETURN(BinaryCode code,
+                           ResolveSimilarityCode(spec, &exclude));
+  std::vector<CbirResult> hits =
+      spec.radius.has_value()
+          ? cbir_->RadiusByCode(code, *spec.radius, spec.limit, exclude)
+          : cbir_->KnnByCode(code, *spec.k, exclude);
+  return BuildCbirResponse(request, std::move(hits));
+}
+
+EarthQube::HybridPlanInfo EarthQube::PlanHybrid(const QueryRequest& request,
+                                                const Filter& filter) const {
+  // Cheap selectivity estimate: index candidate counts only, no
+  // document verification.
+  std::string estimate_plan;
+  HybridPlanInfo info;
+  info.estimated = metadata_->EstimateMatches(filter, &estimate_plan);
+  const size_t collection_size = metadata_->size();
+  info.selectivity = collection_size == 0
+                         ? 1.0
+                         : static_cast<double>(info.estimated) /
+                               static_cast<double>(collection_size);
+  switch (request.planner) {
+    case PlannerMode::kForcePreFilter:
+      info.strategy = QueryPlan::Strategy::kPreFilter;
+      break;
+    case PlannerMode::kForcePostFilter:
+      info.strategy = QueryPlan::Strategy::kPostFilter;
+      break;
+    case PlannerMode::kAuto:
+    default:
+      info.strategy = info.selectivity <= config_.prefilter_selectivity_threshold
+                          ? QueryPlan::Strategy::kPreFilter
+                          : QueryPlan::Strategy::kPostFilter;
+      break;
+  }
+  return info;
+}
+
+StatusOr<std::shared_ptr<const CachedAllowlist>> EarthQube::ObtainAllowlist(
+    const EarthQubeQuery& panel, const Filter& filter) const {
+  // Hot panel filters skip the docstore pass entirely via the allowlist
+  // cache (the cached entry replays the original filter pass's stats so
+  // the response stays byte-identical).
+  std::optional<std::string> allowlist_fp;
+  if (config_.cache.enable_allowlist_cache) {
+    allowlist_fp = QueryCache::PanelFingerprint(panel,
+                                                /*include_limit=*/false);
+    if (auto cached = query_cache_.GetAllowlist(*allowlist_fp)) return cached;
+  }
+  // Epoch snapshot before the filter pass, for the same racing-ingest
+  // reason as in ExecuteAndCache.
+  const uint64_t epoch_snapshot = query_cache_.epoch();
+  auto fresh = std::make_shared<CachedAllowlist>();
+  const auto docs = metadata_->Find(filter, 0, &fresh->filter_stats);
+  std::vector<std::string> names;
+  names.reserve(docs.size());
+  for (const Document* doc : docs) {
+    const Value* name = doc->GetPath(kFieldName);
+    if (name != nullptr && name->is_string()) {
+      names.push_back(name->as_string());
+    }
+  }
+  fresh->candidates = cbir_->CandidatesFromNames(names);
+  if (allowlist_fp.has_value()) {
+    query_cache_.PutAllowlist(*allowlist_fp, fresh, epoch_snapshot);
+  }
+  return std::shared_ptr<const CachedAllowlist>(std::move(fresh));
+}
+
+StatusOr<QueryResponse> EarthQube::BuildHybridPreResponse(
+    const QueryRequest& request, const HybridPlanInfo& plan,
+    const CachedAllowlist& allowlist, std::vector<CbirResult> hits) const {
+  QueryResponse response;
+  response.plan.strategy = plan.strategy;
+  response.plan.estimated_selectivity = plan.selectivity;
+  response.plan.estimated_filter_matches = plan.estimated;
+  response.query_stats = allowlist.filter_stats;
+  response.hits = std::move(hits);
+  char sel_text[32];
+  std::snprintf(sel_text, sizeof(sel_text), "%.4f", plan.selectivity);
+  response.plan.description =
+      "HYBRID(pre-filter: " + response.query_stats.plan + " -> " +
+      std::to_string(allowlist.candidates.size()) +
+      " candidates -> restricted " + cbir_->hamming_index().Name() +
+      ", est_sel=" + sel_text + ")";
+  response.query_stats.plan = response.plan.description;
+  if (request.projection == Projection::kFullPanel) {
+    AGORAEO_RETURN_IF_ERROR(JoinHits(response.hits, &response));
+  }
+  FinishPaging(request, &response);
+  return response;
+}
+
 StatusOr<QueryResponse> EarthQube::ExecuteHybrid(
     const QueryRequest& request) const {
   const SimilaritySpec& spec = *request.similarity;
   const Filter filter = request.panel->ToFilter(
       config_.label_encoding == LabelEncoding::kAsciiCompressed);
-
-  // Cheap selectivity estimate: index candidate counts only, no
-  // document verification.
-  std::string estimate_plan;
-  const size_t estimated = metadata_->EstimateMatches(filter, &estimate_plan);
-  const size_t collection_size = metadata_->size();
-  const double selectivity =
-      collection_size == 0
-          ? 1.0
-          : static_cast<double>(estimated) /
-                static_cast<double>(collection_size);
-
-  QueryPlan::Strategy strategy;
-  switch (request.planner) {
-    case PlannerMode::kForcePreFilter:
-      strategy = QueryPlan::Strategy::kPreFilter;
-      break;
-    case PlannerMode::kForcePostFilter:
-      strategy = QueryPlan::Strategy::kPostFilter;
-      break;
-    case PlannerMode::kAuto:
-    default:
-      strategy = selectivity <= config_.prefilter_selectivity_threshold
-                     ? QueryPlan::Strategy::kPreFilter
-                     : QueryPlan::Strategy::kPostFilter;
-      break;
-  }
+  const HybridPlanInfo plan = PlanHybrid(request, filter);
 
   std::string exclude;
   AGORAEO_ASSIGN_OR_RETURN(BinaryCode code,
                            ResolveSimilarityCode(spec, &exclude));
 
-  QueryResponse response;
-  response.plan.strategy = strategy;
-  response.plan.estimated_selectivity = selectivity;
-  response.plan.estimated_filter_matches = estimated;
-
-  char sel_text[32];
-  std::snprintf(sel_text, sizeof(sel_text), "%.4f", selectivity);
-
-  if (strategy == QueryPlan::Strategy::kPreFilter) {
+  if (plan.strategy == QueryPlan::Strategy::kPreFilter) {
     // Filter first: the docstore produces the allowlist, then the
-    // Hamming index searches only within it.  Hot panel filters skip
-    // the docstore pass entirely via the allowlist cache (the cached
-    // entry replays the original filter pass's stats so the response
-    // stays byte-identical).
-    std::optional<std::string> allowlist_fp;
-    std::shared_ptr<const CachedAllowlist> allowlist;
-    if (config_.cache.enable_allowlist_cache) {
-      allowlist_fp = QueryCache::PanelFingerprint(*request.panel,
-                                                  /*include_limit=*/false);
-      allowlist = query_cache_.GetAllowlist(*allowlist_fp);
-    }
-    if (allowlist == nullptr) {
-      // Epoch snapshot before the filter pass, for the same
-      // racing-ingest reason as in Execute.
-      const uint64_t epoch_snapshot = query_cache_.epoch();
-      const auto docs = metadata_->Find(filter, 0, &response.query_stats);
-      std::vector<std::string> names;
-      names.reserve(docs.size());
-      for (const Document* doc : docs) {
-        const Value* name = doc->GetPath(kFieldName);
-        if (name != nullptr && name->is_string()) {
-          names.push_back(name->as_string());
-        }
-      }
-      auto fresh = std::make_shared<CachedAllowlist>();
-      fresh->candidates = cbir_->CandidatesFromNames(names);
-      fresh->filter_stats = response.query_stats;
-      if (allowlist_fp.has_value()) {
-        query_cache_.PutAllowlist(*allowlist_fp, fresh, epoch_snapshot);
-      }
-      allowlist = std::move(fresh);
-    } else {
-      response.query_stats = allowlist->filter_stats;
-    }
+    // Hamming index searches only within it.
+    AGORAEO_ASSIGN_OR_RETURN(std::shared_ptr<const CachedAllowlist> allowlist,
+                             ObtainAllowlist(*request.panel, filter));
     const index::CandidateSet& allowed = allowlist->candidates;
-    response.hits =
+    std::vector<CbirResult> hits =
         spec.radius.has_value()
             ? cbir_->RadiusByCodeRestricted(code, *spec.radius, spec.limit,
                                             allowed, exclude)
             : cbir_->KnnByCodeRestricted(code, *spec.k, allowed, exclude);
-    response.plan.description =
-        "HYBRID(pre-filter: " + response.query_stats.plan + " -> " +
-        std::to_string(allowed.size()) + " candidates -> restricted " +
-        cbir_->hamming_index().Name() + ", est_sel=" + sel_text + ")";
-  } else {
+    return BuildHybridPreResponse(request, plan, *allowlist, std::move(hits));
+  }
+
+  QueryResponse response;
+  response.plan.strategy = plan.strategy;
+  response.plan.estimated_selectivity = plan.selectivity;
+  response.plan.estimated_filter_matches = plan.estimated;
+
+  char sel_text[32];
+  std::snprintf(sel_text, sizeof(sel_text), "%.4f", plan.selectivity);
+
+  {
     // Search first: unrestricted Hamming search, then join each hit's
     // metadata and keep the filter survivors.
     std::vector<CbirResult> survivors;
@@ -312,43 +351,97 @@ StatusOr<QueryResponse> EarthQube::ExecuteHybrid(
   return response;
 }
 
-StatusOr<QueryResponse> EarthQube::Execute(const QueryRequest& request) const {
-  return ExecuteWithFingerprint(request,
-                                request.similarity.has_value()
-                                    ? QueryCache::RequestFingerprint(request)
-                                    : std::nullopt);
-}
-
-StatusOr<QueryResponse> EarthQube::ExecuteWithFingerprint(
-    const QueryRequest& request,
-    std::optional<std::string> fingerprint) const {
+Status EarthQube::PreflightCheck(const QueryRequest& request) const {
   AGORAEO_RETURN_IF_ERROR(request.Validate());
   if (request.similarity.has_value() && cbir_ == nullptr) {
     return Status::FailedPrecondition("no CBIR service attached");
   }
+  return Status::OK();
+}
+
+std::optional<StatusOr<QueryResponse>> EarthQube::ProbeCaches(
+    const QueryRequest& request,
+    const std::optional<std::string>& fingerprint) const {
   // Response cache: CBIR-only and hybrid requests (the hot interactive
   // shapes; uploaded-patch subjects have no cheap fingerprint).  A hit
   // replays the stored response byte-for-byte, flagged served_from_cache.
-  if (!config_.cache.enable_response_cache ||
-      !request.similarity.has_value()) {
-    fingerprint.reset();
+  if (!fingerprint.has_value() || !request.similarity.has_value()) {
+    return std::nullopt;
   }
-  if (fingerprint.has_value()) {
+  if (config_.cache.enable_response_cache) {
     if (auto cached = query_cache_.GetResponse(*fingerprint)) {
       QueryResponse out = *cached;
       out.served_from_cache = true;
-      return out;
+      return StatusOr<QueryResponse>(std::move(out));
     }
   }
+  // Negative cache: a recently observed NotFound (bad archive name) is
+  // replayed without touching the docstore or index; the short TTL and
+  // the epoch bound how long a since-ingested name keeps failing.
+  if (config_.cache.enable_negative_cache) {
+    if (auto negative = query_cache_.GetNegative(*fingerprint)) {
+      return StatusOr<QueryResponse>(*negative);
+    }
+  }
+  return std::nullopt;
+}
+
+void EarthQube::CacheResponse(const QueryRequest& request,
+                              const std::optional<std::string>& fingerprint,
+                              const QueryResponse& response,
+                              uint64_t epoch_snapshot) const {
+  if (!fingerprint.has_value() || !request.similarity.has_value()) return;
+  query_cache_.PutResponse(*fingerprint, response, epoch_snapshot);
+}
+
+void EarthQube::MaybeCacheNegative(
+    const QueryRequest& request,
+    const std::optional<std::string>& fingerprint, const Status& status,
+    uint64_t epoch_snapshot) const {
+  if (!fingerprint.has_value() || !request.similarity.has_value()) return;
+  if (!status.IsNotFound()) return;
+  query_cache_.PutNegative(*fingerprint, status, epoch_snapshot);
+}
+
+StatusOr<QueryResponse> EarthQube::ExecuteAndCache(
+    const QueryRequest& request,
+    const std::optional<std::string>& fingerprint) const {
   // Snapshot the epoch BEFORE executing: an ingest racing this query
   // bumps it, leaving the entry we put below stale instead of serving
   // pre-ingest data as fresh.
   const uint64_t epoch_snapshot = query_cache_.epoch();
   auto response = ExecuteUncached(request);
-  if (response.ok() && fingerprint.has_value()) {
-    query_cache_.PutResponse(*fingerprint, *response, epoch_snapshot);
+  if (response.ok()) {
+    CacheResponse(request, fingerprint, *response, epoch_snapshot);
+  } else {
+    MaybeCacheNegative(request, fingerprint, response.status(),
+                       epoch_snapshot);
   }
   return response;
+}
+
+StatusOr<QueryResponse> EarthQube::ExecuteSync(
+    const QueryRequest& request) const {
+  AGORAEO_RETURN_IF_ERROR(PreflightCheck(request));
+  const std::optional<std::string> fingerprint =
+      QueryCache::RequestFingerprint(request);
+  if (auto probed = ProbeCaches(request, fingerprint)) return *probed;
+  return ExecuteAndCache(request, fingerprint);
+}
+
+StatusOr<QueryResponse> EarthQube::Execute(const QueryRequest& request) const {
+  if (engine_ != nullptr) return engine_->Submit(request).Get();
+  return ExecuteSync(request);
+}
+
+void EarthQube::ExecuteAsync(
+    const QueryRequest& request,
+    std::function<void(const StatusOr<QueryResponse>&)> done) const {
+  if (engine_ != nullptr) {
+    engine_->SubmitAsync(request, std::move(done));
+    return;
+  }
+  done(ExecuteSync(request));
 }
 
 StatusOr<QueryResponse> EarthQube::ExecuteUncached(
@@ -360,83 +453,39 @@ StatusOr<QueryResponse> EarthQube::ExecuteUncached(
 
 StatusOr<std::vector<QueryResponse>> EarthQube::ExecuteBatch(
     const std::vector<QueryRequest>& requests) const {
-  // Homogeneous CBIR-only by-name batches (the /cbir/batch_search
-  // shape) share one thread-parallel index pass instead of N
-  // independent searches.
-  const auto batchable = [&]() -> bool {
-    if (requests.empty() || cbir_ == nullptr) return false;
-    const SimilaritySpec* first = nullptr;
-    for (const QueryRequest& r : requests) {
-      if (r.panel.has_value() || !r.similarity.has_value() ||
-          !r.similarity->archive_name.has_value() ||
-          r.projection != Projection::kHitsOnly) {
-        return false;
-      }
-      if (first == nullptr) {
-        first = &*r.similarity;
-        continue;
-      }
-      if (r.similarity->radius != first->radius ||
-          r.similarity->k != first->k ||
-          r.similarity->limit != first->limit) {
-        return false;
-      }
-    }
-    return true;
-  }();
-
   std::vector<QueryResponse> out;
   out.reserve(requests.size());
-  if (batchable) {
-    for (const QueryRequest& r : requests) {
-      AGORAEO_RETURN_IF_ERROR(r.Validate());
-    }
-    const SimilaritySpec& spec = *requests.front().similarity;
-    std::vector<std::string> names;
-    names.reserve(requests.size());
-    for (const QueryRequest& r : requests) {
-      names.push_back(*r.similarity->archive_name);
-    }
-    AGORAEO_ASSIGN_OR_RETURN(
-        std::vector<std::vector<CbirResult>> batch,
-        spec.radius.has_value()
-            ? cbir_->QueryBatchByName(names, *spec.radius, spec.limit)
-            : cbir_->KnnBatchByName(names, *spec.k));
-    for (size_t i = 0; i < requests.size(); ++i) {
-      QueryResponse response;
-      response.hits = std::move(batch[i]);
-      response.query_stats.plan = "CBIR";
-      response.plan.strategy = QueryPlan::Strategy::kCbirOnly;
-      response.plan.description =
-          "CBIR(batch, " + cbir_->hamming_index().Name() + ")";
-      FinishPaging(requests[i], &response);
+  if (engine_ != nullptr) {
+    // One admission gate for the whole batch: identical requests
+    // coalesce onto one execution (singleflight fan-out) and distinct
+    // compatible CBIR/hybrid shapes fuse into micro-batched index
+    // passes — the engine replaces both of the old ExecuteBatch
+    // special cases (fingerprint dedup and the homogeneous by-name
+    // fast path) with one code path shared with Execute.
+    std::vector<ExecutionEngine::Ticket> tickets =
+        engine_->SubmitBatch(requests);
+    for (ExecutionEngine::Ticket& ticket : tickets) {
+      AGORAEO_ASSIGN_OR_RETURN(QueryResponse response, ticket.Get());
       out.push_back(std::move(response));
     }
     return out;
   }
-
-  // General path: dedupe identical requests (by canonical fingerprint)
-  // so each distinct query executes once and fans its response out to
-  // every duplicate slot — the request-level mirror of the code-level
-  // dedup BatchRadiusSearch does inside the index.
+  // Engine off: per-request synchronous execution, with the same
+  // fingerprint dedup the coalescer provides — identical requests
+  // execute once and fan out (the pre-engine ExecuteBatch contract).
   out.resize(requests.size());
   std::unordered_map<std::string, size_t> first_slot_by_fp;
   std::vector<size_t> duplicate_of(requests.size(), SIZE_MAX);
-  std::vector<std::optional<std::string>> fingerprints(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
-    fingerprints[i] = QueryCache::RequestFingerprint(requests[i]);
-    if (!fingerprints[i].has_value()) {
-      continue;  // uploaded-patch subjects stay unique
+    const auto fingerprint = QueryCache::RequestFingerprint(requests[i]);
+    if (fingerprint.has_value()) {
+      auto [it, inserted] = first_slot_by_fp.emplace(*fingerprint, i);
+      if (!inserted) {
+        duplicate_of[i] = it->second;
+        continue;
+      }
     }
-    auto [it, inserted] = first_slot_by_fp.emplace(*fingerprints[i], i);
-    if (!inserted) duplicate_of[i] = it->second;
-  }
-  for (size_t i = 0; i < requests.size(); ++i) {
-    if (duplicate_of[i] != SIZE_MAX) continue;
-    // The dedup fingerprint doubles as the response-cache key.
-    AGORAEO_ASSIGN_OR_RETURN(
-        out[i],
-        ExecuteWithFingerprint(requests[i], std::move(fingerprints[i])));
+    AGORAEO_ASSIGN_OR_RETURN(out[i], ExecuteSync(requests[i]));
   }
   for (size_t i = 0; i < requests.size(); ++i) {
     if (duplicate_of[i] != SIZE_MAX) out[i] = out[duplicate_of[i]];

@@ -5,9 +5,12 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "bigearthnet/archive_generator.h"
 #include "docstore/database.h"
 #include "earthqube/cbir_service.h"
+#include "earthqube/exec/exec_config.h"
 #include "earthqube/query.h"
 #include "earthqube/query_cache.h"
 #include "earthqube/query_request.h"
@@ -16,6 +19,8 @@
 #include "earthqube/statistics.h"
 
 namespace agoraeo::earthqube {
+
+class ExecutionEngine;
 
 /// Back-end configuration.
 struct EarthQubeConfig {
@@ -37,6 +42,11 @@ struct EarthQubeConfig {
   /// and allowlist cache (hot pre-filter panel filters), both epoch-
   /// invalidated by archive mutations.  See QueryCacheConfig.
   QueryCacheConfig cache;
+  /// Staged execution engine: admission queue, cross-request miss
+  /// coalescing (singleflight) and micro-batching of distinct in-flight
+  /// misses.  See ExecConfig; disabling it restores the synchronous
+  /// per-caller execution path.
+  ExecConfig exec;
 };
 
 /// A search response: the result panel model, the label-statistics view,
@@ -55,6 +65,7 @@ struct SearchResponse {
 class EarthQube {
  public:
   explicit EarthQube(EarthQubeConfig config = {});
+  ~EarthQube();
 
   /// Loads an archive's metadata into the metadata collection and builds
   /// the configured indexes.
@@ -75,11 +86,28 @@ class EarthQube {
   /// filter).  Both strategies return identical result sets; the choice
   /// is reported in QueryResponse::plan.  Every other query entry point
   /// of this facade is a shim over this method.
+  ///
+  /// With the execution engine enabled (config().exec.enable, the
+  /// default) this is a thin shim over engine Submit(...).Get():
+  /// concurrent identical requests coalesce onto one execution and
+  /// distinct in-flight misses may share one batched index pass.
   StatusOr<QueryResponse> Execute(const QueryRequest& request) const;
 
+  /// Asynchronous flavour of Execute: `done` is invoked exactly once
+  /// with the response — on an engine worker thread, or inline when the
+  /// request completes at admission (validation error, cache hit) or
+  /// the engine is disabled.  The deferred netsvc pipeline parks
+  /// requests on this instead of occupying an HTTP worker per in-flight
+  /// query.
+  void ExecuteAsync(
+      const QueryRequest& request,
+      std::function<void(const StatusOr<QueryResponse>&)> done) const;
+
   /// Executes a request batch: slot i holds what Execute(requests[i])
-  /// would return.  Homogeneous CBIR-only by-name batches (the
-  /// /cbir/batch_search shape) share one thread-parallel index pass.
+  /// would return.  The whole batch is admitted to the engine under one
+  /// gate, so identical requests execute once (singleflight fan-out)
+  /// and homogeneous CBIR shapes (the /cbir/batch_search pattern) fuse
+  /// into micro-batched index passes.
   StatusOr<std::vector<QueryResponse>> ExecuteBatch(
       const std::vector<QueryRequest>& requests) const;
 
@@ -171,16 +199,47 @@ class EarthQube {
   /// automatically; callers mutating the CBIR service directly via
   /// cbir() must call query_cache().Invalidate() themselves.
   QueryCache& query_cache() const { return query_cache_; }
+  /// The staged execution engine (stats endpoint, tests, benches);
+  /// null when config().exec.enable is false.
+  ExecutionEngine* exec_engine() const { return engine_.get(); }
   size_t num_images() const;
 
  private:
+  friend class ExecutionEngine;
+
   StatusOr<ResultEntry> EntryFromDocument(const docstore::Document& doc) const;
 
-  /// Execute body reusing a fingerprint the caller (ExecuteBatch's
-  /// dedup pass) already computed; nullopt = not fingerprintable.
-  StatusOr<QueryResponse> ExecuteWithFingerprint(
+  /// Stage-1 admission checks shared by the synchronous path and the
+  /// engine: request validation plus the CBIR-attached precondition.
+  Status PreflightCheck(const QueryRequest& request) const;
+
+  /// Probes the response and negative caches for a fingerprintable
+  /// similarity request.  Returns the replayed response (flagged
+  /// served_from_cache), the cached NotFound, or nullopt on miss.
+  std::optional<StatusOr<QueryResponse>> ProbeCaches(
       const QueryRequest& request,
-      std::optional<std::string> fingerprint) const;
+      const std::optional<std::string>& fingerprint) const;
+
+  /// One uncached execution bracketed by cache bookkeeping: the epoch
+  /// is snapshotted before the reads, successful similarity responses
+  /// are Put, and NotFound similarity subjects are negative-cached.
+  StatusOr<QueryResponse> ExecuteAndCache(
+      const QueryRequest& request,
+      const std::optional<std::string>& fingerprint) const;
+
+  /// The engine-off Execute body: preflight -> cache probe ->
+  /// ExecuteAndCache, all on the caller's thread.
+  StatusOr<QueryResponse> ExecuteSync(const QueryRequest& request) const;
+
+  /// Cache-put halves of ExecuteAndCache, exposed to the engine's
+  /// micro-batch paths (which snapshot one epoch per shared pass).
+  void CacheResponse(const QueryRequest& request,
+                     const std::optional<std::string>& fingerprint,
+                     const QueryResponse& response,
+                     uint64_t epoch_snapshot) const;
+  void MaybeCacheNegative(const QueryRequest& request,
+                          const std::optional<std::string>& fingerprint,
+                          const Status& status, uint64_t epoch_snapshot) const;
 
   /// Execute minus the response-cache layer.
   StatusOr<QueryResponse> ExecuteUncached(const QueryRequest& request) const;
@@ -189,6 +248,37 @@ class EarthQube {
   StatusOr<QueryResponse> ExecutePanelOnly(const QueryRequest& request) const;
   StatusOr<QueryResponse> ExecuteCbirOnly(const QueryRequest& request) const;
   StatusOr<QueryResponse> ExecuteHybrid(const QueryRequest& request) const;
+
+  // --- response materialisation, shared with the engine --------------------
+  //
+  // The engine's micro-batch passes produce raw hit lists; these build
+  // the per-request QueryResponse exactly as the synchronous paths do,
+  // so batched and direct executions stay byte-identical.
+
+  /// Builds a CBIR-only response from raw hits (plan description, join
+  /// for full-panel projection, paging).
+  StatusOr<QueryResponse> BuildCbirResponse(const QueryRequest& request,
+                                            std::vector<CbirResult> hits) const;
+
+  /// The hybrid planner's decision for one request.
+  struct HybridPlanInfo {
+    QueryPlan::Strategy strategy = QueryPlan::Strategy::kPostFilter;
+    double selectivity = 1.0;
+    size_t estimated = 0;
+  };
+  HybridPlanInfo PlanHybrid(const QueryRequest& request,
+                            const docstore::Filter& filter) const;
+
+  /// Returns the pre-filter candidate allowlist for a panel filter,
+  /// from the allowlist cache when warm, otherwise via a docstore
+  /// filter pass (cached afterwards).
+  StatusOr<std::shared_ptr<const CachedAllowlist>> ObtainAllowlist(
+      const EarthQubeQuery& panel, const docstore::Filter& filter) const;
+
+  /// Builds a pre-filter hybrid response from restricted-search hits.
+  StatusOr<QueryResponse> BuildHybridPreResponse(
+      const QueryRequest& request, const HybridPlanInfo& plan,
+      const CachedAllowlist& allowlist, std::vector<CbirResult> hits) const;
 
   /// Resolves a similarity spec's subject to (code, exclude_name).
   StatusOr<BinaryCode> ResolveSimilarityCode(const SimilaritySpec& spec,
@@ -213,6 +303,9 @@ class EarthQube {
   docstore::Collection* rendered_;
   docstore::Collection* feedback_;
   std::unique_ptr<CbirService> cbir_;
+  /// Declared last: the engine's workers reference every member above,
+  /// so it must be destroyed (drained and joined) first.
+  std::unique_ptr<ExecutionEngine> engine_;
 };
 
 }  // namespace agoraeo::earthqube

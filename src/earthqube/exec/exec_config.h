@@ -1,0 +1,61 @@
+#ifndef AGORAEO_EARTHQUBE_EXEC_EXEC_CONFIG_H_
+#define AGORAEO_EARTHQUBE_EXEC_EXEC_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace agoraeo::earthqube {
+
+/// Knobs of the staged execution engine (EarthQubeConfig::exec).
+///
+/// The engine turns EarthQube::Execute from a per-caller synchronous
+/// path into a staged pipeline — validate/plan, admission queue,
+/// fingerprint-keyed coalescer, micro-batcher, per-request
+/// materialisation — so concurrent interactive traffic shares work
+/// instead of repeating it.
+struct ExecConfig {
+  /// Master switch.  Off = every entry point executes synchronously on
+  /// the caller's thread (the pre-engine behaviour); the async facade
+  /// methods then complete inline.
+  bool enable = true;
+  /// Singleflight: concurrent requests with identical canonical
+  /// fingerprints collapse onto one in-flight execution and share the
+  /// resulting response.
+  bool coalesce = true;
+  /// Micro-batching: distinct in-flight CBIR/hybrid misses with
+  /// compatible shapes (same radius/k; for hybrids the same panel
+  /// filter and planner mode) run through one batched index pass.
+  bool micro_batch = true;
+  /// How long a worker holding a batchable miss waits for further
+  /// compatible misses before executing.  The window is only waited out
+  /// when the admission queue was non-empty at pop time (i.e. there is
+  /// concurrent traffic); a lone request on an idle engine executes
+  /// immediately, so single-client latency does not pay the window.
+  uint32_t batch_window_us = 200;
+  /// Largest number of distinct requests fused into one batched pass.
+  size_t max_batch = 128;
+  /// Engine worker threads; 0 picks the hardware concurrency.
+  size_t num_workers = 0;
+  /// Admission-queue depth bound; submissions beyond it are rejected
+  /// with FailedPrecondition instead of queueing unboundedly.
+  size_t max_queue = 4096;
+};
+
+/// Lifetime counters of one engine, aggregated by ExecutionEngine::
+/// Stats().  All counters are monotonic.
+struct ExecStats {
+  uint64_t submitted = 0;      ///< requests admitted via Submit*
+  uint64_t completed = 0;      ///< waiters completed (incl. errors)
+  uint64_t cache_hits = 0;     ///< flights served from the response cache
+  uint64_t negative_hits = 0;  ///< flights served from the negative cache
+  uint64_t coalesced = 0;      ///< waiters attached to an in-flight twin
+  uint64_t flights = 0;        ///< underlying executions enqueued
+  uint64_t direct = 0;         ///< flights executed alone
+  uint64_t batches = 0;        ///< micro-batched index passes
+  uint64_t batched_flights = 0;  ///< flights served by those passes
+  uint64_t rejected = 0;       ///< submissions bounced off the full queue
+};
+
+}  // namespace agoraeo::earthqube
+
+#endif  // AGORAEO_EARTHQUBE_EXEC_EXEC_CONFIG_H_

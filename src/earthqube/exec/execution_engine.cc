@@ -1,0 +1,504 @@
+#include "earthqube/exec/execution_engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "earthqube/earthqube.h"
+
+namespace agoraeo::earthqube {
+
+/// One submission: the synchronisation point its Ticket blocks on and
+/// its optional completion callback.  All waiters of a flight share the
+/// same shared_ptr<const QueryResponse>; Get()/the callback materialise
+/// a per-request copy from it.
+struct ExecutionEngine::Waiter {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status = Status::OK();
+  std::shared_ptr<const QueryResponse> response;
+  Callback callback;
+};
+
+/// One underlying execution.  `waiters` is guarded by the engine mutex:
+/// the coalescer appends to it until CompleteFlight retires the flight
+/// from the in-flight map and takes the list.
+struct ExecutionEngine::Flight {
+  QueryRequest request;
+  std::optional<std::string> fingerprint;
+  /// Micro-batch compatibility class; nullopt = not batchable (panel-
+  /// only, uploaded-patch subject, or micro-batching disabled).
+  std::optional<std::string> batch_key;
+  /// Epoch at admission: a later submission only coalesces onto this
+  /// flight while the epoch is unchanged — a request admitted after an
+  /// ingest must not share a response computed from pre-ingest state
+  /// (the coalescer mirror of the cache's snapshot-before-execute rule).
+  uint64_t admission_epoch = 0;
+  std::vector<std::shared_ptr<Waiter>> waiters;
+};
+
+namespace {
+
+/// The micro-batcher's compatibility class: flights with equal keys can
+/// share one (restricted) batch index pass.  Mode value (radius/k) must
+/// match because the index pass takes one of them; per-request limit,
+/// projection and paging stay free — they are applied during
+/// materialisation.  Hybrids additionally pin the panel filter (the
+/// shared allowlist) and the planner mode (the shared strategy choice).
+std::optional<std::string> BatchKeyFor(const QueryRequest& request) {
+  if (!request.similarity.has_value()) return std::nullopt;
+  const SimilaritySpec& spec = *request.similarity;
+  if (spec.patch.has_value()) return std::nullopt;  // no cheap fingerprint
+  if (!spec.archive_name.has_value() && !spec.code.has_value()) {
+    return std::nullopt;
+  }
+  if (!spec.radius.has_value() && !spec.k.has_value()) return std::nullopt;
+  std::string key = spec.radius.has_value()
+                        ? "r:" + std::to_string(*spec.radius)
+                        : "k:" + std::to_string(*spec.k);
+  if (request.panel.has_value()) {
+    key += "|h:" + std::to_string(static_cast<int>(request.planner)) + "|" +
+           QueryCache::PanelFingerprint(*request.panel,
+                                        /*include_limit=*/false);
+  }
+  return key;
+}
+
+}  // namespace
+
+ExecutionEngine::ExecutionEngine(const EarthQube* system,
+                                 const ExecConfig& config)
+    : system_(system), config_(config) {
+  size_t workers = config_.num_workers;
+  if (workers == 0) {
+    workers = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ExecutionEngine::~ExecutionEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    // A paused engine must still drain: no waiter may block forever.
+    paused_ = 0;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+StatusOr<QueryResponse> ExecutionEngine::Ticket::Get() {
+  if (waiter_ == nullptr) {
+    return Status::FailedPrecondition("empty execution ticket");
+  }
+  std::unique_lock<std::mutex> lock(waiter_->mu);
+  waiter_->cv.wait(lock, [&] { return waiter_->done; });
+  if (!waiter_->status.ok()) return waiter_->status;
+  // Per-request materialisation: each waiter copies the shared
+  // response (identical fingerprints imply identical paging and
+  // projection, so the copy IS the materialised result).
+  return QueryResponse(*waiter_->response);
+}
+
+void ExecutionEngine::CompleteWaiter(
+    const std::shared_ptr<Waiter>& waiter, const Status& status,
+    std::shared_ptr<const QueryResponse> response) {
+  {
+    std::lock_guard<std::mutex> lock(waiter->mu);
+    waiter->done = true;
+    waiter->status = status;
+    waiter->response = std::move(response);
+  }
+  waiter->cv.notify_all();
+  if (waiter->callback) {
+    if (waiter->status.ok()) {
+      waiter->callback(StatusOr<QueryResponse>(QueryResponse(*waiter->response)));
+    } else {
+      waiter->callback(StatusOr<QueryResponse>(waiter->status));
+    }
+    waiter->callback = nullptr;
+  }
+}
+
+void ExecutionEngine::CompleteFlight(
+    const std::shared_ptr<Flight>& flight, const Status& status,
+    std::shared_ptr<const QueryResponse> response) {
+  std::vector<std::shared_ptr<Waiter>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (flight->fingerprint.has_value()) {
+      auto it = in_flight_.find(*flight->fingerprint);
+      if (it != in_flight_.end() && it->second == flight) in_flight_.erase(it);
+    }
+    waiters.swap(flight->waiters);
+  }
+  completed_.fetch_add(waiters.size());
+  for (const std::shared_ptr<Waiter>& waiter : waiters) {
+    CompleteWaiter(waiter, status, response);
+  }
+}
+
+std::shared_ptr<ExecutionEngine::Waiter> ExecutionEngine::Admit(
+    const QueryRequest& request, Callback done) {
+  auto waiter = std::make_shared<Waiter>();
+  waiter->callback = std::move(done);
+  submitted_.fetch_add(1);
+
+  // Stage 1: validate.  Admission failures complete inline.
+  const Status preflight = system_->PreflightCheck(request);
+  if (!preflight.ok()) {
+    completed_.fetch_add(1);
+    CompleteWaiter(waiter, preflight, nullptr);
+    return waiter;
+  }
+  const std::optional<std::string> fingerprint =
+      QueryCache::RequestFingerprint(request);
+  const uint64_t epoch = system_->query_cache().epoch();
+
+  // Stage 2: coalesce.  Checked before the cache probe so N identical
+  // concurrent misses cost exactly one cache miss (the leader's).
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      completed_.fetch_add(1);
+      CompleteWaiter(waiter,
+                     Status::FailedPrecondition("execution engine shut down"),
+                     nullptr);
+      return waiter;
+    }
+    bool register_in_flight = config_.coalesce && fingerprint.has_value();
+    if (register_in_flight) {
+      auto it = in_flight_.find(*fingerprint);
+      if (it != in_flight_.end()) {
+        // Only share a flight admitted under the current epoch: after
+        // an ingest, this submission must observe post-ingest state.
+        if (it->second->admission_epoch == epoch) {
+          it->second->waiters.push_back(waiter);
+          coalesced_.fetch_add(1);
+          return waiter;
+        }
+        register_in_flight = false;  // stale twin keeps the map slot
+      }
+    }
+    if (queue_.size() >= config_.max_queue) {
+      rejected_.fetch_add(1);
+      completed_.fetch_add(1);
+      CompleteWaiter(
+          waiter,
+          Status::FailedPrecondition("execution engine admission queue full"),
+          nullptr);
+      return waiter;
+    }
+    flight = std::make_shared<Flight>();
+    flight->request = request;
+    flight->fingerprint = fingerprint;
+    if (config_.micro_batch) flight->batch_key = BatchKeyFor(request);
+    flight->admission_epoch = epoch;
+    flight->waiters.push_back(waiter);
+    if (register_in_flight) in_flight_[*fingerprint] = flight;
+  }
+
+  // Stage 3: leader-only cache probe.  Followers that attached above
+  // (or attach while we probe) share the outcome.
+  if (auto probed = system_->ProbeCaches(request, fingerprint)) {
+    if (probed->ok()) {
+      cache_hits_.fetch_add(1);
+      CompleteFlight(flight, Status::OK(),
+                     std::make_shared<const QueryResponse>(
+                         std::move(probed->value())));
+    } else {
+      negative_hits_.fetch_add(1);
+      CompleteFlight(flight, probed->status(), nullptr);
+    }
+    return waiter;
+  }
+
+  // Stage 4: enqueue for the workers.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(flight));
+    flights_.fetch_add(1);
+  }
+  work_cv_.notify_all();
+  return waiter;
+}
+
+ExecutionEngine::Ticket ExecutionEngine::Submit(const QueryRequest& request) {
+  return Ticket(Admit(request, nullptr));
+}
+
+void ExecutionEngine::SubmitAsync(const QueryRequest& request, Callback done) {
+  Admit(request, std::move(done));
+}
+
+std::vector<ExecutionEngine::Ticket> ExecutionEngine::SubmitBatch(
+    const std::vector<QueryRequest>& requests) {
+  std::vector<Ticket> out;
+  out.reserve(requests.size());
+  Pause();
+  for (const QueryRequest& request : requests) {
+    out.push_back(Ticket(Admit(request, nullptr)));
+  }
+  Resume();
+  return out;
+}
+
+void ExecutionEngine::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++paused_;
+}
+
+void ExecutionEngine::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (paused_ > 0) --paused_;
+  }
+  work_cv_.notify_all();
+}
+
+void ExecutionEngine::CollectMatching(
+    const std::string& key, std::vector<std::shared_ptr<Flight>>* group) {
+  for (auto it = queue_.begin();
+       it != queue_.end() && group->size() < config_.max_batch;) {
+    if ((*it)->batch_key == key) {
+      group->push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ExecutionEngine::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (!queue_.empty() && paused_ == 0);
+    });
+    if (queue_.empty()) {
+      if (shutdown_) return;  // fully drained
+      continue;
+    }
+    std::shared_ptr<Flight> flight = std::move(queue_.front());
+    queue_.pop_front();
+    const bool queue_was_empty = queue_.empty();
+
+    std::vector<std::shared_ptr<Flight>> group;
+    group.push_back(std::move(flight));
+    if (group.front()->batch_key.has_value()) {
+      const std::string key = *group.front()->batch_key;
+      CollectMatching(key, &group);
+      // Wait out the window only when there was concurrent traffic at
+      // pop time (a lone request on an idle engine runs immediately)
+      // AND nothing incompatible is left queued — the window must never
+      // stall other pending work behind this worker.
+      if (!shutdown_ && group.size() < config_.max_batch &&
+          config_.batch_window_us > 0 && !queue_was_empty &&
+          queue_.empty()) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(config_.batch_window_us);
+        while (!shutdown_ && group.size() < config_.max_batch &&
+               queue_.empty() &&
+               work_cv_.wait_until(lock, deadline) !=
+                   std::cv_status::timeout) {
+          CollectMatching(key, &group);
+        }
+        CollectMatching(key, &group);
+      }
+    }
+
+    // Gate execution on Resume: flights collected while an admission
+    // gate (SubmitBatch) is paused must not complete before the rest of
+    // the batch is admitted, or identical slots would miss the
+    // coalescer and re-execute.
+    work_cv_.wait(lock, [&] { return shutdown_ || paused_ == 0; });
+    lock.unlock();
+    if (group.size() > 1) {
+      ExecuteGroup(group);
+    } else {
+      direct_.fetch_add(1);
+      ExecuteDirect(group.front());
+    }
+    lock.lock();
+  }
+}
+
+void ExecutionEngine::ExecuteDirect(const std::shared_ptr<Flight>& flight) {
+  StatusOr<QueryResponse> result =
+      system_->ExecuteAndCache(flight->request, flight->fingerprint);
+  if (result.ok()) {
+    CompleteFlight(flight, Status::OK(),
+                   std::make_shared<const QueryResponse>(
+                       std::move(result).value()));
+  } else {
+    CompleteFlight(flight, result.status(), nullptr);
+  }
+}
+
+void ExecutionEngine::ExecuteGroup(
+    const std::vector<std::shared_ptr<Flight>>& group) {
+  if (group.front()->request.panel.has_value()) {
+    ExecuteHybridGroup(group);
+  } else {
+    ExecuteCbirGroup(group);
+  }
+}
+
+void ExecutionEngine::ExecuteCbirGroup(
+    const std::vector<std::shared_ptr<Flight>>& group) {
+  batches_.fetch_add(1);
+  batched_flights_.fetch_add(group.size());
+  const CbirService* cbir = system_->cbir();
+  // Epoch snapshot before any index read, one per shared pass.
+  const uint64_t epoch_snapshot = system_->query_cache().epoch();
+
+  // Resolve each flight's subject; NotFound names fail (and negative-
+  // cache) individually instead of poisoning the batch.
+  std::vector<std::shared_ptr<Flight>> live;
+  std::vector<BinaryCode> codes;
+  std::vector<size_t> limits;
+  std::vector<std::string> excludes;
+  live.reserve(group.size());
+  codes.reserve(group.size());
+  for (const std::shared_ptr<Flight>& flight : group) {
+    const SimilaritySpec& spec = *flight->request.similarity;
+    if (spec.archive_name.has_value()) {
+      StatusOr<BinaryCode> code = cbir->CodeOf(*spec.archive_name);
+      if (!code.ok()) {
+        system_->MaybeCacheNegative(flight->request, flight->fingerprint,
+                                    code.status(), epoch_snapshot);
+        CompleteFlight(flight, code.status(), nullptr);
+        continue;
+      }
+      codes.push_back(std::move(code).value());
+      excludes.push_back(*spec.archive_name);
+    } else {
+      codes.push_back(*spec.code);
+      excludes.push_back(std::string());
+    }
+    limits.push_back(spec.limit);
+    live.push_back(flight);
+  }
+  if (live.empty()) return;
+
+  const SimilaritySpec& mode = *live.front()->request.similarity;
+  std::vector<std::vector<CbirResult>> hit_lists =
+      mode.radius.has_value()
+          ? cbir->RadiusBatchByCode(codes, *mode.radius, limits, excludes)
+          : cbir->KnnBatchByCode(codes, *mode.k, excludes);
+
+  for (size_t i = 0; i < live.size(); ++i) {
+    StatusOr<QueryResponse> response =
+        system_->BuildCbirResponse(live[i]->request, std::move(hit_lists[i]));
+    if (response.ok()) {
+      system_->CacheResponse(live[i]->request, live[i]->fingerprint,
+                             *response, epoch_snapshot);
+      CompleteFlight(live[i], Status::OK(),
+                     std::make_shared<const QueryResponse>(
+                         std::move(response).value()));
+    } else {
+      CompleteFlight(live[i], response.status(), nullptr);
+    }
+  }
+}
+
+void ExecutionEngine::ExecuteHybridGroup(
+    const std::vector<std::shared_ptr<Flight>>& group) {
+  const CbirService* cbir = system_->cbir();
+  const QueryRequest& representative = group.front()->request;
+  const docstore::Filter filter = representative.panel->ToFilter(
+      system_->config().label_encoding == LabelEncoding::kAsciiCompressed);
+  // Same panel fingerprint and planner mode across the group implies
+  // one shared plan (the estimate is deterministic for a given filter).
+  const EarthQube::HybridPlanInfo plan =
+      system_->PlanHybrid(representative, filter);
+  if (plan.strategy != QueryPlan::Strategy::kPreFilter) {
+    // Post-filter hybrids have no shared index pass; run them directly.
+    direct_.fetch_add(group.size());
+    for (const std::shared_ptr<Flight>& flight : group) ExecuteDirect(flight);
+    return;
+  }
+  batches_.fetch_add(1);
+  batched_flights_.fetch_add(group.size());
+
+  const uint64_t epoch_snapshot = system_->query_cache().epoch();
+  StatusOr<std::shared_ptr<const CachedAllowlist>> allowlist =
+      system_->ObtainAllowlist(*representative.panel, filter);
+  if (!allowlist.ok()) {
+    for (const std::shared_ptr<Flight>& flight : group) {
+      CompleteFlight(flight, allowlist.status(), nullptr);
+    }
+    return;
+  }
+
+  std::vector<std::shared_ptr<Flight>> live;
+  std::vector<BinaryCode> codes;
+  std::vector<size_t> limits;
+  std::vector<std::string> excludes;
+  live.reserve(group.size());
+  codes.reserve(group.size());
+  for (const std::shared_ptr<Flight>& flight : group) {
+    const SimilaritySpec& spec = *flight->request.similarity;
+    if (spec.archive_name.has_value()) {
+      StatusOr<BinaryCode> code = cbir->CodeOf(*spec.archive_name);
+      if (!code.ok()) {
+        system_->MaybeCacheNegative(flight->request, flight->fingerprint,
+                                    code.status(), epoch_snapshot);
+        CompleteFlight(flight, code.status(), nullptr);
+        continue;
+      }
+      codes.push_back(std::move(code).value());
+      excludes.push_back(*spec.archive_name);
+    } else {
+      codes.push_back(*spec.code);
+      excludes.push_back(std::string());
+    }
+    limits.push_back(spec.limit);
+    live.push_back(flight);
+  }
+  if (live.empty()) return;
+
+  const SimilaritySpec& mode = *live.front()->request.similarity;
+  const index::CandidateSet& allowed = (*allowlist)->candidates;
+  std::vector<std::vector<CbirResult>> hit_lists =
+      mode.radius.has_value()
+          ? cbir->RadiusBatchByCodeRestricted(codes, *mode.radius, limits,
+                                              allowed, excludes)
+          : cbir->KnnBatchByCodeRestricted(codes, *mode.k, allowed, excludes);
+
+  for (size_t i = 0; i < live.size(); ++i) {
+    StatusOr<QueryResponse> response = system_->BuildHybridPreResponse(
+        live[i]->request, plan, **allowlist, std::move(hit_lists[i]));
+    if (response.ok()) {
+      system_->CacheResponse(live[i]->request, live[i]->fingerprint,
+                             *response, epoch_snapshot);
+      CompleteFlight(live[i], Status::OK(),
+                     std::make_shared<const QueryResponse>(
+                         std::move(response).value()));
+    } else {
+      CompleteFlight(live[i], response.status(), nullptr);
+    }
+  }
+}
+
+ExecStats ExecutionEngine::Stats() const {
+  ExecStats stats;
+  stats.submitted = submitted_.load();
+  stats.completed = completed_.load();
+  stats.cache_hits = cache_hits_.load();
+  stats.negative_hits = negative_hits_.load();
+  stats.coalesced = coalesced_.load();
+  stats.flights = flights_.load();
+  stats.direct = direct_.load();
+  stats.batches = batches_.load();
+  stats.batched_flights = batched_flights_.load();
+  stats.rejected = rejected_.load();
+  return stats;
+}
+
+}  // namespace agoraeo::earthqube

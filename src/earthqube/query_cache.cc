@@ -15,6 +15,15 @@ cache::ShardedLruCacheOptions CacheOptions(size_t capacity_bytes,
   options.num_shards = config.num_shards;
   options.ttl = config.ttl;
   options.validator = epoch;
+  options.clock = config.clock;
+  return options;
+}
+
+cache::ShardedLruCacheOptions NegativeOptions(
+    const QueryCacheConfig& config, const cache::EpochValidator* epoch) {
+  cache::ShardedLruCacheOptions options =
+      CacheOptions(config.negative_capacity_bytes, config, epoch);
+  options.ttl = config.negative_ttl;
   return options;
 }
 
@@ -38,7 +47,8 @@ QueryCache::QueryCache(const QueryCacheConfig& config)
     : config_(config),
       responses_(CacheOptions(config.response_capacity_bytes, config, &epoch_)),
       allowlists_(
-          CacheOptions(config.allowlist_capacity_bytes, config, &epoch_)) {}
+          CacheOptions(config.allowlist_capacity_bytes, config, &epoch_)),
+      negatives_(NegativeOptions(config, &epoch_)) {}
 
 std::string QueryCache::PanelFingerprint(const EarthQubeQuery& query,
                                          bool include_limit) {
@@ -176,6 +186,20 @@ void QueryCache::PutAllowlist(const std::string& fingerprint,
                        allowlist->candidates.size() * sizeof(index::ItemId) +
                        allowlist->filter_stats.plan.size();
   allowlists_.Put(fingerprint, std::move(allowlist), bytes, computed_at_epoch);
+}
+
+std::optional<Status> QueryCache::GetNegative(const std::string& fingerprint) {
+  if (!config_.enable_negative_cache) return std::nullopt;
+  return negatives_.Get(fingerprint);
+}
+
+void QueryCache::PutNegative(const std::string& fingerprint,
+                             const Status& status,
+                             uint64_t computed_at_epoch) {
+  if (!config_.enable_negative_cache || !status.IsNotFound()) return;
+  const size_t bytes =
+      sizeof(Status) + fingerprint.size() + status.message().size();
+  negatives_.Put(fingerprint, status, bytes, computed_at_epoch);
 }
 
 }  // namespace agoraeo::earthqube

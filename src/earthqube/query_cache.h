@@ -2,9 +2,12 @@
 #define AGORAEO_EARTHQUBE_QUERY_CACHE_H_
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+
+#include "common/status.h"
 
 #include "cache/cache_stats.h"
 #include "cache/epoch.h"
@@ -24,13 +27,25 @@ struct QueryCacheConfig {
   /// CandidateSet) product, keyed by the panel-filter fingerprint, so
   /// repeated pre-filter hybrids skip the docstore filter pass.
   bool enable_allowlist_cache = true;
+  /// Negative cache: NotFound similarity subjects (bad archive names)
+  /// are remembered under a short TTL so repeated bad lookups don't
+  /// touch the docstore or index.  Counted separately in the stats.
+  bool enable_negative_cache = true;
   size_t response_capacity_bytes = 64u << 20;
   size_t allowlist_capacity_bytes = 16u << 20;
+  size_t negative_capacity_bytes = 1u << 20;
   /// Shards per cache (rounded up to a power of two).
   size_t num_shards = 16;
-  /// Age limit for entries in both caches; zero keeps entries until an
-  /// epoch bump or LRU pressure removes them.
+  /// Age limit for entries in the response and allowlist caches; zero
+  /// keeps entries until an epoch bump or LRU pressure removes them.
   std::chrono::milliseconds ttl{0};
+  /// Age limit for negative entries.  Deliberately short: the epoch
+  /// catches ingests through this facade, the TTL bounds how long a
+  /// name that appeared through any other path keeps "not existing".
+  std::chrono::milliseconds negative_ttl{2000};
+  /// Time source for TTL bookkeeping across all three caches; tests
+  /// inject a fake clock to avoid sleeping.  Null = steady_clock.
+  std::function<std::chrono::steady_clock::time_point()> clock;
 };
 
 /// What the hybrid pre-filter leg caches per panel filter: the candidate
@@ -90,6 +105,15 @@ class QueryCache {
                     std::shared_ptr<const CachedAllowlist> allowlist,
                     uint64_t computed_at_epoch);
 
+  // --- negative cache ------------------------------------------------------
+
+  /// Returns the remembered NotFound for a request fingerprint, or
+  /// nullopt on miss / cache disabled.
+  std::optional<Status> GetNegative(const std::string& fingerprint);
+  /// Remembers a NotFound outcome (non-NotFound statuses are ignored).
+  void PutNegative(const std::string& fingerprint, const Status& status,
+                   uint64_t computed_at_epoch);
+
   // --- invalidation & introspection ---------------------------------------
 
   /// Bumps the shared epoch: every currently cached entry of both caches
@@ -99,6 +123,7 @@ class QueryCache {
 
   cache::CacheStats ResponseStats() const { return responses_.Stats(); }
   cache::CacheStats AllowlistStats() const { return allowlists_.Stats(); }
+  cache::CacheStats NegativeStats() const { return negatives_.Stats(); }
   const QueryCacheConfig& config() const { return config_; }
 
  private:
@@ -110,6 +135,7 @@ class QueryCache {
       responses_;
   cache::ShardedLruCache<std::string, std::shared_ptr<const CachedAllowlist>>
       allowlists_;
+  cache::ShardedLruCache<std::string, Status> negatives_;
 };
 
 }  // namespace agoraeo::earthqube

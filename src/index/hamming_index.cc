@@ -77,4 +77,34 @@ std::vector<std::vector<SearchResult>> HammingIndex::BatchKnnSearch(
   return out;
 }
 
+std::vector<std::vector<SearchResult>> HammingIndex::BatchRadiusSearchIn(
+    const std::vector<BinaryCode>& queries, uint32_t radius,
+    const CandidateSet& allowed, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  std::vector<std::vector<SearchResult>> out(queries.size());
+  if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
+  RunSharded(queries.size(), pool, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = RadiusSearchIn(queries[i], radius, allowed,
+                              stats != nullptr ? &(*stats)[i] : nullptr);
+    }
+  });
+  return out;
+}
+
+std::vector<std::vector<SearchResult>> HammingIndex::BatchKnnSearchIn(
+    const std::vector<BinaryCode>& queries, size_t k,
+    const CandidateSet& allowed, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  std::vector<std::vector<SearchResult>> out(queries.size());
+  if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
+  RunSharded(queries.size(), pool, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = KnnSearchIn(queries[i], k, allowed,
+                           stats != nullptr ? &(*stats)[i] : nullptr);
+    }
+  });
+  return out;
+}
+
 }  // namespace agoraeo::index

@@ -128,6 +128,24 @@ class HammingIndex {
       ThreadPool* pool = nullptr,
       std::vector<SearchStats>* stats = nullptr) const;
 
+  // --- batched candidate-restricted search --------------------------------
+  //
+  // The shared pass of micro-batched pre-filter hybrid queries: many
+  // query codes against one allowlist.  Slot i equals the corresponding
+  // single restricted call; sharding semantics match BatchRadiusSearch.
+
+  /// Slot i equals RadiusSearchIn(queries[i], radius, allowed).
+  virtual std::vector<std::vector<SearchResult>> BatchRadiusSearchIn(
+      const std::vector<BinaryCode>& queries, uint32_t radius,
+      const CandidateSet& allowed, ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const;
+
+  /// Slot i equals KnnSearchIn(queries[i], k, allowed).
+  virtual std::vector<std::vector<SearchResult>> BatchKnnSearchIn(
+      const std::vector<BinaryCode>& queries, size_t k,
+      const CandidateSet& allowed, ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const;
+
   virtual size_t size() const = 0;
   virtual std::string Name() const = 0;
 };

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 
+#include "earthqube/exec/execution_engine.h"
 #include "json/json.h"
 
 namespace agoraeo::netsvc {
@@ -416,16 +419,21 @@ void EarthQubeService::RegisterRoutes(HttpServer* server) {
   server->Route("GET", "/health", [](const HttpRequest&) {
     return HttpResponse::Json(200, "{\"status\":\"ok\"}");
   });
-  server->Route("POST", "/api/v2/query", [this](const HttpRequest& request) {
-    return HandleQueryV2(request);
-  });
-  server->Route("POST", "/api/search", [this](const HttpRequest& request) {
-    return HandleSearch(request);
-  });
-  server->Route("POST", "/api/similar/by_name",
-                [this](const HttpRequest& request) {
-                  return HandleSimilarByName(request);
-                });
+  server->RouteAsync("POST", "/api/v2/query",
+                     [this](const HttpRequest& request,
+                            HttpServer::Responder responder) {
+                       HandleQueryV2(request, std::move(responder));
+                     });
+  server->RouteAsync("POST", "/api/search",
+                     [this](const HttpRequest& request,
+                            HttpServer::Responder responder) {
+                       HandleSearch(request, std::move(responder));
+                     });
+  server->RouteAsync("POST", "/api/similar/by_name",
+                     [this](const HttpRequest& request,
+                            HttpServer::Responder responder) {
+                       HandleSimilarByName(request, std::move(responder));
+                     });
   server->Route("POST", "/cbir/batch_search",
                 [this](const HttpRequest& request) {
                   return HandleBatchSearch(request);
@@ -475,99 +483,240 @@ HttpResponse EarthQubeService::HandleCacheStats() const {
   out.Set("allowlist_cache",
           Value(to_doc(cache.config().enable_allowlist_cache,
                        cache.AllowlistStats())));
+  out.Set("negative_cache",
+          Value(to_doc(cache.config().enable_negative_cache,
+                       cache.NegativeStats())));
+  // The execution engine's counters: miss coalescing and micro-batching
+  // live here because the response cache's fingerprint is their shared
+  // key — one endpoint tells the whole work-sharing story.
+  Document exec;
+  const earthqube::ExecutionEngine* engine = system_->exec_engine();
+  exec.Set("enabled", Value(engine != nullptr));
+  if (engine != nullptr) {
+    const earthqube::ExecStats s = engine->Stats();
+    exec.Set("submitted", Value(static_cast<int64_t>(s.submitted)));
+    exec.Set("completed", Value(static_cast<int64_t>(s.completed)));
+    exec.Set("cache_hits", Value(static_cast<int64_t>(s.cache_hits)));
+    exec.Set("negative_hits", Value(static_cast<int64_t>(s.negative_hits)));
+    exec.Set("coalesced", Value(static_cast<int64_t>(s.coalesced)));
+    exec.Set("flights", Value(static_cast<int64_t>(s.flights)));
+    exec.Set("direct", Value(static_cast<int64_t>(s.direct)));
+    exec.Set("batches", Value(static_cast<int64_t>(s.batches)));
+    exec.Set("batched_flights",
+             Value(static_cast<int64_t>(s.batched_flights)));
+    exec.Set("rejected", Value(static_cast<int64_t>(s.rejected)));
+  }
+  out.Set("exec", Value(std::move(exec)));
   return HttpResponse::Json(200, json::Serialize(out));
 }
 
-HttpResponse EarthQubeService::HandleQueryV2(const HttpRequest& request) const {
+namespace {
+
+/// Aggregation state of one deferred batch submission: slots fill in
+/// from engine callbacks (possibly concurrently); the last completion
+/// serialises and answers.
+struct DeferredBatch {
+  explicit DeferredBatch(size_t n)
+      : slots(n, StatusOr<QueryResponse>(Status::Internal("slot pending"))),
+        remaining(n) {}
+  std::mutex mu;
+  std::vector<StatusOr<QueryResponse>> slots;
+  size_t remaining;
+};
+
+}  // namespace
+
+void EarthQubeService::HandleQueryV2(const HttpRequest& request,
+                                     HttpServer::Responder responder) const {
   auto body = json::ParseObject(request.body.empty() ? "{}" : request.body);
-  if (!body.ok()) return HttpResponse::BadRequest(body.status().message());
+  if (!body.ok()) {
+    responder.Send(HttpResponse::BadRequest(body.status().message()));
+    return;
+  }
 
   if (const Value* batch = body->Get("requests"); batch != nullptr) {
     if (!batch->is_array() || batch->as_array().empty()) {
-      return HttpResponse::BadRequest("requests must be a non-empty array");
+      responder.Send(
+          HttpResponse::BadRequest("requests must be a non-empty array"));
+      return;
     }
     if (batch->as_array().size() > kMaxBatchQueries) {
-      return HttpResponse::BadRequest(
+      responder.Send(HttpResponse::BadRequest(
           "batch too large: at most " + std::to_string(kMaxBatchQueries) +
-          " requests per submission");
+          " requests per submission"));
+      return;
     }
     std::vector<QueryRequest> requests;
     requests.reserve(batch->as_array().size());
     for (const Value& entry : batch->as_array()) {
       if (!entry.is_document()) {
-        return HttpResponse::BadRequest("requests entries must be objects");
+        responder.Send(
+            HttpResponse::BadRequest("requests entries must be objects"));
+        return;
       }
       auto parsed = QueryRequestFromJson(entry.as_document());
-      if (!parsed.ok()) return FromStatus(parsed.status());
+      if (!parsed.ok()) {
+        responder.Send(FromStatus(parsed.status()));
+        return;
+      }
       requests.push_back(std::move(parsed).value());
     }
-    auto responses = system_->ExecuteBatch(requests);
-    if (!responses.ok()) return FromStatus(responses.status());
-    std::string out =
-        "{\"batch_size\":" + std::to_string(responses->size()) +
-        ",\"responses\":[";
-    for (size_t i = 0; i < responses->size(); ++i) {
-      if (i != 0) out += ",";
-      out += QueryResponseToJson((*responses)[i]);
+    earthqube::ExecutionEngine* engine = system_->exec_engine();
+    if (engine == nullptr) {
+      // Engine off: nothing to park the connection on — execute the
+      // batch synchronously (ExecuteBatch keeps the dedup contract).
+      auto responses = system_->ExecuteBatch(requests);
+      if (!responses.ok()) {
+        responder.Send(FromStatus(responses.status()));
+        return;
+      }
+      std::string out = "{\"batch_size\":" +
+                        std::to_string(responses->size()) + ",\"responses\":[";
+      for (size_t i = 0; i < responses->size(); ++i) {
+        if (i != 0) out += ",";
+        out += QueryResponseToJson((*responses)[i]);
+      }
+      out += "]}";
+      responder.Send(HttpResponse::Json(200, out));
+      return;
     }
-    out += "]}";
-    return HttpResponse::Json(200, out);
+    // Every slot goes through ExecuteAsync; the last completion answers
+    // the parked connection.  Mirrors ExecuteBatch's semantics: any
+    // failed slot fails the whole batch (first failing slot wins).
+    // The engine is paused across the submissions (the SubmitBatch
+    // admission gate) so identical slots coalesce deterministically
+    // instead of racing the first slot's completion.
+    engine->Pause();
+    auto state = std::make_shared<DeferredBatch>(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      system_->ExecuteAsync(
+          requests[i],
+          [state, i, responder](const StatusOr<QueryResponse>& result) {
+            bool last;
+            {
+              std::lock_guard<std::mutex> lock(state->mu);
+              state->slots[i] = result;
+              last = --state->remaining == 0;
+            }
+            if (!last) return;
+            for (const StatusOr<QueryResponse>& slot : state->slots) {
+              if (!slot.ok()) {
+                responder.Send(FromStatus(slot.status()));
+                return;
+              }
+            }
+            std::string out =
+                "{\"batch_size\":" + std::to_string(state->slots.size()) +
+                ",\"responses\":[";
+            for (size_t j = 0; j < state->slots.size(); ++j) {
+              if (j != 0) out += ",";
+              out += QueryResponseToJson(*state->slots[j]);
+            }
+            out += "]}";
+            responder.Send(HttpResponse::Json(200, out));
+          });
+    }
+    engine->Resume();
+    return;
   }
 
   auto parsed = QueryRequestFromJson(*body);
-  if (!parsed.ok()) return FromStatus(parsed.status());
-  auto response = system_->Execute(*parsed);
-  if (!response.ok()) return FromStatus(response.status());
-  return HttpResponse::Json(200, QueryResponseToJson(*response));
+  if (!parsed.ok()) {
+    responder.Send(FromStatus(parsed.status()));
+    return;
+  }
+  system_->ExecuteAsync(
+      *parsed, [responder](const StatusOr<QueryResponse>& response) {
+        responder.Send(response.ok()
+                           ? HttpResponse::Json(200,
+                                                QueryResponseToJson(*response))
+                           : FromStatus(response.status()));
+      });
 }
 
-HttpResponse EarthQubeService::HandleSearch(const HttpRequest& request) const {
+void EarthQubeService::HandleSearch(const HttpRequest& request,
+                                    HttpServer::Responder responder) const {
   auto body = json::ParseObject(request.body.empty() ? "{}" : request.body);
-  if (!body.ok()) return HttpResponse::BadRequest(body.status().message());
+  if (!body.ok()) {
+    responder.Send(HttpResponse::BadRequest(body.status().message()));
+    return;
+  }
   auto query = QueryFromJson(*body);
-  if (!query.ok()) return HttpResponse::BadRequest(query.status().message());
+  if (!query.ok()) {
+    responder.Send(HttpResponse::BadRequest(query.status().message()));
+    return;
+  }
   // Malformed paging is a client error, not something to clamp away.
   auto page = NonNegativeField(*body, "page", 0);
-  if (!page.ok()) return HttpResponse::BadRequest(page.status().message());
-  auto response = system_->Search(*query);
-  if (!response.ok()) return FromStatus(response.status());
-  return HttpResponse::Json(
-      200, ResponseToJson(*response, static_cast<size_t>(*page)));
+  if (!page.ok()) {
+    responder.Send(HttpResponse::BadRequest(page.status().message()));
+    return;
+  }
+  QueryRequest unified;
+  unified.panel = std::move(query).value();
+  unified.page_size = 0;  // the v1 serialiser pages the panel itself
+  const size_t page_index = static_cast<size_t>(*page);
+  system_->ExecuteAsync(
+      unified,
+      [responder, page_index](const StatusOr<QueryResponse>& response) {
+        if (!response.ok()) {
+          responder.Send(FromStatus(response.status()));
+          return;
+        }
+        const SearchResponse v1{response->panel, response->statistics,
+                                response->query_stats};
+        responder.Send(HttpResponse::Json(200, ResponseToJson(v1, page_index)));
+      });
 }
 
-HttpResponse EarthQubeService::HandleSimilarByName(
-    const HttpRequest& request) const {
+void EarthQubeService::HandleSimilarByName(
+    const HttpRequest& request, HttpServer::Responder responder) const {
   auto body = json::ParseObject(request.body);
-  if (!body.ok()) return HttpResponse::BadRequest(body.status().message());
+  if (!body.ok()) {
+    responder.Send(HttpResponse::BadRequest(body.status().message()));
+    return;
+  }
   const Value* name = body->Get("name");
   if (name == nullptr || !name->is_string()) {
-    return HttpResponse::BadRequest("name is required");
+    responder.Send(HttpResponse::BadRequest("name is required"));
+    return;
   }
   QueryRequest unified;
   unified.page_size = 0;  // v1 similarity responses are unpaged
   // v1 precedence: "k" selects k-NN and wins over "radius".
   if (body->Has("k")) {
     auto k = NonNegativeField(*body, "k", 0);
-    if (!k.ok()) return HttpResponse::BadRequest(k.status().message());
+    if (!k.ok()) {
+      responder.Send(HttpResponse::BadRequest(k.status().message()));
+      return;
+    }
     unified.similarity = SimilaritySpec::NameKnn(
         name->as_string(), static_cast<size_t>(*k));
   } else {
     auto radius = NonNegativeField(*body, "radius", 8);
     if (!radius.ok()) {
-      return HttpResponse::BadRequest(radius.status().message());
+      responder.Send(HttpResponse::BadRequest(radius.status().message()));
+      return;
     }
     auto limit = NonNegativeField(*body, "limit", 0);
-    if (!limit.ok()) return HttpResponse::BadRequest(limit.status().message());
+    if (!limit.ok()) {
+      responder.Send(HttpResponse::BadRequest(limit.status().message()));
+      return;
+    }
     unified.similarity = SimilaritySpec::NameRadius(
         name->as_string(), static_cast<uint32_t>(*radius),
         static_cast<size_t>(*limit));
   }
-  auto response = system_->Execute(unified);
-  if (!response.ok()) return FromStatus(response.status());
-  const SearchResponse v1{std::move(response->panel),
-                          std::move(response->statistics),
-                          std::move(response->query_stats)};
-  return HttpResponse::Json(200, ResponseToJson(v1, 0));
+  system_->ExecuteAsync(
+      unified, [responder](const StatusOr<QueryResponse>& response) {
+        if (!response.ok()) {
+          responder.Send(FromStatus(response.status()));
+          return;
+        }
+        const SearchResponse v1{response->panel, response->statistics,
+                                response->query_stats};
+        responder.Send(HttpResponse::Json(200, ResponseToJson(v1, 0)));
+      });
 }
 
 HttpResponse EarthQubeService::HandleBatchSearch(

@@ -29,6 +29,13 @@ namespace agoraeo::netsvc {
 /// that serves /api/v2/query and are kept for compatibility; new
 /// clients should use v2.
 ///
+/// The query routes (/api/v2/query, /api/search, /api/similar/by_name)
+/// are registered as deferred (async) handlers: the HTTP worker parses
+/// the request, submits it to EarthQube's execution engine via
+/// ExecuteAsync, and returns immediately; an engine worker completes
+/// the parked connection when the (possibly coalesced or micro-batched)
+/// execution finishes.  Non-query routes stay synchronous.
+///
 /// /api/v2/query request body — one schema covers panel-only,
 /// CBIR-only, hybrid (panel ∧ similarity) and batch submissions:
 ///   {
@@ -108,10 +115,13 @@ class EarthQubeService {
       const earthqube::QueryResponse& response);
 
  private:
-  HttpResponse HandleQueryV2(const HttpRequest& request) const;
+  void HandleQueryV2(const HttpRequest& request,
+                     HttpServer::Responder responder) const;
   HttpResponse HandleCacheStats() const;
-  HttpResponse HandleSearch(const HttpRequest& request) const;
-  HttpResponse HandleSimilarByName(const HttpRequest& request) const;
+  void HandleSearch(const HttpRequest& request,
+                    HttpServer::Responder responder) const;
+  void HandleSimilarByName(const HttpRequest& request,
+                           HttpServer::Responder responder) const;
   HttpResponse HandleBatchSearch(const HttpRequest& request) const;
   HttpResponse HandleFeedback(const HttpRequest& request);
   HttpResponse HandleDownload(const HttpRequest& request) const;

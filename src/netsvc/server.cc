@@ -84,6 +84,36 @@ Status SendAll(int fd, const std::string& data) {
 
 }  // namespace
 
+/// The shared state behind a deferred response: the connection fd and
+/// the server whose counters the completion must update.  Exactly one
+/// Send wins; dropping every Responder copy without sending answers 500
+/// from the destructor.
+struct HttpServer::Responder::Pending {
+  int fd = -1;
+  HttpServer* server = nullptr;
+  std::atomic<bool> sent{false};
+
+  void Send(HttpResponse response) {
+    if (sent.exchange(true)) return;
+    // Count before sending: a client that has seen the response must
+    // be able to observe the incremented counter.
+    server->requests_served_.fetch_add(1);
+    (void)SendAll(fd, SerializeResponse(response));
+    ::close(fd);
+    server->DeferredFinished();
+  }
+
+  ~Pending() {
+    if (!sent.load()) {
+      Send(HttpResponse::InternalError("handler dropped the request"));
+    }
+  }
+};
+
+void HttpServer::Responder::Send(HttpResponse response) const {
+  pending_->Send(std::move(response));
+}
+
 HttpServer::HttpServer(size_t num_workers)
     : num_workers_(std::max<size_t>(1, num_workers)) {}
 
@@ -100,6 +130,20 @@ void HttpServer::Route(const std::string& method, const std::string& path,
     entry.path = path;
   }
   entry.handler = std::move(handler);
+  routes_.push_back(std::move(entry));
+}
+
+void HttpServer::RouteAsync(const std::string& method, const std::string& path,
+                            AsyncHandler handler) {
+  RouteEntry entry;
+  entry.method = method;
+  if (path.size() >= 2 && path.compare(path.size() - 2, 2, "/*") == 0) {
+    entry.path = path.substr(0, path.size() - 1);  // keep trailing '/'
+    entry.prefix = true;
+  } else {
+    entry.path = path;
+  }
+  entry.async_handler = std::move(handler);
   routes_.push_back(std::move(entry));
 }
 
@@ -152,6 +196,24 @@ void HttpServer::Stop() {
     pool_->Wait();
     pool_.reset();
   }
+  // Deferred responses complete on foreign threads (engine workers);
+  // wait them out so no completion touches a destroyed server.
+  std::unique_lock<std::mutex> lock(deferred_mu_);
+  deferred_cv_.wait(lock, [&] { return deferred_in_flight_ == 0; });
+}
+
+void HttpServer::DeferredStarted() {
+  std::lock_guard<std::mutex> lock(deferred_mu_);
+  ++deferred_in_flight_;
+}
+
+void HttpServer::DeferredFinished() {
+  // Notify under the lock: Stop() may destroy this server the moment
+  // the count reaches zero, so the notify must complete before the
+  // waiter can observe it.
+  std::lock_guard<std::mutex> lock(deferred_mu_);
+  --deferred_in_flight_;
+  deferred_cv_.notify_all();
 }
 
 void HttpServer::AcceptLoop() {
@@ -179,7 +241,33 @@ void HttpServer::HandleConnection(int fd) {
       response = HttpResponse::BadRequest(request.status().message());
     } else {
       request->body = std::move(body);
-      response = Dispatch(*request);
+      HttpResponse route_error;
+      const RouteEntry* route = FindRoute(*request, &route_error);
+      if (route == nullptr) {
+        response = route_error;
+      } else if (route->async_handler) {
+        // Deferred path: hand the connection to a Responder and release
+        // this pool worker.  The handler (or whichever thread it passes
+        // the Responder to) completes the response; the Pending state's
+        // destructor guarantees the client always hears back.
+        DeferredStarted();
+        auto pending = std::make_shared<Responder::Pending>();
+        pending->fd = fd;
+        pending->server = this;
+        Responder responder{std::move(pending)};
+        try {
+          route->async_handler(*request, responder);
+        } catch (const std::exception& e) {
+          responder.Send(HttpResponse::InternalError(e.what()));
+        }
+        return;  // the Responder owns the fd now
+      } else {
+        try {
+          response = route->handler(*request);
+        } catch (const std::exception& e) {
+          response = HttpResponse::InternalError(e.what());
+        }
+      }
     }
   }
   // Count before sending: a client that has seen the response must be
@@ -189,7 +277,8 @@ void HttpServer::HandleConnection(int fd) {
   ::close(fd);
 }
 
-HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
+const HttpServer::RouteEntry* HttpServer::FindRoute(
+    const HttpRequest& request, HttpResponse* error) const {
   const RouteEntry* best = nullptr;
   bool path_matched_any_method = false;
   for (const RouteEntry& route : routes_) {
@@ -208,16 +297,12 @@ HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
     }
   }
   if (best == nullptr) {
-    return path_matched_any_method
-               ? HttpResponse::MethodNotAllowed("method not allowed for " +
-                                                request.path)
-               : HttpResponse::NotFound("no route for " + request.path);
+    *error = path_matched_any_method
+                 ? HttpResponse::MethodNotAllowed("method not allowed for " +
+                                                  request.path)
+                 : HttpResponse::NotFound("no route for " + request.path);
   }
-  try {
-    return best->handler(request);
-  } catch (const std::exception& e) {
-    return HttpResponse::InternalError(e.what());
-  }
+  return best;
 }
 
 }  // namespace agoraeo::netsvc

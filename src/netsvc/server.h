@@ -2,8 +2,10 @@
 #define AGORAEO_NETSVC_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,9 +27,35 @@ namespace agoraeo::netsvc {
 /// longest registered prefix route (a path ending in "/*").  An
 /// unmatched request gets 404; a matched path with the wrong method
 /// gets 405.
+///
+/// Handlers come in two flavours.  A synchronous Handler returns the
+/// response and occupies a pool worker for the request's whole
+/// lifetime.  An AsyncHandler receives a Responder and may return
+/// before responding — the worker is released and the connection is
+/// parked until some other thread (e.g. an execution-engine worker)
+/// completes the Responder, so in-flight queries no longer pin one
+/// thread each.
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Completes one deferred response.  Copyable (hand it to callbacks
+  /// freely); the underlying connection accepts exactly one Send —
+  /// later calls are no-ops.  If every copy is dropped without
+  /// Send, a 500 is sent so the client is never left hanging.
+  class Responder {
+   public:
+    void Send(HttpResponse response) const;
+
+   private:
+    friend class HttpServer;
+    struct Pending;
+    explicit Responder(std::shared_ptr<Pending> pending)
+        : pending_(std::move(pending)) {}
+    std::shared_ptr<Pending> pending_;
+  };
+
+  using AsyncHandler = std::function<void(const HttpRequest&, Responder)>;
 
   /// `num_workers` sizes the connection-handling pool.
   explicit HttpServer(size_t num_workers = 4);
@@ -41,6 +69,10 @@ class HttpServer {
   /// before Start.
   void Route(const std::string& method, const std::string& path,
              Handler handler);
+
+  /// Registers a deferred-response handler (same matching rules).
+  void RouteAsync(const std::string& method, const std::string& path,
+                  AsyncHandler handler);
 
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — query `port()`)
   /// and starts accepting.
@@ -64,11 +96,18 @@ class HttpServer {
     std::string path;    // without the trailing '*' for prefix routes
     bool prefix = false;
     Handler handler;
+    AsyncHandler async_handler;  // set for RouteAsync registrations
   };
 
   void AcceptLoop();
   void HandleConnection(int fd);
-  HttpResponse Dispatch(const HttpRequest& request) const;
+  /// Returns the best route for a request, or null with `error` filled
+  /// (404/405).
+  const RouteEntry* FindRoute(const HttpRequest& request,
+                              HttpResponse* error) const;
+  /// Deferred-response bookkeeping (Responder completions).
+  void DeferredStarted();
+  void DeferredFinished();
 
   std::vector<RouteEntry> routes_;
   /// Atomic: Stop() retires the socket concurrently with AcceptLoop()'s
@@ -80,6 +119,11 @@ class HttpServer {
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> pool_;
   size_t num_workers_;
+  /// Parked connections awaiting a Responder; Stop() waits for zero so
+  /// no completion can touch a dead server.
+  std::mutex deferred_mu_;
+  std::condition_variable deferred_cv_;
+  size_t deferred_in_flight_ = 0;
 };
 
 }  // namespace agoraeo::netsvc

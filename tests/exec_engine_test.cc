@@ -1,0 +1,501 @@
+/// Tests for the staged execution engine: miss coalescing
+/// (singleflight), micro-batched index passes, negative caching,
+/// deferred completion, admission control, and byte-parity between the
+/// engine and the synchronous execution path.  The concurrency tests
+/// here are part of the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "bigearthnet/archive_generator.h"
+#include "bigearthnet/feature_extractor.h"
+#include "earthqube/earthqube.h"
+#include "earthqube/exec/execution_engine.h"
+#include "milan/trainer.h"
+
+namespace agoraeo::earthqube {
+namespace {
+
+/// A small archive + CBIR stack behind one EarthQube.  Shared setup
+/// with the facade tests, parameterised on the engine/cache config.
+class EngineFixture {
+ public:
+  explicit EngineFixture(EarthQubeConfig system_config = {}) {
+    bigearthnet::ArchiveConfig config;
+    config.num_patches = 300;
+    config.seed = 29;
+    generator_ = std::make_unique<bigearthnet::ArchiveGenerator>(config);
+    auto archive = generator_->Generate();
+    if (!archive.ok()) std::abort();
+    archive_ = std::move(archive).value();
+
+    features_ = extractor_.ExtractArchive(archive_, *generator_, 2);
+    system_ = std::make_unique<EarthQube>(system_config);
+    if (!system_->IngestArchive(archive_).ok()) std::abort();
+
+    milan::MilanConfig mconfig;
+    mconfig.feature_dim = bigearthnet::kFeatureDim;
+    mconfig.hidden1 = 32;
+    mconfig.hidden2 = 16;
+    mconfig.hash_bits = 32;
+    mconfig.dropout = 0.0f;
+    auto cbir = std::make_unique<CbirService>(
+        std::make_unique<milan::MilanModel>(mconfig), &extractor_);
+    std::vector<std::string> names;
+    for (const auto& p : archive_.patches) names.push_back(p.name);
+    if (!cbir->AddImages(names, features_).ok()) std::abort();
+    system_->AttachCbir(std::move(cbir));
+  }
+
+  EarthQube& system() { return *system_; }
+  const bigearthnet::Archive& archive() const { return archive_; }
+  const Tensor& features() const { return features_; }
+
+ private:
+  std::unique_ptr<bigearthnet::ArchiveGenerator> generator_;
+  bigearthnet::Archive archive_;
+  bigearthnet::FeatureExtractor extractor_;
+  Tensor features_;
+  std::unique_ptr<EarthQube> system_;
+};
+
+void ExpectSameResponse(const QueryResponse& a, const QueryResponse& b) {
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  for (size_t i = 0; i < a.hits.size(); ++i) {
+    EXPECT_EQ(a.hits[i].patch_name, b.hits[i].patch_name);
+    EXPECT_EQ(a.hits[i].hamming_distance, b.hits[i].hamming_distance);
+  }
+  ASSERT_EQ(a.panel.total(), b.panel.total());
+  for (size_t i = 0; i < a.panel.entries().size(); ++i) {
+    EXPECT_EQ(a.panel.entries()[i].name, b.panel.entries()[i].name);
+  }
+  EXPECT_EQ(a.plan.strategy, b.plan.strategy);
+  EXPECT_EQ(a.plan.description, b.plan.description);
+  EXPECT_EQ(a.query_stats.plan, b.query_stats.plan);
+  EXPECT_EQ(a.query_stats.docs_examined, b.query_stats.docs_examined);
+  EXPECT_EQ(a.page, b.page);
+  EXPECT_EQ(a.page_size, b.page_size);
+  EXPECT_EQ(a.cursor, b.cursor);
+}
+
+QueryRequest NameRadiusRequest(const std::string& name, uint32_t radius) {
+  QueryRequest request;
+  request.similarity = SimilaritySpec::NameRadius(name, radius);
+  request.projection = Projection::kHitsOnly;
+  request.page_size = 0;
+  return request;
+}
+
+// --- coalescer ---------------------------------------------------------------
+
+TEST(ExecEngineTest, IdenticalConcurrentMissesExecuteOnce) {
+  EngineFixture fixture;
+  EarthQube& system = fixture.system();
+  ExecutionEngine* engine = system.exec_engine();
+  ASSERT_NE(engine, nullptr);
+  const QueryRequest request =
+      NameRadiusRequest(fixture.archive().patches[5].name, 8);
+
+  // Pause the workers so every submission is admitted before any
+  // executes: the N identical misses MUST collapse onto one flight.
+  constexpr size_t kWaiters = 16;
+  engine->Pause();
+  std::vector<ExecutionEngine::Ticket> tickets;
+  tickets.reserve(kWaiters);
+  for (size_t i = 0; i < kWaiters; ++i) tickets.push_back(engine->Submit(request));
+  const ExecStats admitted = engine->Stats();
+  engine->Resume();
+
+  std::vector<QueryResponse> responses;
+  for (ExecutionEngine::Ticket& ticket : tickets) {
+    auto response = ticket.Get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    responses.push_back(std::move(response).value());
+  }
+
+  // Exactly one underlying execution, N-1 coalesced waiters, one
+  // response-cache miss and one put.
+  EXPECT_EQ(admitted.flights, 1u);
+  EXPECT_EQ(admitted.coalesced, kWaiters - 1);
+  const cache::CacheStats cache_stats = system.query_cache().ResponseStats();
+  EXPECT_EQ(cache_stats.misses, 1u);
+  EXPECT_EQ(cache_stats.hits, 0u);
+  EXPECT_EQ(cache_stats.puts, 1u);
+  EXPECT_EQ(engine->Stats().completed, kWaiters);
+
+  // All waiters share the leader's fresh response.
+  for (const QueryResponse& response : responses) {
+    EXPECT_FALSE(response.served_from_cache);
+    ExpectSameResponse(response, responses.front());
+  }
+}
+
+TEST(ExecEngineTest, ConcurrentSubmittersFromManyThreads) {
+  EngineFixture fixture;
+  EarthQube& system = fixture.system();
+  // A hot Zipfian-ish mix from many threads; validates thread safety
+  // (TSan job) and engine-vs-sync parity under real concurrency.
+  EarthQubeConfig sync_config;
+  sync_config.exec.enable = false;
+  sync_config.cache.enable_response_cache = false;
+  EngineFixture sync_fixture(sync_config);
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 24;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < 6; ++i) {
+    names.push_back(fixture.archive().patches[i * 31].name);
+  }
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        const std::string& name = names[(t + i) % names.size()];
+        const QueryRequest request = NameRadiusRequest(name, 8);
+        auto engine_response = fixture.system().Execute(request);
+        if (!engine_response.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto sync_response = sync_fixture.system().Execute(request);
+        if (!sync_response.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0u);
+  const ExecStats stats = system.exec_engine()->Stats();
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+}
+
+// --- micro-batcher -----------------------------------------------------------
+
+TEST(ExecEngineTest, DistinctMissesShareOneBatchedIndexPass) {
+  EngineFixture fixture;
+  EarthQube& system = fixture.system();
+  ExecutionEngine* engine = system.exec_engine();
+
+  EarthQubeConfig sync_config;
+  sync_config.exec.enable = false;
+  EngineFixture sync_fixture(sync_config);
+
+  constexpr size_t kDistinct = 12;
+  std::vector<QueryRequest> requests;
+  for (size_t i = 0; i < kDistinct; ++i) {
+    requests.push_back(
+        NameRadiusRequest(fixture.archive().patches[i * 7].name, 8));
+  }
+
+  engine->Pause();
+  std::vector<ExecutionEngine::Ticket> tickets;
+  for (const QueryRequest& request : requests) {
+    tickets.push_back(engine->Submit(request));
+  }
+  engine->Resume();
+
+  std::vector<QueryResponse> responses;
+  for (ExecutionEngine::Ticket& ticket : tickets) {
+    auto response = ticket.Get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    responses.push_back(std::move(response).value());
+  }
+
+  // All distinct in-flight misses were fused into one batched pass.
+  const ExecStats stats = engine->Stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_flights, kDistinct);
+  EXPECT_EQ(stats.direct, 0u);
+
+  // Byte-parity with the synchronous path, slot by slot.
+  for (size_t i = 0; i < kDistinct; ++i) {
+    auto sync_response = sync_fixture.system().Execute(requests[i]);
+    ASSERT_TRUE(sync_response.ok());
+    ExpectSameResponse(responses[i], *sync_response);
+  }
+}
+
+TEST(ExecEngineTest, HybridPreFilterMissesShareOneRestrictedPass) {
+  EngineFixture fixture;
+  ExecutionEngine* engine = fixture.system().exec_engine();
+
+  EarthQubeConfig sync_config;
+  sync_config.exec.enable = false;
+  EngineFixture sync_fixture(sync_config);
+
+  // Same panel filter (the shared allowlist), distinct subjects, pinned
+  // pre-filter so the planner choice is uniform.
+  EarthQubeQuery panel;
+  panel.seasons = {fixture.archive().patches[0].season};
+  constexpr size_t kDistinct = 6;
+  std::vector<QueryRequest> requests;
+  for (size_t i = 0; i < kDistinct; ++i) {
+    QueryRequest request;
+    request.panel = panel;
+    request.similarity =
+        SimilaritySpec::NameRadius(fixture.archive().patches[i * 13].name, 10);
+    request.planner = PlannerMode::kForcePreFilter;
+    request.page_size = 0;
+    requests.push_back(std::move(request));
+  }
+
+  engine->Pause();
+  std::vector<ExecutionEngine::Ticket> tickets;
+  for (const QueryRequest& request : requests) {
+    tickets.push_back(engine->Submit(request));
+  }
+  engine->Resume();
+
+  std::vector<QueryResponse> responses;
+  for (ExecutionEngine::Ticket& ticket : tickets) {
+    auto response = ticket.Get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    responses.push_back(std::move(response).value());
+  }
+
+  const ExecStats stats = engine->Stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_flights, kDistinct);
+  // One shared docstore filter pass: the allowlist cache saw at most
+  // one miss for the shared panel fingerprint.
+  EXPECT_LE(fixture.system().query_cache().AllowlistStats().misses, 1u);
+
+  for (size_t i = 0; i < kDistinct; ++i) {
+    auto sync_response = sync_fixture.system().Execute(requests[i]);
+    ASSERT_TRUE(sync_response.ok());
+    ExpectSameResponse(responses[i], *sync_response);
+  }
+}
+
+TEST(ExecEngineTest, MaxBatchBoundsOnePass) {
+  EarthQubeConfig config;
+  config.exec.max_batch = 4;
+  EngineFixture fixture(config);
+  ExecutionEngine* engine = fixture.system().exec_engine();
+
+  constexpr size_t kDistinct = 10;
+  engine->Pause();
+  std::vector<ExecutionEngine::Ticket> tickets;
+  for (size_t i = 0; i < kDistinct; ++i) {
+    tickets.push_back(engine->Submit(
+        NameRadiusRequest(fixture.archive().patches[i * 11].name, 8)));
+  }
+  engine->Resume();
+  for (ExecutionEngine::Ticket& ticket : tickets) {
+    ASSERT_TRUE(ticket.Get().ok());
+  }
+  const ExecStats stats = engine->Stats();
+  // 10 flights at max_batch 4 -> at least 3 groups, none larger than 4.
+  EXPECT_GE(stats.batches + stats.direct, 3u);
+  EXPECT_EQ(stats.batched_flights + stats.direct, kDistinct);
+}
+
+TEST(ExecEngineTest, IngestPreventsCoalescingOntoStaleFlight) {
+  EngineFixture fixture;
+  EarthQube& system = fixture.system();
+  ExecutionEngine* engine = system.exec_engine();
+  const QueryRequest request =
+      NameRadiusRequest(fixture.archive().patches[4].name, 8);
+
+  engine->Pause();
+  ExecutionEngine::Ticket before_ingest = engine->Submit(request);
+  // The epoch bumps while the first flight is still queued: the second
+  // submission must NOT share its (pre-ingest) execution.
+  bigearthnet::Archive extra;
+  bigearthnet::PatchMetadata twin = fixture.archive().patches[0];
+  twin.name = "twin_for_epoch_guard";
+  extra.patches.push_back(twin);
+  ASSERT_TRUE(system.IngestArchive(extra).ok());
+  ExecutionEngine::Ticket after_ingest = engine->Submit(request);
+  const ExecStats admitted = engine->Stats();
+  engine->Resume();
+
+  ASSERT_TRUE(before_ingest.Get().ok());
+  ASSERT_TRUE(after_ingest.Get().ok());
+  EXPECT_EQ(admitted.flights, 2u);
+  EXPECT_EQ(admitted.coalesced, 0u);
+}
+
+// --- negative cache ----------------------------------------------------------
+
+TEST(ExecEngineTest, NotFoundSubjectsAreNegativeCached) {
+  EngineFixture fixture;
+  EarthQube& system = fixture.system();
+  const QueryRequest request = NameRadiusRequest("no_such_patch", 8);
+
+  auto first = system.Execute(request);
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsNotFound());
+  EXPECT_EQ(system.query_cache().NegativeStats().puts, 1u);
+
+  auto second = system.Execute(request);
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsNotFound());
+  EXPECT_EQ(second.status().message(), first.status().message());
+  // Served from the negative cache: no second execution.
+  EXPECT_EQ(system.query_cache().NegativeStats().hits, 1u);
+  EXPECT_EQ(system.exec_engine()->Stats().negative_hits, 1u);
+
+  // An ingest bumps the epoch: the remembered NotFound is dropped and
+  // the (still unknown) name is re-resolved fresh.
+  bigearthnet::Archive extra;
+  bigearthnet::PatchMetadata twin = fixture.archive().patches[0];
+  twin.name = "twin_of_patch_0";
+  extra.patches.push_back(twin);
+  ASSERT_TRUE(system.IngestArchive(extra).ok());
+
+  auto third = system.Execute(request);
+  ASSERT_FALSE(third.ok());
+  EXPECT_TRUE(third.status().IsNotFound());
+  EXPECT_GE(system.query_cache().NegativeStats().stale_drops, 1u);
+}
+
+TEST(ExecEngineTest, NegativeEntriesExpireByTtl) {
+  // Injected clock: no sleeping.
+  auto now = std::make_shared<std::chrono::steady_clock::time_point>(
+      std::chrono::steady_clock::now());
+  EarthQubeConfig config;
+  config.cache.negative_ttl = std::chrono::milliseconds(50);
+  config.cache.clock = [now] { return *now; };
+  EngineFixture fixture(config);
+  EarthQube& system = fixture.system();
+  const QueryRequest request = NameRadiusRequest("still_missing", 8);
+
+  ASSERT_FALSE(system.Execute(request).ok());
+  ASSERT_FALSE(system.Execute(request).ok());
+  EXPECT_EQ(system.query_cache().NegativeStats().hits, 1u);
+
+  *now += std::chrono::milliseconds(60);
+  ASSERT_FALSE(system.Execute(request).ok());
+  EXPECT_EQ(system.query_cache().NegativeStats().hits, 1u);
+  EXPECT_GE(system.query_cache().NegativeStats().expired_drops, 1u);
+}
+
+// --- async + admission control ----------------------------------------------
+
+TEST(ExecEngineTest, AsyncCallbackDeliversResponse) {
+  EngineFixture fixture;
+  EarthQube& system = fixture.system();
+  const QueryRequest request =
+      NameRadiusRequest(fixture.archive().patches[2].name, 8);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  StatusOr<QueryResponse> delivered = Status::Internal("pending");
+  system.ExecuteAsync(request, [&](const StatusOr<QueryResponse>& response) {
+    std::lock_guard<std::mutex> lock(mu);
+    delivered = response;
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  ASSERT_TRUE(delivered.ok()) << delivered.status().ToString();
+
+  auto direct = system.Execute(request);
+  ASSERT_TRUE(direct.ok());
+  // The replay comes from the cache; normalise the flag for parity.
+  QueryResponse normalised = *direct;
+  normalised.served_from_cache = false;
+  ExpectSameResponse(*delivered, normalised);
+}
+
+TEST(ExecEngineTest, AdmissionQueueOverflowRejects) {
+  EarthQubeConfig config;
+  config.exec.max_queue = 2;
+  config.exec.coalesce = false;  // force distinct flights per submit
+  config.exec.micro_batch = false;
+  EngineFixture fixture(config);
+  ExecutionEngine* engine = fixture.system().exec_engine();
+
+  engine->Pause();
+  std::vector<ExecutionEngine::Ticket> tickets;
+  for (size_t i = 0; i < 4; ++i) {
+    tickets.push_back(engine->Submit(
+        NameRadiusRequest(fixture.archive().patches[i].name, 8)));
+  }
+  engine->Resume();
+
+  size_t rejected = 0;
+  for (ExecutionEngine::Ticket& ticket : tickets) {
+    auto response = ticket.Get();
+    if (!response.ok()) {
+      EXPECT_TRUE(response.status().IsFailedPrecondition());
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, 2u);
+  EXPECT_EQ(engine->Stats().rejected, 2u);
+}
+
+TEST(ExecEngineTest, InvalidRequestFailsAtAdmission) {
+  EngineFixture fixture;
+  QueryRequest bad;  // neither panel nor similarity
+  auto response = fixture.system().Execute(bad);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsInvalidArgument());
+}
+
+// --- engine-off parity -------------------------------------------------------
+
+TEST(ExecEngineTest, EngineOffStillServesAllShapes) {
+  EarthQubeConfig config;
+  config.exec.enable = false;
+  EngineFixture fixture(config);
+  EarthQube& system = fixture.system();
+  ASSERT_EQ(system.exec_engine(), nullptr);
+
+  const QueryRequest cbir =
+      NameRadiusRequest(fixture.archive().patches[1].name, 8);
+  ASSERT_TRUE(system.Execute(cbir).ok());
+
+  auto batch = system.ExecuteBatch({cbir, cbir});
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 2u);
+
+  std::mutex mu;
+  bool called = false;
+  system.ExecuteAsync(cbir, [&](const StatusOr<QueryResponse>& response) {
+    std::lock_guard<std::mutex> lock(mu);
+    called = response.ok();
+  });
+  // Engine off: the callback completes inline.
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_TRUE(called);
+}
+
+TEST(ExecEngineTest, EngineOffExecuteBatchStillDedupes) {
+  EarthQubeConfig config;
+  config.exec.enable = false;
+  EngineFixture fixture(config);
+  EarthQube& system = fixture.system();
+  QueryRequest a = NameRadiusRequest(fixture.archive().patches[6].name, 9);
+  QueryRequest b = NameRadiusRequest(fixture.archive().patches[17].name, 9);
+
+  auto batch = system.ExecuteBatch({a, b, a, a, b});
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 5u);
+  // Two distinct requests -> two executions: duplicates fanned out, not
+  // re-executed and not served from the cache (same contract as the
+  // engine's coalescer).
+  const cache::CacheStats stats = system.query_cache().ResponseStats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.puts, 2u);
+  ExpectSameResponse((*batch)[0], (*batch)[2]);
+  ExpectSameResponse((*batch)[1], (*batch)[4]);
+  EXPECT_EQ((*batch)[2].served_from_cache, (*batch)[0].served_from_cache);
+}
+
+}  // namespace
+}  // namespace agoraeo::earthqube

@@ -471,6 +471,37 @@ TEST(BatchSearchTest, BatchEqualsSequentialForEveryKind) {
   }
 }
 
+TEST(BatchSearchTest, BatchedRestrictedEqualsSequentialRestricted) {
+  // The execution engine's micro-batched pre-filter pass: many query
+  // codes against one shared allowlist must equal per-query restricted
+  // searches, with and without a pool.
+  IndexSet set = BuildIndexSet(64, 300, 13, 74);
+  constexpr uint32_t kRadius = 8;
+  constexpr size_t kK = 7;
+  Rng rng(75);
+  std::vector<ItemId> ids;
+  for (ItemId i = 0; i < 320; ++i) {
+    if (rng.Bernoulli(0.3)) ids.push_back(i);
+  }
+  const CandidateSet allowed(ids);
+  ThreadPool pool(3);
+  for (auto& idx : set.indexes) {
+    for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      const auto batch_radius =
+          idx->BatchRadiusSearchIn(set.queries, kRadius, allowed, p);
+      const auto batch_knn = idx->BatchKnnSearchIn(set.queries, kK, allowed, p);
+      ASSERT_EQ(batch_radius.size(), set.queries.size()) << idx->Name();
+      for (size_t q = 0; q < set.queries.size(); ++q) {
+        EXPECT_EQ(batch_radius[q],
+                  idx->RadiusSearchIn(set.queries[q], kRadius, allowed))
+            << idx->Name() << " restricted radius, query " << q;
+        EXPECT_EQ(batch_knn[q], idx->KnnSearchIn(set.queries[q], kK, allowed))
+            << idx->Name() << " restricted knn, query " << q;
+      }
+    }
+  }
+}
+
 TEST(BatchSearchTest, EmptyBatchReturnsEmpty) {
   IndexSet set = BuildIndexSet(64, 50, 0, 72);
   const std::vector<BinaryCode> empty;

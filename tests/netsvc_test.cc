@@ -11,6 +11,7 @@
 #include "bigearthnet/archive_generator.h"
 #include "bigearthnet/feature_extractor.h"
 #include "earthqube/earthqube.h"
+#include "earthqube/exec/execution_engine.h"
 #include "earthqube/zip_writer.h"
 #include "json/json.h"
 #include "milan/trainer.h"
@@ -203,7 +204,12 @@ class ServiceTest : public ::testing::Test {
     ASSERT_TRUE(archive.ok());
     archive_ = new bigearthnet::Archive(std::move(archive).value());
 
-    system_ = new earthqube::EarthQube();
+    earthqube::EarthQubeConfig system_config;
+    // Generous negative TTL: the wire test below asserts repeat 404s
+    // hit the negative cache, and sanitizer runs can stretch three
+    // round trips past the 2 s default.
+    system_config.cache.negative_ttl = std::chrono::minutes(5);
+    system_ = new earthqube::EarthQube(system_config);
     ASSERT_TRUE(system_->IngestArchive(*archive_).ok());
 
     // Small trained model so the similarity endpoint works.
@@ -1003,6 +1009,71 @@ TEST_F(ServiceTest, CacheStatsEndpoint) {
   ASSERT_TRUE(after_body.ok()) << after->body;
   EXPECT_EQ(after_body->GetPath("response_cache.hits")->as_int64(),
             hits_before + 1);
+
+  // The engine and negative-cache sections ride the same endpoint.
+  const Value* negative = after_body->Get("negative_cache");
+  ASSERT_TRUE(negative != nullptr && negative->is_document());
+  EXPECT_TRUE(negative->as_document().Get("enabled")->as_bool());
+  const Value* exec = after_body->Get("exec");
+  ASSERT_TRUE(exec != nullptr && exec->is_document());
+  EXPECT_TRUE(exec->as_document().Get("enabled")->as_bool());
+  for (const char* field : {"submitted", "completed", "coalesced", "flights",
+                            "batches", "batched_flights", "cache_hits",
+                            "negative_hits", "rejected"}) {
+    ASSERT_TRUE(exec->as_document().Get(field) != nullptr &&
+                exec->as_document().Get(field)->is_int64())
+        << "exec." << field;
+  }
+}
+
+/// The v2 query route is deferred: HTTP workers park connections on the
+/// execution engine instead of blocking.  Many concurrent clients —
+/// more than the server's 2 pool workers — must all be answered, and
+/// the engine must have seen every submission.
+TEST_F(ServiceTest, ConcurrentDeferredQueriesOverWire) {
+  constexpr size_t kClients = 8;
+  constexpr size_t kPerClient = 4;
+  const std::string hot_body =
+      R"({"similarity":{"name":")" + archive_->patches[23].name +
+      R"(","radius":8},"projection":"hits"})";
+  const uint64_t submitted_before =
+      system_->exec_engine()->Stats().submitted;
+
+  std::atomic<size_t> ok_responses{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      HttpClient client;
+      for (size_t i = 0; i < kPerClient; ++i) {
+        auto resp = client.Post(server_->port(), "/api/v2/query", hot_body);
+        if (resp.ok() && resp->status_code == 200 &&
+            resp->body.find("\"results\":[") != std::string::npos) {
+          ok_responses.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(ok_responses.load(), kClients * kPerClient);
+  EXPECT_GE(system_->exec_engine()->Stats().submitted,
+            submitted_before + kClients * kPerClient);
+}
+
+/// Negative caching over the wire: a bad archive name 404s every time,
+/// and repeats are served from the negative cache.
+TEST_F(ServiceTest, RepeatedUnknownNameServedFromNegativeCache) {
+  HttpClient client;
+  const std::string body =
+      R"({"similarity":{"name":"definitely_not_an_archive_image","k":3}})";
+  const auto hits_before = system_->query_cache().NegativeStats().hits;
+  for (int i = 0; i < 3; ++i) {
+    auto resp = client.Post(server_->port(), "/api/v2/query", body);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status_code, 404) << resp->body;
+    EXPECT_NE(resp->body.find("\"error\""), std::string::npos);
+  }
+  EXPECT_GE(system_->query_cache().NegativeStats().hits, hits_before + 2);
 }
 
 }  // namespace
