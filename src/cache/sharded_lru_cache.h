@@ -93,11 +93,11 @@ class ShardedLruCache {
     return it->second->value;
   }
 
-  /// Inserts or replaces an entry accounted at `size_bytes`.  Values
-  /// larger than one shard's byte budget are not admitted (the cache
-  /// stays a cache, not an accidental copy of the whole result set); a
-  /// rejected Put leaves any existing entry for the key untouched and
-  /// does not count as a put.
+  /// Inserts or replaces an entry accounted at `size_bytes`; returns
+  /// whether the entry was admitted.  Values larger than one shard's
+  /// byte budget are not admitted (the cache stays a cache, not an
+  /// accidental copy of the whole result set); a rejected Put leaves any
+  /// existing entry for the key untouched and does not count as a put.
   ///
   /// `computed_at_epoch` is the epoch the value was derived under —
   /// callers MUST snapshot validator->Current() BEFORE reading the
@@ -107,7 +107,7 @@ class ShardedLruCache {
   /// With the early snapshot such an entry is simply stale on its first
   /// Get.  Ignored when no validator is configured; nullopt stamps the
   /// current epoch (only correct when no mutation can race this Put).
-  void Put(const Key& key, Value value, size_t size_bytes,
+  bool Put(const Key& key, Value value, size_t size_bytes,
            std::optional<uint64_t> computed_at_epoch = std::nullopt) {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -115,7 +115,7 @@ class ShardedLruCache {
       // Counted so a misconfigured cache (budget below typical value
       // size) is distinguishable from one that sees no repeat traffic.
       ++shard.stats.rejected_puts;
-      return;
+      return false;
     }
     ++shard.stats.puts;
     auto it = shard.map.find(key);
@@ -138,6 +138,7 @@ class ShardedLruCache {
       RemoveLocked(shard, victim);
       ++shard.stats.evictions;
     }
+    return true;
   }
 
   /// Removes one key; returns whether it was present.

@@ -1,6 +1,7 @@
 #include "docstore/collection.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace agoraeo::docstore {
 
@@ -21,7 +22,8 @@ StatusOr<DocId> Collection::Insert(Document doc) {
   for (const auto& idx : multikey_indexes_) idx->Insert(id, doc);
   for (const auto& idx : geo_indexes_) idx->Insert(id, doc);
   for (const auto& idx : range_indexes_) idx->Insert(id, doc);
-  docs_.emplace(id, std::move(doc));
+  auto stored = docs_.emplace(id, std::move(doc));
+  UpdateHistograms(stored.first->second, /*add=*/true);
   ++next_id_;
   return id;
 }
@@ -35,6 +37,7 @@ Status Collection::Remove(DocId id) {
   for (const auto& idx : multikey_indexes_) idx->Remove(id, it->second);
   for (const auto& idx : geo_indexes_) idx->Remove(id, it->second);
   for (const auto& idx : range_indexes_) idx->Remove(id, it->second);
+  UpdateHistograms(it->second, /*add=*/false);
   docs_.erase(it);
   return Status::OK();
 }
@@ -59,7 +62,9 @@ Status Collection::Update(DocId id, Document doc) {
   for (const auto& idx : multikey_indexes_) idx->Remove(id, it->second);
   for (const auto& idx : geo_indexes_) idx->Remove(id, it->second);
   for (const auto& idx : range_indexes_) idx->Remove(id, it->second);
+  UpdateHistograms(it->second, /*add=*/false);
   it->second = std::move(doc);
+  UpdateHistograms(it->second, /*add=*/true);
   for (const auto& idx : hash_indexes_) {
     AGORAEO_RETURN_IF_ERROR(idx->Insert(id, it->second));
   }
@@ -316,16 +321,257 @@ size_t Collection::Count(const Filter& filter, QueryStats* stats) const {
   return FindIds(filter, 0, stats).size();
 }
 
+const FieldHistogram* Collection::HistogramFor(const std::string& path) const {
+  for (const auto& [hist_path, hist] : histograms_) {
+    if (hist_path == path) return &hist;
+  }
+  return nullptr;
+}
+
+void Collection::UpdateHistograms(const Document& doc, bool add) {
+  for (auto& [path, hist] : histograms_) {
+    const Value* v = doc.GetPath(path);
+    if (v == nullptr) continue;
+    auto apply = [&hist, add](const Value& element) {
+      if (!element.is_number()) {
+        // Tracked so the estimator knows the histogram misses entries.
+        if (add) {
+          hist.AddNonNumeric();
+        } else {
+          hist.RemoveNonNumeric();
+        }
+        return;
+      }
+      if (add) {
+        hist.Add(element.as_number());
+      } else {
+        hist.Remove(element.as_number());
+      }
+    };
+    if (v->is_array()) {
+      for (const Value& element : v->as_array()) apply(element);
+    } else {
+      apply(*v);
+    }
+  }
+}
+
+bool Collection::EstimateLeaf(const Filter& leaf, size_t* estimate,
+                              std::string* plan) const {
+  switch (leaf.op()) {
+    case Filter::Op::kEq: {
+      for (const auto& idx : hash_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        *estimate = idx->CountOf(leaf.values()[0]);
+        *plan = "IXSCAN(hash:" + idx->path() + ")";
+        return true;
+      }
+      for (const auto& idx : multikey_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        *estimate = idx->CountOf(leaf.values()[0]);
+        *plan = "IXSCAN(multikey:" + idx->path() + ")";
+        return true;
+      }
+      for (const auto& idx : range_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        const auto* list = idx->Lookup(leaf.values()[0]);
+        *estimate = list != nullptr ? list->size() : 0;
+        *plan = "IXSCAN(range:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    case Filter::Op::kGt:
+    case Filter::Op::kGte:
+    case Filter::Op::kLt:
+    case Filter::Op::kLte: {
+      const Value& bound = leaf.values()[0];
+      const bool is_lower =
+          leaf.op() == Filter::Op::kGt || leaf.op() == Filter::Op::kGte;
+      const FieldHistogram* hist = HistogramFor(leaf.path());
+      // The histogram only answers when it covers EVERY index entry on
+      // the path: numeric bounds compare against string entries too
+      // (Value's type order), so a numeric-only estimate could
+      // undercount — breaking the documented upper bound.
+      if (hist != nullptr && hist->total() > 0 && hist->numeric_only() &&
+          bound.is_number()) {
+        *estimate = is_lower
+                        ? hist->EstimateRange(bound.as_number(), std::nullopt)
+                        : hist->EstimateRange(std::nullopt, bound.as_number());
+        *plan = "HISTOGRAM(" + leaf.path() + ")";
+        return true;
+      }
+      for (const auto& idx : range_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        const bool inclusive =
+            leaf.op() == Filter::Op::kGte || leaf.op() == Filter::Op::kLte;
+        *estimate = is_lower
+                        ? idx->CountInRange(&bound, inclusive, nullptr, false)
+                        : idx->CountInRange(nullptr, false, &bound, inclusive);
+        *plan = "IXSCAN(range:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    case Filter::Op::kIn: {
+      for (const auto& idx : multikey_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        *estimate = idx->CountAny(leaf.values());
+        *plan = "IXSCAN(multikey:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    case Filter::Op::kAll: {
+      for (const auto& idx : multikey_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        *estimate = idx->CountAll(leaf.values());
+        *plan = "IXSCAN(multikey:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    case Filter::Op::kGeoIntersects: {
+      for (const auto& idx : geo_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        *estimate = idx->CountCandidates(leaf.box());
+        *plan = "IXSCAN(geo:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    case Filter::Op::kGeoWithinCircle: {
+      for (const auto& idx : geo_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        *estimate = idx->CountCandidates(leaf.circle().Bounds());
+        *plan = "IXSCAN(geo:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    case Filter::Op::kGeoWithinPolygon: {
+      for (const auto& idx : geo_indexes_) {
+        if (idx->path() != leaf.path()) continue;
+        *estimate = idx->CountCandidates(leaf.polygon().Bounds());
+        *plan = "IXSCAN(geo:" + idx->path() + ")";
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+bool Collection::EstimateRangeConjunction(const std::vector<Filter>& conjuncts,
+                                          size_t* estimate,
+                                          std::string* plan) const {
+  for (const auto& idx : range_indexes_) {
+    // Tightest interval implied by the conjuncts on this path (mirrors
+    // PlanRangeConjunction, but estimates the interval cardinality from
+    // the path's histogram instead of scanning the tree).
+    const Value* lower = nullptr;
+    const Value* upper = nullptr;
+    bool lower_inc = true, upper_inc = true;
+    size_t bounds = 0;
+    for (const Filter& child : conjuncts) {
+      if (child.path() != idx->path()) continue;
+      switch (child.op()) {
+        case Filter::Op::kEq:
+          lower = upper = &child.values()[0];
+          lower_inc = upper_inc = true;
+          ++bounds;
+          break;
+        case Filter::Op::kGt:
+        case Filter::Op::kGte: {
+          const Value& b = child.values()[0];
+          const bool inc = child.op() == Filter::Op::kGte;
+          if (lower == nullptr || b.Compare(*lower) > 0 ||
+              (b.Compare(*lower) == 0 && !inc)) {
+            lower = &b;
+            lower_inc = inc;
+          }
+          ++bounds;
+          break;
+        }
+        case Filter::Op::kLt:
+        case Filter::Op::kLte: {
+          const Value& b = child.values()[0];
+          const bool inc = child.op() == Filter::Op::kLte;
+          if (upper == nullptr || b.Compare(*upper) < 0 ||
+              (b.Compare(*upper) == 0 && !inc)) {
+            upper = &b;
+            upper_inc = inc;
+          }
+          ++bounds;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if (bounds == 0) continue;
+    const FieldHistogram* hist = HistogramFor(idx->path());
+    const bool numeric_bounds = (lower == nullptr || lower->is_number()) &&
+                                (upper == nullptr || upper->is_number());
+    if (hist != nullptr && hist->total() > 0 && hist->numeric_only() &&
+        numeric_bounds) {
+      *estimate = hist->EstimateRange(
+          lower != nullptr ? std::optional<double>(lower->as_number())
+                           : std::nullopt,
+          upper != nullptr ? std::optional<double>(upper->as_number())
+                           : std::nullopt);
+      *plan = "HISTOGRAM(" + idx->path() + ")";
+    } else {
+      *estimate = idx->CountInRange(lower, lower_inc, upper, upper_inc);
+      *plan = "IXSCAN(range:" + idx->path() + ")";
+    }
+    return true;
+  }
+  return false;
+}
+
 size_t Collection::EstimateMatches(const Filter& filter,
                                    std::string* plan) const {
-  std::vector<DocId> candidates;
+  size_t estimate = 0;
   std::string chosen;
-  if (PlanCandidates(filter, &candidates, &chosen)) {
-    if (plan != nullptr) *plan = chosen;
-    return candidates.size();
+  bool found = EstimateLeaf(filter, &estimate, &chosen);
+  if (!found && filter.op() == Filter::Op::kAnd) {
+    // A conjunction matches at most its most selective estimable
+    // conjunct; an estimate of zero is an early exit (the intersection
+    // cannot grow).
+    for (const Filter& child : filter.children()) {
+      size_t child_estimate = 0;
+      std::string child_plan;
+      if (!EstimateLeaf(child, &child_estimate, &child_plan)) continue;
+      if (!found || child_estimate < estimate) {
+        estimate = child_estimate;
+        chosen = std::move(child_plan);
+        found = true;
+      }
+      if (found && estimate == 0) break;
+    }
+    // A combined interval over several range conjuncts on one path can
+    // beat any single conjunct (e.g. date >= a AND date <= b).
+    size_t range_estimate = 0;
+    std::string range_plan;
+    if ((!found || estimate > 0) &&
+        EstimateRangeConjunction(filter.children(), &range_estimate,
+                                 &range_plan) &&
+        (!found || range_estimate < estimate)) {
+      estimate = range_estimate;
+      chosen = std::move(range_plan);
+      found = true;
+    }
   }
-  if (plan != nullptr) *plan = "COLLSCAN";
-  return docs_.size();
+  if (!found) {
+    if (plan != nullptr) *plan = "COLLSCAN";
+    return docs_.size();
+  }
+  if (plan != nullptr) *plan = std::move(chosen);
+  // Count-based estimates (multikey sums, geo cell sums, histogram edge
+  // buckets) can exceed the collection; the true match count cannot.
+  return std::min(estimate, docs_.size());
 }
 
 std::map<std::string, size_t> Collection::CountByArrayField(
@@ -400,6 +646,27 @@ Status Collection::CreateRangeIndex(const std::string& path) {
   auto idx = std::make_unique<RangeIndex>(path);
   for (const auto& [id, doc] : docs_) idx->Insert(id, doc);
   range_indexes_.push_back(std::move(idx));
+  // Every range-indexed path gets a cardinality histogram; backfill it
+  // from the existing documents so estimates are live immediately.
+  FieldHistogram hist;
+  for (const auto& [id, doc] : docs_) {
+    (void)id;
+    const Value* v = doc.GetPath(path);
+    if (v == nullptr) continue;
+    auto backfill = [&hist](const Value& element) {
+      if (element.is_number()) {
+        hist.Add(element.as_number());
+      } else {
+        hist.AddNonNumeric();
+      }
+    };
+    if (v->is_array()) {
+      for (const Value& element : v->as_array()) backfill(element);
+    } else {
+      backfill(*v);
+    }
+  }
+  histograms_.emplace_back(path, std::move(hist));
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "docstore/filter.h"
+#include "docstore/histogram.h"
 #include "docstore/index.h"
 #include "docstore/value.h"
 
@@ -67,14 +68,23 @@ class Collection {
   /// Number of matching documents.
   size_t Count(const Filter& filter, QueryStats* stats = nullptr) const;
 
-  /// Cheap upper-bound estimate of how many documents match `filter`:
-  /// the index candidate count when an index applies (index lookups
-  /// only, no document verification), the collection size otherwise.
-  /// Query planners use this to gauge filter selectivity without paying
-  /// for the full query.  `plan` (optional) receives the access path the
-  /// estimate came from.
+  /// Cheap upper-bound estimate of how many documents match `filter`,
+  /// the collection size when no index or histogram applies.  Purely
+  /// count-based: posting-list lengths, geo cell sums and the per-field
+  /// equi-width histograms — no candidate id vector is ever materialised
+  /// (the old implementation paid a full candidate enumeration on some
+  /// filter shapes), and a conjunction short-circuits as soon as one
+  /// conjunct estimates zero.  Query planners use this to gauge filter
+  /// selectivity without paying for the full query.  `plan` (optional)
+  /// receives the access path the estimate came from ("IXSCAN(...)",
+  /// "HISTOGRAM(<path>)" or "COLLSCAN").
   size_t EstimateMatches(const Filter& filter,
                          std::string* plan = nullptr) const;
+
+  /// The cardinality histogram maintained for a range-indexed numeric
+  /// path (nullptr when the path has no range index).  Exposed for tests
+  /// and stats endpoints.
+  const FieldHistogram* HistogramFor(const std::string& path) const;
 
   /// Aggregation used by the label-statistics view: counts occurrences of
   /// every element of the array field at `path` across documents matching
@@ -122,6 +132,20 @@ class Collection {
                             std::vector<DocId>* candidates,
                             std::string* plan) const;
 
+  /// Count-only estimate for one indexable leaf; false when no index or
+  /// histogram applies.
+  bool EstimateLeaf(const Filter& leaf, size_t* estimate,
+                    std::string* plan) const;
+  /// Count-only analogue of PlanRangeConjunction: estimates the tightest
+  /// interval implied by range conjuncts via the path's histogram (or
+  /// the B+-tree's interval count for non-numeric keys).
+  bool EstimateRangeConjunction(const std::vector<Filter>& conjuncts,
+                                size_t* estimate, std::string* plan) const;
+
+  /// Adds (or removes) one document's numeric values to the per-field
+  /// histograms of every range-indexed path.
+  void UpdateHistograms(const Document& doc, bool add);
+
   std::string name_;
   DocId next_id_ = 1;
   std::map<DocId, Document> docs_;
@@ -129,6 +153,9 @@ class Collection {
   std::vector<std::unique_ptr<MultikeyIndex>> multikey_indexes_;
   std::vector<std::unique_ptr<GeoIndex>> geo_indexes_;
   std::vector<std::unique_ptr<RangeIndex>> range_indexes_;
+  /// One equi-width cardinality histogram per range-indexed path,
+  /// maintained on every insert/remove/update; feeds EstimateMatches.
+  std::vector<std::pair<std::string, FieldHistogram>> histograms_;
 };
 
 }  // namespace agoraeo::docstore

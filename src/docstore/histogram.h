@@ -1,0 +1,173 @@
+#ifndef AGORAEO_DOCSTORE_HISTOGRAM_H_
+#define AGORAEO_DOCSTORE_HISTOGRAM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace agoraeo::docstore {
+
+/// A cheap equi-width histogram over one numeric field, maintained
+/// incrementally by the collection for every range-indexed path.  The
+/// query planner's EstimateMatches uses it to gauge range-filter
+/// selectivity in O(buckets) instead of scanning the B+-tree interval.
+///
+/// Buckets are [i·w, (i+1)·w) for integer i (floor semantics, so
+/// negative values bucket correctly); the window covers `num_buckets`
+/// consecutive indices starting at `base`.  When a value lands outside
+/// the window the width doubles and adjacent bucket pairs merge — an
+/// exact re-bucketing, because every old bucket nests inside exactly one
+/// new bucket — until the window covers it, so any finite value range is
+/// absorbed in O(log range) doublings without losing counts.
+///
+/// Estimates are upper bounds relative to the histogram contents:
+/// buckets partially overlapping the query interval are counted fully.
+/// Array-valued fields contribute one count per element (like the range
+/// index itself), so the bound is against index entries, not documents.
+class FieldHistogram {
+ public:
+  /// 512 buckets by default: a year of day ordinals (the planner's main
+  /// customer) keeps width 1, i.e. exact per-day counts, at 4 KiB per
+  /// indexed path.
+  explicit FieldHistogram(size_t num_buckets = 512)
+      : num_buckets_(num_buckets < 2 ? 2 : num_buckets),
+        counts_(num_buckets_, 0) {}
+
+  void Add(double v) {
+    if (!std::isfinite(v)) return;
+    if (total_ == 0 && !anchored_) {
+      // First value anchors the window around its bucket.
+      base_ = IndexFor(v);
+      anchored_ = true;
+    }
+    // Use the index WidenToInclude converged on: for clamped-overflow
+    // outliers a recomputed IndexFor(v) would clamp again (the clamp
+    // breaks the floor(v/2w) == floor(floor(v/w)/2) identity), landing
+    // outside the widened window.
+    const int64_t idx = WidenToInclude(IndexFor(v));
+    ++counts_[static_cast<size_t>(idx - base_)];
+    ++total_;
+  }
+
+  void Remove(double v) {
+    if (!std::isfinite(v) || total_ == 0) return;
+    const int64_t idx = IndexFor(v);
+    if (idx < base_ || idx >= base_ + static_cast<int64_t>(num_buckets_)) {
+      return;  // never added (the window only widens)
+    }
+    uint64_t& count = counts_[static_cast<size_t>(idx - base_)];
+    if (count == 0) return;
+    --count;
+    --total_;
+  }
+
+  /// Non-numeric values on the path are counted (not bucketed) so the
+  /// estimator knows when the histogram does NOT cover every index
+  /// entry — Value's type ordering makes numeric bounds match string
+  /// entries, so a numeric-only estimate would break the upper bound.
+  void AddNonNumeric() { ++non_numeric_; }
+  void RemoveNonNumeric() {
+    if (non_numeric_ > 0) --non_numeric_;
+  }
+  bool numeric_only() const { return non_numeric_ == 0; }
+
+  uint64_t total() const { return total_; }
+
+  /// Upper-bound count of entries in [lower, upper]; a nullopt bound is
+  /// unbounded on that side.  Bound inclusivity is ignored (the boundary
+  /// bucket is counted fully either way — still an upper bound).
+  uint64_t EstimateRange(std::optional<double> lower,
+                         std::optional<double> upper) const {
+    if (total_ == 0) return 0;
+    const int64_t last = base_ + static_cast<int64_t>(num_buckets_) - 1;
+    int64_t lo = lower.has_value() ? IndexFor(*lower) : base_;
+    int64_t hi = upper.has_value() ? IndexFor(*upper) : last;
+    if (hi < base_ || lo > last || hi < lo) return 0;
+    lo = lo < base_ ? base_ : lo;
+    hi = hi > last ? last : hi;
+    uint64_t sum = 0;
+    for (int64_t i = lo; i <= hi; ++i) {
+      sum += counts_[static_cast<size_t>(i - base_)];
+    }
+    return sum;
+  }
+
+ private:
+  static int64_t FloorDiv2(int64_t i) { return i >= 0 ? i / 2 : (i - 1) / 2; }
+
+  int64_t IndexFor(double v) const {
+    // Clamp before the float->int conversion: |v/width| can exceed
+    // int64's range for finite doubles (UB on the cast).  Clamped
+    // outliers land in the extreme bucket — fine for an estimator.
+    constexpr double kClamp = 9.0e18;  // < 2^63 - 1
+    const double idx = std::floor(v / width_);
+    if (idx >= kClamp) return static_cast<int64_t>(kClamp);
+    if (idx <= -kClamp) return static_cast<int64_t>(-kClamp);
+    return static_cast<int64_t>(idx);
+  }
+
+  /// Grows the window to cover `idx` and returns the in-window bucket
+  /// index `idx` mapped to (identical to `idx` when no widening ran).
+  int64_t WidenToInclude(int64_t idx) {
+    // Fast path: the common in-window Add costs O(1); only genuine
+    // widenings pay the bucket scans below.
+    if (idx >= base_ && idx < base_ + static_cast<int64_t>(num_buckets_)) {
+      return idx;
+    }
+    for (;;) {
+      // The absolute index span that must fit in the window: every
+      // occupied bucket plus the incoming index.
+      int64_t lo = idx;
+      int64_t hi = idx;
+      for (size_t i = 0; i < num_buckets_; ++i) {
+        if (counts_[i] == 0) continue;
+        const int64_t abs_index = base_ + static_cast<int64_t>(i);
+        lo = abs_index < lo ? abs_index : lo;
+        hi = abs_index > hi ? abs_index : hi;
+      }
+      if (hi - lo < static_cast<int64_t>(num_buckets_)) {
+        // Fits at the current width: shift the window (bucket
+        // boundaries are absolute multiples of the width, so moving the
+        // window start loses nothing).
+        if (lo != base_) {
+          std::vector<uint64_t> next(num_buckets_, 0);
+          for (size_t i = 0; i < num_buckets_; ++i) {
+            const int64_t abs_index = base_ + static_cast<int64_t>(i);
+            if (counts_[i] != 0) {
+              next[static_cast<size_t>(abs_index - lo)] = counts_[i];
+            }
+          }
+          counts_ = std::move(next);
+          base_ = lo;
+        }
+        return idx;
+      }
+      // Too wide: double the width — old bucket i folds into
+      // floor(i/2) exactly — and retry.
+      std::vector<uint64_t> next(num_buckets_, 0);
+      const int64_t next_base = FloorDiv2(base_);
+      for (size_t i = 0; i < num_buckets_; ++i) {
+        next[static_cast<size_t>(
+            FloorDiv2(base_ + static_cast<int64_t>(i)) - next_base)] +=
+            counts_[i];
+      }
+      counts_ = std::move(next);
+      base_ = next_base;
+      width_ *= 2.0;
+      idx = FloorDiv2(idx);
+    }
+  }
+
+  size_t num_buckets_;
+  double width_ = 1.0;
+  int64_t base_ = 0;
+  bool anchored_ = false;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  uint64_t non_numeric_ = 0;
+};
+
+}  // namespace agoraeo::docstore
+
+#endif  // AGORAEO_DOCSTORE_HISTOGRAM_H_

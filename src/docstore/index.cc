@@ -115,6 +115,23 @@ std::vector<DocId> MultikeyIndex::LookupAll(
   return result;
 }
 
+size_t MultikeyIndex::CountAny(const std::vector<Value>& elements) const {
+  size_t sum = 0;
+  for (const Value& e : elements) sum += CountOf(e);
+  return sum;
+}
+
+size_t MultikeyIndex::CountAll(const std::vector<Value>& elements) const {
+  if (elements.empty()) return 0;
+  size_t best = SIZE_MAX;
+  for (const Value& e : elements) {
+    const size_t count = CountOf(e);
+    if (count == 0) return 0;  // any absent element empties the intersection
+    best = std::min(best, count);
+  }
+  return best;
+}
+
 std::vector<DocId> MultikeyIndex::LookupAny(
     const std::vector<Value>& elements) const {
   std::vector<DocId> result;
@@ -154,6 +171,17 @@ void RangeIndex::Remove(DocId id, const Document& doc) {
   }
 }
 
+size_t RangeIndex::CountInRange(const Value* lower, bool lower_inclusive,
+                                const Value* upper,
+                                bool upper_inclusive) const {
+  size_t sum = 0;
+  tree_.Scan(lower, lower_inclusive, upper, upper_inclusive,
+             [&sum](const Value&, const std::vector<DocId>& postings) {
+               sum += postings.size();
+             });
+  return sum;
+}
+
 std::vector<DocId> RangeIndex::Scan(const Value* lower, bool lower_inclusive,
                                     const Value* upper,
                                     bool upper_inclusive) const {
@@ -190,18 +218,25 @@ void GeoIndex::Remove(DocId id, const Document& doc) {
   if (it->second.empty()) cells_.erase(it);
 }
 
-std::vector<DocId> GeoIndex::Candidates(const geo::BoundingBox& query) const {
-  // Expand the query box by one patch-size margin so rectangles whose
-  // center lies just outside but that still intersect are found.
+namespace {
+
+/// Expands a query box by one patch-size margin so rectangles whose
+/// center lies just outside but that still intersect are found.
+geo::BoundingBox PadQueryBox(const geo::BoundingBox& query) {
   geo::BoundingBox padded = query;
   const double margin = 0.02;  // ~2 km; generous for 1.2 km patches
   padded.min.lat -= margin;
   padded.min.lon -= margin;
   padded.max.lat += margin;
   padded.max.lon += margin;
+  return padded;
+}
 
+}  // namespace
+
+std::vector<DocId> GeoIndex::Candidates(const geo::BoundingBox& query) const {
   const std::vector<std::string> cover =
-      geo::GeohashCover(padded, precision_);
+      geo::GeohashCover(PadQueryBox(query), precision_);
   std::vector<DocId> out;
   for (const std::string& prefix : cover) {
     // Ordered prefix scan: covers cells at the index precision even when
@@ -215,6 +250,20 @@ std::vector<DocId> GeoIndex::Candidates(const geo::BoundingBox& query) const {
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+size_t GeoIndex::CountCandidates(const geo::BoundingBox& query) const {
+  const std::vector<std::string> cover =
+      geo::GeohashCover(PadQueryBox(query), precision_);
+  size_t sum = 0;
+  for (const std::string& prefix : cover) {
+    for (auto it = cells_.lower_bound(prefix);
+         it != cells_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+      sum += it->second.size();
+    }
+  }
+  return sum;
 }
 
 }  // namespace agoraeo::docstore

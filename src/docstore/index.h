@@ -31,6 +31,13 @@ class HashIndex {
   /// Posting list for a key (nullptr when absent).
   const std::vector<DocId>* Lookup(const Value& v) const;
 
+  /// Posting-list length for a key (0 when absent) — the O(1) count the
+  /// planner's cardinality estimator uses without materialising ids.
+  size_t CountOf(const Value& v) const {
+    const auto* list = Lookup(v);
+    return list == nullptr ? 0 : list->size();
+  }
+
   const std::string& path() const { return path_; }
   bool unique() const { return unique_; }
   size_t num_keys() const { return map_.size(); }
@@ -60,6 +67,20 @@ class MultikeyIndex {
 
   /// Documents containing any element (posting-list union).
   std::vector<DocId> LookupAny(const std::vector<Value>& elements) const;
+
+  // --- count-only estimators (no posting-list materialisation) ----------
+
+  /// Posting-list length of one element (0 when absent).
+  size_t CountOf(const Value& element) const {
+    const auto* list = Lookup(element);
+    return list == nullptr ? 0 : list->size();
+  }
+  /// Upper bound on |LookupAny(elements)|: the sum of posting-list
+  /// lengths (skips the union merge).
+  size_t CountAny(const std::vector<Value>& elements) const;
+  /// Upper bound on |LookupAll(elements)|: the shortest posting-list
+  /// length (skips the intersections; 0 when any element is absent).
+  size_t CountAll(const std::vector<Value>& elements) const;
 
   const std::string& path() const { return path_; }
   size_t num_keys() const { return map_.size(); }
@@ -93,6 +114,13 @@ class RangeIndex {
     return tree_.Find(v);
   }
 
+  /// Upper bound on |Scan(...)|: sums posting-list lengths over the
+  /// interval without materialising or de-duplicating ids.  O(keys in
+  /// interval) — the fallback estimator when no histogram covers the
+  /// path (non-numeric keys).
+  size_t CountInRange(const Value* lower, bool lower_inclusive,
+                      const Value* upper, bool upper_inclusive) const;
+
   const std::string& path() const { return path_; }
   size_t num_keys() const { return tree_.num_keys(); }
   const BPlusTree& tree() const { return tree_; }
@@ -118,6 +146,10 @@ class GeoIndex {
   /// Candidate documents for a query area (superset of true matches;
   /// callers re-verify with the filter).
   std::vector<DocId> Candidates(const geo::BoundingBox& query) const;
+
+  /// Upper bound on |Candidates(query)|: sums cell posting-list lengths
+  /// over the cover without materialising or de-duplicating ids.
+  size_t CountCandidates(const geo::BoundingBox& query) const;
 
   const std::string& path() const { return path_; }
   int precision() const { return precision_; }

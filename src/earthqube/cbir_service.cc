@@ -29,16 +29,25 @@ std::unique_ptr<index::HammingIndex> MakeIndex(CbirIndexKind kind) {
 
 CbirService::CbirService(std::unique_ptr<milan::MilanModel> model,
                          const bigearthnet::FeatureExtractor* extractor,
-                         CbirIndexKind index_kind, size_t query_threads)
-    : model_(std::move(model)),
-      extractor_(extractor),
-      index_(MakeIndex(index_kind)),
-      query_threads_(query_threads) {}
+                         CbirConfig config)
+    : model_(std::move(model)), extractor_(extractor), config_(config) {
+  if (config_.num_shards > 1) {
+    // The partition layer: N hash-partitioned instances of the
+    // configured kind behind one scatter–gather facade.
+    auto sharded = std::make_unique<index::ShardedHammingIndex>(
+        config_.num_shards,
+        [kind = config_.index_kind] { return MakeIndex(kind); });
+    sharded_ = sharded.get();
+    index_ = std::move(sharded);
+  } else {
+    index_ = MakeIndex(config_.index_kind);
+  }
+}
 
 ThreadPool* CbirService::QueryPool() const {
   std::lock_guard<std::mutex> lock(pool_mu_);
   if (pool_ == nullptr) {
-    size_t threads = query_threads_;
+    size_t threads = config_.query_threads;
     if (threads == 0) {
       threads = std::max<size_t>(1, std::thread::hardware_concurrency());
     }
@@ -68,15 +77,41 @@ Status CbirService::AddImages(const std::vector<std::string>& names,
     return Status::InvalidArgument("features shape mismatch with names");
   }
   const std::vector<BinaryCode> codes = model_->HashBatch(features);
+  // Pre-validate the whole batch (duplicate names, uniform code length)
+  // so the parallel per-shard ingest below cannot fail halfway: all the
+  // realistic Add errors are caught before the index is touched.
+  std::unordered_map<std::string, size_t> batch_names;
   for (size_t i = 0; i < names.size(); ++i) {
-    if (code_by_name_.count(names[i]) != 0) {
+    if (code_by_name_.count(names[i]) != 0 ||
+        !batch_names.emplace(names[i], i).second) {
       return Status::AlreadyExists("image already indexed: " + names[i]);
     }
-    const index::ItemId id = name_by_id_.size();
-    AGORAEO_RETURN_IF_ERROR(index_->Add(id, codes[i]));
+  }
+  const size_t expected_bits =
+      code_by_name_.empty() ? (codes.empty() ? 0 : codes.front().size())
+                            : code_by_name_.begin()->second.size();
+  if (expected_bits == 0 && !codes.empty()) {
+    return Status::InvalidArgument("model produced empty binary codes");
+  }
+  for (const BinaryCode& code : codes) {
+    if (code.size() != expected_bits) {
+      return Status::InvalidArgument("code length mismatch within batch");
+    }
+  }
+  std::vector<index::ItemId> ids(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    ids[i] = name_by_id_.size() + i;
+  }
+  // Sharded indexes ingest every partition's slice in parallel on the
+  // query pool; the monolithic default is a sequential loop, so don't
+  // spin the pool up for it (it stays lazy until the first batch
+  // query, as before the partition layer).
+  AGORAEO_RETURN_IF_ERROR(
+      index_->BatchAdd(ids, codes, sharded_ != nullptr ? QueryPool() : nullptr));
+  for (size_t i = 0; i < names.size(); ++i) {
     name_by_id_.push_back(names[i]);
     code_by_name_.emplace(names[i], codes[i]);
-    id_by_name_.emplace(names[i], id);
+    id_by_name_.emplace(names[i], ids[i]);
   }
   return Status::OK();
 }

@@ -14,12 +14,27 @@
 #include "common/binary_code.h"
 #include "common/status.h"
 #include "index/hamming_index.h"
+#include "index/sharded_index.h"
 #include "milan/milan_model.h"
 
 namespace agoraeo::earthqube {
 
 /// Which nearest-neighbour structure backs the service.
 enum class CbirIndexKind { kHashTable, kMultiIndex, kLinearScan, kBkTree };
+
+/// Construction knobs of the CBIR service.
+struct CbirConfig {
+  CbirIndexKind index_kind = CbirIndexKind::kHashTable;
+  /// Pool the batch queries (and sharded passes) run across: 0 picks the
+  /// hardware concurrency, 1 disables threading.  Created lazily.
+  size_t query_threads = 0;
+  /// Partitions of the Hamming index.  1 (the default) builds the plain
+  /// monolithic index — exactly the pre-partition behaviour; > 1 wraps
+  /// `index_kind` into an N-way ShardedHammingIndex: ingest is
+  /// parallelised per shard and every batched query pass fans out one
+  /// task per shard across the query pool.
+  size_t num_shards = 1;
+};
 
 /// One retrieved image.
 struct CbirResult {
@@ -35,13 +50,19 @@ struct CbirResult {
 class CbirService {
  public:
   /// Takes ownership of the trained model.  `extractor` must outlive the
-  /// service.  `query_threads` sizes the pool the batch queries shard
-  /// across: 0 picks the hardware concurrency, 1 disables threading.
-  /// The pool is created lazily on the first batch query.
+  /// service.  See CbirConfig for the index kind, query pool and
+  /// partition knobs.
+  CbirService(std::unique_ptr<milan::MilanModel> model,
+              const bigearthnet::FeatureExtractor* extractor,
+              CbirConfig config);
+
+  /// Legacy constructor kept for the pre-partition call sites.
   CbirService(std::unique_ptr<milan::MilanModel> model,
               const bigearthnet::FeatureExtractor* extractor,
               CbirIndexKind index_kind = CbirIndexKind::kHashTable,
-              size_t query_threads = 0);
+              size_t query_threads = 0)
+      : CbirService(std::move(model), extractor,
+                    CbirConfig{index_kind, query_threads, /*num_shards=*/1}) {}
 
   /// Indexes one archive image with a precomputed feature vector.
   Status AddImage(const std::string& patch_name, const Tensor& feature);
@@ -162,6 +183,12 @@ class CbirService {
   size_t num_indexed() const { return name_by_id_.size(); }
   const milan::MilanModel& model() const { return *model_; }
   index::HammingIndex& hamming_index() { return *index_; }
+  const index::HammingIndex& hamming_index() const { return *index_; }
+  /// The partition layer, when this service was built with
+  /// config.num_shards > 1 (nullptr for a monolithic index).  Feeds the
+  /// per-shard observability endpoint.
+  const index::ShardedHammingIndex* sharded_index() const { return sharded_; }
+  const CbirConfig& config() const { return config_; }
 
  private:
   std::vector<CbirResult> ToResults(
@@ -173,8 +200,11 @@ class CbirService {
 
   std::unique_ptr<milan::MilanModel> model_;
   const bigearthnet::FeatureExtractor* extractor_;
+  CbirConfig config_;
   std::unique_ptr<index::HammingIndex> index_;
-  size_t query_threads_;
+  /// Non-owning view of index_ as the partition layer; null when
+  /// num_shards <= 1.
+  const index::ShardedHammingIndex* sharded_ = nullptr;
   mutable std::mutex pool_mu_;  ///< guards lazy pool creation
   mutable std::unique_ptr<ThreadPool> pool_;
   /// The paper's in-memory hash table: patch name -> binary code.

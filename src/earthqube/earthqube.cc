@@ -386,12 +386,14 @@ std::optional<StatusOr<QueryResponse>> EarthQube::ProbeCaches(
   return std::nullopt;
 }
 
-void EarthQube::CacheResponse(const QueryRequest& request,
+bool EarthQube::CacheResponse(const QueryRequest& request,
                               const std::optional<std::string>& fingerprint,
                               const QueryResponse& response,
                               uint64_t epoch_snapshot) const {
-  if (!fingerprint.has_value() || !request.similarity.has_value()) return;
-  query_cache_.PutResponse(*fingerprint, response, epoch_snapshot);
+  if (!fingerprint.has_value() || !request.similarity.has_value()) {
+    return false;
+  }
+  return query_cache_.PutResponse(*fingerprint, response, epoch_snapshot);
 }
 
 void EarthQube::MaybeCacheNegative(
@@ -405,14 +407,18 @@ void EarthQube::MaybeCacheNegative(
 
 StatusOr<QueryResponse> EarthQube::ExecuteAndCache(
     const QueryRequest& request,
-    const std::optional<std::string>& fingerprint) const {
+    const std::optional<std::string>& fingerprint,
+    bool* response_cached) const {
   // Snapshot the epoch BEFORE executing: an ingest racing this query
   // bumps it, leaving the entry we put below stale instead of serving
   // pre-ingest data as fresh.
   const uint64_t epoch_snapshot = query_cache_.epoch();
+  if (response_cached != nullptr) *response_cached = false;
   auto response = ExecuteUncached(request);
   if (response.ok()) {
-    CacheResponse(request, fingerprint, *response, epoch_snapshot);
+    const bool cached =
+        CacheResponse(request, fingerprint, *response, epoch_snapshot);
+    if (response_cached != nullptr) *response_cached = cached;
   } else {
     MaybeCacheNegative(request, fingerprint, response.status(),
                        epoch_snapshot);

@@ -223,9 +223,12 @@ class EarthQube {
   /// One uncached execution bracketed by cache bookkeeping: the epoch
   /// is snapshotted before the reads, successful similarity responses
   /// are Put, and NotFound similarity subjects are negative-cached.
+  /// `response_cached` (optional) reports whether the response-cache Put
+  /// was admitted — the engine's flight pre-warm counter reads it.
   StatusOr<QueryResponse> ExecuteAndCache(
       const QueryRequest& request,
-      const std::optional<std::string>& fingerprint) const;
+      const std::optional<std::string>& fingerprint,
+      bool* response_cached = nullptr) const;
 
   /// The engine-off Execute body: preflight -> cache probe ->
   /// ExecuteAndCache, all on the caller's thread.
@@ -233,7 +236,9 @@ class EarthQube {
 
   /// Cache-put halves of ExecuteAndCache, exposed to the engine's
   /// micro-batch paths (which snapshot one epoch per shared pass).
-  void CacheResponse(const QueryRequest& request,
+  /// CacheResponse returns whether the response cache admitted the
+  /// entry (the flight pre-warm signal).
+  bool CacheResponse(const QueryRequest& request,
                      const std::optional<std::string>& fingerprint,
                      const QueryResponse& response,
                      uint64_t epoch_snapshot) const;

@@ -54,6 +54,13 @@ struct ExecStats {
   uint64_t batches = 0;        ///< micro-batched index passes
   uint64_t batched_flights = 0;  ///< flights served by those passes
   uint64_t rejected = 0;       ///< submissions bounced off the full queue
+  /// Flight completions whose shared response was admitted to the
+  /// response cache before the waiters woke (the coalescer's pre-warm
+  /// drain: the next identical request is a cache hit, not a flight).
+  uint64_t flight_warms = 0;
+  /// Admission-time response-cache hits whose entry was written by a
+  /// flight completion (proof the pre-warm path serves real traffic).
+  uint64_t warm_from_flight_hits = 0;
 };
 
 }  // namespace agoraeo::earthqube

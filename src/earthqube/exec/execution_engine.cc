@@ -207,6 +207,13 @@ std::shared_ptr<ExecutionEngine::Waiter> ExecutionEngine::Admit(
   if (auto probed = system_->ProbeCaches(request, fingerprint)) {
     if (probed->ok()) {
       cache_hits_.fetch_add(1);
+      // Attribute the hit when a flight completion wrote the entry —
+      // the pre-warm drain (satellite of the coalescer): waiters of the
+      // original flight shared its response, and everyone after them is
+      // served here without ever reaching the queue.
+      if (WasWarmedByFlight(fingerprint)) {
+        warm_from_flight_hits_.fetch_add(1);
+      }
       CompleteFlight(flight, Status::OK(),
                      std::make_shared<const QueryResponse>(
                          std::move(probed->value())));
@@ -328,9 +335,30 @@ void ExecutionEngine::WorkerLoop() {
   }
 }
 
+void ExecutionEngine::RecordFlightWarm(
+    const std::optional<std::string>& fingerprint) {
+  if (!fingerprint.has_value()) return;
+  flight_warms_.fetch_add(1);
+  std::lock_guard<std::mutex> lock(warmed_mu_);
+  if (warmed_by_flight_.size() >= kWarmedSetCap) warmed_by_flight_.clear();
+  warmed_by_flight_.insert(*fingerprint);
+}
+
+bool ExecutionEngine::WasWarmedByFlight(
+    const std::optional<std::string>& fingerprint) const {
+  if (!fingerprint.has_value()) return false;
+  std::lock_guard<std::mutex> lock(warmed_mu_);
+  return warmed_by_flight_.count(*fingerprint) != 0;
+}
+
 void ExecutionEngine::ExecuteDirect(const std::shared_ptr<Flight>& flight) {
+  // The response-cache Put happens inside ExecuteAndCache, BEFORE the
+  // waiters wake below: by the time any waiter observes completion, the
+  // next identical request is already a cache hit.
+  bool cached = false;
   StatusOr<QueryResponse> result =
-      system_->ExecuteAndCache(flight->request, flight->fingerprint);
+      system_->ExecuteAndCache(flight->request, flight->fingerprint, &cached);
+  if (cached) RecordFlightWarm(flight->fingerprint);
   if (result.ok()) {
     CompleteFlight(flight, Status::OK(),
                    std::make_shared<const QueryResponse>(
@@ -396,8 +424,10 @@ void ExecutionEngine::ExecuteCbirGroup(
     StatusOr<QueryResponse> response =
         system_->BuildCbirResponse(live[i]->request, std::move(hit_lists[i]));
     if (response.ok()) {
-      system_->CacheResponse(live[i]->request, live[i]->fingerprint,
-                             *response, epoch_snapshot);
+      if (system_->CacheResponse(live[i]->request, live[i]->fingerprint,
+                                 *response, epoch_snapshot)) {
+        RecordFlightWarm(live[i]->fingerprint);
+      }
       CompleteFlight(live[i], Status::OK(),
                      std::make_shared<const QueryResponse>(
                          std::move(response).value()));
@@ -475,8 +505,10 @@ void ExecutionEngine::ExecuteHybridGroup(
     StatusOr<QueryResponse> response = system_->BuildHybridPreResponse(
         live[i]->request, plan, **allowlist, std::move(hit_lists[i]));
     if (response.ok()) {
-      system_->CacheResponse(live[i]->request, live[i]->fingerprint,
-                             *response, epoch_snapshot);
+      if (system_->CacheResponse(live[i]->request, live[i]->fingerprint,
+                                 *response, epoch_snapshot)) {
+        RecordFlightWarm(live[i]->fingerprint);
+      }
       CompleteFlight(live[i], Status::OK(),
                      std::make_shared<const QueryResponse>(
                          std::move(response).value()));
@@ -498,6 +530,8 @@ ExecStats ExecutionEngine::Stats() const {
   stats.batches = batches_.load();
   stats.batched_flights = batched_flights_.load();
   stats.rejected = rejected_.load();
+  stats.flight_warms = flight_warms_.load();
+  stats.warm_from_flight_hits = warm_from_flight_hits_.load();
   return stats;
 }
 

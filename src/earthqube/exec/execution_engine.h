@@ -11,6 +11,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -113,6 +114,13 @@ class ExecutionEngine {
                              const Status& status,
                              std::shared_ptr<const QueryResponse> response);
 
+  /// Records that a flight completion pre-warmed the response cache
+  /// under `fingerprint`, so a later admission-time hit on it can be
+  /// attributed to the flight drain (warm_from_flight_hits).
+  void RecordFlightWarm(const std::optional<std::string>& fingerprint);
+  /// Whether `fingerprint` was pre-warmed by a flight completion.
+  bool WasWarmedByFlight(const std::optional<std::string>& fingerprint) const;
+
   void WorkerLoop();
   /// Moves every queued flight whose batch key matches into `group`
   /// (caller holds mu_).
@@ -135,6 +143,14 @@ class ExecutionEngine {
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 
+  /// Fingerprints whose cache entries were written by flight
+  /// completions; bounded (cleared when it grows past kWarmedSetCap) —
+  /// it only feeds attribution counters, so dropping history merely
+  /// undercounts warm_from_flight_hits.
+  static constexpr size_t kWarmedSetCap = 4096;
+  mutable std::mutex warmed_mu_;
+  std::unordered_set<std::string> warmed_by_flight_;
+
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> cache_hits_{0};
@@ -145,6 +161,8 @@ class ExecutionEngine {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_flights_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> flight_warms_{0};
+  std::atomic<uint64_t> warm_from_flight_hits_{0};
 };
 
 }  // namespace agoraeo::earthqube

@@ -163,12 +163,13 @@ std::shared_ptr<const QueryResponse> QueryCache::GetResponse(
   return hit.has_value() ? *hit : nullptr;
 }
 
-void QueryCache::PutResponse(const std::string& fingerprint,
+bool QueryCache::PutResponse(const std::string& fingerprint,
                              const QueryResponse& response,
                              uint64_t computed_at_epoch) {
-  if (!config_.enable_response_cache) return;
-  responses_.Put(fingerprint, std::make_shared<const QueryResponse>(response),
-                 ApproxResponseBytes(response), computed_at_epoch);
+  if (!config_.enable_response_cache) return false;
+  return responses_.Put(fingerprint,
+                        std::make_shared<const QueryResponse>(response),
+                        ApproxResponseBytes(response), computed_at_epoch);
 }
 
 std::shared_ptr<const CachedAllowlist> QueryCache::GetAllowlist(

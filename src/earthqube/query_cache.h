@@ -94,7 +94,10 @@ class QueryCache {
   /// caller copies and flags it), or null on miss / cache disabled.
   std::shared_ptr<const QueryResponse> GetResponse(
       const std::string& fingerprint);
-  void PutResponse(const std::string& fingerprint,
+  /// Returns whether the response was admitted (false when the cache is
+  /// disabled or the entry exceeds a shard's budget) — the engine's
+  /// flight pre-warm counters hang off this.
+  bool PutResponse(const std::string& fingerprint,
                    const QueryResponse& response, uint64_t computed_at_epoch);
 
   // --- allowlist cache -----------------------------------------------------

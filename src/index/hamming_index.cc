@@ -20,6 +20,18 @@ bool CandidateSet::Contains(ItemId id) const {
   return std::binary_search(ids_.begin(), ids_.end(), id);
 }
 
+Status HammingIndex::BatchAdd(const std::vector<ItemId>& ids,
+                              const std::vector<BinaryCode>& codes,
+                              ThreadPool* /*pool*/) {
+  if (ids.size() != codes.size()) {
+    return Status::InvalidArgument("BatchAdd ids/codes length mismatch");
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    AGORAEO_RETURN_IF_ERROR(Add(ids[i], codes[i]));
+  }
+  return Status::OK();
+}
+
 std::vector<SearchResult> HammingIndex::RadiusSearchIn(
     const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
     SearchStats* stats) const {

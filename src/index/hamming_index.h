@@ -69,6 +69,15 @@ class HammingIndex {
   /// previously added codes.
   virtual Status Add(ItemId id, const BinaryCode& code) = 0;
 
+  /// Adds a whole id/code batch (`ids[i]` ↔ `codes[i]`; the vectors must
+  /// match in length).  The default is a sequential Add loop and ignores
+  /// `pool`; the sharded index overrides it to ingest every partition's
+  /// slice in parallel.  On error the batch may be partially applied
+  /// (the same contract a caller's own Add loop would have).
+  virtual Status BatchAdd(const std::vector<ItemId>& ids,
+                          const std::vector<BinaryCode>& codes,
+                          ThreadPool* pool = nullptr);
+
   /// All items within Hamming distance <= radius, ordered by
   /// (distance, id).
   virtual std::vector<SearchResult> RadiusSearch(

@@ -1,0 +1,379 @@
+#include "index/sharded_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace agoraeo::index {
+
+namespace {
+
+/// splitmix64 finaliser: sequential ItemIds (the CbirService assigns
+/// 0..n-1) spread uniformly over the shards instead of striping.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AccumulateStats(const SearchStats& shard, SearchStats* total) {
+  total->buckets_probed += shard.buckets_probed;
+  total->candidates += shard.candidates;
+}
+
+}  // namespace
+
+ShardedHammingIndex::ShardedHammingIndex(size_t num_shards,
+                                         const ShardFactory& factory) {
+  num_shards = std::max<size_t>(1, num_shards);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = factory();
+    shards_.push_back(std::move(shard));
+  }
+}
+
+size_t ShardedHammingIndex::ShardOf(ItemId id, size_t num_shards) {
+  return num_shards <= 1 ? 0 : static_cast<size_t>(Mix64(id) % num_shards);
+}
+
+Status ShardedHammingIndex::CheckCodeLength(const BinaryCode& code) {
+  // Empty codes fall through: every wrapped kind rejects them with its
+  // own message, and anchoring on 0 would wedge the index.
+  if (code.size() == 0) return Status::OK();
+  size_t expected = code_bits_.load();
+  if (expected == 0) {
+    code_bits_.compare_exchange_strong(expected, code.size());
+    expected = code_bits_.load();
+  }
+  if (code.size() != expected) {
+    return Status::InvalidArgument(
+        "code length mismatch: index holds " + std::to_string(expected) +
+        "-bit codes, got " + std::to_string(code.size()));
+  }
+  return Status::OK();
+}
+
+Status ShardedHammingIndex::Add(ItemId id, const BinaryCode& code) {
+  AGORAEO_RETURN_IF_ERROR(CheckCodeLength(code));
+  Shard& shard = *shards_[ShardOf(id, shards_.size())];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  return shard.index->Add(id, code);
+}
+
+Status ShardedHammingIndex::BatchAdd(const std::vector<ItemId>& ids,
+                                     const std::vector<BinaryCode>& codes,
+                                     ThreadPool* pool) {
+  if (ids.size() != codes.size()) {
+    return Status::InvalidArgument("BatchAdd ids/codes length mismatch");
+  }
+  // Validate every code up front so a mismatch cannot strand a
+  // partially ingested batch across shards.
+  for (const BinaryCode& code : codes) {
+    AGORAEO_RETURN_IF_ERROR(CheckCodeLength(code));
+  }
+  // Partition the batch by routing, then ingest every shard's slice in
+  // parallel — each slice touches one shard only, so one task per shard
+  // is race-free by construction (plus the shard lock for concurrent
+  // readers).
+  std::vector<std::vector<size_t>> slots_by_shard(shards_.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    slots_by_shard[ShardOf(ids[i], shards_.size())].push_back(i);
+  }
+  std::vector<Status> statuses(shards_.size(), Status::OK());
+  ForEachShard(pool, [&](size_t s) {
+    Shard& shard = *shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    for (size_t slot : slots_by_shard[s]) {
+      Status added = shard.index->Add(ids[slot], codes[slot]);
+      if (!added.ok()) {
+        statuses[s] = std::move(added);
+        return;
+      }
+    }
+  });
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+std::vector<CandidateSet> ShardedHammingIndex::SplitAllowlist(
+    const CandidateSet& allowed) const {
+  // allowed.ids() is sorted and deduplicated; routing preserves both
+  // within a shard, so the per-shard CandidateSet constructor's
+  // sort+unique is a no-op pass over already-clean input.
+  std::vector<std::vector<ItemId>> ids_by_shard(shards_.size());
+  for (ItemId id : allowed.ids()) {
+    ids_by_shard[ShardOf(id, shards_.size())].push_back(id);
+  }
+  std::vector<CandidateSet> out;
+  out.reserve(shards_.size());
+  for (auto& ids : ids_by_shard) out.emplace_back(std::move(ids));
+  return out;
+}
+
+void ShardedHammingIndex::ForEachShard(
+    ThreadPool* pool, const std::function<void(size_t)>& task) const {
+  if (pool != nullptr && pool->num_threads() > 1 && shards_.size() > 1) {
+    pool->ParallelFor(shards_.size(), task);
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) task(s);
+  }
+}
+
+std::vector<SearchResult> ShardedHammingIndex::MergeShardHits(
+    std::vector<std::vector<SearchResult>>* per_shard, size_t k) {
+  // Shards hold disjoint ids and return (distance, id)-sorted lists, so
+  // a pairwise merge reproduces the canonical unsharded order exactly.
+  std::vector<SearchResult> merged;
+  for (std::vector<SearchResult>& hits : *per_shard) {
+    if (hits.empty()) continue;
+    if (merged.empty()) {
+      merged = std::move(hits);
+      continue;
+    }
+    std::vector<SearchResult> next;
+    next.reserve(merged.size() + hits.size());
+    std::merge(merged.begin(), merged.end(), hits.begin(), hits.end(),
+               std::back_inserter(next), ResultLess);
+    merged = std::move(next);
+  }
+  // The k-NN gather point: every shard overfetched its own top-k; the
+  // global top-k is the head of the merged order.
+  if (k != 0 && merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+std::vector<SearchResult> ShardedHammingIndex::RadiusSearch(
+    const BinaryCode& query, uint32_t radius, SearchStats* stats) const {
+  single_fanouts_.fetch_add(1);
+  if (stats != nullptr) *stats = SearchStats{};
+  std::vector<std::vector<SearchResult>> per_shard(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
+    SearchStats shard_stats;
+    per_shard[s] = shards_[s]->index->RadiusSearch(
+        query, radius, stats != nullptr ? &shard_stats : nullptr);
+    if (stats != nullptr) AccumulateStats(shard_stats, stats);
+  }
+  const uint64_t merge_begin = NowNanos();
+  std::vector<SearchResult> out = MergeShardHits(&per_shard, 0);
+  merge_nanos_.fetch_add(NowNanos() - merge_begin);
+  if (stats != nullptr) stats->results = out.size();
+  return out;
+}
+
+std::vector<SearchResult> ShardedHammingIndex::KnnSearch(
+    const BinaryCode& query, size_t k, SearchStats* stats) const {
+  single_fanouts_.fetch_add(1);
+  if (stats != nullptr) *stats = SearchStats{};
+  std::vector<std::vector<SearchResult>> per_shard(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
+    SearchStats shard_stats;
+    per_shard[s] = shards_[s]->index->KnnSearch(
+        query, k, stats != nullptr ? &shard_stats : nullptr);
+    if (stats != nullptr) AccumulateStats(shard_stats, stats);
+  }
+  const uint64_t merge_begin = NowNanos();
+  std::vector<SearchResult> out = MergeShardHits(&per_shard, k);
+  merge_nanos_.fetch_add(NowNanos() - merge_begin);
+  if (stats != nullptr) stats->results = out.size();
+  return out;
+}
+
+std::vector<SearchResult> ShardedHammingIndex::RadiusSearchIn(
+    const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
+    SearchStats* stats) const {
+  single_fanouts_.fetch_add(1);
+  if (stats != nullptr) *stats = SearchStats{};
+  const std::vector<CandidateSet> split = SplitAllowlist(allowed);
+  std::vector<std::vector<SearchResult>> per_shard(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (split[s].empty()) continue;  // no allowed id routes here
+    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
+    SearchStats shard_stats;
+    per_shard[s] = shards_[s]->index->RadiusSearchIn(
+        query, radius, split[s], stats != nullptr ? &shard_stats : nullptr);
+    if (stats != nullptr) AccumulateStats(shard_stats, stats);
+  }
+  const uint64_t merge_begin = NowNanos();
+  std::vector<SearchResult> out = MergeShardHits(&per_shard, 0);
+  merge_nanos_.fetch_add(NowNanos() - merge_begin);
+  if (stats != nullptr) stats->results = out.size();
+  return out;
+}
+
+std::vector<SearchResult> ShardedHammingIndex::KnnSearchIn(
+    const BinaryCode& query, size_t k, const CandidateSet& allowed,
+    SearchStats* stats) const {
+  single_fanouts_.fetch_add(1);
+  if (stats != nullptr) *stats = SearchStats{};
+  const std::vector<CandidateSet> split = SplitAllowlist(allowed);
+  std::vector<std::vector<SearchResult>> per_shard(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (split[s].empty()) continue;
+    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
+    SearchStats shard_stats;
+    per_shard[s] = shards_[s]->index->KnnSearchIn(
+        query, k, split[s], stats != nullptr ? &shard_stats : nullptr);
+    if (stats != nullptr) AccumulateStats(shard_stats, stats);
+  }
+  const uint64_t merge_begin = NowNanos();
+  std::vector<SearchResult> out = MergeShardHits(&per_shard, k);
+  merge_nanos_.fetch_add(NowNanos() - merge_begin);
+  if (stats != nullptr) stats->results = out.size();
+  return out;
+}
+
+std::vector<std::vector<SearchResult>> ShardedHammingIndex::ScatterGatherBatch(
+    size_t num_queries, size_t k, ThreadPool* pool,
+    std::vector<SearchStats>* stats,
+    const std::function<std::vector<std::vector<SearchResult>>(
+        size_t, std::vector<SearchStats>*)>& run_shard) const {
+  batch_fanouts_.fetch_add(1);
+  fanout_tasks_.fetch_add(shards_.size());
+  if (stats != nullptr) stats->assign(num_queries, SearchStats{});
+
+  // Scatter: one task per shard per batch.  Each task runs the whole
+  // query batch against its shard sequentially (null inner pool), so
+  // parallelism is purely across shards — no nested sharding.
+  std::vector<std::vector<std::vector<SearchResult>>> per_shard(
+      shards_.size());
+  std::vector<std::vector<SearchStats>> per_shard_stats(
+      stats != nullptr ? shards_.size() : 0);
+  ForEachShard(pool, [&](size_t s) {
+    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
+    per_shard[s] =
+        run_shard(s, stats != nullptr ? &per_shard_stats[s] : nullptr);
+  });
+
+  // Gather: merge every query slot across shards.
+  const uint64_t merge_begin = NowNanos();
+  std::vector<std::vector<SearchResult>> out(num_queries);
+  std::vector<std::vector<SearchResult>> slot(shards_.size());
+  for (size_t i = 0; i < num_queries; ++i) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      slot[s] = per_shard[s].empty() ? std::vector<SearchResult>{}
+                                     : std::move(per_shard[s][i]);
+      if (stats != nullptr && !per_shard_stats[s].empty()) {
+        AccumulateStats(per_shard_stats[s][i], &(*stats)[i]);
+      }
+    }
+    out[i] = MergeShardHits(&slot, k);
+    if (stats != nullptr) (*stats)[i].results = out[i].size();
+  }
+  merge_nanos_.fetch_add(NowNanos() - merge_begin);
+  return out;
+}
+
+std::vector<std::vector<SearchResult>> ShardedHammingIndex::BatchRadiusSearch(
+    const std::vector<BinaryCode>& queries, uint32_t radius, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  return ScatterGatherBatch(
+      queries.size(), 0, pool, stats,
+      [&](size_t s, std::vector<SearchStats>* shard_stats) {
+        return shards_[s]->index->BatchRadiusSearch(queries, radius, nullptr,
+                                                    shard_stats);
+      });
+}
+
+std::vector<std::vector<SearchResult>> ShardedHammingIndex::BatchKnnSearch(
+    const std::vector<BinaryCode>& queries, size_t k, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  return ScatterGatherBatch(
+      queries.size(), k, pool, stats,
+      [&](size_t s, std::vector<SearchStats>* shard_stats) {
+        return shards_[s]->index->BatchKnnSearch(queries, k, nullptr,
+                                                 shard_stats);
+      });
+}
+
+std::vector<std::vector<SearchResult>> ShardedHammingIndex::BatchRadiusSearchIn(
+    const std::vector<BinaryCode>& queries, uint32_t radius,
+    const CandidateSet& allowed, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  // The allowlist splits ONCE per batched pass (not per query) — the
+  // micro-batched hybrid path shares one allowlist across the batch.
+  const auto split =
+      std::make_shared<const std::vector<CandidateSet>>(
+          SplitAllowlist(allowed));
+  return ScatterGatherBatch(
+      queries.size(), 0, pool, stats,
+      [&queries, radius, split, this](size_t s,
+                                      std::vector<SearchStats>* shard_stats) {
+        if ((*split)[s].empty()) {
+          if (shard_stats != nullptr) {
+            shard_stats->assign(queries.size(), SearchStats{});
+          }
+          return std::vector<std::vector<SearchResult>>(queries.size());
+        }
+        return shards_[s]->index->BatchRadiusSearchIn(
+            queries, radius, (*split)[s], nullptr, shard_stats);
+      });
+}
+
+std::vector<std::vector<SearchResult>> ShardedHammingIndex::BatchKnnSearchIn(
+    const std::vector<BinaryCode>& queries, size_t k,
+    const CandidateSet& allowed, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  const auto split =
+      std::make_shared<const std::vector<CandidateSet>>(
+          SplitAllowlist(allowed));
+  return ScatterGatherBatch(
+      queries.size(), k, pool, stats,
+      [&queries, k, split, this](size_t s,
+                                 std::vector<SearchStats>* shard_stats) {
+        if ((*split)[s].empty()) {
+          if (shard_stats != nullptr) {
+            shard_stats->assign(queries.size(), SearchStats{});
+          }
+          return std::vector<std::vector<SearchResult>>(queries.size());
+        }
+        return shards_[s]->index->BatchKnnSearchIn(queries, k, (*split)[s],
+                                                   nullptr, shard_stats);
+      });
+}
+
+size_t ShardedHammingIndex::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    total += shard->index->size();
+  }
+  return total;
+}
+
+std::string ShardedHammingIndex::Name() const {
+  return "sharded(" + shards_.front()->index->Name() + ", " +
+         std::to_string(shards_.size()) + ")";
+}
+
+ShardedIndexStats ShardedHammingIndex::Stats() const {
+  ShardedIndexStats stats;
+  stats.num_shards = shards_.size();
+  stats.shard_sizes.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    stats.shard_sizes.push_back(shard->index->size());
+  }
+  stats.single_fanouts = single_fanouts_.load();
+  stats.batch_fanouts = batch_fanouts_.load();
+  stats.fanout_tasks = fanout_tasks_.load();
+  stats.merge_nanos = merge_nanos_.load();
+  return stats;
+}
+
+}  // namespace agoraeo::index

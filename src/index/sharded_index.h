@@ -1,0 +1,153 @@
+#ifndef AGORAEO_INDEX_SHARDED_INDEX_H_
+#define AGORAEO_INDEX_SHARDED_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "index/hamming_index.h"
+
+namespace agoraeo::index {
+
+/// Observability counters of one ShardedHammingIndex (the per-shard
+/// numbers behind GET /api/v2/index/stats).  All counters are monotonic
+/// over the index lifetime.
+struct ShardedIndexStats {
+  size_t num_shards = 0;
+  std::vector<size_t> shard_sizes;   ///< items per shard (routing balance)
+  uint64_t single_fanouts = 0;       ///< single-query scatter–gather passes
+  uint64_t batch_fanouts = 0;        ///< batched passes fanned across shards
+  uint64_t fanout_tasks = 0;         ///< per-shard tasks those batches issued
+  uint64_t merge_nanos = 0;          ///< time spent gathering/merging results
+};
+
+/// The partition layer of the index stack: wraps N independent
+/// HammingIndex instances (any of the four kinds, built by a factory)
+/// into one hash-partitioned index.
+///
+/// Routing is id-stable: shard(id) = mix64(id) % N, so an item lives on
+/// exactly one shard for the index lifetime and candidate allowlists can
+/// be split per shard without consulting the data.  Every search
+/// scatters to all shards and gathers with the canonical (distance, id)
+/// merge, so results are identical to an unsharded index over the same
+/// items:
+///   - RadiusSearch: per-shard sorted results are k-way merged.
+///   - KnnSearch: each shard returns its own top-k (the global top-k is
+///     a subset of the union), merged and truncated at the gather point.
+///   - *In flavours: the allowlist is split per shard by routing, so a
+///     shard only tests membership against ids it can actually hold.
+///   - Batch* flavours: ONE task per shard per batch — each task runs
+///     the whole query batch against its shard (sequentially, so there
+///     is no nested parallelism), which is what lets the execution
+///     engine's fused micro-batches use multiple cores inside a single
+///     index pass.  A null pool degrades to a sequential shard loop.
+///
+/// Concurrency: each shard carries a shared_mutex — Add/BatchAdd take
+/// the shard's exclusive lock, searches its shared lock — so concurrent
+/// ingest and queries are safe at this layer even though the wrapped
+/// index kinds are not themselves synchronised.
+class ShardedHammingIndex : public HammingIndex {
+ public:
+  using ShardFactory = std::function<std::unique_ptr<HammingIndex>()>;
+
+  /// Builds `num_shards` empty shards via `factory` (0 is clamped to 1).
+  ShardedHammingIndex(size_t num_shards, const ShardFactory& factory);
+
+  /// The id-stable routing function (exposed so tests and allowlist
+  /// splitting agree with the index by construction).
+  static size_t ShardOf(ItemId id, size_t num_shards);
+
+  Status Add(ItemId id, const BinaryCode& code) override;
+  Status BatchAdd(const std::vector<ItemId>& ids,
+                  const std::vector<BinaryCode>& codes,
+                  ThreadPool* pool = nullptr) override;
+
+  std::vector<SearchResult> RadiusSearch(
+      const BinaryCode& query, uint32_t radius,
+      SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> KnnSearch(
+      const BinaryCode& query, size_t k,
+      SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> RadiusSearchIn(
+      const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> KnnSearchIn(
+      const BinaryCode& query, size_t k, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const override;
+
+  std::vector<std::vector<SearchResult>> BatchRadiusSearch(
+      const std::vector<BinaryCode>& queries, uint32_t radius,
+      ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const override;
+  std::vector<std::vector<SearchResult>> BatchKnnSearch(
+      const std::vector<BinaryCode>& queries, size_t k,
+      ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const override;
+  std::vector<std::vector<SearchResult>> BatchRadiusSearchIn(
+      const std::vector<BinaryCode>& queries, uint32_t radius,
+      const CandidateSet& allowed, ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const override;
+  std::vector<std::vector<SearchResult>> BatchKnnSearchIn(
+      const std::vector<BinaryCode>& queries, size_t k,
+      const CandidateSet& allowed, ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const override;
+
+  size_t size() const override;
+  std::string Name() const override;
+
+  size_t num_shards() const { return shards_.size(); }
+  ShardedIndexStats Stats() const;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unique_ptr<HammingIndex> index;
+  };
+
+  /// Enforces the one-code-length contract ACROSS shards: without this
+  /// a mismatched code could land on a still-empty shard and be
+  /// accepted, which a monolithic index would reject.
+  Status CheckCodeLength(const BinaryCode& code);
+
+  /// Splits an allowlist into one CandidateSet per shard by routing.
+  std::vector<CandidateSet> SplitAllowlist(const CandidateSet& allowed) const;
+
+  /// Runs `task(shard)` for every shard: one pool task per shard when a
+  /// multi-worker pool is given, a plain loop otherwise.  Blocks until
+  /// all shards finish.
+  void ForEachShard(ThreadPool* pool,
+                    const std::function<void(size_t)>& task) const;
+
+  /// Gathers one query slot: merges per-shard (distance, id)-sorted hit
+  /// lists; `k` of 0 keeps everything, otherwise truncates to the k
+  /// best (the k-NN overfetch merge).
+  static std::vector<SearchResult> MergeShardHits(
+      std::vector<std::vector<SearchResult>>* per_shard, size_t k);
+
+  /// The shared scatter–gather core of the four Batch* overrides:
+  /// `run_shard(s)` produces shard s's full per-query result matrix
+  /// (and per-query stats when `stats` is non-null).
+  std::vector<std::vector<SearchResult>> ScatterGatherBatch(
+      size_t num_queries, size_t k, ThreadPool* pool,
+      std::vector<SearchStats>* stats,
+      const std::function<std::vector<std::vector<SearchResult>>(
+          size_t, std::vector<SearchStats>*)>& run_shard) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Code length every shard must agree on; 0 until the first accepted
+  /// code anchors it.
+  std::atomic<size_t> code_bits_{0};
+
+  mutable std::atomic<uint64_t> single_fanouts_{0};
+  mutable std::atomic<uint64_t> batch_fanouts_{0};
+  mutable std::atomic<uint64_t> fanout_tasks_{0};
+  mutable std::atomic<uint64_t> merge_nanos_{0};
+};
+
+}  // namespace agoraeo::index
+
+#endif  // AGORAEO_INDEX_SHARDED_INDEX_H_

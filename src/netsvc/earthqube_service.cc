@@ -452,6 +452,9 @@ void EarthQubeService::RegisterRoutes(HttpServer* server) {
   server->Route("GET", "/api/v2/cache/stats", [this](const HttpRequest&) {
     return HandleCacheStats();
   });
+  server->Route("GET", "/api/v2/index/stats", [this](const HttpRequest&) {
+    return HandleIndexStats();
+  });
   server->Route("GET", "/api/patch/*", [this](const HttpRequest& request) {
     return HandlePatchMetadata(request);
   });
@@ -505,8 +508,43 @@ HttpResponse EarthQubeService::HandleCacheStats() const {
     exec.Set("batched_flights",
              Value(static_cast<int64_t>(s.batched_flights)));
     exec.Set("rejected", Value(static_cast<int64_t>(s.rejected)));
+    exec.Set("flight_warms", Value(static_cast<int64_t>(s.flight_warms)));
+    exec.Set("warm_from_flight_hits",
+             Value(static_cast<int64_t>(s.warm_from_flight_hits)));
   }
   out.Set("exec", Value(std::move(exec)));
+  return HttpResponse::Json(200, json::Serialize(out));
+}
+
+HttpResponse EarthQubeService::HandleIndexStats() const {
+  // Per-shard observability of the partitioned index layer: routing
+  // balance (shard sizes), how many batched passes fanned out across
+  // the shards, and the time spent in the gather-point merges.
+  Document out;
+  const earthqube::CbirService* cbir = system_->cbir();
+  out.Set("attached", Value(cbir != nullptr));
+  if (cbir != nullptr) {
+    out.Set("name", Value(cbir->hamming_index().Name()));
+    out.Set("num_indexed", Value(static_cast<int64_t>(cbir->num_indexed())));
+    const index::ShardedHammingIndex* sharded = cbir->sharded_index();
+    out.Set("sharded", Value(sharded != nullptr));
+    if (sharded != nullptr) {
+      const index::ShardedIndexStats stats = sharded->Stats();
+      out.Set("num_shards", Value(static_cast<int64_t>(stats.num_shards)));
+      std::vector<Value> sizes;
+      sizes.reserve(stats.shard_sizes.size());
+      for (size_t shard_size : stats.shard_sizes) {
+        sizes.emplace_back(static_cast<int64_t>(shard_size));
+      }
+      out.Set("shard_sizes", Value(std::move(sizes)));
+      out.Set("single_fanouts",
+              Value(static_cast<int64_t>(stats.single_fanouts)));
+      out.Set("batch_fanouts",
+              Value(static_cast<int64_t>(stats.batch_fanouts)));
+      out.Set("fanout_tasks", Value(static_cast<int64_t>(stats.fanout_tasks)));
+      out.Set("merge_nanos", Value(static_cast<int64_t>(stats.merge_nanos)));
+    }
+  }
   return HttpResponse::Json(200, json::Serialize(out));
 }
 

@@ -17,6 +17,7 @@ namespace agoraeo::netsvc {
 ///   GET  /health                         liveness probe
 ///   POST /api/v2/query                   unified query API (see below)
 ///   GET  /api/v2/cache/stats             query-cache counters + epoch
+///   GET  /api/v2/index/stats             Hamming-index partition stats
 ///   POST /api/search                     [v1, deprecated] query panel
 ///   POST /api/similar/by_name            [v1, deprecated] CBIR by name
 ///   POST /cbir/batch_search              [v1, deprecated] batched CBIR
@@ -118,6 +119,7 @@ class EarthQubeService {
   void HandleQueryV2(const HttpRequest& request,
                      HttpServer::Responder responder) const;
   HttpResponse HandleCacheStats() const;
+  HttpResponse HandleIndexStats() const;
   void HandleSearch(const HttpRequest& request,
                     HttpServer::Responder responder) const;
   void HandleSimilarByName(const HttpRequest& request,

@@ -1392,5 +1392,181 @@ TEST_P(FilterAlgebraTest, PlannerAgreesWithCollectionScan) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FilterAlgebraTest, ::testing::Values(1, 2, 3));
 
+// ---------------------------------------------------------------------------
+// Field histograms and the count-only cardinality estimator
+// ---------------------------------------------------------------------------
+
+TEST(FieldHistogramTest, AddRemoveAndRangeEstimates) {
+  FieldHistogram hist(8);
+  for (int i = 0; i < 100; ++i) hist.Add(i);
+  EXPECT_EQ(hist.total(), 100u);
+  // Upper bound that tightens with the interval; unbounded = everything.
+  EXPECT_EQ(hist.EstimateRange(std::nullopt, std::nullopt), 100u);
+  EXPECT_GE(hist.EstimateRange(90.0, std::nullopt), 10u);
+  EXPECT_LT(hist.EstimateRange(90.0, std::nullopt), 60u);
+  EXPECT_EQ(hist.EstimateRange(200.0, 300.0), 0u);
+  EXPECT_EQ(hist.EstimateRange(std::nullopt, -1.0), 0u);
+  for (int i = 0; i < 50; ++i) hist.Remove(i);
+  EXPECT_EQ(hist.total(), 50u);
+  EXPECT_EQ(hist.EstimateRange(std::nullopt, std::nullopt), 50u);
+}
+
+TEST(FieldHistogramTest, WidensToCoverAnyFiniteRange) {
+  FieldHistogram hist(4);
+  hist.Add(0.5);
+  hist.Add(1e6);     // forces many doublings
+  hist.Add(-2000.0);  // and a widening below the anchor
+  EXPECT_EQ(hist.total(), 3u);
+  EXPECT_EQ(hist.EstimateRange(std::nullopt, std::nullopt), 3u);
+  // No count is lost in the re-bucketing.
+  EXPECT_GE(hist.EstimateRange(-3000.0, 0.0), 1u);
+  EXPECT_GE(hist.EstimateRange(900000.0, 1.1e6), 1u);
+}
+
+TEST(EstimateMatchesTest, EqualityEstimateEqualsPostingListLength) {
+  Collection coll("metadata");
+  ASSERT_TRUE(coll.CreateHashIndex("name").ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        coll.Insert(DatedDoc("p" + std::to_string(i % 4), "2017-06-01", i))
+            .ok());
+  }
+  std::string plan;
+  EXPECT_EQ(coll.EstimateMatches(Filter::Eq("name", Value("p1")), &plan), 10u);
+  EXPECT_EQ(plan, "IXSCAN(hash:name)");
+  EXPECT_EQ(coll.EstimateMatches(Filter::Eq("name", Value("nope")), &plan),
+            0u);
+}
+
+TEST(EstimateMatchesTest, RangeFiltersUseTheHistogram) {
+  Collection coll("metadata");
+  ASSERT_TRUE(coll.CreateRangeIndex("properties.size").ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        coll.Insert(DatedDoc("p" + std::to_string(i), "2017-06-01", i)).ok());
+  }
+  const size_t truth =
+      coll.Count(Filter::Gte("properties.size", Value(180)));
+  std::string plan;
+  const size_t estimate =
+      coll.EstimateMatches(Filter::Gte("properties.size", Value(180)), &plan);
+  EXPECT_EQ(plan, "HISTOGRAM(properties.size)");
+  EXPECT_GE(estimate, truth);            // upper bound...
+  EXPECT_LE(estimate, coll.size());      // ...capped at the collection
+  EXPECT_LT(estimate, coll.size() / 2);  // and far tighter than COLLSCAN
+
+  // Conjunctions combine bounds into one interval estimate.
+  const size_t window = coll.EstimateMatches(
+      Filter::And({Filter::Gte("properties.size", Value(100)),
+                   Filter::Lt("properties.size", Value(120))}),
+      &plan);
+  EXPECT_EQ(plan, "HISTOGRAM(properties.size)");
+  EXPECT_GE(window, 20u);
+  EXPECT_LT(window, 100u);
+}
+
+TEST(EstimateMatchesTest, HistogramTracksRemovalsAndUpdates) {
+  Collection coll("metadata");
+  ASSERT_TRUE(coll.CreateRangeIndex("properties.size").ok());
+  std::vector<DocId> ids;
+  for (int i = 0; i < 50; ++i) {
+    auto id = coll.Insert(DatedDoc("p" + std::to_string(i), "2017-06-01", i));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_NE(coll.HistogramFor("properties.size"), nullptr);
+  EXPECT_EQ(coll.HistogramFor("properties.size")->total(), 50u);
+  for (int i = 0; i < 25; ++i) ASSERT_TRUE(coll.Remove(ids[i]).ok());
+  EXPECT_EQ(coll.HistogramFor("properties.size")->total(), 25u);
+  ASSERT_TRUE(
+      coll.Update(ids[30], DatedDoc("p30", "2017-06-01", 3000)).ok());
+  EXPECT_EQ(coll.HistogramFor("properties.size")->total(), 25u);
+  EXPECT_GE(coll.EstimateMatches(
+                Filter::Gte("properties.size", Value(2000))),
+            1u);
+}
+
+TEST(EstimateMatchesTest, NonNumericRangeKeysFallBackToIntervalCount) {
+  Collection coll("metadata");
+  ASSERT_TRUE(coll.CreateRangeIndex("properties.acquisition_date").ok());
+  for (int d = 1; d <= 20; ++d) {
+    char date[16];
+    std::snprintf(date, sizeof(date), "2017-06-%02d", d);
+    ASSERT_TRUE(coll.Insert(DatedDoc("p" + std::to_string(d), date, d)).ok());
+  }
+  std::string plan;
+  const size_t estimate = coll.EstimateMatches(
+      Filter::And(
+          {Filter::Gte("properties.acquisition_date", Value("2017-06-05")),
+           Filter::Lte("properties.acquisition_date", Value("2017-06-08"))}),
+      &plan);
+  // String keys have no histogram; the B+-tree interval count (no id
+  // materialisation) answers instead.
+  EXPECT_EQ(plan, "IXSCAN(range:properties.acquisition_date)");
+  EXPECT_EQ(estimate, 4u);
+}
+
+TEST(FieldHistogramTest, HugeValuesClampInsteadOfOverflowing) {
+  FieldHistogram hist(8);
+  hist.Add(1.0);
+  hist.Add(1e300);   // |v/width| would overflow int64 without clamping
+  hist.Add(-1e300);
+  EXPECT_EQ(hist.total(), 3u);
+  EXPECT_EQ(hist.EstimateRange(std::nullopt, std::nullopt), 3u);
+}
+
+TEST(EstimateMatchesTest, MixedTypeRangePathSkipsHistogram) {
+  // Value's type order ranks strings above every number, so Gt(number)
+  // matches string entries too; with strings on the path the histogram
+  // (numbers only) must NOT answer, or the upper bound would break.
+  Collection coll("metadata");
+  ASSERT_TRUE(coll.CreateRangeIndex("properties.size").ok());
+  ASSERT_TRUE(coll.Insert(DatedDoc("n", "2017-06-01", 5)).ok());
+  for (int i = 0; i < 9; ++i) {
+    Document d;
+    d.Set("name", Value("s" + std::to_string(i)));
+    Document props;
+    props.Set("size", Value(std::string("large")));
+    d.Set("properties", Value(props));
+    ASSERT_TRUE(coll.Insert(std::move(d)).ok());
+  }
+  const size_t truth = coll.Count(Filter::Gt("properties.size", Value(10)));
+  ASSERT_EQ(truth, 9u);  // every string doc matches
+  std::string plan;
+  const size_t estimate =
+      coll.EstimateMatches(Filter::Gt("properties.size", Value(10)), &plan);
+  EXPECT_EQ(plan, "IXSCAN(range:properties.size)");  // not HISTOGRAM
+  EXPECT_GE(estimate, truth);
+}
+
+TEST(EstimateMatchesTest, ZeroConjunctShortCircuits) {
+  Collection coll("metadata");
+  ASSERT_TRUE(coll.CreateHashIndex("name").ok());
+  ASSERT_TRUE(coll.CreateRangeIndex("properties.size").ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        coll.Insert(DatedDoc("p" + std::to_string(i), "2017-06-01", i)).ok());
+  }
+  std::string plan;
+  EXPECT_EQ(coll.EstimateMatches(
+                Filter::And({Filter::Eq("name", Value("missing")),
+                             Filter::Gte("properties.size", Value(0))}),
+                &plan),
+            0u);
+  EXPECT_EQ(plan, "IXSCAN(hash:name)");
+}
+
+TEST(EstimateMatchesTest, UnindexedFilterFallsBackToCollectionSize) {
+  Collection coll("metadata");
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        coll.Insert(DatedDoc("p" + std::to_string(i), "2017-06-01", i)).ok());
+  }
+  std::string plan;
+  EXPECT_EQ(coll.EstimateMatches(Filter::Eq("country", Value("AT")), &plan),
+            12u);
+  EXPECT_EQ(plan, "COLLSCAN");
+}
+
 }  // namespace
 }  // namespace agoraeo::docstore

@@ -748,7 +748,8 @@ TEST(QueryRequestTest, CursorRoundTrip) {
 class HybridFixture {
  public:
   explicit HybridFixture(CbirIndexKind kind,
-                         EarthQubeConfig system_config = {}) {
+                         EarthQubeConfig system_config = {},
+                         size_t num_shards = 1) {
     bigearthnet::ArchiveConfig config;
     config.num_patches = 400;
     config.seed = 17;
@@ -767,8 +768,12 @@ class HybridFixture {
     mconfig.hidden2 = 16;
     mconfig.hash_bits = 32;
     mconfig.dropout = 0.0f;
+    CbirConfig cbir_config;
+    cbir_config.index_kind = kind;
+    cbir_config.num_shards = num_shards;
     auto cbir = std::make_unique<CbirService>(
-        std::make_unique<milan::MilanModel>(mconfig), &extractor_, kind);
+        std::make_unique<milan::MilanModel>(mconfig), &extractor_,
+        cbir_config);
     std::vector<std::string> names;
     for (const auto& p : archive_.patches) names.push_back(p.name);
     if (!cbir->AddImages(names, features_).ok()) std::abort();
@@ -903,6 +908,156 @@ TEST(HybridPlannerTest, AutoPlannerFollowsSelectivityThreshold) {
       system.config().prefilter_selectivity_threshold) {
     EXPECT_EQ(narrow_response->plan.strategy,
               QueryPlan::Strategy::kPreFilter);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The partitioned index through the whole stack: a sharded EarthQube
+// answers byte-identically to an unsharded one on every query shape
+// ---------------------------------------------------------------------------
+
+TEST(ShardedExecutionTest, ShardedSystemMatchesUnshardedOnAllShapes) {
+  for (CbirIndexKind kind :
+       {CbirIndexKind::kHashTable, CbirIndexKind::kLinearScan}) {
+    HybridFixture plain(kind);
+    HybridFixture sharded(kind, EarthQubeConfig{}, /*num_shards=*/4);
+    const std::string& query_name = plain.archive().patches[7].name;
+
+    EarthQubeQuery panel;
+    panel.seasons = {Season::kSummer, Season::kAutumn};
+
+    std::vector<QueryRequest> shapes;
+    {
+      QueryRequest cbir_radius;
+      cbir_radius.similarity = SimilaritySpec::NameRadius(query_name, 11);
+      cbir_radius.page_size = 0;
+      shapes.push_back(cbir_radius);
+      QueryRequest cbir_knn;
+      cbir_knn.similarity = SimilaritySpec::NameKnn(query_name, 8);
+      cbir_knn.page_size = 0;
+      shapes.push_back(cbir_knn);
+      QueryRequest hybrid_pre = cbir_radius;
+      hybrid_pre.panel = panel;
+      hybrid_pre.planner = PlannerMode::kForcePreFilter;
+      shapes.push_back(hybrid_pre);
+      QueryRequest hybrid_post = hybrid_pre;
+      hybrid_post.planner = PlannerMode::kForcePostFilter;
+      shapes.push_back(hybrid_post);
+    }
+    for (size_t s = 0; s < shapes.size(); ++s) {
+      auto want = plain.system().Execute(shapes[s]);
+      auto got = sharded.system().Execute(shapes[s]);
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(HitList(*got), HitList(*want))
+          << "kind " << static_cast<int>(kind) << " shape " << s;
+      ASSERT_EQ(got->panel.total(), want->panel.total());
+      for (size_t i = 0; i < got->panel.entries().size(); ++i) {
+        EXPECT_EQ(got->panel.entries()[i].name, want->panel.entries()[i].name);
+      }
+    }
+
+    // The batch path (the engine's micro-batched fan-out across shards).
+    std::vector<std::string> names;
+    for (size_t i = 0; i < 12; ++i) {
+      names.push_back(plain.archive().patches[i * 17].name);
+    }
+    auto want_batch = plain.system().BatchSimilarToArchiveImages(names, 10);
+    auto got_batch = sharded.system().BatchSimilarToArchiveImages(names, 10);
+    ASSERT_TRUE(want_batch.ok());
+    ASSERT_TRUE(got_batch.ok());
+    ASSERT_EQ(got_batch->size(), want_batch->size());
+    for (size_t i = 0; i < want_batch->size(); ++i) {
+      ASSERT_EQ((*got_batch)[i].size(), (*want_batch)[i].size()) << i;
+      for (size_t j = 0; j < (*want_batch)[i].size(); ++j) {
+        EXPECT_EQ((*got_batch)[i][j].patch_name,
+                  (*want_batch)[i][j].patch_name);
+        EXPECT_EQ((*got_batch)[i][j].hamming_distance,
+                  (*want_batch)[i][j].hamming_distance);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram-fed planner regression at the bench_hybrid_query crossover
+// points: ~1% selectivity must pre-filter, ~50% must post-filter, and
+// the histogram estimate must stay close to the true filter count
+// ---------------------------------------------------------------------------
+
+TEST(HybridPlannerTest, HistogramEstimatesMatchCrossoverDecisions) {
+  // A larger archive than HybridFixture's: scenes share one acquisition
+  // date (~48 patches each), so sub-threshold date selectivities only
+  // exist once a single scene is a small fraction of the collection.
+  bigearthnet::ArchiveConfig config;
+  config.num_patches = 1600;
+  config.seed = 41;
+  bigearthnet::ArchiveGenerator generator(config);
+  auto generated = generator.Generate();
+  ASSERT_TRUE(generated.ok());
+  const bigearthnet::Archive archive = std::move(generated).value();
+
+  EarthQube system;
+  ASSERT_TRUE(system.IngestArchive(archive).ok());
+  bigearthnet::FeatureExtractor extractor;
+  const Tensor features = extractor.ExtractArchive(archive, generator, 2);
+  milan::MilanConfig mconfig;
+  mconfig.feature_dim = bigearthnet::kFeatureDim;
+  mconfig.hidden1 = 32;
+  mconfig.hidden2 = 16;
+  mconfig.hash_bits = 32;
+  mconfig.dropout = 0.0f;
+  auto cbir = std::make_unique<CbirService>(
+      std::make_unique<milan::MilanModel>(mconfig), &extractor,
+      CbirIndexKind::kLinearScan);
+  std::vector<std::string> names;
+  for (const auto& p : archive.patches) names.push_back(p.name);
+  ASSERT_TRUE(cbir->AddImages(names, features).ok());
+  system.AttachCbir(std::move(cbir));
+  const std::string& query_name = archive.patches[3].name;
+
+  // Calibrate date windows to ~1% and ~50% of the archive, the same way
+  // bench_hybrid_query does.
+  std::vector<std::string> dates;
+  for (const auto& p : archive.patches) {
+    dates.push_back(p.acquisition_date.ToString());
+  }
+  std::sort(dates.begin(), dates.end());
+  for (int pct : {1, 50}) {
+    const size_t idx = std::min(dates.size() - 1, dates.size() * pct / 100);
+    auto begin = CivilDate::Parse(dates.front());
+    auto end = CivilDate::Parse(dates[idx]);
+    ASSERT_TRUE(begin.ok());
+    ASSERT_TRUE(end.ok());
+    EarthQubeQuery panel;
+    panel.date_range = DateRange{*begin, *end};
+
+    const size_t truth = system.CountMatches(panel);
+    QueryRequest request;
+    request.panel = panel;
+    request.similarity = SimilaritySpec::NameKnn(query_name, 6);
+    request.page_size = 0;
+    auto response = system.Execute(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+    // The histogram estimate is an upper bound on the true count and
+    // within a small factor of it (date ordinals are integers, so the
+    // only slack is bucket-edge rounding).
+    EXPECT_GE(response->plan.estimated_filter_matches, truth);
+    EXPECT_LE(response->plan.estimated_filter_matches,
+              std::max<size_t>(3 * truth + 30, 1));
+
+    // And the auto planner lands on the strategy the bench measures as
+    // faster on each side of the crossover.
+    if (pct == 1) {
+      EXPECT_EQ(response->plan.strategy, QueryPlan::Strategy::kPreFilter)
+          << "achieved selectivity "
+          << response->plan.estimated_selectivity;
+    } else {
+      EXPECT_EQ(response->plan.strategy, QueryPlan::Strategy::kPostFilter)
+          << "achieved selectivity "
+          << response->plan.estimated_selectivity;
+    }
   }
 }
 

@@ -446,6 +446,71 @@ TEST(ExecEngineTest, InvalidRequestFailsAtAdmission) {
   EXPECT_TRUE(response.status().IsInvalidArgument());
 }
 
+// --- flight -> response-cache pre-warm ---------------------------------------
+
+TEST(ExecEngineTest, FlightCompletionPreWarmsResponseCache) {
+  EngineFixture fixture;
+  EarthQube& system = fixture.system();
+  ExecutionEngine* engine = system.exec_engine();
+  ASSERT_NE(engine, nullptr);
+  const QueryRequest request =
+      NameRadiusRequest(fixture.archive().patches[9].name, 8);
+
+  // A coalesced flight: N identical concurrent misses, one execution.
+  constexpr size_t kWaiters = 6;
+  engine->Pause();
+  std::vector<ExecutionEngine::Ticket> tickets;
+  for (size_t i = 0; i < kWaiters; ++i) {
+    tickets.push_back(engine->Submit(request));
+  }
+  engine->Resume();
+  for (ExecutionEngine::Ticket& ticket : tickets) {
+    ASSERT_TRUE(ticket.Get().ok());
+  }
+
+  // The leader's completion drained the shared response into the
+  // response cache before waking its waiters.
+  const ExecStats after_flight = engine->Stats();
+  EXPECT_EQ(after_flight.flight_warms, 1u);
+  EXPECT_EQ(after_flight.warm_from_flight_hits, 0u);
+
+  // The next identical submission is an admission-time cache hit,
+  // attributed to the flight's pre-warm.
+  auto warm = system.Execute(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->served_from_cache);
+  const ExecStats after_hit = engine->Stats();
+  EXPECT_EQ(after_hit.cache_hits, after_flight.cache_hits + 1);
+  EXPECT_EQ(after_hit.warm_from_flight_hits, 1u);
+  EXPECT_EQ(after_hit.flight_warms, 1u);  // a cache hit warms nothing new
+}
+
+TEST(ExecEngineTest, MicroBatchedFlightsPreWarmResponseCache) {
+  EngineFixture fixture;
+  EarthQube& system = fixture.system();
+  ExecutionEngine* engine = system.exec_engine();
+  ASSERT_NE(engine, nullptr);
+
+  // Distinct compatible misses fuse into one batched pass; every flight
+  // of the pass drains its own response into the cache.
+  std::vector<QueryRequest> requests;
+  for (size_t i = 0; i < 4; ++i) {
+    requests.push_back(
+        NameRadiusRequest(fixture.archive().patches[20 + i].name, 8));
+  }
+  auto batch = system.ExecuteBatch(requests);
+  ASSERT_TRUE(batch.ok());
+  const ExecStats after_batch = engine->Stats();
+  EXPECT_GE(after_batch.batches, 1u);
+  EXPECT_EQ(after_batch.flight_warms, requests.size());
+
+  // Replaying any member of the batch hits warm-from-flight.
+  auto warm = system.Execute(requests[2]);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->served_from_cache);
+  EXPECT_EQ(engine->Stats().warm_from_flight_hits, 1u);
+}
+
 // --- engine-off parity -------------------------------------------------------
 
 TEST(ExecEngineTest, EngineOffStillServesAllShapes) {

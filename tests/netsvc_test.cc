@@ -1019,11 +1019,97 @@ TEST_F(ServiceTest, CacheStatsEndpoint) {
   EXPECT_TRUE(exec->as_document().Get("enabled")->as_bool());
   for (const char* field : {"submitted", "completed", "coalesced", "flights",
                             "batches", "batched_flights", "cache_hits",
-                            "negative_hits", "rejected"}) {
+                            "negative_hits", "rejected", "flight_warms",
+                            "warm_from_flight_hits"}) {
     ASSERT_TRUE(exec->as_document().Get(field) != nullptr &&
                 exec->as_document().Get(field)->is_int64())
         << "exec." << field;
   }
+  // The repeated query above was executed once by a flight (warming the
+  // cache) and then served from that warm entry.
+  EXPECT_GE(exec->as_document().Get("flight_warms")->as_int64(), 1);
+  EXPECT_GE(exec->as_document().Get("warm_from_flight_hits")->as_int64(), 1);
+}
+
+TEST_F(ServiceTest, IndexStatsEndpointUnsharded) {
+  HttpClient client;
+  auto resp = client.Get(server_->port(), "/api/v2/index/stats");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200) << resp->body;
+  auto body = json::ParseObject(resp->body);
+  ASSERT_TRUE(body.ok()) << resp->body;
+  EXPECT_TRUE(body->Get("attached")->as_bool());
+  EXPECT_FALSE(body->Get("sharded")->as_bool());
+  EXPECT_EQ(body->Get("num_indexed")->as_int64(),
+            static_cast<int64_t>(archive_->patches.size()));
+  EXPECT_EQ(body->Get("name")->as_string(), "HammingHashTable");
+}
+
+/// A partitioned CBIR service behind its own server: the stats endpoint
+/// reports per-shard sizes and the batched passes' fan-out counters.
+TEST(ShardedServiceTest, IndexStatsEndpointReportsPartitions) {
+  bigearthnet::ArchiveConfig config;
+  config.num_patches = 120;
+  config.seed = 91;
+  bigearthnet::ArchiveGenerator generator(config);
+  auto archive = generator.Generate();
+  ASSERT_TRUE(archive.ok());
+
+  earthqube::EarthQube system;
+  ASSERT_TRUE(system.IngestArchive(*archive).ok());
+  bigearthnet::FeatureExtractor extractor;
+  Tensor features = extractor.ExtractArchive(*archive, generator, 2);
+  milan::MilanConfig mconfig;
+  mconfig.feature_dim = bigearthnet::kFeatureDim;
+  mconfig.hidden1 = 32;
+  mconfig.hidden2 = 16;
+  mconfig.hash_bits = 32;
+  mconfig.dropout = 0.0f;
+  earthqube::CbirConfig cbir_config;
+  cbir_config.index_kind = earthqube::CbirIndexKind::kLinearScan;
+  cbir_config.num_shards = 4;
+  auto cbir = std::make_unique<earthqube::CbirService>(
+      std::make_unique<milan::MilanModel>(mconfig), &extractor, cbir_config);
+  std::vector<std::string> names;
+  for (const auto& p : archive->patches) names.push_back(p.name);
+  ASSERT_TRUE(cbir->AddImages(names, features).ok());
+  system.AttachCbir(std::move(cbir));
+
+  EarthQubeService service(&system);
+  HttpServer server(2);
+  service.RegisterRoutes(&server);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  HttpClient client;
+  // A batched pass so the fan-out counters move.
+  const std::string batch_body = R"({"names":[")" + names[0] + R"(",")" +
+                                 names[1] + R"(",")" + names[2] +
+                                 R"("],"radius":10})";
+  ASSERT_EQ(
+      client.Post(server.port(), "/cbir/batch_search", batch_body)->status_code,
+      200);
+
+  auto resp = client.Get(server.port(), "/api/v2/index/stats");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200) << resp->body;
+  auto body = json::ParseObject(resp->body);
+  ASSERT_TRUE(body.ok()) << resp->body;
+  EXPECT_TRUE(body->Get("attached")->as_bool());
+  EXPECT_TRUE(body->Get("sharded")->as_bool());
+  EXPECT_EQ(body->Get("name")->as_string(), "sharded(LinearScan, 4)");
+  EXPECT_EQ(body->Get("num_shards")->as_int64(), 4);
+  const Value* sizes = body->Get("shard_sizes");
+  ASSERT_TRUE(sizes != nullptr && sizes->is_array());
+  ASSERT_EQ(sizes->as_array().size(), 4u);
+  int64_t total = 0;
+  for (const Value& s : sizes->as_array()) total += s.as_int64();
+  EXPECT_EQ(total, body->Get("num_indexed")->as_int64());
+  EXPECT_GE(body->Get("batch_fanouts")->as_int64(), 1);
+  EXPECT_GE(body->Get("fanout_tasks")->as_int64(),
+            body->Get("batch_fanouts")->as_int64() * 4);
+  ASSERT_TRUE(body->Get("merge_nanos")->is_int64());
+
+  server.Stop();
 }
 
 /// The v2 query route is deferred: HTTP workers park connections on the
