@@ -139,4 +139,6 @@ BENCHMARK(BM_Recovery_FromCheckpoint)
 }  // namespace
 }  // namespace agoraeo::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return agoraeo::bench::RunBenchmarksWithJson("wal", argc, argv);
+}

@@ -28,6 +28,18 @@ BinaryCode BinaryCode::FromBitString(const std::string& text) {
   return code;
 }
 
+BinaryCode BinaryCode::FromWords(size_t num_bits, std::vector<uint64_t> words) {
+  BinaryCode code(num_bits);
+  words.resize((num_bits + 63) / 64, 0);
+  // Mask stray bits above num_bits so equality against a bit-built code
+  // holds even if the input words carried garbage there.
+  if (num_bits % 64 != 0 && !words.empty()) {
+    words.back() &= (1ULL << (num_bits % 64)) - 1;
+  }
+  code.words_ = std::move(words);
+  return code;
+}
+
 size_t BinaryCode::PopCount() const {
   size_t total = 0;
   for (uint64_t w : words_) total += static_cast<size_t>(PopcountWord(w));

@@ -54,6 +54,11 @@ class BinaryCode {
   /// position is bit 0).  Returns an empty code for an empty string.
   static BinaryCode FromBitString(const std::string& text);
 
+  /// Rebuilds a code from its packed words — the inverse of words(),
+  /// used by index snapshot restore.  `words` is truncated or
+  /// zero-padded to the (num_bits + 63) / 64 words the length implies.
+  static BinaryCode FromWords(size_t num_bits, std::vector<uint64_t> words);
+
   size_t size() const { return num_bits_; }
   bool empty() const { return num_bits_ == 0; }
 

@@ -1,0 +1,140 @@
+#include "common/wal_framing.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/crc32.h"
+
+namespace agoraeo {
+
+WalFrameWriter::~WalFrameWriter() { Close(); }
+
+Status WalFrameWriter::Open(const std::string& path, WalSyncMode sync) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  path_ = path;
+  sync_ = sync;
+  return Status::OK();
+}
+
+Status WalFrameWriter::Append(const std::vector<uint8_t>& payload) {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload);
+  if (std::fwrite(&length, sizeof(length), 1, file_) != 1 ||
+      std::fwrite(&crc, sizeof(crc), 1, file_) != 1 ||
+      (length > 0 &&
+       std::fwrite(payload.data(), 1, payload.size(), file_) !=
+           payload.size())) {
+    return Status::IOError("WAL append failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  switch (sync_) {
+    case WalSyncMode::kNone:
+      break;
+    case WalSyncMode::kFlush:
+      if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
+      break;
+    case WalSyncMode::kFsync:
+      if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
+#ifndef _WIN32
+      if (::fsync(fileno(file_)) != 0) {
+        return Status::IOError("WAL fsync failed: " +
+                               std::string(std::strerror(errno)));
+      }
+#endif
+      break;
+  }
+  ++appended_;
+  bytes_appended_ += sizeof(length) + sizeof(crc) + payload.size();
+  return Status::OK();
+}
+
+Status WalFrameWriter::Reset() {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  const std::string path = path_;
+  const WalSyncMode sync = sync_;
+  Close();
+  std::FILE* truncated = std::fopen(path.c_str(), "wb");
+  if (truncated == nullptr) {
+    return Status::IOError("cannot truncate WAL " + path);
+  }
+  std::fclose(truncated);
+  return Open(path, sync);
+}
+
+void WalFrameWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+StatusOr<WalFrameReplayResult> ReplayWalFrames(
+    const std::string& path,
+    const std::function<Status(const std::vector<uint8_t>&)>& apply) {
+  WalFrameReplayResult result;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return result;  // missing log == empty log
+
+  while (true) {
+    uint32_t length = 0, crc = 0;
+    const size_t got_len = std::fread(&length, sizeof(length), 1, f);
+    if (got_len != 1) break;  // clean EOF (or torn length word)
+    if (std::fread(&crc, sizeof(crc), 1, f) != 1) {
+      result.tail_discarded = true;
+      break;
+    }
+    // Guard against a corrupted length word asking for gigabytes.
+    if (length > (1u << 30)) {
+      result.tail_discarded = true;
+      break;
+    }
+    std::vector<uint8_t> payload(length);
+    if (length > 0 && std::fread(payload.data(), 1, length, f) != length) {
+      result.tail_discarded = true;  // torn payload
+      break;
+    }
+    if (Crc32(payload) != crc) {
+      result.tail_discarded = true;  // bit rot or torn write
+      break;
+    }
+    const Status applied = apply(payload);
+    if (!applied.ok()) {
+      if (applied.IsCorruption()) {
+        // The frame checksummed but its payload does not decode — the
+        // same trust boundary as a torn frame: keep what came before.
+        result.tail_discarded = true;
+        break;
+      }
+      std::fclose(f);
+      return applied;
+    }
+    ++result.frames_applied;
+    result.valid_bytes +=
+        sizeof(length) + sizeof(crc) + static_cast<uint64_t>(length);
+  }
+  std::fclose(f);
+  return result;
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return Status::OK();
+  std::filesystem::resize_file(path, size, ec);
+  if (ec) {
+    return Status::IOError("cannot truncate " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace agoraeo

@@ -1,0 +1,92 @@
+#ifndef AGORAEO_COMMON_WAL_FRAMING_H_
+#define AGORAEO_COMMON_WAL_FRAMING_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace agoraeo {
+
+/// How durable each appended frame is when Append returns:
+///   kFlush  — fflush to the OS (survives a process crash; the default,
+///             matching the docstore journal's historical behaviour),
+///   kFsync  — fflush + fsync (survives power loss; slowest),
+///   kNone   — stdio-buffered only (fastest; a crash can lose the
+///             buffered tail, which recovery treats as a torn frame).
+enum class WalSyncMode : uint8_t { kFlush = 0, kFsync = 1, kNone = 2 };
+
+/// The on-disk framing shared by every write-ahead log in the system
+/// (the docstore journal and the CBIR index WAL).  Per frame:
+///   [u32 payload length][u32 crc32(payload)][payload]
+/// The CRC lets recovery distinguish a cleanly-ended log from a torn
+/// tail (a crash mid-append): everything before the first bad frame is
+/// trusted, the rest is discarded.
+class WalFrameWriter {
+ public:
+  WalFrameWriter() = default;
+  ~WalFrameWriter();
+  WalFrameWriter(const WalFrameWriter&) = delete;
+  WalFrameWriter& operator=(const WalFrameWriter&) = delete;
+
+  /// Opens the log for appending (creating it when missing).
+  Status Open(const std::string& path, WalSyncMode sync = WalSyncMode::kFlush);
+
+  /// Appends one checksummed frame and applies the sync mode.
+  Status Append(const std::vector<uint8_t>& payload);
+
+  /// Truncates the log to empty (after a checkpoint made its contents
+  /// redundant).
+  Status Reset();
+
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  WalSyncMode sync_mode() const { return sync_; }
+  /// Frames appended through this writer (not counting pre-existing log
+  /// content).
+  size_t frames_appended() const { return appended_; }
+  /// Bytes appended through this writer (frame headers included).
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  WalSyncMode sync_ = WalSyncMode::kFlush;
+  size_t appended_ = 0;
+  uint64_t bytes_appended_ = 0;
+};
+
+/// Result of scanning a framed log during recovery.
+struct WalFrameReplayResult {
+  size_t frames_applied = 0;
+  /// True when the log ended in a torn or corrupt frame that was
+  /// discarded (expected after a crash mid-append; not an error).
+  bool tail_discarded = false;
+  /// File offset just past the last intact frame — the length the file
+  /// should be truncated to before appending again, so new frames are
+  /// never written after an unreadable tail.
+  uint64_t valid_bytes = 0;
+};
+
+/// Reads a framed log and invokes `apply` on each intact frame's payload
+/// in order.  Stops at the first truncated or checksum-failing frame.
+/// A Corruption status from `apply` (a payload that framed cleanly but
+/// does not decode) is treated as a torn tail as well; any other non-OK
+/// status aborts the replay and is returned.  A missing file is an
+/// empty log.
+StatusOr<WalFrameReplayResult> ReplayWalFrames(
+    const std::string& path,
+    const std::function<Status(const std::vector<uint8_t>&)>& apply);
+
+/// Truncates `path` to `size` bytes (used to cut a torn WAL tail before
+/// reopening the log for append).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+}  // namespace agoraeo
+
+#endif  // AGORAEO_COMMON_WAL_FRAMING_H_

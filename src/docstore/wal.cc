@@ -1,10 +1,7 @@
 #include "docstore/wal.h"
 
-#include <cerrno>
-#include <cstring>
 #include <functional>
 
-#include "common/crc32.h"
 #include "common/logging.h"
 
 namespace agoraeo::docstore {
@@ -79,57 +76,13 @@ StatusOr<WalRecord> DecodeRecord(const std::vector<uint8_t>& payload) {
 // WalWriter
 // ---------------------------------------------------------------------------
 
-WalWriter::~WalWriter() { Close(); }
-
-Status WalWriter::Open(const std::string& path) {
-  Close();
-  file_ = std::fopen(path.c_str(), "ab");
-  if (file_ == nullptr) {
-    return Status::IOError("cannot open WAL " + path + ": " +
-                           std::strerror(errno));
-  }
-  path_ = path;
-  return Status::OK();
-}
+Status WalWriter::Open(const std::string& path) { return frames_.Open(path); }
 
 Status WalWriter::Append(const WalRecord& record) {
-  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
-  const std::vector<uint8_t> payload = EncodeRecord(record);
-  const uint32_t length = static_cast<uint32_t>(payload.size());
-  const uint32_t crc = Crc32(payload);
-  if (std::fwrite(&length, sizeof(length), 1, file_) != 1 ||
-      std::fwrite(&crc, sizeof(crc), 1, file_) != 1 ||
-      (length > 0 &&
-       std::fwrite(payload.data(), 1, payload.size(), file_) !=
-           payload.size())) {
-    return Status::IOError("WAL append failed: " +
-                           std::string(std::strerror(errno)));
-  }
-  if (std::fflush(file_) != 0) {
-    return Status::IOError("WAL flush failed");
-  }
-  ++appended_;
-  return Status::OK();
+  return frames_.Append(EncodeRecord(record));
 }
 
-Status WalWriter::Reset() {
-  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
-  const std::string path = path_;
-  Close();
-  std::FILE* truncated = std::fopen(path.c_str(), "wb");
-  if (truncated == nullptr) {
-    return Status::IOError("cannot truncate WAL " + path);
-  }
-  std::fclose(truncated);
-  return Open(path);
-}
-
-void WalWriter::Close() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
-  }
-}
+Status WalWriter::Reset() { return frames_.Reset(); }
 
 // ---------------------------------------------------------------------------
 // WalReplay
@@ -138,46 +91,19 @@ void WalWriter::Close() {
 StatusOr<WalReplayResult> WalReplay(
     const std::string& path,
     const std::function<Status(const WalRecord&)>& apply) {
+  // The framing layer handles torn/corrupt tails; a frame whose payload
+  // does not decode is reported as Corruption, which the framing layer
+  // folds into tail_discarded as well.
+  AGORAEO_ASSIGN_OR_RETURN(
+      WalFrameReplayResult frames,
+      ReplayWalFrames(path, [&](const std::vector<uint8_t>& payload) {
+        AGORAEO_ASSIGN_OR_RETURN(WalRecord record, DecodeRecord(payload));
+        return apply(record);
+      }));
   WalReplayResult result;
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return result;  // missing journal == empty journal
-
-  while (true) {
-    uint32_t length = 0, crc = 0;
-    const size_t got_len = std::fread(&length, sizeof(length), 1, f);
-    if (got_len != 1) break;  // clean EOF (or torn length word)
-    if (std::fread(&crc, sizeof(crc), 1, f) != 1) {
-      result.tail_discarded = true;
-      break;
-    }
-    // Guard against a corrupted length word asking for gigabytes.
-    if (length > (1u << 30)) {
-      result.tail_discarded = true;
-      break;
-    }
-    std::vector<uint8_t> payload(length);
-    if (length > 0 &&
-        std::fread(payload.data(), 1, length, f) != length) {
-      result.tail_discarded = true;  // torn payload
-      break;
-    }
-    if (Crc32(payload) != crc) {
-      result.tail_discarded = true;  // bit rot or torn write
-      break;
-    }
-    auto record = DecodeRecord(payload);
-    if (!record.ok()) {
-      result.tail_discarded = true;
-      break;
-    }
-    const Status applied = apply(*record);
-    if (!applied.ok()) {
-      std::fclose(f);
-      return applied;
-    }
-    ++result.records_applied;
-  }
-  std::fclose(f);
+  result.records_applied = frames.frames_applied;
+  result.tail_discarded = frames.tail_discarded;
+  result.valid_bytes = frames.valid_bytes;
   return result;
 }
 
@@ -201,6 +127,10 @@ Status DurableDatabase::Open() {
   if (replay.tail_discarded) {
     AGORAEO_LOG(kWarning) << "WAL recovery discarded a torn tail after "
                        << replay.records_applied << " records";
+    // Cut the unreadable tail off before appending again, so records
+    // written after this recovery are not stranded behind garbage the
+    // next replay would stop at.
+    AGORAEO_RETURN_IF_ERROR(TruncateFile(wal_path(), replay.valid_bytes));
   }
   return wal_.Open(wal_path());
 }

@@ -9,6 +9,7 @@
 
 #include "common/byte_buffer.h"
 #include "common/status.h"
+#include "common/wal_framing.h"
 #include "docstore/database.h"
 
 namespace agoraeo::docstore {
@@ -31,8 +32,9 @@ struct WalRecord {
   Collection::IndexSpec index_spec{Collection::IndexSpec::Kind::kHash, "", 0};
 };
 
-/// Appender for the on-disk journal.  Framing per record:
-///   [u32 payload length][u32 crc32(payload)][payload]
+/// Appender for the on-disk journal, a thin record-encoding layer over
+/// the shared WAL framing (common/wal_framing.h) that every journal in
+/// the system uses: [u32 payload length][u32 crc32(payload)][payload].
 /// The CRC lets recovery distinguish a cleanly-ended log from a torn
 /// tail (a crash mid-append); everything before the first bad frame is
 /// trusted, the rest is discarded — MongoDB's journal behaves the same
@@ -40,7 +42,6 @@ struct WalRecord {
 class WalWriter {
  public:
   WalWriter() = default;
-  ~WalWriter();
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
@@ -54,18 +55,16 @@ class WalWriter {
   /// redundant).
   Status Reset();
 
-  bool is_open() const { return file_ != nullptr; }
-  const std::string& path() const { return path_; }
+  bool is_open() const { return frames_.is_open(); }
+  const std::string& path() const { return frames_.path(); }
   /// Records appended through this writer (not counting pre-existing
   /// log content).
-  size_t records_appended() const { return appended_; }
+  size_t records_appended() const { return frames_.frames_appended(); }
 
-  void Close();
+  void Close() { frames_.Close(); }
 
  private:
-  std::string path_;
-  std::FILE* file_ = nullptr;
-  size_t appended_ = 0;
+  WalFrameWriter frames_;
 };
 
 /// Result of scanning a journal during recovery.
@@ -74,6 +73,9 @@ struct WalReplayResult {
   /// True when the log ended in a torn or corrupt frame that was
   /// discarded (expected after a crash mid-append; not an error).
   bool tail_discarded = false;
+  /// File offset just past the last intact record (what the log should
+  /// be truncated to before appending again).
+  uint64_t valid_bytes = 0;
 };
 
 /// Reads a journal file and invokes `apply` on each intact record in

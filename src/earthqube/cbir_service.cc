@@ -1,10 +1,13 @@
 #include "earthqube/cbir_service.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <thread>
 
+#include "common/logging.h"
 #include "index/bk_tree.h"
 #include "index/hamming_table.h"
+#include "index/index_snapshot.h"
 #include "index/linear_scan.h"
 
 namespace agoraeo::earthqube {
@@ -25,6 +28,10 @@ std::unique_ptr<index::HammingIndex> MakeIndex(CbirIndexKind kind) {
   return std::make_unique<index::HammingHashTable>();
 }
 
+std::string IndexWalPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "index.wal").string();
+}
+
 }  // namespace
 
 CbirService::CbirService(std::unique_ptr<milan::MilanModel> model,
@@ -33,15 +40,239 @@ CbirService::CbirService(std::unique_ptr<milan::MilanModel> model,
     : model_(std::move(model)), extractor_(extractor), config_(config) {
   if (config_.num_shards > 1) {
     // The partition layer: N hash-partitioned instances of the
-    // configured kind behind one scatter–gather facade.
+    // configured kind behind one scatter–gather facade.  Each shard is
+    // itself segment-structured (sealed segments read lock-free).
     auto sharded = std::make_unique<index::ShardedHammingIndex>(
         config_.num_shards,
-        [kind = config_.index_kind] { return MakeIndex(kind); });
+        [kind = config_.index_kind] { return MakeIndex(kind); },
+        config_.seal_threshold);
     sharded_ = sharded.get();
     index_ = std::move(sharded);
+  } else if (config_.seal_threshold > 0) {
+    // Monolithic but segment-structured: one shard's worth of segments.
+    auto segmented = std::make_unique<index::SegmentedHammingIndex>(
+        [kind = config_.index_kind] { return MakeIndex(kind); },
+        config_.seal_threshold);
+    segmented_ = segmented.get();
+    index_ = std::move(segmented);
   } else {
     index_ = MakeIndex(config_.index_kind);
   }
+  items_since_snapshot_.assign(std::max<size_t>(1, config_.num_shards), 0);
+}
+
+size_t CbirService::SnapshotShardOf(index::ItemId id) const {
+  return config_.num_shards > 1
+             ? index::ShardedHammingIndex::ShardOf(id, config_.num_shards)
+             : 0;
+}
+
+Status CbirService::Recover() {
+  if (config_.snapshot_dir.empty()) return Status::OK();
+  if (num_indexed() != 0) {
+    return Status::FailedPrecondition(
+        "Recover() must run before any image is indexed");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(config_.snapshot_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create snapshot dir: " + ec.message());
+  }
+  const size_t num_shards = std::max<size_t>(1, config_.num_shards);
+
+  // 1. Snapshots.  Corruption is survivable by design: warn, discard,
+  // let the WAL (or the contiguous-prefix cut) cover the difference.
+  struct Restored {
+    std::string name;
+    BinaryCode code;
+  };
+  std::unordered_map<index::ItemId, Restored> items;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const std::string path =
+        index::ShardSnapshotPath(config_.snapshot_dir, s);
+    auto snap_or = index::ReadIndexSnapshot(path);
+    if (!snap_or.ok()) {
+      if (snap_or.status().IsNotFound()) continue;
+      AGORAEO_LOG(kWarning) << "discarding snapshot " << path << ": "
+                            << snap_or.status().message();
+      ++pstats_.discarded_snapshots;
+      continue;
+    }
+    index::IndexSnapshot snap = std::move(snap_or).value();
+    if (snap.shard_index != s || snap.num_shards != num_shards) {
+      AGORAEO_LOG(kWarning) << "discarding snapshot " << path
+                            << ": sharding mismatch (file says shard "
+                            << snap.shard_index << "/" << snap.num_shards
+                            << ", service has " << s << "/" << num_shards
+                            << ")";
+      ++pstats_.discarded_snapshots;
+      continue;
+    }
+    for (size_t i = 0; i < snap.ids.size(); ++i) {
+      std::vector<uint64_t> words(
+          snap.code_words.begin() + i * snap.words_per_code,
+          snap.code_words.begin() + (i + 1) * snap.words_per_code);
+      items.emplace(snap.ids[i],
+                    Restored{std::move(snap.names[i]),
+                             BinaryCode::FromWords(snap.code_bits,
+                                                   std::move(words))});
+    }
+    pstats_.restored_items += snap.ids.size();
+  }
+
+  // 2. WAL catch-up: records whose items a snapshot already covers are
+  // skipped item-by-item (snapshot cadence is per shard, so one record
+  // can be half-covered).
+  const std::string wal_path = IndexWalPath(config_.snapshot_dir);
+  AGORAEO_ASSIGN_OR_RETURN(
+      index::IndexWalReplayResult replay,
+      index::ReplayIndexWal(
+          wal_path, [&](const index::IndexWalRecord& record) {
+            for (size_t i = 0; i < record.names.size(); ++i) {
+              const index::ItemId id = record.first_seq + i;
+              if (items.emplace(id, Restored{record.names[i],
+                                             record.codes[i]})
+                      .second) {
+                ++pstats_.replayed_items;
+              }
+            }
+            return Status::OK();
+          }));
+  pstats_.wal_tail_discarded = replay.tail_discarded;
+
+  // 3. Contiguous prefix: ids are assigned 0..n-1, so recovery must
+  // surface a prefix of that sequence.  A discarded snapshot whose
+  // items predate the WAL leaves holes; everything past the first hole
+  // is dropped (and the checkpoint below re-canonicalises disk).
+  index::ItemId prefix = 0;
+  while (items.count(prefix) != 0) ++prefix;
+  size_t dropped = 0;
+  for (const auto& [id, item] : items) {
+    if (id >= prefix) ++dropped;
+  }
+  if (dropped > 0) {
+    AGORAEO_LOG(kWarning) << "index recovery dropped " << dropped
+                          << " items past id " << prefix
+                          << " (hole left by a lost snapshot)";
+    pstats_.dropped_items = dropped;
+  }
+
+  // 4. Bulk-load: stored codes go straight into the index — no model
+  // inference — and the maps are rebuilt in id order.
+  if (prefix > 0) {
+    std::vector<index::ItemId> ids(prefix);
+    std::vector<std::string> names(prefix);
+    std::vector<BinaryCode> codes(prefix);
+    for (index::ItemId id = 0; id < prefix; ++id) {
+      auto node = items.extract(id);
+      ids[id] = id;
+      names[id] = std::move(node.mapped().name);
+      codes[id] = std::move(node.mapped().code);
+    }
+    AGORAEO_RETURN_IF_ERROR(
+        index_->BatchAdd(ids, codes, sharded_ != nullptr ? QueryPool() : nullptr));
+    name_by_id_.reserve(prefix);
+    for (index::ItemId id = 0; id < prefix; ++id) {
+      name_by_id_.push_back(names[id]);
+      code_by_name_.emplace(names[id], std::move(codes[id]));
+      id_by_name_.emplace(std::move(names[id]), id);
+    }
+  }
+  pstats_.recovered = true;
+
+  // 5. Make disk canonical again, then open the WAL for appending.
+  const bool lossy = pstats_.discarded_snapshots > 0 || dropped > 0;
+  if (lossy) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      AGORAEO_RETURN_IF_ERROR(WriteShardSnapshot(s));
+    }
+    AGORAEO_RETURN_IF_ERROR(TruncateFile(wal_path, 0));
+  } else if (replay.tail_discarded) {
+    // Cut the torn tail so new frames never land after garbage.
+    AGORAEO_RETURN_IF_ERROR(
+        TruncateFile(wal_path, replay.valid_bytes));
+  }
+  AGORAEO_RETURN_IF_ERROR(wal_.Open(wal_path, config_.wal_sync));
+  pstats_.enabled = true;
+  AGORAEO_LOG(kInfo) << "CBIR index recovered: " << num_indexed()
+                     << " items (" << pstats_.restored_items
+                     << " from snapshots, " << pstats_.replayed_items
+                     << " from WAL)";
+  return Status::OK();
+}
+
+Status CbirService::WriteShardSnapshot(size_t s) {
+  const size_t num_shards = std::max<size_t>(1, config_.num_shards);
+  index::IndexSnapshot snap;
+  snap.shard_index = static_cast<uint32_t>(s);
+  snap.num_shards = static_cast<uint32_t>(num_shards);
+  snap.watermark = num_indexed();
+  for (index::ItemId id = 0; id < name_by_id_.size(); ++id) {
+    if (SnapshotShardOf(id) != s) continue;
+    const BinaryCode& code = code_by_name_.at(name_by_id_[id]);
+    if (snap.code_bits == 0 && code.size() != 0) {
+      snap.code_bits = static_cast<uint32_t>(code.size());
+      snap.words_per_code = static_cast<uint32_t>(code.words().size());
+    }
+    snap.ids.push_back(id);
+    snap.names.push_back(name_by_id_[id]);
+    snap.code_words.insert(snap.code_words.end(), code.words().begin(),
+                           code.words().end());
+  }
+  AGORAEO_RETURN_IF_ERROR(index::WriteIndexSnapshot(
+      index::ShardSnapshotPath(config_.snapshot_dir, s), snap));
+  items_since_snapshot_[s] = 0;
+  ++pstats_.snapshots_written;
+  return Status::OK();
+}
+
+Status CbirService::MaybeSnapshotShards() {
+  if (config_.seal_threshold == 0) return Status::OK();
+  for (size_t s = 0; s < items_since_snapshot_.size(); ++s) {
+    if (items_since_snapshot_[s] >= config_.seal_threshold) {
+      AGORAEO_RETURN_IF_ERROR(WriteShardSnapshot(s));
+    }
+  }
+  return Status::OK();
+}
+
+Status CbirService::LogIngest(index::ItemId first_seq,
+                              const std::vector<std::string>& names,
+                              const std::vector<BinaryCode>& codes) {
+  if (!wal_.is_open()) return Status::OK();
+  index::IndexWalRecord record;
+  record.first_seq = first_seq;
+  record.names = names;
+  record.codes = codes;
+  AGORAEO_RETURN_IF_ERROR(wal_.Append(record));
+  pstats_.wal_records = wal_.records_appended();
+  for (size_t i = 0; i < names.size(); ++i) {
+    ++items_since_snapshot_[SnapshotShardOf(first_seq + i)];
+  }
+  return MaybeSnapshotShards();
+}
+
+Status CbirService::Snapshot() {
+  if (config_.snapshot_dir.empty()) {
+    return Status::FailedPrecondition("service has no snapshot_dir");
+  }
+  if (!wal_.is_open()) {
+    return Status::FailedPrecondition(
+        "Recover() must open the persistence layer before Snapshot()");
+  }
+  // Align snapshot and segment boundaries: everything snapshotted is
+  // also sealed, so post-snapshot reads of old data are all lock-free.
+  if (sharded_ != nullptr) {
+    AGORAEO_RETURN_IF_ERROR(sharded_->SealAll());
+  } else if (segmented_ != nullptr) {
+    AGORAEO_RETURN_IF_ERROR(segmented_->Seal());
+  }
+  const size_t num_shards = std::max<size_t>(1, config_.num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    AGORAEO_RETURN_IF_ERROR(WriteShardSnapshot(s));
+  }
+  // Every WAL record is now covered by a snapshot.
+  return wal_.Reset();
 }
 
 ThreadPool* CbirService::QueryPool() const {
@@ -68,7 +299,7 @@ Status CbirService::AddImage(const std::string& patch_name,
   name_by_id_.push_back(patch_name);
   code_by_name_.emplace(patch_name, code);
   id_by_name_.emplace(patch_name, id);
-  return Status::OK();
+  return LogIngest(id, {patch_name}, {code});
 }
 
 Status CbirService::AddImages(const std::vector<std::string>& names,
@@ -108,12 +339,16 @@ Status CbirService::AddImages(const std::vector<std::string>& names,
   // query, as before the partition layer).
   AGORAEO_RETURN_IF_ERROR(
       index_->BatchAdd(ids, codes, sharded_ != nullptr ? QueryPool() : nullptr));
+  const index::ItemId first_seq = ids.empty() ? 0 : ids.front();
   for (size_t i = 0; i < names.size(); ++i) {
     name_by_id_.push_back(names[i]);
     code_by_name_.emplace(names[i], codes[i]);
     id_by_name_.emplace(names[i], ids[i]);
   }
-  return Status::OK();
+  if (names.empty()) return Status::OK();
+  // One WAL frame per ingest batch: a torn frame loses the whole batch
+  // cleanly, never half of it.
+  return LogIngest(first_seq, names, codes);
 }
 
 std::vector<CbirResult> CbirService::ToResults(

@@ -13,7 +13,10 @@
 #include "bigearthnet/patch.h"
 #include "common/binary_code.h"
 #include "common/status.h"
+#include "common/wal_framing.h"
 #include "index/hamming_index.h"
+#include "index/index_wal.h"
+#include "index/segmented_index.h"
 #include "index/sharded_index.h"
 #include "milan/milan_model.h"
 
@@ -34,6 +37,40 @@ struct CbirConfig {
   /// parallelised per shard and every batched query pass fans out one
   /// task per shard across the query pool.
   size_t num_shards = 1;
+
+  // --- persistence ---------------------------------------------------------
+
+  /// Directory holding the index's durable state — one `shard-<s>.snap`
+  /// per shard plus the `index.wal` ingest log.  Empty (the default)
+  /// disables durability entirely: the index is in-memory only, exactly
+  /// the pre-persistence behaviour.  Call Recover() before the first
+  /// AddImage to restore and start logging.
+  std::string snapshot_dir;
+
+  /// Seal point of every shard's mutable segment: once it holds this
+  /// many items it is frozen into the lock-free sealed list and a fresh
+  /// mutable segment starts (0 = never auto-seal — one mutable segment,
+  /// the pre-segment behaviour).  Doubles as the snapshot cadence: a
+  /// shard's snapshot is refreshed after this many new items arrive.
+  size_t seal_threshold = 0;
+
+  /// Durability of each index WAL append (ignored without a
+  /// snapshot_dir).  kFlush survives a process crash, kFsync survives
+  /// power loss, kNone leaves the tail in stdio buffers.
+  WalSyncMode wal_sync = WalSyncMode::kFlush;
+};
+
+/// Observability of the persistence layer (stats endpoint + tests).
+struct CbirPersistenceStats {
+  bool enabled = false;       ///< snapshot_dir configured and WAL open
+  bool recovered = false;     ///< Recover() ran against this service
+  uint64_t restored_items = 0;     ///< items restored from snapshots
+  uint64_t replayed_items = 0;     ///< items caught up from the WAL
+  uint64_t discarded_snapshots = 0;  ///< corrupt/mismatched files dropped
+  uint64_t dropped_items = 0;  ///< items cut by the contiguous-prefix rule
+  bool wal_tail_discarded = false;  ///< recovery found a torn WAL tail
+  uint64_t wal_records = 0;         ///< records appended since open
+  uint64_t snapshots_written = 0;   ///< shard snapshot files written
 };
 
 /// One retrieved image.
@@ -63,6 +100,35 @@ class CbirService {
               size_t query_threads = 0)
       : CbirService(std::move(model), extractor,
                     CbirConfig{index_kind, query_threads, /*num_shards=*/1}) {}
+
+  /// Restores the index from config().snapshot_dir — per-shard
+  /// snapshots first, then WAL catch-up — and opens the WAL so
+  /// subsequent ingest is logged.  Boot sequence:
+  ///   1. Read every shard's snapshot.  A corrupt file (CRC mismatch,
+  ///      truncation, wrong shard/sharding) logs a warning and is
+  ///      discarded — never fatal; that shard restores from the WAL.
+  ///   2. Replay the WAL, skipping items a snapshot already covered.  A
+  ///      torn tail (crash mid-append) is discarded silently.
+  ///   3. Keep the longest contiguous id prefix (a discarded snapshot
+  ///      can leave holes the WAL predates); anything past the first
+  ///      hole is dropped so ids stay 0..n-1.
+  ///   4. Bulk-load the index (BatchAdd of stored codes — NO model
+  ///      inference, which is why restore beats re-ingest by orders of
+  ///      magnitude) and rebuild the name/code maps.
+  ///   5. After lossy recovery (steps 1 or 3 discarded anything), write
+  ///      a full checkpoint immediately so disk is canonical again;
+  ///      after a clean boot just truncate any torn WAL tail.
+  /// A missing directory is created; no files at all is a cold start.
+  /// No-op when snapshot_dir is empty.  Must run before the first
+  /// AddImage — it refuses (FailedPrecondition) on a non-empty service.
+  Status Recover();
+
+  /// Writes a full checkpoint on demand: seals every shard's mutable
+  /// segment (so snapshot boundaries coincide with segment boundaries),
+  /// writes every shard's snapshot at the current watermark, then
+  /// resets the WAL (its records are now all covered).  FailedPrecondition
+  /// without a snapshot_dir.
+  Status Snapshot();
 
   /// Indexes one archive image with a precomputed feature vector.
   Status AddImage(const std::string& patch_name, const Tensor& feature);
@@ -188,7 +254,14 @@ class CbirService {
   /// config.num_shards > 1 (nullptr for a monolithic index).  Feeds the
   /// per-shard observability endpoint.
   const index::ShardedHammingIndex* sharded_index() const { return sharded_; }
+  /// The segment layer of a MONOLITHIC service built with
+  /// seal_threshold > 0 (nullptr otherwise; sharded services segment
+  /// inside each shard instead — see sharded_index()).
+  const index::SegmentedHammingIndex* segmented_index() const {
+    return segmented_;
+  }
   const CbirConfig& config() const { return config_; }
+  const CbirPersistenceStats& persistence_stats() const { return pstats_; }
 
  private:
   std::vector<CbirResult> ToResults(
@@ -198,13 +271,38 @@ class CbirService {
   /// The lazily created query pool (nullptr when query_threads == 1).
   ThreadPool* QueryPool() const;
 
+  /// Which snapshot shard an item belongs to (matches index routing for
+  /// sharded services; everything is shard 0 for monolithic ones).
+  size_t SnapshotShardOf(index::ItemId id) const;
+
+  /// Writes shard `s`'s snapshot from the in-memory maps at the current
+  /// watermark (tmp + rename; see WriteIndexSnapshot).
+  Status WriteShardSnapshot(size_t s);
+
+  /// The seal-cadence auto-snapshot hook: refreshes any shard whose
+  /// new-item counter crossed seal_threshold since its last snapshot.
+  Status MaybeSnapshotShards();
+
+  /// Logs one applied ingest batch and runs the snapshot cadence.
+  Status LogIngest(index::ItemId first_seq,
+                   const std::vector<std::string>& names,
+                   const std::vector<BinaryCode>& codes);
+
   std::unique_ptr<milan::MilanModel> model_;
   const bigearthnet::FeatureExtractor* extractor_;
   CbirConfig config_;
   std::unique_ptr<index::HammingIndex> index_;
   /// Non-owning view of index_ as the partition layer; null when
   /// num_shards <= 1.
-  const index::ShardedHammingIndex* sharded_ = nullptr;
+  index::ShardedHammingIndex* sharded_ = nullptr;
+  /// Non-owning view of index_ as the segment layer; null unless
+  /// monolithic with seal_threshold > 0.
+  index::SegmentedHammingIndex* segmented_ = nullptr;
+  /// Ingest log; open only after Recover() with a snapshot_dir.
+  index::IndexWalWriter wal_;
+  /// Items landed per shard since its last snapshot (snapshot cadence).
+  std::vector<size_t> items_since_snapshot_;
+  CbirPersistenceStats pstats_;
   mutable std::mutex pool_mu_;  ///< guards lazy pool creation
   mutable std::unique_ptr<ThreadPool> pool_;
   /// The paper's in-memory hash table: patch name -> binary code.

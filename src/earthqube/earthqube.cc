@@ -71,6 +71,15 @@ void EarthQube::AttachCbir(std::unique_ptr<CbirService> cbir) {
   query_cache_.Invalidate();
 }
 
+Status EarthQube::RecoverAndAttachCbir(std::unique_ptr<CbirService> cbir) {
+  // Recover BEFORE attaching: queries keep hitting the old service (or
+  // none) until the new index is fully rebuilt, and the epoch bumps
+  // once, in AttachCbir, not per restored batch.
+  AGORAEO_RETURN_IF_ERROR(cbir->Recover());
+  AttachCbir(std::move(cbir));
+  return Status::OK();
+}
+
 StatusOr<ResultEntry> EarthQube::EntryFromDocument(const Document& doc) const {
   AGORAEO_ASSIGN_OR_RETURN(bigearthnet::PatchMetadata meta,
                            DocumentToMetadata(doc));

@@ -75,6 +75,13 @@ class EarthQube {
   /// by the caller; enables the similarity-search endpoints.
   void AttachCbir(std::unique_ptr<CbirService> cbir);
 
+  /// The boot path of a durable CBIR service: runs the service's
+  /// Recover() (snapshot restore + WAL catch-up), then attaches it.
+  /// The cache epoch bumps exactly once — inside AttachCbir — however
+  /// many items recovery restored; recovery failures leave the current
+  /// service (if any) attached and untouched.
+  Status RecoverAndAttachCbir(std::unique_ptr<CbirService> cbir);
+
   // --- unified query execution (API v2) -----------------------------------
 
   /// Executes one unified request — panel-only, CBIR-only, or hybrid

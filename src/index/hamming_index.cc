@@ -20,6 +20,25 @@ bool CandidateSet::Contains(ItemId id) const {
   return std::binary_search(ids_.begin(), ids_.end(), id);
 }
 
+std::vector<SearchResult> MergeHitLists(
+    std::vector<std::vector<SearchResult>>* lists, size_t k) {
+  std::vector<SearchResult> merged;
+  for (std::vector<SearchResult>& hits : *lists) {
+    if (hits.empty()) continue;
+    if (merged.empty()) {
+      merged = std::move(hits);
+      continue;
+    }
+    std::vector<SearchResult> next;
+    next.reserve(merged.size() + hits.size());
+    std::merge(merged.begin(), merged.end(), hits.begin(), hits.end(),
+               std::back_inserter(next), ResultLess);
+    merged = std::move(next);
+  }
+  if (k != 0 && merged.size() > k) merged.resize(k);
+  return merged;
+}
+
 Status HammingIndex::BatchAdd(const std::vector<ItemId>& ids,
                               const std::vector<BinaryCode>& codes,
                               ThreadPool* /*pool*/) {

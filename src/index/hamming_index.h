@@ -32,6 +32,18 @@ struct SearchResult {
 /// index implementations return, so they are comparable in tests.
 bool ResultLess(const SearchResult& a, const SearchResult& b);
 
+/// Merges per-partition (distance, id)-sorted hit lists into one list in
+/// the same canonical order — the shared gather step of every partition
+/// layer in the index stack: the sharded index gathers across shards,
+/// the segmented index across a shard's sealed + mutable segments.
+/// Partitions hold disjoint ids, so a pairwise merge reproduces exactly
+/// what one flat index over the union would return.  `k` of 0 keeps
+/// everything; otherwise the merged list is truncated to the k best (the
+/// k-NN overfetch merge: every partition returned its own top-k, and the
+/// global top-k is the head of the merged order).  Consumes `lists`.
+std::vector<SearchResult> MergeHitLists(
+    std::vector<std::vector<SearchResult>>* lists, size_t k);
+
 /// An allowlist of item ids for candidate-restricted searches (the
 /// pre-filter side of hybrid metadata ∧ similarity queries): the ids a
 /// search may return, held sorted for O(log n) membership tests.

@@ -1,0 +1,120 @@
+#include "index/index_snapshot.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include "common/byte_buffer.h"
+#include "common/crc32.h"
+
+namespace agoraeo::index {
+
+namespace {
+
+/// "AQSN" little-endian.
+constexpr uint32_t kSnapshotMagic = 0x4e535141u;
+constexpr uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+std::string ShardSnapshotPath(const std::string& dir, size_t shard) {
+  return (std::filesystem::path(dir) /
+          ("shard-" + std::to_string(shard) + ".snap"))
+      .string();
+}
+
+Status WriteIndexSnapshot(const std::string& path, const IndexSnapshot& snap) {
+  if (snap.names.size() != snap.ids.size() ||
+      snap.code_words.size() !=
+          snap.ids.size() * static_cast<size_t>(snap.words_per_code)) {
+    return Status::InvalidArgument("snapshot arrays are inconsistent");
+  }
+  ByteWriter payload;
+  payload.PutU32(snap.shard_index);
+  payload.PutU32(snap.num_shards);
+  payload.PutU64(snap.watermark);
+  payload.PutU32(snap.code_bits);
+  payload.PutU32(snap.words_per_code);
+  payload.PutU64(snap.ids.size());
+  for (ItemId id : snap.ids) payload.PutU64(id);
+  for (const std::string& name : snap.names) payload.PutString(name);
+  payload.PutRaw(snap.code_words.data(),
+                 snap.code_words.size() * sizeof(uint64_t));
+
+  ByteWriter file;
+  file.PutU32(kSnapshotMagic);
+  file.PutU32(kSnapshotVersion);
+  file.PutU32(static_cast<uint32_t>(payload.size()));
+  file.PutU32(Crc32(payload.data()));
+  file.PutRaw(payload.data().data(), payload.size());
+
+  const std::string tmp = path + ".tmp";
+  AGORAEO_RETURN_IF_ERROR(WriteFileBytes(tmp, file.data()));
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("snapshot rename failed: " + ec.message());
+  }
+  return Status::OK();
+}
+
+StatusOr<IndexSnapshot> ReadIndexSnapshot(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return Status::NotFound("no snapshot at " + path);
+  }
+  AGORAEO_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  ByteReader header(bytes);
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t magic, header.GetU32());
+  if (magic != kSnapshotMagic) {
+    return Status::Corruption("snapshot magic mismatch");
+  }
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t version, header.GetU32());
+  if (version != kSnapshotVersion) {
+    return Status::Corruption("snapshot version " + std::to_string(version) +
+                              " is unknown");
+  }
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t payload_len, header.GetU32());
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t expected_crc, header.GetU32());
+  if (header.remaining() != payload_len) {
+    return Status::Corruption("snapshot payload is truncated");
+  }
+  const uint8_t* payload_bytes = bytes.data() + (bytes.size() - payload_len);
+  if (Crc32(payload_bytes, payload_len) != expected_crc) {
+    return Status::Corruption("snapshot CRC mismatch");
+  }
+
+  ByteReader payload(payload_bytes, payload_len);
+  IndexSnapshot snap;
+  AGORAEO_ASSIGN_OR_RETURN(snap.shard_index, payload.GetU32());
+  AGORAEO_ASSIGN_OR_RETURN(snap.num_shards, payload.GetU32());
+  AGORAEO_ASSIGN_OR_RETURN(snap.watermark, payload.GetU64());
+  AGORAEO_ASSIGN_OR_RETURN(snap.code_bits, payload.GetU32());
+  AGORAEO_ASSIGN_OR_RETURN(snap.words_per_code, payload.GetU32());
+  AGORAEO_ASSIGN_OR_RETURN(uint64_t count, payload.GetU64());
+  // A CRC-valid payload can still be structurally absurd if the writer
+  // was buggy; keep the reader bounded.
+  if (count > payload.remaining() / sizeof(uint64_t)) {
+    return Status::Corruption("snapshot item count is implausible");
+  }
+  snap.ids.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    AGORAEO_ASSIGN_OR_RETURN(uint64_t id, payload.GetU64());
+    snap.ids.push_back(id);
+  }
+  snap.names.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    AGORAEO_ASSIGN_OR_RETURN(std::string name, payload.GetString());
+    snap.names.push_back(std::move(name));
+  }
+  const size_t num_words = count * static_cast<size_t>(snap.words_per_code);
+  if (payload.remaining() != num_words * sizeof(uint64_t)) {
+    return Status::Corruption("snapshot code array length mismatch");
+  }
+  snap.code_words.resize(num_words);
+  for (size_t i = 0; i < num_words; ++i) {
+    AGORAEO_ASSIGN_OR_RETURN(snap.code_words[i], payload.GetU64());
+  }
+  return snap;
+}
+
+}  // namespace agoraeo::index

@@ -1,0 +1,53 @@
+#ifndef AGORAEO_INDEX_INDEX_SNAPSHOT_H_
+#define AGORAEO_INDEX_INDEX_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/hamming_index.h"
+
+namespace agoraeo::index {
+
+/// One shard's durable state: the (id, name, code) triples of every item
+/// routed to the shard, plus the global ingest watermark the file covers.
+///
+/// Codes are stored as one flat array of packed 64-bit words
+/// ([items × words_per_code], row-major) rather than per-item vectors —
+/// the restore path hands contiguous word rows straight to
+/// BinaryCode::FromWords and bulk-loads the shard with one BatchAdd, so
+/// a restart replays no model inference at all.
+struct IndexSnapshot {
+  uint32_t shard_index = 0;  ///< which shard this file holds
+  uint32_t num_shards = 1;   ///< sharding the ids were routed under
+  /// Global num_indexed at snapshot time: every item with id < watermark
+  /// that routes to this shard is in the file, so WAL catch-up skips
+  /// records below it.
+  uint64_t watermark = 0;
+  uint32_t code_bits = 0;       ///< bits per code (0 when empty)
+  uint32_t words_per_code = 0;  ///< packed words per code
+  std::vector<ItemId> ids;
+  std::vector<std::string> names;  ///< names[i] belongs to ids[i]
+  std::vector<uint64_t> code_words;  ///< flat [ids.size() × words_per_code]
+};
+
+/// `<dir>/shard-<shard>.snap` — where one shard's snapshot lives.
+std::string ShardSnapshotPath(const std::string& dir, size_t shard);
+
+/// Serialises and writes `snap` with a whole-payload CRC, via a
+/// temporary file + rename so a crash mid-write can never leave a
+/// half-written file under the final name (the reader sees either the
+/// old complete snapshot or the new one).
+Status WriteIndexSnapshot(const std::string& path, const IndexSnapshot& snap);
+
+/// Reads and validates a snapshot.  Returns NotFound when no file
+/// exists, and Corruption for anything structurally wrong — bad magic,
+/// unknown version, CRC mismatch, truncation, inconsistent array
+/// lengths.  Callers treat Corruption as "discard the snapshot and fall
+/// back to the WAL"; it is never fatal.
+StatusOr<IndexSnapshot> ReadIndexSnapshot(const std::string& path);
+
+}  // namespace agoraeo::index
+
+#endif  // AGORAEO_INDEX_INDEX_SNAPSHOT_H_

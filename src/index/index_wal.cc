@@ -1,0 +1,95 @@
+#include "index/index_wal.h"
+
+#include "common/byte_buffer.h"
+
+namespace agoraeo::index {
+
+namespace {
+
+/// Payload layout: u64 first_seq, u32 count, u32 code_bits,
+/// u32 words_per_code, count names (length-prefixed), then the packed
+/// code words ([count × words_per_code], row-major).
+std::vector<uint8_t> EncodeRecord(const IndexWalRecord& record) {
+  const uint32_t code_bits =
+      record.codes.empty() ? 0
+                           : static_cast<uint32_t>(record.codes.front().size());
+  const uint32_t words_per_code =
+      record.codes.empty()
+          ? 0
+          : static_cast<uint32_t>(record.codes.front().words().size());
+  ByteWriter w;
+  w.PutU64(record.first_seq);
+  w.PutU32(static_cast<uint32_t>(record.names.size()));
+  w.PutU32(code_bits);
+  w.PutU32(words_per_code);
+  for (const std::string& name : record.names) w.PutString(name);
+  for (const BinaryCode& code : record.codes) {
+    w.PutRaw(code.words().data(), code.words().size() * sizeof(uint64_t));
+  }
+  return w.Release();
+}
+
+StatusOr<IndexWalRecord> DecodeRecord(const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  IndexWalRecord record;
+  AGORAEO_ASSIGN_OR_RETURN(record.first_seq, r.GetU64());
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t code_bits, r.GetU32());
+  AGORAEO_ASSIGN_OR_RETURN(uint32_t words_per_code, r.GetU32());
+  if (words_per_code != (code_bits + 63) / 64) {
+    return Status::Corruption("index WAL record word count mismatch");
+  }
+  record.names.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    AGORAEO_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    record.names.push_back(std::move(name));
+  }
+  if (r.remaining() !=
+      static_cast<size_t>(count) * words_per_code * sizeof(uint64_t)) {
+    return Status::Corruption("index WAL record code array mismatch");
+  }
+  record.codes.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::vector<uint64_t> words(words_per_code);
+    for (uint32_t wi = 0; wi < words_per_code; ++wi) {
+      AGORAEO_ASSIGN_OR_RETURN(words[wi], r.GetU64());
+    }
+    record.codes.push_back(BinaryCode::FromWords(code_bits, std::move(words)));
+  }
+  return record;
+}
+
+}  // namespace
+
+Status IndexWalWriter::Append(const IndexWalRecord& record) {
+  if (record.names.size() != record.codes.size()) {
+    return Status::InvalidArgument("index WAL record names/codes mismatch");
+  }
+  for (const BinaryCode& code : record.codes) {
+    if (code.size() != record.codes.front().size()) {
+      return Status::InvalidArgument(
+          "index WAL record mixes code lengths");
+    }
+  }
+  return frames_.Append(EncodeRecord(record));
+}
+
+StatusOr<IndexWalReplayResult> ReplayIndexWal(
+    const std::string& path,
+    const std::function<Status(const IndexWalRecord&)>& apply) {
+  IndexWalReplayResult result;
+  AGORAEO_ASSIGN_OR_RETURN(
+      WalFrameReplayResult frames,
+      ReplayWalFrames(path, [&](const std::vector<uint8_t>& payload) {
+        AGORAEO_ASSIGN_OR_RETURN(IndexWalRecord record, DecodeRecord(payload));
+        AGORAEO_RETURN_IF_ERROR(apply(record));
+        result.items_applied += record.names.size();
+        return Status::OK();
+      }));
+  result.records_applied = frames.frames_applied;
+  result.tail_discarded = frames.tail_discarded;
+  result.valid_bytes = frames.valid_bytes;
+  return result;
+}
+
+}  // namespace agoraeo::index

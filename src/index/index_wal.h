@@ -1,0 +1,64 @@
+#ifndef AGORAEO_INDEX_INDEX_WAL_H_
+#define AGORAEO_INDEX_INDEX_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/binary_code.h"
+#include "common/status.h"
+#include "common/wal_framing.h"
+
+namespace agoraeo::index {
+
+/// One ingest batch as logged: the items of one AddImage/AddImages call.
+/// Ids are assigned sequentially by the CbirService, so the record only
+/// stores the first — item i of the batch has id `first_seq + i`.  The
+/// whole batch is one WAL frame: a crash mid-append tears the frame and
+/// recovery drops the batch as a unit, never half of it.
+struct IndexWalRecord {
+  uint64_t first_seq = 0;
+  std::vector<std::string> names;
+  std::vector<BinaryCode> codes;  ///< codes[i] belongs to names[i]
+};
+
+/// Appends IndexWalRecords over the shared frame format (common/
+/// wal_framing): the index WAL and the docstore journal are the same
+/// file format with different payloads.
+class IndexWalWriter {
+ public:
+  Status Open(const std::string& path,
+              WalSyncMode sync = WalSyncMode::kFlush) {
+    return frames_.Open(path, sync);
+  }
+  Status Append(const IndexWalRecord& record);
+  Status Reset() { return frames_.Reset(); }
+  void Close() { frames_.Close(); }
+
+  bool is_open() const { return frames_.is_open(); }
+  const std::string& path() const { return frames_.path(); }
+  WalSyncMode sync_mode() const { return frames_.sync_mode(); }
+  size_t records_appended() const { return frames_.frames_appended(); }
+
+ private:
+  WalFrameWriter frames_;
+};
+
+struct IndexWalReplayResult {
+  size_t records_applied = 0;
+  size_t items_applied = 0;  ///< items across those records
+  bool tail_discarded = false;
+  uint64_t valid_bytes = 0;
+};
+
+/// Replays the index WAL at `path`, invoking `apply` per intact record
+/// in append order.  Torn/corrupt tails are discarded, not errors (see
+/// ReplayWalFrames); a missing file is an empty log.
+StatusOr<IndexWalReplayResult> ReplayIndexWal(
+    const std::string& path,
+    const std::function<Status(const IndexWalRecord&)>& apply);
+
+}  // namespace agoraeo::index
+
+#endif  // AGORAEO_INDEX_INDEX_WAL_H_

@@ -27,6 +27,25 @@ Status LinearScanIndex::Add(ItemId id, const BinaryCode& code) {
   return Status::OK();
 }
 
+Status LinearScanIndex::BatchAdd(const std::vector<ItemId>& ids,
+                                 const std::vector<BinaryCode>& codes,
+                                 ThreadPool* /*pool*/) {
+  if (ids.size() != codes.size()) {
+    return Status::InvalidArgument("BatchAdd ids/codes length mismatch");
+  }
+  ids_.reserve(ids_.size() + ids.size());
+  codes_.reserve(codes_.size() + codes.size());
+  pos_by_id_.reserve(pos_by_id_.size() + ids.size());
+  if (!codes.empty()) {
+    flat_words_.reserve(flat_words_.size() +
+                        codes.size() * codes.front().words().size());
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    AGORAEO_RETURN_IF_ERROR(Add(ids[i], codes[i]));
+  }
+  return Status::OK();
+}
+
 std::vector<SearchResult> LinearScanIndex::RadiusSearch(
     const BinaryCode& query, uint32_t radius, SearchStats* stats) const {
   std::vector<SearchResult> out;

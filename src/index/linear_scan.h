@@ -16,6 +16,11 @@ namespace agoraeo::index {
 class LinearScanIndex : public HammingIndex {
  public:
   Status Add(ItemId id, const BinaryCode& code) override;
+  /// Sequential Add loop with all storage reserved up front — the
+  /// snapshot-restore fast path bulk-loads a whole shard through here.
+  Status BatchAdd(const std::vector<ItemId>& ids,
+                  const std::vector<BinaryCode>& codes,
+                  ThreadPool* pool = nullptr) override;
   std::vector<SearchResult> RadiusSearch(const BinaryCode& query,
                                          uint32_t radius,
                                          SearchStats* stats = nullptr) const override;

@@ -1,0 +1,276 @@
+#include "index/segmented_index.h"
+
+#include <mutex>
+
+namespace agoraeo::index {
+
+namespace {
+
+void AccumulateStats(const SearchStats& part, SearchStats* total) {
+  total->buckets_probed += part.buckets_probed;
+  total->candidates += part.candidates;
+}
+
+}  // namespace
+
+SegmentedHammingIndex::SegmentedHammingIndex(SegmentFactory factory,
+                                             size_t seal_threshold)
+    : factory_(std::move(factory)),
+      seal_threshold_(seal_threshold),
+      mutable_(factory_()),
+      sealed_(std::make_shared<const SegmentList>()) {
+  base_name_ = mutable_->Name();
+}
+
+Status SegmentedHammingIndex::CheckCodeLength(const BinaryCode& code) {
+  // Empty codes fall through: every wrapped kind rejects them with its
+  // own message, and anchoring on 0 would wedge the index.
+  if (code.size() == 0) return Status::OK();
+  size_t expected = code_bits_.load();
+  if (expected == 0) {
+    code_bits_.compare_exchange_strong(expected, code.size());
+    expected = code_bits_.load();
+  }
+  if (code.size() != expected) {
+    return Status::InvalidArgument(
+        "code length mismatch: index holds " + std::to_string(expected) +
+        "-bit codes, got " + std::to_string(code.size()));
+  }
+  return Status::OK();
+}
+
+void SegmentedHammingIndex::SealLocked() {
+  if (mutable_->size() == 0) return;
+  std::shared_ptr<const SegmentList> old = sealed_.load();
+  auto next = std::make_shared<SegmentList>(*old);
+  next->push_back(std::shared_ptr<const HammingIndex>(std::move(mutable_)));
+  mutable_ = factory_();
+  sealed_.store(std::shared_ptr<const SegmentList>(std::move(next)));
+  seals_.fetch_add(1);
+}
+
+Status SegmentedHammingIndex::Seal() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  SealLocked();
+  return Status::OK();
+}
+
+Status SegmentedHammingIndex::Add(ItemId id, const BinaryCode& code) {
+  AGORAEO_RETURN_IF_ERROR(CheckCodeLength(code));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  AGORAEO_RETURN_IF_ERROR(mutable_->Add(id, code));
+  if (seal_threshold_ > 0 && mutable_->size() >= seal_threshold_) {
+    SealLocked();
+  }
+  return Status::OK();
+}
+
+Status SegmentedHammingIndex::BatchAdd(const std::vector<ItemId>& ids,
+                                       const std::vector<BinaryCode>& codes,
+                                       ThreadPool* /*pool*/) {
+  if (ids.size() != codes.size()) {
+    return Status::InvalidArgument("BatchAdd ids/codes length mismatch");
+  }
+  // Validate every code up front so a mismatch cannot strand a
+  // partially applied batch across segments.
+  for (const BinaryCode& code : codes) {
+    AGORAEO_RETURN_IF_ERROR(CheckCodeLength(code));
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    AGORAEO_RETURN_IF_ERROR(mutable_->Add(ids[i], codes[i]));
+    if (seal_threshold_ > 0 && mutable_->size() >= seal_threshold_) {
+      SealLocked();
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SearchResult> SegmentedHammingIndex::GatherSegments(
+    size_t k, SearchStats* stats,
+    const std::function<std::vector<SearchResult>(const HammingIndex&,
+                                                  SearchStats*)>&
+        query_segment) const {
+  if (stats != nullptr) *stats = SearchStats{};
+  std::vector<std::vector<SearchResult>> per_segment;
+  std::shared_ptr<const SegmentList> sealed;
+  {
+    // Pin the view: the sealed list is loaded in the same critical
+    // section the mutable tail is queried in, so a concurrent seal
+    // cannot make an item appear in both (or neither).
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    sealed = sealed_.load();
+    if (mutable_->size() > 0) {
+      SearchStats seg_stats;
+      per_segment.push_back(
+          query_segment(*mutable_, stats != nullptr ? &seg_stats : nullptr));
+      if (stats != nullptr) AccumulateStats(seg_stats, stats);
+    }
+  }
+  // The bulk of the data: sealed segments, scanned with no lock held.
+  per_segment.reserve(per_segment.size() + sealed->size());
+  for (const auto& segment : *sealed) {
+    SearchStats seg_stats;
+    per_segment.push_back(
+        query_segment(*segment, stats != nullptr ? &seg_stats : nullptr));
+    if (stats != nullptr) AccumulateStats(seg_stats, stats);
+  }
+  std::vector<SearchResult> out = MergeHitLists(&per_segment, k);
+  if (stats != nullptr) stats->results = out.size();
+  return out;
+}
+
+std::vector<SearchResult> SegmentedHammingIndex::RadiusSearch(
+    const BinaryCode& query, uint32_t radius, SearchStats* stats) const {
+  return GatherSegments(
+      0, stats, [&](const HammingIndex& segment, SearchStats* seg_stats) {
+        return segment.RadiusSearch(query, radius, seg_stats);
+      });
+}
+
+std::vector<SearchResult> SegmentedHammingIndex::KnnSearch(
+    const BinaryCode& query, size_t k, SearchStats* stats) const {
+  return GatherSegments(
+      k, stats, [&](const HammingIndex& segment, SearchStats* seg_stats) {
+        return segment.KnnSearch(query, k, seg_stats);
+      });
+}
+
+std::vector<SearchResult> SegmentedHammingIndex::RadiusSearchIn(
+    const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
+    SearchStats* stats) const {
+  // Segments are time-partitioned, not id-routed, so the allowlist
+  // cannot be split — each segment filters against the full set.
+  return GatherSegments(
+      0, stats, [&](const HammingIndex& segment, SearchStats* seg_stats) {
+        return segment.RadiusSearchIn(query, radius, allowed, seg_stats);
+      });
+}
+
+std::vector<SearchResult> SegmentedHammingIndex::KnnSearchIn(
+    const BinaryCode& query, size_t k, const CandidateSet& allowed,
+    SearchStats* stats) const {
+  return GatherSegments(
+      k, stats, [&](const HammingIndex& segment, SearchStats* seg_stats) {
+        return segment.KnnSearchIn(query, k, allowed, seg_stats);
+      });
+}
+
+std::vector<std::vector<SearchResult>> SegmentedHammingIndex::
+    GatherSegmentsBatch(
+        size_t num_queries, size_t k, std::vector<SearchStats>* stats,
+        const std::function<std::vector<std::vector<SearchResult>>(
+            const HammingIndex&, std::vector<SearchStats>*)>& run_segment)
+        const {
+  if (stats != nullptr) stats->assign(num_queries, SearchStats{});
+  std::vector<std::vector<std::vector<SearchResult>>> per_segment;
+  std::vector<std::vector<SearchStats>> per_segment_stats;
+  std::shared_ptr<const SegmentList> sealed;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    sealed = sealed_.load();
+    if (mutable_->size() > 0) {
+      std::vector<SearchStats> seg_stats;
+      per_segment.push_back(
+          run_segment(*mutable_, stats != nullptr ? &seg_stats : nullptr));
+      if (stats != nullptr) per_segment_stats.push_back(std::move(seg_stats));
+    }
+  }
+  per_segment.reserve(per_segment.size() + sealed->size());
+  for (const auto& segment : *sealed) {
+    std::vector<SearchStats> seg_stats;
+    per_segment.push_back(
+        run_segment(*segment, stats != nullptr ? &seg_stats : nullptr));
+    if (stats != nullptr) per_segment_stats.push_back(std::move(seg_stats));
+  }
+
+  // Gather: merge every query slot across segments.
+  std::vector<std::vector<SearchResult>> out(num_queries);
+  std::vector<std::vector<SearchResult>> slot(per_segment.size());
+  for (size_t i = 0; i < num_queries; ++i) {
+    for (size_t s = 0; s < per_segment.size(); ++s) {
+      slot[s] = std::move(per_segment[s][i]);
+      if (stats != nullptr && i < per_segment_stats[s].size()) {
+        AccumulateStats(per_segment_stats[s][i], &(*stats)[i]);
+      }
+    }
+    out[i] = MergeHitLists(&slot, k);
+    if (stats != nullptr) (*stats)[i].results = out[i].size();
+  }
+  return out;
+}
+
+std::vector<std::vector<SearchResult>> SegmentedHammingIndex::BatchRadiusSearch(
+    const std::vector<BinaryCode>& queries, uint32_t radius, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  // The pool is forwarded into each segment's batch kernel (which
+  // shards queries across it); segments themselves run sequentially —
+  // nested parallelism belongs to the shard layer above.
+  return GatherSegmentsBatch(
+      queries.size(), 0, stats,
+      [&](const HammingIndex& segment, std::vector<SearchStats>* seg_stats) {
+        return segment.BatchRadiusSearch(queries, radius, pool, seg_stats);
+      });
+}
+
+std::vector<std::vector<SearchResult>> SegmentedHammingIndex::BatchKnnSearch(
+    const std::vector<BinaryCode>& queries, size_t k, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  return GatherSegmentsBatch(
+      queries.size(), k, stats,
+      [&](const HammingIndex& segment, std::vector<SearchStats>* seg_stats) {
+        return segment.BatchKnnSearch(queries, k, pool, seg_stats);
+      });
+}
+
+std::vector<std::vector<SearchResult>>
+SegmentedHammingIndex::BatchRadiusSearchIn(
+    const std::vector<BinaryCode>& queries, uint32_t radius,
+    const CandidateSet& allowed, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  return GatherSegmentsBatch(
+      queries.size(), 0, stats,
+      [&](const HammingIndex& segment, std::vector<SearchStats>* seg_stats) {
+        return segment.BatchRadiusSearchIn(queries, radius, allowed, pool,
+                                           seg_stats);
+      });
+}
+
+std::vector<std::vector<SearchResult>> SegmentedHammingIndex::BatchKnnSearchIn(
+    const std::vector<BinaryCode>& queries, size_t k,
+    const CandidateSet& allowed, ThreadPool* pool,
+    std::vector<SearchStats>* stats) const {
+  return GatherSegmentsBatch(
+      queries.size(), k, stats,
+      [&](const HammingIndex& segment, std::vector<SearchStats>* seg_stats) {
+        return segment.BatchKnnSearchIn(queries, k, allowed, pool, seg_stats);
+      });
+}
+
+size_t SegmentedHammingIndex::size() const {
+  size_t total = 0;
+  std::shared_ptr<const SegmentList> sealed;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    sealed = sealed_.load();
+    total = mutable_->size();
+  }
+  for (const auto& segment : *sealed) total += segment->size();
+  return total;
+}
+
+SegmentedIndexStats SegmentedHammingIndex::Stats() const {
+  SegmentedIndexStats stats;
+  std::shared_ptr<const SegmentList> sealed;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    sealed = sealed_.load();
+    stats.mutable_items = mutable_->size();
+  }
+  stats.num_sealed = sealed->size();
+  for (const auto& segment : *sealed) stats.sealed_items += segment->size();
+  stats.seals = seals_.load();
+  return stats;
+}
+
+}  // namespace agoraeo::index

@@ -1,0 +1,159 @@
+#ifndef AGORAEO_INDEX_SEGMENTED_INDEX_H_
+#define AGORAEO_INDEX_SEGMENTED_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "index/hamming_index.h"
+
+namespace agoraeo::index {
+
+/// Observability counters of one SegmentedHammingIndex.
+struct SegmentedIndexStats {
+  size_t num_sealed = 0;     ///< sealed (immutable) segments
+  size_t sealed_items = 0;   ///< items across sealed segments
+  size_t mutable_items = 0;  ///< items in the mutable segment
+  uint64_t seals = 0;        ///< lifetime seal (rotate) count
+};
+
+/// Memtable-style segment structure over any HammingIndex kind: one
+/// small MUTABLE segment absorbs Add/BatchAdd while a list of SEALED
+/// immutable segments serves the bulk of every read lock-free.
+///
+/// Concurrency protocol (the whole point of the structure):
+///   - The sealed-segment list lives behind an atomic shared_ptr.
+///     Readers pin it with one atomic load and scan the sealed segments
+///     with NO lock — sealed segments are never mutated again, so the
+///     pinned view stays valid however long the scan takes and however
+///     many seals happen meanwhile.
+///   - Only the mutable segment is guarded by a shared_mutex: writers
+///     take it exclusively for the duration of one (small) segment's
+///     Add, readers take it shared just long enough to query the small
+///     mutable tail and load the sealed list — the list load happens
+///     under the same lock the sealer swaps under, so a reader's view
+///     (sealed ∪ mutable) never misses or double-counts an item that a
+///     concurrent seal is moving between the two.
+///   - Seal (rotate) freezes the mutable segment: under the exclusive
+///     lock it is appended to a copy of the sealed list, the copy is
+///     atomically published, and a fresh empty mutable segment is
+///     installed.  O(segments) pointer copies; no data moves.
+///
+/// Reads gather across segments exactly like the sharded index gathers
+/// across shards — per-segment (distance, id)-sorted lists merged by
+/// MergeHitLists — so results are byte-identical to one flat index over
+/// the same items.  `seal_threshold` of 0 never auto-seals: everything
+/// stays in the mutable segment and the structure degenerates to the
+/// plain locked index it replaced (the pre-segment behaviour).
+class SegmentedHammingIndex : public HammingIndex {
+ public:
+  using SegmentFactory = std::function<std::unique_ptr<HammingIndex>()>;
+
+  /// `factory` builds each segment (all of one kind); the mutable
+  /// segment seals automatically when it reaches `seal_threshold` items
+  /// (0 = only on explicit Seal()).
+  explicit SegmentedHammingIndex(SegmentFactory factory,
+                                 size_t seal_threshold = 0);
+
+  Status Add(ItemId id, const BinaryCode& code) override;
+  /// Adds the whole batch under ONE exclusive-lock acquisition (readers
+  /// see none or all of it), sealing at every threshold crossing.
+  /// `pool` is ignored: segment fills are inherently sequential; the
+  /// partition layer above parallelises across shards.
+  Status BatchAdd(const std::vector<ItemId>& ids,
+                  const std::vector<BinaryCode>& codes,
+                  ThreadPool* pool = nullptr) override;
+
+  std::vector<SearchResult> RadiusSearch(
+      const BinaryCode& query, uint32_t radius,
+      SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> KnnSearch(
+      const BinaryCode& query, size_t k,
+      SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> RadiusSearchIn(
+      const BinaryCode& query, uint32_t radius, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const override;
+  std::vector<SearchResult> KnnSearchIn(
+      const BinaryCode& query, size_t k, const CandidateSet& allowed,
+      SearchStats* stats = nullptr) const override;
+
+  std::vector<std::vector<SearchResult>> BatchRadiusSearch(
+      const std::vector<BinaryCode>& queries, uint32_t radius,
+      ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const override;
+  std::vector<std::vector<SearchResult>> BatchKnnSearch(
+      const std::vector<BinaryCode>& queries, size_t k,
+      ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const override;
+  std::vector<std::vector<SearchResult>> BatchRadiusSearchIn(
+      const std::vector<BinaryCode>& queries, uint32_t radius,
+      const CandidateSet& allowed, ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const override;
+  std::vector<std::vector<SearchResult>> BatchKnnSearchIn(
+      const std::vector<BinaryCode>& queries, size_t k,
+      const CandidateSet& allowed, ThreadPool* pool = nullptr,
+      std::vector<SearchStats>* stats = nullptr) const override;
+
+  size_t size() const override;
+  /// Transparent: the wrapped kind's name, so observability strings
+  /// ("sharded(LinearScan, 4)") are independent of segmentation.
+  std::string Name() const override { return base_name_; }
+
+  /// Seals (rotates) the mutable segment now — a no-op when it is
+  /// empty.  Used by on-demand snapshots so the snapshot boundary
+  /// coincides with a segment boundary.
+  Status Seal();
+
+  size_t seal_threshold() const { return seal_threshold_; }
+  SegmentedIndexStats Stats() const;
+
+ private:
+  using SegmentList = std::vector<std::shared_ptr<const HammingIndex>>;
+
+  /// Same cross-segment code-length anchor as the sharded layer: a
+  /// fresh mutable segment would otherwise accept a length the sealed
+  /// segments reject.
+  Status CheckCodeLength(const BinaryCode& code);
+
+  /// Rotates under an already-held exclusive lock.
+  void SealLocked();
+
+  /// The shared read protocol: runs `query_segment` against the mutable
+  /// segment under the shared lock (pinning the sealed list in the same
+  /// critical section), then against every sealed segment lock-free,
+  /// and merges the per-segment lists with MergeHitLists(k).
+  std::vector<SearchResult> GatherSegments(
+      size_t k, SearchStats* stats,
+      const std::function<std::vector<SearchResult>(const HammingIndex&,
+                                                    SearchStats*)>&
+          query_segment) const;
+
+  /// Batch flavour of GatherSegments: `run_segment` produces one
+  /// segment's full per-query result matrix; slots are merged across
+  /// segments at the gather point.
+  std::vector<std::vector<SearchResult>> GatherSegmentsBatch(
+      size_t num_queries, size_t k, std::vector<SearchStats>* stats,
+      const std::function<std::vector<std::vector<SearchResult>>(
+          const HammingIndex&, std::vector<SearchStats>*)>& run_segment) const;
+
+  SegmentFactory factory_;
+  size_t seal_threshold_;
+  std::string base_name_;
+
+  /// Guards mutable_ (and orders sealed-list swaps against readers'
+  /// list loads).  Sealed-segment scans happen OUTSIDE this lock.
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<HammingIndex> mutable_;
+  std::atomic<std::shared_ptr<const SegmentList>> sealed_;
+
+  std::atomic<size_t> code_bits_{0};
+  std::atomic<uint64_t> seals_{0};
+};
+
+}  // namespace agoraeo::index
+
+#endif  // AGORAEO_INDEX_SEGMENTED_INDEX_H_

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 
 #include "common/thread_pool.h"
 
@@ -34,13 +33,14 @@ void AccumulateStats(const SearchStats& shard, SearchStats* total) {
 }  // namespace
 
 ShardedHammingIndex::ShardedHammingIndex(size_t num_shards,
-                                         const ShardFactory& factory) {
+                                         const ShardFactory& factory,
+                                         size_t seal_threshold)
+    : seal_threshold_(seal_threshold) {
   num_shards = std::max<size_t>(1, num_shards);
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    auto shard = std::make_unique<Shard>();
-    shard->index = factory();
-    shards_.push_back(std::move(shard));
+    shards_.push_back(
+        std::make_unique<SegmentedHammingIndex>(factory, seal_threshold));
   }
 }
 
@@ -67,9 +67,7 @@ Status ShardedHammingIndex::CheckCodeLength(const BinaryCode& code) {
 
 Status ShardedHammingIndex::Add(ItemId id, const BinaryCode& code) {
   AGORAEO_RETURN_IF_ERROR(CheckCodeLength(code));
-  Shard& shard = *shards_[ShardOf(id, shards_.size())];
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
-  return shard.index->Add(id, code);
+  return shards_[ShardOf(id, shards_.size())]->Add(id, code);
 }
 
 Status ShardedHammingIndex::BatchAdd(const std::vector<ItemId>& ids,
@@ -85,23 +83,18 @@ Status ShardedHammingIndex::BatchAdd(const std::vector<ItemId>& ids,
   }
   // Partition the batch by routing, then ingest every shard's slice in
   // parallel — each slice touches one shard only, so one task per shard
-  // is race-free by construction (plus the shard lock for concurrent
-  // readers).
-  std::vector<std::vector<size_t>> slots_by_shard(shards_.size());
+  // is race-free by construction (the shard's own segment locking
+  // covers concurrent readers).
+  std::vector<std::vector<ItemId>> ids_by_shard(shards_.size());
+  std::vector<std::vector<BinaryCode>> codes_by_shard(shards_.size());
   for (size_t i = 0; i < ids.size(); ++i) {
-    slots_by_shard[ShardOf(ids[i], shards_.size())].push_back(i);
+    const size_t s = ShardOf(ids[i], shards_.size());
+    ids_by_shard[s].push_back(ids[i]);
+    codes_by_shard[s].push_back(codes[i]);
   }
   std::vector<Status> statuses(shards_.size(), Status::OK());
   ForEachShard(pool, [&](size_t s) {
-    Shard& shard = *shards_[s];
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
-    for (size_t slot : slots_by_shard[s]) {
-      Status added = shard.index->Add(ids[slot], codes[slot]);
-      if (!added.ok()) {
-        statuses[s] = std::move(added);
-        return;
-      }
-    }
+    statuses[s] = shards_[s]->BatchAdd(ids_by_shard[s], codes_by_shard[s]);
   });
   for (const Status& status : statuses) {
     if (!status.ok()) return status;
@@ -133,43 +126,19 @@ void ShardedHammingIndex::ForEachShard(
   }
 }
 
-std::vector<SearchResult> ShardedHammingIndex::MergeShardHits(
-    std::vector<std::vector<SearchResult>>* per_shard, size_t k) {
-  // Shards hold disjoint ids and return (distance, id)-sorted lists, so
-  // a pairwise merge reproduces the canonical unsharded order exactly.
-  std::vector<SearchResult> merged;
-  for (std::vector<SearchResult>& hits : *per_shard) {
-    if (hits.empty()) continue;
-    if (merged.empty()) {
-      merged = std::move(hits);
-      continue;
-    }
-    std::vector<SearchResult> next;
-    next.reserve(merged.size() + hits.size());
-    std::merge(merged.begin(), merged.end(), hits.begin(), hits.end(),
-               std::back_inserter(next), ResultLess);
-    merged = std::move(next);
-  }
-  // The k-NN gather point: every shard overfetched its own top-k; the
-  // global top-k is the head of the merged order.
-  if (k != 0 && merged.size() > k) merged.resize(k);
-  return merged;
-}
-
 std::vector<SearchResult> ShardedHammingIndex::RadiusSearch(
     const BinaryCode& query, uint32_t radius, SearchStats* stats) const {
   single_fanouts_.fetch_add(1);
   if (stats != nullptr) *stats = SearchStats{};
   std::vector<std::vector<SearchResult>> per_shard(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
     SearchStats shard_stats;
-    per_shard[s] = shards_[s]->index->RadiusSearch(
+    per_shard[s] = shards_[s]->RadiusSearch(
         query, radius, stats != nullptr ? &shard_stats : nullptr);
     if (stats != nullptr) AccumulateStats(shard_stats, stats);
   }
   const uint64_t merge_begin = NowNanos();
-  std::vector<SearchResult> out = MergeShardHits(&per_shard, 0);
+  std::vector<SearchResult> out = MergeHitLists(&per_shard, 0);
   merge_nanos_.fetch_add(NowNanos() - merge_begin);
   if (stats != nullptr) stats->results = out.size();
   return out;
@@ -181,14 +150,13 @@ std::vector<SearchResult> ShardedHammingIndex::KnnSearch(
   if (stats != nullptr) *stats = SearchStats{};
   std::vector<std::vector<SearchResult>> per_shard(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
     SearchStats shard_stats;
-    per_shard[s] = shards_[s]->index->KnnSearch(
+    per_shard[s] = shards_[s]->KnnSearch(
         query, k, stats != nullptr ? &shard_stats : nullptr);
     if (stats != nullptr) AccumulateStats(shard_stats, stats);
   }
   const uint64_t merge_begin = NowNanos();
-  std::vector<SearchResult> out = MergeShardHits(&per_shard, k);
+  std::vector<SearchResult> out = MergeHitLists(&per_shard, k);
   merge_nanos_.fetch_add(NowNanos() - merge_begin);
   if (stats != nullptr) stats->results = out.size();
   return out;
@@ -203,14 +171,13 @@ std::vector<SearchResult> ShardedHammingIndex::RadiusSearchIn(
   std::vector<std::vector<SearchResult>> per_shard(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (split[s].empty()) continue;  // no allowed id routes here
-    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
     SearchStats shard_stats;
-    per_shard[s] = shards_[s]->index->RadiusSearchIn(
+    per_shard[s] = shards_[s]->RadiusSearchIn(
         query, radius, split[s], stats != nullptr ? &shard_stats : nullptr);
     if (stats != nullptr) AccumulateStats(shard_stats, stats);
   }
   const uint64_t merge_begin = NowNanos();
-  std::vector<SearchResult> out = MergeShardHits(&per_shard, 0);
+  std::vector<SearchResult> out = MergeHitLists(&per_shard, 0);
   merge_nanos_.fetch_add(NowNanos() - merge_begin);
   if (stats != nullptr) stats->results = out.size();
   return out;
@@ -225,14 +192,13 @@ std::vector<SearchResult> ShardedHammingIndex::KnnSearchIn(
   std::vector<std::vector<SearchResult>> per_shard(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (split[s].empty()) continue;
-    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
     SearchStats shard_stats;
-    per_shard[s] = shards_[s]->index->KnnSearchIn(
+    per_shard[s] = shards_[s]->KnnSearchIn(
         query, k, split[s], stats != nullptr ? &shard_stats : nullptr);
     if (stats != nullptr) AccumulateStats(shard_stats, stats);
   }
   const uint64_t merge_begin = NowNanos();
-  std::vector<SearchResult> out = MergeShardHits(&per_shard, k);
+  std::vector<SearchResult> out = MergeHitLists(&per_shard, k);
   merge_nanos_.fetch_add(NowNanos() - merge_begin);
   if (stats != nullptr) stats->results = out.size();
   return out;
@@ -255,7 +221,6 @@ std::vector<std::vector<SearchResult>> ShardedHammingIndex::ScatterGatherBatch(
   std::vector<std::vector<SearchStats>> per_shard_stats(
       stats != nullptr ? shards_.size() : 0);
   ForEachShard(pool, [&](size_t s) {
-    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
     per_shard[s] =
         run_shard(s, stats != nullptr ? &per_shard_stats[s] : nullptr);
   });
@@ -272,7 +237,7 @@ std::vector<std::vector<SearchResult>> ShardedHammingIndex::ScatterGatherBatch(
         AccumulateStats(per_shard_stats[s][i], &(*stats)[i]);
       }
     }
-    out[i] = MergeShardHits(&slot, k);
+    out[i] = MergeHitLists(&slot, k);
     if (stats != nullptr) (*stats)[i].results = out[i].size();
   }
   merge_nanos_.fetch_add(NowNanos() - merge_begin);
@@ -285,8 +250,8 @@ std::vector<std::vector<SearchResult>> ShardedHammingIndex::BatchRadiusSearch(
   return ScatterGatherBatch(
       queries.size(), 0, pool, stats,
       [&](size_t s, std::vector<SearchStats>* shard_stats) {
-        return shards_[s]->index->BatchRadiusSearch(queries, radius, nullptr,
-                                                    shard_stats);
+        return shards_[s]->BatchRadiusSearch(queries, radius, nullptr,
+                                             shard_stats);
       });
 }
 
@@ -296,8 +261,7 @@ std::vector<std::vector<SearchResult>> ShardedHammingIndex::BatchKnnSearch(
   return ScatterGatherBatch(
       queries.size(), k, pool, stats,
       [&](size_t s, std::vector<SearchStats>* shard_stats) {
-        return shards_[s]->index->BatchKnnSearch(queries, k, nullptr,
-                                                 shard_stats);
+        return shards_[s]->BatchKnnSearch(queries, k, nullptr, shard_stats);
       });
 }
 
@@ -320,8 +284,8 @@ std::vector<std::vector<SearchResult>> ShardedHammingIndex::BatchRadiusSearchIn(
           }
           return std::vector<std::vector<SearchResult>>(queries.size());
         }
-        return shards_[s]->index->BatchRadiusSearchIn(
-            queries, radius, (*split)[s], nullptr, shard_stats);
+        return shards_[s]->BatchRadiusSearchIn(queries, radius, (*split)[s],
+                                               nullptr, shard_stats);
       });
 }
 
@@ -342,32 +306,41 @@ std::vector<std::vector<SearchResult>> ShardedHammingIndex::BatchKnnSearchIn(
           }
           return std::vector<std::vector<SearchResult>>(queries.size());
         }
-        return shards_[s]->index->BatchKnnSearchIn(queries, k, (*split)[s],
-                                                   nullptr, shard_stats);
+        return shards_[s]->BatchKnnSearchIn(queries, k, (*split)[s], nullptr,
+                                            shard_stats);
       });
 }
 
 size_t ShardedHammingIndex::size() const {
   size_t total = 0;
-  for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
-    total += shard->index->size();
-  }
+  for (const auto& shard : shards_) total += shard->size();
   return total;
 }
 
 std::string ShardedHammingIndex::Name() const {
-  return "sharded(" + shards_.front()->index->Name() + ", " +
+  return "sharded(" + shards_.front()->Name() + ", " +
          std::to_string(shards_.size()) + ")";
+}
+
+Status ShardedHammingIndex::SealAll() {
+  for (const auto& shard : shards_) {
+    AGORAEO_RETURN_IF_ERROR(shard->Seal());
+  }
+  return Status::OK();
 }
 
 ShardedIndexStats ShardedHammingIndex::Stats() const {
   ShardedIndexStats stats;
   stats.num_shards = shards_.size();
   stats.shard_sizes.reserve(shards_.size());
+  stats.shard_segments.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
-    stats.shard_sizes.push_back(shard->index->size());
+    const SegmentedIndexStats seg = shard->Stats();
+    stats.shard_sizes.push_back(seg.sealed_items + seg.mutable_items);
+    stats.shard_segments.push_back(seg.num_sealed);
+    stats.seals += seg.seals;
+    stats.sealed_items += seg.sealed_items;
+    stats.mutable_items += seg.mutable_items;
   }
   stats.single_fanouts = single_fanouts_.load();
   stats.batch_fanouts = batch_fanouts_.load();

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "index/hamming_index.h"
+#include "index/segmented_index.h"
 
 namespace agoraeo::index {
 
@@ -18,16 +18,20 @@ namespace agoraeo::index {
 /// over the index lifetime.
 struct ShardedIndexStats {
   size_t num_shards = 0;
-  std::vector<size_t> shard_sizes;   ///< items per shard (routing balance)
-  uint64_t single_fanouts = 0;       ///< single-query scatter–gather passes
-  uint64_t batch_fanouts = 0;        ///< batched passes fanned across shards
-  uint64_t fanout_tasks = 0;         ///< per-shard tasks those batches issued
-  uint64_t merge_nanos = 0;          ///< time spent gathering/merging results
+  std::vector<size_t> shard_sizes;     ///< items per shard (routing balance)
+  std::vector<size_t> shard_segments;  ///< sealed segments per shard
+  uint64_t seals = 0;                  ///< seal (rotate) events across shards
+  uint64_t sealed_items = 0;           ///< items served lock-free from sealed segments
+  uint64_t mutable_items = 0;          ///< items still in mutable segments
+  uint64_t single_fanouts = 0;         ///< single-query scatter–gather passes
+  uint64_t batch_fanouts = 0;          ///< batched passes fanned across shards
+  uint64_t fanout_tasks = 0;           ///< per-shard tasks those batches issued
+  uint64_t merge_nanos = 0;            ///< time spent gathering/merging results
 };
 
 /// The partition layer of the index stack: wraps N independent
-/// HammingIndex instances (any of the four kinds, built by a factory)
-/// into one hash-partitioned index.
+/// segment-structured indexes (any of the four kinds, built by a
+/// factory) into one hash-partitioned index.
 ///
 /// Routing is id-stable: shard(id) = mix64(id) % N, so an item lives on
 /// exactly one shard for the index lifetime and candidate allowlists can
@@ -42,20 +46,26 @@ struct ShardedIndexStats {
 ///     shard only tests membership against ids it can actually hold.
 ///   - Batch* flavours: ONE task per shard per batch — each task runs
 ///     the whole query batch against its shard (sequentially, so there
-///     is no nested parallelism), which is what lets the execution
+///     is no nested sharding) — which is what lets the execution
 ///     engine's fused micro-batches use multiple cores inside a single
 ///     index pass.  A null pool degrades to a sequential shard loop.
 ///
-/// Concurrency: each shard carries a shared_mutex — Add/BatchAdd take
-/// the shard's exclusive lock, searches its shared lock — so concurrent
-/// ingest and queries are safe at this layer even though the wrapped
-/// index kinds are not themselves synchronised.
+/// Concurrency: each shard IS a SegmentedHammingIndex, which owns the
+/// synchronisation — sealed segments are read with no lock at all
+/// (readers pin the segment list via an atomic shared_ptr), and only
+/// the small mutable segment takes a shared_mutex.  This layer holds no
+/// locks of its own; the per-shard shared_mutex that used to serialise
+/// every read against ingest is gone from the read hot path.
 class ShardedHammingIndex : public HammingIndex {
  public:
   using ShardFactory = std::function<std::unique_ptr<HammingIndex>()>;
 
-  /// Builds `num_shards` empty shards via `factory` (0 is clamped to 1).
-  ShardedHammingIndex(size_t num_shards, const ShardFactory& factory);
+  /// Builds `num_shards` empty segment-structured shards over `factory`
+  /// (0 is clamped to 1).  `seal_threshold` is each shard's mutable-
+  /// segment seal point (0 = never auto-seal: one mutable segment per
+  /// shard, the exact pre-segment behaviour).
+  ShardedHammingIndex(size_t num_shards, const ShardFactory& factory,
+                      size_t seal_threshold = 0);
 
   /// The id-stable routing function (exposed so tests and allowlist
   /// splitting agree with the index by construction).
@@ -99,15 +109,18 @@ class ShardedHammingIndex : public HammingIndex {
   size_t size() const override;
   std::string Name() const override;
 
+  /// Seals (rotates) every shard's mutable segment — the on-demand
+  /// snapshot path calls this so snapshot boundaries coincide with
+  /// segment boundaries.
+  Status SealAll();
+
   size_t num_shards() const { return shards_.size(); }
+  size_t seal_threshold() const { return seal_threshold_; }
+  /// Direct access to one shard's segment structure (tests, stats).
+  const SegmentedHammingIndex& shard(size_t s) const { return *shards_[s]; }
   ShardedIndexStats Stats() const;
 
  private:
-  struct Shard {
-    mutable std::shared_mutex mu;
-    std::unique_ptr<HammingIndex> index;
-  };
-
   /// Enforces the one-code-length contract ACROSS shards: without this
   /// a mismatched code could land on a still-empty shard and be
   /// accepted, which a monolithic index would reject.
@@ -122,12 +135,6 @@ class ShardedHammingIndex : public HammingIndex {
   void ForEachShard(ThreadPool* pool,
                     const std::function<void(size_t)>& task) const;
 
-  /// Gathers one query slot: merges per-shard (distance, id)-sorted hit
-  /// lists; `k` of 0 keeps everything, otherwise truncates to the k
-  /// best (the k-NN overfetch merge).
-  static std::vector<SearchResult> MergeShardHits(
-      std::vector<std::vector<SearchResult>>* per_shard, size_t k);
-
   /// The shared scatter–gather core of the four Batch* overrides:
   /// `run_shard(s)` produces shard s's full per-query result matrix
   /// (and per-query stats when `stats` is non-null).
@@ -137,7 +144,8 @@ class ShardedHammingIndex : public HammingIndex {
       const std::function<std::vector<std::vector<SearchResult>>(
           size_t, std::vector<SearchStats>*)>& run_shard) const;
 
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<SegmentedHammingIndex>> shards_;
+  size_t seal_threshold_ = 0;
   /// Code length every shard must agree on; 0 until the first accepted
   /// code anchors it.
   std::atomic<size_t> code_bits_{0};

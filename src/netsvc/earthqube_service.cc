@@ -455,6 +455,9 @@ void EarthQubeService::RegisterRoutes(HttpServer* server) {
   server->Route("GET", "/api/v2/index/stats", [this](const HttpRequest&) {
     return HandleIndexStats();
   });
+  server->Route("POST", "/api/v2/index/snapshot", [this](const HttpRequest&) {
+    return HandleIndexSnapshot();
+  });
   server->Route("GET", "/api/patch/*", [this](const HttpRequest& request) {
     return HandlePatchMetadata(request);
   });
@@ -543,8 +546,68 @@ HttpResponse EarthQubeService::HandleIndexStats() const {
               Value(static_cast<int64_t>(stats.batch_fanouts)));
       out.Set("fanout_tasks", Value(static_cast<int64_t>(stats.fanout_tasks)));
       out.Set("merge_nanos", Value(static_cast<int64_t>(stats.merge_nanos)));
+      // Segment structure inside the shards: how much of the data is
+      // served lock-free (sealed) vs behind the mutable-segment lock.
+      std::vector<Value> segments;
+      segments.reserve(stats.shard_segments.size());
+      for (size_t n : stats.shard_segments) {
+        segments.emplace_back(static_cast<int64_t>(n));
+      }
+      out.Set("shard_segments", Value(std::move(segments)));
+      out.Set("seals", Value(static_cast<int64_t>(stats.seals)));
+      out.Set("sealed_items", Value(static_cast<int64_t>(stats.sealed_items)));
+      out.Set("mutable_items",
+              Value(static_cast<int64_t>(stats.mutable_items)));
+    } else if (const index::SegmentedHammingIndex* segmented =
+                   cbir->segmented_index();
+               segmented != nullptr) {
+      const index::SegmentedIndexStats seg = segmented->Stats();
+      out.Set("num_segments", Value(static_cast<int64_t>(seg.num_sealed)));
+      out.Set("seals", Value(static_cast<int64_t>(seg.seals)));
+      out.Set("sealed_items", Value(static_cast<int64_t>(seg.sealed_items)));
+      out.Set("mutable_items",
+              Value(static_cast<int64_t>(seg.mutable_items)));
     }
+    // Persistence: snapshot/WAL state of the durable index (all zeros
+    // when the service runs in-memory only).
+    const earthqube::CbirPersistenceStats& p = cbir->persistence_stats();
+    Document persistence;
+    persistence.Set("enabled", Value(p.enabled));
+    persistence.Set("recovered", Value(p.recovered));
+    persistence.Set("restored_items",
+                    Value(static_cast<int64_t>(p.restored_items)));
+    persistence.Set("replayed_items",
+                    Value(static_cast<int64_t>(p.replayed_items)));
+    persistence.Set("discarded_snapshots",
+                    Value(static_cast<int64_t>(p.discarded_snapshots)));
+    persistence.Set("wal_records", Value(static_cast<int64_t>(p.wal_records)));
+    persistence.Set("snapshots_written",
+                    Value(static_cast<int64_t>(p.snapshots_written)));
+    out.Set("persistence", Value(std::move(persistence)));
   }
+  return HttpResponse::Json(200, json::Serialize(out));
+}
+
+HttpResponse EarthQubeService::HandleIndexSnapshot() {
+  earthqube::CbirService* cbir = system_->cbir();
+  if (cbir == nullptr) {
+    return HttpResponse::Json(409, "{\"error\":\"no CBIR service attached\"}");
+  }
+  const Status status = cbir->Snapshot();
+  if (!status.ok()) {
+    if (status.IsFailedPrecondition()) {
+      return HttpResponse::Json(
+          409, "{\"error\":\"" + std::string(status.message()) + "\"}");
+    }
+    return HttpResponse::Json(
+        500, "{\"error\":\"" + std::string(status.message()) + "\"}");
+  }
+  const earthqube::CbirPersistenceStats& p = cbir->persistence_stats();
+  Document out;
+  out.Set("snapshotted", Value(true));
+  out.Set("num_indexed", Value(static_cast<int64_t>(cbir->num_indexed())));
+  out.Set("snapshots_written",
+          Value(static_cast<int64_t>(p.snapshots_written)));
   return HttpResponse::Json(200, json::Serialize(out));
 }
 

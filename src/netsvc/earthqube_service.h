@@ -120,6 +120,7 @@ class EarthQubeService {
                      HttpServer::Responder responder) const;
   HttpResponse HandleCacheStats() const;
   HttpResponse HandleIndexStats() const;
+  HttpResponse HandleIndexSnapshot();
   void HandleSearch(const HttpRequest& request,
                     HttpServer::Responder responder) const;
   void HandleSimilarByName(const HttpRequest& request,

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <set>
 #include <memory>
 #include <thread>
@@ -1110,6 +1111,89 @@ TEST(ShardedServiceTest, IndexStatsEndpointReportsPartitions) {
   ASSERT_TRUE(body->Get("merge_nanos")->is_int64());
 
   server.Stop();
+}
+
+/// Snapshot endpoint: 409 without a durable CBIR service, 200 with one
+/// (checkpoint written, WAL reset), and the stats endpoint reports the
+/// segment + persistence state.
+TEST(PersistentServiceTest, SnapshotEndpointAndPersistenceStats) {
+  const std::string dir = "/tmp/agoraeo_netsvc_persist_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  bigearthnet::ArchiveConfig config;
+  config.num_patches = 80;
+  config.seed = 92;
+  bigearthnet::ArchiveGenerator generator(config);
+  auto archive = generator.Generate();
+  ASSERT_TRUE(archive.ok());
+
+  earthqube::EarthQube system;
+  ASSERT_TRUE(system.IngestArchive(*archive).ok());
+  bigearthnet::FeatureExtractor extractor;
+  Tensor features = extractor.ExtractArchive(*archive, generator, 2);
+  milan::MilanConfig mconfig;
+  mconfig.feature_dim = bigearthnet::kFeatureDim;
+  mconfig.hidden1 = 32;
+  mconfig.hidden2 = 16;
+  mconfig.hash_bits = 32;
+  mconfig.dropout = 0.0f;
+  earthqube::CbirConfig cbir_config;
+  cbir_config.index_kind = earthqube::CbirIndexKind::kHashTable;
+  cbir_config.num_shards = 4;
+  cbir_config.snapshot_dir = dir;
+  cbir_config.seal_threshold = 16;
+  auto cbir = std::make_unique<earthqube::CbirService>(
+      std::make_unique<milan::MilanModel>(mconfig), &extractor, cbir_config);
+  ASSERT_TRUE(system.RecoverAndAttachCbir(std::move(cbir)).ok());
+  std::vector<std::string> names;
+  for (const auto& p : archive->patches) names.push_back(p.name);
+  ASSERT_TRUE(system.cbir()->AddImages(names, features).ok());
+
+  EarthQubeService service(&system);
+  HttpServer server(2);
+  service.RegisterRoutes(&server);
+  ASSERT_TRUE(server.Start(0).ok());
+  HttpClient client;
+
+  auto snap = client.Post(server.port(), "/api/v2/index/snapshot", "{}");
+  ASSERT_TRUE(snap.ok());
+  ASSERT_EQ(snap->status_code, 200) << snap->body;
+  auto snap_body = json::ParseObject(snap->body);
+  ASSERT_TRUE(snap_body.ok()) << snap->body;
+  EXPECT_TRUE(snap_body->Get("snapshotted")->as_bool());
+  EXPECT_EQ(snap_body->Get("num_indexed")->as_int64(), 80);
+  EXPECT_GE(snap_body->Get("snapshots_written")->as_int64(), 4);
+  EXPECT_EQ(std::filesystem::file_size(dir + "/index.wal"), 0u);
+
+  auto resp = client.Get(server.port(), "/api/v2/index/stats");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200) << resp->body;
+  auto body = json::ParseObject(resp->body);
+  ASSERT_TRUE(body.ok()) << resp->body;
+  EXPECT_TRUE(body->Get("sharded")->as_bool());
+  const Value* segments = body->Get("shard_segments");
+  ASSERT_TRUE(segments != nullptr && segments->is_array());
+  ASSERT_EQ(segments->as_array().size(), 4u);
+  EXPECT_GE(body->Get("seals")->as_int64(), 1);
+  // Post-snapshot, everything lives in sealed segments.
+  EXPECT_EQ(body->Get("mutable_items")->as_int64(), 0);
+  EXPECT_EQ(body->Get("sealed_items")->as_int64(), 80);
+  const Value* persistence = body->Get("persistence");
+  ASSERT_TRUE(persistence != nullptr && persistence->is_document());
+  const Document& pdoc = persistence->as_document();
+  EXPECT_TRUE(pdoc.Get("enabled")->as_bool());
+  EXPECT_TRUE(pdoc.Get("recovered")->as_bool());
+  EXPECT_GE(pdoc.Get("wal_records")->as_int64(), 1);
+  EXPECT_GE(pdoc.Get("snapshots_written")->as_int64(), 4);
+  server.Stop();
+}
+
+TEST_F(ServiceTest, SnapshotEndpointWithoutDurableServiceIs409) {
+  HttpClient client;
+  auto resp = client.Post(server_->port(), "/api/v2/index/snapshot", "{}");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status_code, 409) << resp->body;
 }
 
 /// The v2 query route is deferred: HTTP workers park connections on the
