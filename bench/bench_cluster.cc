@@ -1,0 +1,228 @@
+/// Experiment E16 — cost and scaling of the slot-sharded cluster tier.
+///
+/// Three questions, one suite:
+///   1. Fan-out overhead: a 1-node cluster answers the same query as a
+///      monolithic deployment but pays coordinator parse + re-serialise
+///      + one loopback hop + merge.  Mono vs cluster/1 is that price.
+///   2. Scatter width: cluster/2 and cluster/3 split the archive over
+///      more nodes; per-node work shrinks while the coordinator merge
+///      grows with the union size.  For cheap queries the fan-out
+///      dominates; the cluster pays off only when per-node index work
+///      is the bottleneck.
+///   3. Closed-loop throughput: 4 client threads hammering a Zipfian
+///      query mix, items/s across 1/2/3 nodes — the multi-node win the
+///      slot tier exists for.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "cluster/cluster_node.h"
+#include "cluster/coordinator.h"
+#include "cluster/slot_table.h"
+#include "common/random.h"
+#include "earthqube/cbir_service.h"
+#include "netsvc/client.h"
+#include "netsvc/earthqube_service.h"
+#include "netsvc/server.h"
+
+namespace agoraeo::bench {
+namespace {
+
+constexpr size_t kArchive = 10000;
+constexpr size_t kBits = 64;
+constexpr size_t kNumSlots = 256;
+
+/// An untrained model: every benchmark here ingests PRECOMPUTED codes
+/// (ClusteredCodes), so the model never runs — index and transport cost
+/// is what is measured, exactly like the pure data-structure benches.
+std::unique_ptr<earthqube::CbirService> MakeCbir(
+    const ArchiveFixture& fixture) {
+  milan::MilanConfig config;
+  config.feature_dim = bigearthnet::kFeatureDim;
+  config.hidden1 = 32;
+  config.hidden2 = 32;
+  config.hash_bits = kBits;
+  return std::make_unique<earthqube::CbirService>(
+      std::make_unique<milan::MilanModel>(config), &fixture.extractor);
+}
+
+const std::vector<BinaryCode>& GetCodes(const ArchiveFixture& fixture) {
+  static auto* codes =
+      new std::vector<BinaryCode>(ClusteredCodes(fixture, kBits));
+  return *codes;
+}
+
+/// Monolithic reference: one system, one HTTP service.
+struct MonoRig {
+  std::unique_ptr<earthqube::EarthQube> system;
+  std::unique_ptr<netsvc::EarthQubeService> service;
+  netsvc::HttpServer server{4};
+  uint16_t port = 0;
+};
+
+MonoRig* GetMono() {
+  static MonoRig* rig = [] {
+    const ArchiveFixture& fixture = GetArchive(kArchive);
+    auto* r = new MonoRig();
+    r->system = std::make_unique<earthqube::EarthQube>();
+    r->system->AttachCbir(MakeCbir(fixture));
+    if (!r->system->IngestArchiveWithCodes(fixture.archive, GetCodes(fixture))
+             .ok()) {
+      std::abort();
+    }
+    r->service = std::make_unique<netsvc::EarthQubeService>(r->system.get());
+    r->service->RegisterRoutes(&r->server);
+    if (!r->server.Start(0).ok()) std::abort();
+    r->port = r->server.port();
+    return r;
+  }();
+  return rig;
+}
+
+/// An n-node cluster behind a coordinator front door.
+struct ClusterRig {
+  std::vector<std::unique_ptr<earthqube::EarthQube>> systems;
+  std::vector<std::unique_ptr<cluster::ClusterNode>> nodes;
+  std::unique_ptr<cluster::Coordinator> coordinator;
+  netsvc::HttpServer server{4};
+  uint16_t port = 0;
+};
+
+ClusterRig* GetCluster(size_t num_nodes) {
+  static auto* rigs = new std::map<size_t, ClusterRig*>();
+  auto it = rigs->find(num_nodes);
+  if (it != rigs->end()) return it->second;
+  const ArchiveFixture& fixture = GetArchive(kArchive);
+  auto* rig = new ClusterRig();
+  std::vector<cluster::NodeAddress> addresses;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    rig->systems.push_back(std::make_unique<earthqube::EarthQube>());
+    rig->systems.back()->AttachCbir(MakeCbir(fixture));
+    cluster::ClusterNode::Options options;
+    options.id = "n" + std::to_string(i + 1);
+    rig->nodes.push_back(std::make_unique<cluster::ClusterNode>(
+        rig->systems.back().get(), options));
+    if (!rig->nodes.back()->Start(0).ok()) std::abort();
+    addresses.push_back(rig->nodes.back()->address());
+  }
+  const cluster::SlotTable table(addresses, kNumSlots);
+  for (auto& node : rig->nodes) node->SetTable(table);
+  rig->coordinator = std::make_unique<cluster::Coordinator>();
+  rig->coordinator->AttachTable(table);
+  if (!rig->coordinator->IngestArchive(fixture.archive, GetCodes(fixture))
+           .ok()) {
+    std::abort();
+  }
+  rig->coordinator->RegisterRoutes(&rig->server);
+  if (!rig->server.Start(0).ok()) std::abort();
+  rig->port = rig->server.port();
+  (*rigs)[num_nodes] = rig;
+  return rig;
+}
+
+const char* kPanelQuery =
+    R"({"panel":{"labels":{"operator":"some","names":["Airports",)"
+    R"("Water bodies"]},"limit":50}})";
+
+std::string KnnQuery(const BinaryCode& code, size_t k) {
+  return R"({"similarity":{"code":")" + code.ToBitString() + R"(","k":)" +
+         std::to_string(k) + "}}";
+}
+
+/// Zipf-ish subject pick: rank r with weight 1/(r+1); cheap inverse
+/// sampling over a small head so hot subjects repeat like real users.
+size_t ZipfIndex(Rng* rng, size_t n) {
+  const double u = rng->UniformDouble();
+  const size_t head = std::min<size_t>(64, n);
+  double total = 0;
+  for (size_t r = 0; r < head; ++r) total += 1.0 / static_cast<double>(r + 1);
+  double acc = 0;
+  for (size_t r = 0; r < head; ++r) {
+    acc += 1.0 / static_cast<double>(r + 1) / total;
+    if (u < acc) return r * (n / head);
+  }
+  return n - 1;
+}
+
+void PostOrAbort(const netsvc::HttpClient& client, uint16_t port,
+                 const std::string& body, benchmark::State& state) {
+  auto response = client.Post(port, "/api/v2/query", body);
+  if (!response.ok() || response->status_code != 200) {
+    state.SkipWithError("query failed");
+    return;
+  }
+  benchmark::DoNotOptimize(response->body.size());
+}
+
+void BM_MonoPanelHttp(benchmark::State& state) {
+  MonoRig* rig = GetMono();
+  netsvc::HttpClient client;
+  for (auto _ : state) PostOrAbort(client, rig->port, kPanelQuery, state);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonoPanelHttp);
+
+void BM_ClusterPanelHttp(benchmark::State& state) {
+  ClusterRig* rig = GetCluster(static_cast<size_t>(state.range(0)));
+  netsvc::HttpClient client;
+  for (auto _ : state) PostOrAbort(client, rig->port, kPanelQuery, state);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClusterPanelHttp)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_MonoKnnHttp(benchmark::State& state) {
+  MonoRig* rig = GetMono();
+  const ArchiveFixture& fixture = GetArchive(kArchive);
+  netsvc::HttpClient client;
+  Rng rng(11 + static_cast<uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    const auto& code = GetCodes(fixture)[ZipfIndex(&rng, kArchive)];
+    PostOrAbort(client, rig->port, KnnQuery(code, 50), state);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonoKnnHttp);
+
+void BM_ClusterKnnHttp(benchmark::State& state) {
+  ClusterRig* rig = GetCluster(static_cast<size_t>(state.range(0)));
+  const ArchiveFixture& fixture = GetArchive(kArchive);
+  netsvc::HttpClient client;
+  Rng rng(11 + static_cast<uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    const auto& code = GetCodes(fixture)[ZipfIndex(&rng, kArchive)];
+    PostOrAbort(client, rig->port, KnnQuery(code, 50), state);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClusterKnnHttp)->Arg(1)->Arg(2)->Arg(3);
+
+/// Closed loop: 4 concurrent clients, Zipfian k-NN mix, scaling across
+/// cluster widths.  items/s is the headline number.
+void BM_ClusterClosedLoop(benchmark::State& state) {
+  ClusterRig* rig = GetCluster(static_cast<size_t>(state.range(0)));
+  const ArchiveFixture& fixture = GetArchive(kArchive);
+  netsvc::HttpClient client;
+  Rng rng(101 + static_cast<uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    const auto& code = GetCodes(fixture)[ZipfIndex(&rng, kArchive)];
+    if (rng.UniformDouble() < 0.3) {
+      PostOrAbort(client, rig->port, kPanelQuery, state);
+    } else {
+      PostOrAbort(client, rig->port, KnnQuery(code, 50), state);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClusterClosedLoop)->Arg(1)->Arg(2)->Arg(3)->Threads(4)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace agoraeo::bench
+
+int main(int argc, char** argv) {
+  return agoraeo::bench::RunBenchmarksWithJson("cluster", argc, argv);
+}

@@ -1,0 +1,182 @@
+/// Cluster mode end to end: three slot-sharded nodes on localhost, a
+/// coordinator fanning one query tier over them, and a live slot
+/// migration while the cluster keeps answering.
+///
+///   1. boot three ClusterNodes (full EarthQube stack each) on
+///      ephemeral loopback ports and install an even slot table,
+///   2. route a 3000-patch archive through the coordinator — each patch
+///      lands on its slot owner only,
+///   3. fan out panel, k-NN and hybrid queries and print the merged
+///      answers (identical to a monolithic deployment),
+///   4. migrate one slot from node 1 to node 3 live, show the MOVED
+///      redirect a stale client sees, and query again.
+///
+/// Build & run:  ./build/examples/cluster_demo
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bigearthnet/archive_generator.h"
+#include "bigearthnet/feature_extractor.h"
+#include "cluster/cluster_node.h"
+#include "cluster/coordinator.h"
+#include "cluster/slot_table.h"
+#include "common/logging.h"
+#include "earthqube/cbir_service.h"
+#include "earthqube/earthqube.h"
+#include "json/json.h"
+#include "milan/trainer.h"
+#include "netsvc/client.h"
+
+using namespace agoraeo;
+
+namespace {
+
+/// Prints the first rows of a /api/v2/query response body.
+void PrintAnswer(const char* title, const std::string& body) {
+  auto doc = json::ParseObject(body);
+  if (!doc.ok()) return;
+  std::printf("-- %s: total=%lld\n", title,
+              static_cast<long long>(doc->Get("total")->as_int64()));
+  const auto& results = doc->Get("results")->as_array();
+  for (size_t i = 0; i < results.size() && i < 3; ++i) {
+    const docstore::Document& row = results[i].as_document();
+    const docstore::Value* distance = row.Get("distance");
+    if (distance != nullptr) {
+      std::printf("     %s  (distance %lld)\n",
+                  row.Get("name")->as_string().c_str(),
+                  static_cast<long long>(distance->as_int64()));
+    } else {
+      std::printf("     %s\n", row.Get("name")->as_string().c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kInfo);
+
+  // --- archive + trained model (shared by all nodes) -----------------------
+  std::printf("== generating archive and training MiLaN\n");
+  bigearthnet::ArchiveConfig aconfig;
+  aconfig.num_patches = 3000;
+  aconfig.seed = 19;
+  bigearthnet::ArchiveGenerator generator(aconfig);
+  auto archive = generator.Generate();
+  if (!archive.ok()) return 1;
+  bigearthnet::FeatureExtractor extractor;
+  Tensor features = extractor.ExtractArchive(*archive, generator, 4);
+  milan::MilanConfig mconfig;
+  mconfig.feature_dim = bigearthnet::kFeatureDim;
+  mconfig.hidden1 = 64;
+  mconfig.hidden2 = 32;
+  mconfig.hash_bits = 64;
+  mconfig.dropout = 0.0f;
+  std::vector<bigearthnet::LabelSet> labels;
+  for (const auto& p : archive->patches) labels.push_back(p.labels);
+  milan::TripletSampler sampler(labels);
+  milan::TrainConfig tconfig;
+  tconfig.epochs = 2;
+  tconfig.batches_per_epoch = 12;
+  tconfig.batch_size = 16;
+
+  // Codes are computed ONCE; cluster nodes ingest precomputed codes and
+  // never run the model themselves.
+  auto reference = std::make_unique<milan::MilanModel>(mconfig);
+  milan::Trainer trainer(reference.get(), &features, &sampler, tconfig);
+  if (!trainer.Train().ok()) return 1;
+  std::vector<BinaryCode> codes = reference->HashBatch(features);
+  std::vector<std::string> names;
+  for (const auto& patch : archive->patches) names.push_back(patch.name);
+
+  // --- three nodes, one slot table -----------------------------------------
+  std::printf("== booting 3 cluster nodes on localhost\n");
+  std::vector<std::unique_ptr<earthqube::EarthQube>> systems;
+  std::vector<std::unique_ptr<cluster::ClusterNode>> nodes;
+  std::vector<cluster::NodeAddress> addresses;
+  for (int i = 0; i < 3; ++i) {
+    systems.push_back(std::make_unique<earthqube::EarthQube>());
+    // Each node gets its own (untrained) model shell: only the code
+    // index matters for serving, and codes arrive precomputed.
+    systems.back()->AttachCbir(std::make_unique<earthqube::CbirService>(
+        std::make_unique<milan::MilanModel>(mconfig), &extractor));
+    cluster::ClusterNode::Options options;
+    options.id = "node-" + std::to_string(i + 1);
+    nodes.push_back(std::make_unique<cluster::ClusterNode>(
+        systems.back().get(), options));
+    if (!nodes.back()->Start(0).ok()) return 1;
+    addresses.push_back(nodes.back()->address());
+    std::printf("   %s listening on %s:%d\n", addresses.back().id.c_str(),
+                addresses.back().host.c_str(), addresses.back().port);
+  }
+  const cluster::SlotTable table(addresses, cluster::kDefaultNumSlots);
+  for (auto& node : nodes) node->SetTable(table);
+
+  // --- routed ingest --------------------------------------------------------
+  std::printf("== routing %zu patches through the coordinator\n",
+              archive->patches.size());
+  cluster::Coordinator coordinator;
+  coordinator.AttachTable(table);
+  if (!coordinator.IngestArchive(*archive, codes).ok()) return 1;
+  for (int i = 0; i < 3; ++i) {
+    std::printf("   %s holds %zu patches over %zu slots\n",
+                nodes[i]->id().c_str(), systems[i]->num_images(),
+                nodes[i]->owned_slot_count());
+  }
+
+  // --- fan-out queries ------------------------------------------------------
+  std::printf("== fan-out queries (merged across all 3 nodes)\n");
+  auto panel = coordinator.Query(
+      R"({"panel":{"labels":{"operator":"some","names":["Airports",)"
+      R"("Water bodies"]},"limit":40},"projection":"full"})");
+  if (!panel.ok()) return 1;
+  PrintAnswer("panel: airports|water", *panel);
+
+  const std::string subject = names[17];
+  auto knn = coordinator.Query(R"({"similarity":{"name":")" + subject +
+                               R"(","k":8},"projection":"full"})");
+  if (!knn.ok()) return 1;
+  PrintAnswer(("8-NN of " + subject).c_str(), *knn);
+
+  auto hybrid = coordinator.Query(
+      R"({"panel":{"seasons":["summer"]},"similarity":{"name":")" + subject +
+      R"(","radius":12},"projection":"full"})");
+  if (!hybrid.ok()) return 1;
+  PrintAnswer("hybrid: summer within radius 12", *hybrid);
+
+  // --- live migration -------------------------------------------------------
+  const size_t slot = cluster::SlotOf(subject, table.num_slots());
+  const cluster::NodeAddress* owner = table.OwnerOfSlot(slot);
+  cluster::ClusterNode* source = nullptr;
+  for (auto& node : nodes) {
+    if (node->id() == owner->id) source = node.get();
+  }
+  if (source == nullptr) return 1;
+  const std::string target = owner->id == "node-3" ? "node-1" : "node-3";
+  std::printf("== migrating slot %zu (%s's) from %s to %s\n", slot,
+              subject.c_str(), owner->id.c_str(), target.c_str());
+  if (!source->MigrateSlot(slot, target).ok()) return 1;
+  std::printf("   source epoch now %llu, tombstoned slots: %zu\n",
+              static_cast<unsigned long long>(source->epoch()),
+              source->tombstoned_slots().size());
+
+  // A stale client asking the OLD owner sees a MOVED redirect envelope.
+  netsvc::HttpClient client;
+  auto stale = client.Post(source->port(), "/api/v2/query",
+                           R"({"similarity":{"name":")" + subject +
+                               R"(","k":8}})");
+  if (stale.ok() && stale->status_code == 308) {
+    std::printf("   stale client got 308: %s\n", stale->body.c_str());
+  }
+
+  // The coordinator chases the epoch bump and keeps answering.
+  auto after = coordinator.Query(R"({"similarity":{"name":")" + subject +
+                                 R"(","k":8},"projection":"full"})");
+  if (!after.ok()) return 1;
+  PrintAnswer("same 8-NN after migration", *after);
+
+  std::printf("== done\n");
+  for (auto& node : nodes) node->Stop();
+  return 0;
+}

@@ -1,0 +1,494 @@
+#include "cluster/cluster_node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "bigearthnet/archive_generator.h"
+#include "common/logging.h"
+#include "earthqube/statistics.h"
+#include "json/json.h"
+#include "netsvc/http.h"
+
+namespace agoraeo::cluster {
+
+using docstore::Document;
+using docstore::Value;
+using earthqube::QueryRequest;
+using earthqube::QueryResponse;
+using netsvc::EarthQubeService;
+using netsvc::HttpRequest;
+using netsvc::HttpResponse;
+
+namespace {
+
+HttpResponse FromStatus(const Status& status) {
+  if (status.IsNotFound()) return HttpResponse::NotFound(status.message());
+  if (status.IsInvalidArgument()) {
+    return HttpResponse::BadRequest(status.message());
+  }
+  return HttpResponse::InternalError(status.message());
+}
+
+}  // namespace
+
+ClusterNode::ClusterNode(earthqube::EarthQube* system, Options options)
+    : system_(system),
+      options_(std::move(options)),
+      server_(std::make_unique<netsvc::HttpServer>(options_.num_workers)),
+      service_(system) {}
+
+ClusterNode::~ClusterNode() { Stop(); }
+
+Status ClusterNode::Start(uint16_t port) {
+  service_.set_node_info_provider([this] {
+    EarthQubeService::NodeInfo info;
+    info.id = options_.id;
+    info.owned_slots = owned_slot_count();
+    info.cluster_epoch = epoch();
+    return info;
+  });
+  service_.RegisterRoutes(server_.get(), /*include_query_route=*/false);
+  server_->Route("POST", "/api/v2/query", [this](const HttpRequest& request) {
+    return HandleQuery(request);
+  });
+  server_->Route("GET", "/api/v2/cluster/slots",
+                 [this](const HttpRequest&) { return HandleSlots(); });
+  server_->Route("POST", "/api/v2/cluster/migrate",
+                 [this](const HttpRequest& request) {
+                   return HandleMigrate(request);
+                 });
+  server_->Route("POST", "/api/v2/cluster/import",
+                 [this](const HttpRequest& request) {
+                   return HandleImport(request);
+                 });
+  server_->Route("POST", "/api/v2/cluster/ingest",
+                 [this](const HttpRequest& request) {
+                   return HandleIngest(request);
+                 });
+  server_->Route("GET", "/api/v2/cluster/code/*",
+                 [this](const HttpRequest& request) {
+                   return HandleCode(request);
+                 });
+  return server_->Start(port);
+}
+
+void ClusterNode::Stop() { server_->Stop(); }
+
+void ClusterNode::SetTable(const SlotTable& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table.epoch() >= table_.epoch()) table_ = table;
+}
+
+NodeAddress ClusterNode::address() const {
+  return {options_.id, options_.host, static_cast<int>(server_->port())};
+}
+
+uint64_t ClusterNode::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.epoch();
+}
+
+SlotTable ClusterNode::table() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_;
+}
+
+size_t ClusterNode::owned_slot_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.CountOwnedBy(options_.id);
+}
+
+std::vector<size_t> ClusterNode::tombstoned_slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {tombstones_.begin(), tombstones_.end()};
+}
+
+HttpResponse ClusterNode::Stamp(HttpResponse response) const {
+  response.headers["x-cluster-epoch"] = std::to_string(epoch());
+  return response;
+}
+
+std::optional<HttpResponse> ClusterNode::MovedResponse(size_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const NodeAddress* owner = table_.OwnerOfSlot(slot);
+  if (owner == nullptr || owner->id == options_.id) return std::nullopt;
+  HttpResponse response = HttpResponse::Json(
+      308, json::Serialize(MovedBody(slot, *owner, table_.epoch())));
+  response.reason = netsvc::ReasonPhrase(308);
+  return response;
+}
+
+void ClusterNode::FilterTombstoned(const std::set<size_t>& tombstones,
+                                   QueryResponse* response) const {
+  const size_t num_slots = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.num_slots();
+  }();
+  if (num_slots == 0) return;
+  const auto keep = [&](const std::string& name) {
+    return tombstones.count(SlotOf(name, num_slots)) == 0;
+  };
+  if (response->projection == earthqube::Projection::kHitsOnly) {
+    std::vector<earthqube::CbirResult> hits;
+    hits.reserve(response->hits.size());
+    for (earthqube::CbirResult& hit : response->hits) {
+      if (keep(hit.patch_name)) hits.push_back(std::move(hit));
+    }
+    response->hits = std::move(hits);
+  } else {
+    const auto& entries = response->panel.entries();
+    const bool aligned = response->hits.size() == entries.size();
+    std::vector<earthqube::ResultEntry> kept;
+    std::vector<earthqube::CbirResult> kept_hits;
+    std::vector<bigearthnet::LabelSet> label_sets;
+    kept.reserve(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (!keep(entries[i].name)) continue;
+      label_sets.push_back(entries[i].labels);
+      kept.push_back(entries[i]);
+      if (aligned) kept_hits.push_back(response->hits[i]);
+    }
+    response->panel = earthqube::ResultPanel(std::move(kept));
+    if (aligned) response->hits = std::move(kept_hits);
+    response->statistics =
+        earthqube::LabelStatistics::FromLabelSets(label_sets);
+  }
+  // The dropped rows change the page math; redo the cursor the way the
+  // executor's FinishPaging does.
+  response->cursor.clear();
+  if (response->page_size > 0 &&
+      (response->page + 1) * response->page_size < response->total()) {
+    response->cursor = earthqube::EncodeCursor(
+        {response->page + 1, response->page_size});
+  }
+}
+
+HttpResponse ClusterNode::ExecuteOne(const QueryRequest& request) const {
+  // By-name similarity subjects are slot-addressed: answering one for a
+  // slot this node does not serve would silently miss the subject, so
+  // redirect instead (the MOVED of the slot protocol).
+  if (request.similarity.has_value() &&
+      request.similarity->archive_name.has_value()) {
+    size_t slot = 0;
+    bool addressed_here = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (table_.num_slots() > 0) {
+        slot = SlotOf(*request.similarity->archive_name, table_.num_slots());
+        const NodeAddress* owner = table_.OwnerOfSlot(slot);
+        addressed_here = owner != nullptr && owner->id == options_.id &&
+                         tombstones_.count(slot) == 0;
+      }
+    }
+    if (!addressed_here) {
+      if (auto moved = MovedResponse(slot)) return *std::move(moved);
+      return HttpResponse::Error(409, "conflict",
+                                 "slot " + std::to_string(slot) +
+                                     " is not served here and has no known "
+                                     "owner");
+    }
+  }
+
+  StatusOr<QueryResponse> response = [&] {
+    std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+    return system_->Execute(request);
+  }();
+  if (!response.ok()) return FromStatus(response.status());
+
+  const std::set<size_t> tombstones = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tombstones_;
+  }();
+  if (!tombstones.empty()) FilterTombstoned(tombstones, &*response);
+  return HttpResponse::Json(
+      200, EarthQubeService::QueryResponseToJson(*response));
+}
+
+HttpResponse ClusterNode::HandleQuery(const HttpRequest& request) const {
+  auto body = json::ParseObject(request.body.empty() ? "{}" : request.body);
+  if (!body.ok()) {
+    return Stamp(HttpResponse::BadRequest(body.status().message()));
+  }
+  if (const Value* batch = body->Get("requests"); batch != nullptr) {
+    if (!batch->is_array() || batch->as_array().empty()) {
+      return Stamp(
+          HttpResponse::BadRequest("requests must be a non-empty array"));
+    }
+    if (batch->as_array().size() > EarthQubeService::kMaxBatchQueries) {
+      return Stamp(HttpResponse::BadRequest(
+          "batch too large: at most " +
+          std::to_string(EarthQubeService::kMaxBatchQueries) +
+          " requests per submission"));
+    }
+    std::string out = "{\"batch_size\":" +
+                      std::to_string(batch->as_array().size()) +
+                      ",\"responses\":[";
+    bool first = true;
+    for (const Value& entry : batch->as_array()) {
+      if (!entry.is_document()) {
+        return Stamp(
+            HttpResponse::BadRequest("requests entries must be objects"));
+      }
+      auto parsed = EarthQubeService::QueryRequestFromJson(entry.as_document());
+      if (!parsed.ok()) return Stamp(FromStatus(parsed.status()));
+      HttpResponse one = ExecuteOne(*parsed);
+      // Mirrors the monolithic batch contract: the first failing slot
+      // (including a redirect) fails the whole submission.
+      if (one.status_code != 200) return Stamp(std::move(one));
+      if (!first) out += ",";
+      first = false;
+      out += one.body;
+    }
+    out += "]}";
+    return Stamp(HttpResponse::Json(200, std::move(out)));
+  }
+  auto parsed = EarthQubeService::QueryRequestFromJson(*body);
+  if (!parsed.ok()) return Stamp(FromStatus(parsed.status()));
+  return Stamp(ExecuteOne(*parsed));
+}
+
+HttpResponse ClusterNode::HandleSlots() const {
+  return Stamp(HttpResponse::Json(200, json::Serialize([this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.ToJson();
+  }())));
+}
+
+HttpResponse ClusterNode::HandleMigrate(const HttpRequest& request) {
+  auto body = json::ParseObject(request.body.empty() ? "{}" : request.body);
+  if (!body.ok()) {
+    return Stamp(HttpResponse::BadRequest(body.status().message()));
+  }
+  const Value* slot = body->Get("slot");
+  const Value* target = body->Get("target");
+  if (slot == nullptr || !slot->is_int64() || slot->as_int64() < 0 ||
+      target == nullptr || !target->is_string()) {
+    return Stamp(HttpResponse::BadRequest(
+        "migrate needs {\"slot\": <int>, \"target\": \"<node id>\"}"));
+  }
+  const Status migrated = MigrateSlot(static_cast<size_t>(slot->as_int64()),
+                                      target->as_string());
+  if (!migrated.ok()) {
+    if (migrated.IsFailedPrecondition()) {
+      return Stamp(HttpResponse::Error(409, "conflict", migrated.message()));
+    }
+    return Stamp(FromStatus(migrated));
+  }
+  Document out;
+  out.Set("migrated", Value(true));
+  out.Set("slot", Value(slot->as_int64()));
+  out.Set("epoch", Value(static_cast<int64_t>(epoch())));
+  return Stamp(HttpResponse::Json(200, json::Serialize(out)));
+}
+
+Status ClusterNode::MigrateSlot(size_t slot, const std::string& target_id) {
+  NodeAddress target;
+  uint64_t next_epoch = 0;
+  size_t num_slots = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slot >= table_.num_slots()) {
+      return Status::InvalidArgument("slot out of range: " +
+                                     std::to_string(slot));
+    }
+    const NodeAddress* owner = table_.OwnerOfSlot(slot);
+    if (owner == nullptr || owner->id != options_.id ||
+        tombstones_.count(slot) != 0) {
+      return Status::FailedPrecondition(
+          "this node does not own slot " + std::to_string(slot));
+    }
+    const NodeAddress* peer = table_.NodeById(target_id);
+    if (peer == nullptr) {
+      return Status::NotFound("unknown migration target: " + target_id);
+    }
+    if (peer->id == options_.id) {
+      return Status::InvalidArgument("cannot migrate a slot to its owner");
+    }
+    if (migrating_) {
+      return Status::FailedPrecondition("a migration is already running");
+    }
+    migrating_ = true;
+    target = *peer;
+    next_epoch = table_.epoch() + 1;
+    num_slots = table_.num_slots();
+  }
+  // From here every exit must clear migrating_.
+  const earthqube::CbirService* cbir = system_->cbir();
+  Status result = Status::OK();
+  if (cbir == nullptr) {
+    result = Status::FailedPrecondition("no CBIR service attached");
+  } else {
+    SlotPayload payload;
+    payload.slot = slot;
+    payload.epoch = next_epoch;
+    {
+      std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+      for (const std::string& name : cbir->indexed_names()) {
+        if (SlotOf(name, num_slots) != slot) continue;
+        auto code = cbir->CodeOf(name);
+        auto meta = system_->GetMetadata(name);
+        if (!code.ok() || !meta.ok()) {
+          result = Status::Internal("slot item lookup failed for " + name);
+          break;
+        }
+        payload.names.push_back(name);
+        payload.codes.push_back(*std::move(code));
+        payload.metadata.push_back(*std::move(meta));
+      }
+    }
+    if (result.ok()) {
+      auto body = SlotPayloadToJson(payload);
+      if (!body.ok()) {
+        result = body.status();
+      } else {
+        netsvc::HttpClient client(target.host, options_.client_options);
+        auto imported = client.Post(target.port, "/api/v2/cluster/import",
+                                    json::Serialize(*body));
+        if (!imported.ok()) {
+          result = imported.status();
+        } else if (imported->status_code != 200) {
+          result = Status::Internal("import refused by " + target.id + ": " +
+                                    imported->body);
+        }
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  migrating_ = false;
+  if (!result.ok()) return result;
+  // Commit: the target confirmed it holds the slot; flip ownership,
+  // version the topology, and stop serving the local copy.
+  AGORAEO_RETURN_IF_ERROR(table_.AssignSlot(slot, target.id));
+  table_.set_epoch(std::max(next_epoch, table_.epoch() + 1));
+  tombstones_.insert(slot);
+  AGORAEO_LOG(kInfo) << "cluster node " << options_.id << " migrated slot "
+                     << slot << " to " << target.id << " (epoch "
+                     << table_.epoch() << ")";
+  return Status::OK();
+}
+
+HttpResponse ClusterNode::HandleImport(const HttpRequest& request) {
+  auto body = json::ParseObject(request.body.empty() ? "{}" : request.body);
+  if (!body.ok()) {
+    return Stamp(HttpResponse::BadRequest(body.status().message()));
+  }
+  auto payload = ParseSlotPayload(*body);
+  if (!payload.ok()) {
+    return Stamp(HttpResponse::BadRequest(payload.status().message()));
+  }
+  bigearthnet::Archive archive;
+  archive.patches = std::move(payload->metadata);
+  const Status ingested = [&] {
+    std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+    return system_->IngestArchiveWithCodes(archive, payload->codes);
+  }();
+  if (!ingested.ok()) return Stamp(FromStatus(ingested));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (table_.NodeById(options_.id) != nullptr) {
+      // Adopt ownership immediately: from this moment both ends answer
+      // queries for the slot (the forwarding window) until the source
+      // commits its side and tombstones.
+      (void)table_.AssignSlot(payload->slot, options_.id);
+      table_.set_epoch(std::max(table_.epoch(), payload->epoch));
+      tombstones_.erase(payload->slot);
+    }
+  }
+  Document out;
+  out.Set("imported", Value(static_cast<int64_t>(payload->names.size())));
+  out.Set("slot", Value(static_cast<int64_t>(payload->slot)));
+  return Stamp(HttpResponse::Json(200, json::Serialize(out)));
+}
+
+HttpResponse ClusterNode::HandleIngest(const HttpRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (migrating_) {
+      return HttpResponse::Error(
+          503, "unavailable",
+          "ingest refused: a slot migration is in progress");
+    }
+  }
+  auto body = json::ParseObject(request.body.empty() ? "{}" : request.body);
+  if (!body.ok()) {
+    return Stamp(HttpResponse::BadRequest(body.status().message()));
+  }
+  auto payload = ParseSlotPayload(*body);
+  if (!payload.ok()) {
+    return Stamp(HttpResponse::BadRequest(payload.status().message()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (table_.num_slots() > 0) {
+      for (const std::string& name : payload->names) {
+        const size_t slot = SlotOf(name, table_.num_slots());
+        const NodeAddress* owner = table_.OwnerOfSlot(slot);
+        if (owner == nullptr || owner->id != options_.id ||
+            tombstones_.count(slot) != 0) {
+          if (owner != nullptr && owner->id != options_.id) {
+            return Stamp(HttpResponse::Json(
+                308,
+                json::Serialize(MovedBody(slot, *owner, table_.epoch()))));
+          }
+          return Stamp(HttpResponse::Error(
+              409, "conflict",
+              "name " + name + " routes to slot " + std::to_string(slot) +
+                  ", which this node does not accept"));
+        }
+      }
+    }
+  }
+  bigearthnet::Archive archive;
+  archive.patches = std::move(payload->metadata);
+  const Status ingested = [&] {
+    std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+    return system_->IngestArchiveWithCodes(archive, payload->codes);
+  }();
+  if (!ingested.ok()) return Stamp(FromStatus(ingested));
+  Document out;
+  out.Set("ingested", Value(static_cast<int64_t>(payload->names.size())));
+  return Stamp(HttpResponse::Json(200, json::Serialize(out)));
+}
+
+HttpResponse ClusterNode::HandleCode(const HttpRequest& request) const {
+  const std::string prefix = "/api/v2/cluster/code/";
+  auto name = netsvc::UrlDecode(request.path.substr(prefix.size()));
+  if (!name.ok()) {
+    return Stamp(HttpResponse::BadRequest(name.status().message()));
+  }
+  size_t slot = 0;
+  bool addressed_here = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (table_.num_slots() > 0) {
+      slot = SlotOf(*name, table_.num_slots());
+      const NodeAddress* owner = table_.OwnerOfSlot(slot);
+      addressed_here = owner != nullptr && owner->id == options_.id &&
+                       tombstones_.count(slot) == 0;
+    }
+  }
+  if (!addressed_here) {
+    if (auto moved = MovedResponse(slot)) return *std::move(moved);
+    return Stamp(HttpResponse::Error(
+        409, "conflict",
+        "slot " + std::to_string(slot) + " has no known owner"));
+  }
+  const earthqube::CbirService* cbir = system_->cbir();
+  if (cbir == nullptr) {
+    return Stamp(
+        HttpResponse::Error(409, "conflict", "no CBIR service attached"));
+  }
+  auto code = [&] {
+    std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+    return cbir->CodeOf(*name);
+  }();
+  if (!code.ok()) {
+    return Stamp(HttpResponse::NotFound("no such indexed image: " + *name));
+  }
+  Document out;
+  out.Set("name", Value(*name));
+  out.Set("code", Value(code->ToBitString()));
+  return Stamp(HttpResponse::Json(200, json::Serialize(out)));
+}
+
+}  // namespace agoraeo::cluster

@@ -1,0 +1,480 @@
+#include "cluster/coordinator.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "earthqube/statistics.h"
+#include "json/json.h"
+#include "netsvc/earthqube_service.h"
+#include "netsvc/http.h"
+
+namespace agoraeo::cluster {
+
+using docstore::Document;
+using docstore::Value;
+using earthqube::QueryRequest;
+using earthqube::QueryResponse;
+using netsvc::EarthQubeService;
+using netsvc::HttpResponse;
+
+namespace {
+
+HttpResponse FromStatus(const Status& status) {
+  if (status.IsNotFound()) return HttpResponse::NotFound(status.message());
+  if (status.IsInvalidArgument()) {
+    return HttpResponse::BadRequest(status.message());
+  }
+  if (status.IsFailedPrecondition()) {
+    return HttpResponse::Error(409, "conflict", std::string(status.message()));
+  }
+  return HttpResponse::InternalError(status.message());
+}
+
+/// Unknown names (data that bypassed this coordinator) sort after every
+/// routed name, deterministically by name.
+constexpr uint64_t kUnknownSeq = std::numeric_limits<uint64_t>::max();
+
+}  // namespace
+
+void Coordinator::AttachTable(const SlotTable& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table.epoch() >= table_.epoch()) table_ = table;
+}
+
+Status Coordinator::RefreshTopology(const NodeAddress& seed) {
+  netsvc::HttpClient client(seed.host, options_.client_options);
+  AGORAEO_ASSIGN_OR_RETURN(
+      const HttpResponse response,
+      client.Get(static_cast<uint16_t>(seed.port), "/api/v2/cluster/slots"));
+  if (response.status_code != 200) {
+    return Status::Internal("slot table fetch from " + seed.id +
+                            " answered " +
+                            std::to_string(response.status_code));
+  }
+  AGORAEO_ASSIGN_OR_RETURN(const Document doc,
+                           json::ParseObject(response.body));
+  AGORAEO_ASSIGN_OR_RETURN(const SlotTable table, SlotTable::FromJson(doc));
+  AttachTable(table);
+  return Status::OK();
+}
+
+SlotTable Coordinator::table() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_;
+}
+
+uint64_t Coordinator::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.epoch();
+}
+
+uint64_t Coordinator::SeqOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = seq_.find(name);
+  return it == seq_.end() ? kUnknownSeq : it->second;
+}
+
+StatusOr<HttpResponse> Coordinator::PostNode(const NodeAddress& node,
+                                             const std::string& target,
+                                             const std::string& body) {
+  netsvc::HttpClient client(node.host, options_.client_options);
+  return client.Post(static_cast<uint16_t>(node.port), target, body);
+}
+
+void Coordinator::ObserveEpoch(const NodeAddress& node,
+                               const HttpResponse& response) {
+  const auto it = response.headers.find("x-cluster-epoch");
+  if (it == response.headers.end()) return;
+  uint64_t advertised = 0;
+  try {
+    advertised = std::stoull(it->second);
+  } catch (...) {
+    return;
+  }
+  if (advertised > epoch()) {
+    // Best effort: a failed refresh leaves the stale table in place and
+    // the next MOVED answer will try again.
+    (void)RefreshTopology(node);
+  }
+}
+
+Status Coordinator::IngestArchive(const bigearthnet::Archive& archive,
+                                  const std::vector<BinaryCode>& codes) {
+  if (codes.size() != archive.patches.size()) {
+    return Status::InvalidArgument("codes length mismatch with patches");
+  }
+  SlotTable snapshot = table();
+  if (snapshot.num_nodes() == 0) {
+    return Status::FailedPrecondition("no cluster topology attached");
+  }
+  // Global ingest order is assigned HERE, before any routing: the
+  // sequence numbers are what later makes merged results reproduce the
+  // monolithic ingest order.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& meta : archive.patches) {
+      if (seq_.count(meta.name) == 0) seq_[meta.name] = next_seq_++;
+    }
+  }
+
+  // One group of patch indices per owner node, archive order preserved.
+  const auto route = [&](const std::vector<size_t>& items, int depth,
+                         const auto& self) -> Status {
+    std::vector<std::pair<NodeAddress, std::vector<size_t>>> groups;
+    for (size_t i : items) {
+      const NodeAddress* owner = snapshot.OwnerOfName(archive.patches[i].name);
+      if (owner == nullptr) {
+        return Status::FailedPrecondition(
+            "no owner for " + archive.patches[i].name);
+      }
+      auto group = std::find_if(
+          groups.begin(), groups.end(),
+          [&](const auto& g) { return g.first.id == owner->id; });
+      if (group == groups.end()) {
+        groups.push_back({*owner, {}});
+        group = groups.end() - 1;
+      }
+      group->second.push_back(i);
+    }
+    for (const auto& [node, indices] : groups) {
+      SlotPayload payload;
+      payload.slot = 0;  // routed ingest spans slots; field unused here
+      payload.epoch = snapshot.epoch();
+      for (size_t i : indices) {
+        payload.names.push_back(archive.patches[i].name);
+        payload.codes.push_back(codes[i]);
+        payload.metadata.push_back(archive.patches[i]);
+      }
+      AGORAEO_ASSIGN_OR_RETURN(const Document body,
+                               SlotPayloadToJson(payload));
+      AGORAEO_ASSIGN_OR_RETURN(
+          const HttpResponse response,
+          PostNode(node, "/api/v2/cluster/ingest", json::Serialize(body)));
+      ObserveEpoch(node, response);
+      if (response.status_code == 308) {
+        if (depth >= 1) {
+          return Status::Internal(
+              "ingest redirect loop: node " + node.id +
+              " still answers MOVED after a topology refresh");
+        }
+        redirects_followed_.fetch_add(1, std::memory_order_relaxed);
+        // The redirecting node holds a newer table than ours; adopt it
+        // and re-route just this group once.
+        AGORAEO_RETURN_IF_ERROR(RefreshTopology(node));
+        snapshot = table();
+        AGORAEO_RETURN_IF_ERROR(self(indices, depth + 1, self));
+        continue;
+      }
+      if (response.status_code != 200) {
+        return Status::Internal("ingest refused by " + node.id + ": " +
+                                response.body);
+      }
+    }
+    return Status::OK();
+  };
+
+  std::vector<size_t> all(archive.patches.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return route(all, 0, route);
+}
+
+StatusOr<BinaryCode> Coordinator::ResolveSubjectCode(const std::string& name) {
+  const SlotTable snapshot = table();
+  const NodeAddress* owner = snapshot.OwnerOfName(name);
+  if (owner == nullptr) {
+    return Status::FailedPrecondition("no owner for subject " + name);
+  }
+  NodeAddress target = *owner;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    netsvc::HttpClient client(target.host, options_.client_options);
+    AGORAEO_ASSIGN_OR_RETURN(
+        const HttpResponse response,
+        client.Get(static_cast<uint16_t>(target.port),
+                   "/api/v2/cluster/code/" + netsvc::UrlEncode(name)));
+    ObserveEpoch(target, response);
+    if (response.status_code == 200) {
+      AGORAEO_ASSIGN_OR_RETURN(const Document doc,
+                               json::ParseObject(response.body));
+      const Value* code = doc.Get("code");
+      if (code == nullptr || !code->is_string() || code->as_string().empty()) {
+        return Status::Internal("malformed code response from " + target.id);
+      }
+      return BinaryCode::FromBitString(code->as_string());
+    }
+    if (response.status_code == 404) {
+      return Status::NotFound("no such archive image: " + name);
+    }
+    if (response.status_code == 308) {
+      // Follow exactly one MOVED; a second redirect means the topology
+      // is churning faster than we can chase, so fail rather than loop.
+      if (attempt == 1) break;
+      AGORAEO_ASSIGN_OR_RETURN(const Document doc,
+                               json::ParseObject(response.body));
+      AGORAEO_ASSIGN_OR_RETURN(const MovedInfo moved, ParseMovedBody(doc));
+      redirects_followed_.fetch_add(1, std::memory_order_relaxed);
+      target = moved.owner;
+      continue;
+    }
+    return Status::Internal("code lookup at " + target.id + " answered " +
+                            std::to_string(response.status_code) + ": " +
+                            response.body);
+  }
+  return Status::Internal("subject " + name +
+                          " still MOVED after following one redirect");
+}
+
+StatusOr<QueryResponse> Coordinator::ExecuteFanout(QueryRequest request) {
+  const SlotTable snapshot = table();
+  if (snapshot.num_nodes() == 0) {
+    return Status::FailedPrecondition("no cluster topology attached");
+  }
+
+  const bool has_sim = request.similarity.has_value();
+  const bool has_panel = request.panel.has_value();
+  const size_t page = request.page;
+  const size_t page_size = request.page_size;
+
+  // Rewrite for fan-out: unpaged, uncapped — every global limit is
+  // re-applied after the merge, where "first N" means something.
+  std::string exclude;
+  std::optional<size_t> cap;
+  if (has_sim) {
+    earthqube::SimilaritySpec& spec = *request.similarity;
+    if (spec.patch.has_value()) {
+      return Status::InvalidArgument(
+          "uploaded-patch subjects are not routable; submit a code");
+    }
+    if (spec.archive_name.has_value()) {
+      exclude = *spec.archive_name;
+      AGORAEO_ASSIGN_OR_RETURN(BinaryCode code, ResolveSubjectCode(exclude));
+      spec.code = std::move(code);
+      spec.archive_name.reset();
+      // The subject occupies one rank on its owner node; ask for one
+      // more so dropping it cannot starve the global top-k.
+      if (spec.k.has_value()) *spec.k += 1;
+    }
+    if (spec.k.has_value()) {
+      cap = *spec.k - (exclude.empty() ? 0 : 1);
+    } else if (spec.limit > 0) {
+      cap = spec.limit;
+    }
+    spec.limit = 0;
+  } else if (has_panel && request.panel->limit > 0) {
+    cap = request.panel->limit;
+  }
+  if (has_panel) request.panel->limit = 0;
+  request.page = 0;
+  request.page_size = 0;
+
+  // Scatter: every node holds some of the slots, so every node is
+  // asked.  One thread per peer — the win the cluster exists for.
+  const std::vector<NodeAddress> nodes = snapshot.nodes();
+  const auto fan_all =
+      [&](const std::string& body) -> StatusOr<std::vector<WireQueryResponse>> {
+    std::vector<std::unique_ptr<StatusOr<HttpResponse>>> raw(nodes.size());
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(nodes.size());
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        threads.emplace_back([this, &nodes, &raw, &body, i] {
+          raw[i] = std::make_unique<StatusOr<HttpResponse>>(
+              PostNode(nodes[i], "/api/v2/query", body));
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    std::vector<WireQueryResponse> partials;
+    partials.reserve(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      AGORAEO_RETURN_IF_ERROR(raw[i]->status());
+      const HttpResponse& response = **raw[i];
+      ObserveEpoch(nodes[i], response);
+      if (response.status_code != 200) {
+        return Status::Internal("node " + nodes[i].id + " answered " +
+                                std::to_string(response.status_code) + ": " +
+                                response.body);
+      }
+      AGORAEO_ASSIGN_OR_RETURN(const Document doc,
+                               json::ParseObject(response.body));
+      AGORAEO_ASSIGN_OR_RETURN(WireQueryResponse partial,
+                               ParseQueryResponse(doc));
+      partials.push_back(std::move(partial));
+    }
+    return partials;
+  };
+
+  // Gather: dedup by name (the migration forwarding window can answer
+  // one item from two nodes), then restore the global order.
+  struct Row {
+    WireResult result;
+    uint64_t seq;
+  };
+  std::vector<Row> rows;
+  const auto merge = [&](std::vector<WireQueryResponse> partials) {
+    rows.clear();
+    std::unordered_set<std::string> seen;
+    for (WireQueryResponse& partial : partials) {
+      for (WireResult& result : partial.results) {
+        if (!exclude.empty() && result.name == exclude) continue;
+        if (!seen.insert(result.name).second) continue;
+        const uint64_t seq = SeqOf(result.name);
+        rows.push_back({std::move(result), seq});
+      }
+    }
+    std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+      if (has_sim && a.result.distance != b.result.distance) {
+        return a.result.distance < b.result.distance;
+      }
+      if (a.seq != b.seq) return a.seq < b.seq;
+      return a.result.name < b.result.name;
+    });
+  };
+
+  const std::optional<size_t> fanned_k =
+      has_sim ? request.similarity->k : std::nullopt;
+  AGORAEO_ASSIGN_OR_RETURN(const Document fan_doc,
+                           QueryRequestToJson(request));
+  AGORAEO_ASSIGN_OR_RETURN(std::vector<WireQueryResponse> partials,
+                           fan_all(json::Serialize(fan_doc)));
+
+  // k-NN tie repair.  A node truncates its answer at k by (distance,
+  // LOCAL id), and after a slot migration local-id order no longer
+  // follows global ingest order — a tie at the global k-th distance can
+  // hide an item that belongs in the global top-k.  Detect the only
+  // case where that is possible (some node returned a full k rows whose
+  // worst distance reaches the merged k-th distance) and re-fan as an
+  // inclusive RADIUS search at that boundary: every candidate that
+  // could make the top-k comes back, and the merge truncates exactly.
+  if (fanned_k.has_value() && cap.has_value()) {
+    merge(partials);
+    bool may_hide_ties = false;
+    if (rows.size() >= *cap && *cap > 0) {
+      const uint32_t boundary = rows[*cap - 1].result.distance;
+      for (const WireQueryResponse& partial : partials) {
+        if (partial.results.size() >= *fanned_k && !partial.results.empty() &&
+            partial.results.back().distance <= boundary) {
+          may_hide_ties = true;
+        }
+      }
+      if (may_hide_ties) {
+        earthqube::SimilaritySpec& spec = *request.similarity;
+        spec.k.reset();
+        spec.radius = boundary;
+        AGORAEO_ASSIGN_OR_RETURN(const Document widened,
+                                 QueryRequestToJson(request));
+        AGORAEO_ASSIGN_OR_RETURN(partials,
+                                 fan_all(json::Serialize(widened)));
+      }
+    }
+    if (may_hide_ties) merge(partials);
+  } else {
+    merge(partials);
+  }
+  if (cap.has_value() && rows.size() > *cap) rows.resize(*cap);
+
+  QueryResponse out;
+  out.projection = request.projection;
+  out.page = page;
+  out.page_size = page_size;
+  if (has_sim) {
+    out.hits.reserve(rows.size());
+    for (const Row& row : rows) {
+      out.hits.push_back({row.result.name, row.result.distance});
+    }
+  }
+  if (request.projection == earthqube::Projection::kFullPanel) {
+    std::vector<earthqube::ResultEntry> entries;
+    std::vector<bigearthnet::LabelSet> label_sets;
+    entries.reserve(rows.size());
+    for (const Row& row : rows) {
+      if (!row.result.has_metadata) {
+        return Status::Internal("node row for " + row.result.name +
+                                " is missing the metadata join");
+      }
+      earthqube::ResultEntry entry;
+      entry.name = row.result.name;
+      entry.labels = row.result.labels;
+      entry.country = row.result.country;
+      entry.acquisition_date = row.result.date;
+      entry.map_location = row.result.location;
+      label_sets.push_back(entry.labels);
+      entries.push_back(std::move(entry));
+    }
+    out.panel = earthqube::ResultPanel(std::move(entries));
+    out.statistics = earthqube::LabelStatistics::FromLabelSets(label_sets);
+  }
+  out.plan.strategy =
+      has_sim ? (has_panel ? earthqube::QueryPlan::Strategy::kPreFilter
+                           : earthqube::QueryPlan::Strategy::kCbirOnly)
+              : earthqube::QueryPlan::Strategy::kPanelOnly;
+  out.plan.description =
+      "CLUSTER(fan-out over " + std::to_string(nodes.size()) + " nodes)";
+  if (page_size > 0 && (page + 1) * page_size < out.total()) {
+    out.cursor = earthqube::EncodeCursor({page + 1, page_size});
+  }
+  return out;
+}
+
+StatusOr<std::string> Coordinator::QuerySingle(const Document& body) {
+  AGORAEO_ASSIGN_OR_RETURN(QueryRequest request,
+                           EarthQubeService::QueryRequestFromJson(body));
+  AGORAEO_ASSIGN_OR_RETURN(QueryResponse response,
+                           ExecuteFanout(std::move(request)));
+  return EarthQubeService::QueryResponseToJson(response);
+}
+
+StatusOr<std::string> Coordinator::Query(const std::string& body_json) {
+  AGORAEO_ASSIGN_OR_RETURN(
+      const Document body,
+      json::ParseObject(body_json.empty() ? "{}" : body_json));
+  const Value* batch = body.Get("requests");
+  if (batch == nullptr) return QuerySingle(body);
+  if (!batch->is_array() || batch->as_array().empty()) {
+    return Status::InvalidArgument("requests must be a non-empty array");
+  }
+  if (batch->as_array().size() > EarthQubeService::kMaxBatchQueries) {
+    return Status::InvalidArgument(
+        "batch too large: at most " +
+        std::to_string(EarthQubeService::kMaxBatchQueries) +
+        " requests per submission");
+  }
+  std::string out = "{\"batch_size\":" +
+                    std::to_string(batch->as_array().size()) +
+                    ",\"responses\":[";
+  bool first = true;
+  for (const Value& entry : batch->as_array()) {
+    if (!entry.is_document()) {
+      return Status::InvalidArgument("requests entries must be objects");
+    }
+    AGORAEO_ASSIGN_OR_RETURN(const std::string one,
+                             QuerySingle(entry.as_document()));
+    if (!first) out += ",";
+    first = false;
+    out += one;
+  }
+  out += "]}";
+  return out;
+}
+
+void Coordinator::RegisterRoutes(netsvc::HttpServer* server) {
+  server->Route("GET", "/health", [](const netsvc::HttpRequest&) {
+    return HttpResponse::Json(200, "{\"status\":\"ok\"}");
+  });
+  server->Route("POST", "/api/v2/query",
+                [this](const netsvc::HttpRequest& request) {
+                  auto response = Query(request.body);
+                  if (!response.ok()) return FromStatus(response.status());
+                  return HttpResponse::Json(200, *std::move(response));
+                });
+  server->Route("GET", "/api/v2/cluster/slots",
+                [this](const netsvc::HttpRequest&) {
+                  return HttpResponse::Json(200,
+                                            json::Serialize(table().ToJson()));
+                });
+}
+
+}  // namespace agoraeo::cluster

@@ -1,0 +1,123 @@
+#ifndef AGORAEO_CLUSTER_COORDINATOR_H_
+#define AGORAEO_CLUSTER_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bigearthnet/archive_generator.h"
+#include "common/binary_code.h"
+#include "common/status.h"
+#include "netsvc/client.h"
+#include "netsvc/server.h"
+
+#include "cluster/slot_table.h"
+#include "cluster/wire.h"
+
+namespace agoraeo::cluster {
+
+/// The query tier's entry point into a slot-sharded deployment: holds a
+/// cached copy of the slot table, routes ingest to slot owners, fans
+/// queries out to every node, and merges the partial answers back into
+/// ONE response that is row-identical to what a monolithic deployment
+/// over the same archive would serve.
+///
+/// Merge semantics (why the cluster answer matches the monolith):
+///   - Each node ingests its patches in global archive order, so a
+///     node's local item ids are increasing in the coordinator's global
+///     ingest sequence; similarity hits merge by (distance, seq) — the
+///     exact (distance, id) order the monolithic index produces — and
+///     panel rows merge by seq, the docstore's ascending-DocId order.
+///   - Limits (panel limit, similarity limit, paging) are stripped from
+///     the fan-out and re-applied after the merge, so a node never
+///     truncates away a row that is globally in range.
+///   - A k-NN fan-out asks each node for the same k (k+1 for by-name
+///     subjects, whose excluded subject occupies one rank); the global
+///     top-k is a subset of the union of per-node top-ks.
+///   - By-NAME subjects are resolved to a code at the slot owner first
+///     (GET /cluster/code/<name>), then fanned out by code, so every
+///     node searches the same subject; the subject row is dropped after
+///     the merge exactly as the monolithic exclude does.
+///   - Rows dedup by name before ordering: during a migration's
+///     forwarding window the outgoing and incoming owner BOTH answer
+///     for the moving slot, and the union-then-dedup is what makes a
+///     racing query lose nothing and double-count nothing.
+///
+/// Redirect discipline: a 308 MOVED answer is followed exactly once
+/// (after refreshing the cached table from the redirecting node); a
+/// second 308 for the same request is an error, never a loop.  Response
+/// `x-cluster-epoch` headers are the staleness signal: any epoch newer
+/// than the cached table triggers a refresh.
+class Coordinator {
+ public:
+  struct Options {
+    netsvc::HttpClientOptions client_options;
+  };
+
+  explicit Coordinator(Options options = {}) : options_(options) {}
+
+  /// Installs a known topology directly (bootstrap from config).
+  void AttachTable(const SlotTable& table);
+
+  /// Fetches the slot table from `seed` (any cluster member).
+  Status RefreshTopology(const NodeAddress& seed);
+
+  SlotTable table() const;
+  uint64_t epoch() const;
+
+  /// Routed ingest: assigns each patch the next global ingest sequence
+  /// number, groups patches by slot owner, and ships each group (codes
+  /// + metadata, snapshot-framed) to its owner's /cluster/ingest.  A
+  /// stale-table 308 refreshes the topology and re-routes once.
+  Status IngestArchive(const bigearthnet::Archive& archive,
+                       const std::vector<BinaryCode>& codes);
+
+  /// Executes one /api/v2/query body (single or batch flavour) against
+  /// the cluster and returns the response JSON — the same wire shape
+  /// the monolithic service serves.
+  StatusOr<std::string> Query(const std::string& body_json);
+
+  /// Registers the coordinator's public face on an HttpServer:
+  /// POST /api/v2/query (fan-out) and GET /api/v2/cluster/slots (the
+  /// cached table).
+  void RegisterRoutes(netsvc::HttpServer* server);
+
+  /// Redirects followed across this coordinator's lifetime (tests).
+  uint64_t redirects_followed() const { return redirects_followed_; }
+
+ private:
+  StatusOr<std::string> QuerySingle(const docstore::Document& body);
+  StatusOr<earthqube::QueryResponse> ExecuteFanout(
+      earthqube::QueryRequest request);
+
+  /// Resolves a by-name similarity subject to its code at the slot
+  /// owner, following at most one MOVED redirect.
+  StatusOr<BinaryCode> ResolveSubjectCode(const std::string& name);
+
+  /// POSTs `body` to one node, surfacing transport errors as Status.
+  StatusOr<netsvc::HttpResponse> PostNode(const NodeAddress& node,
+                                          const std::string& target,
+                                          const std::string& body);
+
+  /// Notes a response's x-cluster-epoch header; refreshes the table
+  /// from `node` when the header advertises a newer topology.
+  void ObserveEpoch(const NodeAddress& node,
+                    const netsvc::HttpResponse& response);
+
+  uint64_t SeqOf(const std::string& name) const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  SlotTable table_;
+  /// name -> global ingest sequence, assigned in routed-ingest order.
+  std::unordered_map<std::string, uint64_t> seq_;
+  uint64_t next_seq_ = 0;
+  std::atomic<uint64_t> redirects_followed_{0};
+};
+
+}  // namespace agoraeo::cluster
+
+#endif  // AGORAEO_CLUSTER_COORDINATOR_H_

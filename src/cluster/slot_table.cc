@@ -1,0 +1,172 @@
+#include "cluster/slot_table.h"
+
+#include <utility>
+
+namespace agoraeo::cluster {
+
+using docstore::Document;
+using docstore::Value;
+
+namespace {
+
+/// splitmix64 finaliser — scrambles the FNV digest so the modulo sees
+/// avalanche-quality bits (FNV-1a alone is weak in the low bits for
+/// short, similar strings like patch names that share a long prefix).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+size_t SlotOf(const std::string& name, size_t num_slots) {
+  if (num_slots <= 1) return 0;
+  return static_cast<size_t>(Mix64(Fnv1a(name)) % num_slots);
+}
+
+SlotTable::SlotTable(std::vector<NodeAddress> nodes, size_t num_slots)
+    : epoch_(1), nodes_(std::move(nodes)) {
+  if (num_slots == 0) num_slots = 1;
+  owner_.assign(num_slots, -1);
+  const size_t n = nodes_.size();
+  if (n == 0) return;
+  for (size_t slot = 0; slot < num_slots; ++slot) {
+    owner_[slot] = static_cast<int>(slot * n / num_slots);
+  }
+}
+
+const NodeAddress* SlotTable::NodeById(const std::string& id) const {
+  for (const NodeAddress& node : nodes_) {
+    if (node.id == id) return &node;
+  }
+  return nullptr;
+}
+
+const NodeAddress* SlotTable::OwnerOfSlot(size_t slot) const {
+  if (slot >= owner_.size() || owner_[slot] < 0) return nullptr;
+  return &nodes_[static_cast<size_t>(owner_[slot])];
+}
+
+const NodeAddress* SlotTable::OwnerOfName(const std::string& name) const {
+  return OwnerOfSlot(SlotOf(name, num_slots()));
+}
+
+Status SlotTable::AssignSlot(size_t slot, const std::string& node_id) {
+  if (slot >= owner_.size()) {
+    return Status::InvalidArgument("slot out of range: " +
+                                   std::to_string(slot));
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].id == node_id) {
+      owner_[slot] = static_cast<int>(i);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("unknown node id: " + node_id);
+}
+
+size_t SlotTable::CountOwnedBy(const std::string& node_id) const {
+  return SlotsOwnedBy(node_id).size();
+}
+
+std::vector<size_t> SlotTable::SlotsOwnedBy(const std::string& node_id) const {
+  std::vector<size_t> slots;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].id != node_id) continue;
+    for (size_t slot = 0; slot < owner_.size(); ++slot) {
+      if (owner_[slot] == static_cast<int>(i)) slots.push_back(slot);
+    }
+    break;
+  }
+  return slots;
+}
+
+Document SlotTable::ToJson() const {
+  Document doc;
+  doc.Set("epoch", Value(static_cast<int64_t>(epoch_)));
+  doc.Set("num_slots", Value(static_cast<int64_t>(owner_.size())));
+  std::vector<Value> nodes;
+  nodes.reserve(nodes_.size());
+  for (const NodeAddress& node : nodes_) {
+    Document n;
+    n.Set("id", Value(node.id));
+    n.Set("host", Value(node.host));
+    n.Set("port", Value(static_cast<int64_t>(node.port)));
+    nodes.emplace_back(std::move(n));
+  }
+  doc.Set("nodes", Value(std::move(nodes)));
+  std::vector<Value> slots;
+  slots.reserve(owner_.size());
+  for (const int owner : owner_) {
+    slots.emplace_back(static_cast<int64_t>(owner));
+  }
+  doc.Set("slots", Value(std::move(slots)));
+  return doc;
+}
+
+StatusOr<SlotTable> SlotTable::FromJson(const Document& doc) {
+  const Value* epoch = doc.Get("epoch");
+  const Value* num_slots = doc.Get("num_slots");
+  const Value* nodes = doc.Get("nodes");
+  const Value* slots = doc.Get("slots");
+  if (epoch == nullptr || !epoch->is_int64() || epoch->as_int64() < 0) {
+    return Status::InvalidArgument("slot table: bad epoch");
+  }
+  if (num_slots == nullptr || !num_slots->is_int64() ||
+      num_slots->as_int64() <= 0) {
+    return Status::InvalidArgument("slot table: bad num_slots");
+  }
+  if (nodes == nullptr || !nodes->is_array()) {
+    return Status::InvalidArgument("slot table: nodes must be an array");
+  }
+  if (slots == nullptr || !slots->is_array()) {
+    return Status::InvalidArgument("slot table: slots must be an array");
+  }
+
+  SlotTable table;
+  table.epoch_ = static_cast<uint64_t>(epoch->as_int64());
+  for (const Value& v : nodes->as_array()) {
+    if (!v.is_document()) {
+      return Status::InvalidArgument("slot table: node must be an object");
+    }
+    const Document& n = v.as_document();
+    const Value* id = n.Get("id");
+    const Value* host = n.Get("host");
+    const Value* port = n.Get("port");
+    if (id == nullptr || !id->is_string() || host == nullptr ||
+        !host->is_string() || port == nullptr || !port->is_int64()) {
+      return Status::InvalidArgument("slot table: malformed node entry");
+    }
+    table.nodes_.push_back({id->as_string(), host->as_string(),
+                            static_cast<int>(port->as_int64())});
+  }
+  const auto& slot_array = slots->as_array();
+  if (slot_array.size() != static_cast<size_t>(num_slots->as_int64())) {
+    return Status::InvalidArgument("slot table: slots length != num_slots");
+  }
+  table.owner_.reserve(slot_array.size());
+  for (const Value& v : slot_array) {
+    if (!v.is_int64()) {
+      return Status::InvalidArgument("slot table: slot owner must be int");
+    }
+    const int64_t owner = v.as_int64();
+    if (owner < -1 || owner >= static_cast<int64_t>(table.nodes_.size())) {
+      return Status::InvalidArgument("slot table: owner index out of range");
+    }
+    table.owner_.push_back(static_cast<int>(owner));
+  }
+  return table;
+}
+
+}  // namespace agoraeo::cluster

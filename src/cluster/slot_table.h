@@ -1,0 +1,99 @@
+#ifndef AGORAEO_CLUSTER_SLOT_TABLE_H_
+#define AGORAEO_CLUSTER_SLOT_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "docstore/value.h"
+
+namespace agoraeo::cluster {
+
+/// Default size of the slot space.  Every patch name hashes onto one of
+/// these slots for the lifetime of the deployment; nodes own contiguous
+/// slot ranges initially and arbitrary sets after migrations.  1024 is
+/// small enough that the whole table ships in one /cluster/slots
+/// response and large enough that rebalancing moves ~0.1% of the data
+/// per slot.
+inline constexpr size_t kDefaultNumSlots = 1024;
+
+/// Routes a patch name onto the slot space: FNV-1a over the bytes, then
+/// a splitmix64 finalising scramble, mod `num_slots`.  Names (not local
+/// item ids) key the slot space because ids are assigned per node in
+/// ingest order and are NOT stable across nodes; names are the one
+/// cluster-wide identity an image has.
+size_t SlotOf(const std::string& name, size_t num_slots);
+
+/// One member of the cluster as the slot table describes it: a stable
+/// id plus the HTTP address its peers and the coordinator dial.
+struct NodeAddress {
+  std::string id;
+  std::string host;
+  int port = 0;
+
+  bool operator==(const NodeAddress& other) const {
+    return id == other.id && host == other.host && port == other.port;
+  }
+};
+
+/// The cluster's routing authority: which node owns each slot, plus a
+/// monotonically increasing epoch that versions the assignment.  Every
+/// node carries a copy; a node bumps its epoch when a migration it
+/// participates in commits, and readers treat a higher epoch as strictly
+/// newer (the cross-node staleness token: coordinators refresh their
+/// cached table whenever a node response advertises a newer epoch).
+///
+/// The table itself is a plain value type — ClusterNode guards its copy
+/// with a mutex; Coordinator swaps whole tables atomically.
+class SlotTable {
+ public:
+  SlotTable() = default;
+
+  /// Builds the bootstrap table: `nodes` split the slot space into
+  /// contiguous, maximally even ranges (node i owns slots
+  /// [i*S/N, (i+1)*S/N)), epoch 1.
+  SlotTable(std::vector<NodeAddress> nodes, size_t num_slots);
+
+  size_t num_slots() const { return owner_.size(); }
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const NodeAddress& node(size_t i) const { return nodes_[i]; }
+  const std::vector<NodeAddress>& nodes() const { return nodes_; }
+
+  /// nullptr when no node has that id.
+  const NodeAddress* NodeById(const std::string& id) const;
+
+  /// Owner of one slot; nullptr when the slot is out of range or
+  /// unassigned.
+  const NodeAddress* OwnerOfSlot(size_t slot) const;
+  /// Owner of the slot `name` routes to.
+  const NodeAddress* OwnerOfName(const std::string& name) const;
+
+  /// Reassigns one slot (the commit step of a migration).  Does NOT
+  /// bump the epoch — the caller decides when a batch of reassignments
+  /// becomes a new topology version.
+  Status AssignSlot(size_t slot, const std::string& node_id);
+
+  size_t CountOwnedBy(const std::string& node_id) const;
+  std::vector<size_t> SlotsOwnedBy(const std::string& node_id) const;
+
+  /// Wire form served by GET /api/v2/cluster/slots:
+  ///   {"epoch": E, "num_slots": S,
+  ///    "nodes": [{"id","host","port"}, ...],
+  ///    "slots": [<owner index into nodes, -1 unassigned>, ...]}
+  docstore::Document ToJson() const;
+  static StatusOr<SlotTable> FromJson(const docstore::Document& doc);
+
+ private:
+  uint64_t epoch_ = 0;
+  std::vector<NodeAddress> nodes_;
+  /// Per-slot owner as an index into nodes_ (-1 = unassigned).
+  std::vector<int> owner_;
+};
+
+}  // namespace agoraeo::cluster
+
+#endif  // AGORAEO_CLUSTER_SLOT_TABLE_H_

@@ -1,0 +1,345 @@
+#include "cluster/wire.h"
+
+#include <utility>
+
+#include "bigearthnet/clc_labels.h"
+#include "common/time_util.h"
+#include "earthqube/schema.h"
+#include "index/index_snapshot.h"
+#include "json/json.h"
+
+namespace agoraeo::cluster {
+
+using docstore::Document;
+using docstore::Value;
+
+namespace {
+
+Value GeoToJson(const earthqube::GeoQuery& geo) {
+  Document out;
+  switch (geo.shape) {
+    case earthqube::GeoQuery::Shape::kRectangle: {
+      Document rect;
+      rect.Set("min_lat", Value(geo.rectangle.min.lat));
+      rect.Set("min_lon", Value(geo.rectangle.min.lon));
+      rect.Set("max_lat", Value(geo.rectangle.max.lat));
+      rect.Set("max_lon", Value(geo.rectangle.max.lon));
+      out.Set("rect", Value(std::move(rect)));
+      break;
+    }
+    case earthqube::GeoQuery::Shape::kCircle: {
+      Document circle;
+      circle.Set("lat", Value(geo.circle.center.lat));
+      circle.Set("lon", Value(geo.circle.center.lon));
+      circle.Set("radius_m", Value(geo.circle.radius_meters));
+      out.Set("circle", Value(std::move(circle)));
+      break;
+    }
+    case earthqube::GeoQuery::Shape::kPolygon: {
+      std::vector<Value> vertices;
+      vertices.reserve(geo.polygon.vertices.size());
+      for (const geo::GeoPoint& p : geo.polygon.vertices) {
+        std::vector<Value> pair;
+        pair.emplace_back(p.lat);
+        pair.emplace_back(p.lon);
+        vertices.emplace_back(std::move(pair));
+      }
+      out.Set("polygon", Value(std::move(vertices)));
+      break;
+    }
+    case earthqube::GeoQuery::Shape::kNone:
+      break;
+  }
+  return Value(std::move(out));
+}
+
+Value PanelToJson(const earthqube::EarthQubeQuery& panel) {
+  Document out;
+  if (panel.geo.shape != earthqube::GeoQuery::Shape::kNone) {
+    out.Set("geo", GeoToJson(panel.geo));
+  }
+  if (panel.date_range.has_value()) {
+    Document range;
+    range.Set("begin", Value(panel.date_range->begin.ToString()));
+    range.Set("end", Value(panel.date_range->end.ToString()));
+    out.Set("date_range", Value(std::move(range)));
+  }
+  if (!panel.satellites.empty()) {
+    std::vector<Value> sats;
+    sats.reserve(panel.satellites.size());
+    for (const std::string& s : panel.satellites) sats.emplace_back(s);
+    out.Set("satellites", Value(std::move(sats)));
+  }
+  if (!panel.seasons.empty()) {
+    std::vector<Value> seasons;
+    seasons.reserve(panel.seasons.size());
+    for (const Season season : panel.seasons) {
+      seasons.emplace_back(std::string(SeasonToString(season)));
+    }
+    out.Set("seasons", Value(std::move(seasons)));
+  }
+  if (panel.label_filter.enabled) {
+    Document labels;
+    switch (panel.label_filter.op) {
+      case earthqube::LabelOperator::kSome:
+        labels.Set("operator", Value(std::string("some")));
+        break;
+      case earthqube::LabelOperator::kExactly:
+        labels.Set("operator", Value(std::string("exactly")));
+        break;
+      case earthqube::LabelOperator::kAtLeastAndMore:
+        labels.Set("operator", Value(std::string("at_least_and_more")));
+        break;
+    }
+    std::vector<Value> names;
+    for (const bigearthnet::LabelId id : panel.label_filter.labels.ids()) {
+      names.emplace_back(bigearthnet::LabelById(id).name);
+    }
+    labels.Set("names", Value(std::move(names)));
+    out.Set("labels", Value(std::move(labels)));
+  }
+  if (panel.limit > 0) {
+    out.Set("limit", Value(static_cast<int64_t>(panel.limit)));
+  }
+  return Value(std::move(out));
+}
+
+}  // namespace
+
+StatusOr<Document> QueryRequestToJson(const earthqube::QueryRequest& request) {
+  Document body;
+  if (request.panel.has_value()) {
+    body.Set("panel", PanelToJson(*request.panel));
+  }
+  if (request.similarity.has_value()) {
+    const earthqube::SimilaritySpec& spec = *request.similarity;
+    if (spec.patch.has_value()) {
+      return Status::InvalidArgument(
+          "patch similarity subjects have no wire form; hash to a code "
+          "before fanning out");
+    }
+    Document sim;
+    if (spec.archive_name.has_value()) {
+      sim.Set("name", Value(*spec.archive_name));
+    }
+    if (spec.code.has_value()) {
+      sim.Set("code", Value(spec.code->ToBitString()));
+    }
+    if (spec.radius.has_value()) {
+      sim.Set("radius", Value(static_cast<int64_t>(*spec.radius)));
+    }
+    if (spec.k.has_value()) {
+      sim.Set("k", Value(static_cast<int64_t>(*spec.k)));
+    }
+    if (spec.limit > 0) {
+      sim.Set("limit", Value(static_cast<int64_t>(spec.limit)));
+    }
+    body.Set("similarity", Value(std::move(sim)));
+  }
+  body.Set("projection",
+           Value(std::string(request.projection ==
+                                     earthqube::Projection::kHitsOnly
+                                 ? "hits"
+                                 : "full")));
+  switch (request.planner) {
+    case earthqube::PlannerMode::kAuto:
+      body.Set("planner", Value(std::string("auto")));
+      break;
+    case earthqube::PlannerMode::kForcePreFilter:
+      body.Set("planner", Value(std::string("pre_filter")));
+      break;
+    case earthqube::PlannerMode::kForcePostFilter:
+      body.Set("planner", Value(std::string("post_filter")));
+      break;
+  }
+  body.Set("page", Value(static_cast<int64_t>(request.page)));
+  body.Set("page_size", Value(static_cast<int64_t>(request.page_size)));
+  return body;
+}
+
+StatusOr<WireQueryResponse> ParseQueryResponse(const Document& doc) {
+  const Value* total = doc.Get("total");
+  const Value* results = doc.Get("results");
+  if (total == nullptr || !total->is_int64() || total->as_int64() < 0) {
+    return Status::InvalidArgument("query response: bad total");
+  }
+  if (results == nullptr || !results->is_array()) {
+    return Status::InvalidArgument("query response: results must be an array");
+  }
+  WireQueryResponse out;
+  out.total = static_cast<size_t>(total->as_int64());
+  out.results.reserve(results->as_array().size());
+  for (const Value& row : results->as_array()) {
+    if (!row.is_document()) {
+      return Status::InvalidArgument("query response: result must be object");
+    }
+    const Document& r = row.as_document();
+    WireResult entry;
+    const Value* name = r.Get("name");
+    if (name == nullptr || !name->is_string()) {
+      return Status::InvalidArgument("query response: result without name");
+    }
+    entry.name = name->as_string();
+    if (const Value* distance = r.Get("distance"); distance != nullptr) {
+      if (!distance->is_int64() || distance->as_int64() < 0) {
+        return Status::InvalidArgument("query response: bad distance");
+      }
+      entry.has_distance = true;
+      entry.distance = static_cast<uint32_t>(distance->as_int64());
+    }
+    if (const Value* labels = r.Get("labels"); labels != nullptr) {
+      if (!labels->is_array()) {
+        return Status::InvalidArgument("query response: labels must be array");
+      }
+      entry.has_metadata = true;
+      for (const Value& label : labels->as_array()) {
+        if (!label.is_string()) {
+          return Status::InvalidArgument(
+              "query response: label names must be strings");
+        }
+        AGORAEO_ASSIGN_OR_RETURN(
+            const bigearthnet::LabelId id,
+            bigearthnet::LabelIdFromName(label.as_string()));
+        entry.labels.Add(id);
+      }
+      const Value* country = r.Get("country");
+      const Value* date = r.Get("date");
+      const Value* lat = r.Get("lat");
+      const Value* lon = r.Get("lon");
+      if (country == nullptr || !country->is_string() || date == nullptr ||
+          !date->is_string() || lat == nullptr || !lat->is_number() ||
+          lon == nullptr || !lon->is_number()) {
+        return Status::InvalidArgument(
+            "query response: malformed metadata row");
+      }
+      entry.country = country->as_string();
+      entry.date = date->as_string();
+      entry.location = {lat->as_number(), lon->as_number()};
+    }
+    out.results.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Document MovedBody(size_t slot, const NodeAddress& owner, uint64_t epoch) {
+  Document moved;
+  moved.Set("slot", Value(static_cast<int64_t>(slot)));
+  moved.Set("id", Value(owner.id));
+  moved.Set("host", Value(owner.host));
+  moved.Set("port", Value(static_cast<int64_t>(owner.port)));
+  Document body;
+  body.Set("moved", Value(std::move(moved)));
+  body.Set("epoch", Value(static_cast<int64_t>(epoch)));
+  return body;
+}
+
+StatusOr<MovedInfo> ParseMovedBody(const Document& doc) {
+  const Value* moved = doc.Get("moved");
+  const Value* epoch = doc.Get("epoch");
+  if (moved == nullptr || !moved->is_document() || epoch == nullptr ||
+      !epoch->is_int64() || epoch->as_int64() < 0) {
+    return Status::InvalidArgument("not a moved envelope");
+  }
+  const Document& m = moved->as_document();
+  const Value* slot = m.Get("slot");
+  const Value* id = m.Get("id");
+  const Value* host = m.Get("host");
+  const Value* port = m.Get("port");
+  if (slot == nullptr || !slot->is_int64() || slot->as_int64() < 0 ||
+      id == nullptr || !id->is_string() || host == nullptr ||
+      !host->is_string() || port == nullptr || !port->is_int64()) {
+    return Status::InvalidArgument("malformed moved envelope");
+  }
+  MovedInfo info;
+  info.slot = static_cast<size_t>(slot->as_int64());
+  info.owner = {id->as_string(), host->as_string(),
+                static_cast<int>(port->as_int64())};
+  info.epoch = static_cast<uint64_t>(epoch->as_int64());
+  return info;
+}
+
+StatusOr<Document> SlotPayloadToJson(const SlotPayload& payload) {
+  if (payload.codes.size() != payload.names.size() ||
+      payload.metadata.size() != payload.names.size()) {
+    return Status::InvalidArgument(
+        "slot payload: names/codes/metadata lengths differ");
+  }
+  index::IndexSnapshot snap;
+  snap.shard_index = static_cast<uint32_t>(payload.slot);
+  snap.num_shards = 1;
+  snap.watermark = payload.names.size();
+  snap.names = payload.names;
+  for (size_t i = 0; i < payload.codes.size(); ++i) {
+    const BinaryCode& code = payload.codes[i];
+    if (snap.code_bits == 0) {
+      snap.code_bits = static_cast<uint32_t>(code.size());
+      snap.words_per_code = static_cast<uint32_t>(code.words().size());
+    } else if (code.size() != snap.code_bits) {
+      return Status::InvalidArgument("slot payload: mixed code lengths");
+    }
+    snap.ids.push_back(i);
+    snap.code_words.insert(snap.code_words.end(), code.words().begin(),
+                           code.words().end());
+  }
+  AGORAEO_ASSIGN_OR_RETURN(const std::vector<uint8_t> frame,
+                           index::SerializeIndexSnapshot(snap));
+  Document body;
+  body.Set("slot", Value(static_cast<int64_t>(payload.slot)));
+  body.Set("epoch", Value(static_cast<int64_t>(payload.epoch)));
+  body.Set("codes_snapshot", Value(json::Base64Encode(frame)));
+  std::vector<Value> metadata;
+  metadata.reserve(payload.metadata.size());
+  for (const bigearthnet::PatchMetadata& meta : payload.metadata) {
+    metadata.emplace_back(earthqube::MetadataToDocument(
+        meta, earthqube::LabelEncoding::kFullStrings));
+  }
+  body.Set("metadata", Value(std::move(metadata)));
+  return body;
+}
+
+StatusOr<SlotPayload> ParseSlotPayload(const Document& doc) {
+  const Value* slot = doc.Get("slot");
+  const Value* epoch = doc.Get("epoch");
+  const Value* blob = doc.Get("codes_snapshot");
+  const Value* metadata = doc.Get("metadata");
+  if (slot == nullptr || !slot->is_int64() || slot->as_int64() < 0 ||
+      epoch == nullptr || !epoch->is_int64() || epoch->as_int64() < 0 ||
+      blob == nullptr || !blob->is_string() || metadata == nullptr ||
+      !metadata->is_array()) {
+    return Status::InvalidArgument("malformed slot payload");
+  }
+  SlotPayload out;
+  out.slot = static_cast<size_t>(slot->as_int64());
+  out.epoch = static_cast<uint64_t>(epoch->as_int64());
+  AGORAEO_ASSIGN_OR_RETURN(const std::vector<uint8_t> frame,
+                           json::Base64Decode(blob->as_string()));
+  AGORAEO_ASSIGN_OR_RETURN(
+      const index::IndexSnapshot snap,
+      index::ParseIndexSnapshot(frame.data(), frame.size()));
+  out.names = snap.names;
+  out.codes.reserve(snap.ids.size());
+  for (size_t i = 0; i < snap.ids.size(); ++i) {
+    out.codes.push_back(BinaryCode::FromWords(
+        snap.code_bits,
+        {snap.code_words.begin() +
+             static_cast<ptrdiff_t>(i * snap.words_per_code),
+         snap.code_words.begin() +
+             static_cast<ptrdiff_t>((i + 1) * snap.words_per_code)}));
+  }
+  for (const Value& m : metadata->as_array()) {
+    if (!m.is_document()) {
+      return Status::InvalidArgument("slot payload: metadata must be objects");
+    }
+    AGORAEO_ASSIGN_OR_RETURN(bigearthnet::PatchMetadata meta,
+                             earthqube::DocumentToMetadata(m.as_document()));
+    out.metadata.push_back(std::move(meta));
+  }
+  if (out.codes.size() != out.names.size() ||
+      out.metadata.size() != out.names.size()) {
+    return Status::InvalidArgument(
+        "slot payload: names/codes/metadata lengths differ");
+  }
+  return out;
+}
+
+}  // namespace agoraeo::cluster

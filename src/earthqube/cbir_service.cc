@@ -45,14 +45,14 @@ CbirService::CbirService(std::unique_ptr<milan::MilanModel> model,
     auto sharded = std::make_unique<index::ShardedHammingIndex>(
         config_.num_shards,
         [kind = config_.index_kind] { return MakeIndex(kind); },
-        config_.seal_threshold);
+        config_.seal_threshold, config_.compact_threshold);
     sharded_ = sharded.get();
     index_ = std::move(sharded);
   } else if (config_.seal_threshold > 0) {
     // Monolithic but segment-structured: one shard's worth of segments.
     auto segmented = std::make_unique<index::SegmentedHammingIndex>(
         [kind = config_.index_kind] { return MakeIndex(kind); },
-        config_.seal_threshold);
+        config_.seal_threshold, config_.compact_threshold);
     segmented_ = segmented.get();
     index_ = std::move(segmented);
   } else {
@@ -67,7 +67,8 @@ size_t CbirService::SnapshotShardOf(index::ItemId id) const {
              : 0;
 }
 
-Status CbirService::Recover() {
+Status CbirService::Recover(
+    const std::function<bool(const std::string&)>& keep) {
   if (config_.snapshot_dir.empty()) return Status::OK();
   if (num_indexed() != 0) {
     return Status::FailedPrecondition(
@@ -158,21 +159,33 @@ Status CbirService::Recover() {
   }
 
   // 4. Bulk-load: stored codes go straight into the index — no model
-  // inference — and the maps are rebuilt in id order.
+  // inference — and the maps are rebuilt in id order.  A keep predicate
+  // (slot-filtered cluster boot) drops migrated-away items here and
+  // renumbers the survivors contiguously; that diverges from the ids on
+  // disk, so a filtered recovery is treated as lossy below and
+  // re-checkpointed under the new ids.
+  size_t filtered_out = 0;
   if (prefix > 0) {
-    std::vector<index::ItemId> ids(prefix);
-    std::vector<std::string> names(prefix);
-    std::vector<BinaryCode> codes(prefix);
+    std::vector<index::ItemId> ids;
+    std::vector<std::string> names;
+    std::vector<BinaryCode> codes;
+    ids.reserve(prefix);
+    names.reserve(prefix);
+    codes.reserve(prefix);
     for (index::ItemId id = 0; id < prefix; ++id) {
       auto node = items.extract(id);
-      ids[id] = id;
-      names[id] = std::move(node.mapped().name);
-      codes[id] = std::move(node.mapped().code);
+      if (keep != nullptr && !keep(node.mapped().name)) {
+        ++filtered_out;
+        continue;
+      }
+      ids.push_back(ids.size());
+      names.push_back(std::move(node.mapped().name));
+      codes.push_back(std::move(node.mapped().code));
     }
     AGORAEO_RETURN_IF_ERROR(
         index_->BatchAdd(ids, codes, sharded_ != nullptr ? QueryPool() : nullptr));
-    name_by_id_.reserve(prefix);
-    for (index::ItemId id = 0; id < prefix; ++id) {
+    name_by_id_.reserve(ids.size());
+    for (index::ItemId id = 0; id < ids.size(); ++id) {
       name_by_id_.push_back(names[id]);
       code_by_name_.emplace(names[id], std::move(codes[id]));
       id_by_name_.emplace(std::move(names[id]), id);
@@ -181,7 +194,8 @@ Status CbirService::Recover() {
   pstats_.recovered = true;
 
   // 5. Make disk canonical again, then open the WAL for appending.
-  const bool lossy = pstats_.discarded_snapshots > 0 || dropped > 0;
+  const bool lossy =
+      pstats_.discarded_snapshots > 0 || dropped > 0 || filtered_out > 0;
   if (lossy) {
     for (size_t s = 0; s < num_shards; ++s) {
       AGORAEO_RETURN_IF_ERROR(WriteShardSnapshot(s));
@@ -307,7 +321,14 @@ Status CbirService::AddImages(const std::vector<std::string>& names,
   if (features.rank() != 2 || features.dim(0) != names.size()) {
     return Status::InvalidArgument("features shape mismatch with names");
   }
-  const std::vector<BinaryCode> codes = model_->HashBatch(features);
+  return AddImagesWithCodes(names, model_->HashBatch(features));
+}
+
+Status CbirService::AddImagesWithCodes(const std::vector<std::string>& names,
+                                       const std::vector<BinaryCode>& codes) {
+  if (codes.size() != names.size()) {
+    return Status::InvalidArgument("codes length mismatch with names");
+  }
   // Pre-validate the whole batch (duplicate names, uniform code length)
   // so the parallel per-shard ingest below cannot fail halfway: all the
   // realistic Add errors are caught before the index is touched.

@@ -1,6 +1,7 @@
 #ifndef AGORAEO_EARTHQUBE_CBIR_SERVICE_H_
 #define AGORAEO_EARTHQUBE_CBIR_SERVICE_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -53,6 +54,12 @@ struct CbirConfig {
   /// the pre-segment behaviour).  Doubles as the snapshot cadence: a
   /// shard's snapshot is refreshed after this many new items arrive.
   size_t seal_threshold = 0;
+
+  /// Sealed-segment compaction point of every shard: once a shard holds
+  /// MORE than this many sealed segments they are merged into one,
+  /// bounding the per-query segment fan-out (0 = never compact).  See
+  /// SegmentedHammingIndex.
+  size_t compact_threshold = 0;
 
   /// Durability of each index WAL append (ignored without a
   /// snapshot_dir).  kFlush survives a process crash, kFsync survives
@@ -121,7 +128,15 @@ class CbirService {
   /// A missing directory is created; no files at all is a cold start.
   /// No-op when snapshot_dir is empty.  Must run before the first
   /// AddImage — it refuses (FailedPrecondition) on a non-empty service.
-  Status Recover();
+  ///
+  /// `keep` (optional) filters the recovered items by name — the
+  /// cluster tier's slot-filtered boot: a node that migrated slots away
+  /// passes "is this name's slot still mine", dropped items are
+  /// discarded, survivors are renumbered to contiguous ids, and the
+  /// recovery is treated as lossy (disk is re-checkpointed under the
+  /// new ids).  A null predicate keeps everything.
+  Status Recover() { return Recover(nullptr); }
+  Status Recover(const std::function<bool(const std::string&)>& keep);
 
   /// Writes a full checkpoint on demand: seals every shard's mutable
   /// segment (so snapshot boundaries coincide with segment boundaries),
@@ -136,6 +151,14 @@ class CbirService {
   /// Indexes a feature matrix aligned with `names` (row i = names[i]).
   Status AddImages(const std::vector<std::string>& names,
                    const Tensor& features);
+
+  /// Indexes images whose binary codes were computed elsewhere — no
+  /// model inference.  The cluster tier uses this for routed ingest
+  /// (the coordinator ships precomputed codes to slot owners) and for
+  /// slot migration imports; ingest is WAL-logged exactly like
+  /// AddImages.
+  Status AddImagesWithCodes(const std::vector<std::string>& names,
+                            const std::vector<BinaryCode>& codes);
 
   /// Query by an image already in the archive: looks the code up in the
   /// in-memory hash table (no model inference).  NotFound for unknown
@@ -247,6 +270,11 @@ class CbirService {
   StatusOr<BinaryCode> CodeOf(const std::string& patch_name) const;
 
   size_t num_indexed() const { return name_by_id_.size(); }
+  /// Every indexed name in ItemId (ingestion) order — the slot
+  /// migration export walks this to collect a slot's members.
+  const std::vector<std::string>& indexed_names() const {
+    return name_by_id_;
+  }
   const milan::MilanModel& model() const { return *model_; }
   index::HammingIndex& hamming_index() { return *index_; }
   const index::HammingIndex& hamming_index() const { return *index_; }

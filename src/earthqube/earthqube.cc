@@ -65,6 +65,27 @@ Status EarthQube::IngestArchive(const bigearthnet::Archive& archive) {
   return Status::OK();
 }
 
+Status EarthQube::IngestArchiveWithCodes(
+    const bigearthnet::Archive& archive,
+    const std::vector<BinaryCode>& codes) {
+  if (cbir_ == nullptr) {
+    return Status::FailedPrecondition(
+        "IngestArchiveWithCodes needs an attached CBIR service");
+  }
+  if (codes.size() != archive.patches.size()) {
+    return Status::InvalidArgument("codes length mismatch with patches");
+  }
+  AGORAEO_RETURN_IF_ERROR(IngestArchive(archive));
+  std::vector<std::string> names;
+  names.reserve(archive.patches.size());
+  for (const auto& meta : archive.patches) names.push_back(meta.name);
+  AGORAEO_RETURN_IF_ERROR(cbir_->AddImagesWithCodes(names, codes));
+  // IngestArchive already invalidated for the metadata writes; the code
+  // index changed after that, so bump again.
+  query_cache_.Invalidate();
+  return Status::OK();
+}
+
 void EarthQube::AttachCbir(std::unique_ptr<CbirService> cbir) {
   cbir_ = std::move(cbir);
   // A new code index changes every similarity result.

@@ -71,6 +71,14 @@ class EarthQube {
   /// the configured indexes.
   Status IngestArchive(const bigearthnet::Archive& archive);
 
+  /// Cluster-tier ingest: metadata plus PRECOMPUTED binary codes
+  /// (codes[i] belongs to archive.patches[i]) — no model inference on
+  /// this node.  Metadata lands in the collection, codes in the
+  /// attached CBIR service (WAL-logged), and the cache epoch bumps
+  /// once.  FailedPrecondition without an attached CBIR service.
+  Status IngestArchiveWithCodes(const bigearthnet::Archive& archive,
+                                const std::vector<BinaryCode>& codes);
+
   /// Attaches a CBIR service (trained MiLaN model + Hamming index) built
   /// by the caller; enables the similarity-search endpoints.
   void AttachCbir(std::unique_ptr<CbirService> cbir);

@@ -22,7 +22,8 @@ std::string ShardSnapshotPath(const std::string& dir, size_t shard) {
       .string();
 }
 
-Status WriteIndexSnapshot(const std::string& path, const IndexSnapshot& snap) {
+StatusOr<std::vector<uint8_t>> SerializeIndexSnapshot(
+    const IndexSnapshot& snap) {
   if (snap.names.size() != snap.ids.size() ||
       snap.code_words.size() !=
           snap.ids.size() * static_cast<size_t>(snap.words_per_code)) {
@@ -46,9 +47,14 @@ Status WriteIndexSnapshot(const std::string& path, const IndexSnapshot& snap) {
   file.PutU32(static_cast<uint32_t>(payload.size()));
   file.PutU32(Crc32(payload.data()));
   file.PutRaw(payload.data().data(), payload.size());
+  return file.data();
+}
 
+Status WriteIndexSnapshot(const std::string& path, const IndexSnapshot& snap) {
+  AGORAEO_ASSIGN_OR_RETURN(std::vector<uint8_t> file,
+                           SerializeIndexSnapshot(snap));
   const std::string tmp = path + ".tmp";
-  AGORAEO_RETURN_IF_ERROR(WriteFileBytes(tmp, file.data()));
+  AGORAEO_RETURN_IF_ERROR(WriteFileBytes(tmp, file));
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
@@ -57,13 +63,8 @@ Status WriteIndexSnapshot(const std::string& path, const IndexSnapshot& snap) {
   return Status::OK();
 }
 
-StatusOr<IndexSnapshot> ReadIndexSnapshot(const std::string& path) {
-  std::error_code ec;
-  if (!std::filesystem::exists(path, ec)) {
-    return Status::NotFound("no snapshot at " + path);
-  }
-  AGORAEO_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
-  ByteReader header(bytes);
+StatusOr<IndexSnapshot> ParseIndexSnapshot(const uint8_t* data, size_t size) {
+  ByteReader header(data, size);
   AGORAEO_ASSIGN_OR_RETURN(uint32_t magic, header.GetU32());
   if (magic != kSnapshotMagic) {
     return Status::Corruption("snapshot magic mismatch");
@@ -78,7 +79,7 @@ StatusOr<IndexSnapshot> ReadIndexSnapshot(const std::string& path) {
   if (header.remaining() != payload_len) {
     return Status::Corruption("snapshot payload is truncated");
   }
-  const uint8_t* payload_bytes = bytes.data() + (bytes.size() - payload_len);
+  const uint8_t* payload_bytes = data + (size - payload_len);
   if (Crc32(payload_bytes, payload_len) != expected_crc) {
     return Status::Corruption("snapshot CRC mismatch");
   }
@@ -115,6 +116,15 @@ StatusOr<IndexSnapshot> ReadIndexSnapshot(const std::string& path) {
     AGORAEO_ASSIGN_OR_RETURN(snap.code_words[i], payload.GetU64());
   }
   return snap;
+}
+
+StatusOr<IndexSnapshot> ReadIndexSnapshot(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return Status::NotFound("no snapshot at " + path);
+  }
+  AGORAEO_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  return ParseIndexSnapshot(bytes.data(), bytes.size());
 }
 
 }  // namespace agoraeo::index

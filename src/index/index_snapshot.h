@@ -35,6 +35,18 @@ struct IndexSnapshot {
 /// `<dir>/shard-<shard>.snap` — where one shard's snapshot lives.
 std::string ShardSnapshotPath(const std::string& dir, size_t shard);
 
+/// Serialises a snapshot into the framed byte format the .snap files
+/// use (magic, version, payload length, payload CRC, payload).  The
+/// cluster tier ships slot migrations in this exact framing, so a
+/// migration payload and a snapshot file are byte-interchangeable.
+StatusOr<std::vector<uint8_t>> SerializeIndexSnapshot(
+    const IndexSnapshot& snap);
+
+/// Parses and validates framed snapshot bytes — the inverse of
+/// SerializeIndexSnapshot, and the body of ReadIndexSnapshot.  Returns
+/// Corruption for anything structurally wrong.
+StatusOr<IndexSnapshot> ParseIndexSnapshot(const uint8_t* data, size_t size);
+
 /// Serialises and writes `snap` with a whole-payload CRC, via a
 /// temporary file + rename so a crash mid-write can never leave a
 /// half-written file under the final name (the reader sees either the

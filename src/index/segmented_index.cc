@@ -14,9 +14,11 @@ void AccumulateStats(const SearchStats& part, SearchStats* total) {
 }  // namespace
 
 SegmentedHammingIndex::SegmentedHammingIndex(SegmentFactory factory,
-                                             size_t seal_threshold)
+                                             size_t seal_threshold,
+                                             size_t compact_threshold)
     : factory_(std::move(factory)),
       seal_threshold_(seal_threshold),
+      compact_threshold_(compact_threshold),
       mutable_(factory_()),
       sealed_(std::make_shared<const SegmentList>()) {
   base_name_ = mutable_->Name();
@@ -43,10 +45,57 @@ void SegmentedHammingIndex::SealLocked() {
   if (mutable_->size() == 0) return;
   std::shared_ptr<const SegmentList> old = sealed_.load();
   auto next = std::make_shared<SegmentList>(*old);
-  next->push_back(std::shared_ptr<const HammingIndex>(std::move(mutable_)));
+  SealedSegment sealed;
+  sealed.index = std::shared_ptr<const HammingIndex>(std::move(mutable_));
+  if (compact_threshold_ > 0) {
+    sealed.items =
+        std::make_shared<const std::vector<std::pair<ItemId, BinaryCode>>>(
+            std::move(mutable_items_));
+  }
+  next->push_back(std::move(sealed));
   mutable_ = factory_();
+  mutable_items_.clear();
+  MaybeCompactLocked(&next);
   sealed_.store(std::shared_ptr<const SegmentList>(std::move(next)));
   seals_.fetch_add(1);
+}
+
+void SegmentedHammingIndex::MaybeCompactLocked(
+    std::shared_ptr<SegmentList>* next) {
+  if (compact_threshold_ == 0 || (*next)->size() <= compact_threshold_) {
+    return;
+  }
+  std::vector<ItemId> ids;
+  std::vector<BinaryCode> codes;
+  size_t total = 0;
+  for (const SealedSegment& segment : **next) total += segment.items->size();
+  ids.reserve(total);
+  codes.reserve(total);
+  auto merged_items =
+      std::make_shared<std::vector<std::pair<ItemId, BinaryCode>>>();
+  merged_items->reserve(total);
+  for (const SealedSegment& segment : **next) {
+    for (const auto& [id, code] : *segment.items) {
+      ids.push_back(id);
+      codes.push_back(code);
+      merged_items->emplace_back(id, code);
+    }
+  }
+  std::unique_ptr<HammingIndex> merged = factory_();
+  if (!merged->BatchAdd(ids, codes).ok()) {
+    // Codes were validated at ingest, so this cannot realistically
+    // fail; if it somehow does, serving the uncompacted list is
+    // correct, just slower.
+    return;
+  }
+  const uint64_t consumed = (*next)->size();
+  auto compacted = std::make_shared<SegmentList>();
+  compacted->push_back(
+      SealedSegment{std::shared_ptr<const HammingIndex>(std::move(merged)),
+                    std::move(merged_items)});
+  *next = std::move(compacted);
+  compactions_.fetch_add(1);
+  compacted_segments_.fetch_add(consumed);
 }
 
 Status SegmentedHammingIndex::Seal() {
@@ -59,6 +108,7 @@ Status SegmentedHammingIndex::Add(ItemId id, const BinaryCode& code) {
   AGORAEO_RETURN_IF_ERROR(CheckCodeLength(code));
   std::unique_lock<std::shared_mutex> lock(mu_);
   AGORAEO_RETURN_IF_ERROR(mutable_->Add(id, code));
+  if (compact_threshold_ > 0) mutable_items_.emplace_back(id, code);
   if (seal_threshold_ > 0 && mutable_->size() >= seal_threshold_) {
     SealLocked();
   }
@@ -79,6 +129,7 @@ Status SegmentedHammingIndex::BatchAdd(const std::vector<ItemId>& ids,
   std::unique_lock<std::shared_mutex> lock(mu_);
   for (size_t i = 0; i < ids.size(); ++i) {
     AGORAEO_RETURN_IF_ERROR(mutable_->Add(ids[i], codes[i]));
+    if (compact_threshold_ > 0) mutable_items_.emplace_back(ids[i], codes[i]);
     if (seal_threshold_ > 0 && mutable_->size() >= seal_threshold_) {
       SealLocked();
     }
@@ -111,8 +162,8 @@ std::vector<SearchResult> SegmentedHammingIndex::GatherSegments(
   per_segment.reserve(per_segment.size() + sealed->size());
   for (const auto& segment : *sealed) {
     SearchStats seg_stats;
-    per_segment.push_back(
-        query_segment(*segment, stats != nullptr ? &seg_stats : nullptr));
+    per_segment.push_back(query_segment(*segment.index,
+                                        stats != nullptr ? &seg_stats : nullptr));
     if (stats != nullptr) AccumulateStats(seg_stats, stats);
   }
   std::vector<SearchResult> out = MergeHitLists(&per_segment, k);
@@ -180,7 +231,7 @@ std::vector<std::vector<SearchResult>> SegmentedHammingIndex::
   for (const auto& segment : *sealed) {
     std::vector<SearchStats> seg_stats;
     per_segment.push_back(
-        run_segment(*segment, stats != nullptr ? &seg_stats : nullptr));
+        run_segment(*segment.index, stats != nullptr ? &seg_stats : nullptr));
     if (stats != nullptr) per_segment_stats.push_back(std::move(seg_stats));
   }
 
@@ -255,7 +306,7 @@ size_t SegmentedHammingIndex::size() const {
     sealed = sealed_.load();
     total = mutable_->size();
   }
-  for (const auto& segment : *sealed) total += segment->size();
+  for (const auto& segment : *sealed) total += segment.index->size();
   return total;
 }
 
@@ -268,8 +319,12 @@ SegmentedIndexStats SegmentedHammingIndex::Stats() const {
     stats.mutable_items = mutable_->size();
   }
   stats.num_sealed = sealed->size();
-  for (const auto& segment : *sealed) stats.sealed_items += segment->size();
+  for (const auto& segment : *sealed) {
+    stats.sealed_items += segment.index->size();
+  }
   stats.seals = seals_.load();
+  stats.compactions = compactions_.load();
+  stats.compacted_segments = compacted_segments_.load();
   return stats;
 }
 

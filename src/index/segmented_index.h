@@ -19,6 +19,8 @@ struct SegmentedIndexStats {
   size_t sealed_items = 0;   ///< items across sealed segments
   size_t mutable_items = 0;  ///< items in the mutable segment
   uint64_t seals = 0;        ///< lifetime seal (rotate) count
+  uint64_t compactions = 0;  ///< lifetime sealed-segment merges
+  uint64_t compacted_segments = 0;  ///< segments consumed by compactions
 };
 
 /// Memtable-style segment structure over any HammingIndex kind: one
@@ -55,9 +57,19 @@ class SegmentedHammingIndex : public HammingIndex {
 
   /// `factory` builds each segment (all of one kind); the mutable
   /// segment seals automatically when it reaches `seal_threshold` items
-  /// (0 = only on explicit Seal()).
+  /// (0 = only on explicit Seal()).  `compact_threshold` bounds the
+  /// per-query segment fan-out: whenever a seal leaves MORE than this
+  /// many sealed segments they are merged into one (0 = never compact —
+  /// the pre-compaction behaviour).  Compaction retains a copy of every
+  /// sealed item's (id, code), so enabling it costs one extra code copy
+  /// per item; the merge itself runs under the writer lock (readers on
+  /// the old pinned list are unaffected) and rebuilds one segment with
+  /// a single BatchAdd.  Results are unchanged by construction: every
+  /// segment kind returns (distance, id)-sorted hits and MergeHitLists
+  /// is associative over segment boundaries.
   explicit SegmentedHammingIndex(SegmentFactory factory,
-                                 size_t seal_threshold = 0);
+                                 size_t seal_threshold = 0,
+                                 size_t compact_threshold = 0);
 
   Status Add(ItemId id, const BinaryCode& code) override;
   /// Adds the whole batch under ONE exclusive-lock acquisition (readers
@@ -109,10 +121,18 @@ class SegmentedHammingIndex : public HammingIndex {
   Status Seal();
 
   size_t seal_threshold() const { return seal_threshold_; }
+  size_t compact_threshold() const { return compact_threshold_; }
   SegmentedIndexStats Stats() const;
 
  private:
-  using SegmentList = std::vector<std::shared_ptr<const HammingIndex>>;
+  /// One sealed segment: the immutable index plus (when compaction is
+  /// on) the retained items it was built from, so a later merge can
+  /// rebuild without enumerating the index.
+  struct SealedSegment {
+    std::shared_ptr<const HammingIndex> index;
+    std::shared_ptr<const std::vector<std::pair<ItemId, BinaryCode>>> items;
+  };
+  using SegmentList = std::vector<SealedSegment>;
 
   /// Same cross-segment code-length anchor as the sharded layer: a
   /// fresh mutable segment would otherwise accept a length the sealed
@@ -121,6 +141,10 @@ class SegmentedHammingIndex : public HammingIndex {
 
   /// Rotates under an already-held exclusive lock.
   void SealLocked();
+
+  /// Merges all sealed segments into one when their count exceeds
+  /// compact_threshold_; called under the exclusive lock after a seal.
+  void MaybeCompactLocked(std::shared_ptr<SegmentList>* next);
 
   /// The shared read protocol: runs `query_segment` against the mutable
   /// segment under the shared lock (pinning the sealed list in the same
@@ -142,16 +166,22 @@ class SegmentedHammingIndex : public HammingIndex {
 
   SegmentFactory factory_;
   size_t seal_threshold_;
+  size_t compact_threshold_;
   std::string base_name_;
 
   /// Guards mutable_ (and orders sealed-list swaps against readers'
   /// list loads).  Sealed-segment scans happen OUTSIDE this lock.
   mutable std::shared_mutex mu_;
   std::unique_ptr<HammingIndex> mutable_;
+  /// (id, code) pairs of the mutable segment, retained only when
+  /// compaction is on; moves into the SealedSegment on seal.
+  std::vector<std::pair<ItemId, BinaryCode>> mutable_items_;
   std::atomic<std::shared_ptr<const SegmentList>> sealed_;
 
   std::atomic<size_t> code_bits_{0};
   std::atomic<uint64_t> seals_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> compacted_segments_{0};
 };
 
 }  // namespace agoraeo::index

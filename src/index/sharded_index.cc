@@ -34,13 +34,14 @@ void AccumulateStats(const SearchStats& shard, SearchStats* total) {
 
 ShardedHammingIndex::ShardedHammingIndex(size_t num_shards,
                                          const ShardFactory& factory,
-                                         size_t seal_threshold)
+                                         size_t seal_threshold,
+                                         size_t compact_threshold)
     : seal_threshold_(seal_threshold) {
   num_shards = std::max<size_t>(1, num_shards);
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    shards_.push_back(
-        std::make_unique<SegmentedHammingIndex>(factory, seal_threshold));
+    shards_.push_back(std::make_unique<SegmentedHammingIndex>(
+        factory, seal_threshold, compact_threshold));
   }
 }
 
@@ -341,6 +342,7 @@ ShardedIndexStats ShardedHammingIndex::Stats() const {
     stats.seals += seg.seals;
     stats.sealed_items += seg.sealed_items;
     stats.mutable_items += seg.mutable_items;
+    stats.compactions += seg.compactions;
   }
   stats.single_fanouts = single_fanouts_.load();
   stats.batch_fanouts = batch_fanouts_.load();

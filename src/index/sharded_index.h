@@ -21,6 +21,7 @@ struct ShardedIndexStats {
   std::vector<size_t> shard_sizes;     ///< items per shard (routing balance)
   std::vector<size_t> shard_segments;  ///< sealed segments per shard
   uint64_t seals = 0;                  ///< seal (rotate) events across shards
+  uint64_t compactions = 0;            ///< sealed-segment merges across shards
   uint64_t sealed_items = 0;           ///< items served lock-free from sealed segments
   uint64_t mutable_items = 0;          ///< items still in mutable segments
   uint64_t single_fanouts = 0;         ///< single-query scatter–gather passes
@@ -63,9 +64,11 @@ class ShardedHammingIndex : public HammingIndex {
   /// Builds `num_shards` empty segment-structured shards over `factory`
   /// (0 is clamped to 1).  `seal_threshold` is each shard's mutable-
   /// segment seal point (0 = never auto-seal: one mutable segment per
-  /// shard, the exact pre-segment behaviour).
+  /// shard, the exact pre-segment behaviour); `compact_threshold` is
+  /// each shard's sealed-segment merge point (0 = never compact — see
+  /// SegmentedHammingIndex).
   ShardedHammingIndex(size_t num_shards, const ShardFactory& factory,
-                      size_t seal_threshold = 0);
+                      size_t seal_threshold = 0, size_t compact_threshold = 0);
 
   /// The id-stable routing function (exposed so tests and allowlist
   /// splitting agree with the index by construction).

@@ -1,13 +1,19 @@
 #include "netsvc/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <functional>
+#include <thread>
 
 namespace agoraeo::netsvc {
 
@@ -32,24 +38,87 @@ Status SendAll(int fd, const std::string& data) {
   return Status::OK();
 }
 
+bool IsRefusedErrno(int err) {
+  return err == ECONNREFUSED || err == ECONNRESET || err == EPIPE ||
+         err == ENETUNREACH || err == EHOSTUNREACH;
+}
+
+/// Non-blocking connect bounded by `timeout_ms`.  Distinguishes the two
+/// interesting failures: nobody listening (refused) vs nobody answering
+/// (timeout).
+Status ConnectWithTimeout(int fd, const sockaddr_in& addr, int timeout_ms,
+                          HttpErrorKind* kind) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    *kind = IsRefusedErrno(errno) ? HttpErrorKind::kRefused
+                                  : HttpErrorKind::kOther;
+    return Status::IOError(std::string("connect: ") + std::strerror(errno));
+  }
+  if (rc < 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      *kind = HttpErrorKind::kConnectTimeout;
+      return Status::IOError("connect timed out after " +
+                             std::to_string(timeout_ms) + " ms");
+    }
+    if (rc < 0) {
+      *kind = HttpErrorKind::kOther;
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      *kind = IsRefusedErrno(err) ? HttpErrorKind::kRefused
+                                  : HttpErrorKind::kOther;
+      return Status::IOError(std::string("connect: ") + std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking for send/recv
+  return Status::OK();
+}
+
+/// Deterministic per-(request, attempt) jitter fraction in [0.5, 1.0) —
+/// a splitmix64 scramble instead of shared RNG state, so concurrent
+/// requests need no lock and tests are reproducible.
+double JitterFraction(uint64_t salt, int attempt) {
+  uint64_t x = salt + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(attempt + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return 0.5 + 0.5 * (static_cast<double>(x >> 11) / 9007199254740992.0);
+}
+
 }  // namespace
 
-StatusOr<HttpResponse> HttpClient::Request(uint16_t port,
-                                           const std::string& method,
-                                           const std::string& target,
-                                           const std::string& body,
-                                           const std::string& content_type)
-    const {
+const char* HttpErrorKindName(HttpErrorKind kind) {
+  switch (kind) {
+    case HttpErrorKind::kNone: return "none";
+    case HttpErrorKind::kConnectTimeout: return "connect_timeout";
+    case HttpErrorKind::kReadTimeout: return "read_timeout";
+    case HttpErrorKind::kRefused: return "refused";
+    case HttpErrorKind::kMalformed: return "malformed";
+    case HttpErrorKind::kOther: return "other";
+  }
+  return "other";
+}
+
+StatusOr<HttpResponse> HttpClient::Attempt(uint16_t port,
+                                           const std::string& wire,
+                                           HttpErrorKind* kind) const {
+  *kind = HttpErrorKind::kOther;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
-  timeval tv{};
-  tv.tv_sec = timeout_ms_ / 1000;
-  tv.tv_usec = (timeout_ms_ % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -57,11 +126,80 @@ StatusOr<HttpResponse> HttpClient::Request(uint16_t port,
     ::close(fd);
     return Status::InvalidArgument("bad host address: " + host_);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  Status connected =
+      ConnectWithTimeout(fd, addr, options_.connect_timeout_ms, kind);
+  if (!connected.ok()) {
     ::close(fd);
-    return Status::IOError(std::string("connect: ") + std::strerror(errno));
+    return connected;
+  }
+  timeval tv{};
+  tv.tv_sec = options_.read_timeout_ms / 1000;
+  tv.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  const Status sent = SendAll(fd, wire);
+  if (!sent.ok()) {
+    const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
+    ::close(fd);
+    *kind = timed_out ? HttpErrorKind::kReadTimeout : HttpErrorKind::kRefused;
+    return sent;
   }
 
+  // Read until EOF (the server closes after one response).
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
+      ::close(fd);
+      *kind =
+          timed_out ? HttpErrorKind::kReadTimeout : HttpErrorKind::kRefused;
+      return Status::IOError(
+          timed_out ? "recv timed out after " +
+                          std::to_string(options_.read_timeout_ms) + " ms"
+                    : std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    *kind = HttpErrorKind::kMalformed;
+    return Status::IOError("no complete HTTP response head received");
+  }
+  auto resp_or = ParseResponseHead(buffer.substr(0, head_end));
+  if (!resp_or.ok()) {
+    *kind = HttpErrorKind::kMalformed;
+    return resp_or.status();
+  }
+  HttpResponse resp = std::move(resp_or).value();
+  resp.body = buffer.substr(head_end + 4);
+  // Trust Content-Length when present and sane.
+  auto it = resp.headers.find("content-length");
+  if (it != resp.headers.end()) {
+    const size_t expected =
+        static_cast<size_t>(std::strtoull(it->second.c_str(), nullptr, 10));
+    if (resp.body.size() < expected) {
+      *kind = HttpErrorKind::kMalformed;
+      return Status::IOError("response body shorter than content-length");
+    }
+    resp.body.resize(expected);
+  }
+  *kind = HttpErrorKind::kNone;
+  return resp;
+}
+
+StatusOr<HttpResponse> HttpClient::Request(uint16_t port,
+                                           const std::string& method,
+                                           const std::string& target,
+                                           const std::string& body,
+                                           const std::string& content_type,
+                                           HttpRequestDetail* detail) const {
   HttpRequest req;
   req.method = method;
   const size_t qmark = target.find('?');
@@ -73,47 +211,45 @@ StatusOr<HttpResponse> HttpClient::Request(uint16_t port,
   }
   req.body = body;
   if (!body.empty()) req.headers["content-type"] = content_type;
+  const std::string wire =
+      SerializeRequest(req, host_ + ":" + std::to_string(port));
 
-  const Status sent =
-      SendAll(fd, SerializeRequest(req, host_ + ":" + std::to_string(port)));
-  if (!sent.ok()) {
-    ::close(fd);
-    return sent;
-  }
-
-  // Read until EOF (the server closes after one response).
-  std::string buffer;
-  char chunk[4096];
-  while (true) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  const uint64_t jitter_salt =
+      std::hash<std::string>{}(target) ^ (static_cast<uint64_t>(port) << 17);
+  StatusOr<HttpResponse> result = Status::IOError("no attempt made");
+  HttpErrorKind kind = HttpErrorKind::kOther;
+  int attempts = 0;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1);
+      const int base = std::min(options_.backoff_max_ms,
+                                options_.backoff_base_ms << (attempt - 1));
+      const int sleep_ms = std::max(
+          1, static_cast<int>(base * JitterFraction(jitter_salt, attempt)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
-    if (n == 0) break;
-    buffer.append(chunk, static_cast<size_t>(n));
+    ++attempts;
+    result = Attempt(port, wire, &kind);
+    if (result.ok()) break;
+    // Connection-phase failures never reached the server, so any method
+    // can retry them; read-phase failures may have executed server-side
+    // and only idempotent GETs retry.
+    const bool retryable =
+        kind == HttpErrorKind::kRefused ||
+        kind == HttpErrorKind::kConnectTimeout ||
+        (method == "GET" && (kind == HttpErrorKind::kReadTimeout ||
+                             kind == HttpErrorKind::kMalformed));
+    if (!retryable) break;
   }
-  ::close(fd);
-
-  const size_t head_end = buffer.find("\r\n\r\n");
-  if (head_end == std::string::npos) {
-    return Status::IOError("no complete HTTP response head received");
+  if (detail != nullptr) {
+    detail->error_kind = kind;
+    detail->attempts = attempts;
   }
-  AGORAEO_ASSIGN_OR_RETURN(HttpResponse resp,
-                           ParseResponseHead(buffer.substr(0, head_end)));
-  resp.body = buffer.substr(head_end + 4);
-  // Trust Content-Length when present and sane.
-  auto it = resp.headers.find("content-length");
-  if (it != resp.headers.end()) {
-    const size_t expected =
-        static_cast<size_t>(std::strtoull(it->second.c_str(), nullptr, 10));
-    if (resp.body.size() < expected) {
-      return Status::IOError("response body shorter than content-length");
-    }
-    resp.body.resize(expected);
+  if (!result.ok() && kind != HttpErrorKind::kNone) {
+    return Status::IOError(std::string(HttpErrorKindName(kind)) + ": " +
+                           std::string(result.status().message()));
   }
-  return resp;
+  return result;
 }
 
 }  // namespace agoraeo::netsvc

@@ -1,6 +1,8 @@
 #ifndef AGORAEO_NETSVC_CLIENT_H_
 #define AGORAEO_NETSVC_CLIENT_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -8,21 +10,74 @@
 
 namespace agoraeo::netsvc {
 
+/// How a request failed, classified for callers that react differently
+/// to "the peer is slow" vs "the peer is gone" vs "the peer is
+/// broken" — the cluster coordinator retries refused nodes but fails
+/// fast on malformed responses.
+enum class HttpErrorKind {
+  kNone,            ///< the request succeeded
+  kConnectTimeout,  ///< connect() did not complete within the budget
+  kReadTimeout,     ///< the peer accepted but a send/recv timed out
+  kRefused,         ///< connection refused / reset / unreachable
+  kMalformed,       ///< bytes arrived but were not a valid HTTP response
+  kOther,           ///< anything else (bad address, local socket error)
+};
+
+const char* HttpErrorKindName(HttpErrorKind kind);
+
+/// Per-request outcome detail beyond the Status (optional out-param of
+/// Request): the typed failure kind and how many attempts were made.
+struct HttpRequestDetail {
+  HttpErrorKind error_kind = HttpErrorKind::kNone;
+  int attempts = 0;  ///< total connection attempts (1 = no retry needed)
+};
+
+/// Tuning of HttpClient; the defaults suit loopback tiers.
+struct HttpClientOptions {
+  /// Budget for establishing the TCP connection (non-blocking connect +
+  /// poll), separate from the read budget so a dead host fails fast
+  /// while a slow response can still stream.
+  int connect_timeout_ms = 2000;
+  /// Budget for each send/recv on an established connection.
+  int read_timeout_ms = 5000;
+  /// Extra attempts after the first failure.  Only connection-phase
+  /// failures (refused, connect timeout) are retried for non-idempotent
+  /// methods; GET also retries read-phase failures.
+  int max_retries = 2;
+  /// Exponential backoff between attempts: attempt n sleeps
+  /// min(backoff_base_ms << n, backoff_max_ms) scaled by a
+  /// deterministic jitter in [0.5, 1.0) so synchronized clients fan
+  /// back in spread out.
+  int backoff_base_ms = 25;
+  int backoff_max_ms = 1000;
+};
+
 /// A blocking HTTP client for the loopback tiers (the UI tier's side of
-/// the paper's three-tier architecture).  One request per connection,
-/// mirroring the server.
+/// the paper's three-tier architecture, and the cluster tier's
+/// inter-node transport).  One request per connection, mirroring the
+/// server.  Thread-safe: requests share no mutable state beyond
+/// counters.
 class HttpClient {
  public:
-  /// `timeout_ms` bounds connect/send/receive individually.
-  explicit HttpClient(std::string host = "127.0.0.1", int timeout_ms = 5000)
-      : host_(std::move(host)), timeout_ms_(timeout_ms) {}
+  explicit HttpClient(std::string host = "127.0.0.1",
+                      HttpClientOptions options = {})
+      : host_(std::move(host)), options_(options) {}
 
-  /// Issues `method target` with an optional body.
+  /// Legacy convenience: one timeout bounds connect and read alike.
+  HttpClient(std::string host, int timeout_ms) : host_(std::move(host)) {
+    options_.connect_timeout_ms = timeout_ms;
+    options_.read_timeout_ms = timeout_ms;
+  }
+
+  /// Issues `method target` with an optional body.  Failures carry a
+  /// "<kind>: " prefix in the Status message; pass `detail` for the
+  /// typed kind and the attempt count.
   StatusOr<HttpResponse> Request(uint16_t port, const std::string& method,
                                  const std::string& target,
                                  const std::string& body = "",
                                  const std::string& content_type =
-                                     "application/json") const;
+                                     "application/json",
+                                 HttpRequestDetail* detail = nullptr) const;
 
   StatusOr<HttpResponse> Get(uint16_t port, const std::string& target) const {
     return Request(port, "GET", target);
@@ -32,9 +87,18 @@ class HttpClient {
     return Request(port, "POST", target, json_body);
   }
 
+  const HttpClientOptions& options() const { return options_; }
+  /// Lifetime retry count across all requests (observability, tests).
+  uint64_t retries_attempted() const { return retries_.load(); }
+
  private:
+  /// One connection attempt: connect, send, read to EOF, parse.
+  StatusOr<HttpResponse> Attempt(uint16_t port, const std::string& wire,
+                                 HttpErrorKind* kind) const;
+
   std::string host_;
-  int timeout_ms_;
+  HttpClientOptions options_;
+  mutable std::atomic<uint64_t> retries_{0};
 };
 
 }  // namespace agoraeo::netsvc

@@ -415,15 +415,18 @@ std::string EarthQubeService::QueryResponseToJson(
   return out;
 }
 
-void EarthQubeService::RegisterRoutes(HttpServer* server) {
+void EarthQubeService::RegisterRoutes(HttpServer* server,
+                                      bool include_query_route) {
   server->Route("GET", "/health", [](const HttpRequest&) {
     return HttpResponse::Json(200, "{\"status\":\"ok\"}");
   });
-  server->RouteAsync("POST", "/api/v2/query",
-                     [this](const HttpRequest& request,
-                            HttpServer::Responder responder) {
-                       HandleQueryV2(request, std::move(responder));
-                     });
+  if (include_query_route) {
+    server->RouteAsync("POST", "/api/v2/query",
+                       [this](const HttpRequest& request,
+                              HttpServer::Responder responder) {
+                         HandleQueryV2(request, std::move(responder));
+                       });
+  }
   server->RouteAsync("POST", "/api/search",
                      [this](const HttpRequest& request,
                             HttpServer::Responder responder) {
@@ -516,6 +519,15 @@ HttpResponse EarthQubeService::HandleCacheStats() const {
              Value(static_cast<int64_t>(s.warm_from_flight_hits)));
   }
   out.Set("exec", Value(std::move(exec)));
+  if (node_info_) {
+    const NodeInfo info = node_info_();
+    Document node;
+    node.Set("id", Value(info.id));
+    node.Set("owned_slots", Value(static_cast<int64_t>(info.owned_slots)));
+    node.Set("cluster_epoch",
+             Value(static_cast<int64_t>(info.cluster_epoch)));
+    out.Set("node", Value(std::move(node)));
+  }
   return HttpResponse::Json(200, json::Serialize(out));
 }
 
@@ -584,6 +596,15 @@ HttpResponse EarthQubeService::HandleIndexStats() const {
     persistence.Set("snapshots_written",
                     Value(static_cast<int64_t>(p.snapshots_written)));
     out.Set("persistence", Value(std::move(persistence)));
+  }
+  if (node_info_) {
+    const NodeInfo info = node_info_();
+    Document node;
+    node.Set("id", Value(info.id));
+    node.Set("owned_slots", Value(static_cast<int64_t>(info.owned_slots)));
+    node.Set("cluster_epoch",
+             Value(static_cast<int64_t>(info.cluster_epoch)));
+    out.Set("node", Value(std::move(node)));
   }
   return HttpResponse::Json(200, json::Serialize(out));
 }

@@ -1,7 +1,10 @@
 #ifndef AGORAEO_NETSVC_EARTHQUBE_SERVICE_H_
 #define AGORAEO_NETSVC_EARTHQUBE_SERVICE_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "common/status.h"
 #include "earthqube/earthqube.h"
@@ -85,11 +88,32 @@ namespace agoraeo::netsvc {
 /// instead of clamped.
 class EarthQubeService {
  public:
+  /// Cluster identity surfaced by the stats endpoints.  A standalone
+  /// (non-cluster) service has no provider and emits no "node" block;
+  /// a ClusterNode installs one so operators can tell WHICH node a
+  /// stats response describes and how much of the slot space it owns.
+  struct NodeInfo {
+    std::string id;
+    size_t owned_slots = 0;
+    uint64_t cluster_epoch = 0;
+  };
+  using NodeInfoProvider = std::function<NodeInfo()>;
+
   /// `system` must outlive the service and the server.
   explicit EarthQubeService(earthqube::EarthQube* system) : system_(system) {}
 
   /// Registers every endpoint on `server` (call before server->Start()).
-  void RegisterRoutes(HttpServer* server);
+  /// A cluster node passes `include_query_route = false` and registers
+  /// its own /api/v2/query handler (slot guard + migration filtering)
+  /// in front of the same execution path.
+  void RegisterRoutes(HttpServer* server, bool include_query_route = true);
+
+  /// Installs the cluster-identity provider consulted by the stats
+  /// endpoints.  Must be called before the server starts; the provider
+  /// must be safe to invoke from server worker threads.
+  void set_node_info_provider(NodeInfoProvider provider) {
+    node_info_ = std::move(provider);
+  }
 
   /// Largest accepted batch (/cbir/batch_search names and /api/v2/query
   /// requests).
@@ -131,6 +155,7 @@ class EarthQubeService {
   HttpResponse HandlePatchMetadata(const HttpRequest& request) const;
 
   earthqube::EarthQube* system_;
+  NodeInfoProvider node_info_;
 };
 
 }  // namespace agoraeo::netsvc

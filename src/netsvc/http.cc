@@ -290,7 +290,9 @@ const char* ReasonPhrase(int code) {
     case 200: return "OK";
     case 201: return "Created";
     case 204: return "No Content";
+    case 308: return "Permanent Redirect";
     case 400: return "Bad Request";
+    case 409: return "Conflict";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 500: return "Internal Server Error";

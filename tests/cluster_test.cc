@@ -1,0 +1,796 @@
+/// Tests for the cluster tier: slot routing, the wire codecs, a real
+/// 3-node deployment answering the full v2 query matrix byte-identically
+/// to a monolithic deployment over the same archive, MOVED redirect
+/// discipline, and live slot migration under concurrent query load.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bigearthnet/archive_generator.h"
+#include "bigearthnet/feature_extractor.h"
+#include "cluster/cluster_node.h"
+#include "cluster/coordinator.h"
+#include "cluster/slot_table.h"
+#include "cluster/wire.h"
+#include "earthqube/earthqube.h"
+#include "json/json.h"
+#include "milan/milan_model.h"
+#include "milan/trainer.h"
+#include "milan/triplet_sampler.h"
+#include "netsvc/client.h"
+#include "netsvc/earthqube_service.h"
+#include "netsvc/http.h"
+#include "netsvc/server.h"
+
+namespace agoraeo::cluster {
+namespace {
+
+using docstore::Document;
+using docstore::Value;
+using netsvc::HttpClient;
+using netsvc::HttpResponse;
+
+// --- slot routing ------------------------------------------------------------
+
+TEST(SlotTableTest, SlotOfIsDeterministicAndInRange) {
+  for (const std::string name :
+       {"S2A_MSIL2A_20170613T101031_0_45", "S2B_MSIL2A_20170613T101031_0_46",
+        "a", "", "S2A_MSIL2A_20170613T101031_0_45x"}) {
+    const size_t slot = SlotOf(name, 1024);
+    EXPECT_LT(slot, 1024u);
+    EXPECT_EQ(slot, SlotOf(name, 1024)) << name;
+  }
+  // Single-slot tables route everything to slot 0.
+  EXPECT_EQ(SlotOf("anything", 1), 0u);
+  EXPECT_EQ(SlotOf("anything", 0), 0u);
+}
+
+TEST(SlotTableTest, SlotOfSpreadsSimilarNames) {
+  // Patch names share long prefixes; the mixer must still spread them.
+  std::set<size_t> slots;
+  for (int i = 0; i < 256; ++i) {
+    slots.insert(SlotOf("S2A_MSIL2A_20170613T101031_0_" + std::to_string(i),
+                        1024));
+  }
+  EXPECT_GT(slots.size(), 180u);
+}
+
+TEST(SlotTableTest, EvenPartitionCoversEverySlot) {
+  const SlotTable table({{"n1", "127.0.0.1", 1001},
+                         {"n2", "127.0.0.1", 1002},
+                         {"n3", "127.0.0.1", 1003}},
+                        16);
+  EXPECT_EQ(table.epoch(), 1u);
+  EXPECT_EQ(table.num_slots(), 16u);
+  size_t total = 0;
+  for (const std::string id : {"n1", "n2", "n3"}) {
+    const size_t owned = table.CountOwnedBy(id);
+    EXPECT_GE(owned, 5u) << id;
+    EXPECT_LE(owned, 6u) << id;
+    total += owned;
+  }
+  EXPECT_EQ(total, 16u);
+  for (size_t slot = 0; slot < 16; ++slot) {
+    EXPECT_NE(table.OwnerOfSlot(slot), nullptr) << slot;
+  }
+  EXPECT_EQ(table.OwnerOfSlot(99), nullptr);
+}
+
+TEST(SlotTableTest, AssignSlotRewiresOwnership) {
+  SlotTable table({{"n1", "127.0.0.1", 1001}, {"n2", "127.0.0.1", 1002}}, 8);
+  ASSERT_TRUE(table.AssignSlot(0, "n2").ok());
+  EXPECT_EQ(table.OwnerOfSlot(0)->id, "n2");
+  EXPECT_FALSE(table.AssignSlot(0, "ghost").ok());
+  EXPECT_FALSE(table.AssignSlot(64, "n1").ok());
+}
+
+TEST(SlotTableTest, JsonRoundTrip) {
+  SlotTable table({{"n1", "127.0.0.1", 1001}, {"n2", "10.0.0.7", 1002}}, 8);
+  table.set_epoch(42);
+  ASSERT_TRUE(table.AssignSlot(3, "n2").ok());
+  auto back = SlotTable::FromJson(table.ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->epoch(), 42u);
+  EXPECT_EQ(back->num_slots(), 8u);
+  ASSERT_EQ(back->num_nodes(), 2u);
+  EXPECT_EQ(back->node(1).host, "10.0.0.7");
+  for (size_t slot = 0; slot < 8; ++slot) {
+    EXPECT_EQ(back->OwnerOfSlot(slot)->id, table.OwnerOfSlot(slot)->id);
+  }
+}
+
+TEST(SlotTableTest, FromJsonRejectsMalformed) {
+  SlotTable table({{"n1", "127.0.0.1", 1001}}, 4);
+  Document good = table.ToJson();
+
+  Document bad = good;
+  bad.Set("num_slots", Value(static_cast<int64_t>(5)));
+  EXPECT_FALSE(SlotTable::FromJson(bad).ok());  // slots length mismatch
+
+  bad = good;
+  bad.Set("epoch", Value(std::string("later")));
+  EXPECT_FALSE(SlotTable::FromJson(bad).ok());
+
+  bad = good;
+  bad.Remove("nodes");
+  EXPECT_FALSE(SlotTable::FromJson(bad).ok());
+
+  bad = good;
+  bad.Set("slots", Value(std::vector<Value>{
+                       Value(static_cast<int64_t>(7)), Value(static_cast<int64_t>(0)),
+                       Value(static_cast<int64_t>(0)), Value(static_cast<int64_t>(0))}));
+  EXPECT_FALSE(SlotTable::FromJson(bad).ok());  // owner out of range
+}
+
+// --- wire codecs -------------------------------------------------------------
+
+TEST(WireTest, MovedBodyRoundTrip) {
+  const Document body = MovedBody(17, {"n2", "127.0.0.1", 4242}, 9);
+  auto moved = ParseMovedBody(body);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved->slot, 17u);
+  EXPECT_EQ(moved->owner.id, "n2");
+  EXPECT_EQ(moved->owner.host, "127.0.0.1");
+  EXPECT_EQ(moved->owner.port, 4242);
+  EXPECT_EQ(moved->epoch, 9u);
+}
+
+TEST(WireTest, SlotPayloadRoundTrip) {
+  SlotPayload payload;
+  payload.slot = 5;
+  payload.epoch = 3;
+  bigearthnet::ArchiveConfig config;
+  config.num_patches = 6;
+  config.seed = 9;
+  bigearthnet::ArchiveGenerator generator(config);
+  auto archive = generator.Generate();
+  ASSERT_TRUE(archive.ok());
+  for (const auto& patch : archive->patches) {
+    payload.names.push_back(patch.name);
+    payload.metadata.push_back(patch);
+    std::string bits;
+    for (int b = 0; b < 32; ++b) bits += (patch.name.size() + b) % 3 ? '1' : '0';
+    payload.codes.push_back(BinaryCode::FromBitString(bits));
+  }
+  auto doc = SlotPayloadToJson(payload);
+  ASSERT_TRUE(doc.ok());
+  // The payload survives a serialize/parse cycle (what actually crosses
+  // the wire between nodes).
+  auto reparsed = json::ParseObject(json::Serialize(*doc));
+  ASSERT_TRUE(reparsed.ok());
+  auto back = ParseSlotPayload(*reparsed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->slot, 5u);
+  EXPECT_EQ(back->epoch, 3u);
+  ASSERT_EQ(back->names.size(), payload.names.size());
+  for (size_t i = 0; i < payload.names.size(); ++i) {
+    EXPECT_EQ(back->names[i], payload.names[i]);
+    EXPECT_EQ(back->codes[i].ToBitString(), payload.codes[i].ToBitString());
+    EXPECT_EQ(back->metadata[i].name, payload.metadata[i].name);
+    EXPECT_EQ(back->metadata[i].labels, payload.metadata[i].labels);
+    EXPECT_EQ(back->metadata[i].country, payload.metadata[i].country);
+  }
+}
+
+// --- 3-node cluster vs monolith ----------------------------------------------
+
+/// Strips the two fields that legitimately differ between a monolithic
+/// and a clustered answer: the plan (the coordinator synthesises its
+/// own) and the cache marker.  Everything else must be byte-identical.
+std::string Canonical(const std::string& body) {
+  auto doc = json::ParseObject(body);
+  EXPECT_TRUE(doc.ok()) << body;
+  if (!doc.ok()) return body;
+  doc->Remove("plan");
+  doc->Remove("served_from_cache");
+  // Batch envelopes nest the per-request responses.
+  const Value* responses = doc->Get("responses");
+  if (responses != nullptr && responses->is_array()) {
+    std::vector<Value> cleaned;
+    for (const Value& entry : responses->as_array()) {
+      Document one = entry.as_document();
+      one.Remove("plan");
+      one.Remove("served_from_cache");
+      cleaned.emplace_back(std::move(one));
+    }
+    doc->Set("responses", Value(std::move(cleaned)));
+  }
+  return json::Serialize(*doc);
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kNumSlots = 64;
+
+  static void SetUpTestSuite() {
+    bigearthnet::ArchiveConfig config;
+    config.num_patches = 800;
+    config.seed = 77;
+    generator_ = new bigearthnet::ArchiveGenerator(config);
+    auto archive = generator_->Generate();
+    ASSERT_TRUE(archive.ok());
+    archive_ = new bigearthnet::Archive(std::move(archive).value());
+
+    // One trained model shared (via save/load) by the monolith and
+    // every node: identical codes everywhere.
+    bigearthnet::FeatureExtractor extractor;
+    Tensor features = extractor.ExtractArchive(*archive_, *generator_, 2);
+    milan::MilanConfig mconfig;
+    mconfig.feature_dim = bigearthnet::kFeatureDim;
+    mconfig.hidden1 = 64;
+    mconfig.hidden2 = 32;
+    mconfig.hash_bits = 32;
+    mconfig.dropout = 0.0f;
+    auto model = std::make_unique<milan::MilanModel>(mconfig);
+    std::vector<bigearthnet::LabelSet> labels;
+    for (const auto& p : archive_->patches) labels.push_back(p.labels);
+    milan::TripletSampler sampler(labels);
+    milan::TrainConfig tconfig;
+    tconfig.epochs = 2;
+    tconfig.batches_per_epoch = 10;
+    tconfig.batch_size = 16;
+    milan::Trainer trainer(model.get(), &features, &sampler, tconfig);
+    ASSERT_TRUE(trainer.Train().ok());
+    model_path_ = new std::string(
+        (std::filesystem::temp_directory_path() / "cluster_test_model.milan")
+            .string());
+    ASSERT_TRUE(model->Save(*model_path_).ok());
+
+    // Monolithic reference deployment.
+    extractor_ = new bigearthnet::FeatureExtractor();
+    mono_ = new earthqube::EarthQube();
+    ASSERT_TRUE(mono_->IngestArchive(*archive_).ok());
+    auto mono_cbir =
+        std::make_unique<earthqube::CbirService>(std::move(model), extractor_);
+    std::vector<std::string> names;
+    for (const auto& p : archive_->patches) names.push_back(p.name);
+    ASSERT_TRUE(mono_cbir->AddImages(names, features).ok());
+    mono_->AttachCbir(std::move(mono_cbir));
+    mono_service_ = new netsvc::EarthQubeService(mono_);
+    mono_server_ = new netsvc::HttpServer(2);
+    mono_service_->RegisterRoutes(mono_server_);
+    ASSERT_TRUE(mono_server_->Start(0).ok());
+
+    // The monolith's codes are the cluster's ingest payload.
+    codes_ = new std::vector<BinaryCode>();
+    for (const auto& p : archive_->patches) {
+      auto code = mono_->cbir()->CodeOf(p.name);
+      ASSERT_TRUE(code.ok()) << p.name;
+      codes_->push_back(*std::move(code));
+    }
+
+    // Three cluster nodes, each a full stack over an empty system.
+    for (int i = 0; i < 3; ++i) {
+      systems_[i] = NewNodeSystem();
+      ClusterNode::Options options;
+      options.id = "n" + std::to_string(i + 1);
+      nodes_[i] = new ClusterNode(systems_[i], options);
+      ASSERT_TRUE(nodes_[i]->Start(0).ok());
+    }
+    const SlotTable table({nodes_[0]->address(), nodes_[1]->address(),
+                           nodes_[2]->address()},
+                          kNumSlots);
+    for (auto* node : nodes_) node->SetTable(table);
+
+    coordinator_ = new Coordinator();
+    coordinator_->AttachTable(table);
+    ASSERT_TRUE(coordinator_->IngestArchive(*archive_, *codes_).ok());
+
+    coordinator_server_ = new netsvc::HttpServer(2);
+    coordinator_->RegisterRoutes(coordinator_server_);
+    ASSERT_TRUE(coordinator_server_->Start(0).ok());
+  }
+
+  static void TearDownTestSuite() {
+    coordinator_server_->Stop();
+    delete coordinator_server_;
+    delete coordinator_;
+    for (auto*& node : nodes_) {
+      node->Stop();
+      delete node;
+      node = nullptr;
+    }
+    for (auto*& system : systems_) {
+      delete system;
+      system = nullptr;
+    }
+    mono_server_->Stop();
+    delete mono_server_;
+    delete mono_service_;
+    delete mono_;
+    delete extractor_;
+    delete codes_;
+    std::filesystem::remove(*model_path_);
+    delete model_path_;
+    delete archive_;
+    delete generator_;
+  }
+
+  /// A fresh single-node stack with the shared model loaded.
+  static earthqube::EarthQube* NewNodeSystem() {
+    auto* system = new earthqube::EarthQube();
+    auto model = milan::MilanModel::Load(*model_path_);
+    EXPECT_TRUE(model.ok());
+    system->AttachCbir(std::make_unique<earthqube::CbirService>(
+        std::move(*model), extractor_));
+    return system;
+  }
+
+  /// Posts the same body to the monolith and the coordinator and
+  /// expects canonically identical answers.
+  static void ExpectParity(const std::string& body) {
+    HttpClient client;
+    auto mono = client.Post(mono_server_->port(), "/api/v2/query", body);
+    auto cluster =
+        client.Post(coordinator_server_->port(), "/api/v2/query", body);
+    ASSERT_TRUE(mono.ok());
+    ASSERT_TRUE(cluster.ok());
+    ASSERT_EQ(mono->status_code, 200) << mono->body;
+    ASSERT_EQ(cluster->status_code, 200) << cluster->body;
+    EXPECT_EQ(Canonical(cluster->body), Canonical(mono->body)) << body;
+  }
+
+  static bigearthnet::ArchiveGenerator* generator_;
+  static bigearthnet::Archive* archive_;
+  static bigearthnet::FeatureExtractor* extractor_;
+  static std::string* model_path_;
+  static std::vector<BinaryCode>* codes_;
+  static earthqube::EarthQube* mono_;
+  static netsvc::EarthQubeService* mono_service_;
+  static netsvc::HttpServer* mono_server_;
+  static earthqube::EarthQube* systems_[3];
+  static ClusterNode* nodes_[3];
+  static Coordinator* coordinator_;
+  static netsvc::HttpServer* coordinator_server_;
+};
+
+bigearthnet::ArchiveGenerator* ClusterTest::generator_ = nullptr;
+bigearthnet::Archive* ClusterTest::archive_ = nullptr;
+bigearthnet::FeatureExtractor* ClusterTest::extractor_ = nullptr;
+std::string* ClusterTest::model_path_ = nullptr;
+std::vector<BinaryCode>* ClusterTest::codes_ = nullptr;
+earthqube::EarthQube* ClusterTest::mono_ = nullptr;
+netsvc::EarthQubeService* ClusterTest::mono_service_ = nullptr;
+netsvc::HttpServer* ClusterTest::mono_server_ = nullptr;
+earthqube::EarthQube* ClusterTest::systems_[3] = {nullptr, nullptr, nullptr};
+ClusterNode* ClusterTest::nodes_[3] = {nullptr, nullptr, nullptr};
+Coordinator* ClusterTest::coordinator_ = nullptr;
+netsvc::HttpServer* ClusterTest::coordinator_server_ = nullptr;
+
+TEST_F(ClusterTest, IngestSharded) {
+  // Every node holds a proper, non-empty subset.
+  size_t total = 0;
+  for (auto* system : systems_) {
+    EXPECT_GT(system->num_images(), 0u);
+    EXPECT_LT(system->num_images(), archive_->patches.size());
+    total += system->num_images();
+  }
+  EXPECT_EQ(total, archive_->patches.size());
+  // And the subset is exactly the names whose slots the node owns.
+  const SlotTable table = nodes_[0]->table();
+  for (const auto& patch : archive_->patches) {
+    const NodeAddress* owner = table.OwnerOfName(patch.name);
+    ASSERT_NE(owner, nullptr);
+    for (int i = 0; i < 3; ++i) {
+      const bool here = nodes_[i]->id() == owner->id;
+      EXPECT_EQ(systems_[i]->GetMetadata(patch.name).ok(), here) << patch.name;
+    }
+  }
+}
+
+TEST_F(ClusterTest, PanelQueriesMatchMonolith) {
+  ExpectParity(
+      R"({"panel":{"labels":{"operator":"some","names":["Broad-leaved forest",)"
+      R"("Coniferous forest","Mixed forest"]}}})");
+  ExpectParity(
+      R"({"panel":{"date_range":{"begin":"2017-07-01","end":"2017-08-31"}}})");
+  ExpectParity(
+      R"({"panel":{"geo":{"rect":{"min_lat":40,"min_lon":5,)"
+      R"("max_lat":55,"max_lon":20}}}})");
+  ExpectParity(
+      R"({"panel":{"geo":{"circle":{"lat":48.0,"lon":11.0,)"
+      R"("radius_m":400000}},"satellites":["S2A"]}})");
+  ExpectParity(R"({"panel":{"seasons":["summer"],"limit":37}})");
+  ExpectParity(
+      R"({"panel":{"labels":{"operator":"some","names":["Water bodies"]},)"
+      R"("limit":10},"projection":"full"})");
+}
+
+TEST_F(ClusterTest, SimilarityByCodeMatchesMonolith) {
+  const std::string code = (*codes_)[11].ToBitString();
+  ExpectParity(R"({"similarity":{"code":")" + code + R"(","k":25}})");
+  ExpectParity(R"({"similarity":{"code":")" + code + R"(","radius":6}})");
+  ExpectParity(R"({"similarity":{"code":")" + code +
+               R"(","radius":8,"limit":15}})");
+  ExpectParity(R"({"similarity":{"code":")" + code +
+               R"(","k":10},"projection":"full"})");
+}
+
+TEST_F(ClusterTest, SimilarityByNameMatchesMonolith) {
+  // Subjects spread over all three nodes: by-name resolution must work
+  // wherever the subject lives.
+  const SlotTable table = nodes_[0]->table();
+  std::set<std::string> covered;
+  for (const auto& patch : archive_->patches) {
+    if (!covered.insert(table.OwnerOfName(patch.name)->id).second) continue;
+    ExpectParity(R"({"similarity":{"name":")" + patch.name + R"(","k":20}})");
+    ExpectParity(R"({"similarity":{"name":")" + patch.name +
+                 R"(","radius":7},"projection":"full"})");
+    if (covered.size() == 3) break;
+  }
+  EXPECT_EQ(covered.size(), 3u);
+}
+
+TEST_F(ClusterTest, HybridQueriesMatchMonolith) {
+  const std::string code = (*codes_)[42].ToBitString();
+  for (const std::string planner : {"auto", "pre_filter", "post_filter"}) {
+    ExpectParity(
+        R"({"panel":{"labels":{"operator":"some","names":["Pastures",)"
+        R"("Water bodies","Beaches, dunes, sands"]}},)"
+        R"("similarity":{"code":")" +
+        code + R"(","k":30},"planner":")" + planner +
+        R"(","projection":"full"})");
+    ExpectParity(
+        R"({"panel":{"seasons":["summer","autumn"]},)"
+        R"("similarity":{"name":")" +
+        archive_->patches[5].name + R"(","radius":9},"planner":")" + planner +
+        R"("})");
+  }
+}
+
+TEST_F(ClusterTest, PagingAndCursorMatchMonolith) {
+  const std::string base =
+      R"({"panel":{"labels":{"operator":"some","names":["Pastures"]}},)"
+      R"("projection":"full","page_size":7)";
+  ExpectParity(base + "}");
+  ExpectParity(base + R"(,"page":2})");
+
+  // Follow the cluster's cursor on BOTH deployments: the cursor itself
+  // must be interchangeable.
+  HttpClient client;
+  auto first =
+      client.Post(coordinator_server_->port(), "/api/v2/query", base + "}");
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->status_code, 200) << first->body;
+  auto doc = json::ParseObject(first->body);
+  ASSERT_TRUE(doc.ok());
+  const Value* cursor = doc->Get("cursor");
+  ASSERT_NE(cursor, nullptr);
+  ASSERT_TRUE(cursor->is_string());
+  ExpectParity(
+      R"({"panel":{"labels":{"operator":"some","names":["Pastures"]}},)"
+      R"("projection":"full","cursor":")" +
+      cursor->as_string() + R"("})");
+}
+
+TEST_F(ClusterTest, BatchMatchesMonolith) {
+  const std::string code = (*codes_)[3].ToBitString();
+  ExpectParity(
+      R"({"requests":[)"
+      R"({"panel":{"seasons":["winter"]}},)"
+      R"({"similarity":{"code":")" +
+      code +
+      R"(","k":12}},)"
+      R"({"panel":{"labels":{"operator":"some","names":["Pastures"]}},)"
+      R"("similarity":{"code":")" +
+      code + R"(","radius":10}}]})");
+}
+
+TEST_F(ClusterTest, CoordinatorServesSlotTable) {
+  HttpClient client;
+  auto resp = client.Get(coordinator_server_->port(), "/api/v2/cluster/slots");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200);
+  auto doc = json::ParseObject(resp->body);
+  ASSERT_TRUE(doc.ok());
+  auto table = SlotTable::FromJson(*doc);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_slots(), kNumSlots);
+  EXPECT_EQ(table->num_nodes(), 3u);
+
+  // RefreshTopology bootstraps a second coordinator from any member.
+  Coordinator fresh;
+  ASSERT_TRUE(fresh.RefreshTopology(nodes_[1]->address()).ok());
+  EXPECT_EQ(fresh.table().num_slots(), kNumSlots);
+  EXPECT_EQ(fresh.epoch(), coordinator_->epoch());
+}
+
+TEST_F(ClusterTest, NodeStatsCarryNodeBlock) {
+  HttpClient client;
+  for (const std::string target :
+       {std::string("/api/v2/index/stats"), std::string("/api/v2/cache/stats")}) {
+    auto resp = client.Get(nodes_[1]->port(), target);
+    ASSERT_TRUE(resp.ok());
+    ASSERT_EQ(resp->status_code, 200) << resp->body;
+    auto doc = json::ParseObject(resp->body);
+    ASSERT_TRUE(doc.ok());
+    const Value* node = doc->Get("node");
+    ASSERT_NE(node, nullptr) << target;
+    ASSERT_TRUE(node->is_document());
+    EXPECT_EQ(node->as_document().Get("id")->as_string(), "n2");
+    EXPECT_GT(node->as_document().Get("owned_slots")->as_int64(), 0);
+    EXPECT_GE(node->as_document().Get("cluster_epoch")->as_int64(), 1);
+  }
+}
+
+TEST_F(ClusterTest, UnownedByNameSubjectAnswersMoved) {
+  // Find a patch and a node that does NOT own it.
+  const SlotTable table = nodes_[0]->table();
+  const auto& patch = archive_->patches[0];
+  const NodeAddress* owner = table.OwnerOfName(patch.name);
+  ASSERT_NE(owner, nullptr);
+  ClusterNode* wrong = nullptr;
+  for (auto* node : nodes_) {
+    if (node->id() != owner->id) wrong = node;
+  }
+  ASSERT_NE(wrong, nullptr);
+
+  HttpClient client;
+  auto resp = client.Post(wrong->port(), "/api/v2/query",
+                          R"({"similarity":{"name":")" + patch.name +
+                              R"(","k":5}})");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 308) << resp->body;
+  EXPECT_NE(resp->headers.find("x-cluster-epoch"), resp->headers.end());
+  auto doc = json::ParseObject(resp->body);
+  ASSERT_TRUE(doc.ok());
+  auto moved = ParseMovedBody(*doc);
+  ASSERT_TRUE(moved.ok()) << resp->body;
+  EXPECT_EQ(moved->owner.id, owner->id);
+  EXPECT_EQ(moved->owner.port, owner->port);
+  EXPECT_EQ(moved->slot, SlotOf(patch.name, kNumSlots));
+
+  // The same subject at the right node answers 200.
+  for (auto* node : nodes_) {
+    if (node->id() != owner->id) continue;
+    auto good = client.Post(node->port(), "/api/v2/query",
+                            R"({"similarity":{"name":")" + patch.name +
+                                R"(","k":5}})");
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good->status_code, 200) << good->body;
+  }
+}
+
+TEST_F(ClusterTest, CoordinatorFollowsExactlyOneRedirect) {
+  // Two nodes with deliberately conflicting tables: each claims the
+  // OTHER owns the probe slot, so every code lookup answers MOVED.
+  const std::string name = archive_->patches[7].name;
+  const size_t slot = SlotOf(name, 8);
+
+  earthqube::EarthQube a_system, b_system;
+  ClusterNode::Options a_options, b_options;
+  a_options.id = "a";
+  b_options.id = "b";
+  ClusterNode a(&a_system, a_options);
+  ClusterNode b(&b_system, b_options);
+  ASSERT_TRUE(a.Start(0).ok());
+  ASSERT_TRUE(b.Start(0).ok());
+
+  SlotTable base({a.address(), b.address()}, 8);
+  SlotTable for_a = base;
+  ASSERT_TRUE(for_a.AssignSlot(slot, "b").ok());
+  SlotTable for_b = base;
+  ASSERT_TRUE(for_b.AssignSlot(slot, "a").ok());
+  a.SetTable(for_a);
+  b.SetTable(for_b);
+
+  Coordinator coordinator;
+  SlotTable for_coordinator = base;
+  ASSERT_TRUE(for_coordinator.AssignSlot(slot, "a").ok());
+  coordinator.AttachTable(for_coordinator);
+
+  EXPECT_EQ(coordinator.redirects_followed(), 0u);
+  auto result = coordinator.Query(R"({"similarity":{"name":")" + name +
+                                  R"(","k":3}})");
+  ASSERT_FALSE(result.ok());
+  // Exactly one redirect was followed before giving up — never a loop.
+  EXPECT_EQ(coordinator.redirects_followed(), 1u);
+
+  a.Stop();
+  b.Stop();
+}
+
+// --- live migration ----------------------------------------------------------
+
+class MigrationTest : public ClusterTest {};
+
+TEST_F(MigrationTest, MigrationMovesSlotAndKeepsParity) {
+  // Fresh 2-node cluster over the shared archive + codes.
+  std::unique_ptr<earthqube::EarthQube> s1(NewNodeSystem());
+  std::unique_ptr<earthqube::EarthQube> s2(NewNodeSystem());
+  ClusterNode::Options o1, o2;
+  o1.id = "m1";
+  o2.id = "m2";
+  ClusterNode n1(s1.get(), o1);
+  ClusterNode n2(s2.get(), o2);
+  ASSERT_TRUE(n1.Start(0).ok());
+  ASSERT_TRUE(n2.Start(0).ok());
+  const SlotTable table({n1.address(), n2.address()}, 8);
+  n1.SetTable(table);
+  n2.SetTable(table);
+  Coordinator coordinator;
+  coordinator.AttachTable(table);
+  ASSERT_TRUE(coordinator.IngestArchive(*archive_, *codes_).ok());
+
+  // Pick an owned slot with data and migrate it over the wire.
+  const std::vector<size_t> owned = table.SlotsOwnedBy("m1");
+  ASSERT_FALSE(owned.empty());
+  size_t slot = owned[0];
+  for (size_t candidate : owned) {
+    for (const auto& patch : archive_->patches) {
+      if (SlotOf(patch.name, 8) == candidate) {
+        slot = candidate;
+        break;
+      }
+    }
+  }
+  const size_t before_n2 = s2->num_images();
+  HttpClient client;
+  auto resp = client.Post(n1.port(), "/api/v2/cluster/migrate",
+                          R"({"slot":)" + std::to_string(slot) +
+                              R"(,"target":"m2"})");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200) << resp->body;
+
+  // Ownership flipped, epoch advanced, tombstone recorded.
+  EXPECT_EQ(n1.table().OwnerOfSlot(slot)->id, "m2");
+  EXPECT_GT(n1.epoch(), 1u);
+  const auto tombstones = n1.tombstoned_slots();
+  EXPECT_NE(std::find(tombstones.begin(), tombstones.end(), slot),
+            tombstones.end());
+  EXPECT_GT(s2->num_images(), before_n2);
+
+  // A by-name subject from the migrated slot now 308s at the source...
+  std::string migrated_name;
+  for (const auto& patch : archive_->patches) {
+    if (SlotOf(patch.name, 8) == slot) {
+      migrated_name = patch.name;
+      break;
+    }
+  }
+  ASSERT_FALSE(migrated_name.empty());
+  auto at_source = client.Post(n1.port(), "/api/v2/query",
+                               R"({"similarity":{"name":")" + migrated_name +
+                                   R"(","k":5}})");
+  ASSERT_TRUE(at_source.ok());
+  EXPECT_EQ(at_source->status_code, 308) << at_source->body;
+  // ...and answers at the new owner.
+  auto at_target = client.Post(n2.port(), "/api/v2/query",
+                               R"({"similarity":{"name":")" + migrated_name +
+                                   R"(","k":5}})");
+  ASSERT_TRUE(at_target.ok());
+  EXPECT_EQ(at_target->status_code, 200) << at_target->body;
+
+  // Full parity after the move: the coordinator chases the 308 via the
+  // epoch refresh and the merged answers still match the monolith.
+  netsvc::HttpServer coordinator_server(2);
+  coordinator.RegisterRoutes(&coordinator_server);
+  ASSERT_TRUE(coordinator_server.Start(0).ok());
+  const std::string code = (*codes_)[11].ToBitString();
+  const std::vector<std::string> parity_bodies = {
+      R"({"similarity":{"code":")" + code + R"(","k":25}})",
+      R"({"similarity":{"name":")" + migrated_name +
+          R"(","k":20},"projection":"full"})",
+      R"({"panel":{"labels":{"operator":"some",)"
+      R"("names":["Pastures","Water bodies"]}},"projection":"full"})",
+  };
+  for (const std::string& body : parity_bodies) {
+    auto mono = client.Post(mono_server_->port(), "/api/v2/query", body);
+    auto clustered =
+        client.Post(coordinator_server.port(), "/api/v2/query", body);
+    ASSERT_TRUE(mono.ok());
+    ASSERT_TRUE(clustered.ok());
+    ASSERT_EQ(clustered->status_code, 200) << clustered->body;
+    EXPECT_EQ(Canonical(clustered->body), Canonical(mono->body)) << body;
+  }
+  coordinator_server.Stop();
+  n1.Stop();
+  n2.Stop();
+}
+
+TEST_F(MigrationTest, QueriesUnderLiveMigrationLoseNothing) {
+  // 2-node cluster; hammer the coordinator from several threads while
+  // every slot of m1 migrates to m2.  Every in-flight answer must stay
+  // well-formed and row-identical to the monolith: the dedup-by-name
+  // merge makes the ASK-window union exact.
+  std::unique_ptr<earthqube::EarthQube> s1(NewNodeSystem());
+  std::unique_ptr<earthqube::EarthQube> s2(NewNodeSystem());
+  ClusterNode::Options o1, o2;
+  o1.id = "m1";
+  o2.id = "m2";
+  ClusterNode n1(s1.get(), o1);
+  ClusterNode n2(s2.get(), o2);
+  ASSERT_TRUE(n1.Start(0).ok());
+  ASSERT_TRUE(n2.Start(0).ok());
+  const SlotTable table({n1.address(), n2.address()}, 8);
+  n1.SetTable(table);
+  n2.SetTable(table);
+  auto coordinator = std::make_unique<Coordinator>();
+  coordinator->AttachTable(table);
+  ASSERT_TRUE(coordinator->IngestArchive(*archive_, *codes_).ok());
+
+  // Expected answers, computed against the monolith up front.
+  const std::string code = (*codes_)[23].ToBitString();
+  const std::vector<std::string> bodies = {
+      R"({"similarity":{"code":")" + code + R"(","k":40}})",
+      R"({"similarity":{"code":")" + code + R"(","radius":8}})",
+      R"({"panel":{"labels":{"operator":"some","names":["Pastures",)"
+      R"("Coniferous forest"]}},"projection":"full"})",
+      R"({"panel":{"seasons":["summer"]},"similarity":{"code":")" + code +
+          R"(","k":25},"projection":"full"})",
+  };
+  HttpClient setup_client;
+  std::vector<std::string> expected;
+  for (const std::string& body : bodies) {
+    auto mono = setup_client.Post(mono_server_->port(), "/api/v2/query", body);
+    ASSERT_TRUE(mono.ok());
+    ASSERT_EQ(mono->status_code, 200);
+    expected.push_back(Canonical(mono->body));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::atomic<int> answered{0};
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < 4; ++t) {
+    hammers.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string& body = bodies[i++ % bodies.size()];
+        auto result = coordinator->Query(body);
+        if (!result.ok()) {
+          ++failures;
+          continue;
+        }
+        ++answered;
+        if (Canonical(*result) !=
+            expected[(i - 1) % bodies.size()]) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+
+  // Migrate every slot m1 owns, one at a time, under load.
+  HttpClient client;
+  for (const size_t slot : table.SlotsOwnedBy("m1")) {
+    auto resp = client.Post(n1.port(), "/api/v2/cluster/migrate",
+                            R"({"slot":)" + std::to_string(slot) +
+                                R"(,"target":"m2"})");
+    ASSERT_TRUE(resp.ok());
+    ASSERT_EQ(resp->status_code, 200) << resp->body;
+  }
+  // Let the hammers observe the post-migration steady state too.
+  for (int burst = 0; burst < 4; ++burst) {
+    auto result = coordinator->Query(bodies[0]);
+    ASSERT_TRUE(result.ok());
+  }
+  stop = true;
+  for (auto& thread : hammers) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(answered.load(), 0);
+
+  // End state: m1 serves nothing, m2 everything.
+  EXPECT_EQ(n1.owned_slot_count(), 0u);
+  EXPECT_EQ(n1.tombstoned_slots().size(), table.SlotsOwnedBy("m1").size());
+  EXPECT_EQ(n2.owned_slot_count(), 8u);
+  auto final_result = coordinator->Query(bodies[2]);
+  ASSERT_TRUE(final_result.ok());
+  EXPECT_EQ(Canonical(*final_result), expected[2]);
+
+  n1.Stop();
+  n2.Stop();
+}
+
+}  // namespace
+}  // namespace agoraeo::cluster

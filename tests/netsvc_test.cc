@@ -3,6 +3,11 @@
 /// paper's three-tier architecture exercised end to end over real TCP.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <filesystem>
 #include <set>
@@ -190,6 +195,124 @@ TEST(ServerTest, StopIsIdempotentAndRestartable) {
   EXPECT_NE(second.port(), 0);
   (void)port;
   second.Stop();
+}
+
+// --- client robustness --------------------------------------------------------
+
+/// Binds an ephemeral port and immediately releases it: a port that is
+/// almost certainly closed, so connects are refused rather than hang.
+uint16_t ClosedPort() {
+  HttpServer probe(1);
+  EXPECT_TRUE(probe.Start(0).ok());
+  const uint16_t port = probe.port();
+  probe.Stop();
+  return port;
+}
+
+TEST(ClientTest, RefusedConnectionIsTypedAndRetried) {
+  HttpClientOptions options;
+  options.max_retries = 2;
+  options.backoff_base_ms = 1;
+  options.backoff_max_ms = 2;
+  HttpClient client("127.0.0.1", options);
+  HttpRequestDetail detail;
+  auto resp = client.Request(ClosedPort(), "POST", "/x", "{}",
+                             "application/json", &detail);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(detail.error_kind, HttpErrorKind::kRefused);
+  // Connection-phase failures retry even for POST: first try + 2 retries.
+  EXPECT_EQ(detail.attempts, 3);
+  EXPECT_EQ(client.retries_attempted(), 2u);
+  // The typed kind leads the Status message.
+  EXPECT_NE(resp.status().message().find("refused"), std::string::npos)
+      << resp.status().message();
+}
+
+TEST(ClientTest, ZeroRetriesFailsFast) {
+  HttpClientOptions options;
+  options.max_retries = 0;
+  HttpClient client("127.0.0.1", options);
+  HttpRequestDetail detail;
+  auto resp = client.Request(ClosedPort(), "GET", "/x", "", "", &detail);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(detail.attempts, 1);
+  EXPECT_EQ(client.retries_attempted(), 0u);
+}
+
+TEST(ClientTest, SilentServerIsAReadTimeout) {
+  // A listener that accepts but never answers.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  HttpClientOptions options;
+  options.read_timeout_ms = 100;
+  options.max_retries = 0;
+  HttpClient client("127.0.0.1", options);
+  HttpRequestDetail detail;
+  auto resp = client.Request(port, "GET", "/slow", "", "", &detail);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(detail.error_kind, HttpErrorKind::kReadTimeout);
+  EXPECT_NE(resp.status().message().find("read_timeout"), std::string::npos)
+      << resp.status().message();
+  ::close(listener);
+}
+
+TEST(ClientTest, GarbageResponseIsMalformedAndNotRetriedForPost) {
+  // A listener that answers every connection with non-HTTP bytes.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const uint16_t port = ntohs(addr.sin_port);
+  std::atomic<bool> stop{false};
+  std::thread garbler([listener, &stop] {
+    while (!stop.load()) {
+      const int conn = ::accept(listener, nullptr, nullptr);
+      if (conn < 0) break;
+      char buf[512];
+      (void)::recv(conn, buf, sizeof(buf), 0);
+      const char kJunk[] = "NOT/HTTP definitely\r\n\r\n";
+      (void)::send(conn, kJunk, sizeof(kJunk) - 1, 0);
+      ::close(conn);
+    }
+  });
+
+  HttpClientOptions options;
+  options.max_retries = 3;
+  options.backoff_base_ms = 1;
+  HttpClient client("127.0.0.1", options);
+  HttpRequestDetail detail;
+  auto resp = client.Request(port, "POST", "/x", "{}", "application/json",
+                             &detail);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(detail.error_kind, HttpErrorKind::kMalformed);
+  // A POST may have executed server-side: read-phase failures must NOT
+  // be replayed for non-idempotent methods.
+  EXPECT_EQ(detail.attempts, 1);
+
+  stop = true;
+  ::shutdown(listener, SHUT_RDWR);
+  ::close(listener);
+  garbler.join();
 }
 
 // --- EarthQube service over the wire ------------------------------------------

@@ -112,6 +112,71 @@ TEST(SegmentedIndex, ParityAcrossKindsAndThresholds) {
   }
 }
 
+/// Compaction bounds the sealed-segment fan-out without changing a
+/// single result: the merged segment must answer every search flavour
+/// byte-identically to a flat index (and to what the uncompacted
+/// layout would have answered).
+TEST(SegmentedIndex, CompactionBoundsSegmentsAndKeepsParity) {
+  Rng rng(43);
+  const size_t kBits = 64;
+  const size_t kItems = 300;
+  std::vector<BinaryCode> codes;
+  for (size_t i = 0; i < kItems; ++i) codes.push_back(RandomCode(kBits, &rng));
+  std::vector<BinaryCode> queries(codes.begin(), codes.begin() + 10);
+  std::vector<ItemId> allowed_ids;
+  for (ItemId id = 0; id < kItems; id += 2) allowed_ids.push_back(id);
+  const CandidateSet allowed(allowed_ids);
+  ThreadPool pool(4);
+
+  for (Kind kind : kAllKinds) {
+    auto plain = MakeKind(kind);
+    // Seal every 8 items, merge whenever more than 3 sealed segments
+    // accumulate: 300 items force many seal/compact cycles.
+    SegmentedHammingIndex segmented(FactoryFor(kind), 8, 3);
+    for (ItemId id = 0; id < kItems; ++id) {
+      ASSERT_TRUE(plain->Add(id, codes[id]).ok());
+      ASSERT_TRUE(segmented.Add(id, codes[id]).ok());
+    }
+    ASSERT_EQ(segmented.size(), plain->size());
+
+    const SegmentedIndexStats stats = segmented.Stats();
+    EXPECT_LE(stats.num_sealed, 3u);
+    EXPECT_GT(stats.compactions, 0u);
+    EXPECT_GT(stats.compacted_segments, stats.compactions);
+    EXPECT_EQ(stats.sealed_items + stats.mutable_items, kItems);
+
+    for (const BinaryCode& q : queries) {
+      EXPECT_EQ(segmented.RadiusSearch(q, 12), plain->RadiusSearch(q, 12));
+      EXPECT_EQ(segmented.KnnSearch(q, 9), plain->KnnSearch(q, 9));
+      EXPECT_EQ(segmented.RadiusSearchIn(q, 12, allowed),
+                plain->RadiusSearchIn(q, 12, allowed));
+      EXPECT_EQ(segmented.KnnSearchIn(q, 6, allowed),
+                plain->KnnSearchIn(q, 6, allowed));
+    }
+    EXPECT_EQ(segmented.BatchKnnSearch(queries, 7, &pool),
+              plain->BatchKnnSearch(queries, 7, nullptr));
+    EXPECT_EQ(segmented.BatchRadiusSearchIn(queries, 10, allowed, &pool),
+              plain->BatchRadiusSearchIn(queries, 10, allowed, nullptr));
+
+    // BatchAdd crosses several seal boundaries in one locked pass; the
+    // compactor must keep up there too.
+    std::vector<ItemId> more_ids;
+    std::vector<BinaryCode> more_codes;
+    for (size_t i = 0; i < 100; ++i) {
+      more_ids.push_back(static_cast<ItemId>(kItems + i));
+      more_codes.push_back(RandomCode(kBits, &rng));
+      ASSERT_TRUE(plain->Add(more_ids.back(), more_codes.back()).ok());
+    }
+    ASSERT_TRUE(segmented.BatchAdd(more_ids, more_codes, &pool).ok());
+    ASSERT_EQ(segmented.size(), plain->size());
+    EXPECT_LE(segmented.Stats().num_sealed, 3u);
+    for (const BinaryCode& q : queries) {
+      EXPECT_EQ(segmented.KnnSearch(q, 11), plain->KnnSearch(q, 11));
+      EXPECT_EQ(segmented.RadiusSearch(q, 14), plain->RadiusSearch(q, 14));
+    }
+  }
+}
+
 TEST(SegmentedIndex, NameIsTransparentAndStatsTrackSeals) {
   SegmentedHammingIndex segmented(FactoryFor(Kind::kLinearScan), 4);
   EXPECT_EQ(segmented.Name(), "LinearScan");
