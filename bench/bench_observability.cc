@@ -1,0 +1,206 @@
+/// Observability overhead on the warm query path: N closed-loop client
+/// threads drive a Zipfian(1.0) stream over a pool of distinct requests
+/// against one fully-warmed EarthQube (response cache ON, engine ON —
+/// the production configuration where most requests are cache hits and
+/// every instrumentation site fires), comparing
+///
+///   obs off   — ObsConfig{enable_metrics=false, enable_tracing=false}:
+///               every record site is a null-pointer branch
+///   obs on    — the default config: counters, stage histograms, the
+///               HTTP-free internal path's gauges, slow-log threshold
+///               checks
+///
+/// The headline is obs-on vs obs-off at 32 clients; the acceptance bar
+/// is <= 3% throughput overhead.  An untimed audit asserts the
+/// instrumented system actually counted the traffic (the bench must not
+/// "win" by measuring dead instrumentation).
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/random.h"
+#include "earthqube/exec/execution_engine.h"
+#include "earthqube/query_request.h"
+#include "milan/milan_model.h"
+
+namespace agoraeo::bench {
+namespace {
+
+constexpr size_t kNumPatches = 10000;
+constexpr size_t kRequestPool = 128;
+constexpr double kZipfSkew = 1.0;
+constexpr size_t kOpsPerClient = 32;
+
+/// Same inverse-CDF Zipfian sampler as bench_exec_engine.
+class ZipfianSampler {
+ public:
+  ZipfianSampler(size_t n, double skew, uint64_t seed)
+      : rng_(seed, /*stream=*/31), cdf_(n) {
+    double mass = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      mass += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+      cdf_[r] = mass;
+    }
+    for (double& c : cdf_) c /= mass;
+  }
+
+  size_t Next() {
+    const double u = rng_.UniformDouble();
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+enum class Mode { kObsOff, kObsOn };
+
+struct ObsBenchContext {
+  std::unique_ptr<earthqube::EarthQube> system;
+  std::vector<earthqube::QueryRequest> pool;
+};
+
+std::vector<earthqube::QueryRequest> BuildRequestPool(
+    const ArchiveFixture& fixture) {
+  // The interactive warm mix: mostly small CBIR reads plus some panel
+  // scans — the requests a dashboard replays against a hot cache.
+  std::vector<earthqube::QueryRequest> pool;
+  pool.reserve(kRequestPool);
+  for (size_t i = 0; i < kRequestPool; ++i) {
+    const std::string& name = fixture.names[(i * 173) % fixture.names.size()];
+    earthqube::QueryRequest request;
+    request.projection = earthqube::Projection::kHitsOnly;
+    request.page_size = 0;
+    if (i % 4 <= 1) {
+      request.similarity =
+          earthqube::SimilaritySpec::NameRadius(name, 8, /*limit=*/50);
+    } else if (i % 4 == 2) {
+      request.similarity = earthqube::SimilaritySpec::NameKnn(name, 10);
+    } else {
+      earthqube::EarthQubeQuery panel;
+      panel.seasons = {static_cast<Season>(i % 4)};
+      request.panel = panel;
+      request.similarity = earthqube::SimilaritySpec::NameKnn(name, 10);
+      request.planner = earthqube::PlannerMode::kForcePreFilter;
+    }
+    pool.push_back(std::move(request));
+  }
+  return pool;
+}
+
+ObsBenchContext* GetContext(Mode mode) {
+  static std::map<Mode, std::unique_ptr<ObsBenchContext>> cache;
+  auto it = cache.find(mode);
+  if (it != cache.end()) return it->second.get();
+
+  const ArchiveFixture& fixture = GetArchive(kNumPatches);
+  auto ctx = std::make_unique<ObsBenchContext>();
+
+  earthqube::EarthQubeConfig config;
+  if (mode == Mode::kObsOff) {
+    config.obs.enable_metrics = false;
+    config.obs.enable_tracing = false;
+  }
+  ctx->system = std::make_unique<earthqube::EarthQube>(config);
+  if (!ctx->system->IngestArchive(fixture.archive).ok()) std::abort();
+
+  milan::MilanConfig mconfig;
+  mconfig.feature_dim = bigearthnet::kFeatureDim;
+  mconfig.hidden1 = 64;
+  mconfig.hidden2 = 32;
+  mconfig.hash_bits = 64;
+  mconfig.dropout = 0.0f;
+  auto cbir = std::make_unique<earthqube::CbirService>(
+      std::make_unique<milan::MilanModel>(mconfig), &fixture.extractor);
+  if (!cbir->AddImages(fixture.names, fixture.features).ok()) std::abort();
+  ctx->system->AttachCbir(std::move(cbir));
+
+  ctx->pool = BuildRequestPool(fixture);
+  // Warm every pool entry so the timed loop measures the cache-hit path
+  // (plus the occasional Zipfian-tail miss), not cold index passes.
+  for (const auto& request : ctx->pool) {
+    if (!ctx->system->Execute(request).ok()) std::abort();
+  }
+  return cache.emplace(mode, std::move(ctx)).first->second.get();
+}
+
+void RunClosedLoop(benchmark::State& state, Mode mode) {
+  ObsBenchContext* ctx = GetContext(mode);
+  earthqube::EarthQube& system = *ctx->system;
+  const size_t clients = static_cast<size_t>(state.range(0));
+
+  uint64_t round = 0;
+  for (auto _ : state) {
+    ++round;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        ZipfianSampler zipf(ctx->pool.size(), kZipfSkew,
+                            /*seed=*/round * 1000 + c);
+        for (size_t op = 0; op < kOpsPerClient; ++op) {
+          const auto response = system.Execute(ctx->pool[zipf.Next()]);
+          if (!response.ok()) std::abort();
+          benchmark::DoNotOptimize(response->hits.size());
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * clients * kOpsPerClient));
+}
+
+void BM_WarmClosedLoopObsOff(benchmark::State& state) {
+  RunClosedLoop(state, Mode::kObsOff);
+}
+void BM_WarmClosedLoopObsOn(benchmark::State& state) {
+  RunClosedLoop(state, Mode::kObsOn);
+}
+
+BENCHMARK(BM_WarmClosedLoopObsOff)
+    ->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_WarmClosedLoopObsOn)
+    ->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Untimed audit: the obs-on system must have actually recorded the
+/// bench traffic, and the obs-off system must expose an empty registry.
+void VerifyInstrumentationCounted() {
+  ObsBenchContext* on = GetContext(Mode::kObsOn);
+  ObsBenchContext* off = GetContext(Mode::kObsOff);
+  const std::string text = on->system->obs().registry().PrometheusText();
+  if (text.find("agoraeo_engine_submitted_total") == std::string::npos &&
+      text.find("agoraeo_cache_hits_total") == std::string::npos) {
+    std::fprintf(stderr,
+                 "obs-on registry is missing engine/cache counters:\n%s\n",
+                 text.c_str());
+    std::abort();
+  }
+  if (!off->system->obs().registry().PrometheusText().empty()) {
+    std::fprintf(stderr, "obs-off registry should render empty\n");
+    std::abort();
+  }
+  std::printf("instrumentation audit: obs-on registry populated, obs-off "
+              "registry empty\n");
+}
+
+}  // namespace
+}  // namespace agoraeo::bench
+
+int main(int argc, char** argv) {
+  const int rc =
+      agoraeo::bench::RunBenchmarksWithJson("observability", argc, argv);
+  if (rc == 0) agoraeo::bench::VerifyInstrumentationCounted();
+  return rc;
+}

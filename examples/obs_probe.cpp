@@ -1,0 +1,195 @@
+/// Observability smoke probe, also run by CI: boots the HTTP service
+/// over a panel-only EarthQube (no model training — the probe targets
+/// the metrics plumbing, not CBIR quality), drives a handful of queries
+/// through /api/v2/query, then scrapes
+///
+///   GET /metrics                    — every line must satisfy the
+///                                     Prometheus text exposition grammar
+///   GET /api/v2/metrics             — must parse as one JSON object
+///   GET /api/v2/debug/slow_queries  — threshold is set to 0, so the
+///                                     probe's own queries must appear
+///
+/// Exits non-zero on any malformed line or missing metric, which is the
+/// CI failure signal.
+///
+/// Build & run:  ./build/obs_probe
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bigearthnet/archive_generator.h"
+#include "common/logging.h"
+#include "earthqube/earthqube.h"
+#include "json/json.h"
+#include "netsvc/client.h"
+#include "netsvc/earthqube_service.h"
+#include "netsvc/server.h"
+
+using namespace agoraeo;
+
+namespace {
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':' ||
+                    (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// `key="value"(,key="value")*` with exposition escapes inside values.
+bool IsValidLabelBlock(const std::string& labels) {
+  size_t i = 0;
+  while (i < labels.size()) {
+    const size_t eq = labels.find('=', i);
+    if (eq == std::string::npos || eq == i) return false;
+    if (!IsValidMetricName(labels.substr(i, eq - i))) return false;
+    if (eq + 1 >= labels.size() || labels[eq + 1] != '"') return false;
+    size_t j = eq + 2;
+    while (j < labels.size() && labels[j] != '"') {
+      if (labels[j] == '\\') ++j;  // escaped char
+      ++j;
+    }
+    if (j >= labels.size()) return false;  // unterminated value
+    i = j + 1;
+    if (i == labels.size()) return true;
+    if (labels[i] != ',') return false;
+    ++i;
+  }
+  return false;  // trailing comma or empty block
+}
+
+bool IsValidSampleLine(const std::string& line) {
+  size_t name_end = line.find('{');
+  std::string rest;
+  if (name_end != std::string::npos) {
+    const size_t close = line.find('}', name_end);
+    if (close == std::string::npos || close + 1 >= line.size() ||
+        line[close + 1] != ' ') {
+      return false;
+    }
+    if (!IsValidLabelBlock(line.substr(name_end + 1, close - name_end - 1))) {
+      return false;
+    }
+    rest = line.substr(close + 2);
+  } else {
+    name_end = line.find(' ');
+    if (name_end == std::string::npos) return false;
+    rest = line.substr(name_end + 1);
+  }
+  if (!IsValidMetricName(line.substr(0, name_end))) return false;
+  if (rest.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(rest.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool IsValidTypeLine(const std::string& line) {
+  const std::string prefix = "# TYPE ";
+  if (line.rfind(prefix, 0) != 0) return false;
+  const size_t space = line.find(' ', prefix.size());
+  if (space == std::string::npos) return false;
+  if (!IsValidMetricName(line.substr(prefix.size(), space - prefix.size()))) {
+    return false;
+  }
+  const std::string kind = line.substr(space + 1);
+  return kind == "counter" || kind == "gauge" || kind == "summary";
+}
+
+int Fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "obs_probe FAILED: %s\n%s\n", what, detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+
+  bigearthnet::ArchiveConfig aconfig;
+  aconfig.num_patches = 500;
+  aconfig.seed = 13;
+  bigearthnet::ArchiveGenerator generator(aconfig);
+  auto archive = generator.Generate();
+  if (!archive.ok()) return Fail("archive generation", "");
+
+  earthqube::EarthQubeConfig config;
+  config.obs.slow_query_threshold_ns = 0;  // everything is "slow"
+  earthqube::EarthQube system(config);
+  if (!system.IngestArchive(*archive).ok()) return Fail("ingest", "");
+
+  netsvc::EarthQubeService service(&system);
+  netsvc::HttpServer server(2);
+  service.RegisterRoutes(&server);
+  if (!server.Start(0).ok()) return Fail("server start", "");
+
+  netsvc::HttpClient client;
+  const std::vector<std::string> bodies = {
+      R"({"panel":{"seasons":["summer"]}})",
+      R"({"panel":{"labels":{"operator":"some","names":["Pastures"]}},"limit":10})",
+      R"({"panel":{"date_range":{"begin":"2017-07-01","end":"2017-08-31"}}})",
+  };
+  for (const std::string& body : bodies) {
+    auto response = client.Post(server.port(), "/api/v2/query", body);
+    if (!response.ok() || response->status_code != 200) {
+      return Fail("query", response.ok() ? response->body
+                                         : std::string(response.status().message()));
+    }
+  }
+
+  // --- /metrics: every line must be exposition-grammar clean -----------------
+  auto metrics = client.Get(server.port(), "/metrics");
+  if (!metrics.ok() || metrics->status_code != 200) {
+    return Fail("GET /metrics", metrics.ok() ? metrics->body : "");
+  }
+  size_t lines = 0;
+  std::string text = metrics->body;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    ++lines;
+    const bool ok =
+        line[0] == '#' ? IsValidTypeLine(line) : IsValidSampleLine(line);
+    if (!ok) return Fail("malformed exposition line", line);
+  }
+  if (lines == 0) return Fail("empty /metrics", "");
+  if (text.find("agoraeo_http_requests_total") == std::string::npos) {
+    return Fail("missing HTTP counters in /metrics", text);
+  }
+
+  // --- /api/v2/metrics: one JSON object --------------------------------------
+  auto json_metrics = client.Get(server.port(), "/api/v2/metrics");
+  if (!json_metrics.ok() || json_metrics->status_code != 200) {
+    return Fail("GET /api/v2/metrics", "");
+  }
+  auto parsed = json::ParseObject(json_metrics->body);
+  if (!parsed.ok()) return Fail("unparseable /api/v2/metrics", json_metrics->body);
+
+  // --- slow queries: the probe's own traffic must be in the ring -------------
+  auto slow = client.Get(server.port(), "/api/v2/debug/slow_queries");
+  if (!slow.ok() || slow->status_code != 200) {
+    return Fail("GET /api/v2/debug/slow_queries", "");
+  }
+  auto slow_doc = json::ParseObject(slow->body);
+  if (!slow_doc.ok()) return Fail("unparseable slow_queries", slow->body);
+  const docstore::Value* count = slow_doc->Get("count");
+  if (count == nullptr || count->as_int64() <= 0) {
+    return Fail("slow-query ring is empty at threshold 0", slow->body);
+  }
+
+  std::printf("obs_probe OK: %zu exposition lines valid, %lld slow queries "
+              "recorded\n",
+              lines, static_cast<long long>(count->as_int64()));
+  server.Stop();
+  return 0;
+}

@@ -35,7 +35,12 @@ ClusterNode::ClusterNode(earthqube::EarthQube* system, Options options)
     : system_(system),
       options_(std::move(options)),
       server_(std::make_unique<netsvc::HttpServer>(options_.num_workers)),
-      service_(system) {}
+      service_(system) {
+  obs::Observability& obs = system_->obs();
+  moved_metric_ = obs.CounterOrNull("agoraeo_cluster_moved_total");
+  epoch_gauge_ = obs.GaugeOrNull("agoraeo_cluster_epoch");
+  migration_ns_ = obs.HistogramOrNull("agoraeo_cluster_migration_ns");
+}
 
 ClusterNode::~ClusterNode() { Stop(); }
 
@@ -75,8 +80,15 @@ Status ClusterNode::Start(uint16_t port) {
 void ClusterNode::Stop() { server_->Stop(); }
 
 void ClusterNode::SetTable(const SlotTable& table) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (table.epoch() >= table_.epoch()) table_ = table;
+  uint64_t adopted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (table.epoch() >= table_.epoch()) table_ = table;
+    adopted = table_.epoch();
+  }
+  if (epoch_gauge_ != nullptr) {
+    epoch_gauge_->Set(static_cast<int64_t>(adopted));
+  }
 }
 
 NodeAddress ClusterNode::address() const {
@@ -112,6 +124,7 @@ std::optional<HttpResponse> ClusterNode::MovedResponse(size_t slot) const {
   std::lock_guard<std::mutex> lock(mu_);
   const NodeAddress* owner = table_.OwnerOfSlot(slot);
   if (owner == nullptr || owner->id == options_.id) return std::nullopt;
+  if (moved_metric_ != nullptr) moved_metric_->Increment();
   HttpResponse response = HttpResponse::Json(
       308, json::Serialize(MovedBody(slot, *owner, table_.epoch())));
   response.reason = netsvc::ReasonPhrase(308);
@@ -163,7 +176,8 @@ void ClusterNode::FilterTombstoned(const std::set<size_t>& tombstones,
   }
 }
 
-HttpResponse ClusterNode::ExecuteOne(const QueryRequest& request) const {
+HttpResponse ClusterNode::ExecuteOne(const QueryRequest& request,
+                                     const std::string& trace_id) const {
   // By-name similarity subjects are slot-addressed: answering one for a
   // slot this node does not serve would silently miss the subject, so
   // redirect instead (the MOVED of the slot protocol).
@@ -189,10 +203,30 @@ HttpResponse ClusterNode::ExecuteOne(const QueryRequest& request) const {
     }
   }
 
+  // A coordinator-propagated trace id makes this node's execution one
+  // child of the merged cluster trace: the engine stage spans are echoed
+  // back in the x-trace-spans response header.
+  obs::Observability& obs = system_->obs();
+  std::shared_ptr<obs::Trace> trace =
+      trace_id.empty() ? nullptr : obs.StartTrace(trace_id);
+  const uint64_t start_ns =
+      (trace != nullptr || obs.metrics_enabled()) ? obs::NowNanos() : 0;
+
   StatusOr<QueryResponse> response = [&] {
     std::shared_lock<std::shared_mutex> data_lock(data_mu_);
-    return system_->Execute(request);
+    return system_->Execute(request, trace);
   }();
+
+  if (start_ns != 0) {
+    obs::SlowQueryLog& slow_log = obs.slow_log();
+    const uint64_t total_ns = obs::NowNanos() - start_ns;
+    if (total_ns >= slow_log.threshold_ns() && slow_log.capacity() > 0) {
+      slow_log.Observe(total_ns, trace != nullptr ? trace->id() : "",
+                       "cluster /api/v2/query on node " + options_.id,
+                       trace != nullptr ? trace->ToJson() : "");
+    }
+  }
+
   if (!response.ok()) return FromStatus(response.status());
 
   const std::set<size_t> tombstones = [this] {
@@ -200,8 +234,13 @@ HttpResponse ClusterNode::ExecuteOne(const QueryRequest& request) const {
     return tombstones_;
   }();
   if (!tombstones.empty()) FilterTombstoned(tombstones, &*response);
-  return HttpResponse::Json(
+  HttpResponse http = HttpResponse::Json(
       200, EarthQubeService::QueryResponseToJson(*response));
+  if (trace != nullptr) {
+    http.headers["x-trace-id"] = trace->id();
+    http.headers["x-trace-spans"] = trace->SpansToJson();
+  }
+  return http;
 }
 
 HttpResponse ClusterNode::HandleQuery(const HttpRequest& request) const {
@@ -244,7 +283,7 @@ HttpResponse ClusterNode::HandleQuery(const HttpRequest& request) const {
   }
   auto parsed = EarthQubeService::QueryRequestFromJson(*body);
   if (!parsed.ok()) return Stamp(FromStatus(parsed.status()));
-  return Stamp(ExecuteOne(*parsed));
+  return Stamp(ExecuteOne(*parsed, request.Header("x-trace-id")));
 }
 
 HttpResponse ClusterNode::HandleSlots() const {
@@ -282,6 +321,7 @@ HttpResponse ClusterNode::HandleMigrate(const HttpRequest& request) {
 }
 
 Status ClusterNode::MigrateSlot(size_t slot, const std::string& target_id) {
+  obs::ScopedTimer migration_timer(migration_ns_);
   NodeAddress target;
   uint64_t next_epoch = 0;
   size_t num_slots = 0;
@@ -361,6 +401,9 @@ Status ClusterNode::MigrateSlot(size_t slot, const std::string& target_id) {
   AGORAEO_RETURN_IF_ERROR(table_.AssignSlot(slot, target.id));
   table_.set_epoch(std::max(next_epoch, table_.epoch() + 1));
   tombstones_.insert(slot);
+  if (epoch_gauge_ != nullptr) {
+    epoch_gauge_->Set(static_cast<int64_t>(table_.epoch()));
+  }
   AGORAEO_LOG(kInfo) << "cluster node " << options_.id << " migrated slot "
                      << slot << " to " << target.id << " (epoch "
                      << table_.epoch() << ")";

@@ -112,8 +112,11 @@ class ClusterNode {
   netsvc::HttpResponse HandleQuery(const netsvc::HttpRequest& request) const;
   /// One parsed single-query execution (shared by single and batch
   /// bodies).  Returns the serialised response or an error response.
-  netsvc::HttpResponse ExecuteOne(const earthqube::QueryRequest& request)
-      const;
+  /// A non-empty `trace_id` (the coordinator's x-trace-id) executes
+  /// traced: the engine's stage spans come back in the response's
+  /// x-trace-spans header for the coordinator's merged trace.
+  netsvc::HttpResponse ExecuteOne(const earthqube::QueryRequest& request,
+                                  const std::string& trace_id = {}) const;
   netsvc::HttpResponse HandleSlots() const;
   netsvc::HttpResponse HandleMigrate(const netsvc::HttpRequest& request);
   netsvc::HttpResponse HandleImport(const netsvc::HttpRequest& request);
@@ -136,6 +139,13 @@ class ClusterNode {
   Options options_;
   std::unique_ptr<netsvc::HttpServer> server_;
   netsvc::EarthQubeService service_;
+
+  /// Cluster-tier metrics, registered into the SYSTEM's registry (the
+  /// node serves /metrics through the standard service routes); all
+  /// null when the system's metrics are disabled.
+  obs::Counter* moved_metric_ = nullptr;
+  obs::Gauge* epoch_gauge_ = nullptr;
+  obs::Histogram* migration_ns_ = nullptr;
 
   mutable std::mutex mu_;
   SlotTable table_;

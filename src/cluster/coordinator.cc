@@ -38,11 +38,77 @@ HttpResponse FromStatus(const Status& status) {
 /// routed name, deterministically by name.
 constexpr uint64_t kUnknownSeq = std::numeric_limits<uint64_t>::max();
 
+/// Parses a node's x-trace-spans header — the compact span array
+/// rendered by Trace::SpansToJson (relative microseconds) — back into
+/// spans for the coordinator's merged trace.
+StatusOr<std::vector<obs::TraceSpan>> ParseSpansJson(const std::string& text) {
+  AGORAEO_ASSIGN_OR_RETURN(const Value parsed, json::Parse(text));
+  if (!parsed.is_array()) {
+    return Status::InvalidArgument("x-trace-spans is not an array");
+  }
+  std::vector<obs::TraceSpan> spans;
+  spans.reserve(parsed.as_array().size());
+  for (const Value& entry : parsed.as_array()) {
+    if (!entry.is_document()) continue;
+    const Document& doc = entry.as_document();
+    obs::TraceSpan span;
+    if (const Value* name = doc.Get("name"); name != nullptr &&
+        name->is_string()) {
+      span.name = name->as_string();
+    }
+    if (const Value* start = doc.Get("start_us");
+        start != nullptr && start->is_int64()) {
+      span.start_ns = static_cast<uint64_t>(start->as_int64()) * 1000;
+    }
+    if (const Value* dur = doc.Get("dur_us");
+        dur != nullptr && dur->is_int64()) {
+      span.duration_ns = static_cast<uint64_t>(dur->as_int64()) * 1000;
+    }
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
 }  // namespace
 
+Coordinator::Coordinator(Options options)
+    : options_(std::move(options)), obs_(options_.obs) {
+  if (!obs_.metrics_enabled()) return;
+  obs::MetricsRegistry& registry = obs_.registry();
+  client_metrics_.requests =
+      registry.GetCounter("agoraeo_http_client_requests_total");
+  client_metrics_.failures =
+      registry.GetCounter("agoraeo_http_client_failures_total");
+  client_metrics_.retries =
+      registry.GetCounter("agoraeo_http_client_retries_total");
+  client_metrics_.backoff_sleeps =
+      registry.GetCounter("agoraeo_http_client_backoff_sleeps_total");
+  // kNone never fails a request; start at the first real kind.
+  for (int kind = 1; kind <= static_cast<int>(netsvc::HttpErrorKind::kOther);
+       ++kind) {
+    client_metrics_.errors_by_kind[kind] = registry.GetCounter(
+        obs::LabeledName("agoraeo_http_client_errors_total", "kind",
+                         netsvc::HttpErrorKindName(
+                             static_cast<netsvc::HttpErrorKind>(kind))));
+  }
+  options_.client_options.metrics = &client_metrics_;
+  fanout_ns_ = obs_.HistogramOrNull("agoraeo_cluster_fanout_ns");
+  epoch_gauge_ = obs_.GaugeOrNull("agoraeo_cluster_epoch");
+  redirects_metric_ = obs_.CounterOrNull("agoraeo_cluster_redirects_total");
+  fanout_node_failures_ =
+      obs_.CounterOrNull("agoraeo_cluster_fanout_node_failures_total");
+}
+
 void Coordinator::AttachTable(const SlotTable& table) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (table.epoch() >= table_.epoch()) table_ = table;
+  uint64_t adopted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (table.epoch() >= table_.epoch()) table_ = table;
+    adopted = table_.epoch();
+  }
+  if (epoch_gauge_ != nullptr) {
+    epoch_gauge_->Set(static_cast<int64_t>(adopted));
+  }
 }
 
 Status Coordinator::RefreshTopology(const NodeAddress& seed) {
@@ -78,11 +144,13 @@ uint64_t Coordinator::SeqOf(const std::string& name) const {
   return it == seq_.end() ? kUnknownSeq : it->second;
 }
 
-StatusOr<HttpResponse> Coordinator::PostNode(const NodeAddress& node,
-                                             const std::string& target,
-                                             const std::string& body) {
+StatusOr<HttpResponse> Coordinator::PostNode(
+    const NodeAddress& node, const std::string& target,
+    const std::string& body, netsvc::HttpRequestDetail* detail,
+    const std::map<std::string, std::string>& extra_headers) {
   netsvc::HttpClient client(node.host, options_.client_options);
-  return client.Post(static_cast<uint16_t>(node.port), target, body);
+  return client.Request(static_cast<uint16_t>(node.port), "POST", target,
+                        body, "application/json", detail, extra_headers);
 }
 
 void Coordinator::ObserveEpoch(const NodeAddress& node,
@@ -162,6 +230,7 @@ Status Coordinator::IngestArchive(const bigearthnet::Archive& archive,
               " still answers MOVED after a topology refresh");
         }
         redirects_followed_.fetch_add(1, std::memory_order_relaxed);
+      if (redirects_metric_ != nullptr) redirects_metric_->Increment();
         // The redirecting node holds a newer table than ours; adopt it
         // and re-route just this group once.
         AGORAEO_RETURN_IF_ERROR(RefreshTopology(node));
@@ -216,6 +285,7 @@ StatusOr<BinaryCode> Coordinator::ResolveSubjectCode(const std::string& name) {
                                json::ParseObject(response.body));
       AGORAEO_ASSIGN_OR_RETURN(const MovedInfo moved, ParseMovedBody(doc));
       redirects_followed_.fetch_add(1, std::memory_order_relaxed);
+      if (redirects_metric_ != nullptr) redirects_metric_->Increment();
       target = moved.owner;
       continue;
     }
@@ -232,6 +302,14 @@ StatusOr<QueryResponse> Coordinator::ExecuteFanout(QueryRequest request) {
   if (snapshot.num_nodes() == 0) {
     return Status::FailedPrecondition("no cluster topology attached");
   }
+
+  // One trace per fan-out; the nodes' x-trace-spans answers merge in as
+  // children, so the slow-query log shows the whole cross-cluster
+  // request as a single tree.
+  const std::shared_ptr<obs::Trace> trace = obs_.StartTrace();
+  obs::ScopedTimer fan_timer(fanout_ns_);
+  const uint64_t start_ns =
+      (trace != nullptr || obs_.metrics_enabled()) ? obs::NowNanos() : 0;
 
   const bool has_sim = request.similarity.has_value();
   const bool has_panel = request.panel.has_value();
@@ -250,7 +328,11 @@ StatusOr<QueryResponse> Coordinator::ExecuteFanout(QueryRequest request) {
     }
     if (spec.archive_name.has_value()) {
       exclude = *spec.archive_name;
-      AGORAEO_ASSIGN_OR_RETURN(BinaryCode code, ResolveSubjectCode(exclude));
+      BinaryCode code;
+      {
+        obs::ScopedSpan resolve_span(trace.get(), "resolve_subject");
+        AGORAEO_ASSIGN_OR_RETURN(code, ResolveSubjectCode(exclude));
+      }
       spec.code = std::move(code);
       spec.archive_name.reset();
       // The subject occupies one rank on its owner node; ask for one
@@ -275,14 +357,22 @@ StatusOr<QueryResponse> Coordinator::ExecuteFanout(QueryRequest request) {
   const std::vector<NodeAddress> nodes = snapshot.nodes();
   const auto fan_all =
       [&](const std::string& body) -> StatusOr<std::vector<WireQueryResponse>> {
+    obs::ScopedSpan fan_span(trace.get(), "fanout");
+    // Propagate the trace id so each node's engine stamps its stage
+    // spans under OUR trace and echoes them back in x-trace-spans.
+    std::map<std::string, std::string> headers;
+    if (trace != nullptr) headers["x-trace-id"] = trace->id();
     std::vector<std::unique_ptr<StatusOr<HttpResponse>>> raw(nodes.size());
+    std::vector<netsvc::HttpRequestDetail> details(nodes.size());
     {
       std::vector<std::thread> threads;
       threads.reserve(nodes.size());
       for (size_t i = 0; i < nodes.size(); ++i) {
-        threads.emplace_back([this, &nodes, &raw, &body, i] {
+        threads.emplace_back([this, &nodes, &raw, &details, &body, &headers,
+                              i] {
           raw[i] = std::make_unique<StatusOr<HttpResponse>>(
-              PostNode(nodes[i], "/api/v2/query", body));
+              PostNode(nodes[i], "/api/v2/query", body, &details[i],
+                       headers));
         });
       }
       for (std::thread& t : threads) t.join();
@@ -290,13 +380,34 @@ StatusOr<QueryResponse> Coordinator::ExecuteFanout(QueryRequest request) {
     std::vector<WireQueryResponse> partials;
     partials.reserve(nodes.size());
     for (size_t i = 0; i < nodes.size(); ++i) {
-      AGORAEO_RETURN_IF_ERROR(raw[i]->status());
+      if (!raw[i]->ok()) {
+        if (fanout_node_failures_ != nullptr) {
+          fanout_node_failures_->Increment();
+        }
+        // The typed error kind and attempt count tell the operator
+        // WHICH node failed and HOW (refused vs timed out vs garbled)
+        // without re-running the query.
+        return Status::Internal(
+            "fan-out to node " + nodes[i].id + " failed (" +
+            netsvc::HttpErrorKindName(details[i].error_kind) + " after " +
+            std::to_string(details[i].attempts) + " attempt(s)): " +
+            std::string(raw[i]->status().message()));
+      }
       const HttpResponse& response = **raw[i];
       ObserveEpoch(nodes[i], response);
       if (response.status_code != 200) {
         return Status::Internal("node " + nodes[i].id + " answered " +
                                 std::to_string(response.status_code) + ": " +
                                 response.body);
+      }
+      if (trace != nullptr) {
+        const auto spans_it = response.headers.find("x-trace-spans");
+        if (spans_it != response.headers.end()) {
+          auto child_spans = ParseSpansJson(spans_it->second);
+          if (child_spans.ok()) {
+            trace->AddChild(nodes[i].id, *std::move(child_spans));
+          }
+        }
       }
       AGORAEO_ASSIGN_OR_RETURN(const Document doc,
                                json::ParseObject(response.body));
@@ -315,6 +426,7 @@ StatusOr<QueryResponse> Coordinator::ExecuteFanout(QueryRequest request) {
   };
   std::vector<Row> rows;
   const auto merge = [&](std::vector<WireQueryResponse> partials) {
+    obs::ScopedSpan merge_span(trace.get(), "merge");
     rows.clear();
     std::unordered_set<std::string> seen;
     for (WireQueryResponse& partial : partials) {
@@ -416,6 +528,16 @@ StatusOr<QueryResponse> Coordinator::ExecuteFanout(QueryRequest request) {
   if (page_size > 0 && (page + 1) * page_size < out.total()) {
     out.cursor = earthqube::EncodeCursor({page + 1, page_size});
   }
+  if (start_ns != 0) {
+    obs::SlowQueryLog& slow_log = obs_.slow_log();
+    const uint64_t total_ns = obs::NowNanos() - start_ns;
+    if (total_ns >= slow_log.threshold_ns() && slow_log.capacity() > 0) {
+      slow_log.Observe(total_ns, trace != nullptr ? trace->id() : "",
+                       "cluster fan-out over " +
+                           std::to_string(nodes.size()) + " nodes",
+                       trace != nullptr ? trace->ToJson() : "");
+    }
+  }
   return out;
 }
 
@@ -461,9 +583,20 @@ StatusOr<std::string> Coordinator::Query(const std::string& body_json) {
 }
 
 void Coordinator::RegisterRoutes(netsvc::HttpServer* server) {
+  server->AttachObservability(&obs_);
   server->Route("GET", "/health", [](const netsvc::HttpRequest&) {
     return HttpResponse::Json(200, "{\"status\":\"ok\"}");
   });
+  server->Route("GET", "/metrics", [this](const netsvc::HttpRequest&) {
+    return HttpResponse::Text(200, obs_.registry().PrometheusText());
+  });
+  server->Route("GET", "/api/v2/metrics", [this](const netsvc::HttpRequest&) {
+    return HttpResponse::Json(200, obs_.registry().JsonText());
+  });
+  server->Route("GET", "/api/v2/debug/slow_queries",
+                [this](const netsvc::HttpRequest&) {
+                  return HttpResponse::Json(200, obs_.slow_log().ToJson());
+                });
   server->Route("POST", "/api/v2/query",
                 [this](const netsvc::HttpRequest& request) {
                   auto response = Query(request.body);

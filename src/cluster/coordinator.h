@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "netsvc/client.h"
 #include "netsvc/server.h"
+#include "obs/observability.h"
 
 #include "cluster/slot_table.h"
 #include "cluster/wire.h"
@@ -55,9 +56,14 @@ class Coordinator {
  public:
   struct Options {
     netsvc::HttpClientOptions client_options;
+    /// Coordinator-tier observability: its own registry, tracing switch
+    /// and slow-query log, separate from every node's.  The client
+    /// metric hooks are wired automatically (client_options.metrics is
+    /// overwritten when metrics are enabled).
+    obs::ObsConfig obs;
   };
 
-  explicit Coordinator(Options options = {}) : options_(options) {}
+  explicit Coordinator(Options options = {});
 
   /// Installs a known topology directly (bootstrap from config).
   void AttachTable(const SlotTable& table);
@@ -88,6 +94,10 @@ class Coordinator {
   /// Redirects followed across this coordinator's lifetime (tests).
   uint64_t redirects_followed() const { return redirects_followed_; }
 
+  /// The coordinator tier's observability bundle (its /metrics and
+  /// slow-query endpoints read it).
+  obs::Observability& obs() { return obs_; }
+
  private:
   StatusOr<std::string> QuerySingle(const docstore::Document& body);
   StatusOr<earthqube::QueryResponse> ExecuteFanout(
@@ -98,9 +108,13 @@ class Coordinator {
   StatusOr<BinaryCode> ResolveSubjectCode(const std::string& name);
 
   /// POSTs `body` to one node, surfacing transport errors as Status.
-  StatusOr<netsvc::HttpResponse> PostNode(const NodeAddress& node,
-                                          const std::string& target,
-                                          const std::string& body);
+  /// `detail` (optional) reports the typed error kind and attempt count;
+  /// `extra_headers` rides along verbatim (trace propagation).
+  StatusOr<netsvc::HttpResponse> PostNode(
+      const NodeAddress& node, const std::string& target,
+      const std::string& body,
+      netsvc::HttpRequestDetail* detail = nullptr,
+      const std::map<std::string, std::string>& extra_headers = {});
 
   /// Notes a response's x-cluster-epoch header; refreshes the table
   /// from `node` when the header advertises a newer topology.
@@ -110,6 +124,15 @@ class Coordinator {
   uint64_t SeqOf(const std::string& name) const;
 
   Options options_;
+  /// Declared before the metric pointers below, which index into it.
+  obs::Observability obs_;
+  /// The client-side metric hooks every PostNode/RefreshTopology client
+  /// records into (options_.client_options.metrics points here).
+  obs::HttpClientMetrics client_metrics_;
+  obs::Histogram* fanout_ns_ = nullptr;
+  obs::Gauge* epoch_gauge_ = nullptr;
+  obs::Counter* redirects_metric_ = nullptr;
+  obs::Counter* fanout_node_failures_ = nullptr;
   mutable std::mutex mu_;
   SlotTable table_;
   /// name -> global ingest sequence, assigned in routed-ingest order.

@@ -38,21 +38,29 @@ Status WalFrameWriter::Append(const std::vector<uint8_t>& payload) {
     return Status::IOError("WAL append failed: " +
                            std::string(std::strerror(errno)));
   }
-  switch (sync_) {
-    case WalSyncMode::kNone:
-      break;
-    case WalSyncMode::kFlush:
-      if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
-      break;
-    case WalSyncMode::kFsync:
-      if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
+  {
+    obs::ScopedTimer sync_timer(sync_ == WalSyncMode::kNone ? nullptr
+                                                            : sync_histogram_);
+    switch (sync_) {
+      case WalSyncMode::kNone:
+        break;
+      case WalSyncMode::kFlush:
+        if (std::fflush(file_) != 0) {
+          return Status::IOError("WAL flush failed");
+        }
+        break;
+      case WalSyncMode::kFsync:
+        if (std::fflush(file_) != 0) {
+          return Status::IOError("WAL flush failed");
+        }
 #ifndef _WIN32
-      if (::fsync(fileno(file_)) != 0) {
-        return Status::IOError("WAL fsync failed: " +
-                               std::string(std::strerror(errno)));
-      }
+        if (::fsync(fileno(file_)) != 0) {
+          return Status::IOError("WAL fsync failed: " +
+                                 std::string(std::strerror(errno)));
+        }
 #endif
-      break;
+        break;
+    }
   }
   ++appended_;
   bytes_appended_ += sizeof(length) + sizeof(crc) + payload.size();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace agoraeo {
 
@@ -53,12 +54,20 @@ class WalFrameWriter {
   /// Bytes appended through this writer (frame headers included).
   uint64_t bytes_appended() const { return bytes_appended_; }
 
+  /// Installs a latency histogram for the per-append sync step (the
+  /// fflush/fsync, not the buffered write).  Null uninstalls; the
+  /// writer does not own the histogram, which must outlive it.
+  void set_sync_histogram(obs::Histogram* histogram) {
+    sync_histogram_ = histogram;
+  }
+
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
   WalSyncMode sync_ = WalSyncMode::kFlush;
   size_t appended_ = 0;
   uint64_t bytes_appended_ = 0;
+  obs::Histogram* sync_histogram_ = nullptr;
 };
 
 /// Result of scanning a framed log during recovery.

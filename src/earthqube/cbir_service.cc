@@ -215,7 +215,18 @@ Status CbirService::Recover(
   return Status::OK();
 }
 
+void CbirService::AttachObservability(obs::Observability* obs) {
+  if (obs == nullptr || !obs->metrics_enabled()) return;
+  if (sharded_ != nullptr) {
+    sharded_->set_scan_histogram(
+        obs->HistogramOrNull("agoraeo_index_shard_scan_ns"));
+  }
+  wal_.set_sync_histogram(obs->HistogramOrNull("agoraeo_wal_sync_ns"));
+  snapshot_write_ = obs->HistogramOrNull("agoraeo_snapshot_write_ns");
+}
+
 Status CbirService::WriteShardSnapshot(size_t s) {
+  obs::ScopedTimer snapshot_timer(snapshot_write_);
   const size_t num_shards = std::max<size_t>(1, config_.num_shards);
   index::IndexSnapshot snap;
   snap.shard_index = static_cast<uint32_t>(s);

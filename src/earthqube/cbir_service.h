@@ -20,6 +20,7 @@
 #include "index/segmented_index.h"
 #include "index/sharded_index.h"
 #include "milan/milan_model.h"
+#include "obs/observability.h"
 
 namespace agoraeo::earthqube {
 
@@ -290,6 +291,15 @@ class CbirService {
   }
   const CbirConfig& config() const { return config_; }
   const CbirPersistenceStats& persistence_stats() const { return pstats_; }
+  /// Bytes appended to the index WAL since it was opened (0 without
+  /// persistence) — the WAL-volume metric.
+  uint64_t wal_bytes_appended() const { return wal_.bytes_appended(); }
+
+  /// Wires the service's hot paths onto an observability bundle:
+  /// per-shard index scan time, WAL sync latency and snapshot write
+  /// latency land in `obs` histograms.  `obs` must outlive the service;
+  /// null (or metrics disabled) leaves the service uninstrumented.
+  void AttachObservability(obs::Observability* obs);
 
  private:
   std::vector<CbirResult> ToResults(
@@ -331,6 +341,8 @@ class CbirService {
   /// Items landed per shard since its last snapshot (snapshot cadence).
   std::vector<size_t> items_since_snapshot_;
   CbirPersistenceStats pstats_;
+  /// Snapshot-write latency sink (null = untimed).
+  obs::Histogram* snapshot_write_ = nullptr;
   mutable std::mutex pool_mu_;  ///< guards lazy pool creation
   mutable std::unique_ptr<ThreadPool> pool_;
   /// The paper's in-memory hash table: patch name -> binary code.

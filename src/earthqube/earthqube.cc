@@ -17,8 +17,23 @@ using docstore::Document;
 using docstore::Filter;
 using docstore::Value;
 
+namespace {
+
+void PushCounter(std::vector<obs::Sample>* out, std::string name,
+                 uint64_t value) {
+  out->push_back({std::move(name), obs::SampleKind::kCounter,
+                  static_cast<double>(value)});
+}
+
+void PushGauge(std::vector<obs::Sample>* out, std::string name,
+               double value) {
+  out->push_back({std::move(name), obs::SampleKind::kGauge, value});
+}
+
+}  // namespace
+
 EarthQube::EarthQube(EarthQubeConfig config)
-    : config_(config), query_cache_(config.cache) {
+    : config_(config), obs_(config.obs), query_cache_(config.cache) {
   metadata_ = db_.GetOrCreateCollection(kMetadataCollection);
   image_data_ = db_.GetOrCreateCollection(kImageDataCollection);
   rendered_ = db_.GetOrCreateCollection(kRenderedCollection);
@@ -30,8 +45,110 @@ EarthQube::EarthQube(EarthQubeConfig config)
     (void)rendered_->CreateHashIndex("name", /*unique=*/true);
   }
   if (config_.exec.enable) {
-    engine_ = std::make_unique<ExecutionEngine>(this, config_.exec);
+    engine_ = std::make_unique<ExecutionEngine>(this, config_.exec, &obs_);
   }
+  if (obs_.metrics_enabled()) RegisterCollectors();
+}
+
+void EarthQube::RegisterCollectors() {
+  // Scrape-time collectors keep one counting truth: the existing stats
+  // structs stay authoritative and /metrics snapshots them on demand
+  // instead of double-counting on the hot path.  They capture `this`;
+  // the registry is a member of obs_, destroyed with this facade.
+  obs_.registry().AddCollector([this](std::vector<obs::Sample>* out) {
+    const struct {
+      const char* name;
+      cache::CacheStats stats;
+    } caches[] = {
+        {"response", query_cache_.ResponseStats()},
+        {"allowlist", query_cache_.AllowlistStats()},
+        {"negative", query_cache_.NegativeStats()},
+    };
+    for (const auto& c : caches) {
+      const auto named = [&](const char* base) {
+        return obs::LabeledName(base, "cache", c.name);
+      };
+      PushCounter(out, named("agoraeo_cache_hits_total"), c.stats.hits);
+      PushCounter(out, named("agoraeo_cache_misses_total"), c.stats.misses);
+      PushCounter(out, named("agoraeo_cache_puts_total"), c.stats.puts);
+      PushCounter(out, named("agoraeo_cache_rejected_puts_total"),
+                  c.stats.rejected_puts);
+      PushCounter(out, named("agoraeo_cache_evictions_total"),
+                  c.stats.evictions);
+      PushCounter(out, named("agoraeo_cache_stale_drops_total"),
+                  c.stats.stale_drops);
+      PushCounter(out, named("agoraeo_cache_expired_drops_total"),
+                  c.stats.expired_drops);
+      PushGauge(out, named("agoraeo_cache_entries"),
+                static_cast<double>(c.stats.entries));
+      PushGauge(out, named("agoraeo_cache_bytes"),
+                static_cast<double>(c.stats.bytes));
+    }
+  });
+  obs_.registry().AddCollector([this](std::vector<obs::Sample>* out) {
+    if (engine_ == nullptr) return;
+    const ExecStats s = engine_->Stats();
+    PushCounter(out, "agoraeo_engine_submitted_total", s.submitted);
+    PushCounter(out, "agoraeo_engine_completed_total", s.completed);
+    PushCounter(out, "agoraeo_engine_cache_hits_total", s.cache_hits);
+    PushCounter(out, "agoraeo_engine_negative_hits_total", s.negative_hits);
+    PushCounter(out, "agoraeo_engine_coalesced_total", s.coalesced);
+    PushCounter(out, "agoraeo_engine_flights_total", s.flights);
+    PushCounter(out, "agoraeo_engine_direct_total", s.direct);
+    PushCounter(out, "agoraeo_engine_batches_total", s.batches);
+    PushCounter(out, "agoraeo_engine_batched_flights_total",
+                s.batched_flights);
+    PushCounter(out, "agoraeo_engine_rejected_total", s.rejected);
+    PushCounter(out, "agoraeo_engine_flight_warms_total", s.flight_warms);
+    PushCounter(out, "agoraeo_engine_warm_from_flight_hits_total",
+                s.warm_from_flight_hits);
+  });
+  obs_.registry().AddCollector([this](std::vector<obs::Sample>* out) {
+    if (cbir_ == nullptr) return;
+    PushGauge(out, "agoraeo_index_items",
+              static_cast<double>(cbir_->num_indexed()));
+    if (const index::ShardedHammingIndex* sharded = cbir_->sharded_index()) {
+      const index::ShardedIndexStats s = sharded->Stats();
+      PushGauge(out, "agoraeo_index_shards",
+                static_cast<double>(s.num_shards));
+      PushCounter(out, "agoraeo_index_seals_total", s.seals);
+      PushCounter(out, "agoraeo_index_compactions_total", s.compactions);
+      PushGauge(out, "agoraeo_index_sealed_items",
+                static_cast<double>(s.sealed_items));
+      PushGauge(out, "agoraeo_index_mutable_items",
+                static_cast<double>(s.mutable_items));
+      PushCounter(out, "agoraeo_index_single_fanouts_total",
+                  s.single_fanouts);
+      PushCounter(out, "agoraeo_index_batch_fanouts_total", s.batch_fanouts);
+      PushCounter(out, "agoraeo_index_fanout_tasks_total", s.fanout_tasks);
+      PushCounter(out, "agoraeo_index_merge_nanos_total", s.merge_nanos);
+      for (size_t i = 0; i < s.shard_sizes.size(); ++i) {
+        PushGauge(out,
+                  obs::LabeledName("agoraeo_index_shard_items", "shard",
+                                   std::to_string(i)),
+                  static_cast<double>(s.shard_sizes[i]));
+      }
+    } else if (const index::SegmentedHammingIndex* segmented =
+                   cbir_->segmented_index()) {
+      const index::SegmentedIndexStats s = segmented->Stats();
+      PushCounter(out, "agoraeo_index_seals_total", s.seals);
+      PushCounter(out, "agoraeo_index_compactions_total", s.compactions);
+      PushGauge(out, "agoraeo_index_sealed_items",
+                static_cast<double>(s.sealed_items));
+    }
+    const CbirPersistenceStats& p = cbir_->persistence_stats();
+    if (p.enabled) {
+      PushCounter(out, "agoraeo_wal_records_total", p.wal_records);
+      PushCounter(out, "agoraeo_wal_bytes_appended_total",
+                  cbir_->wal_bytes_appended());
+      PushCounter(out, "agoraeo_snapshots_written_total",
+                  p.snapshots_written);
+      PushCounter(out, "agoraeo_recovery_restored_items_total",
+                  p.restored_items);
+      PushCounter(out, "agoraeo_recovery_replayed_items_total",
+                  p.replayed_items);
+    }
+  });
 }
 
 EarthQube::~EarthQube() = default;
@@ -88,6 +205,7 @@ Status EarthQube::IngestArchiveWithCodes(
 
 void EarthQube::AttachCbir(std::unique_ptr<CbirService> cbir) {
   cbir_ = std::move(cbir);
+  if (cbir_ != nullptr) cbir_->AttachObservability(&obs_);
   // A new code index changes every similarity result.
   query_cache_.Invalidate();
 }
@@ -466,18 +584,35 @@ StatusOr<QueryResponse> EarthQube::ExecuteSync(
 }
 
 StatusOr<QueryResponse> EarthQube::Execute(const QueryRequest& request) const {
-  if (engine_ != nullptr) return engine_->Submit(request).Get();
+  return Execute(request, nullptr);
+}
+
+StatusOr<QueryResponse> EarthQube::Execute(
+    const QueryRequest& request, std::shared_ptr<obs::Trace> trace) const {
+  if (engine_ != nullptr) return engine_->Submit(request, std::move(trace)).Get();
+  // Engine off: one span covers the whole synchronous execution.
+  obs::ScopedSpan span(trace.get(), "execute_sync");
   return ExecuteSync(request);
 }
 
 void EarthQube::ExecuteAsync(
     const QueryRequest& request,
     std::function<void(const StatusOr<QueryResponse>&)> done) const {
+  ExecuteAsync(request, nullptr, std::move(done));
+}
+
+void EarthQube::ExecuteAsync(
+    const QueryRequest& request, std::shared_ptr<obs::Trace> trace,
+    std::function<void(const StatusOr<QueryResponse>&)> done) const {
   if (engine_ != nullptr) {
-    engine_->SubmitAsync(request, std::move(done));
+    engine_->SubmitAsync(request, std::move(trace), std::move(done));
     return;
   }
-  done(ExecuteSync(request));
+  StatusOr<QueryResponse> result = [&]() -> StatusOr<QueryResponse> {
+    obs::ScopedSpan span(trace.get(), "execute_sync");
+    return ExecuteSync(request);
+  }();
+  done(result);
 }
 
 StatusOr<QueryResponse> EarthQube::ExecuteUncached(

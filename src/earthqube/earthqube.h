@@ -17,6 +17,7 @@
 #include "earthqube/result_panel.h"
 #include "earthqube/schema.h"
 #include "earthqube/statistics.h"
+#include "obs/observability.h"
 
 namespace agoraeo::earthqube {
 
@@ -47,6 +48,10 @@ struct EarthQubeConfig {
   /// misses.  See ExecConfig; disabling it restores the synchronous
   /// per-caller execution path.
   ExecConfig exec;
+  /// Observability: the per-system metrics registry, request tracing
+  /// and slow-query log.  See ObsConfig; disabling metrics/tracing
+  /// makes every record site a dead branch.
+  obs::ObsConfig obs;
 };
 
 /// A search response: the result panel model, the label-statistics view,
@@ -108,6 +113,12 @@ class EarthQube {
   /// distinct in-flight misses may share one batched index pass.
   StatusOr<QueryResponse> Execute(const QueryRequest& request) const;
 
+  /// Traced flavour of Execute: the engine stamps its stage spans
+  /// (admit, cache probe, queue wait, batch wait, index pass,
+  /// materialize) onto `trace`.  Null trace is exactly Execute.
+  StatusOr<QueryResponse> Execute(const QueryRequest& request,
+                                  std::shared_ptr<obs::Trace> trace) const;
+
   /// Asynchronous flavour of Execute: `done` is invoked exactly once
   /// with the response — on an engine worker thread, or inline when the
   /// request completes at admission (validation error, cache hit) or
@@ -116,6 +127,11 @@ class EarthQube {
   /// query.
   void ExecuteAsync(
       const QueryRequest& request,
+      std::function<void(const StatusOr<QueryResponse>&)> done) const;
+
+  /// Traced flavour of ExecuteAsync.
+  void ExecuteAsync(
+      const QueryRequest& request, std::shared_ptr<obs::Trace> trace,
       std::function<void(const StatusOr<QueryResponse>&)> done) const;
 
   /// Executes a request batch: slot i holds what Execute(requests[i])
@@ -217,12 +233,21 @@ class EarthQube {
   /// The staged execution engine (stats endpoint, tests, benches);
   /// null when config().exec.enable is false.
   ExecutionEngine* exec_engine() const { return engine_.get(); }
+  /// The observability bundle: metrics registry, tracing switch and
+  /// slow-query log (the /metrics and debug endpoints read it; const
+  /// query paths record into it).
+  obs::Observability& obs() const { return obs_; }
   size_t num_images() const;
 
  private:
   friend class ExecutionEngine;
 
   StatusOr<ResultEntry> EntryFromDocument(const docstore::Document& doc) const;
+
+  /// Registers the scrape-time collectors that export the existing
+  /// stats structs (caches, engine, index, persistence) into obs_'s
+  /// registry — one counting truth, sampled on demand.
+  void RegisterCollectors();
 
   /// Stage-1 admission checks shared by the synchronous path and the
   /// engine: request validation plus the CBIR-attached precondition.
@@ -314,6 +339,10 @@ class EarthQube {
                            QueryResponse* response);
 
   EarthQubeConfig config_;
+  /// Declared before every instrumented member: caches, index, engine
+  /// and server all record into it, so it must outlive them.  Recording
+  /// is not observable query state, so const paths may write it.
+  mutable obs::Observability obs_;
   /// Caching is not observable query state, so const query paths may
   /// populate it.
   mutable QueryCache query_cache_;

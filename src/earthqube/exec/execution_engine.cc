@@ -18,6 +18,10 @@ struct ExecutionEngine::Waiter {
   Status status = Status::OK();
   std::shared_ptr<const QueryResponse> response;
   Callback callback;
+  /// Per-request trace (null for the untraced fast path) and the
+  /// submission timestamp the total-latency histogram measures from.
+  std::shared_ptr<obs::Trace> trace;
+  uint64_t submit_ns = 0;
 };
 
 /// One underlying execution.  `waiters` is guarded by the engine mutex:
@@ -35,6 +39,11 @@ struct ExecutionEngine::Flight {
   /// (the coalescer mirror of the cache's snapshot-before-execute rule).
   uint64_t admission_epoch = 0;
   std::vector<std::shared_ptr<Waiter>> waiters;
+  /// Stage timestamps (0 = stage never reached): queued, popped by a
+  /// worker, and execution begun after any micro-batch window.
+  uint64_t enqueue_ns = 0;
+  uint64_t pop_ns = 0;
+  uint64_t exec_start_ns = 0;
 };
 
 namespace {
@@ -67,8 +76,25 @@ std::optional<std::string> BatchKeyFor(const QueryRequest& request) {
 }  // namespace
 
 ExecutionEngine::ExecutionEngine(const EarthQube* system,
-                                 const ExecConfig& config)
+                                 const ExecConfig& config,
+                                 obs::Observability* obs)
     : system_(system), config_(config) {
+  if (obs != nullptr && obs->metrics_enabled()) {
+    auto stage = [&](const char* name) {
+      return obs->HistogramOrNull(
+          obs::LabeledName("agoraeo_engine_stage_ns", "stage", name));
+    };
+    stage_admit_ = stage("admit");
+    stage_cache_probe_ = stage("cache_probe");
+    stage_queue_wait_ = stage("queue_wait");
+    stage_batch_wait_ = stage("batch_wait");
+    stage_index_pass_ = stage("index_pass");
+    request_total_ = obs->HistogramOrNull("agoraeo_engine_request_ns");
+    batch_size_ = obs->registry().GetHistogram("agoraeo_engine_batch_size",
+                                               /*min_ns=*/1,
+                                               /*max_ns=*/4096);
+    queue_depth_ = obs->GaugeOrNull("agoraeo_engine_queue_depth");
+  }
   size_t workers = config_.num_workers;
   if (workers == 0) {
     workers = std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -100,6 +126,7 @@ StatusOr<QueryResponse> ExecutionEngine::Ticket::Get() {
   // Per-request materialisation: each waiter copies the shared
   // response (identical fingerprints imply identical paging and
   // projection, so the copy IS the materialised result).
+  obs::ScopedSpan materialize_span(waiter_->trace.get(), "materialize");
   return QueryResponse(*waiter_->response);
 }
 
@@ -113,9 +140,18 @@ void ExecutionEngine::CompleteWaiter(
     waiter->response = std::move(response);
   }
   waiter->cv.notify_all();
+  if (request_total_ != nullptr && waiter->submit_ns != 0) {
+    request_total_->Record(obs::NowNanos() - waiter->submit_ns);
+  }
   if (waiter->callback) {
     if (waiter->status.ok()) {
-      waiter->callback(StatusOr<QueryResponse>(QueryResponse(*waiter->response)));
+      const uint64_t materialize_start =
+          waiter->trace != nullptr ? obs::NowNanos() : 0;
+      StatusOr<QueryResponse> materialized(QueryResponse(*waiter->response));
+      if (waiter->trace != nullptr) {
+        waiter->trace->AddSpanEndingNow("materialize", materialize_start);
+      }
+      waiter->callback(materialized);
     } else {
       waiter->callback(StatusOr<QueryResponse>(waiter->status));
     }
@@ -136,20 +172,78 @@ void ExecutionEngine::CompleteFlight(
     waiters.swap(flight->waiters);
   }
   completed_.fetch_add(waiters.size());
+
+  // Queue-stage observability, once per flight: durations into the
+  // stage histograms, spans onto every traced waiter.
+  const bool any_traced = [&] {
+    for (const auto& waiter : waiters) {
+      if (waiter->trace != nullptr) return true;
+    }
+    return false;
+  }();
+  if (flight->enqueue_ns != 0 &&
+      (any_traced || stage_queue_wait_ != nullptr)) {
+    const uint64_t end_ns = obs::NowNanos();
+    const uint64_t pop_ns =
+        flight->pop_ns != 0 ? flight->pop_ns : end_ns;
+    const uint64_t exec_ns =
+        flight->exec_start_ns != 0 ? flight->exec_start_ns : pop_ns;
+    if (stage_queue_wait_ != nullptr) {
+      stage_queue_wait_->Record(pop_ns - flight->enqueue_ns);
+    }
+    if (stage_batch_wait_ != nullptr && exec_ns > pop_ns) {
+      stage_batch_wait_->Record(exec_ns - pop_ns);
+    }
+    if (stage_index_pass_ != nullptr) {
+      stage_index_pass_->Record(end_ns - exec_ns);
+    }
+    for (const std::shared_ptr<Waiter>& waiter : waiters) {
+      if (waiter->trace == nullptr) continue;
+      waiter->trace->AddSpan("queue_wait", flight->enqueue_ns,
+                             pop_ns - flight->enqueue_ns);
+      if (exec_ns > pop_ns) {
+        waiter->trace->AddSpan("batch_wait", pop_ns, exec_ns - pop_ns);
+      }
+      waiter->trace->AddSpan("index_pass", exec_ns, end_ns - exec_ns);
+    }
+  }
   for (const std::shared_ptr<Waiter>& waiter : waiters) {
     CompleteWaiter(waiter, status, response);
   }
 }
 
 std::shared_ptr<ExecutionEngine::Waiter> ExecutionEngine::Admit(
-    const QueryRequest& request, Callback done) {
+    const QueryRequest& request, Callback done,
+    std::shared_ptr<obs::Trace> trace) {
   auto waiter = std::make_shared<Waiter>();
   waiter->callback = std::move(done);
+  waiter->trace = std::move(trace);
+  const bool timing = waiter->trace != nullptr || stage_admit_ != nullptr ||
+                      request_total_ != nullptr;
+  const uint64_t admit_start = timing ? obs::NowNanos() : 0;
+  waiter->submit_ns = admit_start;
   submitted_.fetch_add(1);
+
+  // Closes the admission stage: histogram + "admit" span cover
+  // validation, fingerprinting, and the coalesce/enqueue decision.
+  // Returns the stage's end timestamp so the next stage can reuse it
+  // instead of re-reading the clock on the warm path.
+  auto finish_admit_stage = [&]() -> uint64_t {
+    if (admit_start == 0) return 0;
+    const uint64_t now = obs::NowNanos();
+    if (stage_admit_ != nullptr) {
+      stage_admit_->Record(now - admit_start);
+    }
+    if (waiter->trace != nullptr) {
+      waiter->trace->AddSpan("admit", admit_start, now - admit_start);
+    }
+    return now;
+  };
 
   // Stage 1: validate.  Admission failures complete inline.
   const Status preflight = system_->PreflightCheck(request);
   if (!preflight.ok()) {
+    finish_admit_stage();
     completed_.fetch_add(1);
     CompleteWaiter(waiter, preflight, nullptr);
     return waiter;
@@ -164,6 +258,7 @@ std::shared_ptr<ExecutionEngine::Waiter> ExecutionEngine::Admit(
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
+      finish_admit_stage();
       completed_.fetch_add(1);
       CompleteWaiter(waiter,
                      Status::FailedPrecondition("execution engine shut down"),
@@ -179,12 +274,19 @@ std::shared_ptr<ExecutionEngine::Waiter> ExecutionEngine::Admit(
         if (it->second->admission_epoch == epoch) {
           it->second->waiters.push_back(waiter);
           coalesced_.fetch_add(1);
+          if (waiter->trace != nullptr) {
+            waiter->trace->AddSpanEndingNow("coalesce", admit_start);
+          }
+          if (stage_admit_ != nullptr && admit_start != 0) {
+            stage_admit_->Record(obs::NowNanos() - admit_start);
+          }
           return waiter;
         }
         register_in_flight = false;  // stale twin keeps the map slot
       }
     }
     if (queue_.size() >= config_.max_queue) {
+      finish_admit_stage();
       rejected_.fetch_add(1);
       completed_.fetch_add(1);
       CompleteWaiter(
@@ -202,9 +304,25 @@ std::shared_ptr<ExecutionEngine::Waiter> ExecutionEngine::Admit(
     if (register_in_flight) in_flight_[*fingerprint] = flight;
   }
 
+  const uint64_t admit_end = finish_admit_stage();
+
   // Stage 3: leader-only cache probe.  Followers that attached above
   // (or attach while we probe) share the outcome.
+  const uint64_t probe_start =
+      waiter->trace != nullptr || stage_cache_probe_ != nullptr
+          ? (admit_end != 0 ? admit_end : obs::NowNanos())
+          : 0;
+  auto finish_probe_stage = [&] {
+    if (probe_start == 0) return;
+    if (stage_cache_probe_ != nullptr) {
+      stage_cache_probe_->Record(obs::NowNanos() - probe_start);
+    }
+    if (waiter->trace != nullptr) {
+      waiter->trace->AddSpanEndingNow("cache_probe", probe_start);
+    }
+  };
   if (auto probed = system_->ProbeCaches(request, fingerprint)) {
+    finish_probe_stage();
     if (probed->ok()) {
       cache_hits_.fetch_add(1);
       // Attribute the hit when a flight completion wrote the entry —
@@ -224,22 +342,33 @@ std::shared_ptr<ExecutionEngine::Waiter> ExecutionEngine::Admit(
     return waiter;
   }
 
+  finish_probe_stage();
+
   // Stage 4: enqueue for the workers.
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (timing || stage_queue_wait_ != nullptr) {
+      flight->enqueue_ns = obs::NowNanos();
+    }
     queue_.push_back(std::move(flight));
     flights_.fetch_add(1);
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
   work_cv_.notify_all();
   return waiter;
 }
 
-ExecutionEngine::Ticket ExecutionEngine::Submit(const QueryRequest& request) {
-  return Ticket(Admit(request, nullptr));
+ExecutionEngine::Ticket ExecutionEngine::Submit(
+    const QueryRequest& request, std::shared_ptr<obs::Trace> trace) {
+  return Ticket(Admit(request, nullptr, std::move(trace)));
 }
 
-void ExecutionEngine::SubmitAsync(const QueryRequest& request, Callback done) {
-  Admit(request, std::move(done));
+void ExecutionEngine::SubmitAsync(const QueryRequest& request,
+                                  std::shared_ptr<obs::Trace> trace,
+                                  Callback done) {
+  Admit(request, std::move(done), std::move(trace));
 }
 
 std::vector<ExecutionEngine::Ticket> ExecutionEngine::SubmitBatch(
@@ -272,6 +401,7 @@ void ExecutionEngine::CollectMatching(
   for (auto it = queue_.begin();
        it != queue_.end() && group->size() < config_.max_batch;) {
     if ((*it)->batch_key == key) {
+      if ((*it)->enqueue_ns != 0) (*it)->pop_ns = obs::NowNanos();
       group->push_back(std::move(*it));
       it = queue_.erase(it);
     } else {
@@ -292,6 +422,7 @@ void ExecutionEngine::WorkerLoop() {
     }
     std::shared_ptr<Flight> flight = std::move(queue_.front());
     queue_.pop_front();
+    if (flight->enqueue_ns != 0) flight->pop_ns = obs::NowNanos();
     const bool queue_was_empty = queue_.empty();
 
     std::vector<std::shared_ptr<Flight>> group;
@@ -324,7 +455,25 @@ void ExecutionEngine::WorkerLoop() {
     // the batch is admitted, or identical slots would miss the
     // coalescer and re-execute.
     work_cv_.wait(lock, [&] { return shutdown_ || paused_ == 0; });
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
     lock.unlock();
+    if (batch_size_ != nullptr) {
+      batch_size_->Record(static_cast<uint64_t>(group.size()));
+    }
+    {
+      bool any_timed = false;
+      for (const std::shared_ptr<Flight>& member : group) {
+        if (member->enqueue_ns != 0) { any_timed = true; break; }
+      }
+      if (any_timed) {
+        const uint64_t exec_start = obs::NowNanos();
+        for (const std::shared_ptr<Flight>& member : group) {
+          if (member->enqueue_ns != 0) member->exec_start_ns = exec_start;
+        }
+      }
+    }
     if (group.size() > 1) {
       ExecuteGroup(group);
     } else {

@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "earthqube/exec/exec_config.h"
 #include "earthqube/query_request.h"
+#include "obs/observability.h"
 
 namespace agoraeo::earthqube {
 
@@ -68,21 +69,35 @@ class ExecutionEngine {
   };
 
   /// `system` must outlive the engine (EarthQube owns its engine and
-  /// declares it last, so it is destroyed first).
-  ExecutionEngine(const EarthQube* system, const ExecConfig& config);
+  /// declares it last, so it is destroyed first).  `obs` (optional,
+  /// must outlive the engine) registers the engine's stage histograms,
+  /// batch-size histogram and queue-depth gauge.
+  ExecutionEngine(const EarthQube* system, const ExecConfig& config,
+                  obs::Observability* obs = nullptr);
   ~ExecutionEngine();
 
   ExecutionEngine(const ExecutionEngine&) = delete;
   ExecutionEngine& operator=(const ExecutionEngine&) = delete;
 
   /// Submits one request; the returned ticket's Get() is the blocking
-  /// flavour EarthQube::Execute wraps.
-  Ticket Submit(const QueryRequest& request);
+  /// flavour EarthQube::Execute wraps.  The traced overloads thread a
+  /// per-request Trace through the engine's stages (admit, coalesce,
+  /// cache probe, queue wait, batch wait, index pass, materialize);
+  /// null trace is the untraced fast path.
+  Ticket Submit(const QueryRequest& request) {
+    return Submit(request, nullptr);
+  }
+  Ticket Submit(const QueryRequest& request,
+                std::shared_ptr<obs::Trace> trace);
 
   /// Submits one request with a completion callback — the deferred
   /// netsvc pipeline's entry point.  The callback must not block for
   /// long and must not re-enter the engine synchronously with a Get().
-  void SubmitAsync(const QueryRequest& request, Callback done);
+  void SubmitAsync(const QueryRequest& request, Callback done) {
+    SubmitAsync(request, nullptr, std::move(done));
+  }
+  void SubmitAsync(const QueryRequest& request,
+                   std::shared_ptr<obs::Trace> trace, Callback done);
 
   /// Submits a whole batch under one admission gate: workers are paused
   /// until every request is admitted, so identical requests coalesce
@@ -103,16 +118,17 @@ class ExecutionEngine {
   struct Flight;
 
   /// Stage 1–3 for one request; returns the submission's waiter.
-  std::shared_ptr<Waiter> Admit(const QueryRequest& request, Callback done);
+  std::shared_ptr<Waiter> Admit(const QueryRequest& request, Callback done,
+                                std::shared_ptr<obs::Trace> trace = nullptr);
 
   /// Completes every waiter of a flight with a shared result and
   /// retires the flight from the coalescer map.
   void CompleteFlight(const std::shared_ptr<Flight>& flight,
                       const Status& status,
                       std::shared_ptr<const QueryResponse> response);
-  static void CompleteWaiter(const std::shared_ptr<Waiter>& waiter,
-                             const Status& status,
-                             std::shared_ptr<const QueryResponse> response);
+  void CompleteWaiter(const std::shared_ptr<Waiter>& waiter,
+                      const Status& status,
+                      std::shared_ptr<const QueryResponse> response);
 
   /// Records that a flight completion pre-warmed the response cache
   /// under `fingerprint`, so a later admission-time hit on it can be
@@ -163,6 +179,17 @@ class ExecutionEngine {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> flight_warms_{0};
   std::atomic<uint64_t> warm_from_flight_hits_{0};
+
+  /// Observability hooks; all null when the engine runs uninstrumented
+  /// (each record site is one null check).
+  obs::Histogram* stage_admit_ = nullptr;
+  obs::Histogram* stage_cache_probe_ = nullptr;
+  obs::Histogram* stage_queue_wait_ = nullptr;
+  obs::Histogram* stage_batch_wait_ = nullptr;
+  obs::Histogram* stage_index_pass_ = nullptr;
+  obs::Histogram* request_total_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
 };
 
 }  // namespace agoraeo::earthqube

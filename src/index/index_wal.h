@@ -40,6 +40,11 @@ class IndexWalWriter {
   const std::string& path() const { return frames_.path(); }
   WalSyncMode sync_mode() const { return frames_.sync_mode(); }
   size_t records_appended() const { return frames_.frames_appended(); }
+  uint64_t bytes_appended() const { return frames_.bytes_appended(); }
+  /// Forwards to WalFrameWriter::set_sync_histogram.
+  void set_sync_histogram(obs::Histogram* histogram) {
+    frames_.set_sync_histogram(histogram);
+  }
 
  private:
   WalFrameWriter frames_;

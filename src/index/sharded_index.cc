@@ -134,6 +134,7 @@ std::vector<SearchResult> ShardedHammingIndex::RadiusSearch(
   std::vector<std::vector<SearchResult>> per_shard(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     SearchStats shard_stats;
+    obs::ScopedTimer scan_timer(scan_histogram_);
     per_shard[s] = shards_[s]->RadiusSearch(
         query, radius, stats != nullptr ? &shard_stats : nullptr);
     if (stats != nullptr) AccumulateStats(shard_stats, stats);
@@ -152,6 +153,7 @@ std::vector<SearchResult> ShardedHammingIndex::KnnSearch(
   std::vector<std::vector<SearchResult>> per_shard(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     SearchStats shard_stats;
+    obs::ScopedTimer scan_timer(scan_histogram_);
     per_shard[s] = shards_[s]->KnnSearch(
         query, k, stats != nullptr ? &shard_stats : nullptr);
     if (stats != nullptr) AccumulateStats(shard_stats, stats);
@@ -173,6 +175,7 @@ std::vector<SearchResult> ShardedHammingIndex::RadiusSearchIn(
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (split[s].empty()) continue;  // no allowed id routes here
     SearchStats shard_stats;
+    obs::ScopedTimer scan_timer(scan_histogram_);
     per_shard[s] = shards_[s]->RadiusSearchIn(
         query, radius, split[s], stats != nullptr ? &shard_stats : nullptr);
     if (stats != nullptr) AccumulateStats(shard_stats, stats);
@@ -194,6 +197,7 @@ std::vector<SearchResult> ShardedHammingIndex::KnnSearchIn(
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (split[s].empty()) continue;
     SearchStats shard_stats;
+    obs::ScopedTimer scan_timer(scan_histogram_);
     per_shard[s] = shards_[s]->KnnSearchIn(
         query, k, split[s], stats != nullptr ? &shard_stats : nullptr);
     if (stats != nullptr) AccumulateStats(shard_stats, stats);
@@ -222,6 +226,7 @@ std::vector<std::vector<SearchResult>> ShardedHammingIndex::ScatterGatherBatch(
   std::vector<std::vector<SearchStats>> per_shard_stats(
       stats != nullptr ? shards_.size() : 0);
   ForEachShard(pool, [&](size_t s) {
+    obs::ScopedTimer scan_timer(scan_histogram_);
     per_shard[s] =
         run_shard(s, stats != nullptr ? &per_shard_stats[s] : nullptr);
   });

@@ -10,6 +10,7 @@
 
 #include "index/hamming_index.h"
 #include "index/segmented_index.h"
+#include "obs/metrics.h"
 
 namespace agoraeo::index {
 
@@ -123,6 +124,13 @@ class ShardedHammingIndex : public HammingIndex {
   const SegmentedHammingIndex& shard(size_t s) const { return *shards_[s]; }
   ShardedIndexStats Stats() const;
 
+  /// Installs a latency histogram over individual per-shard scan tasks
+  /// (single-query and batched passes alike).  Null uninstalls; the
+  /// histogram must outlive the index.
+  void set_scan_histogram(obs::Histogram* histogram) {
+    scan_histogram_ = histogram;
+  }
+
  private:
   /// Enforces the one-code-length contract ACROSS shards: without this
   /// a mismatched code could land on a still-empty shard and be
@@ -157,6 +165,7 @@ class ShardedHammingIndex : public HammingIndex {
   mutable std::atomic<uint64_t> batch_fanouts_{0};
   mutable std::atomic<uint64_t> fanout_tasks_{0};
   mutable std::atomic<uint64_t> merge_nanos_{0};
+  obs::Histogram* scan_histogram_ = nullptr;
 };
 
 }  // namespace agoraeo::index

@@ -194,12 +194,15 @@ StatusOr<HttpResponse> HttpClient::Attempt(uint16_t port,
   return resp;
 }
 
-StatusOr<HttpResponse> HttpClient::Request(uint16_t port,
-                                           const std::string& method,
-                                           const std::string& target,
-                                           const std::string& body,
-                                           const std::string& content_type,
-                                           HttpRequestDetail* detail) const {
+StatusOr<HttpResponse> HttpClient::Request(
+    uint16_t port, const std::string& method, const std::string& target,
+    const std::string& body, const std::string& content_type,
+    HttpRequestDetail* detail,
+    const std::map<std::string, std::string>& extra_headers) const {
+  const obs::HttpClientMetrics* metrics = options_.metrics;
+  if (metrics != nullptr && metrics->requests != nullptr) {
+    metrics->requests->Increment();
+  }
   HttpRequest req;
   req.method = method;
   const size_t qmark = target.find('?');
@@ -211,6 +214,7 @@ StatusOr<HttpResponse> HttpClient::Request(uint16_t port,
   }
   req.body = body;
   if (!body.empty()) req.headers["content-type"] = content_type;
+  for (const auto& [name, value] : extra_headers) req.headers[name] = value;
   const std::string wire =
       SerializeRequest(req, host_ + ":" + std::to_string(port));
 
@@ -222,10 +226,16 @@ StatusOr<HttpResponse> HttpClient::Request(uint16_t port,
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
       retries_.fetch_add(1);
+      if (metrics != nullptr && metrics->retries != nullptr) {
+        metrics->retries->Increment();
+      }
       const int base = std::min(options_.backoff_max_ms,
                                 options_.backoff_base_ms << (attempt - 1));
       const int sleep_ms = std::max(
           1, static_cast<int>(base * JitterFraction(jitter_salt, attempt)));
+      if (metrics != nullptr && metrics->backoff_sleeps != nullptr) {
+        metrics->backoff_sleeps->Increment();
+      }
       std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
     ++attempts;
@@ -246,6 +256,15 @@ StatusOr<HttpResponse> HttpClient::Request(uint16_t port,
     detail->attempts = attempts;
   }
   if (!result.ok() && kind != HttpErrorKind::kNone) {
+    if (metrics != nullptr) {
+      if (metrics->failures != nullptr) metrics->failures->Increment();
+      const int kind_index = static_cast<int>(kind);
+      if (kind_index >= 0 &&
+          kind_index < obs::HttpClientMetrics::kNumErrorKinds &&
+          metrics->errors_by_kind[kind_index] != nullptr) {
+        metrics->errors_by_kind[kind_index]->Increment();
+      }
+    }
     return Status::IOError(std::string(HttpErrorKindName(kind)) + ": " +
                            std::string(result.status().message()));
   }

@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "common/status.h"
 #include "netsvc/http.h"
+#include "obs/metrics.h"
 
 namespace agoraeo::netsvc {
 
@@ -50,6 +52,11 @@ struct HttpClientOptions {
   /// back in spread out.
   int backoff_base_ms = 25;
   int backoff_max_ms = 1000;
+  /// Optional metric hooks (requests, failures, retries, backoff
+  /// sleeps, error kinds — indexed by static_cast<int>(HttpErrorKind)).
+  /// Not owned; must outlive every client constructed from these
+  /// options.  Null (the default) records nothing.
+  const obs::HttpClientMetrics* metrics = nullptr;
 };
 
 /// A blocking HTTP client for the loopback tiers (the UI tier's side of
@@ -72,12 +79,12 @@ class HttpClient {
   /// Issues `method target` with an optional body.  Failures carry a
   /// "<kind>: " prefix in the Status message; pass `detail` for the
   /// typed kind and the attempt count.
-  StatusOr<HttpResponse> Request(uint16_t port, const std::string& method,
-                                 const std::string& target,
-                                 const std::string& body = "",
-                                 const std::string& content_type =
-                                     "application/json",
-                                 HttpRequestDetail* detail = nullptr) const;
+  StatusOr<HttpResponse> Request(
+      uint16_t port, const std::string& method, const std::string& target,
+      const std::string& body = "",
+      const std::string& content_type = "application/json",
+      HttpRequestDetail* detail = nullptr,
+      const std::map<std::string, std::string>& extra_headers = {}) const;
 
   StatusOr<HttpResponse> Get(uint16_t port, const std::string& target) const {
     return Request(port, "GET", target);

@@ -417,6 +417,10 @@ std::string EarthQubeService::QueryResponseToJson(
 
 void EarthQubeService::RegisterRoutes(HttpServer* server,
                                       bool include_query_route) {
+  // Every server fronting this service reports per-route request
+  // counts/latency into the system's registry (RegisterRoutes runs
+  // before Start, which is when the server binds its metrics).
+  server->AttachObservability(&system_->obs());
   server->Route("GET", "/health", [](const HttpRequest&) {
     return HttpResponse::Json(200, "{\"status\":\"ok\"}");
   });
@@ -461,6 +465,21 @@ void EarthQubeService::RegisterRoutes(HttpServer* server,
   server->Route("POST", "/api/v2/index/snapshot", [this](const HttpRequest&) {
     return HandleIndexSnapshot();
   });
+  // Observability: Prometheus exposition, the JSON mirror, and the
+  // slow-query ring.  Served even with metrics disabled (the registry
+  // is just empty) so probes never 404.
+  server->Route("GET", "/metrics", [this](const HttpRequest&) {
+    return HttpResponse::Text(200,
+                              system_->obs().registry().PrometheusText());
+  });
+  server->Route("GET", "/api/v2/metrics", [this](const HttpRequest&) {
+    return HttpResponse::Json(200, system_->obs().registry().JsonText());
+  });
+  server->Route("GET", "/api/v2/debug/slow_queries",
+                [this](const HttpRequest&) {
+                  return HttpResponse::Json(200,
+                                            system_->obs().slow_log().ToJson());
+                });
   server->Route("GET", "/api/patch/*", [this](const HttpRequest& request) {
     return HandlePatchMetadata(request);
   });
@@ -747,12 +766,41 @@ void EarthQubeService::HandleQueryV2(const HttpRequest& request,
     responder.Send(FromStatus(parsed.status()));
     return;
   }
+  // Per-request trace: adopt a propagated id (the cluster coordinator's
+  // x-trace-id) or mint one.  Null when tracing is off — the engine's
+  // span sites all null-check.
+  obs::Observability& obs = system_->obs();
+  const std::string& propagated = request.Header("x-trace-id");
+  std::shared_ptr<obs::Trace> trace = propagated.empty()
+                                          ? obs.StartTrace()
+                                          : obs.StartTrace(propagated);
+  const uint64_t start_ns =
+      (trace != nullptr || obs.metrics_enabled()) ? obs::NowNanos() : 0;
+  std::string summary = "POST /api/v2/query ";
+  summary += !parsed->similarity.has_value() ? "panel"
+             : parsed->panel.has_value()     ? "hybrid"
+                                             : "cbir";
   system_->ExecuteAsync(
-      *parsed, [responder](const StatusOr<QueryResponse>& response) {
-        responder.Send(response.ok()
-                           ? HttpResponse::Json(200,
-                                                QueryResponseToJson(*response))
-                           : FromStatus(response.status()));
+      *parsed, trace,
+      [this, responder, trace, start_ns,
+       summary = std::move(summary)](const StatusOr<QueryResponse>& response) {
+        HttpResponse http =
+            response.ok()
+                ? HttpResponse::Json(200, QueryResponseToJson(*response))
+                : FromStatus(response.status());
+        if (trace != nullptr) http.headers["x-trace-id"] = trace->id();
+        if (start_ns != 0) {
+          obs::SlowQueryLog& slow_log = system_->obs().slow_log();
+          const uint64_t total_ns = obs::NowNanos() - start_ns;
+          // Threshold check before rendering: fast requests never pay
+          // for the trace JSON.
+          if (total_ns >= slow_log.threshold_ns() &&
+              slow_log.capacity() > 0) {
+            slow_log.Observe(total_ns, trace != nullptr ? trace->id() : "",
+                             summary, trace != nullptr ? trace->ToJson() : "");
+          }
+        }
+        responder.Send(http);
       });
 }
 

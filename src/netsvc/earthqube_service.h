@@ -21,6 +21,9 @@ namespace agoraeo::netsvc {
 ///   POST /api/v2/query                   unified query API (see below)
 ///   GET  /api/v2/cache/stats             query-cache counters + epoch
 ///   GET  /api/v2/index/stats             Hamming-index partition stats
+///   GET  /metrics                        Prometheus text exposition
+///   GET  /api/v2/metrics                 same registry as JSON
+///   GET  /api/v2/debug/slow_queries      slow-query ring, worst first
 ///   POST /api/search                     [v1, deprecated] query panel
 ///   POST /api/similar/by_name            [v1, deprecated] CBIR by name
 ///   POST /cbir/batch_search              [v1, deprecated] batched CBIR

@@ -92,9 +92,20 @@ struct HttpServer::Responder::Pending {
   int fd = -1;
   HttpServer* server = nullptr;
   std::atomic<bool> sent{false};
+  /// Route metrics carried across the deferral so the latency
+  /// histogram covers the parked time too.
+  obs::Counter* requests_metric = nullptr;
+  obs::Histogram* latency_metric = nullptr;
+  obs::Gauge* inflight_gauge = nullptr;
+  uint64_t start_ns = 0;
 
   void Send(HttpResponse response) {
     if (sent.exchange(true)) return;
+    if (requests_metric != nullptr) requests_metric->Increment();
+    if (latency_metric != nullptr) {
+      latency_metric->Record(obs::NowNanos() - start_ns);
+    }
+    if (inflight_gauge != nullptr) inflight_gauge->Add(-1);
     // Count before sending: a client that has seen the response must
     // be able to observe the incremented counter.
     server->requests_served_.fetch_add(1);
@@ -174,6 +185,20 @@ Status HttpServer::Start(uint16_t port) {
     port_ = ntohs(addr.sin_port);
   }
 
+  if (obs_ != nullptr) {
+    for (RouteEntry& route : routes_) {
+      const std::string label =
+          route.method + " " + route.path + (route.prefix ? "*" : "");
+      route.requests_metric = obs_->CounterOrNull(
+          obs::LabeledName("agoraeo_http_requests_total", "route", label));
+      route.latency_metric = obs_->HistogramOrNull(
+          obs::LabeledName("agoraeo_http_request_ns", "route", label));
+    }
+    unmatched_requests_ = obs_->CounterOrNull(obs::LabeledName(
+        "agoraeo_http_requests_total", "route", "unmatched"));
+    inflight_gauge_ = obs_->GaugeOrNull("agoraeo_http_inflight_requests");
+  }
+
   listen_fd_.store(sock);
   pool_ = std::make_unique<ThreadPool>(num_workers_);
   running_.store(true);
@@ -230,9 +255,15 @@ void HttpServer::AcceptLoop() {
 }
 
 void HttpServer::HandleConnection(int fd) {
+  const uint64_t start_ns = inflight_gauge_ != nullptr ||
+                                    unmatched_requests_ != nullptr
+                                ? obs::NowNanos()
+                                : 0;
+  if (inflight_gauge_ != nullptr) inflight_gauge_->Add(1);
   std::string head, body;
   const Status read = ReadFullRequest(fd, &head, &body, kMaxRequestBytes);
   HttpResponse response;
+  const RouteEntry* matched = nullptr;
   if (!read.ok()) {
     response = HttpResponse::BadRequest(read.message());
   } else {
@@ -254,6 +285,10 @@ void HttpServer::HandleConnection(int fd) {
         auto pending = std::make_shared<Responder::Pending>();
         pending->fd = fd;
         pending->server = this;
+        pending->requests_metric = route->requests_metric;
+        pending->latency_metric = route->latency_metric;
+        pending->inflight_gauge = inflight_gauge_;
+        pending->start_ns = start_ns != 0 ? start_ns : obs::NowNanos();
         Responder responder{std::move(pending)};
         try {
           route->async_handler(*request, responder);
@@ -262,6 +297,7 @@ void HttpServer::HandleConnection(int fd) {
         }
         return;  // the Responder owns the fd now
       } else {
+        matched = route;
         try {
           response = route->handler(*request);
         } catch (const std::exception& e) {
@@ -270,6 +306,17 @@ void HttpServer::HandleConnection(int fd) {
       }
     }
   }
+  if (matched != nullptr) {
+    if (matched->requests_metric != nullptr) {
+      matched->requests_metric->Increment();
+    }
+    if (matched->latency_metric != nullptr) {
+      matched->latency_metric->Record(obs::NowNanos() - start_ns);
+    }
+  } else if (unmatched_requests_ != nullptr) {
+    unmatched_requests_->Increment();
+  }
+  if (inflight_gauge_ != nullptr) inflight_gauge_->Add(-1);
   // Count before sending: a client that has seen the response must be
   // able to observe the incremented counter.
   requests_served_.fetch_add(1);

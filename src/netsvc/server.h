@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "netsvc/http.h"
+#include "obs/observability.h"
 
 namespace agoraeo::netsvc {
 
@@ -86,6 +87,13 @@ class HttpServer {
   uint16_t port() const { return port_; }
   size_t requests_served() const { return requests_served_.load(); }
 
+  /// Attaches an observability bundle: Start() then registers one
+  /// request counter + latency histogram per route (label
+  /// `route="METHOD /path"`), a counter for unroutable requests, and an
+  /// in-flight connection gauge.  Must be called before Start; `obs`
+  /// must outlive the server.  Null (the default) instruments nothing.
+  void AttachObservability(obs::Observability* obs) { obs_ = obs; }
+
   /// Maximum accepted request size (head + body), a guard against
   /// malformed or hostile clients.
   static constexpr size_t kMaxRequestBytes = 64 * 1024 * 1024;
@@ -97,6 +105,9 @@ class HttpServer {
     bool prefix = false;
     Handler handler;
     AsyncHandler async_handler;  // set for RouteAsync registrations
+    /// Filled by Start() when observability is attached.
+    obs::Counter* requests_metric = nullptr;
+    obs::Histogram* latency_metric = nullptr;
   };
 
   void AcceptLoop();
@@ -124,6 +135,10 @@ class HttpServer {
   std::mutex deferred_mu_;
   std::condition_variable deferred_cv_;
   size_t deferred_in_flight_ = 0;
+
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* unmatched_requests_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
 };
 
 }  // namespace agoraeo::netsvc

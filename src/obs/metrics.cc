@@ -1,0 +1,312 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <thread>
+
+namespace agoraeo::obs {
+namespace {
+
+/// Stable per-thread stripe pick; hashing the thread id spreads
+/// closed-loop client threads across stripes well enough that the
+/// record path never serialises on one cache line.
+size_t ThisThreadStripe(size_t num_stripes) {
+  static thread_local const size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return stripe % num_stripes;
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Escapes a string for use as a JSON key or string value.
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The metric name with any `{label="..."}` block stripped — the name a
+/// `# TYPE` line announces.
+std::string BaseName(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// Splices an extra `key="value"` pair into a (possibly label-less)
+/// metric name, optionally rewriting the base name with a suffix:
+/// ("m{a=\"b\"}", "_sum") -> "m_sum{a=\"b\"}".
+std::string WithSuffixAndLabel(const std::string& name,
+                               const std::string& suffix,
+                               const std::string& extra_label) {
+  const size_t brace = name.find('{');
+  std::string base = BaseName(name) + suffix;
+  if (brace == std::string::npos) {
+    return extra_label.empty() ? base : base + "{" + extra_label + "}";
+  }
+  // name ends with '}', existing labels inside.
+  std::string labels = name.substr(brace + 1, name.size() - brace - 2);
+  if (!extra_label.empty()) {
+    labels = labels.empty() ? extra_label : labels + "," + extra_label;
+  }
+  return labels.empty() ? base : base + "{" + labels + "}";
+}
+
+std::string FormatDouble(double v) {
+  // Integral values print without a decimal point so counter lines stay
+  // stable for the golden test.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds.size()) return bounds.empty() ? 0 : bounds.back();
+    const uint64_t lo = i == 0 ? 0 : bounds[i - 1];
+    const uint64_t hi = bounds[i];
+    const double within =
+        (target - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+    return lo + static_cast<uint64_t>((hi - lo) * std::clamp(within, 0.0, 1.0));
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+Histogram::Histogram(uint64_t min_ns, uint64_t max_ns) {
+  if (min_ns == 0) min_ns = 1;
+  if (max_ns < min_ns * 2) max_ns = min_ns * 2;
+  bounds_.push_back(min_ns);
+  // Four linear sub-steps per octave: x1.25, x1.5, x1.75, x2 of the
+  // octave base, repeated until the range is covered.
+  uint64_t octave = min_ns;
+  while (bounds_.back() < max_ns) {
+    for (int sub = 1; sub <= 4; ++sub) {
+      const uint64_t bound = octave + (octave * static_cast<uint64_t>(sub)) / 4;
+      if (bound > bounds_.back()) bounds_.push_back(bound);
+      if (bounds_.back() >= max_ns) break;
+    }
+    octave *= 2;
+  }
+  const size_t num_buckets = bounds_.size() + 1;  // + overflow
+  for (Stripe& stripe : stripes_) {
+    stripe.buckets = std::make_unique<std::atomic<uint64_t>[]>(num_buckets);
+    for (size_t i = 0; i < num_buckets; ++i) {
+      stripe.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Record(uint64_t value_ns) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value_ns);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  Stripe& stripe = stripes_[ThisThreadStripe(kStripes)];
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  stripe.sum.fetch_add(value_ns, std::memory_order_relaxed);
+  stripe.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.buckets.assign(bounds_.size() + 1, 0);
+  for (const Stripe& stripe : stripes_) {
+    snapshot.count += stripe.count.load(std::memory_order_relaxed);
+    snapshot.sum += stripe.sum.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < snapshot.buckets.size(); ++i) {
+      snapshot.buckets[i] += stripe.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return snapshot;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->name == name && entry->counter) return entry->counter.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->counter = std::make_unique<Counter>();
+  Counter* out = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->name == name && entry->gauge) return entry->gauge.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge* out = entry->gauge.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         uint64_t min_ns, uint64_t max_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->name == name && entry->histogram) return entry->histogram.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->histogram = std::make_unique<Histogram>(min_ns, max_ns);
+  Histogram* out = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+void MetricsRegistry::AddCollector(Collector collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(collector));
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  // Snapshot the entry list and collectors under the lock, render
+  // outside it (collectors may take other locks).
+  std::vector<const Entry*> entries;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(entries_.size());
+    for (const auto& entry : entries_) entries.push_back(entry.get());
+    collectors = collectors_;
+  }
+  std::vector<Sample> samples;
+  for (const Collector& collector : collectors) collector(&samples);
+
+  std::string out;
+  std::set<std::string> announced;
+  auto announce = [&](const std::string& name, const char* type) {
+    const std::string base = BaseName(name);
+    if (!announced.insert(base).second) return;
+    out += "# TYPE " + base + " " + type + "\n";
+  };
+  for (const Entry* entry : entries) {
+    if (entry->counter) {
+      announce(entry->name, "counter");
+      out += entry->name + " " + std::to_string(entry->counter->value()) + "\n";
+    } else if (entry->gauge) {
+      announce(entry->name, "gauge");
+      out += entry->name + " " + std::to_string(entry->gauge->value()) + "\n";
+    } else if (entry->histogram) {
+      announce(entry->name, "summary");
+      const HistogramSnapshot snapshot = entry->histogram->Snapshot();
+      static constexpr struct { const char* label; double q; } kQuantiles[] = {
+          {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}};
+      for (const auto& quantile : kQuantiles) {
+        out += WithSuffixAndLabel(
+                   entry->name, "",
+                   std::string("quantile=\"") + quantile.label + "\"") +
+               " " + std::to_string(snapshot.Quantile(quantile.q)) + "\n";
+      }
+      out += WithSuffixAndLabel(entry->name, "_sum", "") + " " +
+             std::to_string(snapshot.sum) + "\n";
+      out += WithSuffixAndLabel(entry->name, "_count", "") + " " +
+             std::to_string(snapshot.count) + "\n";
+    }
+  }
+  for (const Sample& sample : samples) {
+    announce(sample.name,
+             sample.kind == SampleKind::kCounter ? "counter" : "gauge");
+    out += sample.name + " " + FormatDouble(sample.value) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonText() const {
+  std::vector<const Entry*> entries;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(entries_.size());
+    for (const auto& entry : entries_) entries.push_back(entry.get());
+    collectors = collectors_;
+  }
+  std::vector<Sample> samples;
+  for (const Collector& collector : collectors) collector(&samples);
+
+  std::string out = "{";
+  bool first = true;
+  auto key = [&](const std::string& name) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + EscapeJson(name) + "\":";
+  };
+  for (const Entry* entry : entries) {
+    key(entry->name);
+    if (entry->counter) {
+      out += std::to_string(entry->counter->value());
+    } else if (entry->gauge) {
+      out += std::to_string(entry->gauge->value());
+    } else if (entry->histogram) {
+      const HistogramSnapshot snapshot = entry->histogram->Snapshot();
+      out += "{\"count\":" + std::to_string(snapshot.count) +
+             ",\"sum_ns\":" + std::to_string(snapshot.sum) +
+             ",\"mean_ns\":" + FormatDouble(snapshot.MeanNs()) +
+             ",\"p50_ns\":" + std::to_string(snapshot.Quantile(0.5)) +
+             ",\"p90_ns\":" + std::to_string(snapshot.Quantile(0.9)) +
+             ",\"p99_ns\":" + std::to_string(snapshot.Quantile(0.99)) +
+             ",\"p999_ns\":" + std::to_string(snapshot.Quantile(0.999)) + "}";
+    }
+  }
+  for (const Sample& sample : samples) {
+    key(sample.name);
+    out += FormatDouble(sample.value);
+  }
+  out += "}";
+  return out;
+}
+
+std::string LabeledName(const std::string& base, const std::string& key,
+                        const std::string& value) {
+  return base + "{" + key + "=\"" + EscapeLabelValue(value) + "\"}";
+}
+
+}  // namespace agoraeo::obs

@@ -1,0 +1,81 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace agoraeo::obs {
+namespace {
+
+std::string EscapeJsonString(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void SlowQueryLog::Observe(uint64_t total_ns, const std::string& trace_id,
+                           const std::string& summary,
+                           std::string trace_json) {
+  if (total_ns < threshold_ns_ || capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  SlowQueryRecord record;
+  record.seq = next_seq_++;
+  record.trace_id = trace_id;
+  record.summary = summary;
+  record.total_ns = total_ns;
+  record.trace_json = std::move(trace_json);
+  ring_.push_back(std::move(record));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::WorstFirst() const {
+  std::vector<SlowQueryRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.assign(ring_.begin(), ring_.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowQueryRecord& a, const SlowQueryRecord& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              return a.seq > b.seq;
+            });
+  return out;
+}
+
+std::string SlowQueryLog::ToJson() const {
+  const std::vector<SlowQueryRecord> records = WorstFirst();
+  std::string out = "{\"threshold_ms\":" +
+                    std::to_string(threshold_ns_ / 1'000'000) +
+                    ",\"count\":" + std::to_string(records.size()) +
+                    ",\"slow_queries\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"seq\":" + std::to_string(records[i].seq) +
+           ",\"trace_id\":\"" + EscapeJsonString(records[i].trace_id) +
+           "\",\"summary\":\"" + EscapeJsonString(records[i].summary) +
+           "\",\"total_us\":" + std::to_string(records[i].total_ns / 1000) +
+           ",\"trace\":" +
+           (records[i].trace_json.empty() ? "null" : records[i].trace_json) +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace agoraeo::obs

@@ -1,0 +1,57 @@
+#ifndef AGORAEO_OBS_SLOW_QUERY_LOG_H_
+#define AGORAEO_OBS_SLOW_QUERY_LOG_H_
+
+/// Bounded ring of the most recent slow requests.  Completed traces
+/// whose wall time clears the threshold are recorded with a one-line
+/// request summary and the full rendered trace; the ring keeps the last
+/// `capacity` of them (oldest evicted first) and serves them worst-first
+/// at GET /api/v2/debug/slow_queries.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace agoraeo::obs {
+
+struct SlowQueryRecord {
+  uint64_t seq = 0;  ///< admission order; higher = more recent
+  std::string trace_id;
+  std::string summary;     ///< one-line request description
+  uint64_t total_ns = 0;
+  std::string trace_json;  ///< Trace::ToJson() at completion time
+};
+
+class SlowQueryLog {
+ public:
+  SlowQueryLog(uint64_t threshold_ns, size_t capacity)
+      : threshold_ns_(threshold_ns), capacity_(capacity) {}
+
+  /// Records the request if it is slow enough; cheap rejection for the
+  /// fast majority (one load + compare before any lock).
+  void Observe(uint64_t total_ns, const std::string& trace_id,
+               const std::string& summary, std::string trace_json);
+
+  /// Current ring contents sorted by total_ns descending (ties: newer
+  /// first).
+  std::vector<SlowQueryRecord> WorstFirst() const;
+
+  /// JSON body for the debug endpoint:
+  ///   {"threshold_ms":50,"count":N,"slow_queries":[...]}
+  std::string ToJson() const;
+
+  uint64_t threshold_ns() const { return threshold_ns_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const uint64_t threshold_ns_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 0;
+  std::deque<SlowQueryRecord> ring_;
+};
+
+}  // namespace agoraeo::obs
+
+#endif  // AGORAEO_OBS_SLOW_QUERY_LOG_H_

@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace agoraeo::obs {
+namespace {
+
+std::string EscapeJsonString(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendSpanArray(const std::vector<TraceSpan>& spans, uint64_t base_ns,
+                     std::string* out) {
+  *out += "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) *out += ",";
+    const uint64_t start =
+        spans[i].start_ns >= base_ns ? spans[i].start_ns - base_ns : 0;
+    *out += "{\"name\":\"" + EscapeJsonString(spans[i].name) +
+            "\",\"start_us\":" + std::to_string(start / 1000) +
+            ",\"dur_us\":" + std::to_string(spans[i].duration_ns / 1000) + "}";
+  }
+  *out += "]";
+}
+
+}  // namespace
+
+uint64_t Trace::Now() { return NowNanos(); }
+uint64_t ScopedSpan::NowForSpan() { return NowNanos(); }
+
+void Trace::AddSpan(const std::string& name, uint64_t start_ns,
+                    uint64_t duration_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back({name, start_ns, duration_ns});
+}
+
+void Trace::AddSpanEndingNow(const std::string& name, uint64_t start_ns) {
+  const uint64_t now = Now();
+  AddSpan(name, start_ns, now >= start_ns ? now - start_ns : 0);
+}
+
+void Trace::AddChild(std::string node_id, std::vector<TraceSpan> spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  children_.push_back({std::move(node_id), std::move(spans)});
+}
+
+std::vector<TraceSpan> Trace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<TraceChild> Trace::children() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return children_;
+}
+
+std::string Trace::SpansToJson() const {
+  std::vector<TraceSpan> spans = this->spans();
+  std::string out;
+  AppendSpanArray(spans, born_ns_, &out);
+  return out;
+}
+
+std::string Trace::ToJson() const {
+  std::vector<TraceSpan> spans;
+  std::vector<TraceChild> children;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+    children = children_;
+  }
+  std::string out = "{\"trace_id\":\"" + EscapeJsonString(id_) + "\"";
+  // Total = the extent of recorded spans (not "now": a slow-log entry
+  // rendered long after completion must not keep growing).
+  uint64_t end_ns = born_ns_;
+  for (const TraceSpan& span : spans) {
+    end_ns = std::max(end_ns, span.start_ns + span.duration_ns);
+  }
+  out += ",\"total_us\":" + std::to_string((end_ns - born_ns_) / 1000);
+  out += ",\"spans\":";
+  AppendSpanArray(spans, born_ns_, &out);
+  out += ",\"children\":[";
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"node\":\"" + EscapeJsonString(children[i].node_id) +
+           "\",\"spans\":";
+    // Child spans arrive already relative to the child trace's birth.
+    AppendSpanArray(children[i].spans, 0, &out);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Trace::NewId() {
+  static std::atomic<uint64_t> counter{0};
+  // splitmix64 over (boot-relative time ^ sequence) gives ids that are
+  // unique in-process and effectively unique across nodes.
+  uint64_t x = NowNanos() ^ (counter.fetch_add(1, std::memory_order_relaxed)
+                             << 32);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(x));
+  return std::string(buf);
+}
+
+}  // namespace agoraeo::obs

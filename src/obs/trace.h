@@ -1,0 +1,97 @@
+#ifndef AGORAEO_OBS_TRACE_H_
+#define AGORAEO_OBS_TRACE_H_
+
+/// Per-request tracing: one Trace object rides a request through the
+/// stack (by shared_ptr, because the engine completes requests on
+/// worker threads), accumulating named spans with start/duration; the
+/// coordinator merges child-node span summaries into the parent trace.
+///
+/// Spans are recorded with absolute NowNanos() timestamps and rendered
+/// relative to the trace's birth in microseconds, which keeps the JSON
+/// compact enough to ship in an `x-trace-spans` response header across
+/// cluster hops.  Std-only, like the rest of src/obs/.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace agoraeo::obs {
+
+struct TraceSpan {
+  std::string name;
+  uint64_t start_ns = 0;     ///< absolute (NowNanos clock)
+  uint64_t duration_ns = 0;
+};
+
+/// Span summary contributed by one cluster node during a fan-out.
+struct TraceChild {
+  std::string node_id;
+  std::vector<TraceSpan> spans;  ///< start_ns relative to the child, ns
+};
+
+class Trace {
+ public:
+  Trace() : id_(NewId()), born_ns_(Now()) {}
+  explicit Trace(std::string id) : id_(std::move(id)), born_ns_(Now()) {}
+
+  const std::string& id() const { return id_; }
+  uint64_t born_ns() const { return born_ns_; }
+
+  void AddSpan(const std::string& name, uint64_t start_ns,
+               uint64_t duration_ns);
+  /// Convenience: a span that ends now and started `duration` ago.
+  void AddSpanEndingNow(const std::string& name, uint64_t start_ns);
+  void AddChild(std::string node_id, std::vector<TraceSpan> spans);
+
+  std::vector<TraceSpan> spans() const;
+  std::vector<TraceChild> children() const;
+
+  /// Compact JSON array of this trace's own spans with start/duration
+  /// relative to born_ns in whole microseconds:
+  ///   [{"name":"index_pass","start_us":12,"dur_us":480}, ...]
+  /// Small enough for a response header; parsed back by the
+  /// coordinator when merging cluster hops.
+  std::string SpansToJson() const;
+
+  /// Full trace object: id, total_us since birth, own spans, children.
+  std::string ToJson() const;
+
+  /// 16-hex-char id, unique within the process and sufficiently unique
+  /// across nodes for log correlation (mixes a process-wide counter
+  /// with the clock).
+  static std::string NewId();
+
+ private:
+  static uint64_t Now();
+
+  const std::string id_;
+  const uint64_t born_ns_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceChild> children_;
+};
+
+/// Adds a span to the trace on destruction; null trace no-ops.
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, const char* name)
+      : trace_(trace), name_(name), start_ns_(trace ? NowForSpan() : 0) {}
+  ~ScopedSpan() {
+    if (trace_ != nullptr) trace_->AddSpanEndingNow(name_, start_ns_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  static uint64_t NowForSpan();
+
+  Trace* trace_;
+  const char* name_;
+  uint64_t start_ns_;
+};
+
+}  // namespace agoraeo::obs
+
+#endif  // AGORAEO_OBS_TRACE_H_
