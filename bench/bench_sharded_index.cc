@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench/harness.h"
@@ -35,11 +36,13 @@ struct IndexContext {
   std::unique_ptr<index::ShardedHammingIndex> idx;
   std::vector<BinaryCode> queries;
   std::unique_ptr<ThreadPool> pool;
+  size_t pinned = 0;  ///< workers PinThreads() actually pinned
 };
 
-IndexContext* GetIndexContext(size_t num_shards) {
-  static std::map<size_t, std::unique_ptr<IndexContext>> cache;
-  auto it = cache.find(num_shards);
+IndexContext* GetIndexContext(size_t num_shards, bool pin) {
+  static std::map<std::pair<size_t, bool>, std::unique_ptr<IndexContext>>
+      cache;
+  auto it = cache.find({num_shards, pin});
   if (it != cache.end()) return it->second.get();
 
   const ArchiveFixture& fixture = GetArchive(kArchive);
@@ -54,12 +57,15 @@ IndexContext* GetIndexContext(size_t num_shards) {
     ctx->queries.push_back(codes[(q * 131) % codes.size()]);
   }
   ctx->pool = std::make_unique<ThreadPool>(0);  // hardware concurrency
-  return cache.emplace(num_shards, std::move(ctx)).first->second.get();
+  if (pin) ctx->pinned = ctx->pool->PinThreads();
+  return cache.emplace(std::make_pair(num_shards, pin), std::move(ctx))
+      .first->second.get();
 }
 
 void BM_ShardedBatchRadius(benchmark::State& state) {
   const size_t num_shards = static_cast<size_t>(state.range(0));
-  IndexContext* ctx = GetIndexContext(num_shards);
+  const bool pin = state.range(1) != 0;
+  IndexContext* ctx = GetIndexContext(num_shards, pin);
   size_t hits = 0;
   for (auto _ : state) {
     const auto batch =
@@ -85,6 +91,14 @@ void BM_ShardedBatchRadius(benchmark::State& state) {
           ? static_cast<double>(hits) /
                 static_cast<double>(state.iterations() * kBatch)
           : 0.0;
+  // Scaling-curve context: how many cores the host actually has, how
+  // wide the pool is, and whether affinity pinning was in effect — so a
+  // 1-core CI row is never mistaken for a flat scaling curve.
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  state.counters["pool_threads"] =
+      static_cast<double>(ctx->pool->num_threads());
+  state.counters["pinned_threads"] = static_cast<double>(ctx->pinned);
 }
 
 // ---------------------------------------------------------------------------
@@ -170,7 +184,12 @@ void BM_ShardedEngineMix(benchmark::State& state) {
 
 #define SHARD_ARGS ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)
 
-BENCHMARK(BM_ShardedBatchRadius) SHARD_ARGS;
+// The shard-scaling curve, unpinned and with workers pinned one per
+// core ({shards, pin}).
+BENCHMARK(BM_ShardedBatchRadius)
+    ->Args({1, 0})->Args({2, 0})->Args({4, 0})->Args({8, 0})
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ShardedEngineMix) SHARD_ARGS;
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/simd/hamming_kernels.h"
+
 namespace agoraeo {
 
 BinaryCode BinaryCode::FromSigns(const std::vector<float>& values) {
@@ -48,11 +50,11 @@ size_t BinaryCode::PopCount() const {
 
 size_t BinaryCode::HammingDistance(const BinaryCode& other) const {
   assert(num_bits_ == other.num_bits_);
-  size_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<size_t>(PopcountWord(words_[i] ^ other.words_[i]));
-  }
-  return total;
+  // Routed through the runtime-dispatched kernel layer's pair distance,
+  // so candidate verification in the bucketed indexes shares the same
+  // (hardware-popcount or vector) code path as the flat scans.
+  return static_cast<size_t>(
+      simd::PairDistance(words_.data(), other.words_.data(), words_.size()));
 }
 
 BinaryCode BinaryCode::Substring(size_t begin, size_t len) const {

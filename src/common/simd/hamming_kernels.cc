@@ -1,0 +1,159 @@
+#include "common/simd/hamming_kernels.h"
+
+#include <bit>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/simd/kernel_impl.h"
+
+namespace agoraeo::simd {
+
+namespace internal {
+namespace {
+
+uint64_t ScalarPair(const uint64_t* a, const uint64_t* b, size_t n_words) {
+  uint64_t total = 0;
+  for (size_t w = 0; w < n_words; ++w) {
+    total += static_cast<uint64_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return total;
+}
+
+void ScalarBatch(const uint64_t* rows, size_t n, size_t stride,
+                 const uint64_t* query, uint32_t* dist) {
+  const uint64_t* row = rows;
+  for (size_t i = 0; i < n; ++i, row += stride) {
+    uint32_t d = 0;
+    for (size_t w = 0; w < stride; ++w) {
+      d += static_cast<uint32_t>(std::popcount(row[w] ^ query[w]));
+    }
+    dist[i] = d;
+  }
+}
+
+constexpr HammingKernel kScalar{"scalar", [] { return true; }, ScalarBatch,
+                                ScalarPair};
+
+}  // namespace
+
+const HammingKernel* ScalarKernel() { return &kScalar; }
+
+}  // namespace internal
+
+namespace {
+
+/// Registry + selection state.  The registry itself is immutable after
+/// construction; only the active pointer and the forced flag change,
+/// both behind atomics so scans on other threads always read a
+/// consistent (if momentarily stale) kernel.
+struct Dispatch {
+  std::vector<const HammingKernel*> compiled;  ///< strongest first
+  std::vector<std::atomic<uint64_t>> counts;   ///< per-kernel scan passes
+  std::atomic<const HammingKernel*> active{nullptr};
+  std::atomic<bool> forced{false};
+
+  Dispatch() {
+    auto add = [this](const HammingKernel* k) {
+      if (k != nullptr) compiled.push_back(k);
+    };
+    add(internal::Avx512Kernel());
+    add(internal::Avx2Kernel());
+    add(internal::NeonKernel());
+    add(internal::PopcntKernel());
+    add(internal::ScalarKernel());
+    counts = std::vector<std::atomic<uint64_t>>(compiled.size());
+    Select();
+  }
+
+  const HammingKernel* BestSupported() const {
+    for (const HammingKernel* k : compiled) {
+      if (k->supported()) return k;
+    }
+    return internal::ScalarKernel();  // unreachable: scalar supports all
+  }
+
+  const HammingKernel* Find(const std::string& name) const {
+    for (const HammingKernel* k : compiled) {
+      if (name == k->name) return k;
+    }
+    return nullptr;
+  }
+
+  /// Startup selection: AGORAEO_FORCE_KERNEL when usable, else the
+  /// strongest supported kernel.
+  void Select() {
+    const char* env = std::getenv("AGORAEO_FORCE_KERNEL");
+    if (env != nullptr && env[0] != '\0') {
+      const HammingKernel* k = Find(env);
+      if (k != nullptr && k->supported()) {
+        active.store(k, std::memory_order_release);
+        forced.store(true, std::memory_order_release);
+        return;
+      }
+      AGORAEO_LOG(kWarning)
+          << "AGORAEO_FORCE_KERNEL=" << env
+          << (k == nullptr ? " is not compiled into this binary"
+                           : " is not supported by this CPU")
+          << "; using automatic kernel selection";
+    }
+    active.store(BestSupported(), std::memory_order_release);
+    forced.store(false, std::memory_order_release);
+  }
+};
+
+Dispatch& GetDispatch() {
+  static Dispatch dispatch;
+  return dispatch;
+}
+
+}  // namespace
+
+const std::vector<const HammingKernel*>& CompiledKernels() {
+  return GetDispatch().compiled;
+}
+
+const HammingKernel* ActiveKernel() {
+  return GetDispatch().active.load(std::memory_order_acquire);
+}
+
+const HammingKernel* KernelByName(const std::string& name) {
+  return GetDispatch().Find(name);
+}
+
+bool ForceKernel(const std::string& name) {
+  Dispatch& dispatch = GetDispatch();
+  if (name.empty()) {
+    dispatch.active.store(dispatch.BestSupported(),
+                          std::memory_order_release);
+    dispatch.forced.store(false, std::memory_order_release);
+    return true;
+  }
+  const HammingKernel* k = dispatch.Find(name);
+  if (k == nullptr || !k->supported()) return false;
+  dispatch.active.store(k, std::memory_order_release);
+  dispatch.forced.store(true, std::memory_order_release);
+  return true;
+}
+
+bool KernelForced() {
+  return GetDispatch().forced.load(std::memory_order_acquire);
+}
+
+uint64_t DispatchCount(size_t kernel_index) {
+  Dispatch& dispatch = GetDispatch();
+  if (kernel_index >= dispatch.counts.size()) return 0;
+  return dispatch.counts[kernel_index].load(std::memory_order_relaxed);
+}
+
+void CountDispatch(const HammingKernel* kernel) {
+  Dispatch& dispatch = GetDispatch();
+  for (size_t i = 0; i < dispatch.compiled.size(); ++i) {
+    if (dispatch.compiled[i] == kernel) {
+      dispatch.counts[i].fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+}  // namespace agoraeo::simd

@@ -1,0 +1,154 @@
+/// AVX2 Hamming kernel: XOR + vpshufb nibble-LUT byte popcount +
+/// vpsadbw per-word sums (the Mula/Harley-Seal positional-popcount
+/// family's bulk building block).  Compiled with per-function target
+/// attributes so the TU builds under the portable baseline flags and
+/// the dispatch table decides at runtime whether the CPU may enter.
+#include "common/simd/kernel_impl.h"
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(AGORAEO_DISABLE_SIMD)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace agoraeo::simd::internal {
+namespace {
+
+#define AGORAEO_AVX2 \
+  __attribute__((target("avx2,popcnt"), always_inline)) inline
+
+/// Byte-wise popcount of a 256-bit vector via two 16-entry nibble LUTs.
+AGORAEO_AVX2 __m256i PopcountBytes(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+/// Per-64-bit-word popcounts of (v XOR pattern), one u64 per lane.
+AGORAEO_AVX2 __m256i WordCounts(__m256i v, __m256i pattern) {
+  return _mm256_sad_epu8(PopcountBytes(_mm256_xor_si256(v, pattern)),
+                         _mm256_setzero_si256());
+}
+
+/// stride 1: each ymm holds four whole rows.
+__attribute__((target("avx2,popcnt"))) void BatchStride1(const uint64_t* rows,
+                                                  size_t n,
+                                                  const uint64_t* query,
+                                                  uint32_t* dist) {
+  const __m256i pattern = _mm256_set1_epi64x(static_cast<int64_t>(query[0]));
+  // Packs the four u64 lane counts into four u32s in the low half.
+  const __m256i pack = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i counts = WordCounts(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows + i)),
+        pattern);
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dist + i),
+        _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(counts, pack)));
+  }
+  for (; i < n; ++i) {
+    dist[i] = static_cast<uint32_t>(std::popcount(rows[i] ^ query[0]));
+  }
+}
+
+/// stride 2 (128-bit codes): each ymm holds two rows.
+__attribute__((target("avx2,popcnt"))) void BatchStride2(const uint64_t* rows,
+                                                  size_t n,
+                                                  const uint64_t* query,
+                                                  uint32_t* dist) {
+  const __m256i pattern = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(query)));
+  const __m256i pack = _mm256_setr_epi32(0, 4, 0, 0, 0, 0, 0, 0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256i counts = WordCounts(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows + i * 2)),
+        pattern);
+    // Lane sums per row: lane0+lane1 and lane2+lane3.
+    const __m256i sums =
+        _mm256_add_epi64(counts, _mm256_bsrli_epi128(counts, 8));
+    _mm_storel_epi64(
+        reinterpret_cast<__m128i*>(dist + i),
+        _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(sums, pack)));
+  }
+  if (i < n) {
+    const uint64_t* row = rows + i * 2;
+    dist[i] = static_cast<uint32_t>(std::popcount(row[0] ^ query[0]) +
+                                    std::popcount(row[1] ^ query[1]));
+  }
+}
+
+/// stride 4 and every multiple of 4 above it: whole ymms per row.
+__attribute__((target("avx2,popcnt"))) void BatchStride4N(const uint64_t* rows,
+                                                   size_t n, size_t stride,
+                                                   const uint64_t* query,
+                                                   uint32_t* dist) {
+  const size_t vecs = stride / 4;
+  const uint64_t* row = rows;
+  for (size_t i = 0; i < n; ++i, row += stride) {
+    __m256i acc = _mm256_setzero_si256();
+    for (size_t v = 0; v < vecs; ++v) {
+      acc = _mm256_add_epi64(
+          acc,
+          WordCounts(_mm256_loadu_si256(
+                         reinterpret_cast<const __m256i*>(row + v * 4)),
+                     _mm256_loadu_si256(
+                         reinterpret_cast<const __m256i*>(query + v * 4))));
+    }
+    const __m256i pair = _mm256_add_epi64(acc, _mm256_bsrli_epi128(acc, 8));
+    const __m128i total = _mm_add_epi64(_mm256_castsi256_si128(pair),
+                                        _mm256_extracti128_si256(pair, 1));
+    dist[i] = static_cast<uint32_t>(_mm_cvtsi128_si64(total));
+  }
+}
+
+void Batch(const uint64_t* rows, size_t n, size_t stride,
+           const uint64_t* query, uint32_t* dist) {
+  switch (stride) {
+    case 1:
+      BatchStride1(rows, n, query, dist);
+      return;
+    case 2:
+      BatchStride2(rows, n, query, dist);
+      return;
+    default:
+      // PaddedStride only produces 1, 2, 4 or multiples of 8.
+      BatchStride4N(rows, n, stride, query, dist);
+      return;
+  }
+}
+
+/// Pair distances are dominated by tiny word counts (2–8) where the
+/// LUT's setup cost loses to back-to-back hardware popcnt; stay scalar.
+__attribute__((target("popcnt"))) uint64_t Pair(const uint64_t* a, const uint64_t* b, size_t n_words) {
+  uint64_t total = 0;
+  for (size_t w = 0; w < n_words; ++w) {
+    total += static_cast<uint64_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return total;
+}
+
+bool Supported() { return __builtin_cpu_supports("avx2") != 0 &&
+         __builtin_cpu_supports("popcnt") != 0; }
+
+constexpr HammingKernel kAvx2{"avx2", Supported, Batch, Pair};
+
+}  // namespace
+
+const HammingKernel* Avx2Kernel() { return &kAvx2; }
+
+}  // namespace agoraeo::simd::internal
+
+#else  // non-x86 or SIMD disabled
+
+namespace agoraeo::simd::internal {
+const HammingKernel* Avx2Kernel() { return nullptr; }
+}  // namespace agoraeo::simd::internal
+
+#endif

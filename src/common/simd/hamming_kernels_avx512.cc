@@ -1,0 +1,187 @@
+/// AVX-512 Hamming kernel: XOR + native vpopcntq per 64-bit lane, then
+/// in-register lane folds down to per-row distances.  Requires F+BW+VL
+/// (lane shuffles / converts) and VPOPCNTDQ (Ice Lake+, Zen 4+); CPUs
+/// with only the F+BW base set fall back to the AVX2 kernel at dispatch
+/// time rather than getting an emulated popcount here.
+#include "common/simd/kernel_impl.h"
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(AGORAEO_DISABLE_SIMD)
+
+#include <immintrin.h>
+
+#include <bit>
+
+// GCC's avx512 intrinsic headers model "undefined" result operands as a
+// self-initialized local, which -Wall flags as (maybe-)uninitialized
+// when inlined here; the reads are intentional per the intrinsics'
+// contract.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace agoraeo::simd::internal {
+namespace {
+
+#define AGORAEO_AVX512 \
+  __attribute__((target("avx512f,avx512bw,avx512dq,avx512vl,avx512vpopcntdq,popcnt")))
+
+/// Per-64-bit-word popcounts of (v XOR pattern), one u64 per lane.
+AGORAEO_AVX512 __attribute__((always_inline)) inline __m512i WordCounts(
+    __m512i v, __m512i pattern) {
+  return _mm512_popcnt_epi64(_mm512_xor_si512(v, pattern));
+}
+
+/// stride 1: each zmm holds eight whole rows.
+AGORAEO_AVX512 void BatchStride1(const uint64_t* rows, size_t n,
+                                 const uint64_t* query, uint32_t* dist) {
+  const __m512i pattern = _mm512_set1_epi64(static_cast<int64_t>(query[0]));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i counts =
+        WordCounts(_mm512_loadu_si512(rows + i), pattern);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dist + i),
+                        _mm512_cvtepi64_epi32(counts));
+  }
+  for (; i < n; ++i) {
+    dist[i] = static_cast<uint32_t>(std::popcount(rows[i] ^ query[0]));
+  }
+}
+
+/// stride 2 (128-bit codes): each zmm holds four rows.
+AGORAEO_AVX512 void BatchStride2(const uint64_t* rows, size_t n,
+                                 const uint64_t* query, uint32_t* dist) {
+  const __m512i pattern = _mm512_broadcast_i32x4(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(query)));
+  const __m512i gather_rows = _mm512_setr_epi64(0, 2, 4, 6, 0, 0, 0, 0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m512i counts =
+        WordCounts(_mm512_loadu_si512(rows + i * 2), pattern);
+    // Fold word pairs: lanes 0,2,4,6 become the four row distances.
+    const __m512i sums =
+        _mm512_add_epi64(counts, _mm512_bsrli_epi128(counts, 8));
+    const __m512i packed = _mm512_permutexvar_epi64(gather_rows, sums);
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dist + i),
+        _mm256_castsi256_si128(_mm512_cvtepi64_epi32(packed)));
+  }
+  for (; i < n; ++i) {
+    const uint64_t* row = rows + i * 2;
+    dist[i] = static_cast<uint32_t>(std::popcount(row[0] ^ query[0]) +
+                                    std::popcount(row[1] ^ query[1]));
+  }
+}
+
+/// stride 4 (256-bit codes): each zmm holds two rows.
+AGORAEO_AVX512 void BatchStride4(const uint64_t* rows, size_t n,
+                                 const uint64_t* query, uint32_t* dist) {
+  const __m512i pattern = _mm512_broadcast_i64x4(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(query)));
+  const __m512i gather_rows = _mm512_setr_epi64(0, 4, 0, 0, 0, 0, 0, 0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m512i counts =
+        WordCounts(_mm512_loadu_si512(rows + i * 4), pattern);
+    const __m512i pairs =
+        _mm512_add_epi64(counts, _mm512_bsrli_epi128(counts, 8));
+    // pairs lanes {0,2} and {4,6} hold each row's two halves; swap the
+    // 128-bit pairs within each 256-bit half and add to finish the fold.
+    const __m512i sums = _mm512_add_epi64(
+        pairs, _mm512_permutex_epi64(pairs, _MM_SHUFFLE(1, 0, 3, 2)));
+    const __m512i packed = _mm512_permutexvar_epi64(gather_rows, sums);
+    _mm_storel_epi64(
+        reinterpret_cast<__m128i*>(dist + i),
+        _mm256_castsi256_si128(_mm512_cvtepi64_epi32(packed)));
+  }
+  if (i < n) {
+    const uint64_t* row = rows + i * 4;
+    uint32_t d = 0;
+    for (size_t w = 0; w < 4; ++w) {
+      d += static_cast<uint32_t>(std::popcount(row[w] ^ query[w]));
+    }
+    dist[i] = d;
+  }
+}
+
+/// stride 8 and every multiple: whole zmms per row.
+AGORAEO_AVX512 void BatchStride8N(const uint64_t* rows, size_t n,
+                                  size_t stride, const uint64_t* query,
+                                  uint32_t* dist) {
+  const size_t vecs = stride / 8;
+  const uint64_t* row = rows;
+  for (size_t i = 0; i < n; ++i, row += stride) {
+    __m512i acc = _mm512_setzero_si512();
+    for (size_t v = 0; v < vecs; ++v) {
+      acc = _mm512_add_epi64(
+          acc, WordCounts(_mm512_loadu_si512(row + v * 8),
+                          _mm512_loadu_si512(query + v * 8)));
+    }
+    dist[i] = static_cast<uint32_t>(_mm512_reduce_add_epi64(acc));
+  }
+}
+
+void Batch(const uint64_t* rows, size_t n, size_t stride,
+           const uint64_t* query, uint32_t* dist) {
+  switch (stride) {
+    case 1:
+      BatchStride1(rows, n, query, dist);
+      return;
+    case 2:
+      BatchStride2(rows, n, query, dist);
+      return;
+    case 4:
+      BatchStride4(rows, n, query, dist);
+      return;
+    default:
+      // PaddedStride only produces 1, 2, 4 or multiples of 8.
+      BatchStride8N(rows, n, stride, query, dist);
+      return;
+  }
+}
+
+/// Whole-zmm pair distances for wide codes; scalar below one vector.
+AGORAEO_AVX512 uint64_t Pair(const uint64_t* a, const uint64_t* b,
+                             size_t n_words) {
+  uint64_t total = 0;
+  size_t w = 0;
+  if (n_words >= 8) {
+    __m512i acc = _mm512_setzero_si512();
+    for (; w + 8 <= n_words; w += 8) {
+      acc = _mm512_add_epi64(
+          acc, _mm512_popcnt_epi64(_mm512_xor_si512(
+                   _mm512_loadu_si512(a + w), _mm512_loadu_si512(b + w))));
+    }
+    total = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+  }
+  for (; w < n_words; ++w) {
+    total += static_cast<uint64_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return total;
+}
+
+bool Supported() {
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0 &&
+         __builtin_cpu_supports("avx512vpopcntdq") != 0 &&
+         __builtin_cpu_supports("popcnt") != 0;
+}
+
+constexpr HammingKernel kAvx512{"avx512", Supported, Batch, Pair};
+
+}  // namespace
+
+const HammingKernel* Avx512Kernel() { return &kAvx512; }
+
+}  // namespace agoraeo::simd::internal
+
+#pragma GCC diagnostic pop
+
+#else  // non-x86 or SIMD disabled
+
+namespace agoraeo::simd::internal {
+const HammingKernel* Avx512Kernel() { return nullptr; }
+}  // namespace agoraeo::simd::internal
+
+#endif

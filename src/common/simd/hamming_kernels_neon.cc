@@ -1,0 +1,69 @@
+/// NEON Hamming kernel (AArch64): XOR + vcnt byte popcount + vaddv
+/// horizontal sums.  NEON is architecturally guaranteed on AArch64, so
+/// there is no runtime feature probe beyond being an AArch64 build.
+#include "common/simd/kernel_impl.h"
+
+#if defined(__aarch64__) && !defined(AGORAEO_DISABLE_SIMD)
+
+#include <arm_neon.h>
+
+#include <bit>
+
+namespace agoraeo::simd::internal {
+namespace {
+
+/// Popcount of one 128-bit register (two words) as a scalar.
+inline uint32_t Count128(uint64x2_t v) {
+  return vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(v)));
+}
+
+void Batch(const uint64_t* rows, size_t n, size_t stride,
+           const uint64_t* query, uint32_t* dist) {
+  if (stride == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      dist[i] = static_cast<uint32_t>(std::popcount(rows[i] ^ query[0]));
+    }
+    return;
+  }
+  // Every other padded stride is a multiple of 2: whole q-registers.
+  const size_t vecs = stride / 2;
+  const uint64_t* row = rows;
+  for (size_t i = 0; i < n; ++i, row += stride) {
+    uint32_t d = 0;
+    for (size_t v = 0; v < vecs; ++v) {
+      d += Count128(veorq_u64(vld1q_u64(row + v * 2),
+                              vld1q_u64(query + v * 2)));
+    }
+    dist[i] = d;
+  }
+}
+
+uint64_t Pair(const uint64_t* a, const uint64_t* b, size_t n_words) {
+  uint64_t total = 0;
+  size_t w = 0;
+  for (; w + 2 <= n_words; w += 2) {
+    total += Count128(veorq_u64(vld1q_u64(a + w), vld1q_u64(b + w)));
+  }
+  for (; w < n_words; ++w) {
+    total += static_cast<uint64_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return total;
+}
+
+bool Supported() { return true; }
+
+constexpr HammingKernel kNeon{"neon", Supported, Batch, Pair};
+
+}  // namespace
+
+const HammingKernel* NeonKernel() { return &kNeon; }
+
+}  // namespace agoraeo::simd::internal
+
+#else  // non-AArch64 or SIMD disabled
+
+namespace agoraeo::simd::internal {
+const HammingKernel* NeonKernel() { return nullptr; }
+}  // namespace agoraeo::simd::internal
+
+#endif

@@ -1,0 +1,56 @@
+/// Hardware-popcount scalar kernel (x86 POPCNT): the same word loop as
+/// the portable scalar kernel, compiled with target("popcnt") so
+/// std::popcount lowers to the popcnt instruction instead of libgcc's
+/// table walk.  This is the honest scalar rung of the dispatch ladder
+/// on x86 — CPUs too old for AVX2 but new enough for SSE4.2 land here
+/// instead of paying the software-popcount fallback.
+#include "common/simd/kernel_impl.h"
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(AGORAEO_DISABLE_SIMD)
+
+#include <bit>
+
+namespace agoraeo::simd::internal {
+namespace {
+
+__attribute__((target("popcnt"))) void Batch(const uint64_t* rows, size_t n,
+                                             size_t stride,
+                                             const uint64_t* query,
+                                             uint32_t* dist) {
+  const uint64_t* row = rows;
+  for (size_t i = 0; i < n; ++i, row += stride) {
+    uint32_t d = 0;
+    for (size_t w = 0; w < stride; ++w) {
+      d += static_cast<uint32_t>(std::popcount(row[w] ^ query[w]));
+    }
+    dist[i] = d;
+  }
+}
+
+__attribute__((target("popcnt"))) uint64_t Pair(const uint64_t* a,
+                                                const uint64_t* b,
+                                                size_t n_words) {
+  uint64_t total = 0;
+  for (size_t w = 0; w < n_words; ++w) {
+    total += static_cast<uint64_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return total;
+}
+
+bool Supported() { return __builtin_cpu_supports("popcnt") != 0; }
+
+constexpr HammingKernel kPopcnt{"popcnt", Supported, Batch, Pair};
+
+}  // namespace
+
+const HammingKernel* PopcntKernel() { return &kPopcnt; }
+
+}  // namespace agoraeo::simd::internal
+
+#else  // non-x86 or SIMD disabled
+
+namespace agoraeo::simd::internal {
+const HammingKernel* PopcntKernel() { return nullptr; }
+}  // namespace agoraeo::simd::internal
+
+#endif

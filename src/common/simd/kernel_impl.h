@@ -1,0 +1,23 @@
+#ifndef AGORAEO_COMMON_SIMD_KERNEL_IMPL_H_
+#define AGORAEO_COMMON_SIMD_KERNEL_IMPL_H_
+
+/// Internal wiring between the dispatch table (hamming_kernels.cc) and
+/// the per-ISA translation units.  Each accessor returns the kernel
+/// descriptor when its TU was compiled for this target, nullptr
+/// otherwise — so the registry is assembled from whatever the build
+/// produced, and -DAGORAEO_DISABLE_SIMD=ON strips every vector TU
+/// without touching the dispatch logic.
+
+#include "common/simd/hamming_kernels.h"
+
+namespace agoraeo::simd::internal {
+
+const HammingKernel* ScalarKernel();  ///< always non-null
+const HammingKernel* PopcntKernel();  ///< x86-64 builds only
+const HammingKernel* Avx2Kernel();    ///< x86-64 builds only
+const HammingKernel* Avx512Kernel();  ///< x86-64 builds only
+const HammingKernel* NeonKernel();    ///< AArch64 builds only
+
+}  // namespace agoraeo::simd::internal
+
+#endif  // AGORAEO_COMMON_SIMD_KERNEL_IMPL_H_

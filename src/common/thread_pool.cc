@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace agoraeo {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -19,6 +24,25 @@ ThreadPool::~ThreadPool() {
   }
   cv_task_.notify_all();
   for (auto& t : workers_) t.join();
+}
+
+size_t ThreadPool::PinThreads() {
+#if defined(__linux__)
+  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+  size_t pinned = 0;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<int>(i % ncpu), &set);
+    if (pthread_setaffinity_np(workers_[i].native_handle(), sizeof(set),
+                               &set) == 0) {
+      ++pinned;
+    }
+  }
+  return pinned;
+#else
+  return 0;
+#endif
 }
 
 void ThreadPool::Submit(std::function<void()> task) {

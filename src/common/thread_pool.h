@@ -33,6 +33,13 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Pins worker i to CPU i % hardware_concurrency — the opt-in
+  /// affinity mode behind CbirConfig::pin_shard_threads, for measured
+  /// shard-scaling runs where scheduler migration blurs each scan
+  /// shard's cache residency.  Returns the number of workers actually
+  /// pinned (0 on platforms without pthread affinity).
+  size_t PinThreads();
+
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// Work is divided into contiguous chunks, one batch per worker.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);

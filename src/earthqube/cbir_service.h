@@ -40,6 +40,22 @@ struct CbirConfig {
   /// task per shard across the query pool.
   size_t num_shards = 1;
 
+  /// Pin the query pool's workers to CPUs (worker i -> CPU i modulo the
+  /// core count) when the pool is created.  Off by default; intended
+  /// for measured shard-scaling runs where scheduler migration blurs
+  /// per-core cache residency.  No-op on platforms without pthread
+  /// affinity.
+  bool pin_shard_threads = false;
+
+  /// Force a specific Hamming kernel ("avx512", "avx2", "neon",
+  /// "popcnt", "scalar") instead of the automatic strongest-supported
+  /// selection.  Empty keeps auto-selection (which itself honours the
+  /// AGORAEO_FORCE_KERNEL environment variable).  An unknown or
+  /// unsupported name logs a warning and keeps the automatic choice.
+  /// NOTE: kernel dispatch is process-global — the last service
+  /// constructed with a non-empty value wins.
+  std::string force_kernel;
+
   // --- persistence ---------------------------------------------------------
 
   /// Directory holding the index's durable state — one `shard-<s>.snap`
@@ -107,7 +123,7 @@ class CbirService {
               CbirIndexKind index_kind = CbirIndexKind::kHashTable,
               size_t query_threads = 0)
       : CbirService(std::move(model), extractor,
-                    CbirConfig{index_kind, query_threads, /*num_shards=*/1}) {}
+                    LegacyConfig(index_kind, query_threads)) {}
 
   /// Restores the index from config().snapshot_dir — per-shard
   /// snapshots first, then WAL catch-up — and opens the WAL so
@@ -302,6 +318,17 @@ class CbirService {
   void AttachObservability(obs::Observability* obs);
 
  private:
+  // Field-by-field assembly instead of aggregate init: brace-initialising
+  // CbirConfig with omitted members trips -Wmissing-field-initializers in
+  // every including TU, despite the defaults.
+  static CbirConfig LegacyConfig(CbirIndexKind index_kind,
+                                 size_t query_threads) {
+    CbirConfig config;
+    config.index_kind = index_kind;
+    config.query_threads = query_threads;
+    return config;
+  }
+
   std::vector<CbirResult> ToResults(
       const std::vector<index::SearchResult>& hits, size_t max_results,
       const std::string& exclude_name) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <functional>
 #include <queue>
 
@@ -15,15 +16,16 @@ Status LinearScanIndex::Add(ItemId id, const BinaryCode& code) {
   if (code_bits_ == 0) {
     code_bits_ = code.size();
     words_per_code_ = code.words().size();
+    stride_ = simd::PaddedStride(words_per_code_);
   }
   if (code.size() != code_bits_) {
     return Status::InvalidArgument("code length mismatch");
   }
   pos_by_id_.emplace(id, ids_.size());
   ids_.push_back(id);
-  codes_.push_back(code);
   flat_words_.insert(flat_words_.end(), code.words().begin(),
                      code.words().end());
+  flat_words_.resize(flat_words_.size() + (stride_ - words_per_code_), 0);
   return Status::OK();
 }
 
@@ -33,12 +35,24 @@ Status LinearScanIndex::BatchAdd(const std::vector<ItemId>& ids,
   if (ids.size() != codes.size()) {
     return Status::InvalidArgument("BatchAdd ids/codes length mismatch");
   }
+  // Validate the whole batch before reserving or mutating anything: a
+  // mixed-width batch must leave the index unchanged, not fail halfway
+  // through with the first codes already added.
+  const size_t expect_bits =
+      code_bits_ != 0 ? code_bits_ : (codes.empty() ? 0 : codes.front().size());
+  for (const BinaryCode& code : codes) {
+    if (code.empty()) return Status::InvalidArgument("empty code");
+    if (code.size() != expect_bits) {
+      return Status::InvalidArgument("BatchAdd code length mismatch");
+    }
+  }
   ids_.reserve(ids_.size() + ids.size());
-  codes_.reserve(codes_.size() + codes.size());
   pos_by_id_.reserve(pos_by_id_.size() + ids.size());
   if (!codes.empty()) {
-    flat_words_.reserve(flat_words_.size() +
-                        codes.size() * codes.front().words().size());
+    const size_t stride = stride_ != 0
+                              ? stride_
+                              : simd::PaddedStride(codes.front().words().size());
+    flat_words_.reserve(flat_words_.size() + codes.size() * stride);
   }
   for (size_t i = 0; i < ids.size(); ++i) {
     AGORAEO_RETURN_IF_ERROR(Add(ids[i], codes[i]));
@@ -46,17 +60,67 @@ Status LinearScanIndex::BatchAdd(const std::vector<ItemId>& ids,
   return Status::OK();
 }
 
+namespace {
+
+/// Codes per block of every kernel scan.  256 codes of 128 bits are
+/// 4 KiB of payload — comfortably L1-resident while a shard's queries
+/// take turns against the block — and 256 distances fit one stack
+/// buffer handed to the kernel.
+constexpr size_t kCodeBlock = 256;
+
+/// Widens queries [begin, end) to the row stride with zero tails (zero
+/// XOR zero contributes nothing), row-major in one aligned buffer, so
+/// each kernel call reads a pattern shaped exactly like the rows.
+simd::AlignedWordBuffer PadQueries(const std::vector<BinaryCode>& queries,
+                                   size_t begin, size_t end, size_t stride) {
+  simd::AlignedWordBuffer padded((end - begin) * stride, 0);
+  for (size_t q = begin; q < end; ++q) {
+    const std::vector<uint64_t>& words = queries[q].words();
+    std::copy(words.begin(), words.end(),
+              padded.begin() + (q - begin) * stride);
+  }
+  return padded;
+}
+
+/// Sorted-insert into a top-k buffer ordered by (distance, id).  The
+/// buffer's worst element bounds admission once full, which preserves
+/// the exact single-query result under any scan order.
+inline void TopKInsert(std::vector<SearchResult>* best, size_t k,
+                       const SearchResult& candidate) {
+  if (best->size() >= k) {
+    if (!ResultLess(candidate, best->back())) return;
+    best->pop_back();
+  }
+  best->insert(
+      std::lower_bound(best->begin(), best->end(), candidate, ResultLess),
+      candidate);
+}
+
+}  // namespace
+
 std::vector<SearchResult> LinearScanIndex::RadiusSearch(
     const BinaryCode& query, uint32_t radius, SearchStats* stats) const {
   std::vector<SearchResult> out;
-  for (size_t i = 0; i < codes_.size(); ++i) {
-    const uint32_t d = static_cast<uint32_t>(codes_[i].HammingDistance(query));
-    if (d <= radius) out.push_back({ids_[i], d});
+  if (!ids_.empty()) {
+    assert(query.words().size() == words_per_code_);
+    const simd::HammingKernel* kernel = simd::ActiveKernel();
+    simd::CountDispatch(kernel);
+    simd::AlignedWordBuffer qpad(stride_, 0);
+    std::copy(query.words().begin(), query.words().end(), qpad.begin());
+    alignas(64) uint32_t dist[kCodeBlock];
+    for (size_t block = 0; block < ids_.size(); block += kCodeBlock) {
+      const size_t count = std::min(ids_.size() - block, kCodeBlock);
+      kernel->batch(flat_words_.data() + block * stride_, count, stride_,
+                    qpad.data(), dist);
+      for (size_t j = 0; j < count; ++j) {
+        if (dist[j] <= radius) out.push_back({ids_[block + j], dist[j]});
+      }
+    }
   }
   std::sort(out.begin(), out.end(), ResultLess);
   if (stats != nullptr) {
     stats->buckets_probed = 0;
-    stats->candidates = codes_.size();
+    stats->candidates = ids_.size();
     stats->results = out.size();
   }
   return out;
@@ -65,83 +129,55 @@ std::vector<SearchResult> LinearScanIndex::RadiusSearch(
 std::vector<SearchResult> LinearScanIndex::KnnSearch(const BinaryCode& query,
                                                      size_t k,
                                                      SearchStats* stats) const {
-  // Max-heap of the best k; comparator keeps the *worst* on top.
-  auto worse = [](const SearchResult& a, const SearchResult& b) {
-    return ResultLess(a, b);
-  };
-  std::priority_queue<SearchResult, std::vector<SearchResult>, decltype(worse)>
-      heap(worse);
-  for (size_t i = 0; i < codes_.size(); ++i) {
-    const uint32_t d = static_cast<uint32_t>(codes_[i].HammingDistance(query));
-    if (heap.size() < k) {
-      heap.push({ids_[i], d});
-    } else if (!heap.empty() &&
-               ResultLess({ids_[i], d}, heap.top())) {
-      heap.pop();
-      heap.push({ids_[i], d});
+  std::vector<SearchResult> best;
+  if (k != 0 && !ids_.empty()) {
+    assert(query.words().size() == words_per_code_);
+    const simd::HammingKernel* kernel = simd::ActiveKernel();
+    simd::CountDispatch(kernel);
+    simd::AlignedWordBuffer qpad(stride_, 0);
+    std::copy(query.words().begin(), query.words().end(), qpad.begin());
+    alignas(64) uint32_t dist[kCodeBlock];
+    for (size_t block = 0; block < ids_.size(); block += kCodeBlock) {
+      const size_t count = std::min(ids_.size() - block, kCodeBlock);
+      kernel->batch(flat_words_.data() + block * stride_, count, stride_,
+                    qpad.data(), dist);
+      for (size_t j = 0; j < count; ++j) {
+        TopKInsert(&best, k, {ids_[block + j], dist[j]});
+      }
     }
   }
-  std::vector<SearchResult> out;
-  out.reserve(heap.size());
-  while (!heap.empty()) {
-    out.push_back(heap.top());
-    heap.pop();
-  }
-  std::reverse(out.begin(), out.end());
   if (stats != nullptr) {
     stats->buckets_probed = 0;
-    stats->candidates = codes_.size();
-    stats->results = out.size();
+    stats->candidates = ids_.size();
+    stats->results = best.size();
   }
-  return out;
+  return best;
 }
-
-namespace {
-
-/// Codes per block of the batched scans.  256 codes of 128 bits are
-/// 4 KiB of payload — comfortably L1-resident while a shard's queries
-/// take turns against the block.
-constexpr size_t kCodeBlock = 256;
-
-/// Hamming distance over flat word rows with a cutoff: once the partial
-/// distance exceeds `bound` the exact value no longer matters (the
-/// caller discards anything beyond it), so remaining words are skipped.
-/// For 128-bit codes at radius ~8 most candidates exceed the bound in
-/// the first word, nearly halving the scan work.
-inline uint32_t BoundedHamming(const uint64_t* a, const uint64_t* b,
-                               size_t wpc, uint32_t bound) {
-  uint32_t d = 0;
-  for (size_t w = 0; w < wpc; ++w) {
-    d += static_cast<uint32_t>(PopcountWord(a[w] ^ b[w]));
-    if (d > bound) return d;
-  }
-  return d;
-}
-
-}  // namespace
 
 void LinearScanIndex::BlockedRadiusShard(
     const std::vector<BinaryCode>& queries, size_t query_begin,
-    size_t query_end, uint32_t radius,
+    size_t query_end, uint32_t radius, const simd::HammingKernel* kernel,
     std::vector<std::vector<SearchResult>>* out,
     std::vector<SearchStats>* stats) const {
-  const size_t wpc = words_per_code_;
-  for (size_t block = 0; block < codes_.size(); block += kCodeBlock) {
-    const size_t block_end = std::min(codes_.size(), block + kCodeBlock);
+  const simd::AlignedWordBuffer padded =
+      PadQueries(queries, query_begin, query_end, stride_);
+  alignas(64) uint32_t dist[kCodeBlock];
+  for (size_t block = 0; block < ids_.size(); block += kCodeBlock) {
+    const size_t count = std::min(ids_.size() - block, kCodeBlock);
+    const uint64_t* rows = flat_words_.data() + block * stride_;
     for (size_t q = query_begin; q < query_end; ++q) {
-      const uint64_t* qw = queries[q].words().data();
+      kernel->batch(rows, count, stride_,
+                    padded.data() + (q - query_begin) * stride_, dist);
       std::vector<SearchResult>& hits = (*out)[q];
-      const uint64_t* row = flat_words_.data() + block * wpc;
-      for (size_t i = block; i < block_end; ++i, row += wpc) {
-        const uint32_t d = BoundedHamming(row, qw, wpc, radius);
-        if (d <= radius) hits.push_back({ids_[i], d});
+      for (size_t j = 0; j < count; ++j) {
+        if (dist[j] <= radius) hits.push_back({ids_[block + j], dist[j]});
       }
     }
   }
   for (size_t q = query_begin; q < query_end; ++q) {
     std::sort((*out)[q].begin(), (*out)[q].end(), ResultLess);
     if (stats != nullptr) {
-      (*stats)[q].candidates = codes_.size();
+      (*stats)[q].candidates = ids_.size();
       (*stats)[q].results = (*out)[q].size();
     }
   }
@@ -149,53 +185,35 @@ void LinearScanIndex::BlockedRadiusShard(
 
 void LinearScanIndex::BlockedKnnShard(
     const std::vector<BinaryCode>& queries, size_t query_begin,
-    size_t query_end, size_t k, std::vector<std::vector<SearchResult>>* out,
+    size_t query_end, size_t k, const simd::HammingKernel* kernel,
+    std::vector<std::vector<SearchResult>>* out,
     std::vector<SearchStats>* stats) const {
   if (k == 0) {
     if (stats != nullptr) {
       for (size_t q = query_begin; q < query_end; ++q) {
-        (*stats)[q].candidates = codes_.size();
+        (*stats)[q].candidates = ids_.size();
       }
     }
     return;
   }
-  // One sorted top-k buffer per query of the shard; the k best under
-  // (distance, id) are scan-order independent, so blocking preserves the
-  // single-query result exactly.
-  const size_t wpc = words_per_code_;
-  for (size_t block = 0; block < codes_.size(); block += kCodeBlock) {
-    const size_t block_end = std::min(codes_.size(), block + kCodeBlock);
+  const simd::AlignedWordBuffer padded =
+      PadQueries(queries, query_begin, query_end, stride_);
+  alignas(64) uint32_t dist[kCodeBlock];
+  for (size_t block = 0; block < ids_.size(); block += kCodeBlock) {
+    const size_t count = std::min(ids_.size() - block, kCodeBlock);
+    const uint64_t* rows = flat_words_.data() + block * stride_;
     for (size_t q = query_begin; q < query_end; ++q) {
-      const uint64_t* qw = queries[q].words().data();
+      kernel->batch(rows, count, stride_,
+                    padded.data() + (q - query_begin) * stride_, dist);
       std::vector<SearchResult>& best = (*out)[q];
-      const uint64_t* row = flat_words_.data() + block * wpc;
-      for (size_t i = block; i < block_end; ++i, row += wpc) {
-        // Once the top-k buffer is full, its worst distance bounds the
-        // scan: anything strictly beyond it can be cut off early.
-        const uint32_t bound = best.size() < k
-                                   ? static_cast<uint32_t>(code_bits_)
-                                   : best.back().distance;
-        const uint32_t d = BoundedHamming(row, qw, wpc, bound);
-        if (d > bound) continue;
-        const SearchResult candidate{ids_[i], d};
-        if (best.size() < k) {
-          best.insert(
-              std::lower_bound(best.begin(), best.end(), candidate,
-                               ResultLess),
-              candidate);
-        } else if (ResultLess(candidate, best.back())) {
-          best.pop_back();
-          best.insert(
-              std::lower_bound(best.begin(), best.end(), candidate,
-                               ResultLess),
-              candidate);
-        }
+      for (size_t j = 0; j < count; ++j) {
+        TopKInsert(&best, k, {ids_[block + j], dist[j]});
       }
     }
   }
   if (stats != nullptr) {
     for (size_t q = query_begin; q < query_end; ++q) {
-      (*stats)[q].candidates = codes_.size();
+      (*stats)[q].candidates = ids_.size();
       (*stats)[q].results = (*out)[q].size();
     }
   }
@@ -206,8 +224,10 @@ std::vector<std::vector<SearchResult>> LinearScanIndex::BatchRadiusSearch(
     std::vector<SearchStats>* stats) const {
   std::vector<std::vector<SearchResult>> out(queries.size());
   if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
+  const simd::HammingKernel* kernel = simd::ActiveKernel();
+  if (!queries.empty() && !ids_.empty()) simd::CountDispatch(kernel);
   RunSharded(queries.size(), pool, [&](size_t begin, size_t end) {
-    BlockedRadiusShard(queries, begin, end, radius, &out, stats);
+    BlockedRadiusShard(queries, begin, end, radius, kernel, &out, stats);
   });
   return out;
 }
@@ -217,8 +237,10 @@ std::vector<std::vector<SearchResult>> LinearScanIndex::BatchKnnSearch(
     std::vector<SearchStats>* stats) const {
   std::vector<std::vector<SearchResult>> out(queries.size());
   if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
+  const simd::HammingKernel* kernel = simd::ActiveKernel();
+  if (!queries.empty() && !ids_.empty()) simd::CountDispatch(kernel);
   RunSharded(queries.size(), pool, [&](size_t begin, size_t end) {
-    BlockedKnnShard(queries, begin, end, k, &out, stats);
+    BlockedKnnShard(queries, begin, end, k, kernel, &out, stats);
   });
   return out;
 }
@@ -230,25 +252,46 @@ std::vector<SearchResult> LinearScanIndex::RadiusSearchIn(
   SearchStats local;
   const size_t wpc = words_per_code_;
   const uint64_t* qw = query.words().data();
-  // Sparse allowlists pay |allowed| hash lookups + popcounts; dense ones
-  // are cheaper as one flat scan with a sorted-membership check.
+  const simd::HammingKernel* kernel = simd::ActiveKernel();
+  if (!ids_.empty() && allowed.size() != 0) simd::CountDispatch(kernel);
+  // Sparse allowlists pay |allowed| hash lookups + pair distances; dense
+  // ones are cheaper staged through the blocked batch kernel with a
+  // membership check.
   if (allowed.size() * 4 < ids_.size()) {
     for (ItemId id : allowed.ids()) {
       auto it = pos_by_id_.find(id);
       if (it == pos_by_id_.end()) continue;
       ++local.candidates;
-      const uint32_t d = BoundedHamming(
-          flat_words_.data() + it->second * wpc, qw, wpc, radius);
+      const uint32_t d = static_cast<uint32_t>(
+          kernel->pair(flat_words_.data() + it->second * stride_, qw, wpc));
       if (d <= radius) out.push_back({id, d});
     }
-  } else {
-    const uint64_t* row = flat_words_.data();
-    for (size_t i = 0; i < ids_.size(); ++i, row += wpc) {
+  } else if (!ids_.empty()) {
+    simd::AlignedWordBuffer qpad(stride_, 0);
+    std::copy(query.words().begin(), query.words().end(), qpad.begin());
+    // Allowed rows are gathered into a contiguous staging block so the
+    // batch kernel still sees dense aligned rows despite the filter.
+    simd::AlignedWordBuffer stage(kCodeBlock * stride_);
+    size_t staged_rows[kCodeBlock];
+    alignas(64) uint32_t dist[kCodeBlock];
+    size_t count = 0;
+    auto flush = [&] {
+      kernel->batch(stage.data(), count, stride_, qpad.data(), dist);
+      for (size_t j = 0; j < count; ++j) {
+        if (dist[j] <= radius) out.push_back({ids_[staged_rows[j]], dist[j]});
+      }
+      count = 0;
+    };
+    for (size_t i = 0; i < ids_.size(); ++i) {
       if (!allowed.Contains(ids_[i])) continue;
       ++local.candidates;
-      const uint32_t d = BoundedHamming(row, qw, wpc, radius);
-      if (d <= radius) out.push_back({ids_[i], d});
+      std::memcpy(stage.data() + count * stride_,
+                  flat_words_.data() + i * stride_,
+                  stride_ * sizeof(uint64_t));
+      staged_rows[count++] = i;
+      if (count == kCodeBlock) flush();
     }
+    if (count > 0) flush();
   }
   std::sort(out.begin(), out.end(), ResultLess);
   local.results = out.size();
@@ -267,32 +310,41 @@ std::vector<SearchResult> LinearScanIndex::KnnSearchIn(
   }
   const size_t wpc = words_per_code_;
   const uint64_t* qw = query.words().data();
-  auto consider = [&](ItemId id, size_t pos) {
-    ++local.candidates;
-    const uint32_t bound = best.size() < k
-                               ? static_cast<uint32_t>(code_bits_)
-                               : best.back().distance;
-    const uint32_t d =
-        BoundedHamming(flat_words_.data() + pos * wpc, qw, wpc, bound);
-    if (d > bound) return;
-    const SearchResult candidate{id, d};
-    if (best.size() >= k) {
-      if (!ResultLess(candidate, best.back())) return;
-      best.pop_back();
-    }
-    best.insert(
-        std::lower_bound(best.begin(), best.end(), candidate, ResultLess),
-        candidate);
-  };
+  const simd::HammingKernel* kernel = simd::ActiveKernel();
+  if (!ids_.empty() && allowed.size() != 0) simd::CountDispatch(kernel);
   if (allowed.size() * 4 < ids_.size()) {
     for (ItemId id : allowed.ids()) {
       auto it = pos_by_id_.find(id);
-      if (it != pos_by_id_.end()) consider(id, it->second);
+      if (it == pos_by_id_.end()) continue;
+      ++local.candidates;
+      const uint32_t d = static_cast<uint32_t>(
+          kernel->pair(flat_words_.data() + it->second * stride_, qw, wpc));
+      TopKInsert(&best, k, {id, d});
     }
-  } else {
+  } else if (!ids_.empty()) {
+    simd::AlignedWordBuffer qpad(stride_, 0);
+    std::copy(query.words().begin(), query.words().end(), qpad.begin());
+    simd::AlignedWordBuffer stage(kCodeBlock * stride_);
+    size_t staged_rows[kCodeBlock];
+    alignas(64) uint32_t dist[kCodeBlock];
+    size_t count = 0;
+    auto flush = [&] {
+      kernel->batch(stage.data(), count, stride_, qpad.data(), dist);
+      for (size_t j = 0; j < count; ++j) {
+        TopKInsert(&best, k, {ids_[staged_rows[j]], dist[j]});
+      }
+      count = 0;
+    };
     for (size_t i = 0; i < ids_.size(); ++i) {
-      if (allowed.Contains(ids_[i])) consider(ids_[i], i);
+      if (!allowed.Contains(ids_[i])) continue;
+      ++local.candidates;
+      std::memcpy(stage.data() + count * stride_,
+                  flat_words_.data() + i * stride_,
+                  stride_ * sizeof(uint64_t));
+      staged_rows[count++] = i;
+      if (count == kCodeBlock) flush();
     }
+    if (count > 0) flush();
   }
   local.results = best.size();
   if (stats != nullptr) *stats = local;

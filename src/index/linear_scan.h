@@ -5,19 +5,26 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/simd/hamming_kernels.h"
 #include "index/hamming_index.h"
 #include "tensor/tensor.h"
 
 namespace agoraeo::index {
 
-/// Exhaustive Hamming scan over all stored codes (popcount per item) —
-/// the exact baseline every hashing index is compared against in
-/// experiment E1.
+/// Exhaustive Hamming scan over all stored codes — the exact baseline
+/// every hashing index is compared against in experiment E1.  All scan
+/// paths (single-query, batched, restricted) stream a padded aligned
+/// flat code array through the runtime-dispatched Hamming kernel layer
+/// (common/simd), so distances are computed a block of rows at a time
+/// with whatever ISA the host offers.
 class LinearScanIndex : public HammingIndex {
  public:
   Status Add(ItemId id, const BinaryCode& code) override;
   /// Sequential Add loop with all storage reserved up front — the
   /// snapshot-restore fast path bulk-loads a whole shard through here.
+  /// The whole batch is validated (uniform code width, no empty codes)
+  /// before any storage is touched, so a bad batch leaves the index
+  /// unchanged instead of failing partway through.
   Status BatchAdd(const std::vector<ItemId>& ids,
                   const std::vector<BinaryCode>& codes,
                   ThreadPool* pool = nullptr) override;
@@ -57,25 +64,27 @@ class LinearScanIndex : public HammingIndex {
   /// Runs the blocked kernel for queries [query_begin, query_end).
   void BlockedRadiusShard(const std::vector<BinaryCode>& queries,
                           size_t query_begin, size_t query_end,
-                          uint32_t radius,
+                          uint32_t radius, const simd::HammingKernel* kernel,
                           std::vector<std::vector<SearchResult>>* out,
                           std::vector<SearchStats>* stats) const;
   void BlockedKnnShard(const std::vector<BinaryCode>& queries,
                        size_t query_begin, size_t query_end, size_t k,
+                       const simd::HammingKernel* kernel,
                        std::vector<std::vector<SearchResult>>* out,
                        std::vector<SearchStats>* stats) const;
 
   std::vector<ItemId> ids_;
-  std::vector<BinaryCode> codes_;
-  /// ItemId -> position in ids_/codes_, for the candidate-driven
-  /// restricted scans (first position wins should an id be re-added).
+  /// ItemId -> row position, for the candidate-driven restricted scans
+  /// (first position wins should an id be re-added).
   std::unordered_map<ItemId, size_t> pos_by_id_;
-  /// Contiguous mirror of every code's words ([n, words_per_code_]
-  /// row-major).  The batched kernels stream this flat array instead of
-  /// chasing each BinaryCode's heap buffer, which is where the batch
-  /// path's cache locality comes from.
-  std::vector<uint64_t> flat_words_;
+  /// Contiguous mirror of every code's words: [n, stride_] row-major,
+  /// 64-byte aligned, rows zero-padded from words_per_code_ up to the
+  /// kernel stride.  Every scan streams this array block-at-a-time
+  /// through the dispatched kernel; the zero tail XORs to zero against
+  /// the (equally padded) query, so padding never perturbs a distance.
+  simd::AlignedWordBuffer flat_words_;
   size_t words_per_code_ = 0;
+  size_t stride_ = 0;  ///< simd::PaddedStride(words_per_code_)
   size_t code_bits_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/simd/hamming_kernels.h"
 #include "earthqube/exec/execution_engine.h"
 #include "json/json.h"
 
@@ -557,6 +558,26 @@ HttpResponse EarthQubeService::HandleIndexStats() const {
   Document out;
   const earthqube::CbirService* cbir = system_->cbir();
   out.Set("attached", Value(cbir != nullptr));
+  // The Hamming kernel layer: which dispatched kernel serves distance
+  // scans, whether the choice was forced (config/env), what the build
+  // compiled, and how many scan passes each kernel has run.
+  {
+    Document kernel;
+    kernel.Set("active", Value(std::string(simd::ActiveKernel()->name)));
+    kernel.Set("forced", Value(simd::KernelForced()));
+    const auto& kernels = simd::CompiledKernels();
+    std::vector<Value> compiled;
+    Document dispatch;
+    compiled.reserve(kernels.size());
+    for (size_t i = 0; i < kernels.size(); ++i) {
+      compiled.emplace_back(std::string(kernels[i]->name));
+      dispatch.Set(kernels[i]->name,
+                   Value(static_cast<int64_t>(simd::DispatchCount(i))));
+    }
+    kernel.Set("compiled", Value(std::move(compiled)));
+    kernel.Set("dispatch_total", Value(std::move(dispatch)));
+    out.Set("kernel", Value(std::move(kernel)));
+  }
   if (cbir != nullptr) {
     out.Set("name", Value(cbir->hamming_index().Name()));
     out.Set("num_indexed", Value(static_cast<int64_t>(cbir->num_indexed())));
