@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "earthqube/query_cache.h"
+#include "earthqube/ranked_access.h"
 #include "earthqube/statistics.h"
 #include "json/json.h"
 #include "netsvc/earthqube_service.h"
@@ -71,8 +73,17 @@ StatusOr<std::vector<obs::TraceSpan>> ParseSpansJson(const std::string& text) {
 
 }  // namespace
 
+Coordinator::Coordinator() : Coordinator(Options()) {}
+
 Coordinator::Coordinator(Options options)
     : options_(std::move(options)), obs_(options_.obs) {
+  if (options_.enable_result_cache) {
+    options_.result_cache.validator = &result_epoch_;
+    options_.result_cache.clock = nullptr;
+    result_cache_ = std::make_unique<
+        cache::ShardedLruCache<std::string, std::shared_ptr<const MergedRows>>>(
+        options_.result_cache);
+  }
   if (!obs_.metrics_enabled()) return;
   obs::MetricsRegistry& registry = obs_.registry();
   client_metrics_.requests =
@@ -101,11 +112,19 @@ Coordinator::Coordinator(Options options)
 
 void Coordinator::AttachTable(const SlotTable& table) {
   uint64_t adopted;
+  bool changed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (table.epoch() >= table_.epoch()) table_ = table;
+    if (table.epoch() >= table_.epoch()) {
+      changed = table.epoch() != table_.epoch();
+      table_ = table;
+    }
     adopted = table_.epoch();
   }
+  // A topology change re-shapes the fan-out (and a migration's
+  // forwarding window re-shapes who answers), so cached rankings
+  // computed under the old table stop being served as fresh.
+  if (changed) result_epoch_.Bump();
   if (epoch_gauge_ != nullptr) {
     epoch_gauge_->Set(static_cast<int64_t>(adopted));
   }
@@ -248,7 +267,12 @@ Status Coordinator::IngestArchive(const bigearthnet::Archive& archive,
 
   std::vector<size_t> all(archive.patches.size());
   for (size_t i = 0; i < all.size(); ++i) all[i] = i;
-  return route(all, 0, route);
+  const Status status = route(all, 0, route);
+  // Bump AFTER the node writes (even failed ones — a partial ingest
+  // already changed some node's data): rankings cached mid-ingest were
+  // stamped with the pre-ingest epoch and go stale on their next Get.
+  result_epoch_.Bump();
+  return status;
 }
 
 StatusOr<BinaryCode> Coordinator::ResolveSubjectCode(const std::string& name) {
@@ -316,6 +340,34 @@ StatusOr<QueryResponse> Coordinator::ExecuteFanout(QueryRequest request) {
   const size_t page = request.page;
   const size_t page_size = request.page_size;
 
+  // The page-free fingerprint identifies the underlying global ranking;
+  // its FNV hash is the handle id carried in v3 cursors — minted here
+  // exactly as a monolithic node mints it, so cursors stay portable.
+  QueryRequest fp_request = request;
+  fp_request.page = 0;
+  fp_request.page_size = 0;
+  const std::optional<std::string> stream_fp =
+      earthqube::QueryCache::RequestFingerprint(fp_request);
+  const std::string handle_id =
+      stream_fp.has_value() ? earthqube::RankedAccess::HandleIdFor(*stream_fp)
+                            : std::string();
+  // Epoch BEFORE any node read: an ingest racing the fan-out leaves the
+  // cached ranking stale instead of serving pre-ingest rows as fresh.
+  const uint64_t epoch_snapshot = result_epoch_.Current();
+
+  std::shared_ptr<const MergedRows> merged;
+  bool from_cache = false;
+  if (result_cache_ != nullptr && stream_fp.has_value()) {
+    if (auto cached = result_cache_->Get(*stream_fp); cached.has_value()) {
+      // Cursor resume (or any repeat page of a recent ranking): slice
+      // the cached merged rows — no fan-out at all.
+      merged = *std::move(cached);
+      from_cache = true;
+    }
+  }
+
+  const std::vector<NodeAddress> nodes = snapshot.nodes();
+  if (merged == nullptr) {
   // Rewrite for fan-out: unpaged, uncapped — every global limit is
   // re-applied after the merge, where "first N" means something.
   std::string exclude;
@@ -354,7 +406,6 @@ StatusOr<QueryResponse> Coordinator::ExecuteFanout(QueryRequest request) {
 
   // Scatter: every node holds some of the slots, so every node is
   // asked.  One thread per peer — the win the cluster exists for.
-  const std::vector<NodeAddress> nodes = snapshot.nodes();
   const auto fan_all =
       [&](const std::string& body) -> StatusOr<std::vector<WireQueryResponse>> {
     obs::ScopedSpan fan_span(trace.get(), "fanout");
@@ -488,31 +539,64 @@ StatusOr<QueryResponse> Coordinator::ExecuteFanout(QueryRequest request) {
   }
   if (cap.has_value() && rows.size() > *cap) rows.resize(*cap);
 
+  auto owned = std::make_shared<MergedRows>();
+  owned->reserve(rows.size());
+  for (Row& row : rows) owned->push_back(std::move(row.result));
+  merged = std::move(owned);
+  if (result_cache_ != nullptr && stream_fp.has_value()) {
+    size_t bytes = 64;
+    for (const WireResult& r : *merged) {
+      bytes += 96 + r.name.size() + r.country.size() + r.date.size();
+    }
+    result_cache_->Put(*stream_fp, merged, bytes, epoch_snapshot);
+  }
+  }  // cache miss: fan-out + merge
+
+  // Window or slice.  Similarity responses are windowed exactly like
+  // the monolith's ranked direct access (the response holds ONLY the
+  // requested page; the serialiser reports the lower-bound total and a
+  // v3 cursor), so a cluster answer stays byte-identical to a
+  // monolithic one.  Panel-only responses keep the eager shape and let
+  // the serialiser slice.
+  const MergedRows& all_rows = *merged;
+  const bool windowed = has_sim && page_size > 0;
+  size_t begin = 0;
+  size_t end = all_rows.size();
+  bool has_more = false;
+  if (windowed) {
+    begin = std::min(all_rows.size(), page * page_size);
+    end = std::min(all_rows.size(), page * page_size + page_size);
+    has_more = all_rows.size() >= page * page_size + page_size + 1;
+  }
+
   QueryResponse out;
   out.projection = request.projection;
   out.page = page;
   out.page_size = page_size;
+  out.windowed = windowed;
+  out.served_from_cache = from_cache;
   if (has_sim) {
-    out.hits.reserve(rows.size());
-    for (const Row& row : rows) {
-      out.hits.push_back({row.result.name, row.result.distance});
+    out.hits.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      out.hits.push_back({all_rows[i].name, all_rows[i].distance});
     }
   }
   if (request.projection == earthqube::Projection::kFullPanel) {
     std::vector<earthqube::ResultEntry> entries;
     std::vector<bigearthnet::LabelSet> label_sets;
-    entries.reserve(rows.size());
-    for (const Row& row : rows) {
-      if (!row.result.has_metadata) {
-        return Status::Internal("node row for " + row.result.name +
+    entries.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      const WireResult& row = all_rows[i];
+      if (!row.has_metadata) {
+        return Status::Internal("node row for " + row.name +
                                 " is missing the metadata join");
       }
       earthqube::ResultEntry entry;
-      entry.name = row.result.name;
-      entry.labels = row.result.labels;
-      entry.country = row.result.country;
-      entry.acquisition_date = row.result.date;
-      entry.map_location = row.result.location;
+      entry.name = row.name;
+      entry.labels = row.labels;
+      entry.country = row.country;
+      entry.acquisition_date = row.date;
+      entry.map_location = row.location;
       label_sets.push_back(entry.labels);
       entries.push_back(std::move(entry));
     }
@@ -525,7 +609,11 @@ StatusOr<QueryResponse> Coordinator::ExecuteFanout(QueryRequest request) {
               : earthqube::QueryPlan::Strategy::kPanelOnly;
   out.plan.description =
       "CLUSTER(fan-out over " + std::to_string(nodes.size()) + " nodes)";
-  if (page_size > 0 && (page + 1) * page_size < out.total()) {
+  if (windowed) {
+    if (has_more) {
+      out.cursor = earthqube::EncodeCursor({page + 1, page_size, handle_id});
+    }
+  } else if (page_size > 0 && (page + 1) * page_size < out.total()) {
     out.cursor = earthqube::EncodeCursor({page + 1, page_size});
   }
   if (start_ns != 0) {
@@ -582,6 +670,11 @@ StatusOr<std::string> Coordinator::Query(const std::string& body_json) {
   return out;
 }
 
+cache::CacheStats Coordinator::result_cache_stats() const {
+  return result_cache_ != nullptr ? result_cache_->Stats()
+                                  : cache::CacheStats{};
+}
+
 void Coordinator::RegisterRoutes(netsvc::HttpServer* server) {
   server->AttachObservability(&obs_);
   server->Route("GET", "/health", [](const netsvc::HttpRequest&) {
@@ -608,6 +701,33 @@ void Coordinator::RegisterRoutes(netsvc::HttpServer* server) {
                   return HttpResponse::Json(200,
                                             json::Serialize(table().ToJson()));
                 });
+  // The merged-ranking result cache: a cursor resumed here without a
+  // fan-out shows up as a hit; epoch bumps (routed ingest, topology
+  // churn) show up as stale_drops.
+  server->Route(
+      "GET", "/api/v2/cache/stats", [this](const netsvc::HttpRequest&) {
+        const cache::CacheStats s = result_cache_stats();
+        Document rows;
+        rows.Set("enabled", Value(result_cache_ != nullptr));
+        rows.Set("hits", Value(static_cast<int64_t>(s.hits)));
+        rows.Set("misses", Value(static_cast<int64_t>(s.misses)));
+        rows.Set("puts", Value(static_cast<int64_t>(s.puts)));
+        rows.Set("rejected_puts", Value(static_cast<int64_t>(s.rejected_puts)));
+        rows.Set("evictions", Value(static_cast<int64_t>(s.evictions)));
+        rows.Set("stale_drops", Value(static_cast<int64_t>(s.stale_drops)));
+        rows.Set("expired_drops",
+                 Value(static_cast<int64_t>(s.expired_drops)));
+        rows.Set("entries", Value(static_cast<int64_t>(s.entries)));
+        rows.Set("bytes", Value(static_cast<int64_t>(s.bytes)));
+        rows.Set("capacity_bytes",
+                 Value(static_cast<int64_t>(s.capacity_bytes)));
+        rows.Set("hit_rate", Value(s.hit_rate()));
+        Document out;
+        out.Set("merged_rankings", Value(std::move(rows)));
+        out.Set("result_epoch",
+                Value(static_cast<int64_t>(result_epoch_.Current())));
+        return HttpResponse::Json(200, json::Serialize(out));
+      });
 }
 
 }  // namespace agoraeo::cluster

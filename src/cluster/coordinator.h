@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "bigearthnet/archive_generator.h"
+#include "cache/cache_stats.h"
+#include "cache/epoch.h"
+#include "cache/sharded_lru_cache.h"
 #include "common/binary_code.h"
 #include "common/status.h"
 #include "netsvc/client.h"
@@ -61,9 +64,22 @@ class Coordinator {
     /// metric hooks are wired automatically (client_options.metrics is
     /// overwritten when metrics are enabled).
     obs::ObsConfig obs;
+    /// Coordinator-side result cache: the merged, deduped, capped global
+    /// ranking is kept per page-free request fingerprint, so resuming a
+    /// cursor (or re-asking any page of a recent ranking) is a slice of
+    /// the cached rows instead of a cluster-wide fan-out.  Entries are
+    /// epoch-validated: routed ingest and topology changes invalidate
+    /// lazily.
+    bool enable_result_cache = true;
+    /// Knobs of that cache; `validator` and `clock` are overwritten.
+    cache::ShardedLruCacheOptions result_cache;
   };
 
-  explicit Coordinator(Options options = {});
+  // Two overloads instead of one defaulted argument: a `= {}` default
+  // would need Options' member initializers inside Coordinator's own
+  // complete-class context, which nested aggregates cannot provide.
+  Coordinator();
+  explicit Coordinator(Options options);
 
   /// Installs a known topology directly (bootstrap from config).
   void AttachTable(const SlotTable& table);
@@ -93,6 +109,14 @@ class Coordinator {
 
   /// Redirects followed across this coordinator's lifetime (tests).
   uint64_t redirects_followed() const { return redirects_followed_; }
+
+  /// Counters of the merged-ranking result cache (all zero when the
+  /// cache is disabled); also served on GET /api/v2/cache/stats.
+  cache::CacheStats result_cache_stats() const;
+
+  /// The coordinator's result-cache epoch: bumped by routed ingest and
+  /// by topology adoption, lazily invalidating cached rankings.
+  uint64_t result_epoch() const { return result_epoch_.Current(); }
 
   /// The coordinator tier's observability bundle (its /metrics and
   /// slow-query endpoints read it).
@@ -139,6 +163,15 @@ class Coordinator {
   std::unordered_map<std::string, uint64_t> seq_;
   uint64_t next_seq_ = 0;
   std::atomic<uint64_t> redirects_followed_{0};
+
+  /// Merged global rankings per page-free request fingerprint.  Shared
+  /// pointers keep a ranking alive for a reader even if an epoch bump
+  /// or LRU pressure drops it from the cache mid-slice.
+  using MergedRows = std::vector<WireResult>;
+  cache::EpochValidator result_epoch_;
+  std::unique_ptr<
+      cache::ShardedLruCache<std::string, std::shared_ptr<const MergedRows>>>
+      result_cache_;
 };
 
 }  // namespace agoraeo::cluster

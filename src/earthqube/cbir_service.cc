@@ -488,6 +488,46 @@ std::vector<CbirResult> CbirService::KnnByCodeRestricted(
   return ToResults(index_->KnnSearchIn(code, fetch, allowed), k, exclude_name);
 }
 
+size_t CbirHitStream::Next(size_t n, std::vector<CbirResult>* out) {
+  if (cap_ != 0) n = std::min(n, cap_ - emitted_);
+  size_t produced = 0;
+  while (produced < n) {
+    buffer_.clear();
+    if (frontier_->Next(n - produced, &buffer_) == 0) break;
+    for (const auto& hit : buffer_) {
+      const std::string& name = (*name_by_id_)[hit.id];
+      if (name == exclude_name_) continue;
+      out->push_back({name, hit.distance});
+      ++produced;
+    }
+  }
+  emitted_ += produced;
+  return produced;
+}
+
+std::unique_ptr<CbirHitStream> CbirService::OpenStream(
+    const BinaryCode& code, std::optional<uint32_t> radius, size_t cap,
+    std::shared_ptr<const index::CandidateSet> allowed,
+    const std::string& exclude_name) const {
+  auto stream = std::unique_ptr<CbirHitStream>(new CbirHitStream());
+  stream->name_by_id_ = &name_by_id_;
+  stream->allowed_pin_ = std::move(allowed);
+  stream->exclude_name_ = exclude_name;
+  if (!radius.has_value() && cap == 0) {
+    // k-NN with k == 0 streams nothing (KnnByCode parity); a cap of 0
+    // everywhere else means "unlimited", so pin an exhausted frontier.
+    stream->frontier_ = std::make_unique<index::MaterializedFrontier>(
+        std::vector<index::SearchResult>{});
+    return stream;
+  }
+  stream->cap_ = cap;
+  index::FrontierOptions options;
+  options.radius = radius;
+  options.allowed = stream->allowed_pin_.get();
+  stream->frontier_ = index_->OpenFrontier(code, options);
+  return stream;
+}
+
 index::CandidateSet CbirService::CandidatesFromNames(
     const std::vector<std::string>& names) const {
   std::vector<index::ItemId> ids;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "common/binary_code.h"
 #include "common/status.h"
 #include "common/wal_framing.h"
+#include "index/frontier.h"
 #include "index/hamming_index.h"
 #include "index/index_wal.h"
 #include "index/segmented_index.h"
@@ -101,6 +103,36 @@ struct CbirPersistenceStats {
 struct CbirResult {
   std::string patch_name;
   uint32_t hamming_distance;
+};
+
+/// A lazy, resumable stream of named CBIR hits in (distance, ingest
+/// seq) order — what a code-level query returns when the caller wants
+/// to pull results a page at a time instead of materialising the full
+/// ranking.  Draining it yields exactly the corresponding eager call
+/// (RadiusByCode[Restricted] / KnnByCode[Restricted]): the exclude name
+/// is dropped and the cap applied as hits surface.  Single-consumer;
+/// same ingest-vs-query discipline as every other read path (callers
+/// serialise against concurrent AddImages themselves — the ranked-
+/// access registry does it by epoch-invalidating handles on ingest).
+class CbirHitStream {
+ public:
+  /// Appends up to `n` further results to `out`; returns the number
+  /// appended, 0 once exhausted (sticky).
+  size_t Next(size_t n, std::vector<CbirResult>* out);
+
+ private:
+  friend class CbirService;
+  CbirHitStream() = default;
+
+  std::unique_ptr<index::HitFrontier> frontier_;
+  const std::vector<std::string>* name_by_id_ = nullptr;  ///< owner's map
+  /// Keeps a caller-provided allowlist alive while the frontier borrows
+  /// it (the hybrid pre-filter leg hands ownership to the stream).
+  std::shared_ptr<const index::CandidateSet> allowed_pin_;
+  std::string exclude_name_;
+  size_t cap_ = 0;  ///< max results ever emitted; 0 = unlimited
+  size_t emitted_ = 0;
+  std::vector<index::SearchResult> buffer_;  ///< scratch per pull
 };
 
 /// The content-based image-retrieval service (paper Section 3.3): MiLaN
@@ -223,6 +255,19 @@ class CbirService {
       const std::string& exclude_name = {}) const;
   std::vector<CbirResult> KnnByCodeRestricted(
       const BinaryCode& code, size_t k, const index::CandidateSet& allowed,
+      const std::string& exclude_name = {}) const;
+
+  /// Opens a lazy ranked stream over the index (the streaming
+  /// counterpart of the four code-level calls above).  `radius` set:
+  /// radius search, `cap` = max_results (0 = unlimited).  `radius`
+  /// empty: k-NN with `cap` = k (cap 0 streams nothing, matching
+  /// KnnByCode).  `allowed` (may be null) restricts candidates and is
+  /// pinned inside the stream.  The stream snapshots the index at open
+  /// but borrows this service's name map — it must not outlive the
+  /// service.
+  std::unique_ptr<CbirHitStream> OpenStream(
+      const BinaryCode& code, std::optional<uint32_t> radius, size_t cap,
+      std::shared_ptr<const index::CandidateSet> allowed,
       const std::string& exclude_name = {}) const;
 
   /// Builds the ItemId allowlist for a set of patch names; names not in

@@ -44,6 +44,11 @@ EarthQube::EarthQube(EarthQubeConfig config)
     (void)image_data_->CreateHashIndex("name", /*unique=*/true);
     (void)rendered_->CreateHashIndex("name", /*unique=*/true);
   }
+  if (config_.ranked.enable) {
+    ranked_ = std::make_unique<RankedAccess>(config_.ranked);
+    stage_ranked_resume_ = obs_.HistogramOrNull(
+        obs::LabeledName("agoraeo_engine_stage_ns", "stage", "ranked_resume"));
+  }
   if (config_.exec.enable) {
     engine_ = std::make_unique<ExecutionEngine>(this, config_.exec, &obs_);
   }
@@ -102,6 +107,23 @@ void EarthQube::RegisterCollectors() {
     PushCounter(out, "agoraeo_engine_flight_warms_total", s.flight_warms);
     PushCounter(out, "agoraeo_engine_warm_from_flight_hits_total",
                 s.warm_from_flight_hits);
+  });
+  obs_.registry().AddCollector([this](std::vector<obs::Sample>* out) {
+    if (ranked_ == nullptr) return;
+    const RankedAccessStats s = ranked_->Stats();
+    const auto result = [](const char* r) {
+      return obs::LabeledName("agoraeo_engine_cursor_resume_total", "result",
+                              r);
+    };
+    PushCounter(out, result("hit"), s.hits);
+    PushCounter(out, result("miss"), s.misses);
+    PushCounter(out, result("expired"), s.expired + s.epoch_drops);
+    PushCounter(out, "agoraeo_ranked_handles_registered_total", s.registered);
+    PushCounter(out, "agoraeo_ranked_handles_evicted_total", s.evicted);
+    PushGauge(out, "agoraeo_ranked_handles",
+              static_cast<double>(s.handles));
+    PushGauge(out, "agoraeo_ranked_handle_bytes",
+              static_cast<double>(s.bytes));
   });
   obs_.registry().AddCollector([this](std::vector<obs::Sample>* out) {
     if (cbir_ == nullptr) return;
@@ -204,6 +226,10 @@ Status EarthQube::IngestArchiveWithCodes(
 }
 
 void EarthQube::AttachCbir(std::unique_ptr<CbirService> cbir) {
+  // Live ranked handles hold streams borrowing the OLD service's name
+  // map; drop them before that service is destroyed (the epoch bump
+  // alone would only make them unreachable lazily).
+  if (ranked_ != nullptr) ranked_->Clear();
   cbir_ = std::move(cbir);
   if (cbir_ != nullptr) cbir_->AttachObservability(&obs_);
   // A new code index changes every similarity result.
@@ -303,7 +329,8 @@ StatusOr<QueryResponse> EarthQube::ExecutePanelOnly(
 }
 
 StatusOr<QueryResponse> EarthQube::BuildCbirResponse(
-    const QueryRequest& request, std::vector<CbirResult> hits) const {
+    const QueryRequest& request, std::vector<CbirResult> hits,
+    uint64_t epoch_snapshot) const {
   const SimilaritySpec& spec = *request.similarity;
   QueryResponse response;
   response.hits = std::move(hits);
@@ -315,6 +342,9 @@ StatusOr<QueryResponse> EarthQube::BuildCbirResponse(
                 ", radius=" + std::to_string(*spec.radius) + ")"
           : "CBIR(" + cbir_->hamming_index().Name() +
                 ", k=" + std::to_string(*spec.k) + ")";
+  if (WindowedEligible(request)) {
+    return WindowizeEager(request, std::move(response), epoch_snapshot);
+  }
   if (request.projection == Projection::kFullPanel) {
     AGORAEO_RETURN_IF_ERROR(JoinHits(response.hits, &response));
   }
@@ -325,6 +355,7 @@ StatusOr<QueryResponse> EarthQube::BuildCbirResponse(
 StatusOr<QueryResponse> EarthQube::ExecuteCbirOnly(
     const QueryRequest& request) const {
   const SimilaritySpec& spec = *request.similarity;
+  const uint64_t epoch_snapshot = query_cache_.epoch();
   std::string exclude;
   AGORAEO_ASSIGN_OR_RETURN(BinaryCode code,
                            ResolveSimilarityCode(spec, &exclude));
@@ -332,7 +363,7 @@ StatusOr<QueryResponse> EarthQube::ExecuteCbirOnly(
       spec.radius.has_value()
           ? cbir_->RadiusByCode(code, *spec.radius, spec.limit, exclude)
           : cbir_->KnnByCode(code, *spec.k, exclude);
-  return BuildCbirResponse(request, std::move(hits));
+  return BuildCbirResponse(request, std::move(hits), epoch_snapshot);
 }
 
 EarthQube::HybridPlanInfo EarthQube::PlanHybrid(const QueryRequest& request,
@@ -397,7 +428,8 @@ StatusOr<std::shared_ptr<const CachedAllowlist>> EarthQube::ObtainAllowlist(
 
 StatusOr<QueryResponse> EarthQube::BuildHybridPreResponse(
     const QueryRequest& request, const HybridPlanInfo& plan,
-    const CachedAllowlist& allowlist, std::vector<CbirResult> hits) const {
+    const CachedAllowlist& allowlist, std::vector<CbirResult> hits,
+    uint64_t epoch_snapshot) const {
   QueryResponse response;
   response.plan.strategy = plan.strategy;
   response.plan.estimated_selectivity = plan.selectivity;
@@ -412,6 +444,9 @@ StatusOr<QueryResponse> EarthQube::BuildHybridPreResponse(
       " candidates -> restricted " + cbir_->hamming_index().Name() +
       ", est_sel=" + sel_text + ")";
   response.query_stats.plan = response.plan.description;
+  if (WindowedEligible(request)) {
+    return WindowizeEager(request, std::move(response), epoch_snapshot);
+  }
   if (request.projection == Projection::kFullPanel) {
     AGORAEO_RETURN_IF_ERROR(JoinHits(response.hits, &response));
   }
@@ -422,6 +457,7 @@ StatusOr<QueryResponse> EarthQube::BuildHybridPreResponse(
 StatusOr<QueryResponse> EarthQube::ExecuteHybrid(
     const QueryRequest& request) const {
   const SimilaritySpec& spec = *request.similarity;
+  const uint64_t epoch_snapshot = query_cache_.epoch();
   const Filter filter = request.panel->ToFilter(
       config_.label_encoding == LabelEncoding::kAsciiCompressed);
   const HybridPlanInfo plan = PlanHybrid(request, filter);
@@ -441,7 +477,8 @@ StatusOr<QueryResponse> EarthQube::ExecuteHybrid(
             ? cbir_->RadiusByCodeRestricted(code, *spec.radius, spec.limit,
                                             allowed, exclude)
             : cbir_->KnnByCodeRestricted(code, *spec.k, allowed, exclude);
-    return BuildHybridPreResponse(request, plan, *allowlist, std::move(hits));
+    return BuildHybridPreResponse(request, plan, *allowlist, std::move(hits),
+                                  epoch_snapshot);
   }
 
   QueryResponse response;
@@ -496,6 +533,242 @@ StatusOr<QueryResponse> EarthQube::ExecuteHybrid(
     AGORAEO_RETURN_IF_ERROR(JoinHits(response.hits, &response));
   }
   FinishPaging(request, &response);
+  return response;
+}
+
+// --- ranked direct access (resumable windowed paging) --------------------
+
+bool EarthQube::WindowedEligible(const QueryRequest& request) const {
+  return ranked_ != nullptr && request.similarity.has_value() &&
+         request.page_size > 0;
+}
+
+Status EarthQube::ExtendHandle(RankedHandle* handle, size_t need) const {
+  const size_t cap = handle->survivor_cap_;
+  const size_t target = cap == 0 ? need : std::min(need, cap);
+  if (handle->kind() == RankedHandle::Kind::kPlain) {
+    while (!handle->exhausted_ && handle->survivors_.size() < target) {
+      if (handle->stream_ == nullptr ||
+          handle->stream_->Next(target - handle->survivors_.size(),
+                                &handle->survivors_) == 0) {
+        handle->exhausted_ = true;
+      }
+    }
+  } else {
+    // Post-filter: join each raw hit's metadata and keep the filter
+    // survivors.  Raw hits are pulled in fixed-size chunks and every
+    // chunk is consumed whole, so the docs-examined watermarks are the
+    // same whether a ranking is walked in one deep request or resumed
+    // page by page.
+    constexpr size_t kPostFilterPull = 16;
+    std::vector<CbirResult> raw;
+    while (!handle->exhausted_ && handle->survivors_.size() < target) {
+      raw.clear();
+      if (handle->stream_ == nullptr ||
+          handle->stream_->Next(kPostFilterPull, &raw) == 0) {
+        handle->exhausted_ = true;
+        break;
+      }
+      for (const CbirResult& r : raw) {
+        AGORAEO_ASSIGN_OR_RETURN(
+            docstore::DocId id,
+            metadata_->FindOneId(Filter::Eq(kFieldName, Value(r.patch_name))));
+        ++handle->examined_total_;
+        if (!handle->filter_.Matches(*metadata_->Get(id))) continue;
+        handle->survivors_.push_back(r);
+        handle->examined_after_.push_back(handle->examined_total_);
+        if (cap != 0 && handle->survivors_.size() >= cap) break;
+      }
+    }
+  }
+  if (cap != 0 && handle->survivors_.size() >= cap) handle->exhausted_ = true;
+  return Status::OK();
+}
+
+StatusOr<QueryResponse> EarthQube::ExecuteWindowed(
+    const QueryRequest& request) const {
+  const uint64_t start_ns =
+      stage_ranked_resume_ != nullptr ? obs::NowNanos() : 0;
+  const SimilaritySpec& spec = *request.similarity;
+  const size_t begin = request.page * request.page_size;
+  // One past the window: proves a further page exists without draining
+  // the rest of the ranking.
+  const size_t need = begin + request.page_size + 1;
+
+  // The page-free fingerprint identifies the underlying ranking; its
+  // hash is the handle id every node mints identically.
+  QueryRequest stream_request = request;
+  stream_request.page = 0;
+  stream_request.page_size = 0;
+  const std::optional<std::string> stream_fp =
+      QueryCache::RequestFingerprint(stream_request);
+  const std::string handle_id =
+      stream_fp.has_value() ? RankedAccess::HandleIdFor(*stream_fp)
+                            : std::string();
+  // Epoch BEFORE any read: an ingest racing this page leaves the handle
+  // stale (dropped on the next Get) instead of pinning pre-ingest state
+  // as fresh.
+  const uint64_t epoch_snapshot = query_cache_.epoch();
+
+  // Resolve the subject first so a bad archive name fails identically
+  // whether or not a handle is resident.
+  std::string exclude;
+  AGORAEO_ASSIGN_OR_RETURN(BinaryCode code,
+                           ResolveSimilarityCode(spec, &exclude));
+
+  // The shape-dependent response skeleton (plan + base stats) is built
+  // on BOTH the resume and the fresh path, so a resumed page stays
+  // byte-identical to a re-executed one.
+  QueryResponse response;
+  RankedHandle::Kind kind = RankedHandle::Kind::kPlain;
+  Filter filter = Filter::True();
+  std::shared_ptr<const CachedAllowlist> allowlist;
+  if (!request.panel.has_value()) {
+    response.query_stats.plan = "CBIR";
+    response.plan.strategy = QueryPlan::Strategy::kCbirOnly;
+    response.plan.description =
+        spec.radius.has_value()
+            ? "CBIR(" + cbir_->hamming_index().Name() +
+                  ", radius=" + std::to_string(*spec.radius) + ")"
+            : "CBIR(" + cbir_->hamming_index().Name() +
+                  ", k=" + std::to_string(*spec.k) + ")";
+  } else {
+    filter = request.panel->ToFilter(
+        config_.label_encoding == LabelEncoding::kAsciiCompressed);
+    const HybridPlanInfo plan = PlanHybrid(request, filter);
+    response.plan.strategy = plan.strategy;
+    response.plan.estimated_selectivity = plan.selectivity;
+    response.plan.estimated_filter_matches = plan.estimated;
+    char sel_text[32];
+    std::snprintf(sel_text, sizeof(sel_text), "%.4f", plan.selectivity);
+    if (plan.strategy == QueryPlan::Strategy::kPreFilter) {
+      AGORAEO_ASSIGN_OR_RETURN(allowlist,
+                               ObtainAllowlist(*request.panel, filter));
+      response.query_stats = allowlist->filter_stats;
+      response.plan.description =
+          "HYBRID(pre-filter: " + response.query_stats.plan + " -> " +
+          std::to_string(allowlist->candidates.size()) +
+          " candidates -> restricted " + cbir_->hamming_index().Name() +
+          ", est_sel=" + sel_text + ")";
+      response.query_stats.plan = response.plan.description;
+    } else {
+      kind = RankedHandle::Kind::kPostFilter;
+      response.plan.description =
+          "HYBRID(post-filter: CBIR " + cbir_->hamming_index().Name() +
+          " -> join -> " + filter.ToString() + ", est_sel=" + sel_text + ")";
+      response.query_stats.plan = response.plan.description;
+    }
+  }
+
+  std::shared_ptr<RankedHandle> handle;
+  if (!handle_id.empty()) handle = ranked_->Get(handle_id, epoch_snapshot);
+  if (handle == nullptr) {
+    // Fresh (or fallen-back) execution: open the lazy stream and pin it
+    // under the ranking's deterministic id.  Uploaded-patch subjects
+    // have no fingerprint and stay ephemeral.
+    auto fresh = std::make_shared<RankedHandle>(
+        handle_id, stream_fp.value_or(std::string()), epoch_snapshot, kind);
+    fresh->survivor_cap_ = spec.radius.has_value() ? spec.limit : *spec.k;
+    if (kind == RankedHandle::Kind::kPlain) {
+      std::shared_ptr<const index::CandidateSet> allowed;
+      if (allowlist != nullptr) {
+        allowed = std::shared_ptr<const index::CandidateSet>(
+            allowlist, &allowlist->candidates);
+      }
+      fresh->stream_ = cbir_->OpenStream(
+          code, spec.radius, fresh->survivor_cap_, std::move(allowed),
+          exclude);
+    } else {
+      // Post-filter streams the UNCAPPED raw ranking (the cap applies
+      // to filter survivors, not raw hits); k-NN mode needs the full
+      // ranking, so ask for everything unless k is 0.
+      const size_t raw_cap =
+          spec.radius.has_value() ? 0 : (*spec.k == 0 ? 0 : SIZE_MAX);
+      fresh->stream_ =
+          cbir_->OpenStream(code, spec.radius, raw_cap, nullptr, exclude);
+      fresh->filter_ = filter;
+    }
+    handle = handle_id.empty() ? std::move(fresh)
+                               : ranked_->Register(std::move(fresh));
+  }
+
+  bool has_more = false;
+  {
+    std::lock_guard<std::mutex> lock(handle->mu_);
+    AGORAEO_RETURN_IF_ERROR(ExtendHandle(handle.get(), need));
+    const std::vector<CbirResult>& survivors = handle->survivors_;
+    const size_t end = std::min(survivors.size(), begin + request.page_size);
+    if (begin < end) {
+      response.hits.assign(survivors.begin() + begin, survivors.begin() + end);
+    }
+    has_more = survivors.size() >= need;
+    if (handle->kind() == RankedHandle::Kind::kPostFilter) {
+      // Deterministic join cost: what a fresh execution of exactly this
+      // page would have examined, independent of how deep the pinned
+      // stream has already been pulled.
+      response.query_stats.docs_examined +=
+          survivors.size() >= need ? handle->examined_after_[need - 1]
+                                   : handle->examined_total_;
+    }
+  }
+  if (!handle_id.empty()) ranked_->Touch(handle);
+
+  if (request.projection == Projection::kFullPanel) {
+    AGORAEO_RETURN_IF_ERROR(JoinHits(response.hits, &response));
+  }
+  response.windowed = true;
+  response.projection = request.projection;
+  response.page = request.page;
+  response.page_size = request.page_size;
+  if (has_more) {
+    response.cursor =
+        EncodeCursor({request.page + 1, request.page_size, handle_id});
+  }
+  if (stage_ranked_resume_ != nullptr) {
+    stage_ranked_resume_->Record(obs::NowNanos() - start_ns);
+  }
+  return response;
+}
+
+StatusOr<QueryResponse> EarthQube::WindowizeEager(const QueryRequest& request,
+                                                  QueryResponse response,
+                                                  uint64_t epoch_snapshot) const {
+  QueryRequest stream_request = request;
+  stream_request.page = 0;
+  stream_request.page_size = 0;
+  const std::optional<std::string> stream_fp =
+      QueryCache::RequestFingerprint(stream_request);
+  const size_t begin = request.page * request.page_size;
+  const size_t end = std::min(response.hits.size(), begin + request.page_size);
+  const bool has_more = response.hits.size() > begin + request.page_size;
+  std::string handle_id;
+  if (stream_fp.has_value()) {
+    handle_id = RankedAccess::HandleIdFor(*stream_fp);
+    // Register the full ranking as an already-exhausted handle so later
+    // pages of this cursor resume from it instead of re-running the
+    // micro-batched index pass.
+    auto handle = std::make_shared<RankedHandle>(
+        handle_id, *stream_fp, epoch_snapshot, RankedHandle::Kind::kPlain);
+    handle->survivors_ = response.hits;
+    handle->exhausted_ = true;
+    ranked_->Register(std::move(handle));
+  }
+  std::vector<CbirResult> window;
+  if (begin < end) {
+    window.assign(response.hits.begin() + begin, response.hits.begin() + end);
+  }
+  response.hits = std::move(window);
+  if (request.projection == Projection::kFullPanel) {
+    AGORAEO_RETURN_IF_ERROR(JoinHits(response.hits, &response));
+  }
+  response.windowed = true;
+  response.projection = request.projection;
+  response.page = request.page;
+  response.page_size = request.page_size;
+  if (has_more) {
+    response.cursor =
+        EncodeCursor({request.page + 1, request.page_size, handle_id});
+  }
   return response;
 }
 
@@ -618,6 +891,9 @@ void EarthQube::ExecuteAsync(
 StatusOr<QueryResponse> EarthQube::ExecuteUncached(
     const QueryRequest& request) const {
   if (!request.similarity.has_value()) return ExecutePanelOnly(request);
+  // Paged similarity requests stream hits lazily and resume from the
+  // ranked-access handle table; unpaged ones materialise eagerly.
+  if (WindowedEligible(request)) return ExecuteWindowed(request);
   if (!request.panel.has_value()) return ExecuteCbirOnly(request);
   return ExecuteHybrid(request);
 }

@@ -14,6 +14,7 @@
 #include "earthqube/query.h"
 #include "earthqube/query_cache.h"
 #include "earthqube/query_request.h"
+#include "earthqube/ranked_access.h"
 #include "earthqube/result_panel.h"
 #include "earthqube/schema.h"
 #include "earthqube/statistics.h"
@@ -52,6 +53,11 @@ struct EarthQubeConfig {
   /// and slow-query log.  See ObsConfig; disabling metrics/tracing
   /// makes every record site a dead branch.
   obs::ObsConfig obs;
+  /// Ranked direct access: paged similarity requests stream hits
+  /// lazily from the shard frontiers and pin the merged stream in a
+  /// bounded handle table, so page N resumes in O(page_size log shards)
+  /// instead of re-executing the whole ranking.  See RankedAccessConfig.
+  RankedAccessConfig ranked;
 };
 
 /// A search response: the result panel model, the label-statistics view,
@@ -233,6 +239,9 @@ class EarthQube {
   /// The staged execution engine (stats endpoint, tests, benches);
   /// null when config().exec.enable is false.
   ExecutionEngine* exec_engine() const { return engine_.get(); }
+  /// The ranked direct-access handle table (stats endpoint, tests);
+  /// null when config().ranked.enable is false.
+  RankedAccess* ranked_access() const { return ranked_.get(); }
   /// The observability bundle: metrics registry, tracing switch and
   /// slow-query log (the /metrics and debug endpoints read it; const
   /// query paths record into it).
@@ -301,9 +310,12 @@ class EarthQube {
   // so batched and direct executions stay byte-identical.
 
   /// Builds a CBIR-only response from raw hits (plan description, join
-  /// for full-panel projection, paging).
+  /// for full-panel projection, paging).  `epoch_snapshot` is the cache
+  /// epoch observed before the index pass that produced `hits`; paged
+  /// requests register the ranking as a ranked-access handle under it.
   StatusOr<QueryResponse> BuildCbirResponse(const QueryRequest& request,
-                                            std::vector<CbirResult> hits) const;
+                                            std::vector<CbirResult> hits,
+                                            uint64_t epoch_snapshot) const;
 
   /// The hybrid planner's decision for one request.
   struct HybridPlanInfo {
@@ -323,7 +335,31 @@ class EarthQube {
   /// Builds a pre-filter hybrid response from restricted-search hits.
   StatusOr<QueryResponse> BuildHybridPreResponse(
       const QueryRequest& request, const HybridPlanInfo& plan,
-      const CachedAllowlist& allowlist, std::vector<CbirResult> hits) const;
+      const CachedAllowlist& allowlist, std::vector<CbirResult> hits,
+      uint64_t epoch_snapshot) const;
+
+  // --- ranked direct access (resumable windowed paging) --------------------
+
+  /// Whether a request takes the windowed streaming path: similarity
+  /// with paging on and the ranked-access layer enabled.
+  bool WindowedEligible(const QueryRequest& request) const;
+
+  /// The windowed executor: resumes the ranking's pinned stream (or
+  /// opens and registers a fresh one) and materialises exactly the
+  /// requested window.  Covers CBIR-only and both hybrid strategies.
+  StatusOr<QueryResponse> ExecuteWindowed(const QueryRequest& request) const;
+
+  /// Pulls the handle's stream until `need` survivors are buffered (or
+  /// the stream/cap is exhausted).  Caller holds the handle's mutex.
+  Status ExtendHandle(RankedHandle* handle, size_t need) const;
+
+  /// The eager-window counterpart used by the engine's micro-batch
+  /// paths: slices a fully materialised ranking to the request's window
+  /// and registers it as an exhausted handle, producing a response
+  /// byte-identical to the streamed path's.
+  StatusOr<QueryResponse> WindowizeEager(const QueryRequest& request,
+                                         QueryResponse response,
+                                         uint64_t epoch_snapshot) const;
 
   /// Resolves a similarity spec's subject to (code, exclude_name).
   StatusOr<BinaryCode> ResolveSimilarityCode(const SimilaritySpec& spec,
@@ -352,6 +388,13 @@ class EarthQube {
   docstore::Collection* rendered_;
   docstore::Collection* feedback_;
   std::unique_ptr<CbirService> cbir_;
+  /// Handle-table population happens on const query paths (it is cached
+  /// execution state, not observable results).  Declared after cbir_:
+  /// its streams borrow the CBIR service's name map.
+  mutable std::unique_ptr<RankedAccess> ranked_;
+  /// Resume-path latency (extend + window materialisation), recorded
+  /// under the engine's stage histogram family.
+  obs::Histogram* stage_ranked_resume_ = nullptr;
   /// Declared last: the engine's workers reference every member above,
   /// so it must be destroyed (drained and joined) first.
   std::unique_ptr<ExecutionEngine> engine_;

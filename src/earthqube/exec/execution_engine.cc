@@ -570,8 +570,8 @@ void ExecutionEngine::ExecuteCbirGroup(
           : cbir->KnnBatchByCode(codes, *mode.k, excludes);
 
   for (size_t i = 0; i < live.size(); ++i) {
-    StatusOr<QueryResponse> response =
-        system_->BuildCbirResponse(live[i]->request, std::move(hit_lists[i]));
+    StatusOr<QueryResponse> response = system_->BuildCbirResponse(
+        live[i]->request, std::move(hit_lists[i]), epoch_snapshot);
     if (response.ok()) {
       if (system_->CacheResponse(live[i]->request, live[i]->fingerprint,
                                  *response, epoch_snapshot)) {
@@ -652,7 +652,8 @@ void ExecutionEngine::ExecuteHybridGroup(
 
   for (size_t i = 0; i < live.size(); ++i) {
     StatusOr<QueryResponse> response = system_->BuildHybridPreResponse(
-        live[i]->request, plan, **allowlist, std::move(hit_lists[i]));
+        live[i]->request, plan, **allowlist, std::move(hit_lists[i]),
+        epoch_snapshot);
     if (response.ok()) {
       if (system_->CacheResponse(live[i]->request, live[i]->fingerprint,
                                  *response, epoch_snapshot)) {

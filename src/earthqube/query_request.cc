@@ -96,8 +96,14 @@ size_t QueryResponse::total() const {
 }
 
 std::string EncodeCursor(const PageCursor& cursor) {
-  const std::string raw = "v2:" + std::to_string(cursor.page) + ":" +
-                          std::to_string(cursor.page_size);
+  std::string raw;
+  if (cursor.handle.empty()) {
+    raw = "v2:" + std::to_string(cursor.page) + ":" +
+          std::to_string(cursor.page_size);
+  } else {
+    raw = "v3:" + std::to_string(cursor.page) + ":" +
+          std::to_string(cursor.page_size) + ":" + cursor.handle;
+  }
   return json::Base64Encode(
       std::vector<uint8_t>(raw.begin(), raw.end()));
 }
@@ -106,7 +112,8 @@ StatusOr<PageCursor> DecodeCursor(const std::string& token) {
   AGORAEO_ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
                            json::Base64Decode(token));
   const std::string text(raw.begin(), raw.end());
-  if (text.rfind("v2:", 0) != 0) {
+  const bool v3 = text.rfind("v3:", 0) == 0;
+  if (!v3 && text.rfind("v2:", 0) != 0) {
     return Status::InvalidArgument("unrecognised cursor");
   }
   const size_t sep = text.find(':', 3);
@@ -114,13 +121,32 @@ StatusOr<PageCursor> DecodeCursor(const std::string& token) {
     return Status::InvalidArgument("malformed cursor");
   }
   PageCursor cursor;
+  std::string size_text = text.substr(sep + 1);
+  if (v3) {
+    const size_t handle_sep = size_text.find(':');
+    if (handle_sep == std::string::npos) {
+      return Status::InvalidArgument("malformed cursor");
+    }
+    cursor.handle = size_text.substr(handle_sep + 1);
+    size_text.resize(handle_sep);
+    if (cursor.handle.empty()) {
+      return Status::InvalidArgument("malformed cursor");
+    }
+  }
   try {
     cursor.page = std::stoull(text.substr(3, sep - 3));
-    cursor.page_size = std::stoull(text.substr(sep + 1));
+    cursor.page_size = std::stoull(size_text);
   } catch (const std::exception&) {
     return Status::InvalidArgument("malformed cursor");
   }
   return cursor;
+}
+
+bool IsCursorRejection(const Status& status) {
+  if (!status.IsInvalidArgument()) return false;
+  const std::string& message = status.message();
+  return message == "unrecognised cursor" || message == "malformed cursor" ||
+         message.find("base64") != std::string::npos;
 }
 
 }  // namespace agoraeo::earthqube

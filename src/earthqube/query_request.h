@@ -106,6 +106,12 @@ struct QueryResponse {
   /// Opaque continuation cursor for the next page; empty when this page
   /// exhausts the result.
   std::string cursor;
+  /// Ranked direct access: `hits`/`panel` hold ONLY the requested
+  /// window (the executor streamed just past it instead of
+  /// materialising the full ranking).  The serialiser must not slice
+  /// again, and the reported total is a lower bound:
+  /// page*page_size + window + 1 iff a further page exists.
+  bool windowed = false;
   /// Whether this response was served from the query-response cache.
   /// The only field that may differ between a cached response and the
   /// equivalent freshly executed one.
@@ -115,14 +121,27 @@ struct QueryResponse {
   size_t total() const;
 };
 
-/// Stateless paging cursor: an opaque token encoding (page, page_size).
+/// Paging cursor: an opaque token encoding (page, page_size) plus an
+/// optional ranked-access handle id.  With a handle the next page
+/// resumes the pinned shard-frontier stream (O(k log shards)); without
+/// one — or when the handle is gone — the page re-executes statelessly.
 struct PageCursor {
   size_t page = 0;
   size_t page_size = kPageSize;
+  /// Ranked-access handle id (RankedAccess::HandleIdFor of the
+  /// page-free request fingerprint); empty = stateless v2 cursor.
+  std::string handle;
 };
 
+/// Emits the legacy v2 token when `handle` is empty, v3 otherwise.
 std::string EncodeCursor(const PageCursor& cursor);
+/// Accepts both v2 and v3 tokens.
 StatusOr<PageCursor> DecodeCursor(const std::string& token);
+
+/// Whether a status is a cursor-decoding rejection (the HTTP tier maps
+/// these onto the 410 `cursor_expired` error envelope instead of a
+/// generic 400).
+bool IsCursorRejection(const Status& status);
 
 }  // namespace agoraeo::earthqube
 

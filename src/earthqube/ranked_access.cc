@@ -1,0 +1,145 @@
+#include "earthqube/ranked_access.h"
+
+#include <cstdio>
+
+namespace agoraeo::earthqube {
+
+RankedAccess::RankedAccess(const RankedAccessConfig& config)
+    : config_(config) {}
+
+std::string RankedAccess::HandleIdFor(const std::string& fingerprint) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : fingerprint) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf);
+}
+
+std::chrono::steady_clock::time_point RankedAccess::Now() const {
+  return config_.clock ? config_.clock() : std::chrono::steady_clock::now();
+}
+
+size_t RankedAccess::ApproxBytes(const RankedHandle& handle) {
+  size_t bytes = sizeof(RankedHandle);
+  bytes += handle.survivors_.capacity() * sizeof(CbirResult);
+  for (const CbirResult& r : handle.survivors_) bytes += r.patch_name.size();
+  bytes += handle.examined_after_.capacity() * sizeof(uint64_t);
+  return bytes;
+}
+
+std::shared_ptr<RankedHandle> RankedAccess::Get(const std::string& id,
+                                                uint64_t current_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(id);
+  if (it == handles_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  std::shared_ptr<RankedHandle> handle = it->second;
+  if (handle->epoch() != current_epoch) {
+    // The index or metadata changed under the pinned ranking: drop it
+    // now (frees the pinned segments) instead of waiting for the TTL.
+    ++epoch_drops_;
+    RemoveLocked(id);
+    return nullptr;
+  }
+  if (config_.handle_ttl.count() > 0 &&
+      Now() - handle->last_touch_ > config_.handle_ttl) {
+    ++expired_;
+    RemoveLocked(id);
+    return nullptr;
+  }
+  ++hits_;
+  handle->last_touch_ = Now();
+  lru_.erase(handle->lru_pos_);
+  lru_.push_front(id);
+  handle->lru_pos_ = lru_.begin();
+  return handle;
+}
+
+std::shared_ptr<RankedHandle> RankedAccess::Register(
+    std::shared_ptr<RankedHandle> handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle->id());
+  if (it != handles_.end()) {
+    // First-wins, but a stale resident (older epoch) yields to the
+    // fresh registration.
+    if (it->second->epoch() == handle->epoch()) return it->second;
+    RemoveLocked(handle->id());
+  }
+  ++registered_;
+  handle->bytes_ = ApproxBytes(*handle);
+  handle->last_touch_ = Now();
+  lru_.push_front(handle->id());
+  handle->lru_pos_ = lru_.begin();
+  total_bytes_ += handle->bytes_;
+  handles_.emplace(handle->id(), handle);
+  EvictLocked(handle.get());
+  return handle;
+}
+
+void RankedAccess::Touch(const std::shared_ptr<RankedHandle>& handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle->id());
+  if (it == handles_.end() || it->second != handle) return;  // evicted
+  const size_t bytes = ApproxBytes(*handle);
+  total_bytes_ += bytes - handle->bytes_;
+  handle->bytes_ = bytes;
+  handle->last_touch_ = Now();
+  lru_.erase(handle->lru_pos_);
+  lru_.push_front(handle->id());
+  handle->lru_pos_ = lru_.begin();
+  EvictLocked(handle.get());
+}
+
+void RankedAccess::EvictLocked(const RankedHandle* keep) {
+  while (handles_.size() > config_.handle_capacity ||
+         total_bytes_ > config_.handle_max_bytes) {
+    if (lru_.empty()) break;
+    const std::string victim = lru_.back();
+    auto it = handles_.find(victim);
+    if (it != handles_.end() && it->second.get() == keep) {
+      // The handle being touched is the only one left and still over
+      // budget: keep it anyway — evicting the page in flight would turn
+      // every deep walk into a re-execution storm.
+      break;
+    }
+    ++evicted_;
+    RemoveLocked(victim);
+  }
+}
+
+void RankedAccess::RemoveLocked(const std::string& id) {
+  auto it = handles_.find(id);
+  if (it == handles_.end()) return;
+  total_bytes_ -= it->second->bytes_;
+  lru_.erase(it->second->lru_pos_);
+  handles_.erase(it);
+}
+
+void RankedAccess::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  handles_.clear();
+  lru_.clear();
+  total_bytes_ = 0;
+}
+
+RankedAccessStats RankedAccess::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RankedAccessStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.expired = expired_;
+  stats.epoch_drops = epoch_drops_;
+  stats.registered = registered_;
+  stats.evicted = evicted_;
+  stats.handles = handles_.size();
+  stats.bytes = total_bytes_;
+  return stats;
+}
+
+}  // namespace agoraeo::earthqube

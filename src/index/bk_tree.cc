@@ -4,8 +4,93 @@
 #include <queue>
 
 #include "index/batch_util.h"
+#include "index/frontier.h"
 
 namespace agoraeo::index {
+
+/// Resumable best-first traversal: the paused state of BestFirstKnn.
+/// Nodes wait in a min-heap keyed by their subtree's distance lower
+/// bound |d - e| (every item under a child at edge e sits at exact
+/// distance e from its parent, so the triangle inequality bounds the
+/// whole subtree); verified items wait in a (distance, id) min-heap and
+/// are released only while strictly closer than the best unexpanded
+/// bound — an unexpanded subtree with bound b may still hold (b, any
+/// id), so ties force expansion first.
+class BkTree::FrontierImpl : public HitFrontier {
+ public:
+  FrontierImpl(const Node* root, const BinaryCode& query,
+               std::optional<uint32_t> radius, const CandidateSet* allowed)
+      : query_(query), radius_(radius), allowed_(allowed) {
+    if (root != nullptr) queue_.push({0, root});
+  }
+
+  size_t Next(size_t n, std::vector<SearchResult>* out) override {
+    size_t produced = 0;
+    while (produced < n) {
+      // Expand until the pending head is provably next: every
+      // unexpanded subtree's bound strictly exceeds it.
+      while (!queue_.empty() &&
+             (pending_.empty() ||
+              queue_.top().bound <= pending_.top().distance)) {
+        Expand();
+      }
+      if (pending_.empty()) break;  // nothing left anywhere: exhausted
+      out->push_back(pending_.top());
+      pending_.pop();
+      ++produced;
+    }
+    return produced;
+  }
+
+ private:
+  struct Entry {
+    uint32_t bound;  ///< lower bound on distances within the subtree
+    const Node* node;
+    bool operator>(const Entry& o) const { return bound > o.bound; }
+  };
+
+  void Expand() {
+    const Entry top = queue_.top();
+    queue_.pop();
+    if (radius_.has_value() && top.bound > *radius_) {
+      // Min-heap: every remaining subtree is at least as far out.
+      queue_ = {};
+      return;
+    }
+    const uint32_t d =
+        static_cast<uint32_t>(top.node->code.HammingDistance(query_));
+    if (!radius_.has_value() || d <= *radius_) {
+      for (ItemId id : top.node->ids) {
+        if (allowed_ != nullptr && !allowed_->Contains(id)) continue;
+        pending_.push({id, d});
+      }
+    }
+    for (const auto& [edge, child] : top.node->children) {
+      const uint32_t bound = d > edge ? d - edge : edge - d;
+      if (radius_.has_value() && bound > *radius_) continue;
+      queue_.push({bound, child.get()});
+    }
+  }
+
+  const BinaryCode query_;
+  const std::optional<uint32_t> radius_;
+  const CandidateSet* allowed_;
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  struct ResultGreater {
+    bool operator()(const SearchResult& a, const SearchResult& b) const {
+      return ResultLess(b, a);
+    }
+  };
+  std::priority_queue<SearchResult, std::vector<SearchResult>, ResultGreater>
+      pending_;
+};
+
+std::unique_ptr<HitFrontier> BkTree::OpenFrontier(
+    const BinaryCode& query, const FrontierOptions& options) const {
+  return std::make_unique<FrontierImpl>(root_.get(), query, options.radius,
+                                        options.allowed);
+}
 
 Status BkTree::Add(ItemId id, const BinaryCode& code) {
   if (code.empty()) return Status::InvalidArgument("empty code");

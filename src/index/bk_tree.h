@@ -48,6 +48,13 @@ class BkTree : public HammingIndex {
       const BinaryCode& query, size_t k, const CandidateSet& allowed,
       SearchStats* stats = nullptr) const override;
 
+  /// Lazy ranked access: a resumable best-first traversal — nodes are
+  /// expanded in order of their subtree's distance lower bound, and a
+  /// hit is released only once no unexpanded subtree can beat it, so
+  /// the pruned walk pauses between pages exactly where it stopped.
+  std::unique_ptr<HitFrontier> OpenFrontier(
+      const BinaryCode& query, const FrontierOptions& options) const override;
+
   size_t size() const override { return num_items_; }
   std::string Name() const override { return "BkTree"; }
 
@@ -55,6 +62,8 @@ class BkTree : public HammingIndex {
   size_t Depth() const;
 
  private:
+  class FrontierImpl;  // the resumable best-first traversal (bk_tree.cc)
+
   struct Node {
     BinaryCode code;
     std::vector<ItemId> ids;  ///< duplicate codes share one node

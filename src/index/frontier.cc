@@ -1,0 +1,102 @@
+#include "index/frontier.h"
+
+#include <algorithm>
+
+namespace agoraeo::index {
+
+namespace {
+
+/// Chunk size of child pulls: large enough to amortise virtual-call and
+/// heap overhead, small enough that a page-sized consumer pull (~50)
+/// never forces a child to over-produce by more than one chunk.
+constexpr size_t kPullChunk = 64;
+
+}  // namespace
+
+size_t MaterializedFrontier::Next(size_t n, std::vector<SearchResult>* out) {
+  const size_t take = std::min(n, hits_.size() - pos_);
+  out->insert(out->end(), hits_.begin() + pos_, hits_.begin() + pos_ + take);
+  pos_ += take;
+  return take;
+}
+
+size_t DistanceBucketFrontier::Next(size_t n, std::vector<SearchResult>* out) {
+  size_t produced = 0;
+  while (produced < n && distance_ < buckets_.size()) {
+    std::vector<SearchResult>& bucket = buckets_[distance_];
+    if (pos_ == 0 && bucket.size() > 1) {
+      // Buckets are filled in scan order, not id order; sort on first
+      // touch (equal distances, so ResultLess is an id sort).
+      std::sort(bucket.begin(), bucket.end(), ResultLess);
+    }
+    if (pos_ >= bucket.size()) {
+      std::vector<SearchResult>().swap(bucket);  // drained: drop storage
+      ++distance_;
+      pos_ = 0;
+      continue;
+    }
+    const size_t take = std::min(n - produced, bucket.size() - pos_);
+    out->insert(out->end(), bucket.begin() + pos_, bucket.begin() + pos_ + take);
+    pos_ += take;
+    produced += take;
+  }
+  return produced;
+}
+
+void MergingFrontier::AddChild(std::unique_ptr<HitFrontier> child) {
+  Child c;
+  c.frontier = std::move(child);
+  children_.push_back(std::move(c));
+}
+
+void MergingFrontier::AddPin(std::shared_ptr<const void> pin) {
+  pins_.push_back(std::move(pin));
+}
+
+void MergingFrontier::Refill(Child* child) {
+  if (!child->buffer.empty() || child->exhausted) return;
+  std::vector<SearchResult> chunk;
+  chunk.reserve(kPullChunk);
+  const size_t got = child->frontier->Next(kPullChunk, &chunk);
+  if (got == 0) {
+    child->exhausted = true;
+    return;
+  }
+  child->buffer.insert(child->buffer.end(), chunk.begin(), chunk.end());
+}
+
+size_t MergingFrontier::Next(size_t n, std::vector<SearchResult>* out) {
+  // std::push_heap/pop_heap build a MAX-heap, so "greater" under
+  // (distance, id) puts the smallest head at the front.
+  auto head_greater = [this](size_t a, size_t b) {
+    return ResultLess(children_[b].buffer.front(),
+                      children_[a].buffer.front());
+  };
+  if (!started_) {
+    started_ = true;
+    heap_.reserve(children_.size());
+    for (size_t c = 0; c < children_.size(); ++c) {
+      Refill(&children_[c]);
+      if (!children_[c].exhausted) heap_.push_back(c);
+    }
+    std::make_heap(heap_.begin(), heap_.end(), head_greater);
+  }
+  size_t produced = 0;
+  while (produced < n && !heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), head_greater);
+    const size_t c = heap_.back();
+    Child& child = children_[c];
+    out->push_back(child.buffer.front());
+    child.buffer.pop_front();
+    ++produced;
+    Refill(&child);
+    if (child.exhausted && child.buffer.empty()) {
+      heap_.pop_back();
+    } else {
+      std::push_heap(heap_.begin(), heap_.end(), head_greater);
+    }
+  }
+  return produced;
+}
+
+}  // namespace agoraeo::index

@@ -1,0 +1,117 @@
+#ifndef AGORAEO_INDEX_FRONTIER_H_
+#define AGORAEO_INDEX_FRONTIER_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "index/hamming_index.h"
+
+namespace agoraeo::index {
+
+/// How a frontier is opened: bounded by a radius (nullopt = rank the
+/// whole index) and optionally restricted to an allowlist.  `allowed`
+/// is borrowed — the caller must keep it alive for the frontier's whole
+/// lifetime (partition wrappers pin split allowlists themselves).
+struct FrontierOptions {
+  std::optional<uint32_t> radius;
+  const CandidateSet* allowed = nullptr;
+};
+
+/// A lazy, resumable hit stream in canonical (distance, id) order — the
+/// ranked-access counterpart of RadiusSearch/KnnSearch.  Draining a
+/// frontier yields exactly what the corresponding eager search returns
+/// (RadiusSearch for a radius-bounded frontier, KnnSearch(size()) for a
+/// full-ranked one), but work is deferred: implementations expand probe
+/// rings, resume pruned traversals, or drain distance buckets only as
+/// far as the consumer actually pulls.
+///
+/// Frontiers are snapshots: once opened they never observe later index
+/// mutations (partition wrappers open them on pinned immutable sealed
+/// segments and materialise the small mutable tail up front).  They are
+/// single-consumer — callers serialise Next() themselves.
+class HitFrontier {
+ public:
+  virtual ~HitFrontier() = default;
+
+  /// Appends up to `n` further hits to `out` in (distance, id) order.
+  /// Returns the number appended; 0 means the frontier is exhausted
+  /// (and every later call returns 0).  May return fewer than `n`
+  /// without being exhausted only when exhaustion follows immediately.
+  virtual size_t Next(size_t n, std::vector<SearchResult>* out) = 0;
+};
+
+/// A frontier over an already materialised (distance, id)-sorted hit
+/// list — the default for index kinds without a lazy override, the
+/// mutable-segment snapshot, and tests.
+class MaterializedFrontier : public HitFrontier {
+ public:
+  explicit MaterializedFrontier(std::vector<SearchResult> hits)
+      : hits_(std::move(hits)) {}
+
+  size_t Next(size_t n, std::vector<SearchResult>* out) override;
+
+ private:
+  std::vector<SearchResult> hits_;
+  size_t pos_ = 0;
+};
+
+/// A frontier over per-distance hit buckets filled eagerly (one scan
+/// pass at open) but sorted lazily: bucket d is put into id order only
+/// when the consumer reaches distance d, so deep buckets a shallow page
+/// never touches are never sorted.  Slot d of `buckets` holds the hits
+/// at distance exactly d, in any order.
+class DistanceBucketFrontier : public HitFrontier {
+ public:
+  explicit DistanceBucketFrontier(
+      std::vector<std::vector<SearchResult>> buckets)
+      : buckets_(std::move(buckets)) {}
+
+  size_t Next(size_t n, std::vector<SearchResult>* out) override;
+
+ private:
+  std::vector<std::vector<SearchResult>> buckets_;
+  size_t distance_ = 0;  ///< bucket currently being drained
+  size_t pos_ = 0;       ///< next slot within that bucket
+};
+
+/// K-way merge of child frontiers into one (distance, id)-ordered
+/// stream — the gather step of the partition layers (segments within a
+/// shard, shards within an index), pulling children in small chunks so
+/// a deep merge stays as lazy as its laziest child.  Children hold
+/// disjoint ids, so the merge reproduces exactly what one flat frontier
+/// over the union would emit.  Also carries opaque pins keeping
+/// whatever the children borrow (sealed segments, split allowlists)
+/// alive for the frontier's lifetime.
+class MergingFrontier : public HitFrontier {
+ public:
+  /// Children must be added before the first Next() call.
+  void AddChild(std::unique_ptr<HitFrontier> child);
+  /// Keeps `pin` alive as long as this frontier (sealed-segment
+  /// indexes, per-shard allowlist splits, ...).
+  void AddPin(std::shared_ptr<const void> pin);
+
+  size_t Next(size_t n, std::vector<SearchResult>* out) override;
+
+ private:
+  struct Child {
+    std::unique_ptr<HitFrontier> frontier;
+    std::deque<SearchResult> buffer;
+    bool exhausted = false;
+  };
+
+  /// Ensures child c has a buffered head (or is marked exhausted).
+  void Refill(Child* child);
+
+  std::vector<Child> children_;
+  std::vector<std::shared_ptr<const void>> pins_;
+  /// Heads heap: indices into children_, ordered so the child whose
+  /// buffered head is smallest under (distance, id) is popped first.
+  std::vector<size_t> heap_;
+  bool started_ = false;
+};
+
+}  // namespace agoraeo::index
+
+#endif  // AGORAEO_INDEX_FRONTIER_H_

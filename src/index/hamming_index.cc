@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "index/batch_util.h"
+#include "index/frontier.h"
 
 namespace agoraeo::index {
 
@@ -78,6 +79,24 @@ std::vector<SearchResult> HammingIndex::KnnSearchIn(
   }
   if (stats != nullptr) stats->results = out.size();
   return out;
+}
+
+std::unique_ptr<HitFrontier> HammingIndex::OpenFrontier(
+    const BinaryCode& query, const FrontierOptions& options) const {
+  // Materialise the eager search — always correct, never lazy.  A
+  // full-ranked frontier over an empty index is empty (KnnSearch(0)
+  // would also be, but skip the call for clarity).
+  std::vector<SearchResult> hits;
+  if (options.radius.has_value()) {
+    hits = options.allowed != nullptr
+               ? RadiusSearchIn(query, *options.radius, *options.allowed)
+               : RadiusSearch(query, *options.radius);
+  } else if (size() > 0) {
+    hits = options.allowed != nullptr
+               ? KnnSearchIn(query, size(), *options.allowed)
+               : KnnSearch(query, size());
+  }
+  return std::make_unique<MaterializedFrontier>(std::move(hits));
 }
 
 std::vector<std::vector<SearchResult>> HammingIndex::BatchRadiusSearch(

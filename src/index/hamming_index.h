@@ -2,6 +2,7 @@
 #define AGORAEO_INDEX_HAMMING_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,9 @@ class ThreadPool;
 }
 
 namespace agoraeo::index {
+
+struct FrontierOptions;  // index/frontier.h
+class HitFrontier;       // index/frontier.h
 
 /// Identifier of an indexed item (EarthQube uses the metadata DocId of
 /// the image patch).
@@ -166,6 +170,23 @@ class HammingIndex {
       const std::vector<BinaryCode>& queries, size_t k,
       const CandidateSet& allowed, ThreadPool* pool = nullptr,
       std::vector<SearchStats>* stats = nullptr) const;
+
+  // --- ranked direct access ------------------------------------------------
+
+  /// Opens a lazy (distance, id)-ordered hit stream (see
+  /// index/frontier.h).  Draining it yields exactly RadiusSearch[In]
+  /// when `options.radius` is set, and the full KnnSearch[In] ranking of
+  /// every (allowed) item otherwise — but implementations defer work to
+  /// Next() pulls where they can: the linear scan drains distance
+  /// buckets fed by one kernel pass, the hash tables walk probe rings
+  /// outward, the BK-tree resumes its pruned best-first traversal.  The
+  /// default materialises the eager search, which is always correct.
+  ///
+  /// The returned frontier borrows this index (and `options.allowed`);
+  /// the caller keeps both alive — partition wrappers instead return
+  /// self-contained frontiers pinning their sealed segments.
+  virtual std::unique_ptr<HitFrontier> OpenFrontier(
+      const BinaryCode& query, const FrontierOptions& options) const;
 
   virtual size_t size() const = 0;
   virtual std::string Name() const = 0;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <functional>
+#include <queue>
 
 #include "index/batch_util.h"
+#include "index/frontier.h"
 
 namespace agoraeo::index {
 
@@ -43,6 +45,53 @@ void EnumerateWithinRadius64(uint64_t base, size_t bits, uint32_t radius,
       };
   recurse(0, base, radius);
 }
+
+/// Ring flavour of EnumerateWithinRadius: visits only the codes at
+/// distance EXACTLY `flips` from the current state of `scratch` (which
+/// is restored before returning) — the per-ring step of the lazy
+/// frontier, where ring r must not re-visit rings < r.
+void EnumerateExactRing(BinaryCode* scratch, uint32_t flips,
+                        const std::function<void(const BinaryCode&)>& visit) {
+  std::function<void(size_t, uint32_t)> recurse = [&](size_t start,
+                                                      uint32_t remaining) {
+    if (remaining == 0) {
+      visit(*scratch);
+      return;
+    }
+    // i + remaining <= size: leave room for the flips still owed.
+    for (size_t i = start; i + remaining <= scratch->size(); ++i) {
+      scratch->FlipBit(i);
+      recurse(i + 1, remaining - 1);
+      scratch->FlipBit(i);
+    }
+  };
+  recurse(0, flips);
+}
+
+/// Ring flavour of EnumerateWithinRadius64: keys with EXACTLY `flips`
+/// of the low `bits` bits flipped relative to `base`.
+void EnumerateExactRing64(uint64_t base, size_t bits, uint32_t flips,
+                          const std::function<void(uint64_t)>& visit) {
+  std::function<void(size_t, uint64_t, uint32_t)> recurse =
+      [&](size_t start, uint64_t value, uint32_t remaining) {
+        if (remaining == 0) {
+          visit(value);
+          return;
+        }
+        for (size_t i = start; i + remaining <= bits; ++i) {
+          recurse(i + 1, value ^ (1ULL << i), remaining - 1);
+        }
+      };
+  recurse(0, base, flips);
+}
+
+/// Orders a min-heap of SearchResult under the canonical (distance, id)
+/// order.
+struct ResultGreater {
+  bool operator()(const SearchResult& a, const SearchResult& b) const {
+    return ResultLess(b, a);
+  }
+};
 
 }  // namespace
 
@@ -167,6 +216,107 @@ std::vector<SearchResult> HammingHashTable::KnnSearch(const BinaryCode& query,
 
 namespace {
 
+/// Lazy ring walk over the single hash table: ring r (codes at distance
+/// exactly r) is enumerated only when the consumer drains past ring
+/// r-1, and once the cumulative probe count passes the same crossover
+/// the eager search uses, the remaining distances are collected in one
+/// bucketed scan.  Borrows the bucket map — the caller keeps the index
+/// alive (the segment layer pins it).
+class HashRingFrontier : public HitFrontier {
+ public:
+  using BucketMap =
+      std::unordered_map<BinaryCode, std::vector<ItemId>, BinaryCodeHash>;
+
+  HashRingFrontier(const BucketMap* buckets, size_t code_bits,
+                   size_t num_items, const BinaryCode& query, uint32_t max_d,
+                   const CandidateSet* allowed)
+      : buckets_(buckets),
+        code_bits_(code_bits),
+        num_items_(num_items),
+        query_(query),
+        max_d_(max_d),
+        allowed_(allowed) {}
+
+  size_t Next(size_t n, std::vector<SearchResult>* out) override {
+    size_t produced = 0;
+    while (produced < n) {
+      if (pos_ < ring_.size()) {
+        const size_t take = std::min(n - produced, ring_.size() - pos_);
+        out->insert(out->end(), ring_.begin() + pos_,
+                    ring_.begin() + pos_ + take);
+        pos_ += take;
+        produced += take;
+        continue;
+      }
+      if (tail_ != nullptr) {
+        const size_t got = tail_->Next(n - produced, out);
+        produced += got;
+        if (got == 0) break;  // the tail covered every remaining distance
+        continue;
+      }
+      if (done_) break;
+      AdvanceRing();
+    }
+    return produced;
+  }
+
+ private:
+  void AdvanceRing() {
+    ring_.clear();
+    pos_ = 0;
+    if (r_ > max_d_ || collected_ >= num_items_) {
+      done_ = true;
+      return;
+    }
+    if (HammingHashTable::ProbeCount(code_bits_, r_) > buckets_->size() * 2) {
+      BuildTail();
+      return;
+    }
+    BinaryCode scratch = query_;
+    EnumerateExactRing(&scratch, r_, [&](const BinaryCode& probe) {
+      auto it = buckets_->find(probe);
+      if (it == buckets_->end()) return;
+      for (ItemId id : it->second) {
+        ++collected_;
+        if (allowed_ != nullptr && !allowed_->Contains(id)) continue;
+        ring_.push_back({id, r_});
+      }
+    });
+    std::sort(ring_.begin(), ring_.end(), ResultLess);
+    ++r_;
+  }
+
+  /// One scan of every bucket for the remaining distances [r_, max_d_],
+  /// handed to a lazily-sorted bucket drain.
+  void BuildTail() {
+    std::vector<std::vector<SearchResult>> tail_buckets(
+        static_cast<size_t>(max_d_) + 1);
+    for (const auto& [code, items] : *buckets_) {
+      const uint32_t d = static_cast<uint32_t>(query_.HammingDistance(code));
+      if (d < r_ || d > max_d_) continue;
+      for (ItemId id : items) {
+        if (allowed_ != nullptr && !allowed_->Contains(id)) continue;
+        tail_buckets[d].push_back({id, d});
+      }
+    }
+    tail_ = std::make_unique<DistanceBucketFrontier>(std::move(tail_buckets));
+  }
+
+  const BucketMap* buckets_;
+  const size_t code_bits_;
+  const size_t num_items_;
+  const BinaryCode query_;
+  const uint32_t max_d_;
+  const CandidateSet* allowed_;
+
+  uint32_t r_ = 0;          ///< next ring to enumerate
+  size_t collected_ = 0;    ///< items found so far (pre-allowlist)
+  std::vector<SearchResult> ring_;  ///< current ring's hits, id-sorted
+  size_t pos_ = 0;
+  std::unique_ptr<DistanceBucketFrontier> tail_;
+  bool done_ = false;
+};
+
 /// Collapses duplicate query codes to one representative slot, runs
 /// `search_one(slot, stats_slot)` for each distinct code sharded across
 /// the pool, and fans results out to the duplicate slots.
@@ -206,6 +356,17 @@ std::vector<std::vector<SearchResult>> DedupedBatch(
 }
 
 }  // namespace
+
+std::unique_ptr<HitFrontier> HammingHashTable::OpenFrontier(
+    const BinaryCode& query, const FrontierOptions& options) const {
+  const uint32_t max_d =
+      options.radius.has_value()
+          ? std::min<uint32_t>(*options.radius,
+                               static_cast<uint32_t>(code_bits_))
+          : static_cast<uint32_t>(code_bits_);
+  return std::make_unique<HashRingFrontier>(&buckets_, code_bits_, num_items_,
+                                            query, max_d, options.allowed);
+}
 
 std::vector<std::vector<SearchResult>> HammingHashTable::BatchRadiusSearch(
     const std::vector<BinaryCode>& queries, uint32_t radius, ThreadPool* pool,
@@ -370,6 +531,146 @@ std::vector<SearchResult> MultiIndexHashing::KnnSearchIn(
   local.results = out.size();
   if (stats != nullptr) *stats = local;
   return out;
+}
+
+namespace {
+
+/// Lazy substring-ring deepening over the multi-index tables.  Sub-ring
+/// s probes every table at sub-distance exactly s; each newly seen
+/// candidate is verified against the full code once and parked in a
+/// (distance, id) min-heap.  The pigeonhole argument releases hits
+/// incrementally: after sub-ring s completes, any code at full distance
+/// D <= m*(s+1)-1 has some substring within distance floor(D/m) <= s of
+/// the query's, so it has been seen — everything parked at or below
+/// that bound is final.  Mirrors the eager path's verified-scan
+/// fallback when the enumeration would out-probe the stored codes.
+class SubRingFrontier : public HitFrontier {
+ public:
+  using Table = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+
+  SubRingFrontier(const std::vector<Table>* tables,
+                  const std::vector<ItemId>* ids,
+                  const std::vector<BinaryCode>* codes, size_t m,
+                  std::vector<std::pair<size_t, size_t>> ranges,
+                  std::vector<uint64_t> keys, const BinaryCode& query,
+                  uint32_t max_d, const CandidateSet* allowed)
+      : tables_(tables),
+        ids_(ids),
+        codes_(codes),
+        m_(m),
+        ranges_(std::move(ranges)),
+        keys_(std::move(keys)),
+        query_(query),
+        max_d_(max_d),
+        allowed_(allowed),
+        seen_(codes->size(), false) {
+    for (const auto& [begin, len] : ranges_) {
+      max_len_ = std::max(max_len_, len);
+    }
+  }
+
+  size_t Next(size_t n, std::vector<SearchResult>* out) override {
+    size_t produced = 0;
+    while (produced < n) {
+      if (!pending_.empty() &&
+          (done_deepening_ ||
+           static_cast<int64_t>(pending_.top().distance) <= safe_bound_)) {
+        out->push_back(pending_.top());
+        pending_.pop();
+        ++produced;
+        continue;
+      }
+      if (done_deepening_) break;  // pending drained: exhausted
+      DeepenOneSubRing();
+    }
+    return produced;
+  }
+
+ private:
+  void DeepenOneSubRing() {
+    if (seen_count_ == codes_->size() ||
+        s_ > static_cast<uint32_t>(max_len_)) {
+      done_deepening_ = true;
+      return;
+    }
+    const size_t probes = HammingHashTable::ProbeCount(max_len_, s_);
+    if (probes == SIZE_MAX || probes > codes_->size() + 1) {
+      // Verified scan of everything not yet seen; completes discovery.
+      for (size_t pos = 0; pos < codes_->size(); ++pos) {
+        if (seen_[pos]) continue;
+        seen_[pos] = true;
+        ++seen_count_;
+        Verify(pos);
+      }
+      done_deepening_ = true;
+      return;
+    }
+    for (size_t j = 0; j < m_; ++j) {
+      const auto [begin, len] = ranges_[j];
+      if (s_ > len) continue;
+      EnumerateExactRing64(keys_[j], len, s_, [&](uint64_t probe) {
+        auto it = (*tables_)[j].find(probe);
+        if (it == (*tables_)[j].end()) return;
+        for (uint32_t pos : it->second) {
+          if (seen_[pos]) continue;
+          seen_[pos] = true;
+          ++seen_count_;
+          Verify(pos);
+        }
+      });
+    }
+    safe_bound_ = static_cast<int64_t>(m_) * (s_ + 1) - 1;
+    ++s_;
+  }
+
+  void Verify(size_t pos) {
+    if (allowed_ != nullptr && !allowed_->Contains((*ids_)[pos])) return;
+    const uint32_t d =
+        static_cast<uint32_t>((*codes_)[pos].HammingDistance(query_));
+    if (d <= max_d_) pending_.push({(*ids_)[pos], d});
+  }
+
+  const std::vector<Table>* tables_;
+  const std::vector<ItemId>* ids_;
+  const std::vector<BinaryCode>* codes_;
+  const size_t m_;
+  const std::vector<std::pair<size_t, size_t>> ranges_;  ///< (begin, len)
+  const std::vector<uint64_t> keys_;  ///< query's per-table substring keys
+  const BinaryCode query_;
+  const uint32_t max_d_;
+  const CandidateSet* allowed_;
+
+  size_t max_len_ = 0;
+  std::vector<bool> seen_;
+  size_t seen_count_ = 0;
+  uint32_t s_ = 0;          ///< next sub-ring depth
+  int64_t safe_bound_ = -1; ///< full distances proven complete so far
+  bool done_deepening_ = false;
+  std::priority_queue<SearchResult, std::vector<SearchResult>, ResultGreater>
+      pending_;
+};
+
+}  // namespace
+
+std::unique_ptr<HitFrontier> MultiIndexHashing::OpenFrontier(
+    const BinaryCode& query, const FrontierOptions& options) const {
+  if (codes_.empty()) {
+    return std::make_unique<MaterializedFrontier>(std::vector<SearchResult>{});
+  }
+  const uint32_t max_d =
+      options.radius.has_value()
+          ? std::min<uint32_t>(*options.radius,
+                               static_cast<uint32_t>(code_bits_))
+          : static_cast<uint32_t>(code_bits_);
+  std::vector<std::pair<size_t, size_t>> ranges(m_);
+  std::vector<uint64_t> keys(m_);
+  for (size_t j = 0; j < m_; ++j) {
+    SubstringRange(j, &ranges[j].first, &ranges[j].second);
+    keys[j] = query.Substring(ranges[j].first, ranges[j].second).LowWord();
+  }
+  return std::make_unique<SubRingFrontier>(&tables_, &ids_, &codes_, m_,
+                                           std::move(ranges), std::move(keys),
+                                           query, max_d, options.allowed);
 }
 
 std::vector<SearchResult> MultiIndexHashing::KnnSearch(

@@ -51,6 +51,14 @@ class HammingHashTable : public HammingIndex {
       const BinaryCode& query, size_t k, const CandidateSet& allowed,
       SearchStats* stats = nullptr) const override;
 
+  /// Lazy ranked access: walks probe rings outward (exact-distance mask
+  /// enumeration per ring), switching to one bucketed scan of the
+  /// remaining distances at the same probe-count crossover the eager
+  /// search uses.  Ring r is only enumerated when the consumer drains
+  /// past distance r-1.
+  std::unique_ptr<HitFrontier> OpenFrontier(
+      const BinaryCode& query, const FrontierOptions& options) const override;
+
   size_t size() const override { return num_items_; }
   std::string Name() const override { return "HammingHashTable"; }
 
@@ -99,6 +107,14 @@ class MultiIndexHashing : public HammingIndex {
   std::vector<SearchResult> KnnSearchIn(
       const BinaryCode& query, size_t k, const CandidateSet& allowed,
       SearchStats* stats = nullptr) const override;
+  /// Lazy ranked access: deepens the per-table substring probe rings one
+  /// sub-distance at a time (each candidate verified against the full
+  /// code once), releasing hits as soon as the pigeonhole bound proves
+  /// them complete — after sub-ring s every code within full distance
+  /// m·(s+1)-1 has been seen.  Falls back to one verified scan when the
+  /// enumeration would out-probe the stored codes, like the eager path.
+  std::unique_ptr<HitFrontier> OpenFrontier(
+      const BinaryCode& query, const FrontierOptions& options) const override;
   size_t size() const override { return ids_.size(); }
   std::string Name() const override { return "MultiIndexHashing"; }
 

@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.h"
 #include "index/batch_util.h"
+#include "index/frontier.h"
 
 namespace agoraeo::index {
 
@@ -349,6 +350,50 @@ std::vector<SearchResult> LinearScanIndex::KnnSearchIn(
   local.results = best.size();
   if (stats != nullptr) *stats = local;
   return best;
+}
+
+std::unique_ptr<HitFrontier> LinearScanIndex::OpenFrontier(
+    const BinaryCode& query, const FrontierOptions& options) const {
+  const uint32_t max_d =
+      options.radius.has_value()
+          ? std::min<uint32_t>(*options.radius,
+                               static_cast<uint32_t>(code_bits_))
+          : static_cast<uint32_t>(code_bits_);
+  std::vector<std::vector<SearchResult>> buckets;
+  const CandidateSet* allowed = options.allowed;
+  if (!ids_.empty() && (allowed == nullptr || !allowed->empty())) {
+    assert(query.words().size() == words_per_code_);
+    buckets.resize(static_cast<size_t>(max_d) + 1);
+    const simd::HammingKernel* kernel = simd::ActiveKernel();
+    simd::CountDispatch(kernel);
+    if (allowed != nullptr && allowed->size() * 4 < ids_.size()) {
+      // Sparse allowlist: pair distances for just the allowed rows.
+      const uint64_t* qw = query.words().data();
+      for (ItemId id : allowed->ids()) {
+        auto it = pos_by_id_.find(id);
+        if (it == pos_by_id_.end()) continue;
+        const uint32_t d = static_cast<uint32_t>(kernel->pair(
+            flat_words_.data() + it->second * stride_, qw, words_per_code_));
+        if (d <= max_d) buckets[d].push_back({id, d});
+      }
+    } else {
+      simd::AlignedWordBuffer qpad(stride_, 0);
+      std::copy(query.words().begin(), query.words().end(), qpad.begin());
+      alignas(64) uint32_t dist[kCodeBlock];
+      for (size_t block = 0; block < ids_.size(); block += kCodeBlock) {
+        const size_t count = std::min(ids_.size() - block, kCodeBlock);
+        kernel->batch(flat_words_.data() + block * stride_, count, stride_,
+                      qpad.data(), dist);
+        for (size_t j = 0; j < count; ++j) {
+          if (dist[j] > max_d) continue;
+          const ItemId id = ids_[block + j];
+          if (allowed != nullptr && !allowed->Contains(id)) continue;
+          buckets[dist[j]].push_back({id, dist[j]});
+        }
+      }
+    }
+  }
+  return std::make_unique<DistanceBucketFrontier>(std::move(buckets));
 }
 
 void FloatLinearScan::Add(ItemId id, const Tensor& vec) {

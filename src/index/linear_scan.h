@@ -57,6 +57,13 @@ class LinearScanIndex : public HammingIndex {
       const BinaryCode& query, size_t k, const CandidateSet& allowed,
       SearchStats* stats = nullptr) const override;
 
+  /// Lazy ranked access: one blocked kernel pass at open computes every
+  /// (allowed) distance into per-distance buckets; buckets are id-sorted
+  /// and drained only as far as the consumer actually pulls, so a page
+  /// of near hits never pays for ordering the far tail.
+  std::unique_ptr<HitFrontier> OpenFrontier(
+      const BinaryCode& query, const FrontierOptions& options) const override;
+
   size_t size() const override { return ids_.size(); }
   std::string Name() const override { return "LinearScan"; }
 

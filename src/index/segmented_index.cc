@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "index/frontier.h"
+
 namespace agoraeo::index {
 
 namespace {
@@ -296,6 +298,43 @@ std::vector<std::vector<SearchResult>> SegmentedHammingIndex::BatchKnnSearchIn(
       [&](const HammingIndex& segment, std::vector<SearchStats>* seg_stats) {
         return segment.BatchKnnSearchIn(queries, k, allowed, pool, seg_stats);
       });
+}
+
+std::unique_ptr<HitFrontier> SegmentedHammingIndex::OpenFrontier(
+    const BinaryCode& query, const FrontierOptions& options) const {
+  auto merge = std::make_unique<MergingFrontier>();
+  std::shared_ptr<const SegmentList> sealed;
+  {
+    // Same pinning protocol as GatherSegments: the sealed list is
+    // loaded in the critical section the mutable tail is snapshotted
+    // in, so a concurrent seal cannot make an item appear twice (or
+    // vanish) in the frontier's view.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    sealed = sealed_.load();
+    if (mutable_->size() > 0) {
+      // The mutable tail is small by construction (it seals at
+      // seal_threshold); materialise it eagerly — lazy streaming from
+      // a segment that keeps mutating would not be a snapshot.
+      std::vector<SearchResult> hits;
+      if (options.radius.has_value()) {
+        hits = options.allowed != nullptr
+                   ? mutable_->RadiusSearchIn(query, *options.radius,
+                                              *options.allowed)
+                   : mutable_->RadiusSearch(query, *options.radius);
+      } else {
+        hits = options.allowed != nullptr
+                   ? mutable_->KnnSearchIn(query, mutable_->size(),
+                                           *options.allowed)
+                   : mutable_->KnnSearch(query, mutable_->size());
+      }
+      merge->AddChild(std::make_unique<MaterializedFrontier>(std::move(hits)));
+    }
+  }
+  for (const SealedSegment& segment : *sealed) {
+    merge->AddChild(segment.index->OpenFrontier(query, options));
+    merge->AddPin(segment.index);  // the lazy child borrows the segment
+  }
+  return merge;
 }
 
 size_t SegmentedHammingIndex::size() const {

@@ -110,6 +110,15 @@ class SegmentedHammingIndex : public HammingIndex {
       const CandidateSet& allowed, ThreadPool* pool = nullptr,
       std::vector<SearchStats>* stats = nullptr) const override;
 
+  /// Lazy ranked access with snapshot semantics: the sealed-segment
+  /// list is pinned and the small mutable tail materialised in one
+  /// critical section (the same protocol as GatherSegments), so the
+  /// frontier never observes later ingest however long it lives.  The
+  /// returned frontier owns shared_ptr pins on every sealed segment it
+  /// streams from and is safe to hold across seals and compactions.
+  std::unique_ptr<HitFrontier> OpenFrontier(
+      const BinaryCode& query, const FrontierOptions& options) const override;
+
   size_t size() const override;
   /// Transparent: the wrapped kind's name, so observability strings
   /// ("sharded(LinearScan, 4)") are independent of segmentation.

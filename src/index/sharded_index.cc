@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/thread_pool.h"
+#include "index/frontier.h"
 
 namespace agoraeo::index {
 
@@ -315,6 +316,30 @@ std::vector<std::vector<SearchResult>> ShardedHammingIndex::BatchKnnSearchIn(
         return shards_[s]->BatchKnnSearchIn(queries, k, (*split)[s], nullptr,
                                             shard_stats);
       });
+}
+
+std::unique_ptr<HitFrontier> ShardedHammingIndex::OpenFrontier(
+    const BinaryCode& query, const FrontierOptions& options) const {
+  single_fanouts_.fetch_add(1);
+  auto merge = std::make_unique<MergingFrontier>();
+  if (options.allowed != nullptr) {
+    // Split once by routing (like the batched *In paths) and pin the
+    // split inside the frontier — the per-shard children borrow it.
+    auto split = std::make_shared<const std::vector<CandidateSet>>(
+        SplitAllowlist(*options.allowed));
+    merge->AddPin(split);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if ((*split)[s].empty()) continue;  // no allowed id routes here
+      FrontierOptions shard_options = options;
+      shard_options.allowed = &(*split)[s];
+      merge->AddChild(shards_[s]->OpenFrontier(query, shard_options));
+    }
+  } else {
+    for (const auto& shard : shards_) {
+      merge->AddChild(shard->OpenFrontier(query, options));
+    }
+  }
+  return merge;
 }
 
 size_t ShardedHammingIndex::size() const {

@@ -110,6 +110,14 @@ class ShardedHammingIndex : public HammingIndex {
       const CandidateSet& allowed, ThreadPool* pool = nullptr,
       std::vector<SearchStats>* stats = nullptr) const override;
 
+  /// Lazy ranked access: a k-way merge over per-shard frontiers, each
+  /// pulled in small chunks — page N of the global ranking costs an
+  /// O(k·log shards) heap resume instead of every shard overfetching
+  /// its full top-k.  Allowlists are split per shard by routing (the
+  /// split is pinned inside the returned frontier).
+  std::unique_ptr<HitFrontier> OpenFrontier(
+      const BinaryCode& query, const FrontierOptions& options) const override;
+
   size_t size() const override;
   std::string Name() const override;
 

@@ -46,9 +46,14 @@ StatusOr<int64_t> NonNegativeField(const Document& doc, const std::string& key,
   return v->as_int64();
 }
 
-/// Maps a facade error onto the shared JSON error envelope.
+/// Maps a facade error onto the shared JSON error envelope.  Cursor
+/// rejections get their own code (410 Gone) so paging clients can tell
+/// "restart from page 0" apart from "fix your request".
 HttpResponse FromStatus(const Status& status) {
   if (status.IsNotFound()) return HttpResponse::NotFound(status.message());
+  if (earthqube::IsCursorRejection(status)) {
+    return HttpResponse::Error(410, "cursor_expired", status.message());
+  }
   if (status.IsInvalidArgument()) {
     return HttpResponse::BadRequest(status.message());
   }
@@ -369,12 +374,21 @@ std::string EarthQubeService::QueryResponseToJson(
   const size_t total = response.total();
   size_t begin = 0;
   size_t end = total;
-  if (response.page_size > 0) {
+  size_t reported = total;
+  if (response.windowed) {
+    // The execution tier already sliced this response to the requested
+    // window (ranked direct access streams only what the page needs),
+    // so serialise it whole.  The reported total is a lower bound:
+    // everything known to precede the window, the window itself, and
+    // one more hit iff a continuation cursor proves there is one.
+    reported = response.page * response.page_size + total +
+               (response.cursor.empty() ? 0 : 1);
+  } else if (response.page_size > 0) {
     begin = std::min(total, response.page * response.page_size);
     end = std::min(total, begin + response.page_size);
   }
 
-  std::string out = "{\"total\":" + std::to_string(total) +
+  std::string out = "{\"total\":" + std::to_string(reported) +
                     ",\"page\":" + std::to_string(response.page) +
                     ",\"page_size\":" + std::to_string(response.page_size) +
                     ",\"served_from_cache\":" +

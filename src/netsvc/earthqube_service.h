@@ -65,10 +65,24 @@ namespace agoraeo::netsvc {
 ///     "page": 0, "page_size": 50,
 ///     "cursor": "<continuation token>"      // overrides page/page_size
 ///   }
+/// Continuation cursors come in two flavours: v2 tokens carry only
+/// (page, page_size); v3 tokens additionally name the server-side
+/// ranked-access handle pinning the merged shard-frontier state, so
+/// resuming page N costs one incremental pull instead of a
+/// re-execution of pages 0..N-1.  Both decode transparently; a handle
+/// that has expired, been evicted, or straddles an ingest epoch bump
+/// silently falls back to re-execution — resumes never fail, they just
+/// lose the shortcut.  A cursor that cannot be DECODED (bad base64,
+/// unknown version, mangled fields) is answered with 410 and error
+/// code "cursor_expired" so paging clients know to restart from page 0
+/// rather than "fix" the request.
 /// Batch flavour: {"requests": [<single bodies>, ...]} (at most
 /// kMaxBatchQueries).
 ///
-/// /api/v2/query response:
+/// /api/v2/query response (similarity responses are windowed: results
+/// hold exactly the requested page, "total" is the lower bound
+/// page*page_size + |results| (+1 when a cursor promises more), and
+/// label_statistics cover the window):
 ///   {"total": N, "page": 0, "page_size": 50, "cursor": "<token>"|"",
 ///    "served_from_cache": false,
 ///    "plan": {"strategy": "panel_only"|"cbir_only"|"pre_filter"|

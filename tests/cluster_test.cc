@@ -470,6 +470,52 @@ TEST_F(ClusterTest, PagingAndCursorMatchMonolith) {
       cursor->as_string() + R"("})");
 }
 
+TEST_F(ClusterTest, RankedCursorWalkMatchesMonolithPageByPage) {
+  // Walk an ENTIRE ranked result set page by page on both deployments,
+  // feeding each side's cursor forward.  Beyond row parity, the raw
+  // cursor TOKENS must be identical: both tiers derive the v3 handle id
+  // from the same page-free request fingerprint, which is what lets a
+  // client move between a monolith and a cluster mid-pagination.
+  const std::string code = (*codes_)[11].ToBitString();
+  const std::string subject = R"("similarity":{"code":")" + code +
+                              R"(","radius":8},"page_size":9)";
+  const auto hits_before = coordinator_->result_cache_stats().hits;
+
+  HttpClient client;
+  std::string body = "{" + subject + "}";
+  size_t pages = 0;
+  for (; pages < 120; ++pages) {
+    auto mono = client.Post(mono_server_->port(), "/api/v2/query", body);
+    auto cluster =
+        client.Post(coordinator_server_->port(), "/api/v2/query", body);
+    ASSERT_TRUE(mono.ok());
+    ASSERT_TRUE(cluster.ok());
+    ASSERT_EQ(mono->status_code, 200) << mono->body;
+    ASSERT_EQ(cluster->status_code, 200) << cluster->body;
+    EXPECT_EQ(Canonical(cluster->body), Canonical(mono->body)) << body;
+
+    auto mono_doc = json::ParseObject(mono->body);
+    auto cluster_doc = json::ParseObject(cluster->body);
+    ASSERT_TRUE(mono_doc.ok());
+    ASSERT_TRUE(cluster_doc.ok());
+    const Value* mono_cursor = mono_doc->Get("cursor");
+    const Value* cluster_cursor = cluster_doc->Get("cursor");
+    ASSERT_NE(mono_cursor, nullptr);
+    ASSERT_NE(cluster_cursor, nullptr);
+    EXPECT_EQ(cluster_cursor->as_string(), mono_cursor->as_string())
+        << "cursor tokens diverged on page " << pages;
+    if (cluster_cursor->as_string().empty()) break;
+    body = "{" + subject + R"(,"cursor":")" + cluster_cursor->as_string() +
+           R"("})";
+  }
+  EXPECT_GT(pages, 1u) << "ranking too small to exercise cursor resume";
+  ASSERT_LT(pages, 120u) << "cursor chain never terminated";
+
+  // Every page after the first resumed the coordinator's cached merged
+  // ranking instead of fanning out again.
+  EXPECT_GE(coordinator_->result_cache_stats().hits - hits_before, pages);
+}
+
 TEST_F(ClusterTest, BatchMatchesMonolith) {
   const std::string code = (*codes_)[3].ToBitString();
   ExpectParity(
@@ -481,6 +527,22 @@ TEST_F(ClusterTest, BatchMatchesMonolith) {
       R"({"panel":{"labels":{"operator":"some","names":["Pastures"]}},)"
       R"("similarity":{"code":")" +
       code + R"(","radius":10}}]})");
+}
+
+TEST_F(ClusterTest, CoordinatorServesResultCacheStats) {
+  HttpClient client;
+  auto resp = client.Get(coordinator_server_->port(), "/api/v2/cache/stats");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status_code, 200) << resp->body;
+  auto doc = json::ParseObject(resp->body);
+  ASSERT_TRUE(doc.ok());
+  const Value* rankings = doc->Get("merged_rankings");
+  ASSERT_NE(rankings, nullptr);
+  ASSERT_TRUE(rankings->is_document());
+  const Value* enabled = rankings->as_document().Get("enabled");
+  ASSERT_NE(enabled, nullptr);
+  EXPECT_TRUE(enabled->as_bool());
+  EXPECT_NE(doc->Get("result_epoch"), nullptr);
 }
 
 TEST_F(ClusterTest, CoordinatorServesSlotTable) {

@@ -1210,8 +1210,17 @@ TEST(QueryCacheTest, IngestInvalidatesResponseCache) {
   auto fresh = system.Execute(request);
   ASSERT_TRUE(fresh.ok());
   EXPECT_FALSE(fresh->served_from_cache);
+  // Similarity responses are windowed; the twin ties with many other
+  // distance-0 hits, so walk every page of the fresh ranking.
   std::set<std::string> hit_names;
   for (const CbirResult& hit : fresh->hits) hit_names.insert(hit.patch_name);
+  QueryRequest next = request;
+  while (!fresh->cursor.empty()) {
+    ++next.page;
+    fresh = system.Execute(next);
+    ASSERT_TRUE(fresh.ok());
+    for (const CbirResult& hit : fresh->hits) hit_names.insert(hit.patch_name);
+  }
   EXPECT_TRUE(hit_names.count("twin_of_patch_0"))
       << "stale cached response hid the newly ingested twin";
   EXPECT_GE(system.query_cache().ResponseStats().stale_drops, 1u);
@@ -1256,6 +1265,13 @@ TEST(QueryCacheTest, IngestInvalidatesAllowlistCache) {
   ASSERT_TRUE(fresh.ok());
   std::set<std::string> hit_names;
   for (const CbirResult& hit : fresh->hits) hit_names.insert(hit.patch_name);
+  QueryRequest next = request;
+  while (!fresh->cursor.empty()) {
+    ++next.page;
+    fresh = system.Execute(next);
+    ASSERT_TRUE(fresh.ok());
+    for (const CbirResult& hit : fresh->hits) hit_names.insert(hit.patch_name);
+  }
   EXPECT_TRUE(hit_names.count("twin_of_patch_0"))
       << "stale cached allowlist excluded the newly ingested twin";
   EXPECT_GE(system.query_cache().AllowlistStats().stale_drops, 1u);

@@ -820,6 +820,35 @@ TEST(QueryRequestFromJsonTest, DefaultsAndCursor) {
 
 // --- v2 endpoint over the wire ------------------------------------------------
 
+TEST_F(ServiceTest, V2UndecodableCursorAnswers410CursorExpired) {
+  // A cursor that cannot be decoded is not a bad REQUEST — the request
+  // shape is fine, the continuation is gone — so the wire answer is the
+  // shared error envelope with 410 and code "cursor_expired", telling
+  // paging clients to restart from page 0.
+  HttpClient client;
+  for (const std::string cursor : {"garbage!", "djI6bm9wZQ", "djk6MTox"}) {
+    auto resp = client.Post(server_->port(), "/api/v2/query",
+                            R"({"similarity":{"name":")" +
+                                archive_->patches[0].name +
+                                R"(","radius":6},"cursor":")" + cursor +
+                                R"("})");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status_code, 410) << cursor << ": " << resp->body;
+    auto body = json::ParseObject(resp->body);
+    ASSERT_TRUE(body.ok()) << resp->body;
+    EXPECT_EQ(body->GetPath("error.code")->as_string(), "cursor_expired")
+        << resp->body;
+  }
+
+  // The batch flavour rejects the whole submission the same way.
+  auto batch = client.Post(server_->port(), "/api/v2/query",
+                           R"({"requests":[{"similarity":{"name":")" +
+                               archive_->patches[0].name +
+                               R"(","radius":6},"cursor":"garbage!"}]})");
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->status_code, 410) << batch->body;
+}
+
 TEST_F(ServiceTest, V2PanelOnlyQuery) {
   HttpClient client;
   auto resp = client.Post(
