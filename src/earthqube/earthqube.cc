@@ -661,7 +661,9 @@ StatusOr<QueryResponse> EarthQube::ExecuteWindowed(
   }
 
   std::shared_ptr<RankedHandle> handle;
-  if (!handle_id.empty()) handle = ranked_->Get(handle_id, epoch_snapshot);
+  if (!handle_id.empty()) {
+    handle = ranked_->Get(handle_id, *stream_fp, epoch_snapshot);
+  }
   if (handle == nullptr) {
     // Fresh (or fallen-back) execution: open the lazy stream and pin it
     // under the ranking's deterministic id.  Uploaded-patch subjects
@@ -693,6 +695,7 @@ StatusOr<QueryResponse> EarthQube::ExecuteWindowed(
   }
 
   bool has_more = false;
+  size_t touch_bytes = 0;
   {
     std::lock_guard<std::mutex> lock(handle->mu_);
     AGORAEO_RETURN_IF_ERROR(ExtendHandle(handle.get(), need));
@@ -710,8 +713,12 @@ StatusOr<QueryResponse> EarthQube::ExecuteWindowed(
           survivors.size() >= need ? handle->examined_after_[need - 1]
                                    : handle->examined_total_;
     }
+    // Measured under handle->mu_: a concurrent resume of this cursor
+    // may extend survivors_ the moment the lock drops, and Touch must
+    // not walk the vector mid-reallocation.
+    touch_bytes = RankedAccess::ApproxBytes(*handle);
   }
-  if (!handle_id.empty()) ranked_->Touch(handle);
+  if (!handle_id.empty()) ranked_->Touch(handle, touch_bytes);
 
   if (request.projection == Projection::kFullPanel) {
     AGORAEO_RETURN_IF_ERROR(JoinHits(response.hits, &response));

@@ -1,8 +1,26 @@
 #include "earthqube/query_request.h"
 
+#include <limits>
+
 #include "json/json.h"
 
 namespace agoraeo::earthqube {
+
+namespace {
+
+/// True when the page window's arithmetic would wrap size_t: the engine
+/// computes begin = page * page_size and need = begin + page_size + 1,
+/// so (page + 1) * page_size + 1 must fit.  Cursor payloads are
+/// client-controlled — a wrapped `need` of 0 would turn a bounds check
+/// into an out-of-bounds read.
+bool PageWindowOverflows(size_t page, size_t page_size) {
+  if (page_size == 0) return false;
+  constexpr size_t kMax = std::numeric_limits<size_t>::max();
+  if (page == kMax) return true;
+  return page_size > (kMax - 1) / (page + 1);
+}
+
+}  // namespace
 
 SimilaritySpec SimilaritySpec::NameRadius(std::string name, uint32_t radius,
                                           size_t limit) {
@@ -74,6 +92,9 @@ Status QueryRequest::Validate() const {
     return Status::InvalidArgument(
         "hits-only projection requires a similarity spec");
   }
+  if (PageWindowOverflows(page, page_size)) {
+    return Status::InvalidArgument("page window out of range");
+  }
   return Status::OK();
 }
 
@@ -109,44 +130,50 @@ std::string EncodeCursor(const PageCursor& cursor) {
 }
 
 StatusOr<PageCursor> DecodeCursor(const std::string& token) {
-  AGORAEO_ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
-                           json::Base64Decode(token));
-  const std::string text(raw.begin(), raw.end());
+  // Every rejection carries the "cursor: " prefix IsCursorRejection
+  // keys on, so unrelated base64/parse failures elsewhere in the stack
+  // are never mistaken for an expired cursor.
+  StatusOr<std::vector<uint8_t>> raw = json::Base64Decode(token);
+  if (!raw.ok()) {
+    return Status::InvalidArgument("cursor: invalid base64");
+  }
+  const std::string text(raw->begin(), raw->end());
   const bool v3 = text.rfind("v3:", 0) == 0;
   if (!v3 && text.rfind("v2:", 0) != 0) {
-    return Status::InvalidArgument("unrecognised cursor");
+    return Status::InvalidArgument("cursor: unrecognised version");
   }
   const size_t sep = text.find(':', 3);
   if (sep == std::string::npos) {
-    return Status::InvalidArgument("malformed cursor");
+    return Status::InvalidArgument("cursor: malformed");
   }
   PageCursor cursor;
   std::string size_text = text.substr(sep + 1);
   if (v3) {
     const size_t handle_sep = size_text.find(':');
     if (handle_sep == std::string::npos) {
-      return Status::InvalidArgument("malformed cursor");
+      return Status::InvalidArgument("cursor: malformed");
     }
     cursor.handle = size_text.substr(handle_sep + 1);
     size_text.resize(handle_sep);
     if (cursor.handle.empty()) {
-      return Status::InvalidArgument("malformed cursor");
+      return Status::InvalidArgument("cursor: malformed");
     }
   }
   try {
     cursor.page = std::stoull(text.substr(3, sep - 3));
     cursor.page_size = std::stoull(size_text);
   } catch (const std::exception&) {
-    return Status::InvalidArgument("malformed cursor");
+    return Status::InvalidArgument("cursor: malformed");
+  }
+  if (PageWindowOverflows(cursor.page, cursor.page_size)) {
+    return Status::InvalidArgument("cursor: page window out of range");
   }
   return cursor;
 }
 
 bool IsCursorRejection(const Status& status) {
-  if (!status.IsInvalidArgument()) return false;
-  const std::string& message = status.message();
-  return message == "unrecognised cursor" || message == "malformed cursor" ||
-         message.find("base64") != std::string::npos;
+  return status.IsInvalidArgument() &&
+         status.message().rfind("cursor: ", 0) == 0;
 }
 
 }  // namespace agoraeo::earthqube

@@ -32,6 +32,7 @@ size_t RankedAccess::ApproxBytes(const RankedHandle& handle) {
 }
 
 std::shared_ptr<RankedHandle> RankedAccess::Get(const std::string& id,
+                                                const std::string& fingerprint,
                                                 uint64_t current_epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = handles_.find(id);
@@ -40,6 +41,13 @@ std::shared_ptr<RankedHandle> RankedAccess::Get(const std::string& id,
     return nullptr;
   }
   std::shared_ptr<RankedHandle> handle = it->second;
+  if (handle->fingerprint() != fingerprint) {
+    // FNV id collision with another live query: the resident ranking
+    // is NOT ours.  Miss (re-execute) rather than serve wrong results;
+    // the resident handle stays — it is valid for its own query.
+    ++misses_;
+    return nullptr;
+  }
   if (handle->epoch() != current_epoch) {
     // The index or metadata changed under the pinned ranking: drop it
     // now (frees the pinned segments) instead of waiting for the TTL.
@@ -66,6 +74,13 @@ std::shared_ptr<RankedHandle> RankedAccess::Register(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = handles_.find(handle->id());
   if (it != handles_.end()) {
+    if (it->second->fingerprint() != handle->fingerprint()) {
+      // FNV id collision: the slot belongs to a different query.  Hand
+      // the new handle back unregistered — it serves this one request
+      // ephemerally instead of evicting (or being served by) the
+      // resident ranking.
+      return handle;
+    }
     // First-wins, but a stale resident (older epoch) yields to the
     // fresh registration.
     if (it->second->epoch() == handle->epoch()) return it->second;
@@ -82,11 +97,11 @@ std::shared_ptr<RankedHandle> RankedAccess::Register(
   return handle;
 }
 
-void RankedAccess::Touch(const std::shared_ptr<RankedHandle>& handle) {
+void RankedAccess::Touch(const std::shared_ptr<RankedHandle>& handle,
+                         size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = handles_.find(handle->id());
   if (it == handles_.end() || it->second != handle) return;  // evicted
-  const size_t bytes = ApproxBytes(*handle);
   total_bytes_ += bytes - handle->bytes_;
   handle->bytes_ = bytes;
   handle->last_touch_ = Now();

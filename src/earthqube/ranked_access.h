@@ -122,22 +122,37 @@ class RankedAccess {
   /// processes, so it must be stable across implementations.
   static std::string HandleIdFor(const std::string& fingerprint);
 
-  /// Returns the live handle for `id` iff it is resident, unexpired and
-  /// was registered under `current_epoch`; null otherwise (counted as
-  /// miss / expired / epoch_drop).  A returned handle is pinned by the
-  /// shared_ptr — eviction can drop it from the table mid-use safely.
+  /// Returns the live handle for `id` iff it is resident, unexpired,
+  /// was registered under `current_epoch` AND stores exactly
+  /// `fingerprint`; null otherwise (counted as miss / expired /
+  /// epoch_drop).  The full-fingerprint comparison closes the 64-bit
+  /// FNV id space: two queries whose fingerprints collide under the
+  /// non-cryptographic hash must not serve each other's ranking.  A
+  /// returned handle is pinned by the shared_ptr — eviction can drop it
+  /// from the table mid-use safely.
   std::shared_ptr<RankedHandle> Get(const std::string& id,
+                                    const std::string& fingerprint,
                                     uint64_t current_epoch);
 
   /// Registers a freshly opened handle.  First-wins: when a concurrent
-  /// request already registered this id under the same epoch, the
-  /// resident handle is returned and `handle` is discarded (two racing
-  /// page-0 executions must converge on one pinned stream).
+  /// request already registered this id under the same epoch and
+  /// fingerprint, the resident handle is returned and `handle` is
+  /// discarded (two racing page-0 executions must converge on one
+  /// pinned stream).  A resident with the same id but a DIFFERENT
+  /// fingerprint (FNV collision) keeps the slot; `handle` is returned
+  /// unregistered and serves its one request ephemerally.
   std::shared_ptr<RankedHandle> Register(std::shared_ptr<RankedHandle> handle);
 
   /// Re-accounts a handle's survivor bytes after an extension and
-  /// refreshes its LRU position; may evict colder handles.
-  void Touch(const std::shared_ptr<RankedHandle>& handle);
+  /// refreshes its LRU position; may evict colder handles.  `bytes` is
+  /// the caller's ApproxBytes measurement, taken while it still held
+  /// handle->mu_ — Touch itself must not walk survivors_, which a
+  /// concurrent resume of the same cursor may be extending.
+  void Touch(const std::shared_ptr<RankedHandle>& handle, size_t bytes);
+
+  /// Approximate heap footprint of a handle's buffered survivor state.
+  /// Callers must hold handle.mu_ (or own the handle exclusively).
+  static size_t ApproxBytes(const RankedHandle& handle);
 
   /// Drops every handle (a new CBIR service invalidates the streams'
   /// borrowed name map, not just their results).
@@ -148,7 +163,6 @@ class RankedAccess {
 
  private:
   std::chrono::steady_clock::time_point Now() const;
-  static size_t ApproxBytes(const RankedHandle& handle);
   /// Evicts LRU handles past the count/byte budgets; `keep` survives.
   void EvictLocked(const RankedHandle* keep);
   void RemoveLocked(const std::string& id);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <set>
 
@@ -736,6 +738,43 @@ TEST(QueryRequestTest, CursorRoundTrip) {
   EXPECT_TRUE(DecodeCursor("not base64!").status().IsInvalidArgument());
   EXPECT_TRUE(DecodeCursor("aGVsbG8=").status().IsInvalidArgument());
   EXPECT_TRUE(DecodeCursor("").status().IsInvalidArgument());
+}
+
+TEST(QueryRequestTest, CursorPageWindowOverflowRejected) {
+  // A crafted v3 cursor with page = 2^64-2, page_size = 1 would wrap
+  // need = page*page_size + page_size + 1 to 0 and turn the windowing
+  // bounds check into an out-of-bounds read; the decoder must reject it.
+  const uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  const auto wrapped =
+      DecodeCursor(EncodeCursor({kMax - 1, 1, "deadbeefdeadbeef"}));
+  EXPECT_TRUE(wrapped.status().IsInvalidArgument());
+  EXPECT_TRUE(IsCursorRejection(wrapped.status()));
+
+  const auto wide = DecodeCursor(EncodeCursor({2, kMax / 2}));
+  EXPECT_TRUE(wide.status().IsInvalidArgument());
+
+  // The same window is rejected when it arrives as raw request fields.
+  QueryRequest overflow;
+  overflow.similarity = SimilaritySpec::NameKnn("x", 5);
+  overflow.page = kMax - 1;
+  overflow.page_size = 1;
+  EXPECT_TRUE(overflow.Validate().IsInvalidArgument());
+  overflow.page = 7;
+  overflow.page_size = 25;
+  EXPECT_TRUE(overflow.Validate().ok());
+}
+
+TEST(QueryRequestTest, CursorRejectionRequiresCursorTag) {
+  // Every decoder failure maps to the 410 cursor_expired envelope...
+  EXPECT_TRUE(IsCursorRejection(DecodeCursor("not base64!").status()));
+  EXPECT_TRUE(IsCursorRejection(DecodeCursor("aGVsbG8=").status()));
+  // ...but an unrelated InvalidArgument that merely mentions base64
+  // (e.g. a cluster wire blob failing to decode) must stay a plain 400.
+  EXPECT_FALSE(IsCursorRejection(
+      Status::InvalidArgument("payload is not valid base64")));
+  EXPECT_FALSE(IsCursorRejection(Status::InvalidArgument("cursor")));
+  EXPECT_FALSE(
+      IsCursorRejection(Status::NotFound("cursor: page window out of range")));
 }
 
 // ---------------------------------------------------------------------------

@@ -313,9 +313,9 @@ TEST_F(RankedAccessTest, TtlExpiresHandles) {
   config.handle_ttl = std::chrono::milliseconds(1000);
   RankedAccess access(config);
   access.Register(Handle("a", 7));
-  EXPECT_NE(access.Get("a", 7), nullptr);
+  EXPECT_NE(access.Get("a", "fp:a", 7), nullptr);
   now_ += std::chrono::milliseconds(1001);
-  EXPECT_EQ(access.Get("a", 7), nullptr);
+  EXPECT_EQ(access.Get("a", "fp:a", 7), nullptr);
   const RankedAccessStats stats = access.Stats();
   EXPECT_EQ(stats.expired, 1u);
   EXPECT_EQ(stats.handles, 0u);
@@ -324,12 +324,12 @@ TEST_F(RankedAccessTest, TtlExpiresHandles) {
 TEST_F(RankedAccessTest, EpochBumpDropsHandles) {
   RankedAccess access(Config());
   access.Register(Handle("a", 7));
-  EXPECT_EQ(access.Get("a", 8), nullptr);
+  EXPECT_EQ(access.Get("a", "fp:a", 8), nullptr);
   const RankedAccessStats stats = access.Stats();
   EXPECT_EQ(stats.epoch_drops, 1u);
   // The stale handle was erased, not just skipped: the next lookup under
   // ANY epoch is a plain miss.
-  EXPECT_EQ(access.Get("a", 8), nullptr);
+  EXPECT_EQ(access.Get("a", "fp:a", 8), nullptr);
   EXPECT_EQ(access.Stats().misses, 1u);
 }
 
@@ -339,11 +339,12 @@ TEST_F(RankedAccessTest, CapacityEvictsLeastRecentlyTouched) {
   RankedAccess access(config);
   access.Register(Handle("a", 1));
   access.Register(Handle("b", 1));
-  EXPECT_NE(access.Get("a", 1), nullptr);  // refresh a; b is now coldest
+  // Refresh a; b is now coldest.
+  EXPECT_NE(access.Get("a", "fp:a", 1), nullptr);
   access.Register(Handle("c", 1));
-  EXPECT_EQ(access.Get("b", 1), nullptr);
-  EXPECT_NE(access.Get("a", 1), nullptr);
-  EXPECT_NE(access.Get("c", 1), nullptr);
+  EXPECT_EQ(access.Get("b", "fp:b", 1), nullptr);
+  EXPECT_NE(access.Get("a", "fp:a", 1), nullptr);
+  EXPECT_NE(access.Get("c", "fp:c", 1), nullptr);
   EXPECT_EQ(access.Stats().evicted, 1u);
 }
 
@@ -361,10 +362,10 @@ TEST_F(RankedAccessTest, ByteBudgetEvictsColderHandles) {
     return handle;
   };
   access.Register(fat("a"));
-  EXPECT_NE(access.Get("a", 1), nullptr);
+  EXPECT_NE(access.Get("a", "fp:a", 1), nullptr);
   access.Register(fat("b"));  // over budget together: a (colder) goes
-  EXPECT_EQ(access.Get("a", 1), nullptr);
-  EXPECT_NE(access.Get("b", 1), nullptr);
+  EXPECT_EQ(access.Get("a", "fp:a", 1), nullptr);
+  EXPECT_NE(access.Get("b", "fp:b", 1), nullptr);
   EXPECT_GE(access.Stats().evicted, 1u);
   // The survivor alone may exceed the budget (the hottest handle is
   // never evicted on its own behalf), but it must be the ONLY resident.
@@ -381,7 +382,34 @@ TEST_F(RankedAccessTest, RegisterIsFirstWinsWithinAnEpoch) {
   // A FRESH epoch replaces the now-stale resident.
   auto fresh = Handle("a", 4);
   EXPECT_EQ(access.Register(fresh), fresh);
-  EXPECT_EQ(access.Get("a", 4), fresh);
+  EXPECT_EQ(access.Get("a", "fp:a", 4), fresh);
+}
+
+TEST_F(RankedAccessTest, FingerprintCollisionIsAMissNotACrossServe) {
+  // Two queries whose fingerprints collide under the 64-bit FNV id
+  // must never serve each other's pinned ranking: a lookup with the
+  // other query's fingerprint is a plain miss and the resident stays.
+  RankedAccess access(Config());
+  access.Register(std::make_shared<RankedHandle>(
+      "a", "fp:victim", 1, RankedHandle::Kind::kPlain));
+  EXPECT_EQ(access.Get("a", "fp:attacker", 1), nullptr);
+  EXPECT_EQ(access.Stats().misses, 1u);
+  EXPECT_NE(access.Get("a", "fp:victim", 1), nullptr);
+  EXPECT_EQ(access.Stats().epoch_drops, 0u);
+}
+
+TEST_F(RankedAccessTest, FingerprintCollisionRegistersEphemerally) {
+  // A colliding registration neither evicts the resident ranking nor
+  // converges on it: the new handle comes back unregistered.
+  RankedAccess access(Config());
+  auto resident = std::make_shared<RankedHandle>(
+      "a", "fp:victim", 1, RankedHandle::Kind::kPlain);
+  EXPECT_EQ(access.Register(resident), resident);
+  auto collider = std::make_shared<RankedHandle>(
+      "a", "fp:attacker", 1, RankedHandle::Kind::kPlain);
+  EXPECT_EQ(access.Register(collider), collider);
+  EXPECT_EQ(access.Stats().handles, 1u);
+  EXPECT_EQ(access.Get("a", "fp:victim", 1), resident);
 }
 
 // ---------------------------------------------------------------------------
